@@ -1,0 +1,20 @@
+//! # lf-baselines — TLS comparator models for Table 3
+//!
+//! The paper's Table 3 compares LoopFrog against two classic thread-level
+//! speculation designs: STAMPede (TLS across 4 cores with private-cache
+//! speculation support) and Multiscalar (a ring of 8 simple processing
+//! units). Neither artifact is available, so this crate models both with a
+//! steady-state task-pipeline cost model ([`TlsScheme`]), parameterized
+//! from the published descriptions, and drives them with the same kinds of
+//! task sizes our workloads produce. As the paper itself notes, "speedup
+//! numbers are not like-for-like due to wildly different baseline cores,
+//! different benchmark sets, and area overheads" — this crate reproduces
+//! the *structure* of that comparison.
+
+#![warn(missing_docs)]
+
+pub mod scheme;
+pub mod table3;
+
+pub use scheme::{SchemeKind, TlsScheme};
+pub use table3::{table3, Table3Row};

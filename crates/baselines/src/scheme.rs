@@ -1,0 +1,177 @@
+//! Steady-state task-pipeline model of a TLS scheme.
+//!
+//! A speculatively parallelized region is a stream of ordered tasks of `t`
+//! instructions each. A scheme with `units` execution units runs tasks
+//! concurrently; each task costs `t / unit_ipc` cycles of execution plus a
+//! spawn overhead, and tasks retire in order through a commit port with a
+//! fixed per-task latency. A fraction of tasks squash and re-execute.
+//!
+//! Steady-state region throughput is the minimum of the execution
+//! throughput (`units` tasks in flight) and the commit serialization rate;
+//! whole-program speedup follows from Amdahl over the parallel coverage.
+
+/// Which classic scheme a parameter set models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// This paper's in-core threadlet design.
+    LoopFrog,
+    /// STAMPede-style TLS over multicore private caches (Steffan et al.,
+    /// TOCS 2005).
+    Stampede,
+    /// Multiscalar-style ring of processing units (Sohi et al., ISCA 1995).
+    Multiscalar,
+}
+
+/// Parameters of a TLS scheme (and its own sequential baseline).
+#[derive(Debug, Clone)]
+pub struct TlsScheme {
+    /// Which scheme this models.
+    pub kind: SchemeKind,
+    /// Parallel execution units (threadlets, cores, or PUs).
+    pub units: usize,
+    /// Sustained IPC of one unit on task code.
+    pub unit_ipc: f64,
+    /// Sustained IPC of the scheme's own sequential baseline core.
+    pub baseline_ipc: f64,
+    /// Cycles to spawn/dispatch a task to a unit.
+    pub spawn_overhead: f64,
+    /// Cycles of in-order commit serialization per task (version merge,
+    /// coherence, or register-file forwarding).
+    pub commit_latency: f64,
+    /// Fraction of tasks squashed and re-executed.
+    pub squash_rate: f64,
+    /// Area relative to the scheme's single baseline core.
+    pub area_factor: f64,
+}
+
+impl TlsScheme {
+    /// The LoopFrog configuration of Table 3: one 8-issue core with 4
+    /// threadlet contexts and ~1.15× area.
+    pub fn loopfrog() -> TlsScheme {
+        TlsScheme {
+            kind: SchemeKind::LoopFrog,
+            units: 4,
+            // Threadlets share one wide back end: each sustains a fraction
+            // of the core's throughput when all are active.
+            unit_ipc: 1.3,
+            baseline_ipc: 2.6,
+            spawn_overhead: 4.0,
+            commit_latency: 5.0,
+            squash_rate: 0.04,
+            area_factor: 1.15,
+        }
+    }
+
+    /// STAMPede over 4 single-issue-era OoO cores (tasks ≈ 1,400 insts).
+    pub fn stampede() -> TlsScheme {
+        TlsScheme {
+            kind: SchemeKind::Stampede,
+            units: 4,
+            unit_ipc: 0.9,
+            baseline_ipc: 0.9,
+            // Cross-core spawn and cache-coherent commit are expensive.
+            spawn_overhead: 80.0,
+            commit_latency: 60.0,
+            squash_rate: 0.12,
+            area_factor: 4.2,
+        }
+    }
+
+    /// Multiscalar's ring of 8 narrow PUs (tasks of 10–50 insts) against
+    /// its 2-issue, ROB-32 baseline.
+    pub fn multiscalar() -> TlsScheme {
+        TlsScheme {
+            kind: SchemeKind::Multiscalar,
+            units: 8,
+            unit_ipc: 0.8,
+            baseline_ipc: 0.9,
+            // Ring forwarding keeps spawn/commit cheap; squashes (and the
+            // serialization of inter-task register chains, folded in here)
+            // are the dominant loss.
+            spawn_overhead: 2.0,
+            commit_latency: 2.0,
+            squash_rate: 0.20,
+            area_factor: 8.0,
+        }
+    }
+
+    /// Steady-state speedup on a parallel region of tasks of `task_insts`
+    /// instructions.
+    pub fn region_speedup(&self, task_insts: f64) -> f64 {
+        assert!(task_insts > 0.0);
+        let exec_time = task_insts / self.unit_ipc + self.spawn_overhead;
+        // Squashes re-execute the task (on average once more per squash).
+        let eff_exec = exec_time * (1.0 + self.squash_rate);
+        // Tasks in flight across units vs. the in-order commit port.
+        let exec_rate = self.units as f64 / eff_exec;
+        let commit_rate = 1.0 / self.commit_latency.max(1e-9);
+        let rate = exec_rate.min(commit_rate);
+        let seq_rate = self.baseline_ipc / task_insts;
+        rate / seq_rate
+    }
+
+    /// Whole-program speedup given parallel-region `coverage` (fraction of
+    /// sequential execution time inside parallelized regions).
+    pub fn whole_program_speedup(&self, task_insts: f64, coverage: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&coverage));
+        let s = self.region_speedup(task_insts).max(1e-9);
+        1.0 / ((1.0 - coverage) + coverage / s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopfrog_gains_on_medium_tasks() {
+        let s = TlsScheme::loopfrog();
+        // ~100-instruction epochs: clearly parallel.
+        let r = s.region_speedup(100.0);
+        assert!(r > 1.2 && r < 4.0, "{r}");
+    }
+
+    #[test]
+    fn spawn_overhead_kills_tiny_tasks_on_multicore() {
+        let st = TlsScheme::stampede();
+        assert!(st.region_speedup(30.0) < 1.0, "30-inst tasks can't pay 80-cycle spawns");
+        assert!(st.region_speedup(1400.0) > 1.5, "STAMPede's ~1,400-inst tasks do");
+    }
+
+    #[test]
+    fn multiscalar_wins_big_over_weak_baseline() {
+        let m = TlsScheme::multiscalar();
+        let r = m.region_speedup(30.0);
+        assert!(r > 2.0, "cheap ring spawns exploit small tasks: {r}");
+    }
+
+    #[test]
+    fn commit_port_bounds_throughput() {
+        let mut s = TlsScheme::loopfrog();
+        s.commit_latency = 1000.0;
+        // However many units, one task per 1000 cycles caps the region.
+        let r = s.region_speedup(100.0);
+        assert!(r < 0.3, "{r}");
+    }
+
+    #[test]
+    fn amdahl_limits_whole_program() {
+        let s = TlsScheme::loopfrog();
+        let whole = s.whole_program_speedup(150.0, 0.4);
+        let region = s.region_speedup(150.0);
+        assert!(whole < region);
+        assert!(whole > 1.0);
+        // Zero coverage → no change.
+        assert!((s.whole_program_speedup(150.0, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_units_until_commit_bound() {
+        let mut s = TlsScheme::loopfrog();
+        s.commit_latency = 1.0;
+        let r4 = s.region_speedup(200.0);
+        s.units = 8;
+        let r8 = s.region_speedup(200.0);
+        assert!(r8 > r4);
+    }
+}

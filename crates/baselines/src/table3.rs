@@ -1,0 +1,98 @@
+//! Table 3 generation: LoopFrog vs. STAMPede vs. Multiscalar.
+
+use crate::scheme::{SchemeKind, TlsScheme};
+
+/// One column of Table 3.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Whole-program (or suite) speedup — measured for LoopFrog, modeled
+    /// for the comparators on their characteristic task sizes/coverage.
+    pub speedup: f64,
+    /// Cores / processing units.
+    pub cores: String,
+    /// Area relative to one baseline core.
+    pub area: f64,
+    /// Baseline core description.
+    pub baseline: &'static str,
+    /// Characteristic task sizes.
+    pub task_sizes: &'static str,
+    /// Deployment requirements.
+    pub deployment: &'static str,
+}
+
+/// Builds the three Table 3 rows. `loopfrog_measured` is the measured
+/// whole-suite speedup from the simulator (e.g. `1.095`); the comparator
+/// speedups come from the cost models at their papers' characteristic task
+/// sizes and coverages.
+pub fn table3(loopfrog_measured: f64) -> Vec<Table3Row> {
+    let st = TlsScheme::stampede();
+    let ms = TlsScheme::multiscalar();
+    debug_assert_eq!(st.kind, SchemeKind::Stampede);
+    vec![
+        Table3Row {
+            scheme: "LoopFrog",
+            speedup: loopfrog_measured,
+            cores: "1 (4-way SMT)".into(),
+            area: TlsScheme::loopfrog().area_factor,
+            baseline: "8-issue OoO",
+            task_sizes: "~100-10,000 instructions",
+            deployment: "compiler, ISA hints",
+        },
+        Table3Row {
+            scheme: "STAMPede (private cache) (2005)",
+            // ~1,400-instruction tasks over a modest parallel coverage.
+            speedup: st.whole_program_speedup(1400.0, 0.35),
+            cores: format!("{}", st.units),
+            area: st.area_factor,
+            baseline: "4-issue simple OoO, 5 stages",
+            task_sizes: "~1,400 instructions",
+            deployment: "OS, compiler, ISA",
+        },
+        Table3Row {
+            scheme: "MultiScalar (1995)",
+            // Small tasks over a weak baseline; SPEC 1992 coverage after
+            // the compiler's task selection.
+            speedup: ms.whole_program_speedup(30.0, 0.68),
+            cores: format!("{} (PUs)", ms.units),
+            area: ms.area_factor,
+            baseline: "2-issue limited OoO (ROB=32)",
+            task_sizes: "10-50 instructions",
+            deployment: "specialist µ-arch, compiler, ISA",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modeled_speedups_land_near_published_numbers() {
+        let rows = table3(1.10);
+        let stampede = &rows[1];
+        // Published: 1.16× on subsets of SPEC 1995/2000.
+        assert!(
+            stampede.speedup > 1.05 && stampede.speedup < 1.35,
+            "STAMPede model: {:.2}",
+            stampede.speedup
+        );
+        let ms = &rows[2];
+        // Published: 2.16× on SPEC 1992.
+        assert!(ms.speedup > 1.7 && ms.speedup < 2.7, "Multiscalar model: {:.2}", ms.speedup);
+    }
+
+    #[test]
+    fn area_ordering_matches_table() {
+        let rows = table3(1.10);
+        assert!(rows[0].area < rows[1].area);
+        assert!(rows[1].area < rows[2].area);
+    }
+
+    #[test]
+    fn loopfrog_speedup_passes_through() {
+        let rows = table3(1.095);
+        assert!((rows[0].speedup - 1.095).abs() < 1e-12);
+    }
+}

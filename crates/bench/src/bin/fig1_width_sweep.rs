@@ -1,0 +1,40 @@
+//! Figure 1: geomean IPC and commit utilization vs. front-end width.
+//!
+//! The paper measures four Intel microarchitectures of increasing width and
+//! finds IPC rising roughly linearly while the fraction of commit bandwidth
+//! actually used falls. We reproduce the trend by sweeping our baseline
+//! core's width (4/6/8/10) over the CPU 2017 analog suite.
+
+use lf_bench::{print_table, scale_from_args};
+use lf_uarch::CoreConfig;
+use loopfrog::{simulate, LoopFrogConfig};
+
+fn main() {
+    let scale = scale_from_args();
+    let suite = lf_workloads::suite17(scale);
+    println!("Figure 1: IPC and commit utilization vs front-end width");
+    println!("(paper: Intel Skylake→Golden Cove trend; here: width sweep of our baseline core)\n");
+    let mut rows = Vec::new();
+    for width in [4usize, 6, 8, 10] {
+        let mut ipcs = Vec::new();
+        let mut utils = Vec::new();
+        for w in &suite {
+            let cfg = LoopFrogConfig {
+                core: CoreConfig { threadlets: 1, ..CoreConfig::with_width(width) },
+                speculation: false,
+                ..LoopFrogConfig::default()
+            };
+            let r = simulate(&w.program, w.mem.clone(), cfg)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+            ipcs.push(r.stats.ipc());
+            utils.push(r.stats.commit_utilization(width));
+        }
+        rows.push(vec![
+            format!("{width}-wide"),
+            format!("{:.2}", lf_stats::geomean(&ipcs)),
+            format!("{:.1}%", lf_stats::geomean(&utils) * 100.0),
+        ]);
+    }
+    print_table(&["core", "geomean IPC", "commit utilization"], &rows);
+    println!("\npaper shape: IPC grows with width; commit utilization falls.");
+}

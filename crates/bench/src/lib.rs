@@ -1,0 +1,36 @@
+//! # lf-bench — experiment harness for the LoopFrog reproduction
+//!
+//! Shared machinery behind the per-figure/table binaries: run a workload
+//! through the full pipeline (profile → hint insertion → baseline and
+//! LoopFrog simulations), validate architectural equivalence against the
+//! golden emulator, and aggregate suite-level statistics.
+
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod runner;
+pub mod table;
+
+pub use runner::{run_kernel, run_suite, KernelRun, RunConfig};
+pub use table::{fmt_pct, print_table};
+
+/// Parses `--scale smoke|eval` from the process arguments (default smoke).
+/// Exits with an error on an unrecognized value rather than silently
+/// falling back.
+pub fn scale_from_args() -> lf_workloads::Scale {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--scale") {
+        None => lf_workloads::Scale::Smoke,
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("eval") => lf_workloads::Scale::Eval,
+            Some("smoke") => lf_workloads::Scale::Smoke,
+            other => {
+                eprintln!(
+                    "error: --scale expects `smoke` or `eval`, got {}",
+                    other.unwrap_or("nothing")
+                );
+                std::process::exit(2);
+            }
+        },
+    }
+}

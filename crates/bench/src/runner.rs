@@ -1,0 +1,126 @@
+//! The kernel experiment runner.
+
+use lf_compiler::{annotate, SelectOptions};
+use lf_isa::Program;
+use lf_workloads::{Scale, Workload};
+use loopfrog::{simulate, LoopFrogConfig, SimStats};
+
+/// Configuration for one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The LoopFrog configuration under test.
+    pub lf: LoopFrogConfig,
+    /// The baseline configuration (hints ignored).
+    pub base: LoopFrogConfig,
+    /// Loop-selection thresholds for the compiler pass.
+    pub select: SelectOptions,
+    /// Profile-guided deselection (paper §5.1: "we use profiling
+    /// information to annotate the most profitable loops ... simulating
+    /// perfect static loop selection", and "unprofitable loops must be
+    /// excluded by either static or dynamic deselection"): kernels whose
+    /// hinted run is slower than the baseline ship without hints.
+    pub deselect_unprofitable: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            lf: LoopFrogConfig::default(),
+            base: LoopFrogConfig::baseline(),
+            select: SelectOptions::default(),
+            deselect_unprofitable: true,
+        }
+    }
+}
+
+/// Outcome of running one kernel under baseline and LoopFrog.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// Kernel name.
+    pub name: &'static str,
+    /// SPEC benchmark analog.
+    pub spec_analog: &'static str,
+    /// Which suite.
+    pub suite: lf_workloads::Suite,
+    /// Expected bottleneck category.
+    pub category: lf_workloads::Category,
+    /// Whether the loop sits in an OpenMP region in the original (§6.7).
+    pub in_openmp_region: bool,
+    /// Number of loops the compiler annotated.
+    pub selected_loops: usize,
+    /// The annotated program (for further experiments).
+    pub annotated: Program,
+    /// Baseline run statistics.
+    pub base: SimStats,
+    /// LoopFrog run statistics.
+    pub lf: SimStats,
+    /// Whether emulator, baseline, and LoopFrog all agreed on final state.
+    pub checksum_ok: bool,
+    /// The kernel's loops were deselected as unprofitable (its shipped
+    /// configuration is hint-free; `lf` mirrors `base`).
+    pub deselected: bool,
+}
+
+impl KernelRun {
+    /// Whole-program speedup of LoopFrog over the baseline.
+    pub fn speedup(&self) -> f64 {
+        self.base.cycles as f64 / self.lf.cycles as f64
+    }
+}
+
+/// Runs one workload through profile → annotate → baseline + LoopFrog.
+///
+/// # Panics
+///
+/// Panics if the kernel faults or a simulation deadlocks (reproduction
+/// bugs, surfaced loudly).
+pub fn run_kernel(w: &Workload, cfg: &RunConfig) -> KernelRun {
+    let emu = w.reference_emulator().expect("kernel runs on the golden emulator");
+    assert!(emu.is_halted(), "{} did not halt", w.name);
+    let golden = emu.state_checksum();
+
+    let ann = annotate(&w.program, emu.profile(), &cfg.select);
+    let selected_loops = ann.reports.iter().filter(|r| r.placement.is_some()).count();
+
+    let base = simulate(&ann.program, w.mem.clone(), cfg.base.clone())
+        .unwrap_or_else(|e| panic!("{} baseline failed: {e}", w.name));
+    let lf = simulate(&ann.program, w.mem.clone(), cfg.lf.clone())
+        .unwrap_or_else(|e| panic!("{} loopfrog failed: {e}", w.name));
+    let checksum_ok = base.checksum == golden && lf.checksum == golden;
+
+    let deselected = cfg.deselect_unprofitable && lf.stats.cycles > base.stats.cycles;
+    let (lf_stats, selected_loops) =
+        if deselected { (base.stats.clone(), 0) } else { (lf.stats, selected_loops) };
+    KernelRun {
+        name: w.name,
+        spec_analog: w.spec_analog,
+        suite: w.suite,
+        category: w.category,
+        in_openmp_region: w.in_openmp_region,
+        selected_loops,
+        annotated: ann.program,
+        base: base.stats,
+        lf: lf_stats,
+        checksum_ok,
+        deselected,
+    }
+}
+
+/// Runs the whole suite at `scale`.
+pub fn run_suite(scale: Scale, cfg: &RunConfig) -> Vec<KernelRun> {
+    lf_workloads::all(scale).iter().map(|w| run_kernel(w, cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_kernel_end_to_end() {
+        let w = lf_workloads::by_name("stencil_blur", Scale::Smoke).unwrap();
+        let r = run_kernel(&w, &RunConfig::default());
+        assert!(r.checksum_ok, "architectural state must match the emulator");
+        assert!(r.selected_loops >= 1, "the hot loop must be selected");
+        assert!(r.lf.spawns > 0, "threadlets must spawn");
+    }
+}

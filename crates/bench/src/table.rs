@@ -1,0 +1,30 @@
+//! Minimal fixed-width table printing for the experiment binaries.
+
+/// Formats a speedup factor as a signed percentage (`1.095` → `"+9.5%"`).
+pub fn fmt_pct(factor: f64) -> String {
+    format!("{:+.1}%", (factor - 1.0) * 100.0)
+}
+
+/// Prints a header row and aligned data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}

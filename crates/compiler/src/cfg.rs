@@ -1,0 +1,254 @@
+//! Control-flow graph construction over `lf-isa` programs.
+
+use lf_isa::{Inst, Program};
+
+/// A basic block: the half-open instruction range `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// First instruction address.
+    pub start: usize,
+    /// One past the last instruction address.
+    pub end: usize,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+    /// Predecessor block indices.
+    pub preds: Vec<usize>,
+}
+
+impl Block {
+    /// Instruction addresses of this block.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+
+    /// Address of the block's terminator (last instruction).
+    pub fn terminator(&self) -> usize {
+        self.end - 1
+    }
+}
+
+/// A control-flow graph: blocks in address order, block 0 is the entry.
+///
+/// `Call` instructions are modeled as straight-line (fall-through edge to
+/// the return site); the callee is analyzed separately via the extra
+/// [`Cfg::roots`] and its register effects are summarized by the calling
+/// convention (see `dataflow`).
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<Block>,
+    block_of: Vec<usize>,
+    roots: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`.
+    ///
+    /// Indirect jumps (`JumpReg`) are treated as block terminators with no
+    /// static successors; loops containing them are conservatively skipped
+    /// by later passes (function returns are fine — the call site's
+    /// fall-through continues a different block).
+    pub fn build(program: &Program) -> Cfg {
+        let n = program.len();
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (pc, inst) in program.insts().iter().enumerate() {
+            match *inst {
+                Inst::Branch { target, .. } => {
+                    if target < n {
+                        leader[target] = true;
+                    }
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Inst::Jump { target } | Inst::Call { target, .. } => {
+                    if target < n {
+                        leader[target] = true;
+                    }
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Inst::JumpReg { .. } | Inst::Halt => {
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0;
+        for pc in 0..n {
+            if pc > 0 && leader[pc] {
+                blocks.push(Block { start, end: pc, succs: vec![], preds: vec![] });
+                start = pc;
+            }
+        }
+        if n > 0 {
+            blocks.push(Block { start, end: n, succs: vec![], preds: vec![] });
+        }
+        for (bi, b) in blocks.iter().enumerate() {
+            for pc in b.range() {
+                block_of[pc] = bi;
+            }
+        }
+        // Edges.
+        let find_block = |addr: usize| -> Option<usize> {
+            (addr < n).then(|| block_of[addr])
+        };
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (bi, b) in blocks.iter().enumerate() {
+            let term = b.terminator();
+            match program.insts()[term] {
+                Inst::Branch { target, .. } => {
+                    if let Some(t) = find_block(target) {
+                        edges.push((bi, t));
+                    }
+                    if let Some(f) = find_block(term + 1) {
+                        edges.push((bi, f));
+                    }
+                }
+                Inst::Jump { target } => {
+                    if let Some(t) = find_block(target) {
+                        edges.push((bi, t));
+                    }
+                }
+                Inst::Call { .. } => {
+                    // Straight-line model: control returns to the call's
+                    // fall-through; the callee is a separate root.
+                    if let Some(f) = find_block(term + 1) {
+                        edges.push((bi, f));
+                    }
+                }
+                Inst::JumpReg { .. } | Inst::Halt => {}
+                _ => {
+                    if let Some(f) = find_block(term + 1) {
+                        edges.push((bi, f));
+                    }
+                }
+            }
+        }
+        let mut roots = vec![0usize];
+        for b in &blocks {
+            if let Inst::Call { target, .. } = program.insts()[b.terminator()] {
+                if target < n {
+                    let r = block_of[target];
+                    if !roots.contains(&r) {
+                        roots.push(r);
+                    }
+                }
+            }
+        }
+        for (u, v) in edges {
+            if !blocks[u].succs.contains(&v) {
+                blocks[u].succs.push(v);
+            }
+            if !blocks[v].preds.contains(&u) {
+                blocks[v].preds.push(u);
+            }
+        }
+        Cfg { blocks, block_of, roots }
+    }
+
+    /// Analysis roots: the entry block plus every call-target block.
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// The blocks, in address order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the CFG has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block containing instruction address `pc`.
+    pub fn block_of(&self, pc: usize) -> usize {
+        self.block_of[pc]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_isa::{reg, AluOp, BranchCond, ProgramBuilder};
+
+    fn diamond() -> Program {
+        // 0: branch → 3; 1: alu; 2: jump 4; 3: alu; 4: halt
+        let mut b = ProgramBuilder::new();
+        let then_l = b.label("then");
+        let join = b.label("join");
+        b.branch(BranchCond::Eq, reg::x(1), reg::ZERO, then_l);
+        b.alui(AluOp::Add, reg::x(2), reg::x(2), 1);
+        b.jump(join);
+        b.bind(then_l);
+        b.alui(AluOp::Add, reg::x(2), reg::x(2), 2);
+        b.bind(join);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_has_four_blocks() {
+        let p = diamond();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.len(), 4);
+        assert_eq!(cfg.blocks()[0].succs.len(), 2);
+        assert_eq!(cfg.blocks()[3].preds.len(), 2);
+        assert_eq!(cfg.block_of(4), 3);
+    }
+
+    #[test]
+    fn loop_backedge_detected_as_edge() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        b.li(reg::x(1), 10);
+        b.bind(top);
+        b.alui(AluOp::Sub, reg::x(1), reg::x(1), 1);
+        b.branch(BranchCond::Ne, reg::x(1), reg::ZERO, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.len(), 3);
+        let loop_block = cfg.block_of(1);
+        assert!(cfg.blocks()[loop_block].succs.contains(&loop_block));
+    }
+
+    #[test]
+    fn halt_ends_a_block_without_successors() {
+        let p = diamond();
+        let cfg = Cfg::build(&p);
+        let last = cfg.len() - 1;
+        assert!(cfg.blocks()[last].succs.is_empty());
+    }
+
+    #[test]
+    fn call_is_straight_line_and_callee_is_a_root() {
+        let mut b = ProgramBuilder::new();
+        let f = b.label("f");
+        b.call(f, reg::RA);
+        b.halt();
+        b.bind(f);
+        b.jump_reg(reg::RA);
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let call_b = cfg.block_of(0);
+        let ret_b = cfg.block_of(1);
+        let f_b = cfg.block_of(2);
+        assert_eq!(cfg.blocks()[call_b].succs, vec![ret_b]);
+        assert!(cfg.blocks()[f_b].succs.is_empty());
+        assert_eq!(cfg.roots(), &[0, f_b]);
+    }
+}

@@ -1,0 +1,467 @@
+//! Hint placement (paper §5.3).
+//!
+//! For a selected loop, the pass annotates every exit edge with a `sync` and
+//! searches the placements of `detach` and `reattach` that maximize the
+//! (profile-weighted) body size, subject to the legality rule: *no register
+//! defined in the body may be live at the continuation* — the body and the
+//! continuation may only consume values produced by their iteration's
+//! header, so the boundaries must confine every register loop-carried
+//! dependence to the header + continuation sections.
+
+use crate::cfg::Cfg;
+use crate::dataflow::{df_defs, Liveness, RegSet};
+use crate::dom::Dominators;
+use crate::loops::Loop;
+use lf_isa::{HintKind, Inst, Profile, Program, RegionId};
+
+/// A legal hint placement for one loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Original address the `detach` is inserted before (header→body
+    /// boundary).
+    pub detach_at: usize,
+    /// Original address the `reattach` is inserted before (body→continuation
+    /// boundary). Also the region id: the successor epoch starts here.
+    pub reattach_at: usize,
+    /// Original block-start addresses receiving a `sync` (loop-exit
+    /// targets).
+    pub sync_at: Vec<usize>,
+    /// Expected dynamic body instructions per iteration (profile-weighted
+    /// when a profile is available, else static).
+    pub body_score: f64,
+}
+
+/// Why no placement was produced for a loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The loop contains an indirect jump; its CFG is unsound.
+    IndirectJump,
+    /// No spine block executes exactly once per iteration.
+    NoSpine,
+    /// Every candidate boundary pair violates the register-dataflow rule or
+    /// yields an empty body.
+    NoLegalBoundary,
+}
+
+/// Blocks of `l` that execute exactly once per iteration: they dominate
+/// every back-edge source and belong to no loop nested inside `l`.
+fn spine_blocks(l: &Loop, all_loops: &[Loop], dom: &Dominators) -> Vec<usize> {
+    let mut spine: Vec<usize> = l
+        .blocks
+        .iter()
+        .copied()
+        .filter(|&b| l.tails.iter().all(|&t| dom.dominates(b, t)))
+        .filter(|&b| {
+            !all_loops.iter().any(|inner| {
+                inner.header != l.header
+                    && l.blocks.contains(&inner.header)
+                    && inner.blocks.contains(&b)
+            })
+        })
+        .collect();
+    // Dominance order (B before B' iff B dominates B').
+    spine.sort_by(|&a, &b| {
+        if a == b {
+            std::cmp::Ordering::Equal
+        } else if dom.dominates(a, b) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    });
+    spine
+}
+
+/// Searches the legal placement with the largest body for `l`.
+///
+/// # Errors
+///
+/// Returns [`PlanError`] if the loop cannot be annotated.
+pub fn plan_loop(
+    program: &Program,
+    cfg: &Cfg,
+    dom: &Dominators,
+    live: &Liveness,
+    all_loops: &[Loop],
+    l: &Loop,
+    profile: Option<&Profile>,
+) -> Result<Placement, PlanError> {
+    for &b in &l.blocks {
+        if matches!(program.insts()[cfg.blocks()[b].terminator()], Inst::JumpReg { .. }) {
+            return Err(PlanError::IndirectJump);
+        }
+    }
+    let spine = spine_blocks(l, all_loops, dom);
+    if spine.is_empty() {
+        return Err(PlanError::NoSpine);
+    }
+    debug_assert_eq!(spine[0], l.header, "header is the first spine block");
+
+    // Iterations executed (for normalizing the profile-weighted score).
+    let iters = profile
+        .map(|p| p.exec_count[cfg.blocks()[l.header].start].max(1))
+        .unwrap_or(1) as f64;
+    let weight = |pc: usize| -> f64 {
+        profile.map(|p| p.exec_count[pc] as f64 / iters).unwrap_or(1.0)
+    };
+
+    // Candidate boundary positions: instruction addresses within spine
+    // blocks ("insert before" semantics). The terminator of a tail must
+    // stay in the continuation, which holds because `r <= terminator`.
+    let positions: Vec<(usize, usize)> = spine
+        .iter()
+        .enumerate()
+        .flat_map(|(si, &b)| cfg.blocks()[b].range().map(move |pc| (si, pc)))
+        .collect();
+
+    // Defs of full blocks strictly between the detach and reattach blocks:
+    // Bi dominates B, Bj does not dominate B.
+    let body_full_defs = |bi: usize, bj: usize| -> RegSet {
+        let mut s = RegSet::empty();
+        for &b in &l.blocks {
+            if b != bi && b != bj && dom.dominates(bi, b) && !dom.dominates(bj, b) {
+                s = s.union(live.def[b]);
+            }
+        }
+        s
+    };
+    let insts_defs = |range: std::ops::Range<usize>| -> RegSet {
+        range.fold(RegSet::empty(), |acc, pc| acc.union(df_defs(&program.insts()[pc])))
+    };
+    let insts_score = |range: std::ops::Range<usize>| -> f64 { range.map(weight).sum() };
+    let blocks_between_score = |bi: usize, bj: usize| -> f64 {
+        l.blocks
+            .iter()
+            .filter(|&&b| b != bi && b != bj && dom.dominates(bi, b) && !dom.dominates(bj, b))
+            .map(|&b| insts_score(cfg.blocks()[b].range()))
+            .sum()
+    };
+
+    let mut best: Option<Placement> = None;
+    for (i, &(si, d)) in positions.iter().enumerate() {
+        for &(sj, r) in positions.iter().skip(i + 1) {
+            let (bi, bj) = (spine[si], spine[sj]);
+            let (defs, score) = if si == sj {
+                (insts_defs(d..r), insts_score(d..r))
+            } else {
+                let defs = insts_defs(d..cfg.blocks()[bi].end)
+                    .union(insts_defs(cfg.blocks()[bj].start..r))
+                    .union(body_full_defs(bi, bj));
+                let score = insts_score(d..cfg.blocks()[bi].end)
+                    + insts_score(cfg.blocks()[bj].start..r)
+                    + blocks_between_score(bi, bj);
+                (defs, score)
+            };
+            if score <= 0.0 {
+                continue;
+            }
+            // Legality: body defs must be dead at the continuation.
+            let live_at_r = live.live_before(program, cfg, r);
+            if !defs.inter(live_at_r).is_empty() {
+                continue;
+            }
+            if best.as_ref().is_none_or(|b| score > b.body_score) {
+                let mut sync_at: Vec<usize> =
+                    l.exits.iter().map(|&(_, v)| cfg.blocks()[v].start).collect();
+                sync_at.sort_unstable();
+                sync_at.dedup();
+                best = Some(Placement { detach_at: d, reattach_at: r, sync_at, body_score: score });
+            }
+        }
+    }
+    best.ok_or(PlanError::NoLegalBoundary)
+}
+
+/// Queues one placement's hints into `rw` (original address space; the
+/// region id is the reattach address, where the successor epoch starts).
+pub fn queue_hints(rw: &mut crate::rewrite::Rewriter, p: &Placement) {
+    let region = RegionId(p.reattach_at);
+    rw.insert_before(p.detach_at, Inst::Hint { kind: HintKind::Detach, region });
+    rw.insert_before(p.reattach_at, Inst::Hint { kind: HintKind::Reattach, region });
+    for &s in &p.sync_at {
+        rw.insert_before(s, Inst::Hint { kind: HintKind::Sync, region });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Dominators;
+    use crate::loops::find_loops;
+    use lf_isa::{reg, AluOp, BranchCond, MemSize, ProgramBuilder};
+
+    fn analyze(p: &Program) -> (Cfg, Dominators, Liveness, Vec<Loop>) {
+        let cfg = Cfg::build(p);
+        let dom = Dominators::compute(&cfg);
+        let live = Liveness::compute(p, &cfg);
+        let loops = find_loops(&cfg, &dom);
+        (cfg, dom, live, loops)
+    }
+
+    /// for i { a[i] = a[i]*3; i += 8 } — the load/mul/store belong in the
+    /// body, the induction update and branch in the continuation.
+    fn array_loop() -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        b.li(reg::x(1), 0);
+        b.li(reg::x(2), 800);
+        b.bind(top);
+        b.load(reg::x(3), reg::x(1), 0x100, MemSize::B8); // 2
+        b.alui(AluOp::Mul, reg::x(3), reg::x(3), 3); // 3
+        b.store(reg::x(3), reg::x(1), 0x100, MemSize::B8); // 4
+        b.alui(AluOp::Add, reg::x(1), reg::x(1), 8); // 5
+        b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top); // 6
+        b.halt(); // 7
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn places_body_around_independent_work() {
+        let p = array_loop();
+        let (cfg, dom, live, loops) = analyze(&p);
+        let pl = plan_loop(&p, &cfg, &dom, &live, &loops, &loops[0], None).unwrap();
+        // Body must cover the load/mul/store (pcs 2..5) and stop before the
+        // induction update (pc 5), since x1 is live at the continuation.
+        assert_eq!(pl.detach_at, 2);
+        assert_eq!(pl.reattach_at, 5);
+        assert_eq!(pl.sync_at, vec![7]);
+        assert!((pl.body_score - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduction_loop_has_no_legal_boundary() {
+        // x4 accumulates from x3 every iteration: every candidate body's
+        // defs are consumed downstream, so no boundary is legal (the paper
+        // notes loops with complex register LCD chains get overly small or
+        // no bodies).
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        b.li(reg::x(1), 0);
+        b.li(reg::x(4), 0);
+        b.bind(top);
+        b.load(reg::x(3), reg::x(1), 0x100, MemSize::B8); // 2
+        b.alui(AluOp::Mul, reg::x(3), reg::x(3), 5); // 3
+        b.alu(AluOp::Add, reg::x(4), reg::x(4), reg::x(3)); // 4 (LCD def)
+        b.alui(AluOp::Add, reg::x(1), reg::x(1), 8); // 5
+        b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top); // 6
+        b.halt();
+        let p = b.build().unwrap();
+        let (cfg, dom, live, loops) = analyze(&p);
+        let r = plan_loop(&p, &cfg, &dom, &live, &loops, &loops[0], None);
+        assert_eq!(r.unwrap_err(), PlanError::NoLegalBoundary);
+    }
+
+    #[test]
+    fn multi_block_body_with_branch() {
+        // Body contains an if/else diamond; the placement must span it.
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        let odd = b.label("odd");
+        let join = b.label("join");
+        b.li(reg::x(1), 0);
+        b.li(reg::x(2), 512);
+        b.bind(top);
+        b.load(reg::x(3), reg::x(1), 0x100, MemSize::B8); // 2
+        b.alui(AluOp::And, reg::x(4), reg::x(3), 1); // 3
+        b.branch(BranchCond::Ne, reg::x(4), reg::ZERO, odd); // 4
+        b.alui(AluOp::Mul, reg::x(3), reg::x(3), 5); // 5
+        b.jump(join); // 6
+        b.bind(odd);
+        b.alui(AluOp::Add, reg::x(3), reg::x(3), 11); // 7
+        b.bind(join);
+        b.store(reg::x(3), reg::x(1), 0x100, MemSize::B8); // 8
+        b.alui(AluOp::Add, reg::x(1), reg::x(1), 8); // 9
+        b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top); // 10
+        b.halt();
+        let p = b.build().unwrap();
+        let (cfg, dom, live, loops) = analyze(&p);
+        let pl = plan_loop(&p, &cfg, &dom, &live, &loops, &loops[0], None).unwrap();
+        assert_eq!(pl.detach_at, 2);
+        assert_eq!(pl.reattach_at, 9, "body spans the diamond through the store");
+    }
+
+    #[test]
+    fn profile_weights_prefer_hot_side() {
+        let p = array_loop();
+        let (cfg, dom, live, loops) = analyze(&p);
+        // Fake profile: loop ran 100 iterations.
+        let mut prof = Profile { exec_count: vec![0; p.len()], taken_count: vec![0; p.len()] };
+        for pc in 2..=6 {
+            prof.exec_count[pc] = 100;
+        }
+        prof.exec_count[0] = 1;
+        prof.exec_count[1] = 1;
+        let pl = plan_loop(&p, &cfg, &dom, &live, &loops, &loops[0], Some(&prof)).unwrap();
+        assert!((pl.body_score - 3.0).abs() < 1e-9, "per-iteration score");
+    }
+
+    #[test]
+    fn indirect_jump_loop_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        b.li(reg::x(1), 4);
+        b.bind(top);
+        b.li(reg::x(9), 3);
+        b.jump_reg(reg::x(9)); // jumps back to pc 1... forms a weird loop
+        b.alui(AluOp::Sub, reg::x(1), reg::x(1), 1);
+        b.branch(BranchCond::Ne, reg::x(1), reg::ZERO, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let (cfg, dom, live, loops) = analyze(&p);
+        for l in &loops {
+            let r = plan_loop(&p, &cfg, &dom, &live, &loops, l, None);
+            assert!(r.is_err() || !l.blocks.iter().any(|&bb| {
+                matches!(p.insts()[cfg.blocks()[bb].terminator()], Inst::JumpReg { .. })
+            }));
+        }
+    }
+
+    #[test]
+    fn queue_hints_roundtrip_is_semantics_preserving() {
+        let p = array_loop();
+        let (cfg, dom, live, loops) = analyze(&p);
+        let pl = plan_loop(&p, &cfg, &dom, &live, &loops, &loops[0], None).unwrap();
+        let mut rw = crate::rewrite::Rewriter::new();
+        queue_hints(&mut rw, &pl);
+        let q = rw.apply(&p);
+        assert_eq!(q.len(), p.len() + 3);
+        let mut mem = lf_isa::Memory::new(0x1000);
+        for i in 0..64 {
+            mem.write_u64(0x100 + i * 8, i + 1).unwrap();
+        }
+        let mut e1 = lf_isa::Emulator::new(&p, mem.clone());
+        e1.run(100_000).unwrap();
+        let mut e2 = lf_isa::Emulator::new(&q, mem);
+        e2.run(100_000).unwrap();
+        assert_eq!(e1.state_checksum(), e2.state_checksum());
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::dom::Dominators;
+    use crate::loops::find_loops;
+    use lf_isa::{reg, AluOp, BranchCond, MemSize, Program, ProgramBuilder};
+
+    fn analyze(p: &Program) -> (Cfg, Dominators, Liveness, Vec<Loop>) {
+        let cfg = Cfg::build(p);
+        let dom = Dominators::compute(&cfg);
+        let live = Liveness::compute(p, &cfg);
+        let loops = find_loops(&cfg, &dom);
+        (cfg, dom, live, loops)
+    }
+
+    /// A loop with a `continue`-style second backedge: two tails, and the
+    /// spine must only contain blocks dominating both.
+    #[test]
+    fn continue_style_loop_with_two_backedges() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        let work = b.label("work");
+        b.li(reg::x(1), 0);
+        b.li(reg::x(2), 512);
+        b.bind(top);
+        b.load(reg::x(3), reg::x(1), 0x1000, MemSize::B8); // 2
+        b.alui(AluOp::Add, reg::x(1), reg::x(1), 8); // 3
+        // continue when the element is odd (backedge #1)...
+        b.alui(AluOp::And, reg::x(4), reg::x(3), 1); // 4
+        b.branch(BranchCond::Eq, reg::x(4), reg::ZERO, work); // 5
+        b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top); // 6 (backedge)
+        b.halt(); // 7
+        b.bind(work);
+        b.alui(AluOp::Mul, reg::x(3), reg::x(3), 5); // 8
+        b.store(reg::x(3), reg::x(1), 0x1ff8, MemSize::B8); // 9
+        b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top); // 10 (backedge)
+        b.halt(); // 11
+        let p = b.build().unwrap();
+        let (cfg, dom, live, loops) = analyze(&p);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].tails.len(), 2, "two backedges");
+        // Planning must either find a legal boundary inside the shared
+        // prefix or reject; it must not place hints in a tail-only block.
+        if let Ok(pl) = plan_loop(&p, &cfg, &dom, &live, &loops, &loops[0], None) {
+            let d_block = cfg.block_of(pl.detach_at);
+            let r_block = cfg.block_of(pl.reattach_at);
+            for &t in &loops[0].tails {
+                assert!(dom.dominates(d_block, t), "detach block must dominate every tail");
+                assert!(dom.dominates(r_block, t), "reattach block must dominate every tail");
+            }
+        }
+    }
+
+    /// Calls clobber the caller-saved set, so a body containing a call
+    /// can't produce values consumed by the continuation through those
+    /// registers; the placement must still be legal.
+    #[test]
+    fn call_in_loop_constrains_placement() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        let func = b.label("func");
+        let start = b.label("start");
+        b.jump(start);
+        b.bind(func);
+        b.alui(AluOp::Mul, reg::x(10), reg::x(10), 3);
+        b.jump_reg(reg::RA);
+        b.bind(start);
+        b.li(reg::x(20), 0);
+        b.li(reg::x(21), 256);
+        b.bind(top);
+        b.load(reg::x(10), reg::x(20), 0x1000, MemSize::B8);
+        b.call(func, reg::RA);
+        b.store(reg::x(10), reg::x(20), 0x1000, MemSize::B8);
+        b.alui(AluOp::Add, reg::x(20), reg::x(20), 8);
+        b.branch(BranchCond::Lt, reg::x(20), reg::x(21), top);
+        b.halt();
+        let p = b.build().unwrap();
+        let (cfg, dom, live, loops) = analyze(&p);
+        let l = loops.iter().find(|l| l.blocks.len() >= 1 && {
+            let h = cfg.blocks()[l.header].start;
+            h > 3 // the counted loop, not anything in the callee
+        }).unwrap();
+        if let Ok(pl) = plan_loop(&p, &cfg, &dom, &live, &loops, l, None) {
+            // The induction register x20 must stay outside the body.
+            let body: Vec<usize> = (pl.detach_at..pl.reattach_at).collect();
+            for pc in body {
+                if let Some(d) = p.insts()[pc].def() {
+                    assert_ne!(d.index(), 20, "IV def leaked into the body at pc {pc}");
+                }
+            }
+        }
+    }
+
+    /// Selecting and annotating two independent loops in one program must
+    /// produce distinct region ids.
+    #[test]
+    fn two_loops_get_distinct_regions() {
+        let mut b = ProgramBuilder::new();
+        let t1 = b.label("t1");
+        let t2 = b.label("t2");
+        b.li(reg::x(1), 0);
+        b.li(reg::x(2), 400);
+        b.bind(t1);
+        b.load(reg::x(3), reg::x(1), 0x1000, MemSize::B8);
+        b.alui(AluOp::Mul, reg::x(3), reg::x(3), 3);
+        b.store(reg::x(3), reg::x(1), 0x1000, MemSize::B8);
+        b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+        b.branch(BranchCond::Lt, reg::x(1), reg::x(2), t1);
+        b.li(reg::x(1), 0);
+        b.bind(t2);
+        b.load(reg::x(3), reg::x(1), 0x1000, MemSize::B8);
+        b.alui(AluOp::Add, reg::x(3), reg::x(3), 9);
+        b.store(reg::x(3), reg::x(1), 0x2000, MemSize::B8);
+        b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+        b.branch(BranchCond::Lt, reg::x(1), reg::x(2), t2);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut emu = lf_isa::Emulator::new(&p, lf_isa::Memory::new(0x4000));
+        emu.run(10_000_000).unwrap();
+        let ann = crate::select::annotate(
+            &p,
+            emu.profile(),
+            &crate::select::SelectOptions { min_coverage: 0.0, ..Default::default() },
+        );
+        let regions = ann.program.regions();
+        assert_eq!(regions.len(), 2, "both loops annotated with distinct regions");
+    }
+}

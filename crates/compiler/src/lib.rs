@@ -1,0 +1,55 @@
+//! # lf-compiler — hint insertion for LoopFrog
+//!
+//! The compiler side of *LoopFrog: In-Core Hint-Based Loop Parallelization*
+//! (paper §5): control-flow analysis over `lf-isa` programs, register
+//! loop-carried-dependence detection, profile-guided loop selection, and
+//! automatic placement of the `detach`/`reattach`/`sync` hints.
+//!
+//! The entry point is [`annotate`]: given a program and an execution profile
+//! (from [`lf_isa::Emulator`]), it returns a sequentially equivalent program
+//! whose selected loops carry hints, plus per-loop selection reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use lf_compiler::{annotate, SelectOptions};
+//! use lf_isa::{reg, AluOp, BranchCond, Emulator, Memory, MemSize, ProgramBuilder};
+//!
+//! // for i in 0..256 { a[i] *= 3 }
+//! let mut b = ProgramBuilder::new();
+//! let top = b.label("top");
+//! b.li(reg::x(1), 0);
+//! b.li(reg::x(2), 256 * 8);
+//! b.bind(top);
+//! b.load(reg::x(3), reg::x(1), 0x1000, MemSize::B8);
+//! b.alui(AluOp::Mul, reg::x(3), reg::x(3), 3);
+//! b.store(reg::x(3), reg::x(1), 0x1000, MemSize::B8);
+//! b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+//! b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! let mut emu = Emulator::new(&program, Memory::new(0x2000));
+//! emu.run(10_000_000)?;
+//! let annotated = annotate(&program, emu.profile(), &SelectOptions::default());
+//! assert!(annotated.reports[0].placement.is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod dataflow;
+pub mod dom;
+pub mod hints;
+pub mod loops;
+pub mod rewrite;
+pub mod select;
+
+pub use cfg::Cfg;
+pub use dataflow::{loop_lcds, Liveness, RegSet};
+pub use dom::Dominators;
+pub use hints::{plan_loop, Placement, PlanError};
+pub use loops::{find_loops, Loop};
+pub use rewrite::Rewriter;
+pub use select::{annotate, Annotated, LoopReport, SelectOptions};

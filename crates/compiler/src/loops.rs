@@ -1,0 +1,150 @@
+//! Natural-loop detection.
+
+use crate::cfg::Cfg;
+use crate::dom::Dominators;
+use std::collections::BTreeSet;
+
+/// A natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// Header block index.
+    pub header: usize,
+    /// Back-edge source blocks (tails).
+    pub tails: Vec<usize>,
+    /// All member blocks (including the header), sorted.
+    pub blocks: BTreeSet<usize>,
+    /// Exit edges `(from_block_in_loop, to_block_outside)`.
+    pub exits: Vec<(usize, usize)>,
+    /// Nesting depth (0 = outermost).
+    pub depth: usize,
+}
+
+impl Loop {
+    /// Whether `block` belongs to this loop.
+    pub fn contains(&self, block: usize) -> bool {
+        self.blocks.contains(&block)
+    }
+}
+
+/// Finds all natural loops of `cfg`, merging loops that share a header.
+/// Loops are returned sorted by header address, with nesting depths filled
+/// in (a loop nested inside another has a larger depth).
+pub fn find_loops(cfg: &Cfg, dom: &Dominators) -> Vec<Loop> {
+    let mut loops: Vec<Loop> = Vec::new();
+    for (b, blk) in cfg.blocks().iter().enumerate() {
+        for &s in &blk.succs {
+            if dom.dominates(s, b) {
+                // Back edge b → s; collect the natural loop of (b, s).
+                let mut body = BTreeSet::new();
+                body.insert(s);
+                let mut stack = vec![b];
+                while let Some(x) = stack.pop() {
+                    if body.insert(x) {
+                        for &p in &cfg.blocks()[x].preds {
+                            stack.push(p);
+                        }
+                    }
+                }
+                if let Some(l) = loops.iter_mut().find(|l| l.header == s) {
+                    l.tails.push(b);
+                    l.blocks.extend(body);
+                } else {
+                    loops.push(Loop { header: s, tails: vec![b], blocks: body, exits: vec![], depth: 0 });
+                }
+            }
+        }
+    }
+    for l in loops.iter_mut() {
+        let mut exits = Vec::new();
+        for &m in &l.blocks {
+            for &s in &cfg.blocks()[m].succs {
+                if !l.blocks.contains(&s) {
+                    exits.push((m, s));
+                }
+            }
+        }
+        l.exits = exits;
+    }
+    // Nesting depth: count enclosing loops.
+    let snapshot: Vec<(usize, BTreeSet<usize>)> =
+        loops.iter().map(|l| (l.header, l.blocks.clone())).collect();
+    for l in loops.iter_mut() {
+        l.depth = snapshot
+            .iter()
+            .filter(|(h, blocks)| *h != l.header && blocks.contains(&l.header))
+            .count();
+    }
+    loops.sort_by_key(|l| l.header);
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_isa::{reg, AluOp, BranchCond, ProgramBuilder};
+
+    #[test]
+    fn simple_counted_loop() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        b.li(reg::x(1), 10);
+        b.bind(top);
+        b.alui(AluOp::Sub, reg::x(1), reg::x(1), 1);
+        b.branch(BranchCond::Ne, reg::x(1), reg::ZERO, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let dom = Dominators::compute(&cfg);
+        let loops = find_loops(&cfg, &dom);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.blocks.len(), 1);
+        assert_eq!(l.exits.len(), 1);
+        assert_eq!(l.depth, 0);
+    }
+
+    #[test]
+    fn nested_loops_have_depths() {
+        let mut b = ProgramBuilder::new();
+        let outer = b.label("outer");
+        let inner = b.label("inner");
+        b.li(reg::x(1), 4);
+        b.bind(outer);
+        b.li(reg::x(2), 4);
+        b.bind(inner);
+        b.alui(AluOp::Sub, reg::x(2), reg::x(2), 1);
+        b.branch(BranchCond::Ne, reg::x(2), reg::ZERO, inner);
+        b.alui(AluOp::Sub, reg::x(1), reg::x(1), 1);
+        b.branch(BranchCond::Ne, reg::x(1), reg::ZERO, outer);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let dom = Dominators::compute(&cfg);
+        let loops = find_loops(&cfg, &dom);
+        assert_eq!(loops.len(), 2);
+        let outer_l = loops.iter().find(|l| l.depth == 0).unwrap();
+        let inner_l = loops.iter().find(|l| l.depth == 1).unwrap();
+        assert!(outer_l.blocks.len() > inner_l.blocks.len());
+        assert!(outer_l.blocks.is_superset(&inner_l.blocks));
+    }
+
+    #[test]
+    fn loop_with_break_has_two_exits() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        let out = b.label("out");
+        b.li(reg::x(1), 10);
+        b.bind(top);
+        b.alui(AluOp::Sub, reg::x(1), reg::x(1), 1);
+        b.branch(BranchCond::Eq, reg::x(1), reg::x(2), out); // break
+        b.branch(BranchCond::Ne, reg::x(1), reg::ZERO, top);
+        b.bind(out);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let dom = Dominators::compute(&cfg);
+        let loops = find_loops(&cfg, &dom);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].exits.len(), 2);
+    }
+}

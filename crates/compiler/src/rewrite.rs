@@ -1,0 +1,156 @@
+//! Program rewriting with address relocation.
+//!
+//! Hint insertion shifts instruction addresses, so every branch/jump/call
+//! target and hint region id must be remapped. The [`Rewriter`] collects
+//! "insert before address X" requests expressed in the *original* address
+//! space (including the targets and regions of the inserted instructions
+//! themselves) and produces a relocated program in one pass.
+//!
+//! Relocation rule: a control transfer to original address `X` lands on the
+//! first instruction inserted before `X`, so inserted hints are executed on
+//! every path that reached `X`.
+
+use lf_isa::{Inst, Program};
+use std::collections::BTreeMap;
+
+/// Collects insertions and performs relocation.
+#[derive(Debug, Default)]
+pub struct Rewriter {
+    inserts: BTreeMap<usize, Vec<Inst>>,
+}
+
+impl Rewriter {
+    /// Creates an empty rewriter.
+    pub fn new() -> Rewriter {
+        Rewriter::default()
+    }
+
+    /// Queues `inst` (with targets/regions in original address space) for
+    /// insertion immediately before original address `at`.
+    pub fn insert_before(&mut self, at: usize, inst: Inst) {
+        self.inserts.entry(at).or_default().push(inst);
+    }
+
+    /// Number of queued insertions.
+    pub fn pending(&self) -> usize {
+        self.inserts.values().map(Vec::len).sum()
+    }
+
+    /// The relocated address of original address `orig` (where a branch to
+    /// `orig` lands: the first instruction inserted before it, if any).
+    pub fn map_addr(&self, orig: usize) -> usize {
+        let shift: usize =
+            self.inserts.range(..orig).map(|(_, v)| v.len()).sum();
+        orig + shift
+    }
+
+    /// Applies all insertions to `program`, remapping every target and
+    /// region id (of both original and inserted instructions).
+    pub fn apply(&self, program: &Program) -> Program {
+        let remap = |inst: Inst| -> Inst {
+            match inst {
+                Inst::Branch { cond, a, b, target } => {
+                    Inst::Branch { cond, a, b, target: self.map_addr(target) }
+                }
+                Inst::Jump { target } => Inst::Jump { target: self.map_addr(target) },
+                Inst::Call { target, link } => {
+                    Inst::Call { target: self.map_addr(target), link }
+                }
+                Inst::Hint { kind, region } => Inst::Hint {
+                    kind,
+                    region: lf_isa::RegionId(self.map_addr(region.0)),
+                },
+                other => other,
+            }
+        };
+        let mut out = Vec::with_capacity(program.len() + self.pending());
+        let mut labels = BTreeMap::new();
+        for (pc, inst) in program.insts().iter().enumerate() {
+            if let Some(ins) = self.inserts.get(&pc) {
+                for i in ins {
+                    out.push(remap(*i));
+                }
+            }
+            if let Some(l) = program.label_at(pc) {
+                labels.insert(out.len(), l.to_string());
+            }
+            out.push(remap(*inst));
+        }
+        // Insertions at or past the end append.
+        for (at, ins) in self.inserts.range(program.len()..) {
+            let _ = at;
+            for i in ins {
+                out.push(remap(*i));
+            }
+        }
+        Program::with_labels(out, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_isa::{reg, AluOp, BranchCond, Emulator, HintKind, Memory, ProgramBuilder, RegionId};
+
+    fn counted_loop() -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        b.li(reg::x(1), 5);
+        b.bind(top);
+        b.alui(AluOp::Sub, reg::x(1), reg::x(1), 1);
+        b.branch(BranchCond::Ne, reg::x(1), reg::ZERO, top);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn map_addr_accounts_for_prior_inserts() {
+        let mut rw = Rewriter::new();
+        rw.insert_before(1, Inst::Nop);
+        rw.insert_before(1, Inst::Nop);
+        rw.insert_before(3, Inst::Nop);
+        assert_eq!(rw.map_addr(0), 0);
+        assert_eq!(rw.map_addr(1), 1, "lands on first inserted inst");
+        assert_eq!(rw.map_addr(2), 4);
+        assert_eq!(rw.map_addr(3), 5);
+    }
+
+    #[test]
+    fn branch_targets_are_relocated_and_semantics_preserved() {
+        let p = counted_loop();
+        let mut rw = Rewriter::new();
+        // Insert a hint at the loop top: the back edge must land on it.
+        rw.insert_before(1, Inst::Hint { kind: HintKind::Detach, region: RegionId(1) });
+        let q = rw.apply(&p);
+        assert_eq!(q.len(), p.len() + 1);
+        match q.insts()[3] {
+            Inst::Branch { target, .. } => assert_eq!(target, 1),
+            other => panic!("expected branch, got {other}"),
+        }
+        // Hint region relocated identically.
+        assert_eq!(q.insts()[1].hint(), Some((HintKind::Detach, RegionId(1))));
+
+        // Functionally identical to the original.
+        let mut e1 = Emulator::new(&p, Memory::new(16));
+        e1.run(1000).unwrap();
+        let mut e2 = Emulator::new(&q, Memory::new(16));
+        e2.run(1000).unwrap();
+        assert_eq!(e1.state_checksum(), e2.state_checksum());
+    }
+
+    #[test]
+    fn labels_follow_their_instructions() {
+        let p = counted_loop();
+        let mut rw = Rewriter::new();
+        rw.insert_before(1, Inst::Nop);
+        let q = rw.apply(&p);
+        assert_eq!(q.label_at(2), Some("top"));
+    }
+
+    #[test]
+    fn no_inserts_is_identity() {
+        let p = counted_loop();
+        let q = Rewriter::new().apply(&p);
+        assert_eq!(p.insts(), q.insts());
+    }
+}

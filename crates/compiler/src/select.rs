@@ -1,0 +1,242 @@
+//! Profile-guided loop selection (paper §5.1).
+//!
+//! The paper's prototype uses profiling information to pick the most
+//! profitable loops ("simulating perfect static loop selection"). This pass
+//! scores every natural loop by dynamic coverage, trip count, and achievable
+//! body size, and annotates the best candidates.
+
+use crate::cfg::Cfg;
+use crate::dataflow::Liveness;
+use crate::dom::Dominators;
+use crate::hints::{plan_loop, queue_hints, Placement, PlanError};
+use crate::loops::{find_loops, Loop};
+use crate::rewrite::Rewriter;
+use lf_isa::{Inst, Profile, Program};
+
+/// Selection thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectOptions {
+    /// Maximum number of loops to annotate.
+    pub max_loops: usize,
+    /// Minimum mean trip count (iterations per loop entry).
+    pub min_trip: f64,
+    /// Minimum expected dynamic body instructions per iteration.
+    pub min_body_score: f64,
+    /// Minimum fraction of total dynamic instructions spent in the loop.
+    pub min_coverage: f64,
+}
+
+impl Default for SelectOptions {
+    fn default() -> SelectOptions {
+        SelectOptions { max_loops: 8, min_trip: 4.0, min_body_score: 2.0, min_coverage: 0.01 }
+    }
+}
+
+/// Per-loop outcome of selection.
+#[derive(Debug, Clone)]
+pub struct LoopReport {
+    /// Header block start address (original program).
+    pub header_addr: usize,
+    /// Fraction of dynamic instructions inside the loop.
+    pub coverage: f64,
+    /// Mean iterations per loop entry.
+    pub trip: f64,
+    /// The chosen placement, when selected.
+    pub placement: Option<Placement>,
+    /// Why the loop was rejected, when it was.
+    pub rejected: Option<String>,
+}
+
+/// Result of [`annotate`]: the hinted program plus per-loop reports.
+#[derive(Debug, Clone)]
+pub struct Annotated {
+    /// The rewritten, hint-carrying program.
+    pub program: Program,
+    /// One report per natural loop, sorted by descending coverage.
+    pub reports: Vec<LoopReport>,
+}
+
+fn loop_metrics(program: &Program, cfg: &Cfg, l: &Loop, profile: &Profile) -> (f64, f64) {
+    let total: u64 = profile.exec_count.iter().sum();
+    let mut dyn_insts = 0u64;
+    for &b in &l.blocks {
+        for pc in cfg.blocks()[b].range() {
+            dyn_insts += profile.exec_count[pc];
+        }
+    }
+    let header_execs = profile.exec_count[cfg.blocks()[l.header].start];
+    let mut backedge_takens = 0u64;
+    for &t in &l.tails {
+        let term = cfg.blocks()[t].terminator();
+        match program.insts()[term] {
+            Inst::Branch { target, .. } if cfg.block_of(target.min(program.len() - 1)) == l.header => {
+                backedge_takens += profile.taken_count[term];
+            }
+            Inst::Jump { target } if cfg.block_of(target.min(program.len() - 1)) == l.header => {
+                backedge_takens += profile.exec_count[term];
+            }
+            _ => {}
+        }
+    }
+    let entries = header_execs.saturating_sub(backedge_takens).max(1);
+    let coverage = if total == 0 { 0.0 } else { dyn_insts as f64 / total as f64 };
+    let trip = header_execs as f64 / entries as f64;
+    (coverage, trip)
+}
+
+/// Runs the full pipeline: CFG → loops → profile-guided selection → hint
+/// insertion. Returns the annotated program and per-loop reports.
+///
+/// The returned program is sequentially equivalent to the input (hints are
+/// NOPs); the `loopfrog` core exploits them.
+pub fn annotate(program: &Program, profile: &Profile, opts: &SelectOptions) -> Annotated {
+    let cfg = Cfg::build(program);
+    let dom = Dominators::compute(&cfg);
+    let live = Liveness::compute(program, &cfg);
+    let loops = find_loops(&cfg, &dom);
+
+    let mut scored: Vec<(usize, f64, f64)> = loops
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let (cov, trip) = loop_metrics(program, &cfg, l, profile);
+            (i, cov, trip)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+    let mut rw = Rewriter::new();
+    let mut reports = Vec::new();
+    let mut selected = 0usize;
+    for (i, coverage, trip) in scored {
+        let l = &loops[i];
+        let header_addr = cfg.blocks()[l.header].start;
+        let mut report =
+            LoopReport { header_addr, coverage, trip, placement: None, rejected: None };
+        if selected >= opts.max_loops {
+            report.rejected = Some("selection budget exhausted".into());
+        } else if coverage < opts.min_coverage {
+            report.rejected = Some(format!("coverage {coverage:.4} below threshold"));
+        } else if trip < opts.min_trip {
+            report.rejected = Some(format!("mean trip count {trip:.1} too low"));
+        } else {
+            match plan_loop(program, &cfg, &dom, &live, &loops, l, Some(profile)) {
+                Err(PlanError::IndirectJump) => {
+                    report.rejected = Some("contains indirect jump".into())
+                }
+                Err(PlanError::NoSpine) => report.rejected = Some("no once-per-iteration spine".into()),
+                Err(PlanError::NoLegalBoundary) => {
+                    report.rejected = Some("no legal detach/reattach boundary".into())
+                }
+                Ok(p) if p.body_score < opts.min_body_score => {
+                    report.rejected =
+                        Some(format!("body too small ({:.1} insts/iter)", p.body_score));
+                }
+                Ok(p) => {
+                    queue_hints(&mut rw, &p);
+                    report.placement = Some(p);
+                    selected += 1;
+                }
+            }
+        }
+        reports.push(report);
+    }
+    Annotated { program: rw.apply(program), reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_isa::{reg, AluOp, BranchCond, Emulator, Memory, MemSize, ProgramBuilder};
+
+    fn profiled(p: &Program, mem: Memory) -> Profile {
+        let mut emu = Emulator::new(p, mem);
+        emu.run(10_000_000).unwrap();
+        assert!(emu.is_halted());
+        emu.profile().clone()
+    }
+
+    fn hot_array_loop() -> (Program, Memory) {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        b.li(reg::x(1), 0);
+        b.li(reg::x(2), 256 * 8);
+        b.bind(top);
+        b.load(reg::x(3), reg::x(1), 0x1000, MemSize::B8);
+        b.alui(AluOp::Mul, reg::x(3), reg::x(3), 3);
+        b.store(reg::x(3), reg::x(1), 0x1000, MemSize::B8);
+        b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+        b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+        b.halt();
+        (b.build().unwrap(), Memory::new(0x2000))
+    }
+
+    #[test]
+    fn hot_loop_is_selected_and_program_equivalent() {
+        let (p, mem) = hot_array_loop();
+        let prof = profiled(&p, mem.clone());
+        let ann = annotate(&p, &prof, &SelectOptions::default());
+        assert_eq!(ann.reports.len(), 1);
+        assert!(ann.reports[0].placement.is_some(), "{:?}", ann.reports[0]);
+        assert!(ann.program.len() > p.len());
+        // The annotated program computes the same result.
+        let mut e1 = Emulator::new(&p, mem.clone());
+        e1.run(10_000_000).unwrap();
+        let mut e2 = Emulator::new(&ann.program, mem);
+        e2.run(10_000_000).unwrap();
+        assert_eq!(e1.state_checksum(), e2.state_checksum());
+    }
+
+    #[test]
+    fn cold_loop_is_rejected_by_coverage() {
+        // A loop that runs twice amid a big hot loop elsewhere.
+        let mut b = ProgramBuilder::new();
+        let cold = b.label("cold");
+        let hot = b.label("hot");
+        b.li(reg::x(1), 2);
+        b.bind(cold);
+        b.alui(AluOp::Sub, reg::x(1), reg::x(1), 1);
+        b.branch(BranchCond::Ne, reg::x(1), reg::ZERO, cold);
+        b.li(reg::x(1), 0);
+        b.li(reg::x(2), 4000);
+        b.bind(hot);
+        b.load(reg::x(3), reg::x(1), 0x100, MemSize::B8);
+        b.alui(AluOp::Mul, reg::x(3), reg::x(3), 3);
+        b.store(reg::x(3), reg::x(1), 0x100, MemSize::B8);
+        b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+        b.branch(BranchCond::Lt, reg::x(1), reg::x(2), hot);
+        b.halt();
+        let p = b.build().unwrap();
+        let prof = profiled(&p, Memory::new(0x4000));
+        let ann = annotate(&p, &prof, &SelectOptions::default());
+        let cold_report = ann.reports.iter().find(|r| r.header_addr == 1).unwrap();
+        assert!(cold_report.rejected.is_some());
+        let hot_report = ann.reports.iter().find(|r| r.header_addr != 1).unwrap();
+        assert!(hot_report.placement.is_some());
+    }
+
+    #[test]
+    fn low_trip_loop_is_rejected() {
+        let mut b = ProgramBuilder::new();
+        let outer = b.label("outer");
+        let inner = b.label("inner");
+        b.li(reg::x(5), 500);
+        b.bind(outer);
+        // Inner loop runs twice per outer iteration.
+        b.li(reg::x(1), 2);
+        b.bind(inner);
+        b.load(reg::x(3), reg::x(1), 0x100, MemSize::B8);
+        b.alui(AluOp::Add, reg::x(3), reg::x(3), 1);
+        b.store(reg::x(3), reg::x(1), 0x100, MemSize::B8);
+        b.alui(AluOp::Sub, reg::x(1), reg::x(1), 1);
+        b.branch(BranchCond::Ne, reg::x(1), reg::ZERO, inner);
+        b.alui(AluOp::Sub, reg::x(5), reg::x(5), 1);
+        b.branch(BranchCond::Ne, reg::x(5), reg::ZERO, outer);
+        b.halt();
+        let p = b.build().unwrap();
+        let prof = profiled(&p, Memory::new(0x1000));
+        let ann = annotate(&p, &prof, &SelectOptions::default());
+        let inner_report = ann.reports.iter().find(|r| r.trip < 3.0).unwrap();
+        assert!(inner_report.rejected.as_deref().unwrap().contains("trip"));
+    }
+}

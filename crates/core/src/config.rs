@@ -1,0 +1,168 @@
+//! LoopFrog configuration: the core and memory parameters from `lf-uarch`
+//! plus the SSB, conflict-detector, and iteration-packing knobs of Table 1.
+
+use crate::deselect::DeselectConfig;
+use lf_uarch::{CoreConfig, MemConfig};
+
+/// Speculative state buffer and conflict detector parameters (Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsbConfig {
+    /// Total granule-cache capacity in bytes across all slices (8 KiB).
+    pub size_bytes: usize,
+    /// SSB cache line size in bytes (32 B).
+    pub line: usize,
+    /// Conflict-tracking granule size in bytes (4 B). Must divide `line`.
+    pub granule: usize,
+    /// Set associativity of each slice; `None` models a fully associative
+    /// slice (the paper's headline config: "associativity not modelled").
+    pub assoc: Option<usize>,
+    /// Shared victim-buffer entries easing low associativity (§6.6).
+    pub victim_entries: usize,
+    /// Speculative read latency in cycles, including the parallel L1D
+    /// lookup (3 cycles).
+    pub read_latency: u64,
+    /// Speculative write (drain into slice) latency in cycles (1 cycle).
+    pub write_latency: u64,
+    /// Conflict-checking latency charged before a threadlet commits
+    /// (4 cycles).
+    pub conflict_check_latency: u64,
+    /// Conflict-set implementation: `None` models the paper's idealized
+    /// Bloom filters (exact sets, no false positives; Table 1);
+    /// `Some((bits, hashes))` uses real Bloom filters of that geometry.
+    pub bloom: Option<(usize, u32)>,
+    /// Lines flushed to the memory system per cycle after commit, using
+    /// spare bandwidth.
+    pub flush_lines_per_cycle: usize,
+}
+
+impl Default for SsbConfig {
+    fn default() -> SsbConfig {
+        SsbConfig {
+            size_bytes: 8 << 10,
+            line: 32,
+            granule: 4,
+            assoc: None,
+            victim_entries: 0,
+            read_latency: 3,
+            write_latency: 1,
+            conflict_check_latency: 4,
+            bloom: None,
+            flush_lines_per_cycle: 1,
+        }
+    }
+}
+
+impl SsbConfig {
+    /// Granules per SSB line.
+    pub fn granules_per_line(&self) -> usize {
+        self.line / self.granule
+    }
+
+    /// Lines per slice given `threadlets` contexts.
+    pub fn lines_per_slice(&self, threadlets: usize) -> usize {
+        (self.size_bytes / self.line / threadlets).max(1)
+    }
+}
+
+/// Iteration packing parameters (paper §4.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackingConfig {
+    /// Master enable; the §6.5 ablation turns this off.
+    pub enabled: bool,
+    /// EMA smoothing factor α for the epoch-size predictor.
+    pub alpha: f64,
+    /// Target epoch size in instructions: the smallest packing factor `P`
+    /// with `P × S` above this is chosen.
+    pub target_epoch_size: u64,
+    /// Maximum allowed packing factor.
+    pub max_factor: u32,
+    /// Strided value-predictor confidence (0..=7) required to pack.
+    pub confidence_threshold: u8,
+}
+
+impl Default for PackingConfig {
+    fn default() -> PackingConfig {
+        PackingConfig {
+            enabled: true,
+            alpha: 0.7,
+            target_epoch_size: 16,
+            max_factor: 25,
+            confidence_threshold: 4,
+        }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopFrogConfig {
+    /// Pipeline parameters.
+    pub core: CoreConfig,
+    /// Memory system parameters.
+    pub mem: MemConfig,
+    /// SSB and conflict detector parameters.
+    pub ssb: SsbConfig,
+    /// Iteration packing parameters.
+    pub packing: PackingConfig,
+    /// Dynamic run-time loop deselection (paper §5.1; off by default, as
+    /// the paper's prototype uses static selection).
+    pub deselect: DeselectConfig,
+    /// Master speculation switch: `false` reproduces the paper's baseline
+    /// run in which hints are ignored (treated as NOPs).
+    pub speculation: bool,
+    /// Cycles between a detach spawning a threadlet and the child's first
+    /// fetch (front-end spawn overhead).
+    pub spawn_latency: u64,
+    /// Hard limit on simulated instructions (safety fuel).
+    pub max_insts: u64,
+    /// Hard limit on simulated cycles (safety fuel).
+    pub max_cycles: u64,
+}
+
+impl Default for LoopFrogConfig {
+    /// The paper's headline 4-threadlet LoopFrog configuration.
+    fn default() -> LoopFrogConfig {
+        LoopFrogConfig {
+            core: CoreConfig::default(),
+            mem: MemConfig::default(),
+            ssb: SsbConfig::default(),
+            packing: PackingConfig::default(),
+            deselect: DeselectConfig::default(),
+            speculation: true,
+            spawn_latency: 4,
+            max_insts: u64::MAX,
+            max_cycles: u64::MAX,
+        }
+    }
+}
+
+impl LoopFrogConfig {
+    /// The baseline configuration: same core, hints treated as NOPs, one
+    /// threadlet (paper §6.1: "In the baseline run, hints are ignored").
+    pub fn baseline() -> LoopFrogConfig {
+        LoopFrogConfig {
+            core: CoreConfig::baseline(),
+            speculation: false,
+            ..LoopFrogConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ssb_matches_table_1() {
+        let s = SsbConfig::default();
+        assert_eq!(s.size_bytes, 8192);
+        assert_eq!(s.granules_per_line(), 8);
+        assert_eq!(s.lines_per_slice(4), 64);
+    }
+
+    #[test]
+    fn baseline_disables_speculation() {
+        let c = LoopFrogConfig::baseline();
+        assert!(!c.speculation);
+        assert_eq!(c.core.threadlets, 1);
+    }
+}

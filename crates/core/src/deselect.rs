@@ -1,0 +1,283 @@
+//! Dynamic loop deselection (paper §5.1).
+//!
+//! "Dynamic selection avoids unprofitable parallelization by ignoring hints
+//! and treating them as NOPs. … unprofitable loops must be excluded by
+//! either static or dynamic deselection, as they may lead to slowdown.
+//! … [a solution] may be based on performance counters."
+//!
+//! This monitor watches each region's epochs at run time and suppresses a
+//! region's hints once its observed behaviour predicts a loss: epochs that
+//! keep squashing on conflicts, keep overflowing the SSB, or are too small
+//! to pay the spawn overhead. Suppression is periodically reconsidered so
+//! phase changes can re-enable a region.
+
+use lf_isa::RegionId;
+use std::collections::HashMap;
+
+/// Per-region profitability counters.
+#[derive(Debug, Clone, Default)]
+struct RegionScore {
+    /// Epochs spawned for this region.
+    spawned: u64,
+    /// Epochs squashed by memory conflicts.
+    conflicts: u64,
+    /// SSB overflow stalls attributed to this region.
+    overflows: u64,
+    /// Epochs retired successfully.
+    retired: u64,
+    /// Sum of committed instructions over retired epochs.
+    retired_insts: u64,
+    /// Region currently suppressed.
+    suppressed: bool,
+    /// Spawns observed while suppressed (drives periodic re-evaluation).
+    observed_while_suppressed: u64,
+}
+
+/// Tunable thresholds for the dynamic deselector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeselectConfig {
+    /// Master enable (off reproduces the paper's headline configuration,
+    /// which relies on static selection only).
+    pub enabled: bool,
+    /// Epochs to observe before judging a region.
+    pub warmup_epochs: u64,
+    /// Suppress when conflicts-per-retired-epoch exceeds this.
+    pub max_conflict_rate: f64,
+    /// Suppress when more than this fraction of spawned epochs hit an SSB
+    /// overflow stall (each epoch reports at most one overflow event).
+    pub max_overflow_rate: f64,
+    /// Suppress when the mean retired epoch is smaller than this (too
+    /// little work to pay the spawn overhead).
+    pub min_epoch_insts: f64,
+    /// Re-evaluate a suppressed region after this many ignored detaches.
+    pub retry_after: u64,
+}
+
+impl Default for DeselectConfig {
+    fn default() -> DeselectConfig {
+        DeselectConfig {
+            enabled: false,
+            warmup_epochs: 8,
+            // Conservative: only a real storm (conflicts well past one per
+            // retired epoch) is suppressed — regions like the paper's
+            // povray profit from failed speculation's prefetching.
+            max_conflict_rate: 2.0,
+            max_overflow_rate: 0.25,
+            min_epoch_insts: 4.0,
+            retry_after: 256,
+        }
+    }
+}
+
+/// Run-time region profitability monitor.
+#[derive(Debug, Clone)]
+pub struct Deselector {
+    cfg: DeselectConfig,
+    regions: HashMap<RegionId, RegionScore>,
+}
+
+impl Deselector {
+    /// Creates a monitor.
+    pub fn new(cfg: &DeselectConfig) -> Deselector {
+        Deselector { cfg: cfg.clone(), regions: HashMap::new() }
+    }
+
+    /// Whether `region`'s hints should currently be treated as NOPs.
+    pub fn is_suppressed(&self, region: RegionId) -> bool {
+        if !self.cfg.enabled {
+            return false;
+        }
+        self.regions.get(&region).is_some_and(|s| s.suppressed)
+    }
+
+    /// Advances a suppressed region's retry clock by one *committed*
+    /// detach (wrong-path fetches never commit, so pacing tracks real
+    /// architectural progress); after `retry_after` ignored detaches the
+    /// region gets a clean slate.
+    pub fn note_suppressed_detach(&mut self, region: RegionId) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let retry_after = self.cfg.retry_after;
+        let Some(s) = self.regions.get_mut(&region) else { return };
+        if !s.suppressed {
+            return;
+        }
+        s.observed_while_suppressed += 1;
+        if s.observed_while_suppressed >= retry_after {
+            *s = RegionScore::default();
+        }
+    }
+
+    fn reevaluate(&mut self, region: RegionId) {
+        let (warmup, max_conflict, max_overflow, min_insts) = (
+            self.cfg.warmup_epochs,
+            self.cfg.max_conflict_rate,
+            self.cfg.max_overflow_rate,
+            self.cfg.min_epoch_insts,
+        );
+        let Some(s) = self.regions.get_mut(&region) else { return };
+        if s.spawned < warmup {
+            return;
+        }
+        let spawned = s.spawned as f64;
+        // Squash-recycled successors are respawned, inflating the spawn
+        // count; retired epochs are the honest denominator for conflicts.
+        // Judging conflicts before enough epochs retired would mistake a
+        // startup burst for a storm (and benchmarks like the paper's povray
+        // profit from failed speculation's prefetching side effects, so
+        // over-eager suppression costs real speedup).
+        let enough_retires = s.retired >= warmup / 2;
+        let conflict_rate = s.conflicts as f64 / s.retired.max(1) as f64;
+        let overflow_rate = s.overflows as f64 / spawned;
+        let mean_insts =
+            if s.retired == 0 { 0.0 } else { s.retired_insts as f64 / s.retired as f64 };
+        if (enough_retires && conflict_rate > max_conflict)
+            || overflow_rate > max_overflow
+            || (enough_retires && mean_insts < min_insts)
+        {
+            s.suppressed = true;
+            s.observed_while_suppressed = 0;
+        }
+    }
+
+    /// Records a spawn for `region`.
+    pub fn on_spawn(&mut self, region: RegionId) {
+        if self.cfg.enabled {
+            self.regions.entry(region).or_default().spawned += 1;
+        }
+    }
+
+    /// Records a conflict squash of an epoch of `region`.
+    pub fn on_conflict(&mut self, region: RegionId) {
+        if self.cfg.enabled {
+            self.regions.entry(region).or_default().conflicts += 1;
+            self.reevaluate(region);
+        }
+    }
+
+    /// Records an SSB overflow stall for an epoch of `region`.
+    pub fn on_overflow(&mut self, region: RegionId) {
+        if self.cfg.enabled {
+            self.regions.entry(region).or_default().overflows += 1;
+            self.reevaluate(region);
+        }
+    }
+
+    /// Records a successful epoch retirement of `insts` instructions.
+    pub fn on_retire(&mut self, region: RegionId, insts: u64) {
+        if self.cfg.enabled {
+            let s = self.regions.entry(region).or_default();
+            s.retired += 1;
+            s.retired_insts += insts;
+            self.reevaluate(region);
+        }
+    }
+
+    /// Number of currently suppressed regions (statistics).
+    pub fn suppressed_count(&self) -> usize {
+        self.regions.values().filter(|s| s.suppressed).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled() -> DeselectConfig {
+        DeselectConfig { enabled: true, ..DeselectConfig::default() }
+    }
+
+    #[test]
+    fn disabled_never_suppresses() {
+        let mut d = Deselector::new(&DeselectConfig::default());
+        let r = RegionId(5);
+        for _ in 0..100 {
+            d.on_spawn(r);
+            d.on_conflict(r);
+        }
+        assert!(!d.is_suppressed(r));
+        assert_eq!(d.suppressed_count(), 0);
+    }
+
+    #[test]
+    fn conflict_storm_suppresses_after_warmup() {
+        let mut d = Deselector::new(&enabled());
+        let r = RegionId(5);
+        // Warmup: spawns, retires, and a growing pile of conflicts.
+        for _ in 0..7 {
+            d.on_spawn(r);
+            d.on_retire(r, 50);
+            d.on_conflict(r);
+            d.on_conflict(r);
+            d.on_conflict(r);
+            assert!(!d.is_suppressed(r), "still warming up");
+        }
+        d.on_spawn(r);
+        d.on_retire(r, 50);
+        d.on_conflict(r);
+        assert!(d.is_suppressed(r), "3 conflicts per retired epoch is a storm");
+        assert_eq!(d.suppressed_count(), 1);
+    }
+
+    #[test]
+    fn healthy_region_stays_selected() {
+        let mut d = Deselector::new(&enabled());
+        let r = RegionId(9);
+        for _ in 0..100 {
+            d.on_spawn(r);
+            d.on_retire(r, 50);
+        }
+        assert!(!d.is_suppressed(r));
+    }
+
+    #[test]
+    fn tiny_epochs_are_suppressed() {
+        let mut d = Deselector::new(&enabled());
+        let r = RegionId(2);
+        for _ in 0..10 {
+            d.on_spawn(r);
+            d.on_retire(r, 2);
+        }
+        assert!(d.is_suppressed(r));
+    }
+
+    #[test]
+    fn suppression_retries_after_a_while() {
+        let cfg = DeselectConfig { retry_after: 10, ..enabled() };
+        let mut d = Deselector::new(&cfg);
+        let r = RegionId(3);
+        for _ in 0..10 {
+            d.on_spawn(r);
+            d.on_retire(r, 50);
+            d.on_conflict(r);
+            d.on_conflict(r);
+            d.on_conflict(r);
+        }
+        // The first 9 committed detaches see suppression; the 10th trips
+        // the retry threshold and resets the region to a clean slate.
+        for _ in 0..9 {
+            assert!(d.is_suppressed(r));
+            d.note_suppressed_detach(r);
+        }
+        d.note_suppressed_detach(r);
+        assert!(!d.is_suppressed(r));
+    }
+
+    #[test]
+    fn regions_are_independent() {
+        let mut d = Deselector::new(&enabled());
+        let (bad, good) = (RegionId(1), RegionId(2));
+        for _ in 0..10 {
+            d.on_spawn(bad);
+            d.on_retire(bad, 50);
+            d.on_conflict(bad);
+            d.on_conflict(bad);
+            d.on_conflict(bad);
+            d.on_spawn(good);
+            d.on_retire(good, 100);
+        }
+        assert!(d.is_suppressed(bad));
+        assert!(!d.is_suppressed(good));
+    }
+}

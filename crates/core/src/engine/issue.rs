@@ -1,0 +1,299 @@
+//! Issue/execute stage and writeback.
+//!
+//! Ready instructions issue from the shared queue oldest-first, claim a
+//! functional unit, compute their result (reading the physical register
+//! file), and schedule a completion event. Loads go through the LSQ
+//! disambiguation rules and the SSB (speculative threadlets) or the L1D
+//! (architectural threadlet); branch resolution happens at completion.
+
+use super::LoopFrogCore;
+use lf_isa::{emu, Inst, MemSize};
+use lf_uarch::{AccessKind, IssueQueue};
+
+impl LoopFrogCore<'_> {
+    /// Issues ready instructions up to the aggregate execution bandwidth.
+    pub(super) fn do_issue(&mut self) {
+        // Aggregate issue bandwidth: bounded by total execution pipes.
+        let fu = &self.cfg.core.fu;
+        let width = fu.int_alu + fu.int_mul_div + fu.fp + fu.load + fu.store;
+        let mut iq = std::mem::replace(&mut self.iq, IssueQueue::new(0));
+        let issued = iq.select(width, |uid, _tid| self.try_issue_one(uid));
+        self.iq = iq;
+        self.stats.issued_insts += issued as u64;
+    }
+
+    /// Attempts to issue one instruction; `false` leaves it in the queue.
+    fn try_issue_one(&mut self, uid: u64) -> bool {
+        let d = self.slab.get(&uid).expect("IQ entries are live").clone();
+        debug_assert!(!d.issued);
+
+        // Loads must pass memory disambiguation before claiming a pipe.
+        if d.inst.is_load() && !self.load_can_issue(&d) {
+            return false;
+        }
+
+        let class = d.inst.fu_class();
+        let latency = d.inst.exec_latency();
+        if !self.fu.try_issue(class, self.cycle, latency) {
+            return false;
+        }
+
+        let read = |core: &Self, p: Option<lf_uarch::PhysReg>| -> u64 {
+            p.map(|p| core.prf.read(p)).unwrap_or(0)
+        };
+
+        let mut complete_at = self.cycle + latency;
+        let mut result = 0u64;
+        let mut actual_next = d.pc + 1;
+        match d.inst {
+            Inst::Alu { op, a: _, b, .. } => {
+                let av = read(self, d.srcs[0]);
+                let bv = match b {
+                    lf_isa::Operand::Reg(_) => read(self, d.srcs[1]),
+                    lf_isa::Operand::Imm(i) => i as u64,
+                };
+                result = emu::eval_alu(op, av, bv);
+            }
+            Inst::Fpu { op, .. } => {
+                result = emu::eval_fpu(op, read(self, d.srcs[0]), read(self, d.srcs[1]));
+            }
+            Inst::MovImm { imm, .. } => result = imm as u64,
+            Inst::Branch { cond, target, .. } => {
+                let taken = emu::eval_branch(cond, read(self, d.srcs[0]), read(self, d.srcs[1]));
+                actual_next = if taken { target } else { d.pc + 1 };
+            }
+            Inst::JumpReg { .. } => {
+                actual_next = read(self, d.srcs[0]) as usize;
+            }
+            Inst::Load { offset, size, signed, .. } => {
+                let addr = read(self, d.srcs[0]).wrapping_add(offset as u64);
+                match self.execute_load(&d, addr, size) {
+                    LoadOutcome::Value { value, ready } => {
+                        result = emu::extend_load(value, size, signed);
+                        complete_at = ready;
+                    }
+                    LoadOutcome::Fault => {
+                        let e = self.slab.get_mut(&uid).expect("live");
+                        e.issued = true;
+                        e.eff_addr = Some(addr);
+                        e.faulted = true;
+                        return true; // leaves the IQ; never completes
+                    }
+                }
+                self.slab.get_mut(&uid).expect("live").eff_addr = Some(addr);
+            }
+            Inst::Store { offset, size, .. } => {
+                // Sources: [base, data].
+                let addr = read(self, d.srcs[0]).wrapping_add(offset as u64);
+                let data = read(self, d.srcs[1]);
+                let e = self.slab.get_mut(&uid).expect("live");
+                e.eff_addr = Some(addr);
+                e.store_data = data;
+                if addr.checked_add(size.bytes()).is_none_or(|end| end > self.mem.len() as u64) {
+                    let e = self.slab.get_mut(&uid).expect("live");
+                    e.issued = true;
+                    e.faulted = true;
+                    return true;
+                }
+            }
+            _ => unreachable!("non-executing instruction in IQ: {:?}", d.inst),
+        }
+
+        let e = self.slab.get_mut(&uid).expect("live");
+        e.issued = true;
+        e.result = result;
+        e.actual_next = actual_next;
+        self.completions.entry(complete_at.max(self.cycle + 1)).or_default().push(uid);
+        true
+    }
+
+    /// Memory disambiguation for a load (conservative): every older store in
+    /// the same threadlet must have a known address; a fully containing
+    /// older store forwards; any partial overlap delays the load until the
+    /// store drains.
+    fn load_can_issue(&self, d: &crate::dyninst::DynInst) -> bool {
+        let t = &self.ctx[d.tid];
+        for &suid in t.sq.iter().rev() {
+            if suid >= d.uid {
+                continue;
+            }
+            let s = &self.slab[&suid];
+            if !s.issued {
+                return false; // unknown store address
+            }
+        }
+        // Addresses all known; check for partial overlaps (full containment
+        // is handled as forwarding inside execute_load).
+        let (addr, len) = match d.inst {
+            Inst::Load { offset, size, .. } => {
+                let base = d.srcs[0].map(|p| self.prf.read(p)).unwrap_or(0);
+                (base.wrapping_add(offset as u64), size.bytes())
+            }
+            _ => unreachable!(),
+        };
+        for &suid in t.sq.iter().rev() {
+            if suid >= d.uid {
+                continue;
+            }
+            let s = &self.slab[&suid];
+            if s.drained || s.faulted {
+                continue;
+            }
+            let (sa, sl) = (s.eff_addr.expect("issued"), store_len(&s.inst));
+            let overlap = sa < addr + len && addr < sa + sl;
+            let contains = sa <= addr && addr + len <= sa + sl;
+            if overlap && !contains {
+                return false; // partial overlap: wait for the drain
+            }
+            if contains {
+                return true; // youngest containing store forwards
+            }
+        }
+        true
+    }
+
+    /// Executes a load's data access: own-SQ forwarding, then SSB + L1D
+    /// (speculative) or L1D (architectural).
+    fn execute_load(
+        &mut self,
+        d: &crate::dyninst::DynInst,
+        addr: u64,
+        size: MemSize,
+    ) -> LoadOutcome {
+        let len = size.bytes();
+
+        // Store-to-load forwarding from the youngest containing older store.
+        let t = &self.ctx[d.tid];
+        for &suid in t.sq.iter().rev() {
+            if suid >= d.uid {
+                continue;
+            }
+            let s = &self.slab[&suid];
+            if s.drained || s.faulted {
+                continue;
+            }
+            let (sa, sl) = (s.eff_addr.expect("issued"), store_len(&s.inst));
+            if sa <= addr && addr + len <= sa + sl {
+                let bytes = s.store_data.to_le_bytes();
+                let off = (addr - sa) as usize;
+                let mut buf = [0u8; 8];
+                buf[..len as usize].copy_from_slice(&bytes[off..off + len as usize]);
+                return LoadOutcome::Value {
+                    value: u64::from_le_bytes(buf),
+                    ready: self.cycle + 1,
+                };
+            }
+        }
+
+        // Memory path. Bounds check against the architectural image.
+        if addr.checked_add(len).is_none_or(|end| end > self.mem.len() as u64) {
+            return LoadOutcome::Fault;
+        }
+        let granules = self.ssb.granules_of(addr, len);
+        let is_arch = self.arch_tid() == d.tid;
+        if is_arch {
+            // Dispatched directly to the L1D, but still updates the
+            // conflict detector (§4, "they still update the conflict
+            // detector").
+            let ready = self.hier.access_data(d.pc as u64, addr, AccessKind::Load, self.cycle);
+            self.conflict.on_read(d.tid, &granules);
+            let value = self.mem.read(addr, len).expect("bounds checked");
+            LoadOutcome::Value { value, ready }
+        } else {
+            // SSB lookup in parallel with the L1D (paper: 3-cycle reads
+            // including the L1D lookup). The L1D access also models the
+            // prefetching side effect of (possibly failed) speculation.
+            let order = self.slice_order(d.tid);
+            let (bytes, all_ssb) = self.ssb.read(order.as_slice(), addr, len, &self.mem);
+            let l1d_ready = self.hier.access_data(d.pc as u64, addr, AccessKind::Load, self.cycle);
+            let ssb_ready = self.cycle + self.cfg.ssb.read_latency;
+            let ready = if all_ssb { ssb_ready } else { ssb_ready.max(l1d_ready) };
+            self.conflict.on_read(d.tid, &granules);
+            let mut buf = [0u8; 8];
+            buf[..len as usize].copy_from_slice(&bytes);
+            LoadOutcome::Value { value: u64::from_le_bytes(buf), ready }
+        }
+    }
+
+    /// Processes completion events scheduled for the current cycle: writes
+    /// results, wakes consumers, and resolves control flow.
+    pub(super) fn do_writeback(&mut self) {
+        let Some(uids) = self.completions.remove(&self.cycle) else { return };
+        for uid in uids {
+            if !self.slab.contains_key(&uid) {
+                continue; // squashed while in flight
+            }
+            let (tid, dst, result) = {
+                let d = self.slab.get_mut(&uid).expect("checked");
+                d.completed = true;
+                (d.tid, d.dst, d.result)
+            };
+            if let Some(dst) = dst {
+                self.prf.write(dst.new, result);
+                self.iq.wakeup(dst.new);
+            }
+            let d = self.slab.get(&uid).expect("checked").clone();
+            match d.inst {
+                Inst::Branch { .. } => {
+                    self.stats.branches += 1;
+                    let lookup = d.bp.expect("branches carry predictor state");
+                    let taken = d.actual_next != d.pc + 1;
+                    self.bpred.update_branch(tid, d.pc as u64, lookup, taken);
+                    if d.actual_next != d.pred_next {
+                        self.stats.branch_mispredicts += 1;
+                        self.recover_from_mispredict(tid, uid);
+                    }
+                }
+                Inst::JumpReg { .. } => {
+                    self.bpred.update_target(d.pc as u64, d.actual_next);
+                    if d.actual_next != d.pred_next || self.ctx[tid].fetch_stalled_indirect {
+                        self.recover_from_mispredict(tid, uid);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Redirects fetch and squashes the wrong path after a mispredicted
+    /// control instruction `uid` in threadlet `tid`.
+    fn recover_from_mispredict(&mut self, tid: usize, uid: u64) {
+        if self.tracer.is_some() {
+            let d = &self.slab[&uid];
+            self.emit(crate::trace::TraceEvent::Mispredict {
+                cycle: self.cycle,
+                tid,
+                pc: d.pc,
+                actual: d.actual_next,
+            });
+        }
+        self.squash_younger_in_threadlet(tid, uid);
+        let d = &self.slab[&uid];
+        let (region, iters) = d.region_after;
+        let next = d.actual_next;
+        let t = &mut self.ctx[tid];
+        t.fetch_pc = next;
+        t.fetch_ready = self.cycle + self.cfg.core.frontend_latency;
+        t.fetch_halted = false;
+        t.fetch_halt_is_reattach = false;
+        t.fetch_stalled_indirect = false;
+        t.fetch_queue.clear();
+        t.fetch_line = None;
+        t.fetch_region = region;
+        t.fetch_iters = iters;
+        t.ren_region = region;
+        t.ren_iters = iters;
+    }
+}
+
+enum LoadOutcome {
+    Value { value: u64, ready: u64 },
+    Fault,
+}
+
+fn store_len(inst: &Inst) -> u64 {
+    match inst {
+        Inst::Store { size, .. } => size.bytes(),
+        _ => unreachable!("store_len on non-store"),
+    }
+}

@@ -1,0 +1,531 @@
+//! The LoopFrog out-of-order core (paper §4, Figure 3).
+//!
+//! An 8-wide, cycle-level pipeline shared by up to four threadlet contexts.
+//! Fetch, decode/rename, issue, execution, and commit resources are
+//! dynamically shared; each threadlet owns its program counter, fetch queue,
+//! rename map, and logical ROB/LSQ slices. The speculative state buffer,
+//! conflict detector, checkpoint store, and iteration-packing predictors
+//! implement the paper's threadlet execution model; with `speculation`
+//! disabled the same core is the paper's baseline (hints execute as NOPs).
+//!
+//! Stage methods live in the sibling modules: [`fetch`], [`rename_stage`],
+//! [`issue`], [`commit`], and [`squash`].
+
+mod coherence;
+mod commit;
+#[cfg(test)]
+mod tests;
+mod fetch;
+mod issue;
+mod rename_stage;
+mod squash;
+
+use crate::config::LoopFrogConfig;
+use crate::bloom::BloomConflictDetector;
+use crate::conflict::ConflictDetector;
+use crate::deselect::Deselector;
+use crate::dyninst::{DynInst, Uid};
+use crate::packing::PackingPredictors;
+use crate::ssb::Ssb;
+use crate::stats::{SimResult, SimStats, SimStop};
+use crate::trace::{TraceEvent, Tracer};
+use crate::threadlet::{CtxState, Threadlet};
+use lf_isa::{Memory, Program, NUM_ARCH_REGS};
+use lf_uarch::{BranchPredictor, FuPools, IssueQueue, MemHierarchy, PhysRegFile};
+use lf_uarch::rename::RenameMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+/// Errors terminating a simulation abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An architectural memory access faulted (program bug).
+    Fault {
+        /// Program counter of the faulting instruction.
+        pc: usize,
+        /// Faulting effective address.
+        addr: u64,
+    },
+    /// The architectural program counter left the program.
+    PcOutOfRange {
+        /// The faulting PC.
+        pc: usize,
+    },
+    /// No instruction committed for an implausibly long time (internal
+    /// deadlock; indicates a simulator bug).
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Fault { pc, addr } => {
+                write!(f, "architectural memory fault at pc {pc}, address {addr:#x}")
+            }
+            SimError::PcOutOfRange { pc } => write!(f, "architectural pc {pc} out of range"),
+            SimError::Deadlock { cycle } => write!(f, "no commit progress by cycle {cycle}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Cycles without any architectural commit before the watchdog trips.
+const WATCHDOG_CYCLES: u64 = 200_000;
+
+/// Hard cap on threadlet contexts (sizes the inline ordering lists used on
+/// the per-access hot path).
+const MAX_CONTEXTS: usize = 16;
+
+/// A small inline list of context ids (avoids a heap allocation per memory
+/// access when computing slice lookup orders).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TidList {
+    arr: [usize; MAX_CONTEXTS],
+    len: usize,
+}
+
+impl TidList {
+    fn new() -> TidList {
+        TidList { arr: [0; MAX_CONTEXTS], len: 0 }
+    }
+
+    fn push(&mut self, t: usize) {
+        self.arr[self.len] = t;
+        self.len += 1;
+    }
+
+    /// The contexts as a slice.
+    pub(crate) fn as_slice(&self) -> &[usize] {
+        &self.arr[..self.len]
+    }
+}
+
+/// The LoopFrog core simulator.
+///
+/// # Examples
+///
+/// ```
+/// use lf_isa::{Memory, ProgramBuilder, reg, AluOp};
+/// use loopfrog::{LoopFrogConfig, LoopFrogCore};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.li(reg::x(1), 2);
+/// b.alui(AluOp::Add, reg::x(1), reg::x(1), 40);
+/// b.halt();
+/// let program = b.build()?;
+/// let mut core = LoopFrogCore::new(&program, Memory::new(64), LoopFrogConfig::baseline());
+/// let result = core.run()?;
+/// assert_eq!(result.final_regs[1], 42);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct LoopFrogCore<'p> {
+    pub(crate) cfg: LoopFrogConfig,
+    pub(crate) program: &'p Program,
+    pub(crate) mem: Memory,
+    pub(crate) hier: MemHierarchy,
+    pub(crate) bpred: BranchPredictor,
+    pub(crate) prf: PhysRegFile,
+    pub(crate) iq: IssueQueue,
+    pub(crate) fu: FuPools,
+    pub(crate) ssb: Ssb,
+    pub(crate) conflict: ConflictSets,
+    pub(crate) packing: PackingPredictors,
+    pub(crate) deselect: Deselector,
+
+    pub(crate) ctx: Vec<Threadlet>,
+    /// Active contexts, oldest (architectural) first.
+    pub(crate) order: VecDeque<usize>,
+    pub(crate) slab: HashMap<Uid, DynInst>,
+    pub(crate) completions: BTreeMap<u64, Vec<Uid>>,
+
+    pub(crate) next_uid: Uid,
+    pub(crate) cycle: u64,
+    pub(crate) rob_occupancy: usize,
+    pub(crate) lq_occupancy: usize,
+    pub(crate) sq_occupancy: usize,
+
+    pub(crate) stats: SimStats,
+    pub(crate) tracer: Option<Box<dyn Tracer>>,
+    pub(crate) halted: bool,
+    pub(crate) fault: Option<SimError>,
+    pub(crate) last_commit_cycle: u64,
+}
+
+impl fmt::Debug for LoopFrogCore<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LoopFrogCore")
+            .field("cycle", &self.cycle)
+            .field("order", &self.order)
+            .field("rob_occupancy", &self.rob_occupancy)
+            .field("halted", &self.halted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'p> LoopFrogCore<'p> {
+    /// Creates a core over `program` with the given initial memory image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero threadlets or a
+    /// physical register file smaller than the architectural state).
+    pub fn new(program: &'p Program, mem: Memory, cfg: LoopFrogConfig) -> LoopFrogCore<'p> {
+        let entry = program.entry();
+        LoopFrogCore::with_initial_state(program, mem, &[0; NUM_ARCH_REGS], entry, cfg)
+    }
+
+    /// Creates a core resuming from a warm architectural state: register
+    /// values `regs` and program counter `entry` (e.g. a SimPoint interval
+    /// boundary captured from the golden emulator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate or `regs` is shorter than
+    /// the architectural register count.
+    pub fn with_initial_state(
+        program: &'p Program,
+        mem: Memory,
+        regs: &[u64],
+        entry: usize,
+        cfg: LoopFrogConfig,
+    ) -> LoopFrogCore<'p> {
+        assert!(cfg.core.threadlets >= 1, "need at least one threadlet context");
+        assert!(cfg.core.threadlets <= MAX_CONTEXTS, "at most {MAX_CONTEXTS} threadlet contexts");
+        let total_regs = cfg.core.total_phys_regs();
+        assert!(total_regs > NUM_ARCH_REGS + 16, "physical register file too small");
+        let mut prf = PhysRegFile::new(total_regs);
+        let threadlets = cfg.core.threadlets;
+        let mut ctx: Vec<Threadlet> = (0..threadlets).map(|_| Threadlet::new_free()).collect();
+
+        // Context 0 starts architectural at the requested entry.
+        ctx[0].state = CtxState::Active;
+        ctx[0].epoch = 0;
+        ctx[0].fetch_pc = entry;
+        ctx[0].map = Some(RenameMap::new_with_values(&mut prf, regs));
+        let mut order = VecDeque::new();
+        order.push_back(0);
+
+        LoopFrogCore {
+            hier: MemHierarchy::new(cfg.mem.clone()),
+            bpred: BranchPredictor::new(threadlets),
+            iq: IssueQueue::new(cfg.core.iq_size),
+            fu: FuPools::new(&cfg.core.fu),
+            ssb: Ssb::new(&cfg.ssb, threadlets),
+            conflict: match cfg.ssb.bloom {
+                None => ConflictSets::Exact(ConflictDetector::new(threadlets)),
+                Some((bits, hashes)) => {
+                    ConflictSets::Bloom(BloomConflictDetector::new(threadlets, bits, hashes))
+                }
+            },
+            packing: PackingPredictors::new(&cfg.packing),
+            deselect: Deselector::new(&cfg.deselect),
+            ctx,
+            order,
+            slab: HashMap::new(),
+            completions: BTreeMap::new(),
+            next_uid: 1,
+            cycle: 0,
+            rob_occupancy: 0,
+            lq_occupancy: 0,
+            sq_occupancy: 0,
+            stats: SimStats::new(threadlets),
+            tracer: None,
+            halted: false,
+            fault: None,
+            last_commit_cycle: 0,
+            prf,
+            mem,
+            program,
+            cfg,
+        }
+    }
+
+    /// The context id of the architectural (oldest) threadlet.
+    pub(crate) fn arch_tid(&self) -> usize {
+        *self.order.front().expect("at least one active threadlet")
+    }
+
+    /// The active context ids strictly younger than `tid`, old → young.
+    pub(crate) fn younger_than(&self, tid: usize) -> TidList {
+        let mut v = TidList::new();
+        let mut seen = false;
+        for &t in &self.order {
+            if seen {
+                v.push(t);
+            }
+            if t == tid {
+                seen = true;
+            }
+        }
+        debug_assert!(seen, "tid active");
+        v
+    }
+
+    /// The slice lookup order for a read by `tid`: all active contexts from
+    /// the oldest up to and including `tid` (oldest → newest).
+    pub(crate) fn slice_order(&self, tid: usize) -> TidList {
+        let mut v = TidList::new();
+        for &t in &self.order {
+            v.push(t);
+            if t == tid {
+                break;
+            }
+        }
+        v
+    }
+
+    /// Simulates one cycle.
+    fn tick(&mut self) -> Result<(), SimError> {
+        self.do_commit()?;
+        if self.halted {
+            return Ok(());
+        }
+        // Contexts freed by retirement can immediately host a deferred
+        // spawn, keeping the epoch chain full.
+        self.service_pending_spawns();
+        self.do_writeback();
+        self.do_issue();
+        self.do_rename();
+        self.do_fetch();
+
+        // Activity statistics (Figure 7): contexts actively executing.
+        let active = self
+            .order
+            .iter()
+            .filter(|&&t| self.ctx[t].state == CtxState::Active && !self.ctx[t].finished)
+            .count();
+        self.stats.cycles_with_active[active.min(self.cfg.core.threadlets)] += 1;
+        let in_region = self.order.len() > 1
+            || self.order.iter().any(|&t| self.ctx[t].ren_region.is_some());
+        if in_region {
+            self.stats.region_cycles += 1;
+        }
+
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        Ok(())
+    }
+
+    /// Runs to completion (architectural `halt`), a fuel limit, or an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on architectural faults or internal deadlock.
+    pub fn run(&mut self) -> Result<SimResult, SimError> {
+        let stop = self.run_until_committed(self.cfg.max_insts)?;
+        Ok(self.finish(stop))
+    }
+
+    /// Advances the simulation until `target` instructions have committed
+    /// architecturally (or the program halts / the cycle budget runs out).
+    /// May be called repeatedly for phased measurement (e.g. SimPoint
+    /// warmup followed by a measured interval); statistics are cumulative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on architectural faults or internal deadlock.
+    pub fn run_until_committed(&mut self, target: u64) -> Result<SimStop, SimError> {
+        while !self.halted {
+            if self.stats.committed_insts >= target {
+                return Ok(SimStop::MaxInsts);
+            }
+            if self.cycle >= self.cfg.max_cycles {
+                return Ok(SimStop::MaxCycles);
+            }
+            if self.cycle - self.last_commit_cycle > WATCHDOG_CYCLES {
+                return Err(SimError::Deadlock { cycle: self.cycle });
+            }
+            self.tick()?;
+            if let Some(f) = self.fault.take() {
+                return Err(f);
+            }
+        }
+        Ok(SimStop::Halted)
+    }
+
+    /// Collects final results without running further (for phased runs
+    /// driven through [`LoopFrogCore::run_until_committed`]).
+    pub fn into_result(mut self, stop: SimStop) -> SimResult {
+        self.finish(stop)
+    }
+
+    /// Cumulative committed-instruction count (for phased measurement).
+    pub fn committed_insts(&self) -> u64 {
+        self.stats.committed_insts
+    }
+
+    fn finish(&mut self, stop: SimStop) -> SimResult {
+        // Final architectural registers come from the architectural
+        // threadlet's rename map. x0 reads as zero by construction.
+        let tid = self.arch_tid();
+        let map = self.ctx[tid].map.as_ref().expect("arch threadlet has a map");
+        let final_regs: Vec<u64> = (0..NUM_ARCH_REGS)
+            .map(|a| {
+                let p = map.get(a);
+                if self.prf.is_ready(p) {
+                    self.prf.read(p)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let checksum = lf_isa::checksum::fnv1a_u64(&final_regs) ^ self.mem.checksum();
+        let mut stats = self.stats.clone();
+        stats.counters.merge(self.hier.counters());
+        let [(l1i_a, l1i_m), (l1d_a, l1d_m), (l2_a, l2_m)] = self.hier.cache_stats();
+        for (k, v) in [
+            ("l1i_accesses", l1i_a),
+            ("l1i_misses", l1i_m),
+            ("l1d_accesses", l1d_a),
+            ("l1d_misses", l1d_m),
+            ("l2_demand_accesses", l2_a),
+            ("l2_demand_misses", l2_m),
+            ("ssb_overflows", self.ssb.overflows()),
+            ("regions_suppressed", self.deselect.suppressed_count() as u64),
+            ("bloom_false_positive_squashes", self.conflict.false_positive_squashes()),
+        ] {
+            stats.counters.add(k, v);
+        }
+        SimResult { stop, stats, checksum, final_regs }
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The architectural memory image.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Attaches a pipeline-event observer (see [`crate::trace`]). Pass a
+    /// [`crate::TextTracer`] for a gem5-style textual trace.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches and returns the tracer, if one was attached.
+    pub fn take_tracer(&mut self) -> Option<Box<dyn Tracer>> {
+        self.tracer.take()
+    }
+
+    /// Emits a trace event if a tracer is attached.
+    #[inline]
+    pub(crate) fn emit(&mut self, ev: TraceEvent) {
+        if let Some(t) = &mut self.tracer {
+            t.event(&ev);
+        }
+    }
+
+    /// A human-readable snapshot of threadlet and window state, for
+    /// debugging stalls.
+    pub fn dump_state(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "cycle {} order {:?} rob_occ {} iq {} lq {} sq {}",
+            self.cycle, self.order, self.rob_occupancy, self.iq.len(),
+            self.lq_occupancy, self.sq_occupancy);
+        for (i, t) in self.ctx.iter().enumerate() {
+            let head = t.rob.front().map(|u| {
+                let d = &self.slab[u];
+                format!("pc{} {:?} issued={} completed={} drained={} faulted={}",
+                    d.pc, d.inst, d.issued, d.completed, d.drained, d.faulted)
+            });
+            let _ = writeln!(out,
+                "ctx{i}: {:?} epoch {} finished {} fhalt {} fstall {} fpc {} fready {} region {:?}/{} roblen {} head {:?}",
+                t.state, t.epoch, t.finished, t.fetch_halted, t.fetch_stalled_indirect,
+                t.fetch_pc, t.fetch_ready, t.ren_region, t.ren_iters, t.rob.len(), head);
+        }
+        out
+    }
+
+    /// Allocates a fresh uid.
+    pub(crate) fn alloc_uid(&mut self) -> Uid {
+        let u = self.next_uid;
+        self.next_uid += 1;
+        u
+    }
+
+    /// Finds a free threadlet context whose SSB slice has finished flushing.
+    pub(crate) fn find_free_context(&self) -> Option<usize> {
+        (0..self.ctx.len()).find(|&i| {
+            self.ctx[i].state == CtxState::Free && self.ctx[i].slice_flush_until <= self.cycle
+        })
+    }
+}
+
+/// Conflict-set implementation selected by [`crate::SsbConfig::bloom`]:
+/// exact sets (the paper's idealized filters) or real Bloom filters.
+#[derive(Debug, Clone)]
+pub(crate) enum ConflictSets {
+    Exact(ConflictDetector),
+    Bloom(BloomConflictDetector),
+}
+
+impl ConflictSets {
+    pub(crate) fn clear(&mut self, slot: usize) {
+        match self {
+            ConflictSets::Exact(c) => c.clear(slot),
+            ConflictSets::Bloom(c) => c.clear(slot),
+        }
+    }
+
+    pub(crate) fn on_read(&mut self, slot: usize, granules: &[u64]) {
+        match self {
+            ConflictSets::Exact(c) => c.on_read(slot, granules),
+            ConflictSets::Bloom(c) => c.on_read(slot, granules),
+        }
+    }
+
+    pub(crate) fn on_write(
+        &mut self,
+        slot: usize,
+        granules: &[u64],
+        younger: &[usize],
+    ) -> Option<usize> {
+        match self {
+            ConflictSets::Exact(c) => c.on_write(slot, granules, younger),
+            ConflictSets::Bloom(c) => c.on_write(slot, granules, younger),
+        }
+    }
+
+    pub(crate) fn false_positive_squashes(&self) -> u64 {
+        match self {
+            ConflictSets::Exact(_) => 0,
+            ConflictSets::Bloom(c) => c.false_positive_squashes(),
+        }
+    }
+
+    pub(crate) fn has_read(&self, slot: usize, granule: u64) -> bool {
+        match self {
+            ConflictSets::Exact(c) => c.has_read(slot, granule),
+            ConflictSets::Bloom(c) => c.may_have_read(slot, granule),
+        }
+    }
+
+    pub(crate) fn has_written(&self, slot: usize, granule: u64) -> bool {
+        match self {
+            ConflictSets::Exact(c) => c.has_written(slot, granule),
+            ConflictSets::Bloom(c) => c.may_have_written(slot, granule),
+        }
+    }
+}
+
+/// Convenience entry point: simulates `program` on `mem` under `cfg`.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on architectural faults or internal deadlock.
+pub fn simulate(program: &Program, mem: Memory, cfg: LoopFrogConfig) -> Result<SimResult, SimError> {
+    LoopFrogCore::new(program, mem, cfg).run()
+}

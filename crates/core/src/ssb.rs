@@ -1,0 +1,476 @@
+//! The Speculative State Buffer (paper §4.1).
+//!
+//! The SSB sits between the store buffer and the L1D. It buffers
+//! speculatively written data per threadlet *slice*, serves multi-versioned
+//! reads (newest value among the reader's own and older threadlets' slices,
+//! falling back to architectural memory; Figure 5), and supports bulk
+//! invalidation on squash and counter-based flush on threadlet commit.
+//!
+//! Data is organized into cache lines composed of granules (§4.1.1): a
+//! per-line bitmask identifies valid granules, and a partially written
+//! granule requires a read-fill of its unwritten bytes, which counts as a
+//! read for conflict purposes (the false-sharing effect of §6.6 / Figure 10).
+//!
+//! A small, shared, fully associative victim buffer optionally extends the
+//! effective associativity of the slices (§6.6).
+
+use crate::config::SsbConfig;
+use lf_isa::Memory;
+use std::collections::HashMap;
+
+/// Outcome of a speculative store attempting to drain into a slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The write was absorbed. `fill_reads` lists granule addresses that
+    /// were only partially covered and required a read-fill of their
+    /// unwritten bytes (these count as reads for conflict detection).
+    Ok {
+        /// Granules whose unwritten bytes were read-filled.
+        fill_reads: Vec<u64>,
+    },
+    /// The slice (and victim buffer) had no room: the threadlet must squash
+    /// (speculative writes cannot be discarded; §4.1.2).
+    Overflow,
+}
+
+#[derive(Debug, Clone)]
+struct LineData {
+    bytes: Vec<u8>,
+    valid: u64, // granule validity bitmask
+}
+
+#[derive(Debug, Clone, Default)]
+struct Slice {
+    lines: HashMap<u64, LineData>,
+}
+
+#[derive(Debug, Clone)]
+struct VictimEntry {
+    slice: usize,
+    line_addr: u64,
+    data: LineData,
+}
+
+/// The speculative state buffer.
+#[derive(Debug, Clone)]
+pub struct Ssb {
+    cfg: SsbConfig,
+    slices: Vec<Slice>,
+    victim: Vec<VictimEntry>,
+    lines_per_slice: usize,
+    sets_per_slice: usize,
+    /// Peak line occupancy observed per slice (statistics).
+    peak_lines: Vec<usize>,
+    overflows: u64,
+}
+
+impl Ssb {
+    /// Creates an SSB with one slice per threadlet context.
+    pub fn new(cfg: &SsbConfig, threadlets: usize) -> Ssb {
+        let lines_per_slice = cfg.lines_per_slice(threadlets);
+        let sets_per_slice = match cfg.assoc {
+            Some(a) => (lines_per_slice / a).max(1),
+            None => 1,
+        };
+        Ssb {
+            cfg: cfg.clone(),
+            slices: vec![Slice::default(); threadlets],
+            victim: Vec::new(),
+            lines_per_slice,
+            sets_per_slice,
+            peak_lines: vec![0; threadlets],
+            overflows: 0,
+        }
+    }
+
+    /// The configured granule size in bytes.
+    pub fn granule(&self) -> u64 {
+        self.cfg.granule as u64
+    }
+
+    /// The granule addresses covered by a byte access `[addr, addr+len)`.
+    pub fn granules_of(&self, addr: u64, len: u64) -> Vec<u64> {
+        let g = self.granule();
+        let first = addr / g;
+        let last = (addr + len - 1) / g;
+        (first..=last).collect()
+    }
+
+    /// Lines currently held by `slice`.
+    pub fn slice_lines(&self, slice: usize) -> usize {
+        self.slices[slice].lines.len()
+    }
+
+    /// Total overflow events (threadlet squashes forced by capacity).
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Peak per-slice line occupancy.
+    pub fn peak_lines(&self) -> &[usize] {
+        &self.peak_lines
+    }
+
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr / self.cfg.line as u64
+    }
+
+    fn set_of(&self, line_addr: u64) -> u64 {
+        line_addr % self.sets_per_slice as u64
+    }
+
+    /// Looks up the byte at `addr` in `slice` (including its victim-buffer
+    /// entries). Returns `None` if the granule containing it is not valid.
+    fn peek_byte(&self, slice: usize, addr: u64) -> Option<u8> {
+        let la = self.line_addr(addr);
+        let off = (addr % self.cfg.line as u64) as usize;
+        let gbit = off / self.cfg.granule;
+        let look = |d: &LineData| {
+            if d.valid >> gbit & 1 == 1 {
+                Some(d.bytes[off])
+            } else {
+                None
+            }
+        };
+        if let Some(d) = self.slices[slice].lines.get(&la) {
+            return look(d);
+        }
+        self.victim
+            .iter()
+            .find(|v| v.slice == slice && v.line_addr == la)
+            .and_then(|v| look(&v.data))
+    }
+
+    /// Multi-versioned read (Figure 5): reads `len` bytes at `addr` as seen
+    /// by a threadlet whose older-to-newer slice order (ending with its own
+    /// slice) is `order`. Bytes not found in any slice come from `mem`.
+    ///
+    /// Returns the assembled bytes and whether *all* bytes came from SSB
+    /// slices (in which case the parallel L1D lookup result is not needed).
+    pub fn read(&self, order: &[usize], addr: u64, len: u64, mem: &Memory) -> (Vec<u8>, bool) {
+        let mut out = Vec::with_capacity(len as usize);
+        let mut all_ssb = true;
+        for i in 0..len {
+            let a = addr + i;
+            // Newest-first: scan own slice backwards to oldest.
+            let mut byte = None;
+            for &s in order.iter().rev() {
+                if let Some(b) = self.peek_byte(s, a) {
+                    byte = Some(b);
+                    break;
+                }
+            }
+            match byte {
+                Some(b) => out.push(b),
+                None => {
+                    all_ssb = false;
+                    out.push(mem.read_u8(a).unwrap_or(0));
+                }
+            }
+        }
+        (out, all_ssb)
+    }
+
+    /// Whether `slice` can absorb a new line mapping to `line_addr`'s set
+    /// without evicting (capacity and associativity), ignoring the victim
+    /// buffer.
+    fn has_room(&self, slice: usize, line_addr: u64) -> bool {
+        let s = &self.slices[slice];
+        if s.lines.len() >= self.lines_per_slice {
+            return false;
+        }
+        match self.cfg.assoc {
+            None => true,
+            Some(a) => {
+                let set = self.set_of(line_addr);
+                s.lines.keys().filter(|&&l| self.set_of(l) == set).count() < a
+            }
+        }
+    }
+
+    /// Drains a speculative store of `data` at `addr` into `slice`.
+    ///
+    /// `older_view` supplies the byte value visible to this threadlet just
+    /// before this store (from older slices or memory), used to read-fill
+    /// partially written granules.
+    pub fn write(
+        &mut self,
+        slice: usize,
+        addr: u64,
+        data: &[u8],
+        older_view: impl Fn(u64) -> u8,
+    ) -> WriteOutcome {
+        let line_sz = self.cfg.line as u64;
+        let gran = self.cfg.granule;
+        let mut fill_reads = Vec::new();
+
+        // The store may straddle line boundaries; handle line by line.
+        let mut i = 0usize;
+        while i < data.len() {
+            let a = addr + i as u64;
+            let la = self.line_addr(a);
+            let line_base = la * line_sz;
+            let off = (a - line_base) as usize;
+            let n = ((line_sz as usize) - off).min(data.len() - i);
+
+            // Locate or allocate the line (slice, then victim, then new).
+            let in_slice = self.slices[slice].lines.contains_key(&la);
+            let in_victim =
+                self.victim.iter().position(|v| v.slice == slice && v.line_addr == la);
+            if !in_slice && in_victim.is_none() {
+                let fresh = LineData { bytes: vec![0; line_sz as usize], valid: 0 };
+                if self.has_room(slice, la) {
+                    self.slices[slice].lines.insert(la, fresh);
+                } else if self.victim.len() < self.cfg.victim_entries {
+                    self.victim.push(VictimEntry { slice, line_addr: la, data: fresh });
+                } else {
+                    self.overflows += 1;
+                    return WriteOutcome::Overflow;
+                }
+            }
+
+            // Compute which granules become newly valid but are only
+            // partially covered by this write: they need a read-fill.
+            let first_g = off / gran;
+            let last_g = (off + n - 1) / gran;
+            let (valid_before, bytes_ptr): (u64, &mut LineData) = {
+                let d = if let Some(d) = self.slices[slice].lines.get_mut(&la) {
+                    d
+                } else {
+                    let vi = self
+                        .victim
+                        .iter_mut()
+                        .find(|v| v.slice == slice && v.line_addr == la)
+                        .expect("line just ensured");
+                    &mut vi.data
+                };
+                (d.valid, d)
+            };
+            for g in first_g..=last_g {
+                let g_start = g * gran;
+                let g_end = g_start + gran;
+                let w_start = off.max(g_start);
+                let w_end = (off + n).min(g_end);
+                let fully_covered = w_start == g_start && w_end == g_end;
+                let was_valid = valid_before >> g & 1 == 1;
+                if !was_valid && !fully_covered {
+                    // Read-fill the granule's unwritten bytes from the older
+                    // view; the fill is an additional (false-sharing) read.
+                    for b in g_start..g_end {
+                        bytes_ptr.bytes[b] = older_view(line_base + b as u64);
+                    }
+                    fill_reads.push((line_base + g_start as u64) / gran as u64);
+                }
+                bytes_ptr.valid |= 1 << g;
+            }
+            // Apply the written bytes.
+            bytes_ptr.bytes[off..off + n].copy_from_slice(&data[i..i + n]);
+
+            i += n;
+        }
+        self.peak_lines[slice] = self.peak_lines[slice].max(self.slices[slice].lines.len());
+        WriteOutcome::Ok { fill_reads }
+    }
+
+    /// Bulk-invalidates a squashed threadlet's slice and its victim entries.
+    pub fn invalidate_slice(&mut self, slice: usize) {
+        self.slices[slice].lines.clear();
+        self.victim.retain(|v| v.slice != slice);
+    }
+
+    /// Removes and returns the slice contents at threadlet commit, for
+    /// application to architectural memory. Returns `(line_addr, bytes,
+    /// valid_mask)` tuples; the line count drives the flush-timing model.
+    pub fn take_slice(&mut self, slice: usize) -> Vec<(u64, Vec<u8>, u64)> {
+        let mut out: Vec<(u64, Vec<u8>, u64)> = self.slices[slice]
+            .lines
+            .drain()
+            .map(|(la, d)| (la, d.bytes, d.valid))
+            .collect();
+        let mut vict = Vec::new();
+        self.victim.retain(|v| {
+            if v.slice == slice {
+                vict.push((v.line_addr, v.data.bytes.clone(), v.data.valid));
+                false
+            } else {
+                true
+            }
+        });
+        out.extend(vict);
+        out.sort_by_key(|(la, _, _)| *la);
+        out
+    }
+
+    /// Applies one taken line to architectural memory, honoring the valid
+    /// granule mask (byte-masked writeback; §4.1.1).
+    pub fn apply_line(&self, mem: &mut Memory, line_addr: u64, bytes: &[u8], valid: u64) {
+        let line_sz = self.cfg.line;
+        let gran = self.cfg.granule;
+        for g in 0..(line_sz / gran) {
+            if valid >> g & 1 == 1 {
+                for b in 0..gran {
+                    let a = line_addr * line_sz as u64 + (g * gran + b) as u64;
+                    // Lines past the end of the image can only arise from
+                    // wrong-path stores, which are squashed before commit.
+                    let _ = mem.write(a, 1, bytes[g * gran + b] as u64);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ssb4() -> (Ssb, Memory) {
+        let cfg = SsbConfig { size_bytes: 1024, line: 32, granule: 4, ..SsbConfig::default() };
+        (Ssb::new(&cfg, 4), Memory::new(4096))
+    }
+
+    fn wr(ssb: &mut Ssb, slice: usize, addr: u64, data: &[u8]) -> WriteOutcome {
+        ssb.write(slice, addr, data, |_| 0xEE)
+    }
+
+    #[test]
+    fn own_write_visible_to_own_read() {
+        let (mut ssb, mem) = ssb4();
+        wr(&mut ssb, 1, 100, &[1, 2, 3, 4]);
+        let (bytes, all_ssb) = ssb.read(&[0, 1], 100, 4, &mem);
+        assert_eq!(bytes, vec![1, 2, 3, 4]);
+        assert!(all_ssb);
+    }
+
+    #[test]
+    fn newest_older_value_wins_per_granule() {
+        // Figure 5: reader sees the most recent value for each granule,
+        // ignoring younger threadlets.
+        let (mut ssb, mut mem) = ssb4();
+        mem.write_u64(96, 0).unwrap();
+        wr(&mut ssb, 0, 96, &[10, 10, 10, 10]); // oldest
+        wr(&mut ssb, 1, 96, &[20, 20, 20, 20]); // newer
+        wr(&mut ssb, 2, 96, &[30, 30, 30, 30]); // reader's own? no: younger
+        // Reader is threadlet with order [0, 1] (its own slice is 1).
+        let (bytes, _) = ssb.read(&[0, 1], 96, 4, &mem);
+        assert_eq!(bytes, vec![20; 4], "own slice is newest visible");
+        // Reader order [0] only sees the oldest.
+        let (bytes, _) = ssb.read(&[0], 96, 4, &mem);
+        assert_eq!(bytes, vec![10; 4]);
+    }
+
+    #[test]
+    fn memory_fallback_for_uncovered_bytes() {
+        let (mut ssb, mut mem) = ssb4();
+        mem.write(200, 8, u64::from_le_bytes([9; 8])).unwrap();
+        wr(&mut ssb, 0, 200, &[1, 1, 1, 1]); // covers first granule only
+        let (bytes, all_ssb) = ssb.read(&[0], 200, 8, &mem);
+        assert_eq!(bytes, vec![1, 1, 1, 1, 9, 9, 9, 9]);
+        assert!(!all_ssb);
+    }
+
+    #[test]
+    fn partial_granule_write_read_fills_and_reports() {
+        let (mut ssb, mem) = ssb4();
+        // 2-byte store into a 4-byte granule: the other 2 bytes read-fill
+        // from the older view (0xEE) and the granule is reported.
+        let out = wr(&mut ssb, 0, 100, &[7, 7]);
+        match out {
+            WriteOutcome::Ok { fill_reads } => assert_eq!(fill_reads, vec![25]), // 100/4
+            other => panic!("{other:?}"),
+        }
+        let (bytes, all) = ssb.read(&[0], 100, 4, &mem);
+        assert!(all, "whole granule valid after fill");
+        assert_eq!(bytes, vec![7, 7, 0xEE, 0xEE]);
+    }
+
+    #[test]
+    fn full_granule_write_reports_no_fill() {
+        let (mut ssb, _) = ssb4();
+        match wr(&mut ssb, 0, 100, &[1, 2, 3, 4]) {
+            WriteOutcome::Ok { fill_reads } => assert!(fill_reads.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn straddling_line_boundary() {
+        let (mut ssb, mem) = ssb4();
+        // Lines are 32 B; write 8 bytes at 28 straddles lines 0 and 1.
+        wr(&mut ssb, 0, 28, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let (bytes, all) = ssb.read(&[0], 28, 8, &mem);
+        assert!(all);
+        assert_eq!(bytes, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(ssb.slice_lines(0), 2);
+    }
+
+    #[test]
+    fn capacity_overflow_squashes() {
+        let cfg = SsbConfig { size_bytes: 4 * 32 * 2, line: 32, granule: 4, ..SsbConfig::default() };
+        let mut ssb = Ssb::new(&cfg, 2); // 4 lines per slice
+        for i in 0..4 {
+            assert!(matches!(wr(&mut ssb, 0, i * 32, &[1; 4]), WriteOutcome::Ok { .. }));
+        }
+        assert_eq!(wr(&mut ssb, 0, 4 * 32, &[1; 4]), WriteOutcome::Overflow);
+        assert_eq!(ssb.overflows(), 1);
+        // Existing line still updatable at capacity.
+        assert!(matches!(wr(&mut ssb, 0, 0, &[9; 4]), WriteOutcome::Ok { .. }));
+    }
+
+    #[test]
+    fn low_associativity_overflows_earlier_and_victim_helps() {
+        // 8 lines, 1-way: two lines mapping to the same set conflict.
+        let cfg = SsbConfig {
+            size_bytes: 8 * 32,
+            line: 32,
+            granule: 4,
+            assoc: Some(1),
+            victim_entries: 0,
+            ..SsbConfig::default()
+        };
+        let mut ssb = Ssb::new(&cfg, 1);
+        assert!(matches!(wr(&mut ssb, 0, 0, &[1; 4]), WriteOutcome::Ok { .. }));
+        // line 8 maps to set 0 as well (8 sets → line 8 ≡ set 0).
+        assert_eq!(wr(&mut ssb, 0, 8 * 32, &[1; 4]), WriteOutcome::Overflow);
+
+        let cfg = SsbConfig { victim_entries: 2, ..cfg };
+        let mut ssb = Ssb::new(&cfg, 1);
+        assert!(matches!(wr(&mut ssb, 0, 0, &[1; 4]), WriteOutcome::Ok { .. }));
+        assert!(matches!(wr(&mut ssb, 0, 8 * 32, &[2; 4]), WriteOutcome::Ok { .. }));
+        let (bytes, _) = ssb.read(&[0], 8 * 32, 4, &Memory::new(1024));
+        assert_eq!(bytes, vec![2; 4], "victim entry readable");
+    }
+
+    #[test]
+    fn invalidate_slice_clears_data() {
+        let (mut ssb, mem) = ssb4();
+        wr(&mut ssb, 2, 64, &[5; 4]);
+        ssb.invalidate_slice(2);
+        let (bytes, all) = ssb.read(&[2], 64, 4, &mem);
+        assert!(!all);
+        assert_eq!(bytes, vec![0; 4]);
+        assert_eq!(ssb.slice_lines(2), 0);
+    }
+
+    #[test]
+    fn take_slice_and_apply_respects_valid_mask() {
+        let (mut ssb, mut mem) = ssb4();
+        mem.write(0, 8, u64::from_le_bytes([0xAA; 8])).unwrap();
+        wr(&mut ssb, 0, 4, &[1, 2, 3, 4]); // second granule of line 0 only
+        let lines = ssb.take_slice(0);
+        assert_eq!(lines.len(), 1);
+        for (la, bytes, valid) in &lines {
+            ssb.apply_line(&mut mem, *la, bytes, *valid);
+        }
+        assert_eq!(mem.read(0, 4).unwrap(), u32::from_le_bytes([0xAA; 4]) as u64);
+        assert_eq!(mem.read(4, 4).unwrap(), u32::from_le_bytes([1, 2, 3, 4]) as u64);
+        assert_eq!(ssb.slice_lines(0), 0);
+    }
+
+    #[test]
+    fn granules_of_spans() {
+        let (ssb, _) = ssb4();
+        assert_eq!(ssb.granules_of(0, 4), vec![0]);
+        assert_eq!(ssb.granules_of(2, 4), vec![0, 1]);
+        assert_eq!(ssb.granules_of(8, 1), vec![2]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Simulation statistics, aligned with the paper's evaluation metrics
+//! (whole-program cycles, IPC breakdown by threadlet class for Figure 8,
+//! threadlet-activity distribution for Figure 7, squash causes, packing
+//! behaviour for §6.5).
+
+use lf_stats::Counters;
+
+/// Statistics collected over one simulation.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions committed to architectural state (committed while the
+    /// threadlet was architectural, plus speculative commits of epochs that
+    /// later promoted).
+    pub committed_insts: u64,
+    /// Instructions committed while the threadlet was architectural.
+    pub commits_arch: u64,
+    /// Instructions committed speculatively in epochs that later promoted.
+    pub commits_spec_success: u64,
+    /// Instructions committed speculatively in epochs that were squashed
+    /// (failed speculation; Figure 8's top band).
+    pub commits_spec_failed: u64,
+    /// Instructions issued to execution pipes (includes wrong-path work).
+    pub issued_insts: u64,
+    /// Conditional branches resolved.
+    pub branches: u64,
+    /// Conditional branches mispredicted.
+    pub branch_mispredicts: u64,
+    /// Threadlets spawned by detach hints.
+    pub spawns: u64,
+    /// Spawns with packing factor > 1.
+    pub packed_spawns: u64,
+    /// Sum of packing factors over packed spawns (mean = sum / packed).
+    pub pack_factor_sum: u64,
+    /// Largest packing factor used.
+    pub pack_factor_max: u32,
+    /// Mispredicted induction variables repaired in place.
+    pub pack_patches: u64,
+    /// Threadlet squashes: inter-threadlet RAW conflicts.
+    pub squashes_conflict: u64,
+    /// SSB capacity overflow stall events (drains deferred until the
+    /// threadlet became architectural).
+    pub squashes_overflow: u64,
+    /// Successor squashes: loop exit (sync).
+    pub squashes_sync: u64,
+    /// Successor squashes: packing misprediction with consumed value.
+    pub squashes_packing: u64,
+    /// Successor squashes: wrong-path detach discarded on branch recovery.
+    pub squashes_wrong_path: u64,
+    /// `cycles_with_active[k]` = cycles during which exactly `k` threadlet
+    /// contexts were actively executing (Figure 7).
+    pub cycles_with_active: Vec<u64>,
+    /// Cycles during which the core was inside a parallel region (any
+    /// threadlet detached or more than one context active).
+    pub region_cycles: u64,
+    /// Memory system and miscellaneous counters.
+    pub counters: Counters,
+}
+
+impl SimStats {
+    /// Creates stats sized for `threadlets` contexts.
+    pub fn new(threadlets: usize) -> SimStats {
+        SimStats { cycles_with_active: vec![0; threadlets + 1], ..SimStats::default() }
+    }
+
+    /// Architectural IPC: committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Commit-bandwidth utilization for a core of `commit_width`.
+    pub fn commit_utilization(&self, commit_width: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_insts as f64 / (self.cycles as f64 * commit_width as f64)
+        }
+    }
+
+    /// Branch misprediction rate (mispredicts per resolved branch).
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Fraction of cycles with at least `k` threadlets active.
+    pub fn frac_active_at_least(&self, k: usize) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let n: u64 = self.cycles_with_active.iter().skip(k).sum();
+        n as f64 / self.cycles as f64
+    }
+
+    /// Mean packing factor over packed spawns (1.0 if none packed).
+    pub fn mean_pack_factor(&self) -> f64 {
+        if self.packed_spawns == 0 {
+            1.0
+        } else {
+            self.pack_factor_sum as f64 / self.packed_spawns as f64
+        }
+    }
+}
+
+/// Why the simulation stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimStop {
+    /// The program's `halt` committed architecturally.
+    Halted,
+    /// The committed-instruction budget was exhausted.
+    MaxInsts,
+    /// The cycle budget was exhausted.
+    MaxCycles,
+}
+
+/// Final outcome of a simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Why the run stopped.
+    pub stop: SimStop,
+    /// Collected statistics.
+    pub stats: SimStats,
+    /// Checksum over final architectural registers and memory; comparable
+    /// with [`lf_isa::Emulator::state_checksum`].
+    pub checksum: u64,
+    /// Final architectural register values.
+    pub final_regs: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_utilization() {
+        let mut s = SimStats::new(4);
+        s.cycles = 100;
+        s.committed_insts = 400;
+        assert!((s.ipc() - 4.0).abs() < 1e-12);
+        assert!((s.commit_utilization(8) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activity_fractions() {
+        let mut s = SimStats::new(4);
+        s.cycles = 10;
+        s.cycles_with_active = vec![0, 5, 3, 1, 1];
+        assert!((s.frac_active_at_least(2) - 0.5).abs() < 1e-12);
+        assert!((s.frac_active_at_least(4) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = SimStats::new(2);
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+        assert_eq!(s.mean_pack_factor(), 1.0);
+    }
+}

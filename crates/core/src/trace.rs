@@ -1,0 +1,260 @@
+//! Pipeline tracing: a gem5-style event stream for debugging and teaching.
+//!
+//! Attach a [`Tracer`] to a [`crate::LoopFrogCore`] with
+//! [`crate::LoopFrogCore::set_tracer`] and every significant pipeline event
+//! — renames, commits, threadlet spawns, squashes, mispredicts,
+//! retirements — is reported as it happens. [`TextTracer`] renders events
+//! as one line each; [`CountingTracer`] aggregates per-kind counts (useful
+//! in tests and for cheap profiling).
+
+use lf_isa::{Inst, RegionId};
+use std::fmt;
+use std::io::Write;
+
+/// Why a threadlet (and its successors) was squashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SquashReason {
+    /// Inter-threadlet read-after-write conflict (Algorithm 1).
+    Conflict,
+    /// Loop exit: a committed `sync` discarded the misspeculated successor.
+    SyncExit,
+    /// The spawning detach was on a mispredicted path.
+    WrongPath,
+    /// Iteration-packing value misprediction.
+    Packing,
+    /// Stale inherited register consumed (body→continuation dataflow).
+    RegisterViolation,
+}
+
+/// One pipeline event.
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// An instruction entered the out-of-order window.
+    Rename {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Threadlet context.
+        tid: usize,
+        /// Dynamic instruction id.
+        uid: u64,
+        /// Static program counter.
+        pc: usize,
+        /// The instruction.
+        inst: Inst,
+    },
+    /// An instruction committed to its threadlet.
+    Commit {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Threadlet context.
+        tid: usize,
+        /// Dynamic instruction id.
+        uid: u64,
+        /// Static program counter.
+        pc: usize,
+        /// Whether the committing threadlet was architectural.
+        architectural: bool,
+    },
+    /// A detach spawned a successor threadlet.
+    Spawn {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Spawning context.
+        parent: usize,
+        /// New context.
+        child: usize,
+        /// Region (continuation address).
+        region: RegionId,
+        /// Iteration-packing factor (1 = unpacked).
+        factor: u32,
+    },
+    /// A threadlet (and everything younger) was squashed.
+    SquashThreadlets {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Oldest squashed context.
+        first: usize,
+        /// Whether `first` restarts from its checkpoint (vs. recycled).
+        restart: bool,
+        /// Cause.
+        reason: SquashReason,
+    },
+    /// A control instruction resolved against its prediction.
+    Mispredict {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Threadlet context.
+        tid: usize,
+        /// Branch program counter.
+        pc: usize,
+        /// Resolved target.
+        actual: usize,
+    },
+    /// The architectural threadlet retired and its successor was promoted.
+    Retire {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Retiring context.
+        tid: usize,
+        /// Retiring epoch number.
+        epoch: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's cycle.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            TraceEvent::Rename { cycle, .. }
+            | TraceEvent::Commit { cycle, .. }
+            | TraceEvent::Spawn { cycle, .. }
+            | TraceEvent::SquashThreadlets { cycle, .. }
+            | TraceEvent::Mispredict { cycle, .. }
+            | TraceEvent::Retire { cycle, .. } => *cycle,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Rename { cycle, tid, uid, pc, inst } => {
+                write!(f, "{cycle:>8} T{tid} rename  u{uid} pc{pc}: {inst}")
+            }
+            TraceEvent::Commit { cycle, tid, uid, pc, architectural } => {
+                let m = if *architectural { "arch" } else { "spec" };
+                write!(f, "{cycle:>8} T{tid} commit  u{uid} pc{pc} [{m}]")
+            }
+            TraceEvent::Spawn { cycle, parent, child, region, factor } => {
+                write!(f, "{cycle:>8} T{parent} spawn   T{child} {region} x{factor}")
+            }
+            TraceEvent::SquashThreadlets { cycle, first, restart, reason } => {
+                let k = if *restart { "restart" } else { "recycle" };
+                write!(f, "{cycle:>8} -- squash  from T{first} ({k}, {reason:?})")
+            }
+            TraceEvent::Mispredict { cycle, tid, pc, actual } => {
+                write!(f, "{cycle:>8} T{tid} mispred pc{pc} -> {actual}")
+            }
+            TraceEvent::Retire { cycle, tid, epoch } => {
+                write!(f, "{cycle:>8} T{tid} retire  epoch {epoch}")
+            }
+        }
+    }
+}
+
+/// An observer of pipeline events.
+pub trait Tracer {
+    /// Receives one event; called synchronously from the pipeline loop.
+    fn event(&mut self, ev: &TraceEvent);
+}
+
+/// Writes one line per event to a [`Write`] sink.
+#[derive(Debug)]
+pub struct TextTracer<W: Write> {
+    sink: W,
+}
+
+impl<W: Write> TextTracer<W> {
+    /// Creates a tracer writing to `sink`.
+    pub fn new(sink: W) -> TextTracer<W> {
+        TextTracer { sink }
+    }
+
+    /// Returns the sink.
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+
+    /// Mutable access to the sink (e.g. to take a captured buffer).
+    pub fn sink_mut(&mut self) -> &mut W {
+        &mut self.sink
+    }
+}
+
+impl<W: Write> Tracer for TextTracer<W> {
+    fn event(&mut self, ev: &TraceEvent) {
+        let _ = writeln!(self.sink, "{ev}");
+    }
+}
+
+/// Counts events per kind.
+#[derive(Debug, Default, Clone)]
+pub struct CountingTracer {
+    /// Rename events seen.
+    pub renames: u64,
+    /// Commit events seen.
+    pub commits: u64,
+    /// Spawn events seen.
+    pub spawns: u64,
+    /// Squash events seen.
+    pub squashes: u64,
+    /// Mispredict events seen.
+    pub mispredicts: u64,
+    /// Retire events seen.
+    pub retires: u64,
+}
+
+impl Tracer for CountingTracer {
+    fn event(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Rename { .. } => self.renames += 1,
+            TraceEvent::Commit { .. } => self.commits += 1,
+            TraceEvent::Spawn { .. } => self.spawns += 1,
+            TraceEvent::SquashThreadlets { .. } => self.squashes += 1,
+            TraceEvent::Mispredict { .. } => self.mispredicts += 1,
+            TraceEvent::Retire { .. } => self.retires += 1,
+        }
+    }
+}
+
+/// Sharing adapter: lets callers keep a handle to the tracer while the
+/// core owns the boxed trait object.
+impl<T: Tracer> Tracer for std::rc::Rc<std::cell::RefCell<T>> {
+    fn event(&mut self, ev: &TraceEvent) {
+        self.borrow_mut().event(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_line_each() {
+        let evs = [
+            TraceEvent::Spawn { cycle: 7, parent: 0, child: 1, region: RegionId(9), factor: 2 },
+            TraceEvent::Retire { cycle: 9, tid: 0, epoch: 3 },
+            TraceEvent::SquashThreadlets {
+                cycle: 11,
+                first: 2,
+                restart: true,
+                reason: SquashReason::Conflict,
+            },
+        ];
+        for ev in &evs {
+            let s = ev.to_string();
+            assert!(!s.contains('\n'));
+            assert!(!s.is_empty());
+        }
+        assert_eq!(evs[0].cycle(), 7);
+    }
+
+    #[test]
+    fn text_tracer_writes_lines() {
+        let mut t = TextTracer::new(Vec::new());
+        t.event(&TraceEvent::Retire { cycle: 1, tid: 0, epoch: 0 });
+        t.event(&TraceEvent::Mispredict { cycle: 2, tid: 1, pc: 5, actual: 9 });
+        let out = String::from_utf8(t.into_inner()).unwrap();
+        assert_eq!(out.lines().count(), 2);
+    }
+
+    #[test]
+    fn counting_tracer_counts() {
+        let mut c = CountingTracer::default();
+        c.event(&TraceEvent::Retire { cycle: 1, tid: 0, epoch: 0 });
+        c.event(&TraceEvent::Retire { cycle: 2, tid: 1, epoch: 1 });
+        c.event(&TraceEvent::Spawn { cycle: 3, parent: 0, child: 1, region: RegionId(4), factor: 1 });
+        assert_eq!(c.retires, 2);
+        assert_eq!(c.spawns, 1);
+    }
+}

@@ -1,0 +1,302 @@
+//! A label-resolving program builder.
+//!
+//! [`ProgramBuilder`] is the assembler front-end used by workload kernels and
+//! tests: instructions are appended with symbolic labels for branch targets,
+//! and [`ProgramBuilder::build`] resolves them to word addresses.
+//!
+//! # Examples
+//!
+//! ```
+//! use lf_isa::{ProgramBuilder, reg, AluOp, BranchCond};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let loop_top = b.label("loop");
+//! b.li(reg::x(1), 0);
+//! b.li(reg::x(2), 10);
+//! b.bind(loop_top);
+//! b.alui(AluOp::Add, reg::x(1), reg::x(1), 1);
+//! b.branch(BranchCond::Lt, reg::x(1), reg::x(2), loop_top);
+//! b.halt();
+//! let program = b.build().unwrap();
+//! assert_eq!(program.len(), 5);
+//! ```
+
+use crate::inst::{AluOp, BranchCond, FpuOp, HintKind, Inst, MemSize, Operand, RegionId};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A symbolic label created by [`ProgramBuilder::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors reported by [`ProgramBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was referenced by a branch but never bound to an address.
+    UnboundLabel {
+        /// Name of the unbound label.
+        name: String,
+    },
+    /// A label was bound more than once.
+    ReboundLabel {
+        /// Name of the rebound label.
+        name: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel { name } => write!(f, "label `{name}` was never bound"),
+            BuildError::ReboundLabel { name } => write!(f, "label `{name}` bound twice"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Placeholder target encoding: branch targets referencing unresolved labels
+/// store `PLACEHOLDER_BASE + label_id` until `build` patches them.
+const PLACEHOLDER_BASE: usize = usize::MAX / 2;
+
+/// Incremental program assembler with symbolic labels.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    names: Vec<String>,
+    bound: Vec<Option<usize>>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Current address (index of the next emitted instruction).
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Creates a new, unbound label.
+    pub fn label(&mut self, name: &str) -> Label {
+        self.names.push(name.to_string());
+        self.bound.push(None);
+        Label(self.names.len() - 1)
+    }
+
+    /// Binds `label` to the current address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label id is foreign to this builder.
+    pub fn bind(&mut self, label: Label) {
+        assert!(label.0 < self.bound.len(), "foreign label");
+        // Double binding is reported at build time so that kernels can be
+        // written in a straight line without interleaved error handling.
+        if self.bound[label.0].is_none() {
+            self.bound[label.0] = Some(self.insts.len());
+        } else {
+            self.bound[label.0] = Some(usize::MAX); // poison; caught in build()
+        }
+    }
+
+    /// Appends a raw instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    /// `dst = op(a, b)` with a register second operand.
+    pub fn alu(&mut self, op: AluOp, dst: Reg, a: Reg, b: Reg) {
+        self.push(Inst::Alu { op, dst, a, b: Operand::Reg(b) });
+    }
+
+    /// `dst = op(a, imm)` with an immediate second operand.
+    pub fn alui(&mut self, op: AluOp, dst: Reg, a: Reg, imm: i64) {
+        self.push(Inst::Alu { op, dst, a, b: Operand::Imm(imm) });
+    }
+
+    /// Floating point `dst = op(a, b)`.
+    pub fn fpu(&mut self, op: FpuOp, dst: Reg, a: Reg, b: Reg) {
+        self.push(Inst::Fpu { op, dst, a, b });
+    }
+
+    /// Load immediate.
+    pub fn li(&mut self, dst: Reg, imm: i64) {
+        self.push(Inst::MovImm { dst, imm });
+    }
+
+    /// Register move (`dst = src`), encoded as `add dst, src, 0`.
+    pub fn mv(&mut self, dst: Reg, src: Reg) {
+        self.alui(AluOp::Add, dst, src, 0);
+    }
+
+    /// Load of `size` bytes, zero-extended.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64, size: MemSize) {
+        self.push(Inst::Load { dst, base, offset, size, signed: false });
+    }
+
+    /// Load of `size` bytes, sign-extended.
+    pub fn load_signed(&mut self, dst: Reg, base: Reg, offset: i64, size: MemSize) {
+        self.push(Inst::Load { dst, base, offset, size, signed: true });
+    }
+
+    /// Store of `size` bytes.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64, size: MemSize) {
+        self.push(Inst::Store { src, base, offset, size });
+    }
+
+    /// Conditional branch to `label`.
+    pub fn branch(&mut self, cond: BranchCond, a: Reg, b: Reg, label: Label) {
+        self.push(Inst::Branch { cond, a, b, target: PLACEHOLDER_BASE + label.0 });
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) {
+        self.push(Inst::Jump { target: PLACEHOLDER_BASE + label.0 });
+    }
+
+    /// Direct call to `label`, saving the return address in `link`.
+    pub fn call(&mut self, label: Label, link: Reg) {
+        self.push(Inst::Call { target: PLACEHOLDER_BASE + label.0, link });
+    }
+
+    /// Indirect jump through `base` (returns).
+    pub fn jump_reg(&mut self, base: Reg) {
+        self.push(Inst::JumpReg { base });
+    }
+
+    /// Emits a `detach` hint whose region is `continuation`. The region ID is
+    /// resolved to the continuation label's address at build time.
+    pub fn detach(&mut self, continuation: Label) {
+        self.push(Inst::Hint {
+            kind: HintKind::Detach,
+            region: RegionId(PLACEHOLDER_BASE + continuation.0),
+        });
+    }
+
+    /// Emits a `reattach` hint for `continuation`'s region.
+    pub fn reattach(&mut self, continuation: Label) {
+        self.push(Inst::Hint {
+            kind: HintKind::Reattach,
+            region: RegionId(PLACEHOLDER_BASE + continuation.0),
+        });
+    }
+
+    /// Emits a `sync` hint for `continuation`'s region.
+    pub fn sync(&mut self, continuation: Label) {
+        self.push(Inst::Hint {
+            kind: HintKind::Sync,
+            region: RegionId(PLACEHOLDER_BASE + continuation.0),
+        });
+    }
+
+    /// Emits a `nop`.
+    pub fn nop(&mut self) {
+        self.push(Inst::Nop);
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) {
+        self.push(Inst::Halt);
+    }
+
+    fn resolve(&self, raw: usize) -> Result<usize, BuildError> {
+        if raw < PLACEHOLDER_BASE {
+            return Ok(raw);
+        }
+        let id = raw - PLACEHOLDER_BASE;
+        match self.bound[id] {
+            Some(usize::MAX) => Err(BuildError::ReboundLabel { name: self.names[id].clone() }),
+            Some(addr) => Ok(addr),
+            None => Err(BuildError::UnboundLabel { name: self.names[id].clone() }),
+        }
+    }
+
+    /// Resolves labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if a referenced label was never bound, or a
+    /// label was bound twice.
+    pub fn build(self) -> Result<Program, BuildError> {
+        let mut insts = self.insts.clone();
+        for inst in insts.iter_mut() {
+            match inst {
+                Inst::Branch { target, .. } | Inst::Jump { target } | Inst::Call { target, .. } => {
+                    *target = self.resolve(*target)?;
+                }
+                Inst::Hint { region, .. } => {
+                    region.0 = self.resolve(region.0)?;
+                }
+                _ => {}
+            }
+        }
+        let mut labels = BTreeMap::new();
+        for (id, bound) in self.bound.iter().enumerate() {
+            if let Some(addr) = *bound {
+                if addr == usize::MAX {
+                    return Err(BuildError::ReboundLabel { name: self.names[id].clone() });
+                }
+                labels.entry(addr).or_insert_with(|| self.names[id].clone());
+            }
+        }
+        Ok(Program::with_labels(insts, labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg as reg;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        let out = b.label("out");
+        b.bind(top);
+        b.branch(BranchCond::Eq, reg::x(1), reg::ZERO, out);
+        b.jump(top);
+        b.bind(out);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.fetch(0), Some(Inst::Branch { cond: BranchCond::Eq, a: reg::x(1), b: reg::ZERO, target: 2 }));
+        assert_eq!(p.fetch(1), Some(Inst::Jump { target: 0 }));
+        assert_eq!(p.label_at(2), Some("out"));
+    }
+
+    #[test]
+    fn hint_regions_resolve_to_continuation_address() {
+        let mut b = ProgramBuilder::new();
+        let cont = b.label("cont");
+        b.detach(cont);
+        b.reattach(cont);
+        b.bind(cont);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.fetch(0).unwrap().hint(), Some((HintKind::Detach, RegionId(2))));
+        assert_eq!(p.fetch(1).unwrap().hint(), Some((HintKind::Reattach, RegionId(2))));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let nowhere = b.label("nowhere");
+        b.jump(nowhere);
+        assert_eq!(b.build(), Err(BuildError::UnboundLabel { name: "nowhere".into() }));
+    }
+
+    #[test]
+    fn rebound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label("l");
+        b.bind(l);
+        b.nop();
+        b.bind(l);
+        b.jump(l);
+        assert!(matches!(b.build(), Err(BuildError::ReboundLabel { .. })));
+    }
+}

@@ -1,0 +1,41 @@
+//! Small hashing helpers used for state validation.
+
+/// FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0001_b3);
+    }
+    h
+}
+
+/// FNV-1a over a slice of `u64` values (little-endian byte order).
+pub fn fnv1a_u64(values: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in values {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_0001_b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a of the empty string is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        // FNV-1a of "a".
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn u64_matches_bytes() {
+        assert_eq!(fnv1a_u64(&[0x0102_0304_0506_0708]), fnv1a(&[8, 7, 6, 5, 4, 3, 2, 1]));
+    }
+}

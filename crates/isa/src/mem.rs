@@ -1,0 +1,202 @@
+//! Byte-addressed data memory image.
+//!
+//! A flat, bounds-checked byte array. The timing simulator layers caches on
+//! top of this image for latency; the image itself always holds the
+//! *architectural* contents of memory (speculative data lives in the SSB
+//! until threadlet commit).
+
+use std::fmt;
+
+/// Errors raised by memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Access extended past the end of the memory image.
+    OutOfBounds {
+        /// Faulting byte address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u64,
+        /// Size of the memory image.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds { addr, size, limit } => {
+                write!(f, "memory access of {size} bytes at {addr:#x} exceeds image size {limit:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// A flat byte-addressed memory image.
+///
+/// # Examples
+///
+/// ```
+/// use lf_isa::Memory;
+///
+/// let mut mem = Memory::new(4096);
+/// mem.write_u64(16, 0xdead_beef).unwrap();
+/// assert_eq!(mem.read_u64(16).unwrap(), 0xdead_beef);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates a zero-filled memory image of `size` bytes.
+    pub fn new(size: usize) -> Memory {
+        Memory { bytes: vec![0; size] }
+    }
+
+    /// Size of the image in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Raw bytes of the image.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    fn check(&self, addr: u64, size: u64) -> Result<usize, MemError> {
+        let end = addr.checked_add(size);
+        match end {
+            Some(end) if end <= self.bytes.len() as u64 => Ok(addr as usize),
+            _ => Err(MemError::OutOfBounds { addr, size, limit: self.bytes.len() as u64 }),
+        }
+    }
+
+    /// Reads `size` bytes at `addr`, zero-extended into a `u64` (little
+    /// endian).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the access exceeds the image.
+    pub fn read(&self, addr: u64, size: u64) -> Result<u64, MemError> {
+        debug_assert!(size <= 8);
+        let base = self.check(addr, size)?;
+        let mut buf = [0u8; 8];
+        buf[..size as usize].copy_from_slice(&self.bytes[base..base + size as usize]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes the low `size` bytes of `value` at `addr` (little endian).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the access exceeds the image.
+    pub fn write(&mut self, addr: u64, size: u64, value: u64) -> Result<(), MemError> {
+        debug_assert!(size <= 8);
+        let base = self.check(addr, size)?;
+        self.bytes[base..base + size as usize].copy_from_slice(&value.to_le_bytes()[..size as usize]);
+        Ok(())
+    }
+
+    /// Reads a single byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if `addr` exceeds the image.
+    pub fn read_u8(&self, addr: u64) -> Result<u8, MemError> {
+        Ok(self.read(addr, 1)? as u8)
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the access exceeds the image.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, MemError> {
+        self.read(addr, 8)
+    }
+
+    /// Writes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the access exceeds the image.
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), MemError> {
+        self.write(addr, 8, value)
+    }
+
+    /// Reads an `f64` stored as its little-endian bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the access exceeds the image.
+    pub fn read_f64(&self, addr: u64) -> Result<f64, MemError> {
+        Ok(f64::from_bits(self.read(addr, 8)?))
+    }
+
+    /// Writes an `f64` as its little-endian bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the access exceeds the image.
+    pub fn write_f64(&mut self, addr: u64, value: f64) -> Result<(), MemError> {
+        self.write(addr, 8, value.to_bits())
+    }
+
+    /// FNV-1a checksum over the full image; used by workloads to validate
+    /// that speculative and sequential execution produce identical memory.
+    pub fn checksum(&self) -> u64 {
+        crate::checksum::fnv1a(&self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_sizes() {
+        let mut m = Memory::new(64);
+        for (size, val) in [(1u64, 0xabu64), (2, 0xbeef), (4, 0xdeadbeef), (8, u64::MAX - 3)] {
+            m.write(8, size, val).unwrap();
+            assert_eq!(m.read(8, size).unwrap(), val);
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new(16);
+        m.write(0, 4, 0x0403_0201).unwrap();
+        assert_eq!(m.read_u8(0).unwrap(), 1);
+        assert_eq!(m.read_u8(3).unwrap(), 4);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut m = Memory::new(8);
+        assert!(m.read(8, 1).is_err());
+        assert!(m.write(4, 8, 0).is_err());
+        assert!(m.read(u64::MAX, 8).is_err());
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut m = Memory::new(16);
+        m.write_f64(0, -1234.5e-3).unwrap();
+        assert_eq!(m.read_f64(0).unwrap(), -1234.5e-3);
+    }
+
+    #[test]
+    fn checksum_changes_with_content() {
+        let mut m = Memory::new(32);
+        let c0 = m.checksum();
+        m.write_u64(0, 1).unwrap();
+        assert_ne!(m.checksum(), c0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Event counters and histograms for simulator statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named bag of monotonically increasing event counters.
+///
+/// # Examples
+///
+/// ```
+/// use lf_stats::Counters;
+///
+/// let mut c = Counters::new();
+/// c.add("commits", 8);
+/// c.inc("squashes");
+/// assert_eq!(c.get("commits"), 8);
+/// assert_eq!(c.get("squashes"), 1);
+/// assert_eq!(c.get("missing"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    map: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter bag.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Adds `n` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.map.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Reads a counter; absent counters read as zero.
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another counter bag into this one by summing.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// The ratio `num / den` of two counters, or 0.0 if the denominator is 0.
+    pub fn ratio(&self, num: &str, den: &str) -> f64 {
+        let d = self.get(den);
+        if d == 0 {
+            0.0
+        } else {
+            self.get(num) as f64 / d as f64
+        }
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in self.iter() {
+            writeln!(f, "{k:40} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Bucket `i` (of `n`) covers `[i * width, (i + 1) * width)`; the final
+/// bucket additionally absorbs all larger samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    width: u64,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of `width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `buckets == 0`.
+    pub fn new(width: u64, buckets: usize) -> Histogram {
+        assert!(width > 0 && buckets > 0);
+        Histogram { width, buckets: vec![0; buckets], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        let idx = ((sample / self.width) as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += sample;
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Fraction of samples at or above `threshold`.
+    pub fn frac_at_least(&self, threshold: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let first = (threshold / self.width) as usize;
+        let n: u64 = self.buckets.iter().skip(first.min(self.buckets.len() - 1)).sum();
+        n as f64 / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge_and_ratio() {
+        let mut a = Counters::new();
+        a.add("x", 3);
+        let mut b = Counters::new();
+        b.add("x", 2);
+        b.add("y", 4);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 5);
+        assert!((a.ratio("y", "x") - 0.8).abs() < 1e-12);
+        assert_eq!(a.ratio("x", "zero"), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(10, 4);
+        for s in [0, 9, 10, 39, 40, 1000] {
+            h.record(s);
+        }
+        assert_eq!(h.buckets(), &[2, 1, 0, 3]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn histogram_mean_and_tail() {
+        let mut h = Histogram::new(1, 8);
+        for s in [1, 2, 3, 4] {
+            h.record(s);
+        }
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+        assert!((h.frac_at_least(3) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,332 @@
+//! SimPoint-style program phase analysis (paper §6.1).
+//!
+//! The paper samples SPEC runs with SimPoint 3.0: execution is divided into
+//! fixed-length instruction intervals, each summarized by a basic-block
+//! vector (BBV); BBVs are randomly projected to a low dimension, clustered
+//! with k-means (choosing `k` by a BIC-style score), and one representative
+//! interval per cluster is simulated in detail, weighted by cluster size.
+//!
+//! This module reimplements that pipeline: [`BbvCollector`] gathers interval
+//! vectors from the functional emulator, and [`pick_simpoints`] selects
+//! representatives and weights.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Collects basic-block vectors over fixed-length instruction intervals.
+#[derive(Debug, Clone)]
+pub struct BbvCollector {
+    interval_len: u64,
+    in_interval: u64,
+    current: HashMap<usize, u64>,
+    vectors: Vec<HashMap<usize, u64>>,
+}
+
+impl BbvCollector {
+    /// Creates a collector with the given interval length in instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_len` is zero.
+    pub fn new(interval_len: u64) -> BbvCollector {
+        assert!(interval_len > 0);
+        BbvCollector { interval_len, in_interval: 0, current: HashMap::new(), vectors: Vec::new() }
+    }
+
+    /// Records the execution of `len` instructions belonging to the basic
+    /// block identified by `block_id` (e.g. the block's start PC).
+    pub fn record(&mut self, block_id: usize, len: u64) {
+        *self.current.entry(block_id).or_insert(0) += len;
+        self.in_interval += len;
+        if self.in_interval >= self.interval_len {
+            self.vectors.push(std::mem::take(&mut self.current));
+            self.in_interval = 0;
+        }
+    }
+
+    /// Flushes a trailing partial interval, if any.
+    pub fn finish(&mut self) {
+        if !self.current.is_empty() {
+            self.vectors.push(std::mem::take(&mut self.current));
+            self.in_interval = 0;
+        }
+    }
+
+    /// The collected interval vectors.
+    pub fn vectors(&self) -> &[HashMap<usize, u64>] {
+        &self.vectors
+    }
+
+    /// Number of complete or flushed intervals.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether no interval has been completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+}
+
+/// A selected simulation point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimPoint {
+    /// Index of the representative interval.
+    pub interval: usize,
+    /// Fraction of all intervals represented by this point (sums to 1).
+    pub weight: f64,
+}
+
+/// Projects sparse BBVs to `dim` dense dimensions with a seeded random
+/// projection, as SimPoint 3.0 does (dimension 15 by default there).
+pub fn project(vectors: &[HashMap<usize, u64>], dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut out = Vec::with_capacity(vectors.len());
+    for v in vectors {
+        let total: u64 = v.values().sum();
+        let mut dense = vec![0.0; dim];
+        if total > 0 {
+            for (&block, &count) in v {
+                let frac = count as f64 / total as f64;
+                // Per-block deterministic projection row derived from the
+                // block id and the global seed.
+                let mut rng = SmallRng::seed_from_u64(seed ^ (block as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                for d in dense.iter_mut() {
+                    *d += frac * rng.random_range(-1.0..1.0);
+                }
+            }
+        }
+        out.push(dense);
+    }
+    out
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Result of one k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster index per point.
+    pub assignment: Vec<usize>,
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Total within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+/// Runs k-means with k-means++-style seeding (deterministic given `seed`).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `points` is empty.
+pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, iters: usize) -> KMeans {
+    assert!(k > 0 && !points.is_empty());
+    let k = k.min(points.len());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dim = points[0].len();
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let d: Vec<f64> = points
+            .iter()
+            .map(|p| centroids.iter().map(|c| dist2(p, c)).fold(f64::INFINITY, f64::min))
+            .collect();
+        let total: f64 = d.iter().sum();
+        let next = if total <= 0.0 {
+            rng.random_range(0..points.len())
+        } else {
+            let mut t = rng.random_range(0.0..total);
+            let mut idx = 0;
+            for (i, w) in d.iter().enumerate() {
+                if t < *w {
+                    idx = i;
+                    break;
+                }
+                t -= w;
+                idx = i;
+            }
+            idx
+        };
+        centroids.push(points[next].clone());
+    }
+
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..iters {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..centroids.len())
+                .min_by(|&a, &b| dist2(p, &centroids[a]).partial_cmp(&dist2(p, &centroids[b])).unwrap())
+                .unwrap();
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; dim]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for (s, x) in sums[assignment[i]].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for (c, (sum, n)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if *n > 0 {
+                *c = sum.iter().map(|s| s / *n as f64).collect();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inertia = points.iter().enumerate().map(|(i, p)| dist2(p, &centroids[assignment[i]])).sum();
+    KMeans { assignment, centroids, inertia }
+}
+
+/// A BIC-style score for choosing `k` (higher is better): log-likelihood of
+/// the spherical-Gaussian model minus a complexity penalty.
+fn bic_score(points: &[Vec<f64>], km: &KMeans) -> f64 {
+    let n = points.len() as f64;
+    let k = km.centroids.len() as f64;
+    let dim = points[0].len() as f64;
+    let variance = (km.inertia / (n * dim)).max(1e-9);
+    let log_likelihood = -0.5 * n * dim * (variance.ln() + 1.0);
+    let params = k * (dim + 1.0);
+    log_likelihood - 0.5 * params * n.ln()
+}
+
+/// Picks SimPoints from interval BBVs: projects, clusters for `k` in
+/// `1..=max_k` choosing the best BIC score, then returns the interval closest
+/// to each centroid with the cluster's weight.
+///
+/// Returns an empty vector if `vectors` is empty.
+pub fn pick_simpoints(vectors: &[HashMap<usize, u64>], max_k: usize, seed: u64) -> Vec<SimPoint> {
+    if vectors.is_empty() {
+        return Vec::new();
+    }
+    let points = project(vectors, 16, seed);
+    let mut best: Option<(f64, KMeans)> = None;
+    for k in 1..=max_k.min(points.len()) {
+        let km = kmeans(&points, k, seed.wrapping_add(k as u64), 50);
+        let score = bic_score(&points, &km);
+        if best.as_ref().is_none_or(|(s, _)| score > *s) {
+            best = Some((score, km));
+        }
+    }
+    let (_, km) = best.expect("at least one clustering");
+    let mut picks = Vec::new();
+    for (ci, centroid) in km.centroids.iter().enumerate() {
+        let members: Vec<usize> =
+            (0..points.len()).filter(|&i| km.assignment[i] == ci).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let rep = *members
+            .iter()
+            .min_by(|&&a, &&b| {
+                dist2(&points[a], centroid).partial_cmp(&dist2(&points[b], centroid)).unwrap()
+            })
+            .unwrap();
+        picks.push(SimPoint { interval: rep, weight: members.len() as f64 / points.len() as f64 });
+    }
+    picks.sort_by_key(|p| p.interval);
+    picks
+}
+
+/// Combines per-SimPoint cycle counts into a weighted whole-run estimate:
+/// `total_insts * Σ(weight_i * cpi_i)`.
+pub fn weighted_cycles(points: &[(SimPoint, u64, u64)], total_insts: u64) -> f64 {
+    // points: (simpoint, cycles, insts) per representative interval.
+    let cpi: f64 = points
+        .iter()
+        .map(|(sp, cycles, insts)| {
+            if *insts == 0 {
+                0.0
+            } else {
+                sp.weight * (*cycles as f64 / *insts as f64)
+            }
+        })
+        .sum();
+    cpi * total_insts as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth_vectors() -> Vec<HashMap<usize, u64>> {
+        // Two clearly separated phases: blocks {1,2} vs blocks {100,101}.
+        let mut v = Vec::new();
+        for i in 0..20 {
+            let mut m = HashMap::new();
+            if i % 2 == 0 {
+                m.insert(1, 80);
+                m.insert(2, 20);
+            } else {
+                m.insert(100, 50);
+                m.insert(101, 50);
+            }
+            v.push(m);
+        }
+        v
+    }
+
+    #[test]
+    fn collector_chunks_intervals() {
+        let mut c = BbvCollector::new(100);
+        for _ in 0..25 {
+            c.record(7, 10);
+        }
+        assert_eq!(c.len(), 2);
+        c.finish();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.vectors()[0][&7], 100);
+    }
+
+    #[test]
+    fn kmeans_separates_two_phases() {
+        let points = project(&synth_vectors(), 16, 42);
+        let km = kmeans(&points, 2, 1, 50);
+        // All even intervals in one cluster, odd in the other.
+        let c0 = km.assignment[0];
+        for i in (0..20).step_by(2) {
+            assert_eq!(km.assignment[i], c0);
+        }
+        for i in (1..20).step_by(2) {
+            assert_ne!(km.assignment[i], c0);
+        }
+    }
+
+    #[test]
+    fn simpoints_weights_sum_to_one() {
+        let picks = pick_simpoints(&synth_vectors(), 8, 42);
+        let total: f64 = picks.iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(!picks.is_empty() && picks.len() <= 8);
+    }
+
+    #[test]
+    fn weighted_cycles_matches_uniform_case() {
+        let sp = SimPoint { interval: 0, weight: 1.0 };
+        // CPI of 2 over 1000 insts → 2000 cycles.
+        let est = weighted_cycles(&[(sp, 200, 100)], 1000);
+        assert!((est - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let a = pick_simpoints(&synth_vectors(), 6, 7);
+        let b = pick_simpoints(&synth_vectors(), 6, 7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.interval, y.interval);
+            assert!((x.weight - y.weight).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Summary statistics used throughout the evaluation: geometric means,
+//! speedups, and exponential moving averages.
+
+/// Geometric mean of a slice of positive values.
+///
+/// Returns 0.0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// let g = lf_stats::geomean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Harmonic mean of positive values; 0.0 for an empty slice.
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>()
+}
+
+/// Speedup of `new` over `old` measured in cycles: `old / new`.
+///
+/// # Panics
+///
+/// Panics if `new_cycles` is zero.
+pub fn speedup(old_cycles: u64, new_cycles: u64) -> f64 {
+    assert!(new_cycles > 0, "speedup denominator must be positive");
+    old_cycles as f64 / new_cycles as f64
+}
+
+/// Converts a speedup factor (e.g. `1.095`) to a percentage gain (`9.5`).
+pub fn speedup_pct(factor: f64) -> f64 {
+    (factor - 1.0) * 100.0
+}
+
+/// Applies Amdahl's law in reverse: given a whole-program speedup and the
+/// fraction of time spent in accelerated regions, returns the implied
+/// in-region speedup (paper §6.3 derives the 43% in-region geomean this way).
+///
+/// Returns `None` if the inputs imply the accelerated region finished in
+/// non-positive time.
+pub fn amdahl_region_speedup(whole_speedup: f64, region_fraction: f64) -> Option<f64> {
+    // whole = 1 / ((1 - f) + f / s)  =>  s = f / (1/whole - (1 - f))
+    let denom = 1.0 / whole_speedup - (1.0 - region_fraction);
+    if denom <= 0.0 {
+        None
+    } else {
+        Some(region_fraction / denom)
+    }
+}
+
+/// An exponential moving average `S ← αS + (1 − α)I` as used by the
+/// iteration-packing epoch-size predictor (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ema {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ema {
+    /// Creates an EMA with smoothing factor `alpha` in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1)`.
+    pub fn new(alpha: f64) -> Ema {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+        Ema { alpha, value: None }
+    }
+
+    /// Feeds one observation; the first observation seeds the average.
+    pub fn update(&mut self, obs: f64) {
+        self.value = Some(match self.value {
+            None => obs,
+            Some(v) => self.alpha * v + (1.0 - self.alpha) * obs,
+        });
+    }
+
+    /// The current average, if any observation has been fed.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn means() {
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[1.0, 0.5]) - (2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_and_pct() {
+        let s = speedup(1100, 1000);
+        assert!((s - 1.1).abs() < 1e-12);
+        assert!((speedup_pct(s) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amdahl_inversion() {
+        // 42% of time with ≥2 threadlets and a 9.5% whole-program speedup
+        // implies roughly the paper's 43% in-region speedup ballpark.
+        let s = amdahl_region_speedup(1.095, 0.42).unwrap();
+        assert!(s > 1.2 && s < 1.7, "in-region speedup {s}");
+        // Degenerate case: region fraction too small for the whole speedup.
+        assert!(amdahl_region_speedup(2.0, 0.1).is_none());
+    }
+
+    #[test]
+    fn ema_tracks_constant_and_smooths() {
+        let mut e = Ema::new(0.8);
+        e.update(10.0);
+        assert_eq!(e.value(), Some(10.0));
+        e.update(10.0);
+        assert_eq!(e.value(), Some(10.0));
+        e.update(0.0);
+        assert!((e.value().unwrap() - 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,417 @@
+//! Cache and memory hierarchy timing model.
+//!
+//! Tag-only set-associative caches with LRU replacement, MSHR-limited miss
+//! handling, a serialized DRAM channel, and stride prefetchers, matching the
+//! memory system of Table 1. The hierarchy models *timing only*: data always
+//! lives in the architectural [`lf_isa::Memory`] image (or the SSB for
+//! speculative threadlets).
+
+use crate::config::{CacheConfig, MemConfig};
+use crate::prefetch::StridePrefetcher;
+use lf_stats::Counters;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    last_used: u64,
+    valid: bool,
+}
+
+/// A tag-only set-associative cache with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not describe at least one set.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let num_sets = cfg.size / (cfg.ways * cfg.line);
+        assert!(num_sets >= 1, "cache too small for its geometry");
+        Cache {
+            cfg,
+            sets: vec![vec![Line { tag: 0, last_used: 0, valid: false }; cfg.ways]; num_sets],
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// The line address (address divided by line size) of a byte address.
+    #[inline]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr / self.cfg.line as u64
+    }
+
+    fn set_of(&self, line_addr: u64) -> usize {
+        (line_addr % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up `line_addr`, updating LRU on hit. Returns whether it hit.
+    pub fn access(&mut self, line_addr: u64, now: u64) -> bool {
+        self.accesses += 1;
+        let set = self.set_of(line_addr);
+        for l in self.sets[set].iter_mut() {
+            if l.valid && l.tag == line_addr {
+                l.last_used = now;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Checks residency without updating LRU or statistics.
+    pub fn probe(&self, line_addr: u64) -> bool {
+        let set = self.set_of(line_addr);
+        self.sets[set].iter().any(|l| l.valid && l.tag == line_addr)
+    }
+
+    /// Fills `line_addr`, evicting the LRU way. Returns the evicted line
+    /// address, if a valid line was displaced.
+    pub fn fill(&mut self, line_addr: u64, now: u64) -> Option<u64> {
+        let set = self.set_of(line_addr);
+        if self.sets[set].iter().any(|l| l.valid && l.tag == line_addr) {
+            return None; // already resident (racing fills)
+        }
+        let victim = self.sets[set]
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_used + 1 } else { 0 })
+            .expect("at least one way");
+        let evicted = victim.valid.then_some(victim.tag);
+        *victim = Line { tag: line_addr, last_used: now, valid: true };
+        evicted
+    }
+
+    /// Invalidates `line_addr` if resident.
+    pub fn invalidate(&mut self, line_addr: u64) {
+        let set = self.set_of(line_addr);
+        for l in self.sets[set].iter_mut() {
+            if l.valid && l.tag == line_addr {
+                l.valid = false;
+            }
+        }
+    }
+
+    /// (accesses, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.accesses, self.misses)
+    }
+
+    /// This cache's line size in bytes.
+    pub fn line_size(&self) -> usize {
+        self.cfg.line
+    }
+}
+
+/// Miss-status holding registers: a bounded set of outstanding line misses.
+#[derive(Debug, Clone)]
+struct Mshr {
+    capacity: usize,
+    outstanding: HashMap<u64, u64>, // line -> ready cycle
+}
+
+impl Mshr {
+    fn new(capacity: usize) -> Mshr {
+        Mshr { capacity, outstanding: HashMap::new() }
+    }
+
+    fn sweep(&mut self, now: u64) {
+        self.outstanding.retain(|_, ready| *ready > now);
+    }
+
+    /// If the line has an in-flight miss (ready in the future), returns its
+    /// ready cycle so the new request merges into it.
+    fn merge(&self, line: u64, now: u64) -> Option<u64> {
+        self.outstanding.get(&line).copied().filter(|&r| r > now)
+    }
+
+    /// Allocates an entry; if full, returns the earliest cycle at which one
+    /// frees so the caller can serialize behind it.
+    fn alloc(&mut self, line: u64, ready: u64, now: u64) -> Result<(), u64> {
+        self.sweep(now);
+        if self.outstanding.len() < self.capacity {
+            self.outstanding.insert(line, ready);
+            Ok(())
+        } else {
+            Err(self.outstanding.values().copied().min().unwrap_or(now + 1))
+        }
+    }
+}
+
+/// Kinds of memory-system requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Instruction fetch (L1I path).
+    Fetch,
+    /// Data load.
+    Load,
+    /// Data store (write-allocate).
+    Store,
+    /// Hardware prefetch (does not recursively prefetch).
+    Prefetch,
+}
+
+/// The three-level memory hierarchy timing model.
+#[derive(Debug, Clone)]
+pub struct MemHierarchy {
+    cfg: MemConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    l1i_mshr: Mshr,
+    l1d_mshr: Mshr,
+    l2_mshr: Mshr,
+    l1d_pref: StridePrefetcher,
+    l2_pref: StridePrefetcher,
+    dram_busy_until: u64,
+    counters: Counters,
+}
+
+/// Cycles one DRAM line transfer occupies the channel (64 B at 25 B/cycle).
+const DRAM_OCCUPANCY: u64 = 3;
+
+impl MemHierarchy {
+    /// Creates the hierarchy from its configuration.
+    pub fn new(cfg: MemConfig) -> MemHierarchy {
+        MemHierarchy {
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            l1i_mshr: Mshr::new(cfg.l1i.mshrs),
+            l1d_mshr: Mshr::new(cfg.l1d.mshrs),
+            l2_mshr: Mshr::new(cfg.l2.mshrs),
+            l1d_pref: StridePrefetcher::new(64, cfg.l1d_prefetch_degree),
+            l2_pref: StridePrefetcher::new(128, cfg.l2_prefetch_degree),
+            dram_busy_until: 0,
+            counters: Counters::new(),
+            cfg,
+        }
+    }
+
+    /// Event counters (l2_accesses, l2_misses, prefetches, …).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The L1D line size in bytes.
+    pub fn l1d_line(&self) -> usize {
+        self.cfg.l1d.line
+    }
+
+    /// L1I/L1D/L2 (accesses, misses).
+    pub fn cache_stats(&self) -> [(u64, u64); 3] {
+        [self.l1i.stats(), self.l1d.stats(), self.l2.stats()]
+    }
+
+    fn dram_access(&mut self, start: u64) -> u64 {
+        let begin = start.max(self.dram_busy_until);
+        self.dram_busy_until = begin + DRAM_OCCUPANCY;
+        self.counters.inc("dram_accesses");
+        begin + self.cfg.dram_latency
+    }
+
+    /// Accesses the L2 (and DRAM below it) for `line` (in L1-line units),
+    /// returning the cycle the line is available to the L1.
+    fn access_l2(&mut self, pc: u64, line: u64, start: u64, kind: AccessKind) -> u64 {
+        self.counters.inc("l2_accesses");
+        let hit = self.l2.access(line, start);
+        let ready = if hit {
+            // A resident tag may still have its data in flight.
+            let base = start + self.cfg.l2.hit_latency;
+            self.l2_mshr.merge(line, start).map_or(base, |r| r.max(base))
+        } else {
+            self.counters.inc("l2_misses");
+            if let Some(r) = self.l2_mshr.merge(line, start) {
+                r
+            } else {
+                let mut begin = start + self.cfg.l2.hit_latency;
+                if let Err(free_at) = self.l2_mshr.alloc(line, 0, start) {
+                    begin = begin.max(free_at);
+                }
+                let ready = self.dram_access(begin);
+                // Record the true ready time for subsequent merges.
+                let _ = self.l2_mshr.alloc(line, ready, start);
+                self.l2.fill(line, ready);
+                // Neighbor prefetcher (Table 1): pull in the next line on a
+                // demand miss; order-insensitive, so threadlet interleaving
+                // cannot defeat it.
+                if kind != AccessKind::Prefetch && self.cfg.l2_prefetch_degree > 0 {
+                    let nb = line + 1;
+                    if !self.l2.probe(nb) && self.l2_mshr.merge(nb, start).is_none() {
+                        self.counters.inc("l2_neighbor_prefetches");
+                        let r = self.dram_access(ready);
+                        self.l2.fill(nb, r);
+                    }
+                }
+                ready
+            }
+        };
+        // L2 stride prefetcher trains on demand L2 traffic.
+        if kind != AccessKind::Prefetch {
+            let preds = self.l2_pref.train(pc, line);
+            for p in preds {
+                if !self.l2.probe(p) {
+                    self.counters.inc("l2_prefetches");
+                    let begin = ready.max(self.dram_busy_until);
+                    self.dram_busy_until = begin + DRAM_OCCUPANCY;
+                    self.l2.fill(p, begin + self.cfg.dram_latency);
+                }
+            }
+        }
+        ready
+    }
+
+    /// Performs a data access and returns the cycle its data (or write
+    /// acknowledgement) is ready.
+    pub fn access_data(&mut self, pc: u64, addr: u64, kind: AccessKind, now: u64) -> u64 {
+        let line = self.l1d.line_addr(addr);
+        let hit = self.l1d.access(line, now);
+        let ready = if hit {
+            let base = now + self.cfg.l1d.hit_latency;
+            self.l1d_mshr.merge(line, now).map_or(base, |r| r.max(base))
+        } else if let Some(r) = self.l1d_mshr.merge(line, now) {
+            r.max(now + self.cfg.l1d.hit_latency)
+        } else {
+            let mut start = now + self.cfg.l1d.hit_latency;
+            if let Err(free_at) = self.l1d_mshr.alloc(line, 0, now) {
+                self.counters.inc("l1d_mshr_full");
+                start = start.max(free_at);
+            }
+            let ready = self.access_l2(pc, line, start, kind);
+            let _ = self.l1d_mshr.alloc(line, ready, now);
+            self.l1d.fill(line, ready);
+            ready
+        };
+        if kind != AccessKind::Prefetch {
+            let preds = self.l1d_pref.train(pc, line);
+            for p in preds {
+                if !self.l1d.probe(p) {
+                    self.counters.inc("l1d_prefetches");
+                    let r = self.access_l2(pc, p, ready, AccessKind::Prefetch);
+                    self.l1d.fill(p, r);
+                }
+            }
+        }
+        ready
+    }
+
+    /// Performs an instruction fetch of the line containing byte address
+    /// `addr` and returns its ready cycle.
+    pub fn access_inst(&mut self, addr: u64, now: u64) -> u64 {
+        let line = self.l1i.line_addr(addr);
+        if self.l1i.access(line, now) {
+            let base = now + self.cfg.l1i.hit_latency;
+            return self.l1i_mshr.merge(line, now).map_or(base, |r| r.max(base));
+        }
+        if let Some(r) = self.l1i_mshr.merge(line, now) {
+            return r.max(now + self.cfg.l1i.hit_latency);
+        }
+        let mut start = now + self.cfg.l1i.hit_latency;
+        if let Err(free_at) = self.l1i_mshr.alloc(line, 0, now) {
+            start = start.max(free_at);
+        }
+        let ready = self.access_l2(addr, line, start, AccessKind::Fetch);
+        let _ = self.l1i_mshr.alloc(line, ready, now);
+        self.l1i.fill(line, ready);
+        ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_mem() -> MemHierarchy {
+        MemHierarchy::new(MemConfig {
+            l1i: CacheConfig { size: 1024, ways: 2, line: 64, hit_latency: 1, mshrs: 4 },
+            l1d: CacheConfig { size: 1024, ways: 2, line: 64, hit_latency: 2, mshrs: 2 },
+            l2: CacheConfig { size: 8192, ways: 4, line: 64, hit_latency: 11, mshrs: 4 },
+            dram_latency: 100,
+            l1d_prefetch_degree: 0,
+            l2_prefetch_degree: 0,
+        })
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = Cache::new(CacheConfig { size: 256, ways: 2, line: 64, hit_latency: 1, mshrs: 1 });
+        // 2 sets x 2 ways. Lines 0, 2, 4 all map to set 0.
+        c.fill(0, 1);
+        c.fill(2, 2);
+        assert!(c.probe(0) && c.probe(2));
+        c.access(0, 3); // 0 most recent; 2 is LRU
+        let evicted = c.fill(4, 4);
+        assert_eq!(evicted, Some(2));
+        assert!(c.probe(0) && c.probe(4) && !c.probe(2));
+    }
+
+    #[test]
+    fn hit_after_miss_and_fill() {
+        let mut m = small_mem();
+        let t0 = m.access_data(0, 0x1000, AccessKind::Load, 0);
+        assert!(t0 >= 100, "cold miss goes to DRAM: {t0}");
+        let t1 = m.access_data(0, 0x1008, AccessKind::Load, t0);
+        assert_eq!(t1, t0 + 2, "same line now hits in L1D");
+    }
+
+    #[test]
+    fn mshr_merges_same_line() {
+        let mut m = small_mem();
+        let t0 = m.access_data(0, 0x2000, AccessKind::Load, 0);
+        let t1 = m.access_data(0, 0x2010, AccessKind::Load, 1);
+        assert_eq!(t1, t0, "second miss to the same line merges into the MSHR");
+    }
+
+    #[test]
+    fn mshr_pressure_serializes() {
+        let mut m = small_mem();
+        // 3 distinct lines with 2 L1D MSHRs: the third must wait.
+        let a = m.access_data(0, 0x0000, AccessKind::Load, 0);
+        let b = m.access_data(0, 0x4000, AccessKind::Load, 0);
+        let c = m.access_data(0, 0x8000, AccessKind::Load, 0);
+        assert!(c > a.min(b), "third miss serialized behind an MSHR");
+    }
+
+    #[test]
+    fn l2_hit_is_faster_than_dram() {
+        let mut m = small_mem();
+        let t0 = m.access_data(0, 0x3000, AccessKind::Load, 0);
+        // Evict from tiny L1D by touching other sets... simpler: invalidate.
+        m.l1d.invalidate(m.l1d.line_addr(0x3000));
+        let t1 = m.access_data(0, 0x3000, AccessKind::Load, t0);
+        assert!(t1 - t0 < 100, "L2 hit after L1 eviction: {}", t1 - t0);
+        assert!(t1 - t0 >= 11);
+    }
+
+    #[test]
+    fn prefetcher_counts_and_covers_strides() {
+        let mut m = MemHierarchy::new(MemConfig {
+            l1d_prefetch_degree: 2,
+            ..MemConfig::default()
+        });
+        let mut now = 0;
+        for i in 0..32u64 {
+            now = m.access_data(0x10, 0x10000 + i * 64, AccessKind::Load, now);
+        }
+        assert!(m.counters().get("l1d_prefetches") > 0);
+        // Steady-state accesses should mostly hit thanks to the prefetcher.
+        let (acc, miss) = m.l1d.stats();
+        assert!(miss * 3 < acc, "prefetcher should cover most of the stream: {miss}/{acc}");
+    }
+
+    #[test]
+    fn fetch_path_hits_l1i() {
+        let mut m = small_mem();
+        let t0 = m.access_inst(0x100, 0);
+        let t1 = m.access_inst(0x104, t0);
+        assert_eq!(t1, t0 + 1);
+    }
+}

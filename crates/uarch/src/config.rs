@@ -1,0 +1,193 @@
+//! Microarchitecture configuration, mirroring Table 1 of the paper
+//! ("Simulation parameters for an aggressive 8-wide core").
+
+/// Functional-unit pool sizes (Table 1: "7 ALU+Branch, 2 ALU+Mul+Div,
+/// 4 SIMD+FP (2 Div/Sqrt), 4 Load, 2 Store pipes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuConfig {
+    /// Simple integer ALU / branch pipes.
+    pub int_alu: usize,
+    /// Integer multiply/divide pipes.
+    pub int_mul_div: usize,
+    /// FP/SIMD pipes.
+    pub fp: usize,
+    /// FP divide/sqrt pipes (subset of FP issue bandwidth).
+    pub fp_div_sqrt: usize,
+    /// Load pipes.
+    pub load: usize,
+    /// Store pipes.
+    pub store: usize,
+}
+
+impl Default for FuConfig {
+    fn default() -> FuConfig {
+        FuConfig { int_alu: 7, int_mul_div: 2, fp: 4, fp_div_sqrt: 2, load: 4, store: 2 }
+    }
+}
+
+/// Core pipeline configuration (Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Front-end fetch/decode/rename width in instructions per cycle.
+    pub width: usize,
+    /// Commit width in instructions per cycle.
+    pub commit_width: usize,
+    /// Reorder-buffer entries, dynamically shared between threadlets.
+    pub rob_size: usize,
+    /// Issue-queue entries.
+    pub iq_size: usize,
+    /// Load-queue entries.
+    pub lq_size: usize,
+    /// Store-queue entries.
+    pub sq_size: usize,
+    /// Per-threadlet fetch-queue entries (duplicated per context).
+    pub fetch_queue_size: usize,
+    /// Integer physical registers.
+    pub int_phys_regs: usize,
+    /// Floating-point physical registers.
+    pub fp_phys_regs: usize,
+    /// Functional-unit pools.
+    pub fu: FuConfig,
+    /// Front-end redirect penalty in cycles (fetch→rename refill depth).
+    pub frontend_latency: u64,
+    /// Number of hardware threadlet contexts.
+    pub threadlets: usize,
+}
+
+impl Default for CoreConfig {
+    /// The paper's 8-wide, 4-threadlet configuration.
+    fn default() -> CoreConfig {
+        CoreConfig {
+            width: 8,
+            commit_width: 8,
+            rob_size: 1024,
+            iq_size: 384,
+            lq_size: 256,
+            sq_size: 256,
+            fetch_queue_size: 32,
+            int_phys_regs: 1024,
+            fp_phys_regs: 768,
+            fu: FuConfig::default(),
+            frontend_latency: 10,
+            threadlets: 4,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// The baseline single-threadlet configuration of the same core (hints
+    /// treated as NOPs, no speculation).
+    pub fn baseline() -> CoreConfig {
+        CoreConfig { threadlets: 1, ..CoreConfig::default() }
+    }
+
+    /// A narrower/wider variant of the default core for the Figure 1 width
+    /// sweep; issue resources are scaled roughly with width.
+    pub fn with_width(width: usize) -> CoreConfig {
+        let d = CoreConfig::default();
+        let scale = |x: usize| (x * width).div_ceil(8).max(1);
+        CoreConfig {
+            width,
+            commit_width: width,
+            rob_size: scale(d.rob_size),
+            iq_size: scale(d.iq_size),
+            lq_size: scale(d.lq_size),
+            sq_size: scale(d.sq_size),
+            int_phys_regs: scale(d.int_phys_regs).max(NUM_ARCH_REGS_PLUS_MARGIN),
+            fp_phys_regs: scale(d.fp_phys_regs).max(NUM_ARCH_REGS_PLUS_MARGIN),
+            fu: FuConfig {
+                int_alu: scale(d.fu.int_alu),
+                int_mul_div: scale(d.fu.int_mul_div).max(1),
+                fp: scale(d.fu.fp).max(1),
+                fp_div_sqrt: scale(d.fu.fp_div_sqrt).max(1),
+                load: scale(d.fu.load).max(1),
+                store: scale(d.fu.store).max(1),
+            },
+            ..d
+        }
+    }
+
+    /// Total physical registers.
+    pub fn total_phys_regs(&self) -> usize {
+        self.int_phys_regs + self.fp_phys_regs
+    }
+}
+
+/// Physical register head-room needed beyond the architectural registers.
+const NUM_ARCH_REGS_PLUS_MARGIN: usize = 128;
+
+/// One cache level's parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total size in bytes.
+    pub size: usize,
+    /// Associativity (ways).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line: usize,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+    /// Miss-status holding registers (outstanding misses).
+    pub mshrs: usize,
+}
+
+/// Memory system configuration (Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemConfig {
+    /// Instruction L1.
+    pub l1i: CacheConfig,
+    /// Data L1.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// DRAM access latency in cycles (≈60 ns at 4 GHz).
+    pub dram_latency: u64,
+    /// L1D stride-prefetcher degree (0 disables it).
+    pub l1d_prefetch_degree: usize,
+    /// L2 stride-prefetcher degree (0 disables it).
+    pub l2_prefetch_degree: usize,
+}
+
+impl Default for MemConfig {
+    fn default() -> MemConfig {
+        MemConfig {
+            l1i: CacheConfig { size: 64 << 10, ways: 4, line: 64, hit_latency: 1, mshrs: 16 },
+            l1d: CacheConfig { size: 64 << 10, ways: 4, line: 64, hit_latency: 2, mshrs: 10 },
+            l2: CacheConfig { size: 4 << 20, ways: 8, line: 64, hit_latency: 11, mshrs: 32 },
+            dram_latency: 240,
+            l1d_prefetch_degree: 2,
+            l2_prefetch_degree: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_1() {
+        let c = CoreConfig::default();
+        assert_eq!(c.width, 8);
+        assert_eq!(c.rob_size, 1024);
+        assert_eq!(c.iq_size, 384);
+        assert_eq!(c.threadlets, 4);
+        assert_eq!(c.total_phys_regs(), 1024 + 768);
+    }
+
+    #[test]
+    fn width_sweep_scales_window() {
+        let c4 = CoreConfig::with_width(4);
+        assert_eq!(c4.width, 4);
+        assert_eq!(c4.rob_size, 512);
+        let c10 = CoreConfig::with_width(10);
+        assert_eq!(c10.rob_size, 1280);
+        assert!(c10.fu.int_alu >= 8);
+    }
+
+    #[test]
+    fn baseline_has_one_threadlet() {
+        assert_eq!(CoreConfig::baseline().threadlets, 1);
+        assert_eq!(CoreConfig::baseline().rob_size, CoreConfig::default().rob_size);
+    }
+}

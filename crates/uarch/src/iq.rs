@@ -1,0 +1,201 @@
+//! Out-of-order issue queue with physical-register wakeup.
+//!
+//! Entries wait until all source physical registers are ready, then issue
+//! oldest-first subject to the caller's structural constraints (functional
+//! units, cache ports). Instructions from all threadlets share the queue
+//! (Table 1: "Dynamically shared: … 384-entry IQ").
+
+use crate::rename::{PhysReg, PhysRegFile};
+use std::collections::{BTreeMap, HashMap};
+
+#[derive(Debug, Clone)]
+struct Entry {
+    tid: usize,
+    srcs: [Option<PhysReg>; 2],
+    waiting: u8, // number of not-ready sources
+}
+
+/// The shared issue queue.
+#[derive(Debug, Clone)]
+pub struct IssueQueue {
+    capacity: usize,
+    entries: BTreeMap<u64, Entry>,
+    waiters: HashMap<PhysReg, Vec<u64>>,
+}
+
+impl IssueQueue {
+    /// Creates a queue holding up to `capacity` instructions.
+    pub fn new(capacity: usize) -> IssueQueue {
+        IssueQueue { capacity, entries: BTreeMap::new(), waiters: HashMap::new() }
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the queue has no free slot.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Inserts instruction `uid` of threadlet `tid` with its renamed source
+    /// registers. Sources already ready in `prf` don't wait. Returns `false`
+    /// (and inserts nothing) if the queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uid` is already present.
+    pub fn insert(
+        &mut self,
+        uid: u64,
+        tid: usize,
+        srcs: [Option<PhysReg>; 2],
+        prf: &PhysRegFile,
+    ) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        let mut waiting = 0;
+        for s in srcs.iter().flatten() {
+            if !prf.is_ready(*s) {
+                waiting += 1;
+                self.waiters.entry(*s).or_default().push(uid);
+            }
+        }
+        let prev = self.entries.insert(uid, Entry { tid, srcs, waiting });
+        assert!(prev.is_none(), "duplicate uid {uid} in issue queue");
+        true
+    }
+
+    /// Wakes consumers of physical register `p` (its producer completed).
+    pub fn wakeup(&mut self, p: PhysReg) {
+        if let Some(uids) = self.waiters.remove(&p) {
+            for uid in uids {
+                if let Some(e) = self.entries.get_mut(&uid) {
+                    // An entry may wait on `p` through both source slots.
+                    let n = e.srcs.iter().flatten().filter(|s| **s == p).count() as u8;
+                    e.waiting = e.waiting.saturating_sub(n.max(1).min(e.waiting));
+                }
+            }
+        }
+    }
+
+    /// Scans ready entries oldest-first and offers each to `issue`, which
+    /// returns `true` to accept (the entry is removed) or `false` on a
+    /// structural hazard (the entry stays). Stops after `max` acceptances.
+    /// Returns the number issued.
+    pub fn select(&mut self, max: usize, mut issue: impl FnMut(u64, usize) -> bool) -> usize {
+        let mut taken = Vec::new();
+        let mut n = 0;
+        for (&uid, e) in self.entries.iter() {
+            if n >= max {
+                break;
+            }
+            if e.waiting == 0 && issue(uid, e.tid) {
+                taken.push(uid);
+                n += 1;
+            }
+        }
+        for uid in taken {
+            self.entries.remove(&uid);
+        }
+        n
+    }
+
+    /// Removes every entry for which `pred(uid, tid)` holds (squash).
+    pub fn squash(&mut self, pred: impl Fn(u64, usize) -> bool) {
+        self.entries.retain(|&uid, e| !pred(uid, e.tid));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prf_with(n: usize) -> PhysRegFile {
+        PhysRegFile::new(n)
+    }
+
+    #[test]
+    fn immediate_ready_issue() {
+        let mut prf = prf_with(4);
+        let a = prf.alloc_ready(1).unwrap();
+        let mut iq = IssueQueue::new(8);
+        assert!(iq.insert(1, 0, [Some(a), None], &prf));
+        let mut got = Vec::new();
+        iq.select(4, |uid, _| {
+            got.push(uid);
+            true
+        });
+        assert_eq!(got, vec![1]);
+        assert!(iq.is_empty());
+    }
+
+    #[test]
+    fn waits_for_wakeup() {
+        let mut prf = prf_with(4);
+        let a = prf.alloc().unwrap(); // not ready
+        let mut iq = IssueQueue::new(8);
+        iq.insert(1, 0, [Some(a), None], &prf);
+        assert_eq!(iq.select(4, |_, _| true), 0);
+        prf.write(a, 9);
+        iq.wakeup(a);
+        assert_eq!(iq.select(4, |_, _| true), 1);
+    }
+
+    #[test]
+    fn oldest_first_selection_and_structural_reject() {
+        let mut prf = prf_with(4);
+        let a = prf.alloc_ready(0).unwrap();
+        let mut iq = IssueQueue::new(8);
+        iq.insert(5, 0, [Some(a), None], &prf);
+        iq.insert(3, 1, [None, None], &prf);
+        let mut order = Vec::new();
+        iq.select(4, |uid, _| {
+            order.push(uid);
+            uid != 3 // reject 3 (structural hazard), accept 5
+        });
+        assert_eq!(order, vec![3, 5]);
+        assert_eq!(iq.len(), 1, "rejected entry remains");
+        assert_eq!(iq.select(4, |uid, _| uid == 3), 1);
+    }
+
+    #[test]
+    fn squash_by_threadlet() {
+        let prf = prf_with(4);
+        let mut iq = IssueQueue::new(8);
+        iq.insert(1, 0, [None, None], &prf);
+        iq.insert(2, 1, [None, None], &prf);
+        iq.insert(3, 1, [None, None], &prf);
+        iq.squash(|_, tid| tid == 1);
+        assert_eq!(iq.len(), 1);
+    }
+
+    #[test]
+    fn capacity_limit() {
+        let prf = prf_with(4);
+        let mut iq = IssueQueue::new(2);
+        assert!(iq.insert(1, 0, [None, None], &prf));
+        assert!(iq.insert(2, 0, [None, None], &prf));
+        assert!(!iq.insert(3, 0, [None, None], &prf));
+        assert!(iq.is_full());
+    }
+
+    #[test]
+    fn same_register_in_both_sources() {
+        let mut prf = prf_with(4);
+        let a = prf.alloc().unwrap();
+        let mut iq = IssueQueue::new(8);
+        iq.insert(1, 0, [Some(a), Some(a)], &prf);
+        assert_eq!(iq.select(4, |_, _| true), 0);
+        prf.write(a, 1);
+        iq.wakeup(a);
+        assert_eq!(iq.select(4, |_, _| true), 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! Register renaming: physical register file, per-threadlet rename maps, and
+//! reference-counted free-list management.
+//!
+//! Reference counting is what makes LoopFrog-style sharing cheap: a rename
+//! map, a spawned threadlet's inherited map, and a checkpoint all just hold
+//! references to the same physical registers (paper §4: "Checkpoints can be
+//! taken by copying the register rename map and preventing physical registers
+//! from being recycled").
+
+use lf_isa::NUM_ARCH_REGS;
+
+/// A physical register name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg(pub u32);
+
+#[derive(Debug, Clone, Copy)]
+struct PhysEntry {
+    value: u64,
+    ready: bool,
+    refcnt: u32,
+}
+
+/// The physical register file with reference-counted recycling.
+#[derive(Debug, Clone)]
+pub struct PhysRegFile {
+    entries: Vec<PhysEntry>,
+    free: Vec<PhysReg>,
+}
+
+impl PhysRegFile {
+    /// Creates a file of `size` physical registers, all free.
+    pub fn new(size: usize) -> PhysRegFile {
+        PhysRegFile {
+            entries: vec![PhysEntry { value: 0, ready: false, refcnt: 0 }; size],
+            free: (0..size as u32).rev().map(PhysReg).collect(),
+        }
+    }
+
+    /// Number of free physical registers.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocates a not-ready register with refcount 1, or `None` if the file
+    /// is exhausted (the caller stalls rename).
+    pub fn alloc(&mut self) -> Option<PhysReg> {
+        let p = self.free.pop()?;
+        self.entries[p.0 as usize] = PhysEntry { value: 0, ready: false, refcnt: 1 };
+        Some(p)
+    }
+
+    /// Allocates a register already holding `value` and marked ready (used
+    /// for predicted induction-variable values in iteration packing).
+    pub fn alloc_ready(&mut self, value: u64) -> Option<PhysReg> {
+        let p = self.alloc()?;
+        self.entries[p.0 as usize].value = value;
+        self.entries[p.0 as usize].ready = true;
+        Some(p)
+    }
+
+    /// Adds a reference to `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is currently free (refcount zero).
+    pub fn add_ref(&mut self, p: PhysReg) {
+        let e = &mut self.entries[p.0 as usize];
+        assert!(e.refcnt > 0, "add_ref on free register {p:?}");
+        e.refcnt += 1;
+    }
+
+    /// Drops a reference to `p`, returning it to the free list at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is already free.
+    pub fn release(&mut self, p: PhysReg) {
+        let e = &mut self.entries[p.0 as usize];
+        assert!(e.refcnt > 0, "release of free register {p:?}");
+        e.refcnt -= 1;
+        if e.refcnt == 0 {
+            self.free.push(p);
+        }
+    }
+
+    /// Whether `p` has produced its value.
+    #[inline]
+    pub fn is_ready(&self, p: PhysReg) -> bool {
+        self.entries[p.0 as usize].ready
+    }
+
+    /// Reads `p`'s value.
+    ///
+    /// In debug builds, asserts the register is ready.
+    #[inline]
+    pub fn read(&self, p: PhysReg) -> u64 {
+        debug_assert!(self.entries[p.0 as usize].ready, "read of not-ready register");
+        self.entries[p.0 as usize].value
+    }
+
+    /// Writes `p`'s value and marks it ready.
+    #[inline]
+    pub fn write(&mut self, p: PhysReg, value: u64) {
+        let e = &mut self.entries[p.0 as usize];
+        e.value = value;
+        e.ready = true;
+    }
+
+    /// Overwrites the value of an already-ready register (packing repair of
+    /// a mispredicted induction variable that no one has consumed yet).
+    pub fn patch_value(&mut self, p: PhysReg, value: u64) {
+        self.entries[p.0 as usize].value = value;
+    }
+
+    /// Current reference count of `p` (for assertions and tests).
+    pub fn refcnt(&self, p: PhysReg) -> u32 {
+        self.entries[p.0 as usize].refcnt
+    }
+}
+
+/// A per-threadlet map from architectural to physical registers.
+///
+/// The map owns one reference to each mapped physical register. Cloning a
+/// map (threadlet spawn, checkpoint) must go through
+/// [`RenameMap::clone_with_refs`] so reference counts stay balanced.
+#[derive(Debug, Clone)]
+pub struct RenameMap {
+    map: [PhysReg; NUM_ARCH_REGS],
+}
+
+impl RenameMap {
+    /// Creates a map with every architectural register freshly allocated,
+    /// value 0, ready. Consumes `NUM_ARCH_REGS` physical registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register file cannot supply enough registers.
+    pub fn new_initial(prf: &mut PhysRegFile) -> RenameMap {
+        RenameMap::new_with_values(prf, &[0; NUM_ARCH_REGS])
+    }
+
+    /// Creates a map seeded with the given architectural register values
+    /// (warm start, e.g. resuming at a SimPoint interval boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is shorter than `NUM_ARCH_REGS` or the register
+    /// file cannot supply enough registers.
+    pub fn new_with_values(prf: &mut PhysRegFile, values: &[u64]) -> RenameMap {
+        assert!(values.len() >= NUM_ARCH_REGS);
+        let map = std::array::from_fn(|a| {
+            prf.alloc_ready(values[a]).expect("physical register file too small for initial map")
+        });
+        RenameMap { map }
+    }
+
+    /// The physical register currently mapped to architectural `a`.
+    #[inline]
+    pub fn get(&self, a: usize) -> PhysReg {
+        self.map[a]
+    }
+
+    /// Points architectural `a` at `p`, returning the previous mapping. The
+    /// reference formerly owned by the map transfers to the caller (it goes
+    /// into the renaming instruction's `old_phys` slot); the new mapping
+    /// takes over the caller's reference to `p`.
+    #[inline]
+    pub fn set(&mut self, a: usize, p: PhysReg) -> PhysReg {
+        std::mem::replace(&mut self.map[a], p)
+    }
+
+    /// Clones the map, adding one reference per mapped register.
+    pub fn clone_with_refs(&self, prf: &mut PhysRegFile) -> RenameMap {
+        for p in self.map {
+            prf.add_ref(p);
+        }
+        RenameMap { map: self.map }
+    }
+
+    /// Releases every reference owned by this map. Call exactly once when a
+    /// map (or checkpoint) is discarded.
+    pub fn release_all(self, prf: &mut PhysRegFile) {
+        for p in self.map {
+            prf.release(p);
+        }
+    }
+
+    /// Iterates `(arch_index, phys)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, PhysReg)> + '_ {
+        self.map.iter().copied().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_roundtrip() {
+        let mut prf = PhysRegFile::new(4);
+        let a = prf.alloc().unwrap();
+        let b = prf.alloc().unwrap();
+        assert_eq!(prf.free_count(), 2);
+        prf.release(a);
+        assert_eq!(prf.free_count(), 3);
+        prf.add_ref(b);
+        prf.release(b);
+        assert_eq!(prf.free_count(), 3, "still one ref on b");
+        prf.release(b);
+        assert_eq!(prf.free_count(), 4);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut prf = PhysRegFile::new(1);
+        let _a = prf.alloc().unwrap();
+        assert!(prf.alloc().is_none());
+    }
+
+    #[test]
+    fn ready_and_values() {
+        let mut prf = PhysRegFile::new(2);
+        let a = prf.alloc().unwrap();
+        assert!(!prf.is_ready(a));
+        prf.write(a, 42);
+        assert!(prf.is_ready(a));
+        assert_eq!(prf.read(a), 42);
+        let b = prf.alloc_ready(7).unwrap();
+        assert_eq!(prf.read(b), 7);
+    }
+
+    #[test]
+    fn rename_map_balances_refs() {
+        let mut prf = PhysRegFile::new(NUM_ARCH_REGS * 2 + 8);
+        let map = RenameMap::new_initial(&mut prf);
+        let free_after_init = prf.free_count();
+        let copy = map.clone_with_refs(&mut prf);
+        assert_eq!(prf.free_count(), free_after_init, "clone adds refs, not registers");
+        copy.release_all(&mut prf);
+        assert_eq!(prf.free_count(), free_after_init);
+        map.release_all(&mut prf);
+        assert_eq!(prf.free_count(), NUM_ARCH_REGS * 2 + 8);
+    }
+
+    #[test]
+    fn set_transfers_reference() {
+        let mut prf = PhysRegFile::new(NUM_ARCH_REGS + 4);
+        let mut map = RenameMap::new_initial(&mut prf);
+        let fresh = prf.alloc().unwrap();
+        let old = map.set(3, fresh);
+        // Simulate instruction commit: the old mapping's reference dies.
+        prf.release(old);
+        map.release_all(&mut prf);
+        assert_eq!(prf.free_count(), NUM_ARCH_REGS + 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_release_panics() {
+        let mut prf = PhysRegFile::new(2);
+        let a = prf.alloc().unwrap();
+        prf.release(a);
+        prf.release(a);
+    }
+}

@@ -1,0 +1,147 @@
+//! Deterministic input-data generators for the kernels.
+//!
+//! All generators are seeded (`SmallRng`) so every run of every experiment
+//! sees identical data.
+
+use lf_isa::Memory;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG for kernel `name` (stable across runs and platforms).
+pub fn rng_for(name: &str) -> SmallRng {
+    let seed = lf_isa::checksum::fnv1a(name.as_bytes());
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Fills `[base, base + count*8)` with random u64 values in `0..bound`.
+pub fn fill_u64(mem: &mut Memory, rng: &mut SmallRng, base: u64, count: usize, bound: u64) {
+    for i in 0..count as u64 {
+        let v = if bound == 0 { rng.random() } else { rng.random_range(0..bound) };
+        mem.write_u64(base + i * 8, v).expect("generator within image");
+    }
+}
+
+/// Fills with random f64 values in `[lo, hi)` (stored as bit patterns).
+pub fn fill_f64(mem: &mut Memory, rng: &mut SmallRng, base: u64, count: usize, lo: f64, hi: f64) {
+    for i in 0..count as u64 {
+        mem.write_f64(base + i * 8, rng.random_range(lo..hi)).expect("generator within image");
+    }
+}
+
+/// Fills `count` bytes with random values in `0..bound`.
+pub fn fill_bytes(mem: &mut Memory, rng: &mut SmallRng, base: u64, count: usize, bound: u8) {
+    for i in 0..count as u64 {
+        let v: u8 = if bound == 0 { rng.random() } else { rng.random_range(0..bound) };
+        mem.write(base + i, 1, v as u64).expect("generator within image");
+    }
+}
+
+/// Writes a random permutation of `0..count` (times 8, as byte offsets into
+/// a u64 array) — an index array for irregular gathers.
+pub fn fill_permutation(mem: &mut Memory, rng: &mut SmallRng, base: u64, count: usize) {
+    let mut idx: Vec<u64> = (0..count as u64).collect();
+    // Fisher-Yates.
+    for i in (1..count).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    for (i, v) in idx.iter().enumerate() {
+        mem.write_u64(base + i as u64 * 8, v * 8).expect("generator within image");
+    }
+}
+
+/// Builds a singly linked list threaded randomly through `count` nodes of
+/// `node_bytes` each; returns nothing (node 0 is the head; the `next`
+/// pointer is the first field, terminated with the sentinel `u64::MAX`).
+pub fn fill_linked_list(
+    mem: &mut Memory,
+    rng: &mut SmallRng,
+    base: u64,
+    count: usize,
+    node_bytes: u64,
+) {
+    let mut order: Vec<u64> = (1..count as u64).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut cur = 0u64;
+    for &nxt in &order {
+        mem.write_u64(base + cur * node_bytes, base + nxt * node_bytes).expect("in image");
+        cur = nxt;
+    }
+    mem.write_u64(base + cur * node_bytes, u64::MAX).expect("in image");
+}
+
+/// Builds a CSR-style sparse structure: `rows` rows with `nnz_per_row`
+/// column indices each (as byte offsets), written at `col_base`; row `r`'s
+/// entries start at `col_base + r*nnz*8`.
+pub fn fill_csr_cols(
+    mem: &mut Memory,
+    rng: &mut SmallRng,
+    col_base: u64,
+    rows: usize,
+    nnz_per_row: usize,
+    num_cols: usize,
+) {
+    for r in 0..rows as u64 {
+        for k in 0..nnz_per_row as u64 {
+            let col = rng.random_range(0..num_cols as u64);
+            mem.write_u64(col_base + (r * nnz_per_row as u64 + k) * 8, col * 8).expect("in image");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        let mut a = rng_for("k");
+        let mut b = rng_for("k");
+        let mut c = rng_for("other");
+        let (x, y, z): (u64, u64, u64) = (a.random(), b.random(), c.random());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut mem = Memory::new(1024);
+        let mut rng = rng_for("perm");
+        fill_permutation(&mut mem, &mut rng, 0, 64);
+        let mut seen = vec![false; 64];
+        for i in 0..64 {
+            let v = mem.read_u64(i * 8).unwrap() / 8;
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn linked_list_visits_every_node_once() {
+        let mut mem = Memory::new(64 * 16);
+        let mut rng = rng_for("list");
+        fill_linked_list(&mut mem, &mut rng, 0, 64, 16);
+        let mut cur = 0u64;
+        let mut visited = 0;
+        while cur != u64::MAX {
+            visited += 1;
+            assert!(visited <= 64);
+            cur = mem.read_u64(cur).unwrap();
+        }
+        assert_eq!(visited, 64);
+    }
+
+    #[test]
+    fn csr_cols_in_range() {
+        let mut mem = Memory::new(8192);
+        let mut rng = rng_for("csr");
+        fill_csr_cols(&mut mem, &mut rng, 0, 16, 8, 100);
+        for i in 0..16 * 8 {
+            let v = mem.read_u64(i * 8).unwrap();
+            assert!(v < 100 * 8 && v % 8 == 0);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Branch-dominated kernels.
+
+use crate::gen;
+use crate::{Category, Scale, Suite, Workload};
+use lf_isa::{reg, AluOp, BranchCond, Memory, MemSize, ProgramBuilder};
+
+/// 502.gcc_r analog: constant folding over an IR stream — a data-dependent
+/// opcode dispatch per instruction record.
+pub fn ir_constfold(scale: Scale) -> Workload {
+    let n = scale.elems(500, 5_000);
+    let ops = 0x1_0000i64; // opcode per record
+    let lhs = ops + n as i64 * 8;
+    let rhs = lhs + n as i64 * 8;
+    let out = rhs + n as i64 * 8;
+    let mem_size = (out as usize + n * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    let op1 = b.label("op1");
+    let op23 = b.label("op23");
+    let op3 = b.label("op3");
+    let join = b.label("join");
+    b.li(reg::x(1), 0);
+    b.li(reg::x(2), n as i64 * 8);
+    b.bind(top);
+    b.load(reg::x(3), reg::x(1), ops, MemSize::B8);
+    b.load(reg::x(4), reg::x(1), lhs, MemSize::B8);
+    b.load(reg::x(5), reg::x(1), rhs, MemSize::B8);
+    b.alui(AluOp::And, reg::x(6), reg::x(3), 3);
+    b.alui(AluOp::Seq, reg::x(7), reg::x(6), 1);
+    b.branch(BranchCond::Ne, reg::x(7), reg::ZERO, op1);
+    b.alui(AluOp::Sltu, reg::x(7), reg::x(6), 2);
+    b.branch(BranchCond::Eq, reg::x(7), reg::ZERO, op23);
+    b.alu(AluOp::Add, reg::x(8), reg::x(4), reg::x(5)); // op 0: add
+    b.jump(join);
+    b.bind(op1);
+    b.alu(AluOp::Sub, reg::x(8), reg::x(4), reg::x(5)); // op 1: sub
+    b.jump(join);
+    b.bind(op23);
+    b.alui(AluOp::Seq, reg::x(7), reg::x(6), 3);
+    b.branch(BranchCond::Ne, reg::x(7), reg::ZERO, op3);
+    b.alu(AluOp::Xor, reg::x(8), reg::x(4), reg::x(5)); // op 2: xor
+    b.jump(join);
+    b.bind(op3);
+    b.alu(AluOp::Mul, reg::x(8), reg::x(4), reg::x(5)); // op 3: mul
+    b.bind(join);
+    b.store(reg::x(8), reg::x(1), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("ir_constfold");
+    gen::fill_u64(&mut mem, &mut rng, ops as u64, n, 0);
+    gen::fill_u64(&mut mem, &mut rng, lhs as u64, n, 1 << 20);
+    gen::fill_u64(&mut mem, &mut rng, rhs as u64, n, 1 << 20);
+    Workload {
+        name: "ir_constfold",
+        suite: Suite::Cpu2017,
+        spec_analog: "502.gcc_r",
+        category: Category::ControlDep,
+        description: "opcode dispatch over an IR stream",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 500.perlbench_r analog: hash-table probing — hash a key, load the table
+/// slot, and take a data-dependent hit/miss branch (second probe on miss).
+pub fn hash_lookup(scale: Scale) -> Workload {
+    let n = scale.elems(500, 5_000);
+    let table_slots = 1024i64;
+    let keys = 0x1_0000i64;
+    let table = keys + n as i64 * 8;
+    let out = table + table_slots * 8 + 64;
+    let mem_size = (out as usize + n * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    let miss = b.label("miss");
+    let join = b.label("join");
+    b.li(reg::x(1), 0);
+    b.li(reg::x(2), n as i64 * 8);
+    b.li(reg::x(9), (table_slots - 1) * 8);
+    b.bind(top);
+    b.load(reg::x(3), reg::x(1), keys, MemSize::B8);
+    b.alui(AluOp::Mul, reg::x(4), reg::x(3), 0x9E3779B1);
+    b.alui(AluOp::Srl, reg::x(4), reg::x(4), 13);
+    b.alu(AluOp::And, reg::x(4), reg::x(4), reg::x(9));
+    b.load(reg::x(5), reg::x(4), table, MemSize::B8);
+    b.alui(AluOp::And, reg::x(6), reg::x(5), 7);
+    b.branch(BranchCond::Ne, reg::x(6), reg::ZERO, miss);
+    b.alu(AluOp::Add, reg::x(7), reg::x(5), reg::x(3)); // hit path
+    b.jump(join);
+    b.bind(miss);
+    b.alui(AluOp::Add, reg::x(4), reg::x(4), 8); // linear re-probe
+    b.alu(AluOp::And, reg::x(4), reg::x(4), reg::x(9));
+    b.load(reg::x(7), reg::x(4), table, MemSize::B8);
+    b.alui(AluOp::Xor, reg::x(7), reg::x(7), 0x77);
+    b.bind(join);
+    b.store(reg::x(7), reg::x(1), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("hash_lookup");
+    gen::fill_u64(&mut mem, &mut rng, keys as u64, n, 0);
+    gen::fill_u64(&mut mem, &mut rng, table as u64, table_slots as usize, 0);
+    Workload {
+        name: "hash_lookup",
+        suite: Suite::Cpu2017,
+        spec_analog: "500.perlbench_r",
+        category: Category::BranchPrefetch,
+        description: "hash probe with data-dependent hit/miss branch",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 548.exchange2_r analog: candidate validation — per candidate, a chain of
+/// mostly-taken comparisons over loaded digits that occasionally fails.
+pub fn exchange2_perm(scale: Scale) -> Workload {
+    let n = scale.elems(400, 4_000);
+    let cands = 0x1_0000i64; // 4 digits per candidate (4×8 B)
+    let out = cands + n as i64 * 32 + 64;
+    let mem_size = (out as usize + n * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    let bad = b.label("bad");
+    let done = b.label("done");
+    b.li(reg::x(1), 0); // candidate byte offset (stride 32)
+    b.li(reg::x(2), n as i64 * 32);
+    b.li(reg::x(11), 0); // output byte offset (stride 8)
+    b.bind(top);
+    b.load(reg::x(3), reg::x(1), cands, MemSize::B8);
+    b.load(reg::x(4), reg::x(1), cands + 8, MemSize::B8);
+    b.load(reg::x(5), reg::x(1), cands + 16, MemSize::B8);
+    b.load(reg::x(6), reg::x(1), cands + 24, MemSize::B8);
+    b.branch(BranchCond::Eq, reg::x(3), reg::x(4), bad);
+    b.branch(BranchCond::Eq, reg::x(4), reg::x(5), bad);
+    b.branch(BranchCond::Eq, reg::x(5), reg::x(6), bad);
+    b.branch(BranchCond::Eq, reg::x(3), reg::x(6), bad);
+    b.li(reg::x(7), 1); // valid permutation prefix
+    b.jump(done);
+    b.bind(bad);
+    b.li(reg::x(7), 0);
+    b.bind(done);
+    b.store(reg::x(7), reg::x(11), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(11), reg::x(11), 8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 32);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("exchange2_perm");
+    gen::fill_u64(&mut mem, &mut rng, cands as u64, n * 4, 6);
+    Workload {
+        name: "exchange2_perm",
+        suite: Suite::Cpu2017,
+        spec_analog: "548.exchange2_r",
+        category: Category::BranchPrefetch,
+        description: "digit-validity checks with failing branches",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 456.hmmer analog (CPU 2006): one Viterbi row — each cell takes the max
+/// of two candidate scores from the *previous* row (read-only), so cells
+/// are independent; the max is a data-dependent branch.
+pub fn hmmer_viterbi(scale: Scale) -> Workload {
+    let n = scale.elems(600, 6_000);
+    let mpp = 0x1_0000i64; // previous row, match scores
+    let ip = mpp + (n as i64 + 1) * 8;
+    let tr = ip + (n as i64 + 1) * 8;
+    let mc = tr + (n as i64 + 1) * 8; // output row
+    let mem_size = (mc as usize + (n + 1) * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    let take2 = b.label("take2");
+    let join = b.label("join");
+    b.li(reg::x(1), 8);
+    b.li(reg::x(2), (n as i64 + 1) * 8);
+    b.bind(top);
+    b.load(reg::x(3), reg::x(1), mpp - 8, MemSize::B8);
+    b.load(reg::x(4), reg::x(1), ip - 8, MemSize::B8);
+    b.load(reg::x(5), reg::x(1), tr, MemSize::B8);
+    b.alu(AluOp::Add, reg::x(3), reg::x(3), reg::x(5));
+    b.alui(AluOp::Add, reg::x(4), reg::x(4), 3);
+    b.branch(BranchCond::Lt, reg::x(3), reg::x(4), take2);
+    b.alui(AluOp::Add, reg::x(6), reg::x(3), 0);
+    b.jump(join);
+    b.bind(take2);
+    b.alui(AluOp::Add, reg::x(6), reg::x(4), 0);
+    b.bind(join);
+    b.store(reg::x(6), reg::x(1), mc, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, mc, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("hmmer_viterbi");
+    gen::fill_u64(&mut mem, &mut rng, mpp as u64, n + 1, 1 << 16);
+    gen::fill_u64(&mut mem, &mut rng, ip as u64, n + 1, 1 << 16);
+    gen::fill_u64(&mut mem, &mut rng, tr as u64, n + 1, 1 << 10);
+    Workload {
+        name: "hmmer_viterbi",
+        suite: Suite::Cpu2006,
+        spec_analog: "456.hmmer",
+        category: Category::ControlDep,
+        description: "Viterbi row with data-dependent max",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 401.bzip2 analog (CPU 2006): suffix-order comparison — a two-level
+/// indirect load pair and a comparison branch per element.
+pub fn bzip_bwt(scale: Scale) -> Workload {
+    let n = scale.elems(500, 5_000);
+    let ptr = 0x1_0000i64; // permutation of positions
+    let data = ptr + n as i64 * 8;
+    let out = data + n as i64 * 8 + 64;
+    let mem_size = (out as usize + n * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    let gt = b.label("gt");
+    let join = b.label("join");
+    b.li(reg::x(1), 0);
+    b.li(reg::x(2), (n as i64 - 1) * 8);
+    b.bind(top);
+    b.load(reg::x(3), reg::x(1), ptr, MemSize::B8);
+    b.load(reg::x(4), reg::x(1), ptr + 8, MemSize::B8);
+    b.load(reg::x(5), reg::x(3), data, MemSize::B8); // data[p[i]]
+    b.load(reg::x(6), reg::x(4), data, MemSize::B8); // data[p[i+1]]
+    b.branch(BranchCond::Ltu, reg::x(6), reg::x(5), gt);
+    b.alu(AluOp::Sub, reg::x(7), reg::x(6), reg::x(5));
+    b.jump(join);
+    b.bind(gt);
+    b.alu(AluOp::Sub, reg::x(7), reg::x(5), reg::x(6));
+    b.alui(AluOp::Or, reg::x(7), reg::x(7), 1);
+    b.bind(join);
+    b.store(reg::x(7), reg::x(1), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, n - 1);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("bzip_bwt");
+    gen::fill_permutation(&mut mem, &mut rng, ptr as u64, n);
+    gen::fill_u64(&mut mem, &mut rng, data as u64, n, 0);
+    Workload {
+        name: "bzip_bwt",
+        suite: Suite::Cpu2006,
+        spec_analog: "401.bzip2",
+        category: Category::BranchPrefetch,
+        description: "suffix comparisons through double indirection",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 445.gobmk analog (CPU 2006): board-pattern classification — load four
+/// neighbors, combine into a pattern, and classify with branches.
+pub fn gobmk_patterns(scale: Scale) -> Workload {
+    let n = scale.elems(500, 5_000);
+    let board = 0x1_0000i64;
+    let out = board + (n as i64 + 32) * 8;
+    let mem_size = (out as usize + n * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    let dead = b.label("dead");
+    let edge = b.label("edge");
+    let join = b.label("join");
+    b.li(reg::x(1), 8);
+    b.li(reg::x(2), (n as i64 + 1) * 8);
+    b.bind(top);
+    b.load(reg::x(3), reg::x(1), board - 8, MemSize::B8);
+    b.load(reg::x(4), reg::x(1), board + 8, MemSize::B8);
+    b.load(reg::x(5), reg::x(1), board + 16 * 8, MemSize::B8);
+    b.load(reg::x(6), reg::x(1), board, MemSize::B8);
+    b.alui(AluOp::And, reg::x(3), reg::x(3), 3);
+    b.alui(AluOp::And, reg::x(4), reg::x(4), 3);
+    b.alui(AluOp::And, reg::x(5), reg::x(5), 3);
+    b.alui(AluOp::Sll, reg::x(4), reg::x(4), 2);
+    b.alui(AluOp::Sll, reg::x(5), reg::x(5), 4);
+    b.alu(AluOp::Or, reg::x(3), reg::x(3), reg::x(4));
+    b.alu(AluOp::Or, reg::x(3), reg::x(3), reg::x(5)); // 6-bit pattern
+    b.alui(AluOp::Seq, reg::x(7), reg::x(3), 0);
+    b.branch(BranchCond::Ne, reg::x(7), reg::ZERO, dead);
+    b.alui(AluOp::Sltu, reg::x(7), reg::x(3), 21);
+    b.branch(BranchCond::Eq, reg::x(7), reg::ZERO, edge);
+    b.alu(AluOp::Add, reg::x(8), reg::x(3), reg::x(6)); // interior
+    b.jump(join);
+    b.bind(dead);
+    b.li(reg::x(8), 0);
+    b.jump(join);
+    b.bind(edge);
+    b.alu(AluOp::Xor, reg::x(8), reg::x(3), reg::x(6));
+    b.alui(AluOp::Or, reg::x(8), reg::x(8), 0x100);
+    b.bind(join);
+    b.store(reg::x(8), reg::x(1), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("gobmk_patterns");
+    gen::fill_u64(&mut mem, &mut rng, board as u64, n + 32, 0);
+    Workload {
+        name: "gobmk_patterns",
+        suite: Suite::Cpu2006,
+        spec_analog: "445.gobmk",
+        category: Category::ControlDep,
+        description: "neighbor-pattern classification with branches",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}

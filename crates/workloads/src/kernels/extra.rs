@@ -1,0 +1,307 @@
+//! Additional SPEC analogs, rounding out the CPU 2006 side of the suite.
+
+use crate::gen;
+use crate::{Category, Scale, Suite, Workload};
+use lf_isa::{reg, AluOp, BranchCond, FpuOp, Memory, MemSize, ProgramBuilder};
+
+/// 450.soplex analog (CPU 2006): simplex pricing — a CSR-style sparse
+/// column scan with indirect loads of the price vector.
+pub fn soplex_pricing(scale: Scale) -> Workload {
+    let rows = scale.elems(160, 1_600);
+    let nnz = 4usize;
+    let cols = 512usize;
+    let colidx = 0x1_0000i64; // rows×nnz column byte-offsets
+    let coef = colidx + (rows * nnz) as i64 * 8;
+    let price = coef + (rows * nnz) as i64 * 8;
+    let out = price + cols as i64 * 8 + 64;
+    let mem_size = (out as usize + rows * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    b.li(reg::x(1), 0); // row (stride nnz*8 in colidx/coef)
+    b.li(reg::x(2), (rows * nnz) as i64 * 8);
+    b.li(reg::x(11), 0); // output offset
+    b.bind(top);
+    // Unrolled scan of the row's nnz entries.
+    b.li(reg::x(8), 0);
+    for k in 0..nnz as i64 {
+        b.load(reg::x(3), reg::x(1), colidx + k * 8, MemSize::B8);
+        b.load(reg::x(4), reg::x(1), coef + k * 8, MemSize::B8);
+        b.load(reg::x(5), reg::x(3), price, MemSize::B8); // indirect
+        b.alu(AluOp::Mul, reg::x(5), reg::x(5), reg::x(4));
+        b.alu(AluOp::Add, reg::x(8), reg::x(8), reg::x(5));
+    }
+    b.store(reg::x(8), reg::x(11), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(11), reg::x(11), 8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), nnz as i64 * 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, rows);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("soplex_pricing");
+    gen::fill_csr_cols(&mut mem, &mut rng, colidx as u64, rows, nnz, cols);
+    gen::fill_u64(&mut mem, &mut rng, coef as u64, rows * nnz, 1 << 10);
+    gen::fill_u64(&mut mem, &mut rng, price as u64, cols, 1 << 12);
+    Workload {
+        name: "soplex_pricing",
+        suite: Suite::Cpu2006,
+        spec_analog: "450.soplex",
+        category: Category::MemParallelism,
+        description: "sparse pricing scan with indirect gathers",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 459.GemsFDTD analog (CPU 2006): a three-field FP FDTD update.
+pub fn gems_fdtd(scale: Scale) -> Workload {
+    let n = scale.elems(700, 7_000);
+    let ex = 0x1_0000i64;
+    let hy = ex + (n as i64 + 2) * 8;
+    let hz = hy + (n as i64 + 2) * 8;
+    let mem_size = (hz as usize + (n + 2) * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    b.li(reg::x(3), 3);
+    b.fpu(FpuOp::CvtIF, reg::f(9), reg::x(3), reg::ZERO);
+    b.li(reg::x(3), 32);
+    b.fpu(FpuOp::CvtIF, reg::f(10), reg::x(3), reg::ZERO);
+    b.fpu(FpuOp::FDiv, reg::f(9), reg::f(9), reg::f(10)); // dt/dx
+    b.li(reg::x(1), 8);
+    b.li(reg::x(2), n as i64 * 8);
+    b.bind(top);
+    b.load(reg::f(0), reg::x(1), hy, MemSize::B8);
+    b.load(reg::f(1), reg::x(1), hy - 8, MemSize::B8);
+    b.load(reg::f(2), reg::x(1), hz, MemSize::B8);
+    b.load(reg::f(3), reg::x(1), hz - 8, MemSize::B8);
+    b.fpu(FpuOp::FSub, reg::f(4), reg::f(0), reg::f(1));
+    b.fpu(FpuOp::FSub, reg::f(5), reg::f(2), reg::f(3));
+    b.fpu(FpuOp::FSub, reg::f(4), reg::f(4), reg::f(5));
+    b.fpu(FpuOp::FMul, reg::f(4), reg::f(4), reg::f(9));
+    b.load(reg::f(6), reg::x(1), ex, MemSize::B8);
+    b.fpu(FpuOp::FAdd, reg::f(6), reg::f(6), reg::f(4));
+    b.store(reg::f(6), reg::x(1), ex, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, ex, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("gems_fdtd");
+    for base in [ex, hy, hz] {
+        gen::fill_f64(&mut mem, &mut rng, base as u64, n + 2, -1.0, 1.0);
+    }
+    Workload {
+        name: "gems_fdtd",
+        suite: Suite::Cpu2006,
+        spec_analog: "459.GemsFDTD",
+        category: Category::MemParallelism,
+        description: "three-field FDTD update",
+        in_openmp_region: true,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 453.povray analog (CPU 2006): gradient-noise evaluation — a hash-driven
+/// gather feeding an interpolation chain (prefetch-side-effect class).
+pub fn povray_noise(scale: Scale) -> Workload {
+    let n = scale.elems(400, 4_000);
+    let grad = 0x1_0000i64; // 1,024-entry gradient table
+    let table = 1024i64;
+    let out = grad + table * 8;
+    let mem_size = (out as usize + n * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    b.li(reg::x(1), 0);
+    b.li(reg::x(2), n as i64);
+    b.li(reg::x(9), (table - 1) * 8);
+    b.li(reg::x(11), 0); // output offset
+    b.bind(top);
+    // Two hashed gathers + integer lerp by the fractional part.
+    b.alui(AluOp::Mul, reg::x(3), reg::x(1), 0x27d4_eb2f);
+    b.alui(AluOp::Srl, reg::x(4), reg::x(3), 9);
+    b.alu(AluOp::And, reg::x(4), reg::x(4), reg::x(9));
+    b.load(reg::x(5), reg::x(4), grad, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(4), reg::x(4), 8);
+    b.alu(AluOp::And, reg::x(4), reg::x(4), reg::x(9));
+    b.load(reg::x(6), reg::x(4), grad, MemSize::B8);
+    b.alui(AluOp::And, reg::x(7), reg::x(3), 0xff); // fraction
+    b.alu(AluOp::Sub, reg::x(8), reg::x(6), reg::x(5));
+    b.alu(AluOp::Mul, reg::x(8), reg::x(8), reg::x(7));
+    b.alui(AluOp::Sra, reg::x(8), reg::x(8), 8);
+    b.alu(AluOp::Add, reg::x(8), reg::x(8), reg::x(5));
+    b.store(reg::x(8), reg::x(11), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(11), reg::x(11), 8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 1);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("povray_noise");
+    gen::fill_u64(&mut mem, &mut rng, grad as u64, table as usize, 1 << 16);
+    Workload {
+        name: "povray_noise",
+        suite: Suite::Cpu2006,
+        spec_analog: "453.povray",
+        category: Category::DataPrefetch,
+        description: "hash-gather noise with interpolation chain",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 400.perlbench analog (CPU 2006): per-string byte-class scanning — each
+/// string runs a short data-dependent scan (outer loop hintable, inner
+/// serial), like the interpreter's token matcher.
+pub fn perl_scan(scale: Scale) -> Workload {
+    let strings = scale.elems(220, 2_200);
+    let bytes_per = 16u64;
+    let data = 0x1_0000i64;
+    let out = data + (strings as u64 * bytes_per) as i64 + 64;
+    let mem_size = (out as usize + strings * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    let scan = b.label("scan");
+    let done = b.label("done");
+    b.li(reg::x(1), 0); // string base offset (stride 16)
+    b.li(reg::x(2), strings as i64 * bytes_per as i64);
+    b.li(reg::x(11), 0); // output offset
+    b.bind(top);
+    b.li(reg::x(4), 0); // byte cursor
+    b.li(reg::x(5), 0); // token class accumulator
+    b.bind(scan);
+    b.alu(AluOp::Add, reg::x(6), reg::x(1), reg::x(4));
+    b.load(reg::x(7), reg::x(6), data, MemSize::B1);
+    // Stop at a terminator byte (<16); otherwise accumulate the class.
+    b.alui(AluOp::Sltu, reg::x(8), reg::x(7), 16);
+    b.branch(BranchCond::Ne, reg::x(8), reg::ZERO, done);
+    b.alui(AluOp::And, reg::x(7), reg::x(7), 0x3f);
+    b.alu(AluOp::Add, reg::x(5), reg::x(5), reg::x(7));
+    b.alui(AluOp::Add, reg::x(4), reg::x(4), 1);
+    b.alui(AluOp::Sltu, reg::x(8), reg::x(4), bytes_per as i64);
+    b.branch(BranchCond::Ne, reg::x(8), reg::ZERO, scan);
+    b.bind(done);
+    b.store(reg::x(5), reg::x(11), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(11), reg::x(11), 8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), bytes_per as i64);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, strings);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("perl_scan");
+    gen::fill_bytes(&mut mem, &mut rng, data as u64, strings * bytes_per as usize, 0);
+    Workload {
+        name: "perl_scan",
+        suite: Suite::Cpu2006,
+        spec_analog: "400.perlbench",
+        category: Category::ControlDep,
+        description: "per-string byte scan with data-dependent exit",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 447.dealII analog (CPU 2006): FEM assembly scatter — `K[map[i]] +=
+/// contrib[i]` with a wide target space; rare collisions between nearby
+/// iterations exercise real cross-threadlet conflicts.
+pub fn deal_assembly(scale: Scale) -> Workload {
+    let elems = scale.elems(400, 4_000);
+    let targets = 2048usize;
+    let map = 0x1_0000i64;
+    let contrib = map + elems as i64 * 8;
+    let matrix = contrib + elems as i64 * 8;
+    let mem_size = (matrix as usize + targets * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    b.li(reg::x(1), 0);
+    b.li(reg::x(2), elems as i64 * 8);
+    b.bind(top);
+    b.load(reg::x(3), reg::x(1), map, MemSize::B8); // target byte offset
+    b.load(reg::x(4), reg::x(1), contrib, MemSize::B8);
+    b.load(reg::x(5), reg::x(3), matrix, MemSize::B8);
+    b.alu(AluOp::Add, reg::x(5), reg::x(5), reg::x(4));
+    b.store(reg::x(5), reg::x(3), matrix, MemSize::B8); // indirect scatter
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, matrix, targets);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("deal_assembly");
+    for i in 0..elems as u64 {
+        use rand::Rng;
+        let t: u64 = rng.random_range(0..targets as u64);
+        mem.write_u64(map as u64 + i * 8, t * 8).unwrap();
+    }
+    gen::fill_u64(&mut mem, &mut rng, contrib as u64, elems, 1 << 10);
+    Workload {
+        name: "deal_assembly",
+        suite: Suite::Cpu2006,
+        spec_analog: "447.dealII",
+        category: Category::MemParallelism,
+        description: "indirect FEM scatter with rare collisions",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 507.cactuBSSN_r analog (CPU 2017): relativistic stencil — a deep FP
+/// dependency chain per grid point.
+pub fn cactus_bssn(scale: Scale) -> Workload {
+    let n = scale.elems(450, 4_500);
+    let g = 0x1_0000i64;
+    let k = g + (n as i64 + 2) * 8;
+    let out = k + (n as i64 + 2) * 8;
+    let mem_size = (out as usize + (n + 2) * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    b.li(reg::x(3), 1);
+    b.fpu(FpuOp::CvtIF, reg::f(8), reg::x(3), reg::ZERO);
+    b.li(reg::x(1), 8);
+    b.li(reg::x(2), (n as i64 + 1) * 8);
+    b.bind(top);
+    b.load(reg::f(0), reg::x(1), g, MemSize::B8);
+    b.load(reg::f(1), reg::x(1), k, MemSize::B8);
+    // Deep chain: ((g·k + 1)·g − k)·k + g, then a square root.
+    b.fpu(FpuOp::FMul, reg::f(2), reg::f(0), reg::f(1));
+    b.fpu(FpuOp::FAdd, reg::f(2), reg::f(2), reg::f(8));
+    b.fpu(FpuOp::FMul, reg::f(2), reg::f(2), reg::f(0));
+    b.fpu(FpuOp::FSub, reg::f(2), reg::f(2), reg::f(1));
+    b.fpu(FpuOp::FMul, reg::f(2), reg::f(2), reg::f(1));
+    b.fpu(FpuOp::FAdd, reg::f(2), reg::f(2), reg::f(0));
+    b.fpu(FpuOp::FMul, reg::f(2), reg::f(2), reg::f(2));
+    b.fpu(FpuOp::FSqrt, reg::f(2), reg::f(2), reg::f(2));
+    b.store(reg::f(2), reg::x(1), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("cactus_bssn");
+    gen::fill_f64(&mut mem, &mut rng, g as u64, n + 2, 0.5, 2.0);
+    gen::fill_f64(&mut mem, &mut rng, k as u64, n + 2, -1.0, 1.0);
+    Workload {
+        name: "cactus_bssn",
+        suite: Suite::Cpu2017,
+        spec_analog: "507.cactuBSSN_r",
+        category: Category::DepChains,
+        description: "deep FP chain per grid point",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}

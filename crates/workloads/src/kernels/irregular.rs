@@ -1,0 +1,298 @@
+//! Pointer- and index-chasing memory kernels.
+
+use crate::gen;
+use crate::{Category, Scale, Suite, Workload};
+use lf_isa::{reg, AluOp, BranchCond, Memory, MemSize, ProgramBuilder};
+
+/// 520.omnetpp_r analog: discrete-event processing — per event, an indirect
+/// load of the handler record followed by a data-dependent dispatch branch.
+/// The paper's second-biggest winner, driven by branch-condition prefetch.
+pub fn event_queue(scale: Scale) -> Workload {
+    let n = scale.elems(600, 6_000);
+    let idx = 0x1_0000i64; // permutation: event → record offset
+    let rec = idx + n as i64 * 8; // records (kind, payload): 16 B each
+    let out = rec + n as i64 * 16 + 64;
+    let mem_size = (out as usize + n * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    let kind1 = b.label("kind1");
+    let join = b.label("join");
+    b.li(reg::x(1), 0);
+    b.li(reg::x(2), n as i64 * 8);
+    b.bind(top);
+    b.load(reg::x(3), reg::x(1), idx, MemSize::B8); // record offset (×8)
+    b.alui(AluOp::Sll, reg::x(3), reg::x(3), 1); // ×16
+    b.load(reg::x(4), reg::x(3), rec, MemSize::B8); // kind
+    b.load(reg::x(5), reg::x(3), rec + 8, MemSize::B8); // payload
+    b.alui(AluOp::And, reg::x(6), reg::x(4), 1);
+    b.branch(BranchCond::Ne, reg::x(6), reg::ZERO, kind1);
+    b.alui(AluOp::Mul, reg::x(5), reg::x(5), 3); // timer event
+    b.jump(join);
+    b.bind(kind1);
+    b.alui(AluOp::Add, reg::x(5), reg::x(5), 0x55); // message event
+    b.alui(AluOp::Xor, reg::x(5), reg::x(5), 0x0f);
+    b.bind(join);
+    b.store(reg::x(5), reg::x(1), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("event_queue");
+    gen::fill_permutation(&mut mem, &mut rng, idx as u64, n);
+    gen::fill_u64(&mut mem, &mut rng, rec as u64, n * 2, 1 << 30);
+    Workload {
+        name: "event_queue",
+        suite: Suite::Cpu2017,
+        spec_analog: "520.omnetpp_r",
+        category: Category::BranchPrefetch,
+        description: "event dispatch with data-dependent branches",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 523.xalancbmk_r analog: DOM-like node processing — a permutation walk
+/// gathering node payloads through an index array (cache-missing loads).
+pub fn dom_tree_walk(scale: Scale) -> Workload {
+    let n = scale.elems(700, 7_000);
+    let idx = 0x1_0000i64;
+    let nodes = idx + n as i64 * 8;
+    let out = nodes + n as i64 * 8 + 64;
+    let mem_size = (out as usize + n * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    b.li(reg::x(1), 0);
+    b.li(reg::x(2), n as i64 * 8);
+    b.bind(top);
+    b.load(reg::x(3), reg::x(1), idx, MemSize::B8);
+    b.load(reg::x(4), reg::x(3), nodes, MemSize::B8); // indirect gather
+    b.alui(AluOp::Mul, reg::x(4), reg::x(4), 5);
+    b.alui(AluOp::Xor, reg::x(4), reg::x(4), 0x3c3c);
+    b.store(reg::x(4), reg::x(1), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("dom_tree_walk");
+    gen::fill_permutation(&mut mem, &mut rng, idx as u64, n);
+    gen::fill_u64(&mut mem, &mut rng, nodes as u64, n, 0);
+    Workload {
+        name: "dom_tree_walk",
+        suite: Suite::Cpu2017,
+        spec_analog: "523.xalancbmk_r",
+        category: Category::MemParallelism,
+        description: "indirect gather over tree-node payloads",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 505.mcf_r analog: network-simplex arc scanning — per edge, gather the
+/// endpoints' potentials and compute the reduced cost.
+pub fn graph_relax(scale: Scale) -> Workload {
+    let edges = scale.elems(500, 5_000);
+    let nodes = 256usize;
+    let srcs = 0x1_0000i64;
+    let dsts = srcs + edges as i64 * 8;
+    let w = dsts + edges as i64 * 8;
+    let pot = w + edges as i64 * 8;
+    let out = pot + nodes as i64 * 8 + 64;
+    let mem_size = (out as usize + edges * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    b.li(reg::x(1), 0);
+    b.li(reg::x(2), edges as i64 * 8);
+    b.bind(top);
+    b.load(reg::x(3), reg::x(1), srcs, MemSize::B8); // src node offset
+    b.load(reg::x(4), reg::x(1), dsts, MemSize::B8); // dst node offset
+    b.load(reg::x(5), reg::x(1), w, MemSize::B8);
+    b.load(reg::x(6), reg::x(3), pot, MemSize::B8);
+    b.load(reg::x(7), reg::x(4), pot, MemSize::B8);
+    b.alu(AluOp::Sub, reg::x(8), reg::x(6), reg::x(7));
+    b.alu(AluOp::Add, reg::x(8), reg::x(8), reg::x(5)); // reduced cost
+    b.store(reg::x(8), reg::x(1), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, edges);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("graph_relax");
+    for base in [srcs, dsts] {
+        for i in 0..edges as u64 {
+            let node: u64 = {
+                use rand::Rng;
+                rng.random_range(0..nodes as u64)
+            };
+            mem.write_u64(base as u64 + i * 8, node * 8).unwrap();
+        }
+    }
+    gen::fill_u64(&mut mem, &mut rng, w as u64, edges, 1 << 12);
+    gen::fill_u64(&mut mem, &mut rng, pot as u64, nodes, 1 << 12);
+    Workload {
+        name: "graph_relax",
+        suite: Suite::Cpu2017,
+        spec_analog: "505.mcf_r",
+        category: Category::MemParallelism,
+        description: "reduced-cost computation over graph edges",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 511.povray_r analog: per-ray marching with a data-dependent inner trip
+/// count (bounded while-loop sampling a density field). Failed speculation
+/// still warms the cache — the paper's data-prefetch class.
+pub fn ray_march(scale: Scale) -> Workload {
+    let rays = scale.elems(260, 2_600);
+    let field = 0x1_0000i64;
+    let field_elems = 2048usize;
+    let out = field + field_elems as i64 * 8;
+    let mem_size = (out as usize + rays * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    let march = b.label("march");
+    let done = b.label("done");
+    b.li(reg::x(1), 0); // ray index (byte offset)
+    b.li(reg::x(2), rays as i64 * 8);
+    b.li(reg::x(9), (field_elems as i64 - 1) * 8); // field mask base
+    b.bind(top);
+    // Per-ray state: position x4 (derived from ray id), accumulator x5,
+    // step counter x6.
+    b.alui(AluOp::Mul, reg::x(4), reg::x(1), 37);
+    b.li(reg::x(5), 0);
+    b.li(reg::x(6), 8);
+    b.bind(march);
+    b.alu(AluOp::And, reg::x(7), reg::x(4), reg::x(9));
+    b.alui(AluOp::And, reg::x(7), reg::x(7), !7); // align to 8
+    b.load(reg::x(8), reg::x(7), field, MemSize::B8);
+    b.alu(AluOp::Add, reg::x(5), reg::x(5), reg::x(8));
+    b.alui(AluOp::Add, reg::x(4), reg::x(4), 264); // advance along ray
+    b.alui(AluOp::Sub, reg::x(6), reg::x(6), 1);
+    // Early out on dense sample (threshold), else bounded steps.
+    b.alui(AluOp::Sltu, reg::x(10), reg::x(8), 0x6000_0000);
+    b.branch(BranchCond::Eq, reg::x(10), reg::ZERO, done);
+    b.branch(BranchCond::Ne, reg::x(6), reg::ZERO, march);
+    b.bind(done);
+    b.store(reg::x(5), reg::x(1), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, rays);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("ray_march");
+    gen::fill_u64(&mut mem, &mut rng, field as u64, field_elems, 1 << 31);
+    Workload {
+        name: "ray_march",
+        suite: Suite::Cpu2017,
+        spec_analog: "511.povray_r",
+        category: Category::DataPrefetch,
+        description: "bounded ray marching with data-dependent exit",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 462.libquantum analog (CPU 2006): quantum gate application — per
+/// amplitude, a strided partner access selected by an index-bit test
+/// (predictable branch, abundant memory-level parallelism).
+pub fn quantum_gate(scale: Scale) -> Workload {
+    let n = scale.elems(8_192, 32_768); // power of two; exceeds the L1D
+    let amp = 0x1_0000i64;
+    let out = amp + n as i64 * 8;
+    let mem_size = (out as usize + n * 8 + 64).next_power_of_two();
+    let mask = 4096i64; // target qubit: bit 9 of the element index (×8)
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    let flip = b.label("flip");
+    let join = b.label("join");
+    b.li(reg::x(1), 0);
+    b.li(reg::x(2), n as i64 * 8);
+    b.bind(top);
+    b.alui(AluOp::And, reg::x(3), reg::x(1), mask);
+    b.branch(BranchCond::Ne, reg::x(3), reg::ZERO, flip);
+    b.load(reg::x(4), reg::x(1), amp, MemSize::B8); // identity lane
+    b.jump(join);
+    b.bind(flip);
+    b.alui(AluOp::Xor, reg::x(5), reg::x(1), mask);
+    b.load(reg::x(4), reg::x(5), amp, MemSize::B8); // partner amplitude
+    b.alui(AluOp::Xor, reg::x(4), reg::x(4), 0x5a5a);
+    b.bind(join);
+    b.store(reg::x(4), reg::x(1), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("quantum_gate");
+    gen::fill_u64(&mut mem, &mut rng, amp as u64, n, 0);
+    Workload {
+        name: "quantum_gate",
+        suite: Suite::Cpu2006,
+        spec_analog: "462.libquantum",
+        category: Category::MemParallelism,
+        description: "gate application with partner-index accesses",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 429.mcf analog (CPU 2006): a serial linked-list traversal — the next
+/// pointer is a through-memory loop-carried dependence, so LoopFrog cannot
+/// legally split the iteration (§6.4.3's DoACROSS class).
+pub fn pointer_chase(scale: Scale) -> Workload {
+    let n = scale.elems(900, 9_000);
+    let node_bytes = 16u64;
+    let list = 0x1_0000i64;
+    let out = list + (n as u64 * node_bytes) as i64 + 64;
+    let mem_size = (out as usize + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    let done = b.label("done");
+    b.li(reg::x(1), list); // current node pointer
+    b.li(reg::x(5), 0); // checksum accumulator
+    b.li(reg::x(6), -1i64); // sentinel
+    b.bind(top);
+    b.load(reg::x(3), reg::x(1), 8, MemSize::B8); // payload
+    b.alu(AluOp::Add, reg::x(5), reg::x(5), reg::x(3));
+    b.load(reg::x(1), reg::x(1), 0, MemSize::B8); // next (serial LCD)
+    b.branch(BranchCond::Ne, reg::x(1), reg::x(6), top);
+    b.bind(done);
+    b.li(reg::x(7), out);
+    b.store(reg::x(5), reg::x(7), 0, MemSize::B8);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("pointer_chase");
+    gen::fill_linked_list(&mut mem, &mut rng, list as u64, n, node_bytes);
+    for i in 0..n as u64 {
+        mem.write_u64(list as u64 + i * node_bytes + 8, i.wrapping_mul(0x9e37) | 1).unwrap();
+    }
+    Workload {
+        name: "pointer_chase",
+        suite: Suite::Cpu2006,
+        spec_analog: "429.mcf",
+        category: Category::NoSpeedup,
+        description: "serial linked-list traversal (memory LCD)",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}

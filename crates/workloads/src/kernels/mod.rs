@@ -1,0 +1,77 @@
+//! Kernel constructors, grouped by loop character.
+//!
+//! - [`regular`]: dense array/FP sweeps (imagick, bwaves, nab, milc, …)
+//! - [`irregular`]: pointer/index-chasing memory loops (omnetpp, mcf, …)
+//! - [`control`]: branch-dominated loops (gcc, perlbench, gobmk, …)
+//! - [`serial`]: loops the paper expects no speedup from (xz, leela, …)
+
+pub mod control;
+pub mod extra;
+pub mod irregular;
+pub mod regular;
+pub mod serial;
+
+use crate::{Scale, Workload};
+use lf_isa::{reg, AluOp, BranchCond, MemSize, ProgramBuilder};
+
+/// Appends a sequential checksum epilogue: a serial reduction over the
+/// kernel's output array, stored to a fixed scratch address. Real programs
+/// spend much of their time outside parallelizable loops (the paper's
+/// whole-program numbers include those regions); the reduction's
+/// loop-carried accumulator makes this region legally unhintable.
+pub(crate) fn checksum_epilogue(b: &mut ProgramBuilder, out_addr: i64, elems: usize) {
+    let eloop = b.label("cksum");
+    b.li(reg::x(24), 0);
+    b.li(reg::x(25), elems as i64 * 8);
+    b.li(reg::x(27), 0);
+    b.bind(eloop);
+    b.load(reg::x(26), reg::x(24), out_addr, MemSize::B8);
+    b.alu(AluOp::Add, reg::x(27), reg::x(27), reg::x(26));
+    b.alui(AluOp::Mul, reg::x(27), reg::x(27), 31);
+    b.alui(AluOp::Xor, reg::x(27), reg::x(27), 0x1d);
+    b.alui(AluOp::Mul, reg::x(27), reg::x(27), 127);
+    b.alui(AluOp::Add, reg::x(24), reg::x(24), 8);
+    b.branch(BranchCond::Lt, reg::x(24), reg::x(25), eloop);
+    b.li(reg::x(28), 0x100);
+    b.store(reg::x(27), reg::x(28), 0, MemSize::B8);
+}
+
+/// Builds the complete suite.
+pub fn all(scale: Scale) -> Vec<Workload> {
+    vec![
+        // --- SPEC CPU 2017 analogs ---
+        regular::stencil_blur(scale),
+        regular::wave_update(scale),
+        regular::md_force(scale),
+        regular::motion_sad(scale),
+        regular::fotonik_fdtd(scale),
+        regular::particle_dense(scale),
+        regular::fluid_lbm(scale),
+        irregular::event_queue(scale),
+        irregular::dom_tree_walk(scale),
+        irregular::graph_relax(scale),
+        irregular::ray_march(scale),
+        control::ir_constfold(scale),
+        control::hash_lookup(scale),
+        control::exchange2_perm(scale),
+        serial::compress_rle(scale),
+        serial::chess_eval(scale),
+        serial::mc_playout(scale),
+        extra::cactus_bssn(scale),
+        // --- SPEC CPU 2006 analogs ---
+        regular::milc_su3(scale),
+        regular::h264_me(scale),
+        regular::sphinx_gauss(scale),
+        irregular::quantum_gate(scale),
+        irregular::pointer_chase(scale),
+        control::hmmer_viterbi(scale),
+        control::bzip_bwt(scale),
+        control::gobmk_patterns(scale),
+        serial::astar_heap(scale),
+        extra::soplex_pricing(scale),
+        extra::gems_fdtd(scale),
+        extra::povray_noise(scale),
+        extra::perl_scan(scale),
+        extra::deal_assembly(scale),
+    ]
+}

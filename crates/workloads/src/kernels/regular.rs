@@ -1,0 +1,471 @@
+//! Dense array and floating-point sweep kernels.
+
+use crate::gen;
+use crate::{Category, Scale, Suite, Workload};
+use lf_isa::{reg, AluOp, BranchCond, FpuOp, Memory, MemSize, ProgramBuilder};
+
+/// 538.imagick_r analog: a 1D convolution sweep (`out[i] = (in[i-1] +
+/// 2·in[i] + in[i+1]) · k`), the shape of ImageMagick's separable blur
+/// inner loop. Iterations are fully independent with a few cache-missing
+/// loads each — the paper's biggest winner.
+pub fn stencil_blur(scale: Scale) -> Workload {
+    let n = scale.elems(1200, 12_000);
+    let src = 0x1_0000i64;
+    let dst = src + (n as i64 + 2) * 8;
+    let mem_size = (dst as usize + (n + 2) * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    b.li(reg::x(1), 8); // i (byte offset), starts at element 1
+    b.li(reg::x(2), (n as i64 + 1) * 8);
+    b.bind(top);
+    b.load(reg::x(3), reg::x(1), src - 8, MemSize::B8);
+    b.load(reg::x(4), reg::x(1), src, MemSize::B8);
+    b.load(reg::x(5), reg::x(1), src + 8, MemSize::B8);
+    b.alui(AluOp::Sll, reg::x(4), reg::x(4), 1);
+    b.alu(AluOp::Add, reg::x(3), reg::x(3), reg::x(4));
+    b.alu(AluOp::Add, reg::x(3), reg::x(3), reg::x(5));
+    b.alui(AluOp::Mul, reg::x(3), reg::x(3), 11);
+    b.alui(AluOp::Srl, reg::x(3), reg::x(3), 2);
+    b.store(reg::x(3), reg::x(1), dst, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, dst, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("stencil_blur");
+    gen::fill_u64(&mut mem, &mut rng, src as u64, n + 2, 1 << 20);
+    Workload {
+        name: "stencil_blur",
+        suite: Suite::Cpu2017,
+        spec_analog: "538.imagick_r",
+        category: Category::MemParallelism,
+        description: "independent 1D convolution sweep",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 503.bwaves_r analog: an FP wave-propagation stencil with a multi-operation
+/// dependent chain per element (`u' = c0·u + c1·(uL + uR)` refined twice).
+pub fn wave_update(scale: Scale) -> Workload {
+    let n = scale.elems(900, 9_000);
+    let src = 0x1_0000i64;
+    let dst = src + (n as i64 + 2) * 8;
+    let mem_size = (dst as usize + (n + 2) * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    b.li(reg::x(3), 0);
+    b.fpu(FpuOp::CvtIF, reg::f(8), reg::x(3), reg::ZERO); // f8 = 0.0
+    b.li(reg::x(3), 3);
+    b.fpu(FpuOp::CvtIF, reg::f(9), reg::x(3), reg::ZERO);
+    b.li(reg::x(3), 7);
+    b.fpu(FpuOp::CvtIF, reg::f(10), reg::x(3), reg::ZERO);
+    b.fpu(FpuOp::FDiv, reg::f(9), reg::f(9), reg::f(10)); // c0 = 3/7
+    b.li(reg::x(1), 8);
+    b.li(reg::x(2), (n as i64 + 1) * 8);
+    b.bind(top);
+    b.load(reg::f(0), reg::x(1), src - 8, MemSize::B8);
+    b.load(reg::f(1), reg::x(1), src, MemSize::B8);
+    b.load(reg::f(2), reg::x(1), src + 8, MemSize::B8);
+    b.fpu(FpuOp::FAdd, reg::f(3), reg::f(0), reg::f(2));
+    b.fpu(FpuOp::FMul, reg::f(3), reg::f(3), reg::f(9));
+    b.fpu(FpuOp::FAdd, reg::f(3), reg::f(3), reg::f(1));
+    b.fpu(FpuOp::FMul, reg::f(4), reg::f(3), reg::f(9)); // dependent refine
+    b.fpu(FpuOp::FAdd, reg::f(4), reg::f(4), reg::f(3));
+    b.fpu(FpuOp::FMul, reg::f(4), reg::f(4), reg::f(9));
+    b.store(reg::f(4), reg::x(1), dst, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, dst, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("wave_update");
+    gen::fill_f64(&mut mem, &mut rng, src as u64, n + 2, -1.0, 1.0);
+    Workload {
+        name: "wave_update",
+        suite: Suite::Cpu2017,
+        spec_analog: "503.bwaves_r",
+        category: Category::DepChains,
+        description: "FP stencil with dependent multiply chains",
+        in_openmp_region: true,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 544.nab_r analog: molecular-mechanics pairwise force evaluation with a
+/// divide + square-root chain per particle.
+pub fn md_force(scale: Scale) -> Workload {
+    let n = scale.elems(500, 5_000);
+    let xs = 0x1_0000i64;
+    let fs = xs + n as i64 * 8;
+    let mem_size = (fs as usize + n * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    b.li(reg::x(3), 1);
+    b.fpu(FpuOp::CvtIF, reg::f(8), reg::x(3), reg::ZERO); // 1.0
+    b.li(reg::x(3), 100);
+    b.fpu(FpuOp::CvtIF, reg::f(9), reg::x(3), reg::ZERO); // softening
+    b.li(reg::x(1), 0);
+    b.li(reg::x(2), n as i64 * 8);
+    b.bind(top);
+    b.load(reg::f(0), reg::x(1), xs, MemSize::B8);
+    b.fpu(FpuOp::FMul, reg::f(1), reg::f(0), reg::f(0)); // r²
+    b.fpu(FpuOp::FAdd, reg::f(1), reg::f(1), reg::f(9));
+    b.fpu(FpuOp::FSqrt, reg::f(2), reg::f(1), reg::f(1));
+    b.fpu(FpuOp::FDiv, reg::f(3), reg::f(8), reg::f(2)); // 1/r
+    b.fpu(FpuOp::FMul, reg::f(4), reg::f(3), reg::f(0));
+    b.store(reg::f(4), reg::x(1), fs, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, fs, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("md_force");
+    gen::fill_f64(&mut mem, &mut rng, xs as u64, n, -8.0, 8.0);
+    Workload {
+        name: "md_force",
+        suite: Suite::Cpu2017,
+        spec_analog: "544.nab_r",
+        category: Category::DepChains,
+        description: "pairwise force with sqrt/divide chain",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 525.x264_r analog: motion-estimation sum-of-absolute-differences over
+/// 8-byte blocks (unrolled accumulation per candidate block).
+pub fn motion_sad(scale: Scale) -> Workload {
+    let blocks = scale.elems(400, 4_000);
+    let cur = 0x1_0000i64;
+    let ref_ = cur + blocks as i64 * 8 + 64;
+    let out = ref_ + blocks as i64 * 8 + 64;
+    let mem_size = (out as usize + blocks * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    b.li(reg::x(1), 0);
+    b.li(reg::x(2), blocks as i64 * 8);
+    b.bind(top);
+    // Unrolled 2×4-byte absolute differences.
+    b.load(reg::x(3), reg::x(1), cur, MemSize::B4);
+    b.load(reg::x(4), reg::x(1), ref_, MemSize::B4);
+    b.alu(AluOp::Sub, reg::x(5), reg::x(3), reg::x(4));
+    b.alui(AluOp::Sra, reg::x(6), reg::x(5), 63);
+    b.alu(AluOp::Xor, reg::x(5), reg::x(5), reg::x(6));
+    b.alu(AluOp::Sub, reg::x(5), reg::x(5), reg::x(6)); // |a-b|
+    b.load(reg::x(3), reg::x(1), cur + 4, MemSize::B4);
+    b.load(reg::x(4), reg::x(1), ref_ + 4, MemSize::B4);
+    b.alu(AluOp::Sub, reg::x(7), reg::x(3), reg::x(4));
+    b.alui(AluOp::Sra, reg::x(6), reg::x(7), 63);
+    b.alu(AluOp::Xor, reg::x(7), reg::x(7), reg::x(6));
+    b.alu(AluOp::Sub, reg::x(7), reg::x(7), reg::x(6));
+    b.alu(AluOp::Add, reg::x(5), reg::x(5), reg::x(7));
+    b.store(reg::x(5), reg::x(1), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, blocks);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("motion_sad");
+    gen::fill_u64(&mut mem, &mut rng, cur as u64, blocks, 0);
+    gen::fill_u64(&mut mem, &mut rng, ref_ as u64, blocks, 0);
+    Workload {
+        name: "motion_sad",
+        suite: Suite::Cpu2017,
+        spec_analog: "525.x264_r",
+        category: Category::DepChains,
+        description: "per-block SAD with unrolled accumulation",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 549.fotonik3d_r analog: an FDTD field update (`E[i] += c·(H[i] −
+/// H[i−1])`) — reads one field, updates another, fully independent.
+pub fn fotonik_fdtd(scale: Scale) -> Workload {
+    let n = scale.elems(1100, 11_000);
+    let e = 0x1_0000i64;
+    let h = e + (n as i64 + 1) * 8;
+    let mem_size = (h as usize + (n + 1) * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    b.li(reg::x(3), 5);
+    b.fpu(FpuOp::CvtIF, reg::f(9), reg::x(3), reg::ZERO);
+    b.li(reg::x(3), 16);
+    b.fpu(FpuOp::CvtIF, reg::f(10), reg::x(3), reg::ZERO);
+    b.fpu(FpuOp::FDiv, reg::f(9), reg::f(9), reg::f(10)); // c = 5/16
+    b.li(reg::x(1), 8);
+    b.li(reg::x(2), n as i64 * 8);
+    b.bind(top);
+    b.load(reg::f(0), reg::x(1), h, MemSize::B8);
+    b.load(reg::f(1), reg::x(1), h - 8, MemSize::B8);
+    b.fpu(FpuOp::FSub, reg::f(2), reg::f(0), reg::f(1));
+    b.fpu(FpuOp::FMul, reg::f(2), reg::f(2), reg::f(9));
+    b.load(reg::f(3), reg::x(1), e, MemSize::B8);
+    b.fpu(FpuOp::FAdd, reg::f(3), reg::f(3), reg::f(2));
+    b.store(reg::f(3), reg::x(1), e, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, e, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("fotonik_fdtd");
+    gen::fill_f64(&mut mem, &mut rng, e as u64, n + 1, -1.0, 1.0);
+    gen::fill_f64(&mut mem, &mut rng, h as u64, n + 1, -1.0, 1.0);
+    Workload {
+        name: "fotonik_fdtd",
+        suite: Suite::Cpu2017,
+        spec_analog: "549.fotonik3d_r",
+        category: Category::MemParallelism,
+        description: "FDTD field update sweep",
+        in_openmp_region: true,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 508.namd_r analog: dense multiply-accumulate with abundant ILP — the
+/// baseline core already saturates, so LoopFrog adds little (§6.4.3).
+pub fn particle_dense(scale: Scale) -> Workload {
+    let n = scale.elems(700, 7_000);
+    let a = 0x1_0000i64;
+    let bb = a + n as i64 * 8;
+    let c = bb + n as i64 * 8;
+    let out = c + n as i64 * 8;
+    let mem_size = (out as usize + n * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    b.li(reg::x(1), 0);
+    b.li(reg::x(2), n as i64 * 8);
+    b.bind(top);
+    b.load(reg::f(0), reg::x(1), a, MemSize::B8);
+    b.load(reg::f(1), reg::x(1), bb, MemSize::B8);
+    b.load(reg::f(2), reg::x(1), c, MemSize::B8);
+    b.fpu(FpuOp::FMul, reg::f(3), reg::f(0), reg::f(1));
+    b.fpu(FpuOp::FMul, reg::f(4), reg::f(1), reg::f(2));
+    b.fpu(FpuOp::FAdd, reg::f(5), reg::f(3), reg::f(4));
+    b.store(reg::f(5), reg::x(1), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("particle_dense");
+    for base in [a, bb, c] {
+        gen::fill_f64(&mut mem, &mut rng, base as u64, n, -2.0, 2.0);
+    }
+    Workload {
+        name: "particle_dense",
+        suite: Suite::Cpu2017,
+        spec_analog: "508.namd_r",
+        category: Category::NoSpeedup,
+        description: "high-ILP dense FMA sweep (already saturated)",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 519.lbm_r analog: a lattice-Boltzmann-style cell update with a very
+/// large per-iteration body scattering stores across many lines — the
+/// "extremely large loop" class of §6.4.3.
+pub fn fluid_lbm(scale: Scale) -> Workload {
+    let cells = scale.elems(60, 600);
+    let lanes = 10i64; // distribution components per cell
+    let grid = 0x2_0000i64;
+    let out = grid + cells as i64 * lanes * 8 + 4096;
+    let mem_size = (out as usize + cells * lanes as usize * 8 + 4096).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    b.li(reg::x(1), 0); // cell byte offset (stride lanes*8)
+    b.li(reg::x(2), cells as i64 * lanes * 8);
+    b.bind(top);
+    // Load all lanes, compute a relaxation toward their mean, store all.
+    for k in 0..lanes {
+        b.load(reg::x((3 + k) as usize % 28 + 3), reg::x(1), grid + k * 8, MemSize::B8);
+    }
+    // Sum lanes into x20.
+    b.li(reg::x(20), 0);
+    for k in 0..lanes {
+        b.alu(AluOp::Add, reg::x(20), reg::x(20), reg::x((3 + k) as usize % 28 + 3));
+    }
+    b.alui(AluOp::Div, reg::x(20), reg::x(20), lanes);
+    for k in 0..lanes {
+        let r = (3 + k) as usize % 28 + 3;
+        b.alu(AluOp::Add, reg::x(21), reg::x(r), reg::x(20));
+        b.alui(AluOp::Srl, reg::x(21), reg::x(21), 1);
+        b.store(reg::x(21), reg::x(1), out + k * 8, MemSize::B8);
+    }
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), lanes * 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, cells * lanes as usize);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("fluid_lbm");
+    gen::fill_u64(&mut mem, &mut rng, grid as u64, cells * lanes as usize, 1 << 16);
+    Workload {
+        name: "fluid_lbm",
+        suite: Suite::Cpu2017,
+        spec_analog: "519.lbm_r",
+        category: Category::NoSpeedup,
+        description: "very large per-cell update body",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 433.milc analog (CPU 2006): SU(3)-style small matrix–vector products per
+/// lattice site; independent FP work inside an OpenMP-parallel region in
+/// the original.
+pub fn milc_su3(scale: Scale) -> Workload {
+    let sites = scale.elems(350, 3_500);
+    let m = 0x1_0000i64; // per-site 4 matrix coefficients
+    let v = m + sites as i64 * 32;
+    let out = v + sites as i64 * 16;
+    let mem_size = (out as usize + sites * 16 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    b.li(reg::x(1), 0); // site index scaled ×32 for m
+    b.li(reg::x(2), sites as i64 * 32);
+    b.bind(top);
+    b.load(reg::f(0), reg::x(1), m, MemSize::B8);
+    b.load(reg::f(1), reg::x(1), m + 8, MemSize::B8);
+    b.load(reg::f(2), reg::x(1), m + 16, MemSize::B8);
+    b.load(reg::f(3), reg::x(1), m + 24, MemSize::B8);
+    b.alui(AluOp::Srl, reg::x(3), reg::x(1), 1); // ×16 offset for v/out
+    b.load(reg::f(4), reg::x(3), v, MemSize::B8);
+    b.load(reg::f(5), reg::x(3), v + 8, MemSize::B8);
+    b.fpu(FpuOp::FMul, reg::f(6), reg::f(0), reg::f(4));
+    b.fpu(FpuOp::FMul, reg::f(7), reg::f(1), reg::f(5));
+    b.fpu(FpuOp::FAdd, reg::f(6), reg::f(6), reg::f(7));
+    b.fpu(FpuOp::FMul, reg::f(7), reg::f(2), reg::f(4));
+    b.fpu(FpuOp::FMul, reg::f(11), reg::f(3), reg::f(5));
+    b.fpu(FpuOp::FAdd, reg::f(7), reg::f(7), reg::f(11));
+    b.store(reg::f(6), reg::x(3), out, MemSize::B8);
+    b.store(reg::f(7), reg::x(3), out + 8, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 32);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, sites * 2);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("milc_su3");
+    gen::fill_f64(&mut mem, &mut rng, m as u64, sites * 4, -1.0, 1.0);
+    gen::fill_f64(&mut mem, &mut rng, v as u64, sites * 2, -1.0, 1.0);
+    Workload {
+        name: "milc_su3",
+        suite: Suite::Cpu2006,
+        spec_analog: "433.milc",
+        category: Category::MemParallelism,
+        description: "per-site small matrix-vector products",
+        in_openmp_region: true,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 464.h264ref analog (CPU 2006): half-pel interpolation over pixel rows —
+/// integer averaging with independent iterations.
+pub fn h264_me(scale: Scale) -> Workload {
+    let n = scale.elems(900, 9_000);
+    let src = 0x1_0000i64;
+    let dst = src + (n as i64 + 4) * 8;
+    let mem_size = (dst as usize + (n + 4) * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    b.li(reg::x(1), 0);
+    b.li(reg::x(2), n as i64 * 8);
+    b.bind(top);
+    b.load(reg::x(3), reg::x(1), src, MemSize::B8);
+    b.load(reg::x(4), reg::x(1), src + 8, MemSize::B8);
+    b.load(reg::x(5), reg::x(1), src + 16, MemSize::B8);
+    b.alu(AluOp::Add, reg::x(6), reg::x(3), reg::x(5));
+    b.alui(AluOp::Mul, reg::x(7), reg::x(4), 6);
+    b.alu(AluOp::Add, reg::x(6), reg::x(6), reg::x(7));
+    b.alui(AluOp::Add, reg::x(6), reg::x(6), 4);
+    b.alui(AluOp::Srl, reg::x(6), reg::x(6), 3);
+    b.store(reg::x(6), reg::x(1), dst, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, dst, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("h264_me");
+    gen::fill_u64(&mut mem, &mut rng, src as u64, n + 4, 256);
+    Workload {
+        name: "h264_me",
+        suite: Suite::Cpu2006,
+        spec_analog: "464.h264ref",
+        category: Category::MemParallelism,
+        description: "half-pel interpolation over pixel rows",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 482.sphinx3 analog (CPU 2006): Gaussian-density partial terms
+/// (`out[i] = (x[i]−mean[i])² · var[i]`) — FP chain per component.
+pub fn sphinx_gauss(scale: Scale) -> Workload {
+    let n = scale.elems(700, 7_000);
+    let x = 0x1_0000i64;
+    let mean = x + n as i64 * 8;
+    let var = mean + n as i64 * 8;
+    let out = var + n as i64 * 8;
+    let mem_size = (out as usize + n * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    b.li(reg::x(1), 0);
+    b.li(reg::x(2), n as i64 * 8);
+    b.bind(top);
+    b.load(reg::f(0), reg::x(1), x, MemSize::B8);
+    b.load(reg::f(1), reg::x(1), mean, MemSize::B8);
+    b.load(reg::f(2), reg::x(1), var, MemSize::B8);
+    b.fpu(FpuOp::FSub, reg::f(3), reg::f(0), reg::f(1));
+    b.fpu(FpuOp::FMul, reg::f(3), reg::f(3), reg::f(3));
+    b.fpu(FpuOp::FMul, reg::f(3), reg::f(3), reg::f(2));
+    b.store(reg::f(3), reg::x(1), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("sphinx_gauss");
+    gen::fill_f64(&mut mem, &mut rng, x as u64, n, -4.0, 4.0);
+    gen::fill_f64(&mut mem, &mut rng, mean as u64, n, -4.0, 4.0);
+    gen::fill_f64(&mut mem, &mut rng, var as u64, n, 0.1, 2.0);
+    Workload {
+        name: "sphinx_gauss",
+        suite: Suite::Cpu2006,
+        spec_analog: "482.sphinx3",
+        category: Category::DepChains,
+        description: "Gaussian density partial terms",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}

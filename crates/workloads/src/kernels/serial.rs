@@ -1,0 +1,206 @@
+//! Kernels the paper's §6.4.3 classes as unprofitable: serial dependence
+//! chains, tiny bodies, or low trip counts.
+
+use crate::gen;
+use crate::{Category, Scale, Suite, Workload};
+use lf_isa::{reg, AluOp, BranchCond, Memory, MemSize, ProgramBuilder};
+
+/// 557.xz_r analog: run-length encoding — the output cursor advances by a
+/// data-dependent amount each iteration, a register LCD computed in the
+/// body, so no legal detach/reattach boundary exists.
+pub fn compress_rle(scale: Scale) -> Workload {
+    let n = scale.elems(800, 8_000);
+    let src = 0x1_0000i64;
+    let dst = src + n as i64 * 8 + 64;
+    let mem_size = (dst as usize + 2 * n * 8 + 128).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    let literal = b.label("literal");
+    let advance = b.label("advance");
+    b.li(reg::x(1), 0); // input cursor
+    b.li(reg::x(2), n as i64 * 8);
+    b.li(reg::x(10), dst); // output cursor (serial LCD)
+    b.bind(top);
+    b.load(reg::x(3), reg::x(1), src, MemSize::B8);
+    b.alui(AluOp::And, reg::x(4), reg::x(3), 7);
+    b.branch(BranchCond::Ne, reg::x(4), reg::ZERO, literal);
+    // Run: emit one marker word (output advances by 8).
+    b.store(reg::x(3), reg::x(10), 0, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(10), reg::x(10), 8);
+    b.jump(advance);
+    b.bind(literal);
+    // Literal: emit two words (output advances by 16).
+    b.store(reg::x(4), reg::x(10), 0, MemSize::B8);
+    b.store(reg::x(3), reg::x(10), 8, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(10), reg::x(10), 16);
+    b.bind(advance);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, dst, n);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("compress_rle");
+    gen::fill_u64(&mut mem, &mut rng, src as u64, n, 0);
+    Workload {
+        name: "compress_rle",
+        suite: Suite::Cpu2017,
+        spec_analog: "557.xz_r",
+        category: Category::NoSpeedup,
+        description: "RLE with data-dependent output cursor",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 531.deepsjeng_r analog: position evaluation with very low trip counts —
+/// an inner 4-iteration scan per position whose result is a reduction.
+pub fn chess_eval(scale: Scale) -> Workload {
+    let positions = scale.elems(300, 3_000);
+    let feat = 0x1_0000i64; // 4 features per position
+    let out = feat + positions as i64 * 32 + 64;
+    let mem_size = (out as usize + positions * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    let inner = b.label("inner");
+    b.li(reg::x(1), 0); // position offset (stride 32)
+    b.li(reg::x(2), positions as i64 * 32);
+    b.li(reg::x(11), 0); // output offset
+    b.bind(top);
+    // Inner low-trip scan: score = Σ w_k·f_k over 4 features.
+    b.li(reg::x(4), 0); // k byte offset
+    b.li(reg::x(5), 32);
+    b.li(reg::x(6), 0); // score accumulator (reduction)
+    b.alu(AluOp::Add, reg::x(7), reg::x(1), reg::x(4));
+    b.bind(inner);
+    b.load(reg::x(8), reg::x(7), feat, MemSize::B8);
+    b.alui(AluOp::Mul, reg::x(8), reg::x(8), 7);
+    b.alu(AluOp::Add, reg::x(6), reg::x(6), reg::x(8));
+    b.alui(AluOp::Add, reg::x(7), reg::x(7), 8);
+    b.alui(AluOp::Add, reg::x(4), reg::x(4), 8);
+    b.branch(BranchCond::Lt, reg::x(4), reg::x(5), inner);
+    b.store(reg::x(6), reg::x(11), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(11), reg::x(11), 8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 32);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, positions);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("chess_eval");
+    gen::fill_u64(&mut mem, &mut rng, feat as u64, positions * 4, 1 << 12);
+    Workload {
+        name: "chess_eval",
+        suite: Suite::Cpu2017,
+        spec_analog: "531.deepsjeng_r",
+        category: Category::NoSpeedup,
+        description: "low-trip inner feature scan per position",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 541.leela_r analog: Monte-Carlo playout steps — a tiny loop body whose
+/// PRNG state is a serial register LCD.
+pub fn mc_playout(scale: Scale) -> Workload {
+    let n = scale.elems(2_500, 25_000);
+    let out = 0x1_0000i64;
+    let hist_slots = 256i64;
+    let mem_size = (out as usize + hist_slots as usize * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    b.li(reg::x(1), 0); // step counter
+    b.li(reg::x(2), n as i64);
+    b.li(reg::x(3), 0x12345);
+    b.li(reg::x(9), (hist_slots - 1) * 8);
+    b.bind(top);
+    // xorshift PRNG: serial LCD through x3.
+    b.alui(AluOp::Sll, reg::x(4), reg::x(3), 13);
+    b.alu(AluOp::Xor, reg::x(3), reg::x(3), reg::x(4));
+    b.alui(AluOp::Srl, reg::x(4), reg::x(3), 7);
+    b.alu(AluOp::Xor, reg::x(3), reg::x(3), reg::x(4));
+    b.alu(AluOp::And, reg::x(5), reg::x(3), reg::x(9));
+    b.load(reg::x(6), reg::x(5), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(6), reg::x(6), 1);
+    b.store(reg::x(6), reg::x(5), out, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 1);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, out, hist_slots as usize);
+    b.halt();
+
+    let mem = Memory::new(mem_size);
+    Workload {
+        name: "mc_playout",
+        suite: Suite::Cpu2017,
+        spec_analog: "541.leela_r",
+        category: Category::NoSpeedup,
+        description: "PRNG-driven histogram (serial register LCD)",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}
+
+/// 473.astar analog (CPU 2006): binary-heap sift-down — short,
+/// data-dependent pointer walks with cross-iteration memory dependences.
+pub fn astar_heap(scale: Scale) -> Workload {
+    let ops = scale.elems(220, 2_200);
+    let heap_elems = 255i64;
+    let heap = 0x1_0000i64;
+    let keys = heap + (heap_elems + 1) * 8;
+    let mem_size = (keys as usize + ops * 8 + 64).next_power_of_two();
+
+    let mut b = ProgramBuilder::new();
+    let top = b.label("top");
+    let sift = b.label("sift");
+    let have_child = b.label("have_child");
+    let next_op = b.label("next_op");
+    b.li(reg::x(1), 0); // op index (byte offset)
+    b.li(reg::x(2), ops as i64 * 8);
+    b.li(reg::x(9), heap_elems * 8);
+    b.bind(top);
+    // Replace the root with the next key, then sift down.
+    b.load(reg::x(3), reg::x(1), keys, MemSize::B8);
+    b.li(reg::x(4), 8); // current node slot (1-based, byte offset)
+    b.store(reg::x(3), reg::x(4), heap, MemSize::B8);
+    b.bind(sift);
+    b.alui(AluOp::Sll, reg::x(5), reg::x(4), 1); // left child offset
+    b.branch(BranchCond::Geu, reg::x(5), reg::x(9), next_op);
+    b.load(reg::x(6), reg::x(5), heap, MemSize::B8); // left value
+    b.load(reg::x(7), reg::x(5), heap + 8, MemSize::B8); // right value
+    b.branch(BranchCond::Geu, reg::x(7), reg::x(6), have_child);
+    b.alui(AluOp::Add, reg::x(5), reg::x(5), 8); // right is smaller
+    b.alui(AluOp::Add, reg::x(6), reg::x(7), 0);
+    b.bind(have_child);
+    b.load(reg::x(8), reg::x(4), heap, MemSize::B8); // current value
+    b.branch(BranchCond::Geu, reg::x(6), reg::x(8), next_op);
+    b.store(reg::x(6), reg::x(4), heap, MemSize::B8); // swap
+    b.store(reg::x(8), reg::x(5), heap, MemSize::B8);
+    b.alui(AluOp::Add, reg::x(4), reg::x(5), 0);
+    b.jump(sift);
+    b.bind(next_op);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+    super::checksum_epilogue(&mut b, heap, heap_elems as usize);
+    b.halt();
+
+    let mut mem = Memory::new(mem_size);
+    let mut rng = gen::rng_for("astar_heap");
+    gen::fill_u64(&mut mem, &mut rng, heap as u64, heap_elems as usize + 1, 1 << 30);
+    gen::fill_u64(&mut mem, &mut rng, keys as u64, ops, 1 << 30);
+    Workload {
+        name: "astar_heap",
+        suite: Suite::Cpu2006,
+        spec_analog: "473.astar",
+        category: Category::NoSpeedup,
+        description: "heap sift-down with cross-iteration memory deps",
+        in_openmp_region: false,
+        program: b.build().expect("labels bound"),
+        mem,
+    }
+}

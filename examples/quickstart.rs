@@ -1,0 +1,74 @@
+//! Quickstart: hand-annotate a loop with LoopFrog hints and compare the
+//! baseline (hints as NOPs) against speculative threadlet execution.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lf_isa::{reg, AluOp, BranchCond, Emulator, Memory, MemSize, ProgramBuilder};
+use loopfrog::{simulate, LoopFrogConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // for i in 0..512 { a[i] = a[i] * 3 + 7 }  — independent iterations.
+    //
+    // The iteration is split into
+    //   header       (nothing before the detach here),
+    //   body         load / multiply / add / store,
+    //   continuation induction-variable update + backedge,
+    // with `sync` on the exit edge. The hints never change sequential
+    // semantics; the core may use them to run future iterations early.
+    let elems: i64 = 512;
+    let base = 0x1000;
+    let mut b = ProgramBuilder::new();
+    let cont = b.label("continuation");
+    let head = b.label("head");
+    b.li(reg::x(1), 0); // i (byte offset)
+    b.li(reg::x(2), elems * 8);
+    b.bind(head);
+    b.detach(cont); // ---- header → body boundary
+    b.load(reg::x(3), reg::x(1), base, MemSize::B8);
+    b.alui(AluOp::Mul, reg::x(3), reg::x(3), 3);
+    b.alui(AluOp::Add, reg::x(3), reg::x(3), 7);
+    b.store(reg::x(3), reg::x(1), base, MemSize::B8);
+    b.reattach(cont); // ---- body → continuation boundary
+    b.bind(cont);
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), head);
+    b.sync(cont); // ---- loop exit edge
+    b.halt();
+    let program = b.build()?;
+
+    let mut mem = Memory::new(0x4000);
+    for i in 0..elems as u64 {
+        mem.write_u64(0x1000 + i * 8, i * 17 + 1)?;
+    }
+
+    // Golden reference: the sequential emulator.
+    let mut emu = Emulator::new(&program, mem.clone());
+    emu.run(10_000_000)?;
+
+    // Baseline: same core, hints ignored.
+    let base_run = simulate(&program, mem.clone(), LoopFrogConfig::baseline())?;
+    // LoopFrog: 4 threadlet contexts, SSB, conflict detection, packing.
+    let lf_run = simulate(&program, mem, LoopFrogConfig::default())?;
+
+    assert_eq!(base_run.checksum, emu.state_checksum(), "baseline must match the emulator");
+    assert_eq!(lf_run.checksum, emu.state_checksum(), "speculation must preserve semantics");
+
+    println!("sequential semantics preserved: all three runs agree\n");
+    println!("baseline cycles: {:>8}  (IPC {:.2})", base_run.stats.cycles, base_run.stats.ipc());
+    println!("loopfrog cycles: {:>8}  (IPC {:.2})", lf_run.stats.cycles, lf_run.stats.ipc());
+    println!(
+        "speedup: {:.1}%",
+        (base_run.stats.cycles as f64 / lf_run.stats.cycles as f64 - 1.0) * 100.0
+    );
+    println!(
+        "\nthreadlets spawned: {}, packed spawns: {} (mean factor {:.1})",
+        lf_run.stats.spawns,
+        lf_run.stats.packed_spawns,
+        lf_run.stats.mean_pack_factor()
+    );
+    println!(
+        "cycles with >=2 threadlets active: {:.0}%",
+        lf_run.stats.frac_active_at_least(2) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! SSB design-space exploration on one kernel: sweep the speculative state
+//! buffer's size and granule, showing the capacity-stall and false-sharing
+//! effects of §6.6 interactively on a single workload.
+//!
+//! Run with: `cargo run --release --example ssb_explorer [kernel]`
+
+use lf_compiler::{annotate, SelectOptions};
+use lf_workloads::{by_name, Scale};
+use loopfrog::{simulate, LoopFrogConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "fotonik_fdtd".to_string());
+    let Some(workload) = by_name(&name, Scale::Smoke) else {
+        eprintln!("error: unknown kernel `{name}`");
+        eprintln!("available kernels:");
+        for w in lf_workloads::all(Scale::Smoke) {
+            eprintln!("  {:<16} ({})", w.name, w.spec_analog);
+        }
+        std::process::exit(2);
+    };
+    println!("workload: {}\n", workload.name);
+
+    let emu = workload.reference_emulator()?;
+    let annotated = annotate(&workload.program, emu.profile(), &SelectOptions::default());
+    let base = simulate(&annotated.program, workload.mem.clone(), LoopFrogConfig::baseline())?;
+
+    println!("SSB size sweep (granule fixed at 4 B):");
+    println!("{:>10}  {:>8}  {:>8}  {:>14}", "size", "cycles", "speedup", "overflow stalls");
+    for size in [512usize, 2 << 10, 8 << 10, 32 << 10] {
+        let mut cfg = LoopFrogConfig::default();
+        cfg.ssb.size_bytes = size;
+        let r = simulate(&annotated.program, workload.mem.clone(), cfg)?;
+        assert_eq!(r.checksum, emu.state_checksum());
+        println!(
+            "{:>9}B  {:>8}  {:>+7.1}%  {:>14}",
+            size,
+            r.stats.cycles,
+            (base.stats.cycles as f64 / r.stats.cycles as f64 - 1.0) * 100.0,
+            r.stats.squashes_overflow
+        );
+    }
+
+    println!("\ngranule sweep (size fixed at 8 KiB):");
+    println!("{:>10}  {:>8}  {:>8}  {:>14}", "granule", "cycles", "speedup", "conflicts");
+    for granule in [1usize, 2, 4, 8, 16, 32] {
+        let mut cfg = LoopFrogConfig::default();
+        cfg.ssb.granule = granule;
+        let r = simulate(&annotated.program, workload.mem.clone(), cfg)?;
+        assert_eq!(r.checksum, emu.state_checksum());
+        println!(
+            "{:>9}B  {:>8}  {:>+7.1}%  {:>14}",
+            granule,
+            r.stats.cycles,
+            (base.stats.cycles as f64 / r.stats.cycles as f64 - 1.0) * 100.0,
+            r.stats.squashes_conflict
+        );
+    }
+    Ok(())
+}

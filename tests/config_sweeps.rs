@@ -1,0 +1,79 @@
+//! Configuration sweeps must never change architectural results — only
+//! timing. Exercises SSB sizes, granules, associativity, threadlet counts,
+//! packing, and core widths on a representative kernel pair.
+
+use lf_compiler::{annotate, SelectOptions};
+use lf_workloads::{by_name, Scale};
+use loopfrog::{simulate, LoopFrogConfig};
+
+fn golden_and_program(name: &str) -> (u64, lf_isa::Program, lf_isa::Memory) {
+    let w = by_name(name, Scale::Smoke).unwrap();
+    let emu = w.reference_emulator().unwrap();
+    let ann = annotate(&w.program, emu.profile(), &SelectOptions::default());
+    (emu.state_checksum(), ann.program, w.mem.clone())
+}
+
+#[test]
+fn ssb_size_and_granule_sweeps_preserve_state() {
+    let (golden, program, mem) = golden_and_program("fotonik_fdtd");
+    for size in [512usize, 2048, 8192, 32768] {
+        for granule in [1usize, 4, 16, 32] {
+            let mut cfg = LoopFrogConfig::default();
+            cfg.ssb.size_bytes = size;
+            cfg.ssb.granule = granule;
+            let r = simulate(&program, mem.clone(), cfg).unwrap();
+            assert_eq!(r.checksum, golden, "size {size} granule {granule}");
+        }
+    }
+}
+
+#[test]
+fn associativity_and_victim_preserve_state() {
+    let (golden, program, mem) = golden_and_program("event_queue");
+    for assoc in [Some(1usize), Some(4), Some(8), None] {
+        for victim in [0usize, 8] {
+            let mut cfg = LoopFrogConfig::default();
+            cfg.ssb.assoc = assoc;
+            cfg.ssb.victim_entries = victim;
+            let r = simulate(&program, mem.clone(), cfg).unwrap();
+            assert_eq!(r.checksum, golden, "assoc {assoc:?} victim {victim}");
+        }
+    }
+}
+
+#[test]
+fn threadlet_counts_preserve_state() {
+    let (golden, program, mem) = golden_and_program("hash_lookup");
+    for threadlets in [1usize, 2, 3, 4, 6, 8] {
+        let mut cfg = LoopFrogConfig::default();
+        cfg.core.threadlets = threadlets;
+        let r = simulate(&program, mem.clone(), cfg).unwrap();
+        assert_eq!(r.checksum, golden, "threadlets {threadlets}");
+    }
+}
+
+#[test]
+fn widths_and_packing_preserve_state() {
+    let (golden, program, mem) = golden_and_program("stencil_blur");
+    for width in [4usize, 8, 10] {
+        for packing in [true, false] {
+            let mut cfg = LoopFrogConfig::default();
+            cfg.core = lf_uarch::CoreConfig { threadlets: 4, ..lf_uarch::CoreConfig::with_width(width) };
+            cfg.packing.enabled = packing;
+            let r = simulate(&program, mem.clone(), cfg).unwrap();
+            assert_eq!(r.checksum, golden, "width {width} packing {packing}");
+        }
+    }
+}
+
+#[test]
+fn packing_targets_preserve_state() {
+    let (golden, program, mem) = golden_and_program("md_force");
+    for target in [8u64, 16, 64, 256] {
+        let mut cfg = LoopFrogConfig::default();
+        cfg.packing.target_epoch_size = target;
+        cfg.packing.max_factor = 25;
+        let r = simulate(&program, mem.clone(), cfg).unwrap();
+        assert_eq!(r.checksum, golden, "pack target {target}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Cross-crate integration: every workload, compiled through the hint
+//! pass, must produce bit-identical architectural state on the golden
+//! emulator, the baseline core, and the LoopFrog core — the paper's §3.2
+//! guarantee, end to end.
+
+use lf_bench::{run_kernel, RunConfig};
+use lf_workloads::{all, Scale};
+
+#[test]
+fn all_workloads_match_the_golden_model() {
+    let mut cfg = RunConfig::default();
+    cfg.deselect_unprofitable = false; // always exercise speculation
+    for w in all(Scale::Smoke) {
+        let r = run_kernel(&w, &cfg);
+        assert!(r.checksum_ok, "{}: architectural state diverged", w.name);
+    }
+}
+
+#[test]
+fn suite_speedup_shape_holds() {
+    // The headline claim at smoke scale: the suite gains overall, most
+    // kernels with selected loops gain, and the serial kernels are left
+    // alone by the compiler.
+    let runs = lf_bench::run_suite(Scale::Smoke, &RunConfig::default());
+    let speedups: Vec<f64> = runs.iter().map(|r| r.speedup()).collect();
+    let geomean = lf_stats::geomean(&speedups);
+    assert!(geomean > 1.05, "suite geomean should be clearly positive: {geomean:.3}");
+    let gainers = runs.iter().filter(|r| r.speedup() > 1.01).count();
+    assert!(gainers * 2 > runs.len(), "most kernels should gain: {gainers}/{}", runs.len());
+    for r in &runs {
+        if ["compress_rle", "pointer_chase"].contains(&r.name) {
+            assert_eq!(r.selected_loops, 0, "{} has no legally hintable loop", r.name);
+        }
+    }
+}
+
+#[test]
+fn profitable_kernels_use_multiple_threadlets() {
+    let runs = lf_bench::run_suite(Scale::Smoke, &RunConfig::default());
+    for r in runs.iter().filter(|r| r.speedup() > 1.05) {
+        assert!(
+            r.lf.frac_active_at_least(2) > 0.2,
+            "{}: speedup without threadlet concurrency?",
+            r.name
+        );
+        assert!(r.lf.spawns > 0, "{}: no spawns", r.name);
+    }
+}

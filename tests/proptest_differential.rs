@@ -1,0 +1,221 @@
+//! Property-based differential testing.
+//!
+//! Random structured loop kernels are generated, hinted two ways —
+//! automatically by the compiler pass, and by *arbitrary* detach/reattach
+//! placements inside the loop — and executed on the golden emulator, the
+//! baseline core, and the LoopFrog core. All runs must produce identical
+//! architectural state: the microarchitecture must preserve sequential
+//! semantics for any hint placement (paper §3.2), not just legal ones —
+//! illegal register dataflow is caught by the register-merge violation
+//! squash, and memory dependences by the conflict detector.
+
+use lf_isa::{reg, AluOp, BranchCond, Emulator, Memory, MemSize, Program, ProgramBuilder};
+use loopfrog::{simulate, LoopFrogConfig};
+use proptest::prelude::*;
+
+const ARRAYS: [i64; 3] = [0x1000, 0x3000, 0x5000];
+
+#[derive(Debug, Clone)]
+enum OpSpec {
+    /// tmp[dst] = mem[array + i + off*8]
+    Load { arr: usize, off: i64, dst: usize },
+    /// mem[array + i + off*8] = tmp[src]
+    Store { arr: usize, off: i64, src: usize },
+    /// tmp[dst] = op(tmp[a], tmp[b])
+    Alu { op: AluOp, dst: usize, a: usize, b: usize },
+    /// tmp[dst] = op(tmp[a], imm)
+    AluImm { op: AluOp, dst: usize, a: usize, imm: i64 },
+    /// Skip the next op if tmp[a] is odd (data-dependent branch).
+    SkipIfOdd { a: usize },
+}
+
+#[derive(Debug, Clone)]
+struct LoopSpec {
+    trip: usize,
+    ops: Vec<OpSpec>,
+    seed: u64,
+}
+
+fn op_strategy() -> impl Strategy<Value = OpSpec> {
+    let alu_ops = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Xor),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Srl),
+    ];
+    prop_oneof![
+        (0..3usize, -2..=2i64, 0..6usize).prop_map(|(arr, off, dst)| OpSpec::Load { arr, off, dst }),
+        (0..3usize, -2..=2i64, 0..6usize).prop_map(|(arr, off, src)| OpSpec::Store { arr, off, src }),
+        (alu_ops.clone(), 0..6usize, 0..6usize, 0..6usize)
+            .prop_map(|(op, dst, a, b)| OpSpec::Alu { op, dst, a, b }),
+        (alu_ops, 0..6usize, 0..6usize, 1..64i64)
+            .prop_map(|(op, dst, a, imm)| OpSpec::AluImm { op, dst, a, imm }),
+        (0..6usize).prop_map(|a| OpSpec::SkipIfOdd { a }),
+    ]
+}
+
+fn loop_strategy() -> impl Strategy<Value = LoopSpec> {
+    (4..48usize, prop::collection::vec(op_strategy(), 1..9), any::<u64>())
+        .prop_map(|(trip, ops, seed)| LoopSpec { trip, ops, seed })
+}
+
+/// Temps live in x3..x8; i in x1; bound in x2.
+fn tmp(r: usize) -> lf_isa::Reg {
+    reg::x(3 + r)
+}
+
+/// Emits the loop body ops; returns the body instruction count.
+fn emit_ops(b: &mut ProgramBuilder, ops: &[OpSpec]) {
+    let mut skip_next = false;
+    let mut pending_label = None;
+    for (k, op) in ops.iter().enumerate() {
+        if skip_next {
+            // Bind the skip label before this op's successor.
+            skip_next = false;
+        }
+        match *op {
+            OpSpec::Load { arr, off, dst } => {
+                b.load(tmp(dst), reg::x(1), ARRAYS[arr] + off * 8 + 16, MemSize::B8);
+            }
+            OpSpec::Store { arr, off, src } => {
+                b.store(tmp(src), reg::x(1), ARRAYS[arr] + off * 8 + 16, MemSize::B8);
+            }
+            OpSpec::Alu { op, dst, a, b: rb } => {
+                b.alu(op, tmp(dst), tmp(a), tmp(rb));
+            }
+            OpSpec::AluImm { op, dst, a, imm } => {
+                b.alui(op, tmp(dst), tmp(a), imm);
+            }
+            OpSpec::SkipIfOdd { a } => {
+                if k + 1 < ops.len() {
+                    let l = b.label(&format!("skip{k}"));
+                    b.alui(AluOp::And, reg::x(9), tmp(a), 1);
+                    b.branch(BranchCond::Ne, reg::x(9), reg::ZERO, l);
+                    pending_label = Some((l, k + 1));
+                    skip_next = true;
+                }
+            }
+        }
+        if let Some((l, at)) = pending_label {
+            if k == at {
+                b.bind(l);
+                pending_label = None;
+            }
+        }
+    }
+    if let Some((l, _)) = pending_label {
+        b.bind(l);
+    }
+}
+
+/// Builds the kernel; `hint_at = Some((d, r))` places detach before body op
+/// index `d` and (when `r > d`) reattach before body op index `r` —
+/// arbitrary, possibly illegal placements. A detach with no reattach is
+/// also emitted when `r <= d` (the region's continuation is then the
+/// induction update): the hardware must tolerate that too. A sync guards
+/// the exit whenever hints are present.
+fn build(spec: &LoopSpec, hint_at: Option<(usize, usize)>) -> Program {
+    let mut b = ProgramBuilder::new();
+    let head = b.label("head");
+    let cont = b.label("cont");
+    b.li(reg::x(1), 0);
+    b.li(reg::x(2), spec.trip as i64 * 8);
+    for r in 0..6 {
+        b.li(tmp(r), (spec.seed.wrapping_mul(r as u64 + 1) & 0xffff) as i64);
+    }
+    b.bind(head);
+    let n = spec.ops.len();
+    let (d, r) = hint_at.map_or((usize::MAX, usize::MAX), |(d, r)| (d.min(n), r.min(n)));
+    let has_reattach = hint_at.is_some() && r > d;
+    for (k, op) in spec.ops.iter().enumerate() {
+        if k == d {
+            b.detach(cont);
+        }
+        if k == r && has_reattach {
+            b.reattach(cont);
+            b.bind(cont);
+        }
+        emit_ops(&mut b, std::slice::from_ref(op));
+    }
+    if n == d {
+        b.detach(cont);
+    }
+    if n == r && has_reattach {
+        b.reattach(cont);
+        b.bind(cont);
+    }
+    if hint_at.is_some() && !has_reattach {
+        b.bind(cont); // continuation defaults to the induction update
+    }
+    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), head);
+    if hint_at.is_some() {
+        b.sync(cont);
+    }
+    b.halt();
+    b.build().expect("generator emits bound labels")
+}
+
+fn seeded_memory(seed: u64) -> Memory {
+    let mut mem = Memory::new(0x8000);
+    let mut x = seed | 1;
+    for i in 0..(0x8000 / 8) {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        mem.write_u64(i * 8, x).unwrap();
+    }
+    mem
+}
+
+fn golden(program: &Program, mem: &Memory) -> u64 {
+    let mut emu = Emulator::new(program, mem.clone());
+    let r = emu.run(5_000_000).unwrap();
+    assert_eq!(r.stop, lf_isa::StopReason::Halted);
+    emu.state_checksum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Compiler-annotated random kernels are exact on both cores.
+    #[test]
+    fn compiler_annotated_kernels_are_exact(spec in loop_strategy()) {
+        let plain = build(&spec, None);
+        let mem = seeded_memory(spec.seed);
+        let gold = golden(&plain, &mem);
+
+        let mut emu = Emulator::new(&plain, mem.clone());
+        emu.run(5_000_000).unwrap();
+        let opts = lf_compiler::SelectOptions {
+            min_trip: 2.0, min_coverage: 0.0, min_body_score: 1.0, max_loops: 4,
+        };
+        let ann = lf_compiler::annotate(&plain, emu.profile(), &opts);
+
+        let base = simulate(&ann.program, mem.clone(), LoopFrogConfig::baseline()).unwrap();
+        prop_assert_eq!(base.checksum, gold, "baseline diverged");
+        let lf = simulate(&ann.program, mem.clone(), LoopFrogConfig::default()).unwrap();
+        prop_assert_eq!(lf.checksum, gold, "loopfrog diverged");
+    }
+
+    /// ARBITRARY detach/reattach placements — legal or not — are exact:
+    /// the hardware's violation detection must cover compiler bugs.
+    #[test]
+    fn arbitrary_hint_placements_are_exact(
+        spec in loop_strategy(),
+        d in 0..9usize,
+        r in 0..10usize,
+    ) {
+        let n = spec.ops.len();
+        let hinted = build(&spec, Some((d.min(n), r.min(n))));
+        let mem = seeded_memory(spec.seed);
+        // The hinted program must be sequentially identical to itself with
+        // hints stripped (hints are semantics-free)...
+        let gold = golden(&hinted.without_hints(), &mem);
+        prop_assert_eq!(golden(&hinted, &mem), gold);
+        // ...and the speculative core must preserve that.
+        let lf = simulate(&hinted, mem.clone(), LoopFrogConfig::default()).unwrap();
+        prop_assert_eq!(lf.checksum, gold, "loopfrog diverged on arbitrary hints");
+    }
+}

@@ -1,0 +1,106 @@
+//! Property test: the SSB's multi-versioned read logic against a naive
+//! reference model (a stack of byte overlays per slice), over random
+//! interleaved writes and squashes.
+
+use lf_isa::Memory;
+use loopfrog::ssb::{Ssb, WriteOutcome};
+use loopfrog::SsbConfig;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Action {
+    /// slice, addr (aligned within a small window), len 1..=8, value seed
+    Write(usize, u64, usize, u64),
+    /// squash slice
+    Squash(usize),
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        8 => (0..4usize, 0..256u64, 1..=8usize, any::<u64>())
+            .prop_map(|(s, a, l, v)| Action::Write(s, a, l, v)),
+        1 => (0..4usize).prop_map(Action::Squash),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn versioned_reads_match_naive_overlay(
+        actions in prop::collection::vec(action(), 1..60),
+        read_addr in 0..256u64,
+        read_len in 1..=8usize,
+        reader in 0..4usize,
+    ) {
+        let cfg = SsbConfig { size_bytes: 4096, line: 32, granule: 4, ..SsbConfig::default() };
+        let mut ssb = Ssb::new(&cfg, 4);
+        let mut mem = Memory::new(1024);
+        for i in 0..128 {
+            mem.write_u64(i * 8, i.wrapping_mul(0x9e3779b9) | 1).unwrap();
+        }
+        // Naive model: per-slice byte overlays.
+        let mut model: Vec<HashMap<u64, u8>> = vec![HashMap::new(); 4];
+
+        for act in &actions {
+            match *act {
+                Action::Write(slice, addr, len, seed) => {
+                    let bytes: Vec<u8> =
+                        (0..len).map(|i| (seed >> (i * 8)) as u8).collect();
+                    // Older view for read-fills: slices 0..=slice over memory.
+                    let view_order: Vec<usize> = (0..=slice).collect();
+                    let view: Vec<(u64, u8)> = (addr.saturating_sub(8)..addr + 16)
+                        .map(|a| {
+                            let mut b = mem.read_u8(a).unwrap_or(0);
+                            for &s in &view_order {
+                                if let Some(&v) = model[s].get(&a) {
+                                    b = v;
+                                }
+                            }
+                            (a, b)
+                        })
+                        .collect();
+                    let lookup: HashMap<u64, u8> = view.into_iter().collect();
+                    let out = ssb.write(slice, addr, &bytes, |a| lookup[&a]);
+                    let ok = matches!(out, WriteOutcome::Ok { .. });
+                    prop_assert!(ok, "write overflowed unexpectedly");
+                    // Model: the write plus granule read-fills.
+                    let g = 4u64;
+                    let first = addr / g * g;
+                    let last = (addr + len as u64 - 1) / g * g + g;
+                    for a in first..last {
+                        let covered = a >= addr && a < addr + len as u64;
+                        let newly = !model[slice].contains_key(&(a / g * g))
+                            || model[slice].contains_key(&a);
+                        let _ = newly;
+                        if covered {
+                            model[slice].insert(a, bytes[(a - addr) as usize]);
+                        } else if !model[slice].contains_key(&a) {
+                            // Read-fill from the older view.
+                            model[slice].insert(a, lookup[&a]);
+                        }
+                    }
+                }
+                Action::Squash(slice) => {
+                    ssb.invalidate_slice(slice);
+                    model[slice].clear();
+                }
+            }
+        }
+
+        // Read as `reader`: slices 0..=reader overlay memory, newest wins.
+        let order: Vec<usize> = (0..=reader).collect();
+        let (got, _) = ssb.read(&order, read_addr, read_len as u64, &mem);
+        for (i, b) in got.iter().enumerate() {
+            let a = read_addr + i as u64;
+            let mut expect = mem.read_u8(a).unwrap_or(0);
+            for &s in &order {
+                if let Some(&v) = model[s].get(&a) {
+                    expect = v;
+                }
+            }
+            prop_assert_eq!(*b, expect, "byte {} at {:#x}", i, a);
+        }
+    }
+}
