@@ -1,83 +1,79 @@
-//! Criterion microbenchmarks for the simulator's hot components: branch
-//! prediction, the cache hierarchy, the SSB's versioned read/write path,
-//! and conflict detection.
+//! Microbenchmarks for the simulator's hot components: branch prediction,
+//! the cache hierarchy, the SSB's versioned read/write path, and conflict
+//! detection.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lf_bench::microbench::{bench_function, Bencher};
 use std::hint::black_box;
 
-fn bench_tage(c: &mut Criterion) {
+fn bench_tage(b: &mut Bencher) {
     use lf_uarch::bpred::{History, Tage};
-    c.bench_function("tage_predict_update", |b| {
-        let mut tage = Tage::new();
-        let mut hist = History::default();
-        let mut i = 0u64;
-        b.iter(|| {
-            let pc = 0x400 + (i % 64) * 4;
-            let taken = (i / 3) % 2 == 0;
-            let l = tage.predict(black_box(pc), hist);
-            tage.update(pc, hist, l, taken);
-            hist.push(taken);
-            i += 1;
-        });
+    let mut tage = Tage::new();
+    let mut hist = History::default();
+    let mut i = 0u64;
+    b.iter(|| {
+        let pc = 0x400 + (i % 64) * 4;
+        let taken = (i / 3).is_multiple_of(2);
+        let l = tage.predict(black_box(pc), hist);
+        tage.update(pc, hist, l, taken);
+        hist.push(taken);
+        i += 1;
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache(b: &mut Bencher) {
     use lf_uarch::{AccessKind, MemConfig, MemHierarchy};
-    c.bench_function("hierarchy_strided_loads", |b| {
-        let mut m = MemHierarchy::new(MemConfig::default());
-        let mut now = 0u64;
-        let mut addr = 0u64;
-        b.iter(|| {
-            now = m.access_data(0x40, black_box(addr), AccessKind::Load, now);
-            addr = (addr + 64) % (1 << 22);
-        });
+    let mut m = MemHierarchy::new(MemConfig::default());
+    let mut now = 0u64;
+    let mut addr = 0u64;
+    b.iter(|| {
+        now = m.access_data(0x40, black_box(addr), AccessKind::Load, now);
+        addr = (addr + 64) % (1 << 22);
     });
 }
 
-fn bench_ssb(c: &mut Criterion) {
+fn bench_ssb(b: &mut Bencher) {
     use lf_isa::Memory;
     use loopfrog::ssb::Ssb;
     use loopfrog::SsbConfig;
-    c.bench_function("ssb_write_then_versioned_read", |b| {
-        let mut ssb = Ssb::new(&SsbConfig::default(), 4);
-        let mem = Memory::new(1 << 16);
-        let mut i = 0u64;
-        b.iter(|| {
-            let addr = (i * 8) % 2048;
-            let slice = (i % 4) as usize;
-            let _ = ssb.write(slice, addr, &[1, 2, 3, 4, 5, 6, 7, 8], |_| 0);
-            let (v, _) = ssb.read(&[0, 1, 2, 3], black_box(addr), 8, &mem);
-            black_box(v);
-            i += 1;
-            if i % 512 == 0 {
-                for s in 0..4 {
-                    ssb.invalidate_slice(s);
-                }
+    let mut ssb = Ssb::new(&SsbConfig::default(), 4);
+    let mem = Memory::new(1 << 16);
+    let mut i = 0u64;
+    b.iter(|| {
+        let addr = (i * 8) % 2048;
+        let slice = (i % 4) as usize;
+        let _ = ssb.write(slice, addr, &[1, 2, 3, 4, 5, 6, 7, 8], |_| 0);
+        let (v, _) = ssb.read(&[0, 1, 2, 3], black_box(addr), 8, &mem);
+        black_box(v);
+        i += 1;
+        if i.is_multiple_of(512) {
+            for s in 0..4 {
+                ssb.invalidate_slice(s);
             }
-        });
+        }
     });
 }
 
-fn bench_conflict(c: &mut Criterion) {
+fn bench_conflict(b: &mut Bencher) {
     use loopfrog::conflict::ConflictDetector;
-    c.bench_function("conflict_read_write_check", |b| {
-        let mut cd = ConflictDetector::new(4);
-        let mut i = 0u64;
-        b.iter(|| {
-            let g = i % 256;
-            cd.on_read(3, &[g]);
-            let squash = cd.on_write(0, black_box(&[g + 1]), &[1, 2, 3]);
-            black_box(squash);
-            i += 1;
-            if i % 1024 == 0 {
-                for s in 0..4 {
-                    cd.clear(s);
-                }
+    let mut cd = ConflictDetector::new(4);
+    let mut i = 0u64;
+    b.iter(|| {
+        let g = i % 256;
+        cd.on_read(3, &[g]);
+        let squash = cd.on_write(0, black_box(&[g + 1]), &[1, 2, 3]);
+        black_box(squash);
+        i += 1;
+        if i.is_multiple_of(1024) {
+            for s in 0..4 {
+                cd.clear(s);
             }
-        });
+        }
     });
 }
 
-criterion_group!(components, bench_tage, bench_cache, bench_ssb, bench_conflict);
-criterion_main!(components);
+fn main() {
+    bench_function("tage_predict_update", bench_tage);
+    bench_function("hierarchy_strided_loads", bench_cache);
+    bench_function("ssb_write_then_versioned_read", bench_ssb);
+    bench_function("conflict_read_write_check", bench_conflict);
+}

@@ -2,7 +2,7 @@
 //! baseline and LoopFrog configurations on a representative kernel, and the
 //! full compile-and-run pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lf_bench::microbench::bench_function;
 use lf_compiler::{annotate, SelectOptions};
 use lf_workloads::{by_name, Scale};
 use loopfrog::{simulate, LoopFrogConfig};
@@ -15,40 +15,27 @@ fn annotated(name: &str) -> (lf_isa::Program, lf_isa::Memory) {
     (ann.program, w.mem.clone())
 }
 
-fn bench_baseline_sim(c: &mut Criterion) {
+fn main() {
     let (program, mem) = annotated("stencil_blur");
-    c.bench_function("simulate_baseline_stencil", |b| {
+    bench_function("simulate_baseline_stencil", |b| {
         b.iter(|| {
             let r = simulate(&program, mem.clone(), LoopFrogConfig::baseline()).unwrap();
             black_box(r.stats.cycles)
         });
     });
-}
-
-fn bench_loopfrog_sim(c: &mut Criterion) {
-    let (program, mem) = annotated("stencil_blur");
-    c.bench_function("simulate_loopfrog_stencil", |b| {
+    bench_function("simulate_loopfrog_stencil", |b| {
         b.iter(|| {
             let r = simulate(&program, mem.clone(), LoopFrogConfig::default()).unwrap();
             black_box(r.stats.cycles)
         });
     });
-}
 
-fn bench_compile_pipeline(c: &mut Criterion) {
     let w = by_name("event_queue", Scale::Smoke).expect("kernel exists");
     let emu = w.reference_emulator().expect("kernel runs");
-    c.bench_function("annotate_event_queue", |b| {
+    bench_function("annotate_event_queue", |b| {
         b.iter(|| {
             let ann = annotate(&w.program, emu.profile(), &SelectOptions::default());
             black_box(ann.program.len())
         });
     });
 }
-
-criterion_group! {
-    name = simulator;
-    config = Criterion::default().sample_size(10);
-    targets = bench_baseline_sim, bench_loopfrog_sim, bench_compile_pipeline
-}
-criterion_main!(simulator);

@@ -1,0 +1,196 @@
+//! Machine-readable run artifacts.
+//!
+//! Every experiment binary can dump a `results/*.json` document via
+//! `--json <path>`: tool name, workload scale, a configuration summary,
+//! and one record per kernel carrying the full metrics-registry dump of
+//! both the baseline and LoopFrog runs (cycle-accounting buckets,
+//! distributions, derived formulas), the interval time series, and the
+//! architectural checksum verdict. The schema is stable-ordered (sorted
+//! object keys) so artifacts diff cleanly across runs.
+
+use crate::runner::{KernelRun, RunConfig};
+use lf_stats::Json;
+use lf_workloads::Scale;
+use loopfrog::SimResult;
+use std::io;
+use std::path::Path;
+
+/// Artifact schema version; bump on incompatible layout changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Builder for one experiment's JSON artifact.
+#[derive(Debug, Clone)]
+pub struct RunArtifact {
+    root: Json,
+    kernels: Vec<Json>,
+}
+
+impl RunArtifact {
+    /// Starts an artifact for the named tool at the given scale.
+    pub fn new(tool: &str, scale: Scale) -> RunArtifact {
+        let mut root = Json::obj();
+        root.set("schema_version", SCHEMA_VERSION);
+        root.set("tool", tool);
+        root.set("scale", format!("{scale:?}").to_lowercase());
+        RunArtifact { root, kernels: Vec::new() }
+    }
+
+    /// Records a configuration summary (the knobs that identify the run).
+    pub fn set_config(&mut self, cfg: &RunConfig) {
+        let mut c = Json::obj();
+        c.set("core.width", cfg.lf.core.width as u64);
+        c.set("core.commit_width", cfg.lf.core.commit_width as u64);
+        c.set("core.rob_size", cfg.lf.core.rob_size as u64);
+        c.set("core.threadlets", cfg.lf.core.threadlets as u64);
+        c.set("ssb.size_bytes", cfg.lf.ssb.size_bytes as u64);
+        c.set("ssb.granule", cfg.lf.ssb.granule as u64);
+        c.set("packing.enabled", Json::Bool(cfg.lf.packing.enabled));
+        c.set("speculation", Json::Bool(cfg.lf.speculation));
+        c.set("deselect_unprofitable", Json::Bool(cfg.deselect_unprofitable));
+        let interval = match cfg.lf.telemetry.interval_cycles {
+            Some(n) => Json::from(n),
+            None => Json::Null,
+        };
+        c.set("telemetry.interval_cycles", interval);
+        self.root.set("config", c);
+    }
+
+    /// Appends one kernel's record (both simulations, full registries).
+    pub fn push_kernel(&mut self, run: &KernelRun) {
+        self.kernels.push(kernel_json(run));
+    }
+
+    /// Attaches tool-specific extra data (sweep tables, ablation points).
+    pub fn set_extra(&mut self, key: &str, value: impl Into<Json>) {
+        self.root.set(key, value);
+    }
+
+    /// Finalizes the document.
+    pub fn into_json(mut self) -> Json {
+        self.root.set("kernels", Json::Arr(self.kernels));
+        self.root
+    }
+
+    /// Writes the document (pretty-printed) to `path`, creating parent
+    /// directories as needed.
+    pub fn write(self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let doc = self.into_json();
+        std::fs::write(path, doc.to_string_pretty() + "\n")
+    }
+}
+
+/// One kernel's record: identity, verdicts, and both full results.
+pub fn kernel_json(run: &KernelRun) -> Json {
+    let mut k = Json::obj();
+    k.set("name", run.name);
+    k.set("spec_analog", run.spec_analog);
+    k.set("suite", format!("{:?}", run.suite).to_lowercase());
+    k.set("category", format!("{:?}", run.category).to_lowercase());
+    k.set("in_openmp_region", Json::Bool(run.in_openmp_region));
+    k.set("selected_loops", run.selected_loops as u64);
+    k.set("checksum_ok", Json::Bool(run.checksum_ok));
+    k.set("deselected", Json::Bool(run.deselected));
+    k.set("speedup", run.speedup());
+    k.set("base", sim_result_json(&run.base_result));
+    k.set("loopfrog", sim_result_json(&run.lf_result));
+    k
+}
+
+/// One simulation's record: the registry dump plus explicit accounting
+/// and interval views (also present inside the registry as scalars).
+pub fn sim_result_json(r: &SimResult) -> Json {
+    let mut j = Json::obj();
+    j.set("checksum", r.checksum);
+    j.set("registry", r.registry.to_json());
+    let mut acct = Json::obj();
+    for (bucket, n) in r.accounting.iter() {
+        acct.set(bucket.name(), n);
+    }
+    j.set("accounting", acct);
+    let intervals: Vec<Json> = r
+        .intervals
+        .iter()
+        .map(|s| {
+            let mut i = Json::obj();
+            i.set("cycle", s.cycle);
+            i.set("committed_insts", s.committed_insts);
+            i.set("issued_insts", s.issued_insts);
+            i.set("spawns", s.spawns);
+            i.set("squashes", s.squashes);
+            i
+        })
+        .collect();
+    j.set("intervals", Json::Arr(intervals));
+    j
+}
+
+/// Standard tail for experiment binaries: if `--json <path>` was given,
+/// build an artifact over `runs` and write it, reporting the path.
+pub fn maybe_write(tool: &str, scale: Scale, cfg: &RunConfig, runs: &[KernelRun]) {
+    maybe_write_with(tool, scale, cfg, runs, |_| {})
+}
+
+/// As [`maybe_write`], with a hook to attach tool-specific extras before
+/// the document is serialized.
+pub fn maybe_write_with(
+    tool: &str,
+    scale: Scale,
+    cfg: &RunConfig,
+    runs: &[KernelRun],
+    extras: impl FnOnce(&mut RunArtifact),
+) {
+    let Some(path) = crate::json_path_from_args() else { return };
+    let mut art = RunArtifact::new(tool, scale);
+    art.set_config(cfg);
+    for run in runs {
+        art.push_kernel(run);
+    }
+    extras(&mut art);
+    match art.write(&path) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_workloads::Scale;
+
+    #[test]
+    fn artifact_round_trips_with_registry_and_intervals() {
+        let w = lf_workloads::by_name("stencil_blur", Scale::Smoke).unwrap();
+        let cfg = RunConfig::default();
+        let run = crate::run_kernel(&w, &cfg);
+        let mut art = RunArtifact::new("unit_test", Scale::Smoke);
+        art.set_config(&cfg);
+        art.push_kernel(&run);
+        let doc = art.into_json();
+        let text = doc.to_string_pretty();
+        let back = Json::parse(&text).expect("artifact parses back");
+
+        let kernels = back.get("kernels").and_then(Json::as_arr).unwrap();
+        assert_eq!(kernels.len(), 1);
+        let k = &kernels[0];
+        assert_eq!(k.get("name").and_then(Json::as_str), Some("stencil_blur"));
+
+        // Registry dump carries cycle accounting and core counters.
+        let lf = k.get("loopfrog").unwrap();
+        let reg = lf.get("registry").unwrap();
+        assert!(reg.get("core.cycles").is_some());
+        assert!(reg.get("accounting.base_commit").is_some());
+
+        // The interval time series is non-empty by default.
+        let intervals = lf.get("intervals").and_then(Json::as_arr).unwrap();
+        assert!(!intervals.is_empty(), "default config samples intervals");
+        assert!(intervals[0].get("committed_insts").is_some());
+    }
+}

@@ -19,7 +19,10 @@ fn main() {
         &[
             vec!["SSB granule cache (4 slices)".into(), format!("{:.3} mm²", a.ssb_mm2)],
             vec!["Bloom-filter conflict checker".into(), format!("{:.3} mm²", a.conflict_mm2)],
-            vec!["reference core (Neoverse N1 + L1 + 1MB L2)".into(), format!("{:.1} mm²", a.core_mm2)],
+            vec![
+                "reference core (Neoverse N1 + L1 + 1MB L2)".into(),
+                format!("{:.1} mm²", a.core_mm2),
+            ],
             vec![
                 "LoopFrog structures / core".into(),
                 format!("{:.1}%", a.loopfrog_structures_frac() * 100.0),
@@ -39,7 +42,8 @@ fn main() {
         ],
     );
 
-    let runs = run_suite(scale, &RunConfig::default());
+    let cfg = RunConfig::default();
+    let runs = run_suite(scale, &cfg);
     let mut issued_up = Vec::new();
     let mut l2_up = Vec::new();
     let mut l2_miss = Vec::new();
@@ -69,4 +73,17 @@ fn main() {
         "  L2 misses:           {:+.1}% (paper -2.3%)",
         (lf_stats::geomean(&l2_miss) - 1.0) * 100.0
     );
+    lf_bench::artifact::maybe_write_with("area_power", scale, &cfg, &runs, |art| {
+        let mut area = lf_stats::Json::obj();
+        area.set("ssb_mm2", a.ssb_mm2);
+        area.set("conflict_mm2", a.conflict_mm2);
+        area.set("core_mm2", a.core_mm2);
+        area.set("loopfrog_structures_frac", a.loopfrog_structures_frac());
+        art.set_extra("area_model", area);
+        let mut dynamic = lf_stats::Json::obj();
+        dynamic.set("issued_insts_ratio", lf_stats::geomean(&issued_up));
+        dynamic.set("l2_accesses_ratio", lf_stats::geomean(&l2_up));
+        dynamic.set("l2_misses_ratio", lf_stats::geomean(&l2_miss));
+        art.set_extra("dynamic_activity", dynamic);
+    });
 }

@@ -10,6 +10,7 @@ fn main() {
     let scale = lf_bench::scale_from_args();
     println!("§6.6: SSB associativity sensitivity (default: fully associative)\n");
     let mut rows = Vec::new();
+    let mut points = Vec::new();
     for (label, assoc, victim) in [
         ("full assoc", None, 0usize),
         ("8-way", Some(8usize), 0),
@@ -24,7 +25,21 @@ fn main() {
         let g = lf_stats::geomean(&runs.iter().map(|r| r.speedup()).collect::<Vec<_>>());
         let stalls: u64 = runs.iter().map(|r| r.lf.squashes_overflow).sum();
         rows.push(vec![label.to_string(), fmt_pct(g), stalls.to_string()]);
+        let mut p = lf_stats::Json::obj();
+        p.set("label", label);
+        p.set("geomean_speedup", g);
+        p.set("overflow_stalls", stalls);
+        points.push(p);
     }
     print_table(&["SSB slices", "geomean speedup", "overflow stalls"], &rows);
-    println!("\npaper shape: limited associativity costs 1-2pp; the victim buffer recovers most of it.");
+    println!(
+        "\npaper shape: limited associativity costs 1-2pp; the victim buffer recovers most of it."
+    );
+    lf_bench::artifact::maybe_write_with(
+        "assoc_sensitivity",
+        scale,
+        &RunConfig::default(),
+        &[],
+        |art| art.set_extra("sweep", lf_stats::Json::Arr(points)),
+    );
 }

@@ -20,23 +20,35 @@ fn main() {
     ];
     println!("§5.1: loop deselection ablation\n");
     let mut rows = Vec::new();
+    let mut points = Vec::new();
     for (label, static_sel, dynamic) in variants {
-        let mut cfg = RunConfig::default();
-        cfg.deselect_unprofitable = static_sel;
+        let mut cfg = RunConfig { deselect_unprofitable: static_sel, ..RunConfig::default() };
         cfg.lf.deselect = DeselectConfig { enabled: dynamic, ..DeselectConfig::default() };
         let runs = run_suite(scale, &cfg);
         let speedups: Vec<f64> = runs.iter().map(|r| r.speedup()).collect();
         let worst = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
-        let suppressed: u64 =
-            runs.iter().map(|r| r.lf.counters.get("regions_suppressed")).sum();
+        let suppressed: u64 = runs.iter().map(|r| r.lf.counters.get("regions_suppressed")).sum();
         rows.push(vec![
             label.to_string(),
             fmt_pct(lf_stats::geomean(&speedups)),
             fmt_pct(worst),
             suppressed.to_string(),
         ]);
+        let mut p = lf_stats::Json::obj();
+        p.set("label", label);
+        p.set("geomean_speedup", lf_stats::geomean(&speedups));
+        p.set("worst_speedup", worst);
+        p.set("regions_suppressed", suppressed);
+        points.push(p);
     }
     print_table(&["deselection", "geomean speedup", "worst kernel", "regions suppressed"], &rows);
     println!("\npaper: without deselection, unprofitable loops cost up to 10%;");
     println!("dynamic deselection should recover most of the static oracle's benefit.");
+    lf_bench::artifact::maybe_write_with(
+        "dynamic_deselect",
+        scale,
+        &RunConfig::default(),
+        &[],
+        |art| art.set_extra("sweep", lf_stats::Json::Arr(points)),
+    );
 }

@@ -15,6 +15,7 @@ fn main() {
     println!("Figure 1: IPC and commit utilization vs front-end width");
     println!("(paper: Intel Skylake→Golden Cove trend; here: width sweep of our baseline core)\n");
     let mut rows = Vec::new();
+    let mut points = Vec::new();
     for width in [4usize, 6, 8, 10] {
         let mut ipcs = Vec::new();
         let mut utils = Vec::new();
@@ -34,7 +35,23 @@ fn main() {
             format!("{:.2}", lf_stats::geomean(&ipcs)),
             format!("{:.1}%", lf_stats::geomean(&utils) * 100.0),
         ]);
+        let mut p = lf_stats::Json::obj();
+        p.set("width", width);
+        p.set("geomean_ipc", lf_stats::geomean(&ipcs));
+        p.set("commit_utilization", lf_stats::geomean(&utils));
+        points.push(p);
     }
     print_table(&["core", "geomean IPC", "commit utilization"], &rows);
     println!("\npaper shape: IPC grows with width; commit utilization falls.");
+    if let Some(path) = lf_bench::json_path_from_args() {
+        let mut art = lf_bench::RunArtifact::new("fig1_width_sweep", scale);
+        art.set_extra("sweep", lf_stats::Json::Arr(points));
+        match art.write(&path) {
+            Ok(()) => println!("\nwrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -6,7 +6,8 @@ use lf_workloads::Suite;
 
 fn main() {
     let scale = lf_bench::scale_from_args();
-    let runs = run_suite(scale, &RunConfig::default());
+    let cfg = RunConfig::default();
+    let runs = run_suite(scale, &cfg);
     println!("Figure 6: whole-program speedups (LoopFrog vs baseline, hints-as-NOPs)\n");
     let rows: Vec<Vec<String>> = runs
         .iter()
@@ -19,7 +20,11 @@ fn main() {
                     Suite::Cpu2017 => "CPU2017".into(),
                 },
                 fmt_pct(r.speedup()),
-                if r.deselected { "deselected".into() } else { format!("{} loops", r.selected_loops) },
+                if r.deselected {
+                    "deselected".into()
+                } else {
+                    format!("{} loops", r.selected_loops)
+                },
                 if r.checksum_ok { "ok".into() } else { "MISMATCH".into() },
             ]
         })
@@ -29,8 +34,7 @@ fn main() {
     for (suite, label, paper) in
         [(Suite::Cpu2006, "CPU 2006", "+9.2%"), (Suite::Cpu2017, "CPU 2017", "+9.5%")]
     {
-        let s: Vec<f64> =
-            runs.iter().filter(|r| r.suite == suite).map(|r| r.speedup()).collect();
+        let s: Vec<f64> = runs.iter().filter(|r| r.suite == suite).map(|r| r.speedup()).collect();
         println!(
             "\n{label} geomean: {} (paper: {paper}); {}/{} kernels gain >1%",
             fmt_pct(lf_stats::geomean(&s)),
@@ -39,4 +43,5 @@ fn main() {
         );
     }
     assert!(runs.iter().all(|r| r.checksum_ok), "architectural state mismatch");
+    lf_bench::artifact::maybe_write("fig6_speedups", scale, &cfg, &runs);
 }

@@ -9,7 +9,8 @@ use lf_bench::{fmt_pct, print_table, run_suite, RunConfig};
 
 fn main() {
     let scale = lf_bench::scale_from_args();
-    let runs = run_suite(scale, &RunConfig::default());
+    let cfg = RunConfig::default();
+    let runs = run_suite(scale, &cfg);
     println!("Figure 7: threadlet activity distribution (fraction of cycles)\n");
     let rows: Vec<Vec<String>> = runs
         .iter()
@@ -27,10 +28,19 @@ fn main() {
     print_table(&["kernel", "0", "1", "2", "3", "4", "≥2 active"], &rows);
 
     let profitable: Vec<_> = runs.iter().filter(|r| r.speedup() > 1.01).collect();
-    let ge2 = lf_stats::mean(&profitable.iter().map(|r| r.lf.frac_active_at_least(2)).collect::<Vec<_>>());
-    let ge4 = lf_stats::mean(&profitable.iter().map(|r| r.lf.frac_active_at_least(4)).collect::<Vec<_>>());
-    let all2 = lf_stats::mean(&runs.iter().map(|r| r.lf.frac_active_at_least(2)).collect::<Vec<_>>());
-    println!("\nprofitable kernels: ≥2 active {:.0}% of cycles (paper 42%), 4 active {:.0}% (paper 23%)", ge2 * 100.0, ge4 * 100.0);
+    let ge2 = lf_stats::mean(
+        &profitable.iter().map(|r| r.lf.frac_active_at_least(2)).collect::<Vec<_>>(),
+    );
+    let ge4 = lf_stats::mean(
+        &profitable.iter().map(|r| r.lf.frac_active_at_least(4)).collect::<Vec<_>>(),
+    );
+    let all2 =
+        lf_stats::mean(&runs.iter().map(|r| r.lf.frac_active_at_least(2)).collect::<Vec<_>>());
+    println!(
+        "\nprofitable kernels: ≥2 active {:.0}% of cycles (paper 42%), 4 active {:.0}% (paper 23%)",
+        ge2 * 100.0,
+        ge4 * 100.0
+    );
     println!("all kernels: ≥2 active {:.0}% (paper 29%)", all2 * 100.0);
 
     // §6.3: invert Amdahl per profitable kernel to estimate in-region speedup.
@@ -45,4 +55,5 @@ fn main() {
         "Amdahl-implied in-region loop speedup geomean: {} (paper: +43%)",
         fmt_pct(lf_stats::geomean(&region))
     );
+    lf_bench::artifact::maybe_write("fig7_utilization", scale, &cfg, &runs);
 }

@@ -10,7 +10,8 @@ use lf_bench::{print_table, run_suite, RunConfig};
 
 fn main() {
     let scale = lf_bench::scale_from_args();
-    let runs = run_suite(scale, &RunConfig::default());
+    let cfg = RunConfig::default();
+    let runs = run_suite(scale, &cfg);
     println!("Figure 8: commit-rate breakdown, normalized to baseline IPC\n");
     let mut rows = Vec::new();
     let (mut archs, mut succs, mut fails) = (Vec::new(), Vec::new(), Vec::new());
@@ -31,11 +32,15 @@ fn main() {
             format!("{:.2}", arch + succ),
         ]);
     }
-    print_table(&["kernel", "architectural", "spec (success)", "spec (failed)", "useful total"], &rows);
+    print_table(
+        &["kernel", "architectural", "spec (success)", "spec (failed)", "useful total"],
+        &rows,
+    );
     println!(
         "\nmeans: architectural {:.2} (paper ≈0.94 of baseline), successful spec {:.2}, failed spec {:.2} (paper ≈0.31)",
         lf_stats::mean(&archs),
         lf_stats::mean(&succs),
         lf_stats::mean(&fails)
     );
+    lf_bench::artifact::maybe_write("fig8_ipc_breakdown", scale, &cfg, &runs);
 }

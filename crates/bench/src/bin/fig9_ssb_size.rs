@@ -10,14 +10,29 @@ fn main() {
     let scale = lf_bench::scale_from_args();
     println!("Figure 9: speedup vs SSB size (default 8 KiB)\n");
     let mut rows = Vec::new();
-    for (label, bytes) in [("512 B", 512usize), ("2 KiB", 2 << 10), ("8 KiB", 8 << 10), ("32 KiB", 32 << 10)] {
+    let mut points = Vec::new();
+    for (label, bytes) in
+        [("512 B", 512usize), ("2 KiB", 2 << 10), ("8 KiB", 8 << 10), ("32 KiB", 32 << 10)]
+    {
         let mut cfg = RunConfig::default();
         cfg.lf.ssb.size_bytes = bytes;
         let runs = run_suite(scale, &cfg);
         let g = lf_stats::geomean(&runs.iter().map(|r| r.speedup()).collect::<Vec<_>>());
         let stalls: u64 = runs.iter().map(|r| r.lf.squashes_overflow).sum();
         rows.push(vec![label.to_string(), fmt_pct(g), stalls.to_string()]);
+        let mut p = lf_stats::Json::obj();
+        p.set("size_bytes", bytes);
+        p.set("geomean_speedup", g);
+        p.set("overflow_stalls", stalls);
+        points.push(p);
     }
     print_table(&["SSB size", "geomean speedup", "overflow stalls"], &rows);
     println!("\npaper shape: flat from 2 KiB up; degraded but still positive at 512 B.");
+    lf_bench::artifact::maybe_write_with(
+        "fig9_ssb_size",
+        scale,
+        &RunConfig::default(),
+        &[],
+        |art| art.set_extra("sweep", lf_stats::Json::Arr(points)),
+    );
 }

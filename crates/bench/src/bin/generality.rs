@@ -9,7 +9,8 @@ use lf_workloads::Suite;
 
 fn main() {
     let scale = lf_bench::scale_from_args();
-    let runs = run_suite(scale, &RunConfig::default());
+    let cfg = RunConfig::default();
+    let runs = run_suite(scale, &cfg);
     let s17: Vec<_> = runs.iter().filter(|r| r.suite == Suite::Cpu2017).collect();
     let all: Vec<f64> = s17.iter().map(|r| r.speedup()).collect();
     // Kernels whose source loop sits in an OpenMP region contribute no
@@ -25,4 +26,5 @@ fn main() {
     );
     let omp = s17.iter().filter(|r| r.in_openmp_region).count();
     println!("\n{omp} of {} CPU 2017 analogs mirror loops inside OpenMP regions", s17.len());
+    lf_bench::artifact::maybe_write("generality", scale, &cfg, &runs);
 }

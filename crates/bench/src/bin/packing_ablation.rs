@@ -8,7 +8,8 @@ use lf_bench::{fmt_pct, print_table, run_suite, RunConfig};
 
 fn main() {
     let scale = lf_bench::scale_from_args();
-    let with = run_suite(scale, &RunConfig::default());
+    let cfg_with = RunConfig::default();
+    let with = run_suite(scale, &cfg_with);
     let mut cfg = RunConfig::default();
     cfg.lf.packing.enabled = false;
     let without = run_suite(scale, &cfg);
@@ -36,11 +37,8 @@ fn main() {
     );
     let g_with = lf_stats::geomean(&with.iter().map(|r| r.speedup()).collect::<Vec<_>>());
     let g_without = lf_stats::geomean(&without.iter().map(|r| r.speedup()).collect::<Vec<_>>());
-    let packed_factors: Vec<f64> = with
-        .iter()
-        .filter(|r| r.lf.packed_spawns > 0)
-        .map(|r| r.lf.mean_pack_factor())
-        .collect();
+    let packed_factors: Vec<f64> =
+        with.iter().filter(|r| r.lf.packed_spawns > 0).map(|r| r.lf.mean_pack_factor()).collect();
     println!(
         "\ngeomean with packing {} vs without {} ({:+.1}pp; paper +0.9pp)",
         fmt_pct(g_with),
@@ -52,4 +50,20 @@ fn main() {
         lf_stats::mean(&packed_factors),
         with.iter().map(|r| r.lf.pack_factor_max).max().unwrap_or(0)
     );
+    lf_bench::artifact::maybe_write_with("packing_ablation", scale, &cfg_with, &with, |art| {
+        let mut abl = lf_stats::Json::obj();
+        abl.set("geomean_with_packing", g_with);
+        abl.set("geomean_without_packing", g_without);
+        let no_pack: Vec<lf_stats::Json> = without
+            .iter()
+            .map(|r| {
+                let mut k = lf_stats::Json::obj();
+                k.set("name", r.name);
+                k.set("speedup", r.speedup());
+                k
+            })
+            .collect();
+        abl.set("without_packing", lf_stats::Json::Arr(no_pack));
+        art.set_extra("ablation", abl);
+    });
 }

@@ -21,6 +21,7 @@ fn main() {
         "kernel", "insts", "k", "full cycles", "estimated", "error"
     );
 
+    let mut points = Vec::new();
     for name in ["stencil_blur", "event_queue", "hash_lookup", "md_force"] {
         let w = lf_workloads::by_name(name, scale).expect("kernel exists");
         let emu0 = w.reference_emulator().expect("kernel runs");
@@ -67,13 +68,8 @@ fn main() {
             let warm_idx = idx.saturating_sub(3);
             let warmup = (idx - warm_idx) as u64 * interval;
             let (regs, mem, pc) = &snapshots[warm_idx];
-            let mut core = LoopFrogCore::with_initial_state(
-                program,
-                mem.clone(),
-                regs,
-                *pc,
-                cfg_sim.clone(),
-            );
+            let mut core =
+                LoopFrogCore::with_initial_state(program, mem.clone(), regs, *pc, cfg_sim.clone());
             core.run_until_committed(warmup).expect("warmup simulates");
             let (c0, i0) = (core.cycle(), core.committed_insts());
             core.run_until_committed(warmup + interval).expect("interval simulates");
@@ -96,7 +92,26 @@ fn main() {
             estimate,
             err
         );
+        let mut p = lf_stats::Json::obj();
+        p.set("kernel", name);
+        p.set("total_insts", total_insts);
+        p.set("simpoints", picks.len());
+        p.set("full_cycles", full.stats.cycles);
+        p.set("estimated_cycles", estimate);
+        p.set("error_pct", err);
+        points.push(p);
     }
     println!("\npaper methodology: SimPoint-weighted estimates stand in for full runs;");
     println!("errors within ±10% validate the sampling pipeline at this scale.");
+    if let Some(path) = lf_bench::json_path_from_args() {
+        let mut art = lf_bench::RunArtifact::new("simpoint_check", scale);
+        art.set_extra("simpoint_estimates", lf_stats::Json::Arr(points));
+        match art.write(&path) {
+            Ok(()) => println!("\nwrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -11,7 +11,8 @@ use lf_workloads::Category;
 
 fn main() {
     let scale = lf_bench::scale_from_args();
-    let runs = run_suite(scale, &RunConfig::default());
+    let cfg = RunConfig::default();
+    let runs = run_suite(scale, &cfg);
     let profitable: Vec<_> = runs.iter().filter(|r| r.speedup() > 1.01).collect();
     let total_log_gain: f64 = profitable.iter().map(|r| r.speedup().ln()).sum();
 
@@ -37,9 +38,7 @@ fn main() {
             paper.to_string(),
         ]);
     }
-    print_table(
-        &["category", "sub-category", "kernels", "fraction of speedup", "paper"],
-        &rows,
-    );
+    print_table(&["category", "sub-category", "kernels", "fraction of speedup", "paper"], &rows);
     println!("\n{} of {} kernels profitable", profitable.len(), runs.len());
+    lf_bench::artifact::maybe_write("table2_categories", scale, &cfg, &runs);
 }

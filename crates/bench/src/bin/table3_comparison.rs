@@ -10,7 +10,8 @@ use lf_bench::{print_table, run_suite, RunConfig};
 
 fn main() {
     let scale = lf_bench::scale_from_args();
-    let runs = run_suite(scale, &RunConfig::default());
+    let cfg = RunConfig::default();
+    let runs = run_suite(scale, &cfg);
     let suite17: Vec<f64> = runs
         .iter()
         .filter(|r| r.suite == lf_workloads::Suite::Cpu2017)
@@ -37,5 +38,10 @@ fn main() {
         &["scheme", "speedup", "cores", "area", "baseline", "task sizes", "deployment"],
         &rows,
     );
-    println!("\npaper: LoopFrog 1.1x @ ~1.15x area; STAMPede 1.16x @ >4x; Multiscalar 2.16x @ ~8x.");
+    println!(
+        "\npaper: LoopFrog 1.1x @ ~1.15x area; STAMPede 1.16x @ >4x; Multiscalar 2.16x @ ~8x."
+    );
+    lf_bench::artifact::maybe_write_with("table3_comparison", scale, &cfg, &runs, |art| {
+        art.set_extra("measured_geomean_cpu2017", measured);
+    });
 }

@@ -8,9 +8,12 @@
 #![warn(missing_docs)]
 
 pub mod area;
+pub mod artifact;
+pub mod microbench;
 pub mod runner;
 pub mod table;
 
+pub use artifact::RunArtifact;
 pub use runner::{run_kernel, run_suite, KernelRun, RunConfig};
 pub use table::{fmt_pct, print_table};
 
@@ -29,6 +32,23 @@ pub fn scale_from_args() -> lf_workloads::Scale {
                     "error: --scale expects `smoke` or `eval`, got {}",
                     other.unwrap_or("nothing")
                 );
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// Parses `--json <path>` from the process arguments: the destination for
+/// this run's machine-readable artifact (see [`artifact`]). Returns `None`
+/// when the flag is absent; exits with an error when the path is missing.
+pub fn json_path_from_args() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--json") {
+        None => None,
+        Some(i) => match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => Some(std::path::PathBuf::from(p)),
+            _ => {
+                eprintln!("error: --json expects an output path");
                 std::process::exit(2);
             }
         },

@@ -1,0 +1,74 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! Replaces `criterion` (unavailable in hermetic builds) for the
+//! `harness = false` bench targets: auto-calibrates an iteration count,
+//! takes several samples, and reports best/median ns-per-iteration. The
+//! [`Bencher::iter`] API mirrors criterion's closely enough that bench
+//! bodies read the same.
+
+use std::time::{Duration, Instant};
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the code
+/// under measurement.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the calibrated iteration count and records the elapsed
+    /// wall-clock time.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_once(f: &mut impl FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    b.elapsed
+}
+
+/// Measures one named benchmark: calibrates the per-sample iteration count
+/// to ~50 ms, takes 5 samples, and prints best and median ns/iter.
+pub fn bench_function(name: &str, mut f: impl FnMut(&mut Bencher)) {
+    // Calibrate: grow the iteration count until one sample is long enough
+    // for the timer's resolution not to matter.
+    let target = Duration::from_millis(50);
+    let mut iters = 1u64;
+    loop {
+        let t = run_once(&mut f, iters);
+        if t >= target || iters >= 1 << 28 {
+            break;
+        }
+        // Jump roughly to the target, at least doubling.
+        let scale = (target.as_nanos() as f64 / t.as_nanos().max(1) as f64).ceil() as u64;
+        iters = (iters * scale.clamp(2, 16)).min(1 << 28);
+    }
+
+    let mut per_iter: Vec<f64> =
+        (0..5).map(|_| run_once(&mut f, iters).as_nanos() as f64 / iters as f64).collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    println!(
+        "{name:40} {:>12.1} ns/iter (median {:>12.1} ns, {iters} iters/sample)",
+        per_iter[0], per_iter[2]
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut n = 0u64;
+        let mut b = Bencher { iters: 100, elapsed: Duration::ZERO };
+        b.iter(|| n += 1);
+        assert_eq!(n, 100);
+        assert!(b.elapsed > Duration::ZERO || n == 100);
+    }
+}

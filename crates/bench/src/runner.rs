@@ -3,7 +3,7 @@
 use lf_compiler::{annotate, SelectOptions};
 use lf_isa::Program;
 use lf_workloads::{Scale, Workload};
-use loopfrog::{simulate, LoopFrogConfig, SimStats};
+use loopfrog::{simulate, LoopFrogConfig, SimResult, SimStats};
 
 /// Configuration for one experiment run.
 #[derive(Debug, Clone)]
@@ -54,6 +54,11 @@ pub struct KernelRun {
     pub base: SimStats,
     /// LoopFrog run statistics.
     pub lf: SimStats,
+    /// Full baseline result (metrics registry, cycle accounting, interval
+    /// samples) for machine-readable artifacts.
+    pub base_result: SimResult,
+    /// Full LoopFrog result; mirrors `base_result` when deselected.
+    pub lf_result: SimResult,
     /// Whether emulator, baseline, and LoopFrog all agreed on final state.
     pub checksum_ok: bool,
     /// The kernel's loops were deselected as unprofitable (its shipped
@@ -89,8 +94,8 @@ pub fn run_kernel(w: &Workload, cfg: &RunConfig) -> KernelRun {
     let checksum_ok = base.checksum == golden && lf.checksum == golden;
 
     let deselected = cfg.deselect_unprofitable && lf.stats.cycles > base.stats.cycles;
-    let (lf_stats, selected_loops) =
-        if deselected { (base.stats.clone(), 0) } else { (lf.stats, selected_loops) };
+    let (lf_result, selected_loops) =
+        if deselected { (base.clone(), 0) } else { (lf, selected_loops) };
     KernelRun {
         name: w.name,
         spec_analog: w.spec_analog,
@@ -99,8 +104,10 @@ pub fn run_kernel(w: &Workload, cfg: &RunConfig) -> KernelRun {
         in_openmp_region: w.in_openmp_region,
         selected_loops,
         annotated: ann.program,
-        base: base.stats,
-        lf: lf_stats,
+        base: base.stats.clone(),
+        lf: lf_result.stats.clone(),
+        base_result: base,
+        lf_result,
         checksum_ok,
         deselected,
     }

@@ -71,10 +71,8 @@ impl Cfg {
                         leader[pc + 1] = true;
                     }
                 }
-                Inst::JumpReg { .. } | Inst::Halt => {
-                    if pc + 1 < n {
-                        leader[pc + 1] = true;
-                    }
+                Inst::JumpReg { .. } | Inst::Halt if pc + 1 < n => {
+                    leader[pc + 1] = true;
                 }
                 _ => {}
             }
@@ -82,8 +80,8 @@ impl Cfg {
         let mut blocks = Vec::new();
         let mut block_of = vec![0usize; n];
         let mut start = 0;
-        for pc in 0..n {
-            if pc > 0 && leader[pc] {
+        for (pc, &lead) in leader.iter().enumerate().take(n) {
+            if pc > 0 && lead {
                 blocks.push(Block { start, end: pc, succs: vec![], preds: vec![] });
                 start = pc;
             }
@@ -97,9 +95,7 @@ impl Cfg {
             }
         }
         // Edges.
-        let find_block = |addr: usize| -> Option<usize> {
-            (addr < n).then(|| block_of[addr])
-        };
+        let find_block = |addr: usize| -> Option<usize> { (addr < n).then(|| block_of[addr]) };
         let mut edges: Vec<(usize, usize)> = Vec::new();
         for (bi, b) in blocks.iter().enumerate() {
             let term = b.terminator();

@@ -98,12 +98,10 @@ pub fn plan_loop(
     debug_assert_eq!(spine[0], l.header, "header is the first spine block");
 
     // Iterations executed (for normalizing the profile-weighted score).
-    let iters = profile
-        .map(|p| p.exec_count[cfg.blocks()[l.header].start].max(1))
-        .unwrap_or(1) as f64;
-    let weight = |pc: usize| -> f64 {
-        profile.map(|p| p.exec_count[pc] as f64 / iters).unwrap_or(1.0)
-    };
+    let iters =
+        profile.map(|p| p.exec_count[cfg.blocks()[l.header].start].max(1)).unwrap_or(1) as f64;
+    let weight =
+        |pc: usize| -> f64 { profile.map(|p| p.exec_count[pc] as f64 / iters).unwrap_or(1.0) };
 
     // Candidate boundary positions: instruction addresses within spine
     // blocks ("insert before" semantics). The terminator of a tail must
@@ -310,9 +308,12 @@ mod tests {
         let (cfg, dom, live, loops) = analyze(&p);
         for l in &loops {
             let r = plan_loop(&p, &cfg, &dom, &live, &loops, l, None);
-            assert!(r.is_err() || !l.blocks.iter().any(|&bb| {
-                matches!(p.insts()[cfg.blocks()[bb].terminator()], Inst::JumpReg { .. })
-            }));
+            assert!(
+                r.is_err()
+                    || !l.blocks.iter().any(|&bb| {
+                        matches!(p.insts()[cfg.blocks()[bb].terminator()], Inst::JumpReg { .. })
+                    })
+            );
         }
     }
 
@@ -364,7 +365,7 @@ mod more_tests {
         b.bind(top);
         b.load(reg::x(3), reg::x(1), 0x1000, MemSize::B8); // 2
         b.alui(AluOp::Add, reg::x(1), reg::x(1), 8); // 3
-        // continue when the element is odd (backedge #1)...
+                                                     // continue when the element is odd (backedge #1)...
         b.alui(AluOp::And, reg::x(4), reg::x(3), 1); // 4
         b.branch(BranchCond::Eq, reg::x(4), reg::ZERO, work); // 5
         b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top); // 6 (backedge)
@@ -415,10 +416,15 @@ mod more_tests {
         b.halt();
         let p = b.build().unwrap();
         let (cfg, dom, live, loops) = analyze(&p);
-        let l = loops.iter().find(|l| l.blocks.len() >= 1 && {
-            let h = cfg.blocks()[l.header].start;
-            h > 3 // the counted loop, not anything in the callee
-        }).unwrap();
+        let l = loops
+            .iter()
+            .find(|l| {
+                !l.blocks.is_empty() && {
+                    let h = cfg.blocks()[l.header].start;
+                    h > 3 // the counted loop, not anything in the callee
+                }
+            })
+            .unwrap();
         if let Ok(pl) = plan_loop(&p, &cfg, &dom, &live, &loops, l, None) {
             // The induction register x20 must stay outside the body.
             let body: Vec<usize> = (pl.detach_at..pl.reattach_at).collect();

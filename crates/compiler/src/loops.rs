@@ -49,7 +49,13 @@ pub fn find_loops(cfg: &Cfg, dom: &Dominators) -> Vec<Loop> {
                     l.tails.push(b);
                     l.blocks.extend(body);
                 } else {
-                    loops.push(Loop { header: s, tails: vec![b], blocks: body, exits: vec![], depth: 0 });
+                    loops.push(Loop {
+                        header: s,
+                        tails: vec![b],
+                        blocks: body,
+                        exits: vec![],
+                        depth: 0,
+                    });
                 }
             }
         }

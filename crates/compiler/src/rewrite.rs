@@ -39,8 +39,7 @@ impl Rewriter {
     /// The relocated address of original address `orig` (where a branch to
     /// `orig` lands: the first instruction inserted before it, if any).
     pub fn map_addr(&self, orig: usize) -> usize {
-        let shift: usize =
-            self.inserts.range(..orig).map(|(_, v)| v.len()).sum();
+        let shift: usize = self.inserts.range(..orig).map(|(_, v)| v.len()).sum();
         orig + shift
     }
 
@@ -53,13 +52,10 @@ impl Rewriter {
                     Inst::Branch { cond, a, b, target: self.map_addr(target) }
                 }
                 Inst::Jump { target } => Inst::Jump { target: self.map_addr(target) },
-                Inst::Call { target, link } => {
-                    Inst::Call { target: self.map_addr(target), link }
+                Inst::Call { target, link } => Inst::Call { target: self.map_addr(target), link },
+                Inst::Hint { kind, region } => {
+                    Inst::Hint { kind, region: lf_isa::RegionId(self.map_addr(region.0)) }
                 }
-                Inst::Hint { kind, region } => Inst::Hint {
-                    kind,
-                    region: lf_isa::RegionId(self.map_addr(region.0)),
-                },
                 other => other,
             }
         };

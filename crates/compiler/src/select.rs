@@ -69,7 +69,9 @@ fn loop_metrics(program: &Program, cfg: &Cfg, l: &Loop, profile: &Profile) -> (f
     for &t in &l.tails {
         let term = cfg.blocks()[t].terminator();
         match program.insts()[term] {
-            Inst::Branch { target, .. } if cfg.block_of(target.min(program.len() - 1)) == l.header => {
+            Inst::Branch { target, .. }
+                if cfg.block_of(target.min(program.len() - 1)) == l.header =>
+            {
                 backedge_takens += profile.taken_count[term];
             }
             Inst::Jump { target } if cfg.block_of(target.min(program.len() - 1)) == l.header => {
@@ -124,7 +126,9 @@ pub fn annotate(program: &Program, profile: &Profile, opts: &SelectOptions) -> A
                 Err(PlanError::IndirectJump) => {
                     report.rejected = Some("contains indirect jump".into())
                 }
-                Err(PlanError::NoSpine) => report.rejected = Some("no once-per-iteration spine".into()),
+                Err(PlanError::NoSpine) => {
+                    report.rejected = Some("no once-per-iteration spine".into())
+                }
                 Err(PlanError::NoLegalBoundary) => {
                     report.rejected = Some("no legal detach/reattach boundary".into())
                 }
@@ -147,7 +151,7 @@ pub fn annotate(program: &Program, profile: &Profile, opts: &SelectOptions) -> A
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lf_isa::{reg, AluOp, BranchCond, Emulator, Memory, MemSize, ProgramBuilder};
+    use lf_isa::{reg, AluOp, BranchCond, Emulator, MemSize, Memory, ProgramBuilder};
 
     fn profiled(p: &Program, mem: Memory) -> Profile {
         let mut emu = Emulator::new(p, mem);

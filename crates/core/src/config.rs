@@ -116,6 +116,8 @@ pub struct LoopFrogConfig {
     pub max_insts: u64,
     /// Hard limit on simulated cycles (safety fuel).
     pub max_cycles: u64,
+    /// Telemetry knobs: interval sampling and the flight recorder.
+    pub telemetry: crate::telemetry::TelemetryConfig,
 }
 
 impl Default for LoopFrogConfig {
@@ -131,6 +133,7 @@ impl Default for LoopFrogConfig {
             spawn_latency: 4,
             max_insts: u64::MAX,
             max_cycles: u64::MAX,
+            telemetry: crate::telemetry::TelemetryConfig::default(),
         }
     }
 }

@@ -20,10 +20,7 @@ pub struct ConflictDetector {
 impl ConflictDetector {
     /// Creates a detector for `contexts` threadlet slots.
     pub fn new(contexts: usize) -> ConflictDetector {
-        ConflictDetector {
-            rd: vec![HashSet::new(); contexts],
-            wr: vec![HashSet::new(); contexts],
-        }
+        ConflictDetector { rd: vec![HashSet::new(); contexts], wr: vec![HashSet::new(); contexts] }
     }
 
     /// Clears both sets of a slot (threadlet squash or recycle).

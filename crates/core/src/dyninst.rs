@@ -4,7 +4,6 @@ use lf_isa::{Inst, RegionId};
 use lf_uarch::bpred::BpLookup;
 use lf_uarch::rename::PhysReg;
 
-
 /// A globally unique, monotonically increasing dynamic instruction id.
 /// Within a threadlet, uid order is program order.
 pub(crate) type Uid = u64;
@@ -130,8 +129,13 @@ impl DynInst {
     pub fn needs_execute(&self) -> bool {
         use lf_isa::Inst::*;
         match self.inst {
-            Alu { .. } | Fpu { .. } | MovImm { .. } | Load { .. } | Store { .. }
-            | Branch { .. } | JumpReg { .. } => true,
+            Alu { .. }
+            | Fpu { .. }
+            | MovImm { .. }
+            | Load { .. }
+            | Store { .. }
+            | Branch { .. }
+            | JumpReg { .. } => true,
             Jump { .. } | Call { .. } | Hint { .. } | Nop | Halt => false,
         }
     }

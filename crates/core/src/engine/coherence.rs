@@ -103,7 +103,7 @@ impl LoopFrogCore<'_> {
 mod tests {
     use crate::config::LoopFrogConfig;
     use crate::engine::LoopFrogCore;
-    use lf_isa::{reg, AluOp, BranchCond, Memory, MemSize, ProgramBuilder};
+    use lf_isa::{reg, AluOp, BranchCond, MemSize, Memory, ProgramBuilder};
 
     /// A hinted loop summing a flag word into each element, so speculative
     /// threadlets hold reads of `flag` and writes of `a[i]`.

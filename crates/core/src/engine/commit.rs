@@ -25,6 +25,7 @@ impl LoopFrogCore<'_> {
     /// Commits up to `commit_width` instructions, oldest threadlet first,
     /// and retires/promotes threadlets.
     pub(super) fn do_commit(&mut self) -> Result<(), SimError> {
+        self.committed_this_cycle = 0;
         let budget_start = self.cfg.core.commit_width;
         let mut budget = budget_start;
         let mut idx = 0;
@@ -57,6 +58,7 @@ impl LoopFrogCore<'_> {
                 }
                 self.commit_one(tid, uid, is_arch);
                 budget -= 1;
+                self.committed_this_cycle += 1;
                 if self.halted {
                     return Ok(());
                 }
@@ -172,7 +174,7 @@ impl LoopFrogCore<'_> {
                 t.c_written_regs.insert(def.index());
             }
         }
-        if self.tracer.is_some() {
+        if self.observing() {
             self.emit(crate::trace::TraceEvent::Commit {
                 cycle: self.cycle,
                 tid,
@@ -244,7 +246,12 @@ impl LoopFrogCore<'_> {
     /// Drains a store at commit: architectural stores write the L1D and
     /// memory; speculative stores write the threadlet's SSB slice. Both run
     /// the Algorithm 1 write check against younger threadlets.
-    fn drain_store(&mut self, tid: usize, uid: u64, is_arch: bool) -> Result<DrainOutcome, SimError> {
+    fn drain_store(
+        &mut self,
+        tid: usize,
+        uid: u64,
+        is_arch: bool,
+    ) -> Result<DrainOutcome, SimError> {
         let (pc, addr, len, data) = {
             let d = &self.slab[&uid];
             let len = match d.inst {
@@ -276,13 +283,14 @@ impl LoopFrogCore<'_> {
             let (view, _) =
                 self.ssb.read(order.as_slice(), range_start, range_end - range_start, &self.mem);
             let bytes = data.to_le_bytes();
-            let outcome = self.ssb.write(tid, addr, &bytes[..len as usize], |a| {
-                view[(a - range_start) as usize]
-            });
+            let outcome = self
+                .ssb
+                .write(tid, addr, &bytes[..len as usize], |a| view[(a - range_start) as usize]);
             match outcome {
                 WriteOutcome::Overflow => {
                     // Speculative writes cannot be discarded: stall the
                     // drain until this threadlet is architectural.
+                    self.overflow_stall_cycle = self.cycle;
                     self.stats.squashes_overflow += 1;
                     if !self.ctx[tid].overflow_reported {
                         self.ctx[tid].overflow_reported = true;
@@ -299,8 +307,7 @@ impl LoopFrogCore<'_> {
                         self.conflict.on_read(tid, &fill_reads);
                     }
                     let younger = self.younger_than(tid);
-                    if let Some(victim) =
-                        self.conflict.on_write(tid, &granules, younger.as_slice())
+                    if let Some(victim) = self.conflict.on_write(tid, &granules, younger.as_slice())
                     {
                         self.stats.squashes_conflict += 1;
                         if let Some(r) = self.ctx[victim].spawn_region {
@@ -402,8 +409,7 @@ impl LoopFrogCore<'_> {
                     continue;
                 }
                 debug_assert!(self.prf.is_ready(pp), "retiring threadlet fully committed");
-                if !self.prf.is_ready(inherited) || self.prf.read(pp) != self.prf.read(inherited)
-                {
+                if !self.prf.is_ready(inherited) || self.prf.read(pp) != self.prf.read(inherited) {
                     diffs.push((a, pp));
                     // A read-before-write anywhere in the epoch (committed
                     // prefix is exact; the renamed set conservatively
@@ -456,9 +462,7 @@ impl LoopFrogCore<'_> {
                         .rob
                         .iter()
                         .copied()
-                        .find(|u| {
-                            self.slab[u].dst.is_some_and(|dst| dst.arch == a)
-                        })
+                        .find(|u| self.slab[u].dst.is_some_and(|dst| dst.arch == a))
                         .expect("renamed write is in flight");
                     let d = self.slab.get_mut(&oldest).expect("live");
                     let dst = d.dst.as_mut().expect("writer has a destination");
@@ -479,7 +483,7 @@ impl LoopFrogCore<'_> {
     /// applying the successor's SSB slice to architectural memory atomically
     /// (the `S_arch` increment of §4.1.4).
     fn retire_arch(&mut self, tid: usize) {
-        if self.tracer.is_some() {
+        if self.observing() {
             self.emit(crate::trace::TraceEvent::Retire {
                 cycle: self.cycle,
                 tid,

@@ -49,6 +49,7 @@ impl LoopFrogCore<'_> {
                 let ready = self.hier.access_inst(addr, self.cycle);
                 if ready > self.cycle + 1 {
                     self.ctx[tid].fetch_ready = ready;
+                    self.stats.fetch_icache_stalls += 1;
                     break;
                 }
                 self.ctx[tid].fetch_line = Some(line);
@@ -159,6 +160,7 @@ impl LoopFrogCore<'_> {
             let next = fetched.pred_next;
             self.ctx[tid].fetch_queue.push_back(fetched);
             self.ctx[tid].fetch_pc = next;
+            self.stats.fetched_insts += 1;
             budget -= 1;
             if stop_after {
                 // Redirected fetch resumes on a new line next cycle.

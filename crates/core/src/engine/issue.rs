@@ -258,7 +258,7 @@ impl LoopFrogCore<'_> {
     /// Redirects fetch and squashes the wrong path after a mispredicted
     /// control instruction `uid` in threadlet `tid`.
     fn recover_from_mispredict(&mut self, tid: usize, uid: u64) {
-        if self.tracer.is_some() {
+        if self.observing() {
             let d = &self.slab[&uid];
             self.emit(crate::trace::TraceEvent::Mispredict {
                 cycle: self.cycle,
@@ -268,6 +268,10 @@ impl LoopFrogCore<'_> {
             });
         }
         self.squash_younger_in_threadlet(tid, uid);
+        if tid == self.arch_tid() {
+            self.recovery_until =
+                self.recovery_until.max(self.cycle + self.cfg.core.frontend_latency);
+        }
         let d = &self.slab[&uid];
         let (region, iters) = d.region_after;
         let next = d.actual_next;

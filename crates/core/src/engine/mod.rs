@@ -13,26 +13,27 @@
 
 mod coherence;
 mod commit;
-#[cfg(test)]
-mod tests;
 mod fetch;
 mod issue;
 mod rename_stage;
 mod squash;
+#[cfg(test)]
+mod tests;
 
-use crate::config::LoopFrogConfig;
 use crate::bloom::BloomConflictDetector;
+use crate::config::LoopFrogConfig;
 use crate::conflict::ConflictDetector;
 use crate::deselect::Deselector;
 use crate::dyninst::{DynInst, Uid};
 use crate::packing::PackingPredictors;
 use crate::ssb::Ssb;
 use crate::stats::{SimResult, SimStats, SimStop};
-use crate::trace::{TraceEvent, Tracer};
+use crate::telemetry::{CycleBucket, IntervalSample, Telemetry};
 use crate::threadlet::{CtxState, Threadlet};
+use crate::trace::{TraceEvent, Tracer};
 use lf_isa::{Memory, Program, NUM_ARCH_REGS};
-use lf_uarch::{BranchPredictor, FuPools, IssueQueue, MemHierarchy, PhysRegFile};
 use lf_uarch::rename::RenameMap;
+use lf_uarch::{BranchPredictor, FuPools, IssueQueue, MemHierarchy, PhysRegFile};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 
@@ -149,10 +150,29 @@ pub struct LoopFrogCore<'p> {
     pub(crate) sq_occupancy: usize,
 
     pub(crate) stats: SimStats,
+    pub(crate) telem: Telemetry,
     pub(crate) tracer: Option<Box<dyn Tracer>>,
     pub(crate) halted: bool,
     pub(crate) fault: Option<SimError>,
     pub(crate) last_commit_cycle: u64,
+
+    /// Instructions committed by the current cycle's commit stage (cycle
+    /// accounting's productive slots).
+    pub(crate) committed_this_cycle: usize,
+    /// Front-end recovery window after the latest squash or misprediction.
+    pub(crate) recovery_until: u64,
+    /// Cycle of the latest SSB-overflow drain stall (accounting signal).
+    pub(crate) overflow_stall_cycle: u64,
+    /// Structural back-pressure observed by rename this cycle.
+    pub(crate) rename_stall: RenameStall,
+}
+
+/// Which shared structure blocked rename this cycle (reset every tick).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RenameStall {
+    pub(crate) rob: bool,
+    pub(crate) iq: bool,
+    pub(crate) lsq: bool,
 }
 
 impl fmt::Debug for LoopFrogCore<'_> {
@@ -233,10 +253,15 @@ impl<'p> LoopFrogCore<'p> {
             lq_occupancy: 0,
             sq_occupancy: 0,
             stats: SimStats::new(threadlets),
+            telem: Telemetry::new(&cfg),
             tracer: None,
             halted: false,
             fault: None,
             last_commit_cycle: 0,
+            committed_this_cycle: 0,
+            recovery_until: 0,
+            overflow_stall_cycle: u64::MAX,
+            rename_stall: RenameStall::default(),
             prf,
             mem,
             program,
@@ -280,8 +305,12 @@ impl<'p> LoopFrogCore<'p> {
 
     /// Simulates one cycle.
     fn tick(&mut self) -> Result<(), SimError> {
+        self.rename_stall = RenameStall::default();
         self.do_commit()?;
         if self.halted {
+            // The halting partial cycle is not counted in `stats.cycles`,
+            // so it gets no accounting slots either (the sum invariant
+            // holds over counted cycles only).
             return Ok(());
         }
         // Contexts freed by retirement can immediately host a deferred
@@ -299,15 +328,96 @@ impl<'p> LoopFrogCore<'p> {
             .filter(|&&t| self.ctx[t].state == CtxState::Active && !self.ctx[t].finished)
             .count();
         self.stats.cycles_with_active[active.min(self.cfg.core.threadlets)] += 1;
-        let in_region = self.order.len() > 1
-            || self.order.iter().any(|&t| self.ctx[t].ren_region.is_some());
+        let in_region =
+            self.order.len() > 1 || self.order.iter().any(|&t| self.ctx[t].ren_region.is_some());
         if in_region {
             self.stats.region_cycles += 1;
         }
 
+        // Cycle accounting: every one of this cycle's commit slots goes to
+        // exactly one bucket — committed slots are productive, the rest are
+        // attributed to a single stall cause.
+        let committed = self.committed_this_cycle as u64;
+        let width = self.cfg.core.commit_width as u64;
+        self.telem.accounting.add(CycleBucket::BaseCommit, committed);
+        if committed < width {
+            let cause = self.classify_stall();
+            self.telem.accounting.add(cause, width - committed);
+        }
+        self.telem.commit_bandwidth.record(committed);
+        self.telem.rob_occupancy.record(self.rob_occupancy as u64);
+        self.telem.iq_occupancy.record(self.iq.len() as u64);
+
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+        if self.telem.sampler.is_some() {
+            let sample = self.interval_sample();
+            if let Some(s) = &mut self.telem.sampler {
+                s.on_cycle(sample.cycle, sample);
+            }
+        }
         Ok(())
+    }
+
+    /// A cumulative snapshot of the headline counters for interval stats.
+    fn interval_sample(&self) -> IntervalSample {
+        let s = &self.stats;
+        IntervalSample {
+            cycle: self.cycle,
+            committed_insts: s.committed_insts,
+            issued_insts: s.issued_insts,
+            spawns: s.spawns,
+            squashes: s.squashes_conflict
+                + s.squashes_sync
+                + s.squashes_packing
+                + s.squashes_wrong_path
+                + s.counters.get("squashes_register"),
+        }
+    }
+
+    /// Attributes this cycle's idle commit slots to one stall cause, in
+    /// priority order (see [`CycleBucket`]).
+    fn classify_stall(&self) -> CycleBucket {
+        if self.overflow_stall_cycle == self.cycle {
+            return CycleBucket::SsbOverflow;
+        }
+        if self.cycle < self.recovery_until {
+            return CycleBucket::SquashRecovery;
+        }
+        let Some(&tid) = self.order.front() else {
+            return CycleBucket::FetchStall;
+        };
+        let t = &self.ctx[tid];
+        match t.rob.front() {
+            None if t.finished => CycleBucket::RetireWait,
+            None => CycleBucket::FetchStall,
+            Some(uid) => {
+                let d = &self.slab[uid];
+                if !d.issued {
+                    // The head cannot issue: blame observed structural
+                    // back-pressure first, then the dependence chain.
+                    if self.rename_stall.rob {
+                        CycleBucket::RobFull
+                    } else if self.rename_stall.iq {
+                        CycleBucket::IqFull
+                    } else if self.rename_stall.lsq {
+                        CycleBucket::LsqFull
+                    } else if d.inst.is_load() {
+                        CycleBucket::Memory
+                    } else {
+                        CycleBucket::Exec
+                    }
+                } else if !d.completed && d.inst.is_load() {
+                    CycleBucket::Memory
+                } else if !d.completed {
+                    CycleBucket::Exec
+                } else {
+                    // Completed but not committed: an undrained store at
+                    // the head waiting on the memory system.
+                    CycleBucket::Memory
+                }
+            }
+        }
     }
 
     /// Runs to completion (architectural `halt`), a fuel limit, or an error.
@@ -390,7 +500,31 @@ impl<'p> LoopFrogCore<'p> {
         ] {
             stats.counters.add(k, v);
         }
-        SimResult { stop, stats, checksum, final_regs }
+
+        // Close out the telemetry: final partial interval, registry dump.
+        if self.telem.sampler.is_some() {
+            let sample = self.interval_sample();
+            if let Some(s) = &mut self.telem.sampler {
+                s.finish(sample.cycle, sample);
+            }
+        }
+        let accounting = self.telem.accounting.clone();
+        let intervals =
+            self.telem.sampler.as_ref().map(|s| s.samples().to_vec()).unwrap_or_default();
+        let flight_recorder =
+            self.telem.recorder.as_ref().map(|r| r.pre_squash().to_vec()).unwrap_or_default();
+        let registry = crate::telemetry::build_registry(&stats, &self.telem, &self.cfg);
+
+        SimResult {
+            stop,
+            stats,
+            checksum,
+            final_regs,
+            registry,
+            accounting,
+            intervals,
+            flight_recorder,
+        }
     }
 
     /// Statistics collected so far.
@@ -419,9 +553,20 @@ impl<'p> LoopFrogCore<'p> {
         self.tracer.take()
     }
 
-    /// Emits a trace event if a tracer is attached.
+    /// Whether any event observer (tracer or flight recorder) is active.
+    /// Emit sites check this before constructing an event so the common
+    /// unobserved case pays nothing.
+    #[inline]
+    pub(crate) fn observing(&self) -> bool {
+        self.tracer.is_some() || self.telem.recorder.is_some()
+    }
+
+    /// Emits a trace event to the flight recorder and/or tracer.
     #[inline]
     pub(crate) fn emit(&mut self, ev: TraceEvent) {
+        if let Some(r) = &mut self.telem.recorder {
+            r.push(&ev);
+        }
         if let Some(t) = &mut self.tracer {
             t.event(&ev);
         }
@@ -432,14 +577,23 @@ impl<'p> LoopFrogCore<'p> {
     pub fn dump_state(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let _ = writeln!(out, "cycle {} order {:?} rob_occ {} iq {} lq {} sq {}",
-            self.cycle, self.order, self.rob_occupancy, self.iq.len(),
-            self.lq_occupancy, self.sq_occupancy);
+        let _ = writeln!(
+            out,
+            "cycle {} order {:?} rob_occ {} iq {} lq {} sq {}",
+            self.cycle,
+            self.order,
+            self.rob_occupancy,
+            self.iq.len(),
+            self.lq_occupancy,
+            self.sq_occupancy
+        );
         for (i, t) in self.ctx.iter().enumerate() {
             let head = t.rob.front().map(|u| {
                 let d = &self.slab[u];
-                format!("pc{} {:?} issued={} completed={} drained={} faulted={}",
-                    d.pc, d.inst, d.issued, d.completed, d.drained, d.faulted)
+                format!(
+                    "pc{} {:?} issued={} completed={} drained={} faulted={}",
+                    d.pc, d.inst, d.issued, d.completed, d.drained, d.faulted
+                )
             });
             let _ = writeln!(out,
                 "ctx{i}: {:?} epoch {} finished {} fhalt {} fstall {} fpc {} fready {} region {:?}/{} roblen {} head {:?}",
@@ -526,6 +680,10 @@ impl ConflictSets {
 /// # Errors
 ///
 /// Returns [`SimError`] on architectural faults or internal deadlock.
-pub fn simulate(program: &Program, mem: Memory, cfg: LoopFrogConfig) -> Result<SimResult, SimError> {
+pub fn simulate(
+    program: &Program,
+    mem: Memory,
+    cfg: LoopFrogConfig,
+) -> Result<SimResult, SimError> {
     LoopFrogCore::new(program, mem, cfg).run()
 }

@@ -16,9 +16,7 @@ impl LoopFrogCore<'_> {
         let order: Vec<usize> = self.order.iter().copied().collect();
         for tid in order {
             while budget > 0 {
-                if self.ctx[tid].state != CtxState::Active
-                    || self.ctx[tid].fetch_queue.is_empty()
-                {
+                if self.ctx[tid].state != CtxState::Active || self.ctx[tid].fetch_queue.is_empty() {
                     break;
                 }
                 if !self.rename_one(tid) {
@@ -46,6 +44,7 @@ impl LoopFrogCore<'_> {
             if is_arch { (0, 0, 1) } else { (2 * width, width, 2 * width) };
         let f = self.ctx[tid].fetch_queue.front().expect("checked nonempty").clone();
         if self.rob_occupancy + rob_res >= self.cfg.core.rob_size {
+            self.rename_stall.rob = true;
             return false;
         }
         let needs_def = f.inst.def().is_some();
@@ -54,12 +53,15 @@ impl LoopFrogCore<'_> {
         }
         let uid_probe = DynInst::new(0, tid, &f);
         if uid_probe.needs_execute() && self.iq.len() + win_res >= self.cfg.core.iq_size {
+            self.rename_stall.iq = true;
             return false;
         }
         if f.inst.is_load() && self.lq_occupancy + win_res >= self.cfg.core.lq_size {
+            self.rename_stall.lsq = true;
             return false;
         }
         if f.inst.is_store() && self.sq_occupancy + win_res >= self.cfg.core.sq_size {
+            self.rename_stall.lsq = true;
             return false;
         }
 
@@ -162,7 +164,8 @@ impl LoopFrogCore<'_> {
         self.ctx[tid].rob.push_back(uid);
         self.rob_occupancy += 1;
         self.slab.insert(uid, d);
-        if self.tracer.is_some() {
+        self.stats.renamed_insts += 1;
+        if self.observing() {
             self.emit(crate::trace::TraceEvent::Rename {
                 cycle: self.cycle,
                 tid,
@@ -323,7 +326,7 @@ impl LoopFrogCore<'_> {
         self.bpred.clone_context(parent, child);
         self.order.push_back(child);
         self.deselect.on_spawn(region);
-        if self.tracer.is_some() {
+        if self.observing() {
             self.emit(crate::trace::TraceEvent::Spawn {
                 cycle: self.cycle,
                 parent,

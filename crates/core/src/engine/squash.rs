@@ -83,7 +83,7 @@ impl LoopFrogCore<'_> {
         let Some(pos) = self.order.iter().position(|&t| t == first) else {
             return; // already gone
         };
-        if self.tracer.is_some() {
+        if self.observing() {
             self.emit(crate::trace::TraceEvent::SquashThreadlets {
                 cycle: self.cycle,
                 first,
@@ -92,6 +92,7 @@ impl LoopFrogCore<'_> {
             });
         }
         debug_assert!(pos > 0, "the architectural threadlet is never squashed");
+        self.recovery_until = self.recovery_until.max(self.cycle + self.cfg.core.frontend_latency);
         let victims: Vec<usize> = self.order.drain(pos..).collect();
         for (i, &tid) in victims.iter().enumerate() {
             let restart = restart_first && i == 0;

@@ -4,7 +4,7 @@
 
 use super::*;
 use crate::config::{LoopFrogConfig, PackingConfig, SsbConfig};
-use lf_isa::{reg, AluOp, BranchCond, Emulator, Memory, MemSize, Program, ProgramBuilder};
+use lf_isa::{reg, AluOp, BranchCond, Emulator, MemSize, Memory, Program, ProgramBuilder};
 
 /// Runs `program` on the emulator and both core configurations and checks
 /// all three produce the same architectural state. Returns (baseline,
@@ -304,11 +304,7 @@ fn ssb_overflow_squashes_but_stays_correct() {
     };
     let lf = simulate(&p, mem, cfg).unwrap();
     assert_eq!(lf.checksum, emu.state_checksum());
-    assert!(
-        lf.stats.squashes_overflow > 0,
-        "tiny SSB must overflow: {:?}",
-        lf.stats
-    );
+    assert!(lf.stats.squashes_overflow > 0, "tiny SSB must overflow: {:?}", lf.stats);
 }
 
 #[test]
@@ -510,13 +506,15 @@ fn dynamic_deselection_suppresses_conflicting_region() {
     emu.run(10_000_000).unwrap();
 
     let plain = simulate(&p, mem.clone(), LoopFrogConfig::default()).unwrap();
-    let mut cfg = LoopFrogConfig::default();
-    cfg.deselect = crate::deselect::DeselectConfig {
-        enabled: true,
-        // One conflict per retired epoch (every iteration squashes once)
-        // counts as a storm for this test.
-        max_conflict_rate: 0.9,
-        ..crate::deselect::DeselectConfig::default()
+    let cfg = LoopFrogConfig {
+        deselect: crate::deselect::DeselectConfig {
+            enabled: true,
+            // One conflict per retired epoch (every iteration squashes once)
+            // counts as a storm for this test.
+            max_conflict_rate: 0.9,
+            ..crate::deselect::DeselectConfig::default()
+        },
+        ..LoopFrogConfig::default()
     };
     let dyn_run = simulate(&p, mem, cfg).unwrap();
 
@@ -543,10 +541,12 @@ fn dynamic_deselection_leaves_profitable_loops_alone() {
     let mem = mem_with_pattern(0x4000);
     let mut emu = Emulator::new(&p, mem.clone());
     emu.run(10_000_000).unwrap();
-    let mut cfg = LoopFrogConfig::default();
-    cfg.deselect = crate::deselect::DeselectConfig {
-        enabled: true,
-        ..crate::deselect::DeselectConfig::default()
+    let cfg = LoopFrogConfig {
+        deselect: crate::deselect::DeselectConfig {
+            enabled: true,
+            ..crate::deselect::DeselectConfig::default()
+        },
+        ..LoopFrogConfig::default()
     };
     let r = simulate(&p, mem, cfg).unwrap();
     assert_eq!(r.checksum, emu.state_checksum());

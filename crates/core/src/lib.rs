@@ -66,6 +66,7 @@ mod engine;
 pub mod packing;
 pub mod ssb;
 pub mod stats;
+pub mod telemetry;
 mod threadlet;
 pub mod trace;
 
@@ -73,4 +74,5 @@ pub use config::{LoopFrogConfig, PackingConfig, SsbConfig};
 pub use deselect::DeselectConfig;
 pub use engine::{simulate, LoopFrogCore, SimError};
 pub use stats::{SimResult, SimStats, SimStop};
+pub use telemetry::{CycleAccounting, CycleBucket, IntervalSample, TelemetryConfig};
 pub use trace::{CountingTracer, TextTracer, TraceEvent, Tracer};

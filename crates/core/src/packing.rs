@@ -275,8 +275,11 @@ mod tests {
 
     #[test]
     fn confidence_recovers_after_phase_change() {
-        let cfg =
-            PackingConfig { target_epoch_size: 100, confidence_threshold: 3, ..PackingConfig::default() };
+        let cfg = PackingConfig {
+            target_epoch_size: 100,
+            confidence_threshold: 3,
+            ..PackingConfig::default()
+        };
         let mut p = PackingPredictors::new(&cfg);
         let r = RegionId(5);
         train_simple_loop(&mut p, r, 8, 20);
@@ -297,7 +300,8 @@ mod tests {
 
     #[test]
     fn disabled_packing_always_unpacked() {
-        let cfg = PackingConfig { enabled: false, target_epoch_size: 100, ..PackingConfig::default() };
+        let cfg =
+            PackingConfig { enabled: false, target_epoch_size: 100, ..PackingConfig::default() };
         let mut p = PackingPredictors::new(&cfg);
         let r = RegionId(6);
         train_simple_loop(&mut p, r, 10, 10);

@@ -215,8 +215,7 @@ impl Ssb {
 
             // Locate or allocate the line (slice, then victim, then new).
             let in_slice = self.slices[slice].lines.contains_key(&la);
-            let in_victim =
-                self.victim.iter().position(|v| v.slice == slice && v.line_addr == la);
+            let in_victim = self.victim.iter().position(|v| v.slice == slice && v.line_addr == la);
             if !in_slice && in_victim.is_none() {
                 let fresh = LineData { bytes: vec![0; line_sz as usize], valid: 0 };
                 if self.has_room(slice, la) {
@@ -282,11 +281,8 @@ impl Ssb {
     /// application to architectural memory. Returns `(line_addr, bytes,
     /// valid_mask)` tuples; the line count drives the flush-timing model.
     pub fn take_slice(&mut self, slice: usize) -> Vec<(u64, Vec<u8>, u64)> {
-        let mut out: Vec<(u64, Vec<u8>, u64)> = self.slices[slice]
-            .lines
-            .drain()
-            .map(|(la, d)| (la, d.bytes, d.valid))
-            .collect();
+        let mut out: Vec<(u64, Vec<u8>, u64)> =
+            self.slices[slice].lines.drain().map(|(la, d)| (la, d.bytes, d.valid)).collect();
         let mut vict = Vec::new();
         self.victim.retain(|v| {
             if v.slice == slice {
@@ -350,7 +346,7 @@ mod tests {
         wr(&mut ssb, 0, 96, &[10, 10, 10, 10]); // oldest
         wr(&mut ssb, 1, 96, &[20, 20, 20, 20]); // newer
         wr(&mut ssb, 2, 96, &[30, 30, 30, 30]); // reader's own? no: younger
-        // Reader is threadlet with order [0, 1] (its own slice is 1).
+                                                // Reader is threadlet with order [0, 1] (its own slice is 1).
         let (bytes, _) = ssb.read(&[0, 1], 96, 4, &mem);
         assert_eq!(bytes, vec![20; 4], "own slice is newest visible");
         // Reader order [0] only sees the oldest.
@@ -405,7 +401,8 @@ mod tests {
 
     #[test]
     fn capacity_overflow_squashes() {
-        let cfg = SsbConfig { size_bytes: 4 * 32 * 2, line: 32, granule: 4, ..SsbConfig::default() };
+        let cfg =
+            SsbConfig { size_bytes: 4 * 32 * 2, line: 32, granule: 4, ..SsbConfig::default() };
         let mut ssb = Ssb::new(&cfg, 2); // 4 lines per slice
         for i in 0..4 {
             assert!(matches!(wr(&mut ssb, 0, i * 32, &[1; 4]), WriteOutcome::Ok { .. }));

@@ -23,6 +23,13 @@ pub struct SimStats {
     pub commits_spec_failed: u64,
     /// Instructions issued to execution pipes (includes wrong-path work).
     pub issued_insts: u64,
+    /// Instructions fetched along the predicted path (includes wrong-path
+    /// work).
+    pub fetched_insts: u64,
+    /// Instructions renamed into the out-of-order window.
+    pub renamed_insts: u64,
+    /// Fetch stall events caused by I-cache misses.
+    pub fetch_icache_stalls: u64,
     /// Conditional branches resolved.
     pub branches: u64,
     /// Conditional branches mispredicted.
@@ -133,6 +140,18 @@ pub struct SimResult {
     pub checksum: u64,
     /// Final architectural register values.
     pub final_regs: Vec<u64>,
+    /// The full hierarchical metrics dump (every pipeline stage's counters,
+    /// distributions, cycle-accounting buckets, and derived formulas).
+    pub registry: lf_stats::MetricsRegistry,
+    /// Per-commit-slot cycle accounting; sums to `cycles × commit_width`.
+    pub accounting: crate::telemetry::CycleAccounting,
+    /// Interval snapshots (one per `telemetry.interval_cycles`, plus a
+    /// final partial interval); empty when sampling is disabled.
+    pub intervals: Vec<crate::telemetry::IntervalSample>,
+    /// Flight-recorder capture: the trace events immediately preceding the
+    /// most recent threadlet squash (empty if the recorder was off or no
+    /// squash occurred).
+    pub flight_recorder: Vec<crate::trace::TraceEvent>,
 }
 
 #[cfg(test)]

@@ -1,0 +1,481 @@
+//! Run-time telemetry: cycle accounting, interval sampling, and a flight
+//! recorder, feeding the [`lf_stats::MetricsRegistry`] dump in
+//! [`crate::SimResult`].
+//!
+//! Three instruments, all cheap enough to stay on for every run:
+//!
+//! - **Cycle accounting** (gem5/top-down style): every commit slot of every
+//!   cycle is attributed to exactly one [`CycleBucket`] — productive commit
+//!   or a specific stall cause — so the buckets always sum to
+//!   `cycles × commit_width` and a slowdown can be read off as "where did
+//!   the slots go".
+//! - **Interval sampling**: a snapshot of the headline counters every
+//!   `interval_cycles`, plus one final partial interval, giving exactly
+//!   `⌈cycles / N⌉` samples — the time series behind phase plots.
+//! - **Flight recorder**: a bounded ring of the most recent pipeline
+//!   [`TraceEvent`]s; on a threadlet squash the ring is frozen so the events
+//!   *leading up to* the squash can be dumped post-mortem without paying
+//!   for full tracing.
+
+use crate::trace::TraceEvent;
+use lf_stats::Histogram;
+
+/// Where one commit slot of one cycle went. The order here is the priority
+/// order used when classifying an idle slot (earlier variants win).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleBucket {
+    /// The slot committed an instruction (the only productive bucket).
+    BaseCommit,
+    /// A speculative store drain stalled on a full SSB slice this cycle.
+    SsbOverflow,
+    /// The front end is refilling after a squash or branch misprediction.
+    SquashRecovery,
+    /// Rename is blocked on a full reorder buffer.
+    RobFull,
+    /// Rename is blocked on a full issue queue.
+    IqFull,
+    /// Rename is blocked on a full load or store queue.
+    LsqFull,
+    /// The architectural head is an outstanding load (or undrained store).
+    Memory,
+    /// The architectural head is executing or waiting for operands.
+    Exec,
+    /// The architectural threadlet is finished and waiting out the
+    /// conflict-check latency before retiring.
+    RetireWait,
+    /// The architectural ROB is empty and fetch has not delivered.
+    FetchStall,
+}
+
+impl CycleBucket {
+    /// All buckets, in dump order.
+    pub const ALL: [CycleBucket; 10] = [
+        CycleBucket::BaseCommit,
+        CycleBucket::SsbOverflow,
+        CycleBucket::SquashRecovery,
+        CycleBucket::RobFull,
+        CycleBucket::IqFull,
+        CycleBucket::LsqFull,
+        CycleBucket::Memory,
+        CycleBucket::Exec,
+        CycleBucket::RetireWait,
+        CycleBucket::FetchStall,
+    ];
+
+    /// Stable snake_case name used in text/JSON dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            CycleBucket::BaseCommit => "base_commit",
+            CycleBucket::SsbOverflow => "ssb_overflow",
+            CycleBucket::SquashRecovery => "squash_recovery",
+            CycleBucket::RobFull => "rob_full",
+            CycleBucket::IqFull => "iq_full",
+            CycleBucket::LsqFull => "lsq_full",
+            CycleBucket::Memory => "memory",
+            CycleBucket::Exec => "exec",
+            CycleBucket::RetireWait => "retire_wait",
+            CycleBucket::FetchStall => "fetch_stall",
+        }
+    }
+}
+
+/// Per-bucket commit-slot totals. The invariant — checked by tests, relied
+/// on by the breakdown figures — is `total() == cycles × commit_width`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleAccounting {
+    slots: [u64; CycleBucket::ALL.len()],
+}
+
+impl CycleAccounting {
+    /// Attributes `n` commit slots to `bucket`.
+    pub fn add(&mut self, bucket: CycleBucket, n: u64) {
+        self.slots[bucket as usize] += n;
+    }
+
+    /// Slots attributed to `bucket`.
+    pub fn get(&self, bucket: CycleBucket) -> u64 {
+        self.slots[bucket as usize]
+    }
+
+    /// Sum over all buckets.
+    pub fn total(&self) -> u64 {
+        self.slots.iter().sum()
+    }
+
+    /// Iterates `(bucket, slots)` in dump order.
+    pub fn iter(&self) -> impl Iterator<Item = (CycleBucket, u64)> + '_ {
+        CycleBucket::ALL.iter().map(|&b| (b, self.slots[b as usize]))
+    }
+}
+
+/// One interval snapshot. All fields are cumulative; consumers diff
+/// consecutive samples to get per-interval rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalSample {
+    /// Cycle at which the snapshot was taken (the interval's end).
+    pub cycle: u64,
+    /// Cumulative architecturally committed instructions.
+    pub committed_insts: u64,
+    /// Cumulative issued instructions (includes wrong-path work).
+    pub issued_insts: u64,
+    /// Cumulative threadlet spawns.
+    pub spawns: u64,
+    /// Cumulative threadlet squashes, all causes.
+    pub squashes: u64,
+}
+
+/// Collects [`IntervalSample`]s every `period` cycles.
+#[derive(Debug, Clone)]
+pub struct IntervalSampler {
+    period: u64,
+    samples: Vec<IntervalSample>,
+}
+
+impl IntervalSampler {
+    /// Creates a sampler with the given period (cycles per interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(period: u64) -> IntervalSampler {
+        assert!(period > 0, "interval period must be positive");
+        IntervalSampler { period, samples: Vec::new() }
+    }
+
+    /// The sampling period in cycles.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Called once per cycle (with the post-increment cycle count); records
+    /// a sample on interval boundaries.
+    pub fn on_cycle(&mut self, cycle: u64, sample: IntervalSample) {
+        if cycle > 0 && cycle.is_multiple_of(self.period) {
+            self.samples.push(sample);
+        }
+    }
+
+    /// Records the final partial interval, if the run did not end exactly
+    /// on a boundary. After this, `samples().len() == ⌈cycles / period⌉`.
+    pub fn finish(&mut self, cycle: u64, sample: IntervalSample) {
+        if !cycle.is_multiple_of(self.period) {
+            self.samples.push(sample);
+        }
+    }
+
+    /// The samples collected so far.
+    pub fn samples(&self) -> &[IntervalSample] {
+        &self.samples
+    }
+
+    /// Consumes the sampler, returning its samples.
+    pub fn into_samples(self) -> Vec<IntervalSample> {
+        self.samples
+    }
+}
+
+/// A bounded ring of recent [`TraceEvent`]s, frozen at the first event of
+/// each threadlet squash so the lead-up survives.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    ring: std::collections::VecDeque<TraceEvent>,
+    pre_squash: Vec<TraceEvent>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping the last `cap` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> FlightRecorder {
+        assert!(cap > 0, "flight recorder depth must be positive");
+        FlightRecorder {
+            cap,
+            ring: std::collections::VecDeque::with_capacity(cap),
+            pre_squash: Vec::new(),
+        }
+    }
+
+    /// Records one event. A [`TraceEvent::SquashThreadlets`] freezes the
+    /// current ring contents (overwriting any earlier freeze: the *latest*
+    /// squash is the one worth debugging) before being recorded itself.
+    pub fn push(&mut self, ev: &TraceEvent) {
+        if matches!(ev, TraceEvent::SquashThreadlets { .. }) {
+            self.pre_squash = self.ring.iter().cloned().collect();
+        }
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(ev.clone());
+    }
+
+    /// The events captured before the most recent squash (empty if no
+    /// squash happened).
+    pub fn pre_squash(&self) -> &[TraceEvent] {
+        &self.pre_squash
+    }
+
+    /// Consumes the recorder, returning the pre-squash capture.
+    pub fn into_pre_squash(self) -> Vec<TraceEvent> {
+        self.pre_squash
+    }
+}
+
+/// Telemetry knobs, part of [`crate::LoopFrogConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Interval-sampling period in cycles; `None` disables sampling.
+    pub interval_cycles: Option<u64>,
+    /// Flight-recorder depth in events; `0` disables the recorder.
+    pub flight_recorder_depth: usize,
+}
+
+impl Default for TelemetryConfig {
+    /// Sampling on (8192-cycle intervals), flight recorder off.
+    fn default() -> TelemetryConfig {
+        TelemetryConfig { interval_cycles: Some(8192), flight_recorder_depth: 0 }
+    }
+}
+
+/// Live telemetry state owned by the core during a run.
+#[derive(Debug)]
+pub(crate) struct Telemetry {
+    pub(crate) accounting: CycleAccounting,
+    pub(crate) sampler: Option<IntervalSampler>,
+    pub(crate) recorder: Option<FlightRecorder>,
+    /// Per-cycle ROB occupancy (all threadlets).
+    pub(crate) rob_occupancy: Histogram,
+    /// Per-cycle issue-queue occupancy.
+    pub(crate) iq_occupancy: Histogram,
+    /// Instructions committed per cycle (0..=commit_width).
+    pub(crate) commit_bandwidth: Histogram,
+}
+
+impl Telemetry {
+    pub(crate) fn new(cfg: &crate::LoopFrogConfig) -> Telemetry {
+        let rob_w = (cfg.core.rob_size as u64 / 32).max(1);
+        let iq_w = (cfg.core.iq_size as u64 / 32).max(1);
+        Telemetry {
+            accounting: CycleAccounting::default(),
+            sampler: cfg.telemetry.interval_cycles.map(IntervalSampler::new),
+            recorder: match cfg.telemetry.flight_recorder_depth {
+                0 => None,
+                k => Some(FlightRecorder::new(k)),
+            },
+            rob_occupancy: Histogram::new(rob_w, 33),
+            iq_occupancy: Histogram::new(iq_w, 33),
+            commit_bandwidth: Histogram::new(1, cfg.core.commit_width + 1),
+        }
+    }
+}
+
+/// Builds the full hierarchical metrics dump for a finished run: every
+/// pipeline stage's counters under dotted names, the cycle-accounting
+/// buckets, occupancy distributions, and derived formulas (IPC, miss and
+/// squash rates) evaluated over the final counter values.
+pub(crate) fn build_registry(
+    stats: &crate::SimStats,
+    telem: &Telemetry,
+    cfg: &crate::LoopFrogConfig,
+) -> lf_stats::MetricsRegistry {
+    use lf_stats::Expr;
+    let mut reg = lf_stats::MetricsRegistry::new();
+
+    // Core pipeline, stage by stage.
+    reg.set("core.cycles", stats.cycles);
+    reg.set("core.fetch.insts", stats.fetched_insts);
+    reg.set("core.fetch.icache_stalls", stats.fetch_icache_stalls);
+    reg.set("core.rename.insts", stats.renamed_insts);
+    reg.set("core.issue.insts", stats.issued_insts);
+    reg.set("core.commit.arch_insts", stats.commits_arch);
+    reg.set("core.commit.spec_success_insts", stats.commits_spec_success);
+    reg.set("core.commit.spec_failed_insts", stats.commits_spec_failed);
+    reg.set("core.commit.total_insts", stats.committed_insts);
+    reg.set("core.branch.resolved", stats.branches);
+    reg.set("core.branch.mispredicts", stats.branch_mispredicts);
+    reg.set("core.config.commit_width", cfg.core.commit_width as u64);
+
+    // Threadlet machinery: spawns, packing, squash causes, activity.
+    reg.set("threadlet.spawns", stats.spawns);
+    reg.set("threadlet.packing.packed_spawns", stats.packed_spawns);
+    reg.set("threadlet.packing.factor_sum", stats.pack_factor_sum);
+    reg.set("threadlet.packing.factor_max", stats.pack_factor_max as u64);
+    reg.set("threadlet.packing.patches", stats.pack_patches);
+    reg.set("threadlet.squash.conflict", stats.squashes_conflict);
+    reg.set("threadlet.squash.sync_exit", stats.squashes_sync);
+    reg.set("threadlet.squash.packing", stats.squashes_packing);
+    reg.set("threadlet.squash.wrong_path", stats.squashes_wrong_path);
+    reg.set("threadlet.squash.register", stats.counters.get("squashes_register"));
+    reg.set("threadlet.region_cycles", stats.region_cycles);
+    for (k, cycles) in stats.cycles_with_active.iter().enumerate() {
+        reg.set(&format!("threadlet.active.{k}"), *cycles);
+    }
+
+    // Memory hierarchy, SSB, conflict detection, deselection.
+    let mapped = [
+        ("mem.l1i.accesses", "l1i_accesses"),
+        ("mem.l1i.misses", "l1i_misses"),
+        ("mem.l1d.accesses", "l1d_accesses"),
+        ("mem.l1d.misses", "l1d_misses"),
+        ("mem.l2.demand_accesses", "l2_demand_accesses"),
+        ("mem.l2.demand_misses", "l2_demand_misses"),
+        ("ssb.overflow_stalls", "ssb_overflows"),
+        ("conflict.bloom_false_positive_squashes", "bloom_false_positive_squashes"),
+        ("deselect.regions_suppressed", "regions_suppressed"),
+    ];
+    for (name, key) in mapped {
+        reg.set(name, stats.counters.get(key));
+    }
+    let mapped_keys: std::collections::BTreeSet<&str> =
+        mapped.iter().map(|&(_, k)| k).chain(["squashes_register"]).collect();
+    for (k, v) in stats.counters.iter() {
+        if !mapped_keys.contains(k) {
+            reg.set(&format!("counters.{k}"), v);
+        }
+    }
+
+    // Cycle accounting.
+    for (bucket, slots) in telem.accounting.iter() {
+        reg.set(&format!("accounting.{}", bucket.name()), slots);
+    }
+
+    // Occupancy and bandwidth distributions.
+    for (name, hist) in [
+        ("core.rob.occupancy", &telem.rob_occupancy),
+        ("core.iq.occupancy", &telem.iq_occupancy),
+        ("core.commit.bandwidth", &telem.commit_bandwidth),
+    ] {
+        reg.insert_distribution(name, "per-cycle samples", hist.clone())
+            .expect("fresh registry name");
+    }
+
+    // Derived formulas, evaluated at dump time over the values above.
+    let formulas: [(&str, &str, Expr); 7] = [
+        (
+            "core.ipc",
+            "architectural instructions per cycle",
+            Expr::metric("core.commit.total_insts") / Expr::metric("core.cycles"),
+        ),
+        (
+            "core.commit.utilization",
+            "committed slots over available slots",
+            Expr::metric("core.commit.total_insts")
+                / (Expr::metric("core.cycles") * Expr::metric("core.config.commit_width")),
+        ),
+        (
+            "core.branch.miss_rate",
+            "mispredicts per resolved branch",
+            Expr::metric("core.branch.mispredicts") / Expr::metric("core.branch.resolved"),
+        ),
+        (
+            "core.branch.mpki",
+            "mispredicts per kilo-instruction",
+            Expr::metric("core.branch.mispredicts") * Expr::constant(1000.0)
+                / Expr::metric("core.commit.total_insts"),
+        ),
+        (
+            "mem.l1d.miss_rate",
+            "L1D misses per access",
+            Expr::metric("mem.l1d.misses") / Expr::metric("mem.l1d.accesses"),
+        ),
+        (
+            "mem.l2.demand_miss_rate",
+            "L2 demand misses per access",
+            Expr::metric("mem.l2.demand_misses") / Expr::metric("mem.l2.demand_accesses"),
+        ),
+        (
+            "threadlet.squash.per_kilo_inst",
+            "threadlet squashes per kilo-instruction",
+            (Expr::metric("threadlet.squash.conflict")
+                + Expr::metric("threadlet.squash.sync_exit")
+                + Expr::metric("threadlet.squash.packing")
+                + Expr::metric("threadlet.squash.wrong_path")
+                + Expr::metric("threadlet.squash.register"))
+                * Expr::constant(1000.0)
+                / Expr::metric("core.commit.total_insts"),
+        ),
+    ];
+    for (name, desc, expr) in formulas {
+        reg.register_formula(name, desc, expr).expect("fresh registry name");
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_sums_over_buckets() {
+        let mut a = CycleAccounting::default();
+        a.add(CycleBucket::BaseCommit, 5);
+        a.add(CycleBucket::Memory, 3);
+        a.add(CycleBucket::BaseCommit, 2);
+        assert_eq!(a.get(CycleBucket::BaseCommit), 7);
+        assert_eq!(a.total(), 10);
+        assert_eq!(a.iter().count(), CycleBucket::ALL.len());
+    }
+
+    #[test]
+    fn bucket_names_are_unique() {
+        let names: std::collections::BTreeSet<&str> =
+            CycleBucket::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), CycleBucket::ALL.len());
+    }
+
+    #[test]
+    fn sampler_emits_ceil_cycles_over_period() {
+        // 10 cycles at period 4 -> boundary samples at 4 and 8, final
+        // partial at 10: ceil(10/4) = 3.
+        let mut s = IntervalSampler::new(4);
+        let snap = |cycle| IntervalSample {
+            cycle,
+            committed_insts: cycle,
+            issued_insts: 0,
+            spawns: 0,
+            squashes: 0,
+        };
+        for c in 1..=10 {
+            s.on_cycle(c, snap(c));
+        }
+        s.finish(10, snap(10));
+        assert_eq!(s.samples().len(), 3);
+        assert_eq!(s.samples()[2].cycle, 10);
+
+        // Exact multiple: no extra partial sample.
+        let mut s = IntervalSampler::new(5);
+        for c in 1..=10 {
+            s.on_cycle(c, snap(c));
+        }
+        s.finish(10, snap(10));
+        assert_eq!(s.samples().len(), 2);
+
+        // Zero cycles: zero samples.
+        let mut s = IntervalSampler::new(5);
+        s.finish(0, snap(0));
+        assert!(s.samples().is_empty());
+    }
+
+    #[test]
+    fn flight_recorder_freezes_on_squash() {
+        let mut r = FlightRecorder::new(2);
+        let retire = |cycle| TraceEvent::Retire { cycle, tid: 0, epoch: 0 };
+        r.push(&retire(1));
+        r.push(&retire(2));
+        r.push(&retire(3)); // evicts cycle 1
+        assert!(r.pre_squash().is_empty());
+        r.push(&TraceEvent::SquashThreadlets {
+            cycle: 4,
+            first: 1,
+            restart: false,
+            reason: crate::trace::SquashReason::Conflict,
+        });
+        let pre: Vec<u64> = r.pre_squash().iter().map(|e| e.cycle()).collect();
+        assert_eq!(pre, [2, 3]);
+        // Later events do not disturb the capture.
+        r.push(&retire(5));
+        assert_eq!(r.pre_squash().len(), 2);
+    }
+}

@@ -101,6 +101,23 @@ pub enum TraceEvent {
     },
 }
 
+/// The kind of a [`TraceEvent`], for filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// [`TraceEvent::Rename`]
+    Rename,
+    /// [`TraceEvent::Commit`]
+    Commit,
+    /// [`TraceEvent::Spawn`]
+    Spawn,
+    /// [`TraceEvent::SquashThreadlets`]
+    Squash,
+    /// [`TraceEvent::Mispredict`]
+    Mispredict,
+    /// [`TraceEvent::Retire`]
+    Retire,
+}
+
 impl TraceEvent {
     /// The event's cycle.
     pub fn cycle(&self) -> u64 {
@@ -111,6 +128,32 @@ impl TraceEvent {
             | TraceEvent::SquashThreadlets { cycle, .. }
             | TraceEvent::Mispredict { cycle, .. }
             | TraceEvent::Retire { cycle, .. } => *cycle,
+        }
+    }
+
+    /// The event's kind.
+    pub fn kind(&self) -> TraceKind {
+        match self {
+            TraceEvent::Rename { .. } => TraceKind::Rename,
+            TraceEvent::Commit { .. } => TraceKind::Commit,
+            TraceEvent::Spawn { .. } => TraceKind::Spawn,
+            TraceEvent::SquashThreadlets { .. } => TraceKind::Squash,
+            TraceEvent::Mispredict { .. } => TraceKind::Mispredict,
+            TraceEvent::Retire { .. } => TraceKind::Retire,
+        }
+    }
+
+    /// The threadlet context the event concerns: the acting `tid` for
+    /// per-threadlet events, the spawning parent for [`TraceEvent::Spawn`],
+    /// and the oldest victim for [`TraceEvent::SquashThreadlets`].
+    pub fn tid(&self) -> usize {
+        match self {
+            TraceEvent::Rename { tid, .. }
+            | TraceEvent::Commit { tid, .. }
+            | TraceEvent::Mispredict { tid, .. }
+            | TraceEvent::Retire { tid, .. } => *tid,
+            TraceEvent::Spawn { parent, .. } => *parent,
+            TraceEvent::SquashThreadlets { first, .. } => *first,
         }
     }
 }
@@ -148,16 +191,61 @@ pub trait Tracer {
     fn event(&mut self, ev: &TraceEvent);
 }
 
-/// Writes one line per event to a [`Write`] sink.
+/// Writes one line per event to a [`Write`] sink, with optional filters
+/// restricting output to a cycle range, one threadlet, and/or a set of
+/// event kinds. Filters compose (all must match); by default everything
+/// passes.
 #[derive(Debug)]
 pub struct TextTracer<W: Write> {
     sink: W,
+    cycle_range: Option<(u64, u64)>,
+    tid: Option<usize>,
+    kinds: Option<Vec<TraceKind>>,
 }
 
 impl<W: Write> TextTracer<W> {
-    /// Creates a tracer writing to `sink`.
+    /// Creates a tracer writing to `sink` (no filtering).
     pub fn new(sink: W) -> TextTracer<W> {
-        TextTracer { sink }
+        TextTracer { sink, cycle_range: None, tid: None, kinds: None }
+    }
+
+    /// Restricts output to cycles in `[start, end]` (inclusive).
+    pub fn with_cycle_range(mut self, start: u64, end: u64) -> TextTracer<W> {
+        self.cycle_range = Some((start, end));
+        self
+    }
+
+    /// Restricts output to events concerning threadlet `tid`
+    /// (see [`TraceEvent::tid`]).
+    pub fn with_tid(mut self, tid: usize) -> TextTracer<W> {
+        self.tid = Some(tid);
+        self
+    }
+
+    /// Restricts output to the given event kinds.
+    pub fn with_kinds(mut self, kinds: &[TraceKind]) -> TextTracer<W> {
+        self.kinds = Some(kinds.to_vec());
+        self
+    }
+
+    fn passes(&self, ev: &TraceEvent) -> bool {
+        if let Some((lo, hi)) = self.cycle_range {
+            let c = ev.cycle();
+            if c < lo || c > hi {
+                return false;
+            }
+        }
+        if let Some(tid) = self.tid {
+            if ev.tid() != tid {
+                return false;
+            }
+        }
+        if let Some(kinds) = &self.kinds {
+            if !kinds.contains(&ev.kind()) {
+                return false;
+            }
+        }
+        true
     }
 
     /// Returns the sink.
@@ -173,7 +261,9 @@ impl<W: Write> TextTracer<W> {
 
 impl<W: Write> Tracer for TextTracer<W> {
     fn event(&mut self, ev: &TraceEvent) {
-        let _ = writeln!(self.sink, "{ev}");
+        if self.passes(ev) {
+            let _ = writeln!(self.sink, "{ev}");
+        }
     }
 }
 
@@ -249,11 +339,68 @@ mod tests {
     }
 
     #[test]
+    fn text_tracer_filters_compose() {
+        let evs = [
+            TraceEvent::Retire { cycle: 1, tid: 0, epoch: 0 },
+            TraceEvent::Retire { cycle: 5, tid: 1, epoch: 1 },
+            TraceEvent::Mispredict { cycle: 5, tid: 1, pc: 3, actual: 7 },
+            TraceEvent::Retire { cycle: 9, tid: 1, epoch: 2 },
+        ];
+        let feed = |mut t: TextTracer<Vec<u8>>| {
+            for ev in &evs {
+                t.event(ev);
+            }
+            String::from_utf8(t.into_inner()).unwrap()
+        };
+
+        let by_cycle = feed(TextTracer::new(Vec::new()).with_cycle_range(2, 8));
+        assert_eq!(by_cycle.lines().count(), 2);
+
+        let by_tid = feed(TextTracer::new(Vec::new()).with_tid(0));
+        assert_eq!(by_tid.lines().count(), 1);
+
+        let by_kind = feed(TextTracer::new(Vec::new()).with_kinds(&[TraceKind::Mispredict]));
+        assert_eq!(by_kind.lines().count(), 1);
+        assert!(by_kind.contains("mispred"));
+
+        let combined = feed(
+            TextTracer::new(Vec::new())
+                .with_cycle_range(2, 8)
+                .with_tid(1)
+                .with_kinds(&[TraceKind::Retire]),
+        );
+        assert_eq!(combined.lines().count(), 1);
+        assert!(combined.contains("epoch 1"));
+    }
+
+    #[test]
+    fn event_kind_and_tid_accessors() {
+        let spawn =
+            TraceEvent::Spawn { cycle: 3, parent: 2, child: 3, region: RegionId(4), factor: 1 };
+        assert_eq!(spawn.kind(), TraceKind::Spawn);
+        assert_eq!(spawn.tid(), 2);
+        let squash = TraceEvent::SquashThreadlets {
+            cycle: 4,
+            first: 1,
+            restart: false,
+            reason: SquashReason::Packing,
+        };
+        assert_eq!(squash.kind(), TraceKind::Squash);
+        assert_eq!(squash.tid(), 1);
+    }
+
+    #[test]
     fn counting_tracer_counts() {
         let mut c = CountingTracer::default();
         c.event(&TraceEvent::Retire { cycle: 1, tid: 0, epoch: 0 });
         c.event(&TraceEvent::Retire { cycle: 2, tid: 1, epoch: 1 });
-        c.event(&TraceEvent::Spawn { cycle: 3, parent: 0, child: 1, region: RegionId(4), factor: 1 });
+        c.event(&TraceEvent::Spawn {
+            cycle: 3,
+            parent: 0,
+            child: 1,
+            region: RegionId(4),
+            factor: 1,
+        });
         assert_eq!(c.retires, 2);
         assert_eq!(c.spawns, 1);
     }

@@ -250,7 +250,7 @@ impl ProgramBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::reg as reg;
+    use crate::reg;
 
     #[test]
     fn forward_and_backward_labels_resolve() {
@@ -263,7 +263,10 @@ mod tests {
         b.bind(out);
         b.halt();
         let p = b.build().unwrap();
-        assert_eq!(p.fetch(0), Some(Inst::Branch { cond: BranchCond::Eq, a: reg::x(1), b: reg::ZERO, target: 2 }));
+        assert_eq!(
+            p.fetch(0),
+            Some(Inst::Branch { cond: BranchCond::Eq, a: reg::x(1), b: reg::ZERO, target: 2 })
+        );
         assert_eq!(p.fetch(1), Some(Inst::Jump { target: 0 }));
         assert_eq!(p.label_at(2), Some("out"));
     }

@@ -5,7 +5,7 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
-        h = h.wrapping_mul(0x1_0000_0001_b3);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
 }
@@ -16,7 +16,7 @@ pub fn fnv1a_u64(values: &[u64]) -> u64 {
     for &v in values {
         for b in v.to_le_bytes() {
             h ^= b as u64;
-            h = h.wrapping_mul(0x1_0000_0001_b3);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
     h

@@ -364,7 +364,7 @@ impl<'p> Emulator<'p> {
 mod tests {
     use super::*;
     use crate::builder::ProgramBuilder;
-    use crate::reg as reg;
+    use crate::reg;
 
     fn run_program(b: ProgramBuilder, mem_size: usize) -> (Emulator<'static>, ExecResult) {
         let p = Box::leak(Box::new(b.build().unwrap()));

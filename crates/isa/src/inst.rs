@@ -293,9 +293,7 @@ impl Inst {
                 Operand::Reg(rb) => [Some(a), Some(rb)],
                 Operand::Imm(_) => [Some(a), None],
             },
-            Inst::Fpu { op: FpuOp::FSqrt | FpuOp::CvtIF | FpuOp::CvtFI, a, .. } => {
-                [Some(a), None]
-            }
+            Inst::Fpu { op: FpuOp::FSqrt | FpuOp::CvtIF | FpuOp::CvtFI, a, .. } => [Some(a), None],
             Inst::Fpu { a, b, .. } => [Some(a), Some(b)],
             Inst::Load { base, .. } => [Some(base), None],
             Inst::Store { src, base, .. } => [Some(base), Some(src)],
@@ -429,7 +427,7 @@ impl fmt::Display for Inst {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::reg as reg;
+    use crate::reg;
 
     #[test]
     fn def_filters_zero_register() {

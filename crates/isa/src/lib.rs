@@ -46,9 +46,12 @@ pub mod program;
 pub mod reg;
 
 pub use builder::{BuildError, Label, ProgramBuilder};
-pub use emu::{eval_alu, eval_branch, eval_fpu, extend_load, EmuError, Emulator, ExecResult, Profile, StopReason};
+pub use emu::{
+    eval_alu, eval_branch, eval_fpu, extend_load, EmuError, Emulator, ExecResult, Profile,
+    StopReason,
+};
 pub use inst::{AluOp, BranchCond, FpuOp, FuClass, HintKind, Inst, MemSize, Operand, RegionId};
 pub use mem::{MemError, Memory};
 pub use parse::{parse_program, ParseError};
-pub use reg::{Reg, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS};
 pub use program::Program;
+pub use reg::{Reg, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS};

@@ -25,7 +25,10 @@ impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemError::OutOfBounds { addr, size, limit } => {
-                write!(f, "memory access of {size} bytes at {addr:#x} exceeds image size {limit:#x}")
+                write!(
+                    f,
+                    "memory access of {size} bytes at {addr:#x} exceeds image size {limit:#x}"
+                )
             }
         }
     }
@@ -100,7 +103,8 @@ impl Memory {
     pub fn write(&mut self, addr: u64, size: u64, value: u64) -> Result<(), MemError> {
         debug_assert!(size <= 8);
         let base = self.check(addr, size)?;
-        self.bytes[base..base + size as usize].copy_from_slice(&value.to_le_bytes()[..size as usize]);
+        self.bytes[base..base + size as usize]
+            .copy_from_slice(&value.to_le_bytes()[..size as usize]);
         Ok(())
     }
 

@@ -74,18 +74,16 @@ fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseError> {
         Some(rest) => (true, rest),
         None => (false, t),
     };
-    let v = if let Some(hex) = t.strip_prefix("0x") {
-        i64::from_str_radix(hex, 16)
-    } else {
-        t.parse()
-    }
-    .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
+    let v =
+        if let Some(hex) = t.strip_prefix("0x") { i64::from_str_radix(hex, 16) } else { t.parse() }
+            .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
     Ok(if neg { -v } else { v })
 }
 
 /// `offset(base)` → (base, offset)
 fn parse_mem_operand(tok: &str, line: usize) -> Result<(Reg, i64), ParseError> {
-    let open = tok.find('(').ok_or_else(|| err(line, format!("expected `off(base)`, got `{tok}`")))?;
+    let open =
+        tok.find('(').ok_or_else(|| err(line, format!("expected `off(base)`, got `{tok}`")))?;
     let close = tok.rfind(')').ok_or_else(|| err(line, "missing `)`"))?;
     let offset = parse_imm(&tok[..open], line)?;
     let base = parse_reg(&tok[open + 1..close], line)?;
@@ -408,8 +406,7 @@ mod tests {
                    nop\n\
                    halt";
         let p1 = parse_program(src).unwrap();
-        let redisassembled: Vec<String> =
-            p1.insts().iter().map(|i| i.to_string()).collect();
+        let redisassembled: Vec<String> = p1.insts().iter().map(|i| i.to_string()).collect();
         let p2 = parse_program(&redisassembled.join("\n")).unwrap();
         assert_eq!(p1.insts(), p2.insts());
     }

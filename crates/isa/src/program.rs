@@ -72,7 +72,8 @@ impl Program {
 
     /// The set of region IDs named by hint instructions in this program.
     pub fn regions(&self) -> Vec<RegionId> {
-        let mut v: Vec<RegionId> = self.insts.iter().filter_map(|i| i.hint().map(|(_, r)| r)).collect();
+        let mut v: Vec<RegionId> =
+            self.insts.iter().filter_map(|i| i.hint().map(|(_, r)| r)).collect();
         v.sort();
         v.dedup();
         v

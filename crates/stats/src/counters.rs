@@ -43,7 +43,11 @@ impl Counters {
         self.map.get(name).copied().unwrap_or(0)
     }
 
-    /// Iterates over `(name, value)` pairs in name order.
+    /// Iterates over `(name, value)` pairs in ascending name order.
+    ///
+    /// The ordering is a guarantee, not an implementation detail: text and
+    /// JSON dumps, `merge`, and golden-file tests all rely on two bags with
+    /// the same contents iterating identically.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
         self.map.iter().map(|(k, v)| (k.as_str(), *v))
     }
@@ -132,6 +136,33 @@ impl Histogram {
         &self.buckets
     }
 
+    /// The configured bucket width.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Approximate `p`-th percentile (`p` in `[0, 1]`), resolved to the
+    /// upper edge of the bucket containing that rank. The final bucket is
+    /// open-ended, so samples there report the observed max instead of a
+    /// bucket edge. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                if i == self.buckets.len() - 1 {
+                    return self.max;
+                }
+                return (i as u64 + 1) * self.width;
+            }
+        }
+        self.max
+    }
+
     /// Fraction of samples at or above `threshold`.
     pub fn frac_at_least(&self, threshold: u64) -> f64 {
         if self.count == 0 {
@@ -169,6 +200,69 @@ mod tests {
         assert_eq!(h.buckets(), &[2, 1, 0, 3]);
         assert_eq!(h.count(), 6);
         assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn counters_iterate_in_name_order() {
+        let mut c = Counters::new();
+        for name in ["zeta", "alpha", "mid"] {
+            c.inc(name);
+        }
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new(10, 4);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.frac_at_least(0), 0.0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(1.0), 0);
+    }
+
+    #[test]
+    fn single_sample_histogram() {
+        let mut h = Histogram::new(10, 4);
+        h.record(17);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 17.0);
+        assert_eq!(h.max(), 17);
+        // 17 lands in bucket [10, 20): every percentile resolves to its
+        // upper edge.
+        assert_eq!(h.percentile(0.0), 20);
+        assert_eq!(h.percentile(0.5), 20);
+        assert_eq!(h.percentile(1.0), 20);
+        assert_eq!(h.frac_at_least(10), 1.0);
+        assert_eq!(h.frac_at_least(20), 0.0);
+    }
+
+    #[test]
+    fn overflow_samples_land_in_last_bucket_and_report_observed_max() {
+        let mut h = Histogram::new(10, 4);
+        for s in [5, 5, 5, 500] {
+            h.record(s);
+        }
+        assert_eq!(h.buckets(), &[3, 0, 0, 1]);
+        // p99 falls in the open-ended final bucket -> observed max, not a
+        // fabricated bucket edge.
+        assert_eq!(h.percentile(0.99), 500);
+        assert_eq!(h.percentile(0.5), 10);
+        assert_eq!(h.max(), 500);
+    }
+
+    #[test]
+    fn percentiles_track_rank_across_buckets() {
+        let mut h = Histogram::new(1, 16);
+        for s in 0..10 {
+            h.record(s);
+        }
+        assert_eq!(h.percentile(0.1), 1);
+        assert_eq!(h.percentile(0.5), 5);
+        assert_eq!(h.percentile(0.9), 9);
+        assert_eq!(h.percentile(1.0), 10);
     }
 
     #[test]

@@ -1,16 +1,25 @@
 //! # lf-stats — statistics utilities for the LoopFrog reproduction
 //!
-//! Event [`Counters`] and [`Histogram`]s for simulator statistics, summary
-//! math ([`geomean`], [`speedup`], Amdahl inversion), an exponential moving
-//! average ([`Ema`]) used by iteration packing, and a SimPoint-style phase
-//! analysis pipeline ([`simpoint`]) mirroring the paper's §6.1 methodology.
+//! Event [`Counters`] and [`Histogram`]s for simulator statistics, a
+//! gem5-style hierarchical [`MetricsRegistry`] with derived-formula and
+//! distribution metrics plus JSON/text dumps ([`registry`], [`json`]),
+//! summary math ([`geomean`], [`speedup`], Amdahl inversion), an exponential
+//! moving average ([`Ema`]) used by iteration packing, and a SimPoint-style
+//! phase analysis pipeline ([`simpoint`]) mirroring the paper's §6.1
+//! methodology.
 
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod json;
+pub mod registry;
+pub mod rng;
 pub mod simpoint;
 pub mod summary;
 
 pub use counters::{Counters, Histogram};
+pub use json::Json;
+pub use registry::{Expr, MetricsRegistry, RegistryError};
+pub use rng::SmallRng;
 pub use simpoint::{pick_simpoints, BbvCollector, SimPoint};
 pub use summary::{amdahl_region_speedup, geomean, harmonic_mean, mean, speedup, speedup_pct, Ema};

@@ -1,0 +1,462 @@
+//! A gem5-style hierarchical metrics registry.
+//!
+//! Simulator components register named metrics under dotted hierarchical
+//! names (`core.iq.full_stalls`, `mem.l2.misses`) and bump them during
+//! simulation. At dump time the registry renders either a stable,
+//! line-oriented text format or a JSON document (via [`crate::json`]).
+//!
+//! Three metric kinds exist:
+//!
+//! - **Scalars** — monotonically updated `u64` counters.
+//! - **Distributions** — fixed-bucket [`Histogram`]s with mean, max, and
+//!   approximate percentiles.
+//! - **Formulas** — derived values (e.g. IPC) expressed as an [`Expr`] over
+//!   other metrics, evaluated lazily at dump time so they always reflect
+//!   the final counter values. Division by zero evaluates to `0.0`.
+//!
+//! Registration is checked: registering a name twice, or a name that is a
+//! strict prefix/extension of an existing metric's dotted path (which would
+//! produce an ambiguous JSON hierarchy), returns [`RegistryError`].
+
+use crate::counters::Histogram;
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error returned when a metric cannot be registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// A metric with this exact name already exists.
+    Duplicate(String),
+    /// The name is empty, or has an empty dotted component.
+    BadName(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Duplicate(n) => write!(f, "metric {n:?} is already registered"),
+            RegistryError::BadName(n) => write!(f, "invalid metric name {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// An arithmetic expression over metrics, evaluated at dump time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// The current value of another metric (scalar value, distribution
+    /// mean, or nested formula).
+    Metric(String),
+    /// A literal constant.
+    Const(f64),
+    /// Sum of two subexpressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference of two subexpressions.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product of two subexpressions.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Quotient of two subexpressions; `x / 0` evaluates to `0.0`.
+    Div(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// References metric `name`.
+    pub fn metric(name: &str) -> Expr {
+        Expr::Metric(name.to_string())
+    }
+
+    /// A constant.
+    pub fn constant(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+}
+
+macro_rules! impl_expr_op {
+    ($trait:ident, $method:ident, $variant:ident) => {
+        impl std::ops::$trait for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::$variant(Box::new(self), Box::new(rhs))
+            }
+        }
+    };
+}
+
+impl_expr_op!(Add, add, Add);
+impl_expr_op!(Sub, sub, Sub);
+impl_expr_op!(Mul, mul, Mul);
+impl_expr_op!(Div, div, Div);
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Scalar { value: u64 },
+    Distribution { hist: Histogram },
+    Formula { expr: Expr },
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    desc: String,
+    slot: Slot,
+}
+
+/// A registry of named metrics. See the [module docs](self) for an overview.
+///
+/// # Examples
+///
+/// ```
+/// use lf_stats::registry::{Expr, MetricsRegistry};
+///
+/// let mut reg = MetricsRegistry::new();
+/// reg.register_scalar("core.commits", "committed instructions").unwrap();
+/// reg.register_scalar("core.cycles", "simulated cycles").unwrap();
+/// reg.register_formula(
+///     "core.ipc",
+///     "instructions per cycle",
+///     Expr::metric("core.commits") / Expr::metric("core.cycles"),
+/// )
+/// .unwrap();
+/// reg.add("core.commits", 30);
+/// reg.add("core.cycles", 10);
+/// assert_eq!(reg.value("core.ipc"), 3.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<String, Entry>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn check_name(&self, name: &str) -> Result<(), RegistryError> {
+        if name.is_empty() || name.split('.').any(str::is_empty) {
+            return Err(RegistryError::BadName(name.to_string()));
+        }
+        if self.entries.contains_key(name) {
+            return Err(RegistryError::Duplicate(name.to_string()));
+        }
+        Ok(())
+    }
+
+    fn insert(&mut self, name: &str, desc: &str, slot: Slot) -> Result<(), RegistryError> {
+        self.check_name(name)?;
+        self.entries.insert(name.to_string(), Entry { desc: desc.to_string(), slot });
+        Ok(())
+    }
+
+    /// Registers a scalar counter starting at zero.
+    pub fn register_scalar(&mut self, name: &str, desc: &str) -> Result<(), RegistryError> {
+        self.insert(name, desc, Slot::Scalar { value: 0 })
+    }
+
+    /// Registers a distribution with `buckets` buckets of `width` each.
+    pub fn register_distribution(
+        &mut self,
+        name: &str,
+        desc: &str,
+        width: u64,
+        buckets: usize,
+    ) -> Result<(), RegistryError> {
+        self.insert(name, desc, Slot::Distribution { hist: Histogram::new(width, buckets) })
+    }
+
+    /// Registers a distribution from an already-populated histogram (e.g.
+    /// one recorded outside the registry during a simulation).
+    pub fn insert_distribution(
+        &mut self,
+        name: &str,
+        desc: &str,
+        hist: Histogram,
+    ) -> Result<(), RegistryError> {
+        self.insert(name, desc, Slot::Distribution { hist })
+    }
+
+    /// Registers a derived formula, evaluated on demand.
+    pub fn register_formula(
+        &mut self,
+        name: &str,
+        desc: &str,
+        expr: Expr,
+    ) -> Result<(), RegistryError> {
+        self.insert(name, desc, Slot::Formula { expr })
+    }
+
+    /// Adds `n` to scalar `name`. Unregistered names are created on first
+    /// use (with an empty description) so hot paths need no setup; adding
+    /// to a distribution or formula panics, as that is a wiring bug.
+    pub fn add(&mut self, name: &str, n: u64) {
+        let entry = self
+            .entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry { desc: String::new(), slot: Slot::Scalar { value: 0 } });
+        match &mut entry.slot {
+            Slot::Scalar { value } => *value += n,
+            _ => panic!("metric {name:?} is not a scalar"),
+        }
+    }
+
+    /// Increments scalar `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets scalar `name` to an absolute value.
+    pub fn set(&mut self, name: &str, v: u64) {
+        let entry = self
+            .entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry { desc: String::new(), slot: Slot::Scalar { value: 0 } });
+        match &mut entry.slot {
+            Slot::Scalar { value } => *value = v,
+            _ => panic!("metric {name:?} is not a scalar"),
+        }
+    }
+
+    /// Records one sample into distribution `name`; panics if `name` is not
+    /// a registered distribution.
+    pub fn record(&mut self, name: &str, sample: u64) {
+        match self.entries.get_mut(name).map(|e| &mut e.slot) {
+            Some(Slot::Distribution { hist }) => hist.record(sample),
+            _ => panic!("metric {name:?} is not a registered distribution"),
+        }
+    }
+
+    /// Reads scalar `name`; 0 for absent or non-scalar metrics.
+    pub fn scalar(&self, name: &str) -> u64 {
+        match self.entries.get(name).map(|e| &e.slot) {
+            Some(Slot::Scalar { value }) => *value,
+            _ => 0,
+        }
+    }
+
+    /// The distribution registered as `name`, if any.
+    pub fn distribution(&self, name: &str) -> Option<&Histogram> {
+        match self.entries.get(name).map(|e| &e.slot) {
+            Some(Slot::Distribution { hist }) => Some(hist),
+            _ => None,
+        }
+    }
+
+    /// Evaluates any metric to a float: scalar value, distribution mean, or
+    /// formula result. Unknown names evaluate to `0.0`.
+    pub fn value(&self, name: &str) -> f64 {
+        self.eval(&Expr::Metric(name.to_string()), 0)
+    }
+
+    fn eval(&self, expr: &Expr, depth: usize) -> f64 {
+        // Formulas may reference other formulas; bound the recursion so a
+        // (misconfigured) reference cycle degrades to 0.0 instead of
+        // overflowing the stack.
+        if depth > 16 {
+            return 0.0;
+        }
+        match expr {
+            Expr::Const(c) => *c,
+            Expr::Metric(name) => match self.entries.get(name).map(|e| &e.slot) {
+                Some(Slot::Scalar { value }) => *value as f64,
+                Some(Slot::Distribution { hist }) => hist.mean(),
+                Some(Slot::Formula { expr }) => self.eval(&expr.clone(), depth + 1),
+                None => 0.0,
+            },
+            Expr::Add(a, b) => self.eval(a, depth) + self.eval(b, depth),
+            Expr::Sub(a, b) => self.eval(a, depth) - self.eval(b, depth),
+            Expr::Mul(a, b) => self.eval(a, depth) * self.eval(b, depth),
+            Expr::Div(a, b) => {
+                let d = self.eval(b, depth);
+                if d == 0.0 {
+                    0.0
+                } else {
+                    self.eval(a, depth) / d
+                }
+            }
+        }
+    }
+
+    /// Iterates metric names in sorted (dump) order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// A point-in-time copy of every scalar's value, in name order. Interval
+    /// samplers snapshot this each period and diff consecutive snapshots.
+    pub fn scalar_snapshot(&self) -> BTreeMap<String, u64> {
+        self.entries
+            .iter()
+            .filter_map(|(k, e)| match &e.slot {
+                Slot::Scalar { value } => Some((k.clone(), *value)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Merges another registry into this one: scalars sum; distributions
+    /// and formulas are copied if absent here (first writer wins).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, entry) in &other.entries {
+            match &entry.slot {
+                Slot::Scalar { value } => self.add(name, *value),
+                _ => {
+                    self.entries.entry(name.clone()).or_insert_with(|| entry.clone());
+                }
+            }
+        }
+    }
+
+    /// Renders the full registry as a JSON object keyed by metric name.
+    /// Scalars become numbers; distributions and formulas become objects
+    /// with summary fields.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::obj();
+        for (name, entry) in &self.entries {
+            let v = match &entry.slot {
+                Slot::Scalar { value } => Json::from(*value),
+                Slot::Distribution { hist } => {
+                    let mut o = Json::obj();
+                    o.set("kind", "distribution");
+                    o.set("count", hist.count());
+                    o.set("mean", hist.mean());
+                    o.set("max", hist.max());
+                    o.set("p50", hist.percentile(0.50));
+                    o.set("p90", hist.percentile(0.90));
+                    o.set("p99", hist.percentile(0.99));
+                    o.set("bucket_width", hist.width());
+                    o.set("buckets", Json::from(hist.buckets().to_vec()));
+                    o
+                }
+                Slot::Formula { .. } => {
+                    let mut o = Json::obj();
+                    o.set("kind", "formula");
+                    o.set("value", self.value(name));
+                    o
+                }
+            };
+            root.set(name, v);
+        }
+        root
+    }
+
+    /// Writes the registry in a stable, line-oriented text format: one
+    /// metric per line, name-sorted, `name value [# description]`, with
+    /// distributions expanded to summary fields. The format is append-only
+    /// stable so downstream `grep`/`awk` pipelines don't break.
+    pub fn dump_text(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        for (name, entry) in &self.entries {
+            let comment =
+                if entry.desc.is_empty() { String::new() } else { format!("  # {}", entry.desc) };
+            match &entry.slot {
+                Slot::Scalar { value } => {
+                    writeln!(out, "{name:48} {value:>16}{comment}")?;
+                }
+                Slot::Formula { .. } => {
+                    writeln!(out, "{name:48} {:>16.4}{comment}", self.value(name))?;
+                }
+                Slot::Distribution { hist } => {
+                    writeln!(out, "{:48} {:>16}{comment}", format!("{name}.count"), hist.count())?;
+                    writeln!(out, "{:48} {:>16.4}", format!("{name}.mean"), hist.mean())?;
+                    writeln!(out, "{:48} {:>16}", format!("{name}.max"), hist.max())?;
+                    writeln!(out, "{:48} {:>16}", format!("{name}.p50"), hist.percentile(0.50))?;
+                    writeln!(out, "{:48} {:>16}", format!("{name}.p99"), hist.percentile(0.99))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_rejects_collisions_and_bad_names() {
+        let mut reg = MetricsRegistry::new();
+        reg.register_scalar("core.commits", "x").unwrap();
+        assert_eq!(
+            reg.register_scalar("core.commits", "y"),
+            Err(RegistryError::Duplicate("core.commits".to_string()))
+        );
+        assert_eq!(
+            reg.register_distribution("core.commits", "y", 1, 4),
+            Err(RegistryError::Duplicate("core.commits".to_string()))
+        );
+        assert_eq!(
+            reg.register_formula("core.commits", "y", Expr::constant(1.0)),
+            Err(RegistryError::Duplicate("core.commits".to_string()))
+        );
+        assert_eq!(reg.register_scalar("", "y"), Err(RegistryError::BadName(String::new())));
+        assert_eq!(
+            reg.register_scalar("a..b", "y"),
+            Err(RegistryError::BadName("a..b".to_string()))
+        );
+    }
+
+    #[test]
+    fn formulas_evaluate_lazily_with_div_by_zero_guard() {
+        let mut reg = MetricsRegistry::new();
+        reg.register_formula("ipc", "", Expr::metric("commits") / Expr::metric("cycles")).unwrap();
+        assert_eq!(reg.value("ipc"), 0.0); // both counters absent -> 0/0 -> 0
+        reg.add("commits", 24);
+        assert_eq!(reg.value("ipc"), 0.0); // cycles still 0
+        reg.add("cycles", 8);
+        assert_eq!(reg.value("ipc"), 3.0); // reflects post-registration updates
+    }
+
+    #[test]
+    fn nested_formula_cycles_degrade_to_zero() {
+        let mut reg = MetricsRegistry::new();
+        reg.register_formula("a", "", Expr::metric("b") + Expr::constant(1.0)).unwrap();
+        reg.register_formula("b", "", Expr::metric("a")).unwrap();
+        // Bounded recursion: must terminate, value is well-defined garbage.
+        let v = reg.value("a");
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn snapshot_and_merge() {
+        let mut a = MetricsRegistry::new();
+        a.add("x", 3);
+        a.register_distribution("d", "", 1, 4).unwrap();
+        a.record("d", 2);
+        let mut b = MetricsRegistry::new();
+        b.add("x", 2);
+        b.add("y", 7);
+        a.merge(&b);
+        assert_eq!(a.scalar("x"), 5);
+        assert_eq!(a.scalar("y"), 7);
+        let snap = a.scalar_snapshot();
+        assert_eq!(snap.get("x"), Some(&5));
+        assert!(!snap.contains_key("d")); // distributions not in scalar snapshot
+    }
+
+    #[test]
+    fn json_dump_contains_all_kinds() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("core.commits", 10);
+        reg.register_distribution("core.occ", "", 2, 4).unwrap();
+        reg.record("core.occ", 3);
+        reg.register_formula("core.half", "", Expr::metric("core.commits") * Expr::constant(0.5))
+            .unwrap();
+        let j = reg.to_json();
+        assert_eq!(j.get("core.commits").unwrap().as_u64(), Some(10));
+        assert_eq!(j.get("core.occ").unwrap().get("kind").unwrap().as_str(), Some("distribution"));
+        assert_eq!(j.get("core.half").unwrap().get("value").unwrap().as_f64(), Some(5.0));
+    }
+
+    #[test]
+    fn text_dump_is_name_sorted_and_stable() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("b.second", 2);
+        reg.add("a.first", 1);
+        let mut buf = Vec::new();
+        reg.dump_text(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("a.first"));
+        assert!(lines[1].starts_with("b.second"));
+    }
+}

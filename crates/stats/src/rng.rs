@@ -1,0 +1,228 @@
+//! A small, dependency-free deterministic PRNG (xoshiro256**, seeded via
+//! SplitMix64).
+//!
+//! The workspace runs in hermetic environments with no access to crates.io,
+//! so the external `rand` crate is replaced by this module. The API mirrors
+//! the subset of `rand` the repository uses — [`SmallRng::seed_from_u64`],
+//! [`SmallRng::random`], and [`SmallRng::random_range`] — which keeps call
+//! sites idiomatic and made the migration mechanical.
+//!
+//! The stream is fixed by the algorithm and will never change: seeded
+//! generators are used to build workload input data, so stability across
+//! versions and platforms is part of the contract.
+//!
+//! # Examples
+//!
+//! ```
+//! use lf_stats::rng::SmallRng;
+//!
+//! let mut a = SmallRng::seed_from_u64(7);
+//! let mut b = SmallRng::seed_from_u64(7);
+//! let x: u64 = a.random();
+//! let y: u64 = b.random();
+//! assert_eq!(x, y);
+//! assert!(a.random_range(0..10u64) < 10);
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic xoshiro256** generator.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator whose state is expanded from `seed` with
+    /// SplitMix64 (so nearby seeds yield unrelated streams).
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SmallRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let r = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        r
+    }
+
+    /// A uniformly distributed value of type `T`.
+    pub fn random<T: RandomValue>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// A uniform sample from `range` (integer or float ranges, inclusive or
+    /// half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `u64` below `bound` (unbiased, via rejection).
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        // Rejection zone keeps the distribution exactly uniform.
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Types [`SmallRng::random`] can produce.
+pub trait RandomValue {
+    /// Draws one uniformly distributed value.
+    fn random(rng: &mut SmallRng) -> Self;
+}
+
+impl RandomValue for u64 {
+    fn random(rng: &mut SmallRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl RandomValue for u32 {
+    fn random(rng: &mut SmallRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl RandomValue for u8 {
+    fn random(rng: &mut SmallRng) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl RandomValue for bool {
+    fn random(rng: &mut SmallRng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl RandomValue for f64 {
+    fn random(rng: &mut SmallRng) -> f64 {
+        rng.random_f64()
+    }
+}
+
+/// Range types [`SmallRng`] can sample from uniformly.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one sample from the range.
+    fn sample(self, rng: &mut SmallRng) -> Self::Output;
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut SmallRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.random_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        let mut c = SmallRng::seed_from_u64(2);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let u = r.random_range(0..7u64);
+            assert!(u < 7);
+            let i = r.random_range(-5..5i64);
+            assert!((-5..5).contains(&i));
+            let v = r.random_range(0..=3usize);
+            assert!(v <= 3);
+            let f = r.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[r.random_range(0..10usize)] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "bucket count {c} implausible");
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -10,8 +10,7 @@
 //! vectors from the functional emulator, and [`pick_simpoints`] selects
 //! representatives and weights.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 use std::collections::HashMap;
 
 /// Collects basic-block vectors over fixed-length instruction intervals.
@@ -90,7 +89,9 @@ pub fn project(vectors: &[HashMap<usize, u64>], dim: usize, seed: u64) -> Vec<Ve
                 let frac = count as f64 / total as f64;
                 // Per-block deterministic projection row derived from the
                 // block id and the global seed.
-                let mut rng = SmallRng::seed_from_u64(seed ^ (block as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let mut rng = SmallRng::seed_from_u64(
+                    seed ^ (block as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
                 for d in dense.iter_mut() {
                     *d += frac * rng.random_range(-1.0..1.0);
                 }
@@ -160,7 +161,9 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, iters: usize) -> KMeans 
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
             let best = (0..centroids.len())
-                .min_by(|&a, &b| dist2(p, &centroids[a]).partial_cmp(&dist2(p, &centroids[b])).unwrap())
+                .min_by(|&a, &b| {
+                    dist2(p, &centroids[a]).partial_cmp(&dist2(p, &centroids[b])).unwrap()
+                })
                 .unwrap();
             if assignment[i] != best {
                 assignment[i] = best;
@@ -222,8 +225,7 @@ pub fn pick_simpoints(vectors: &[HashMap<usize, u64>], max_k: usize, seed: u64) 
     let (_, km) = best.expect("at least one clustering");
     let mut picks = Vec::new();
     for (ci, centroid) in km.centroids.iter().enumerate() {
-        let members: Vec<usize> =
-            (0..points.len()).filter(|&i| km.assignment[i] == ci).collect();
+        let members: Vec<usize> = (0..points.len()).filter(|&i| km.assignment[i] == ci).collect();
         if members.is_empty() {
             continue;
         }
@@ -245,13 +247,15 @@ pub fn weighted_cycles(points: &[(SimPoint, u64, u64)], total_insts: u64) -> f64
     // points: (simpoint, cycles, insts) per representative interval.
     let cpi: f64 = points
         .iter()
-        .map(|(sp, cycles, insts)| {
-            if *insts == 0 {
-                0.0
-            } else {
-                sp.weight * (*cycles as f64 / *insts as f64)
-            }
-        })
+        .map(
+            |(sp, cycles, insts)| {
+                if *insts == 0 {
+                    0.0
+                } else {
+                    sp.weight * (*cycles as f64 / *insts as f64)
+                }
+            },
+        )
         .sum();
     cpi * total_insts as f64
 }

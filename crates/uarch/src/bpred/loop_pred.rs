@@ -7,9 +7,9 @@
 #[derive(Debug, Clone, Copy, Default)]
 struct LoopEntry {
     tag: u32,
-    trip: u32,       // learned iteration count between not-taken outcomes
-    current: u32,    // iterations seen since last exit
-    confidence: u8,  // saturating confidence, predicts when >= CONF_THRESHOLD
+    trip: u32,      // learned iteration count between not-taken outcomes
+    current: u32,   // iterations seen since last exit
+    confidence: u8, // saturating confidence, predicts when >= CONF_THRESHOLD
     valid: bool,
 }
 

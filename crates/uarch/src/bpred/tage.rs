@@ -20,8 +20,8 @@ impl History {
 #[derive(Debug, Clone, Copy, Default)]
 struct TaggedEntry {
     tag: u16,
-    ctr: i8,     // 3-bit signed counter, -4..=3; taken when >= 0
-    useful: u8,  // 2-bit useful counter
+    ctr: i8,    // 3-bit signed counter, -4..=3; taken when >= 0
+    useful: u8, // 2-bit useful counter
 }
 
 #[derive(Debug, Clone)]
@@ -157,7 +157,10 @@ impl Tage {
                 let idx = self.tables[p].index(pc, hist.0);
                 let e = &mut self.tables[p].entries[idx];
                 e.ctr = (e.ctr + if taken { 1 } else { -1 }).clamp(-4, 3);
-                if (e.ctr >= 0) == taken && lookup.taken == taken && lookup.taken != lookup.alt_taken {
+                if (e.ctr >= 0) == taken
+                    && lookup.taken == taken
+                    && lookup.taken != lookup.alt_taken
+                {
                     e.useful = (e.useful + 1).min(3);
                 }
             }
@@ -187,7 +190,7 @@ impl Tage {
             }
         }
         // Periodic global useful-bit decay.
-        if self.tick % (1 << 18) == 0 {
+        if self.tick.is_multiple_of(1 << 18) {
             for t in self.tables.iter_mut() {
                 for e in t.entries.iter_mut() {
                     e.useful >>= 1;

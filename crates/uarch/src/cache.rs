@@ -342,7 +342,8 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recent() {
-        let mut c = Cache::new(CacheConfig { size: 256, ways: 2, line: 64, hit_latency: 1, mshrs: 1 });
+        let mut c =
+            Cache::new(CacheConfig { size: 256, ways: 2, line: 64, hit_latency: 1, mshrs: 1 });
         // 2 sets x 2 ways. Lines 0, 2, 4 all map to set 0.
         c.fill(0, 1);
         c.fill(2, 2);
@@ -393,10 +394,7 @@ mod tests {
 
     #[test]
     fn prefetcher_counts_and_covers_strides() {
-        let mut m = MemHierarchy::new(MemConfig {
-            l1d_prefetch_degree: 2,
-            ..MemConfig::default()
-        });
+        let mut m = MemHierarchy::new(MemConfig { l1d_prefetch_degree: 2, ..MemConfig::default() });
         let mut now = 0;
         for i in 0..32u64 {
             now = m.access_data(0x10, 0x10000 + i * 64, AccessKind::Load, now);

@@ -80,7 +80,14 @@ mod tests {
     use super::*;
 
     fn tiny() -> FuPools {
-        FuPools::new(&FuConfig { int_alu: 2, int_mul_div: 1, fp: 1, fp_div_sqrt: 1, load: 1, store: 1 })
+        FuPools::new(&FuConfig {
+            int_alu: 2,
+            int_mul_div: 1,
+            fp: 1,
+            fp_div_sqrt: 1,
+            load: 1,
+            store: 1,
+        })
     }
 
     #[test]

@@ -91,9 +91,7 @@ impl StridePrefetcher {
         e.last_line = line;
         if e.confidence >= 2 && e.stride != 0 {
             let base = e.frontier;
-            (1..=self.degree as i64)
-                .filter_map(|k| base.checked_add_signed(e.stride * k))
-                .collect()
+            (1..=self.degree as i64).filter_map(|k| base.checked_add_signed(e.stride * k)).collect()
         } else {
             Vec::new()
         }

@@ -4,8 +4,7 @@
 //! sees identical data.
 
 use lf_isa::Memory;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lf_stats::rng::SmallRng;
 
 /// A seeded RNG for kernel `name` (stable across runs and platforms).
 pub fn rng_for(name: &str) -> SmallRng {
@@ -111,7 +110,7 @@ mod tests {
         let mut mem = Memory::new(1024);
         let mut rng = rng_for("perm");
         fill_permutation(&mut mem, &mut rng, 0, 64);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for i in 0..64 {
             let v = mem.read_u64(i * 8).unwrap() / 8;
             assert!(!seen[v as usize]);
@@ -141,7 +140,7 @@ mod tests {
         fill_csr_cols(&mut mem, &mut rng, 0, 16, 8, 100);
         for i in 0..16 * 8 {
             let v = mem.read_u64(i * 8).unwrap();
-            assert!(v < 100 * 8 && v % 8 == 0);
+            assert!(v < 100 * 8 && v.is_multiple_of(8));
         }
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::gen;
 use crate::{Category, Scale, Suite, Workload};
-use lf_isa::{reg, AluOp, BranchCond, Memory, MemSize, ProgramBuilder};
+use lf_isa::{reg, AluOp, BranchCond, MemSize, Memory, ProgramBuilder};
 
 /// 502.gcc_r analog: constant folding over an IR stream — a data-dependent
 /// opcode dispatch per instruction record.

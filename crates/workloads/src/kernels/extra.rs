@@ -2,7 +2,7 @@
 
 use crate::gen;
 use crate::{Category, Scale, Suite, Workload};
-use lf_isa::{reg, AluOp, BranchCond, FpuOp, Memory, MemSize, ProgramBuilder};
+use lf_isa::{reg, AluOp, BranchCond, FpuOp, MemSize, Memory, ProgramBuilder};
 
 /// 450.soplex analog (CPU 2006): simplex pricing — a CSR-style sparse
 /// column scan with indirect loads of the price vector.
@@ -240,7 +240,6 @@ pub fn deal_assembly(scale: Scale) -> Workload {
     let mut mem = Memory::new(mem_size);
     let mut rng = gen::rng_for("deal_assembly");
     for i in 0..elems as u64 {
-        use rand::Rng;
         let t: u64 = rng.random_range(0..targets as u64);
         mem.write_u64(map as u64 + i * 8, t * 8).unwrap();
     }

@@ -2,7 +2,7 @@
 
 use crate::gen;
 use crate::{Category, Scale, Suite, Workload};
-use lf_isa::{reg, AluOp, BranchCond, Memory, MemSize, ProgramBuilder};
+use lf_isa::{reg, AluOp, BranchCond, MemSize, Memory, ProgramBuilder};
 
 /// 520.omnetpp_r analog: discrete-event processing — per event, an indirect
 /// load of the handler record followed by a data-dependent dispatch branch.
@@ -129,10 +129,7 @@ pub fn graph_relax(scale: Scale) -> Workload {
     let mut rng = gen::rng_for("graph_relax");
     for base in [srcs, dsts] {
         for i in 0..edges as u64 {
-            let node: u64 = {
-                use rand::Rng;
-                rng.random_range(0..nodes as u64)
-            };
+            let node: u64 = rng.random_range(0..nodes as u64);
             mem.write_u64(base as u64 + i * 8, node * 8).unwrap();
         }
     }

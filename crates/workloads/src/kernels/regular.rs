@@ -2,7 +2,7 @@
 
 use crate::gen;
 use crate::{Category, Scale, Suite, Workload};
-use lf_isa::{reg, AluOp, BranchCond, FpuOp, Memory, MemSize, ProgramBuilder};
+use lf_isa::{reg, AluOp, BranchCond, FpuOp, MemSize, Memory, ProgramBuilder};
 
 /// 538.imagick_r analog: a 1D convolution sweep (`out[i] = (in[i-1] +
 /// 2·in[i] + in[i+1]) · k`), the shape of ImageMagick's separable blur

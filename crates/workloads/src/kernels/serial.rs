@@ -3,7 +3,7 @@
 
 use crate::gen;
 use crate::{Category, Scale, Suite, Workload};
-use lf_isa::{reg, AluOp, BranchCond, Memory, MemSize, ProgramBuilder};
+use lf_isa::{reg, AluOp, BranchCond, MemSize, Memory, ProgramBuilder};
 
 /// 557.xz_r analog: run-length encoding — the output cursor advances by a
 /// data-dependent amount each iteration, a register LCD computed in the

@@ -188,10 +188,7 @@ mod tests {
             Category::DataPrefetch,
             Category::NoSpeedup,
         ] {
-            assert!(
-                suite.iter().any(|w| w.category == cat),
-                "no kernel in category {cat:?}"
-            );
+            assert!(suite.iter().any(|w| w.category == cat), "no kernel in category {cat:?}");
         }
     }
 

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example coherence_demo`
 
-use lf_isa::{reg, AluOp, BranchCond, Memory, MemSize, ProgramBuilder};
+use lf_isa::{reg, AluOp, BranchCond, MemSize, Memory, ProgramBuilder};
 use loopfrog::{LoopFrogConfig, LoopFrogCore, SimStop};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

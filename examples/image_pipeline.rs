@@ -45,11 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Keep a shared handle to the tracer so the captured buffer can be
         // read back after the run.
         let sink = std::rc::Rc::new(std::cell::RefCell::new(TextTracer::new(Vec::new())));
-        let mut core = LoopFrogCore::new(
-            &annotated.program,
-            workload.mem.clone(),
-            LoopFrogConfig::default(),
-        );
+        let mut core =
+            LoopFrogCore::new(&annotated.program, workload.mem.clone(), LoopFrogConfig::default());
         core.set_tracer(Box::new(std::rc::Rc::clone(&sink)));
         let r = core.run()?;
         let buf = std::mem::take(sink.borrow_mut().sink_mut());

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use lf_isa::{reg, AluOp, BranchCond, Emulator, Memory, MemSize, ProgramBuilder};
+use lf_isa::{reg, AluOp, BranchCond, Emulator, MemSize, Memory, ProgramBuilder};
 use loopfrog::{simulate, LoopFrogConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -57,8 +57,13 @@ fn widths_and_packing_preserve_state() {
     let (golden, program, mem) = golden_and_program("stencil_blur");
     for width in [4usize, 8, 10] {
         for packing in [true, false] {
-            let mut cfg = LoopFrogConfig::default();
-            cfg.core = lf_uarch::CoreConfig { threadlets: 4, ..lf_uarch::CoreConfig::with_width(width) };
+            let mut cfg = LoopFrogConfig {
+                core: lf_uarch::CoreConfig {
+                    threadlets: 4,
+                    ..lf_uarch::CoreConfig::with_width(width)
+                },
+                ..LoopFrogConfig::default()
+            };
             cfg.packing.enabled = packing;
             let r = simulate(&program, mem.clone(), cfg).unwrap();
             assert_eq!(r.checksum, golden, "width {width} packing {packing}");

@@ -8,8 +8,8 @@ use lf_workloads::{all, Scale};
 
 #[test]
 fn all_workloads_match_the_golden_model() {
-    let mut cfg = RunConfig::default();
-    cfg.deselect_unprofitable = false; // always exercise speculation
+    // Always exercise speculation.
+    let cfg = RunConfig { deselect_unprofitable: false, ..RunConfig::default() };
     for w in all(Scale::Smoke) {
         let r = run_kernel(&w, &cfg);
         assert!(r.checksum_ok, "{}: architectural state diverged", w.name);

@@ -8,12 +8,19 @@
 //! semantics for any hint placement (paper §3.2), not just legal ones —
 //! illegal register dataflow is caught by the register-merge violation
 //! squash, and memory dependences by the conflict detector.
+//!
+//! The generator is driven by the repository's seeded [`SmallRng`] (the
+//! external `proptest` crate is unavailable in hermetic builds), so every
+//! case is reproducible from its printed seed.
 
-use lf_isa::{reg, AluOp, BranchCond, Emulator, Memory, MemSize, Program, ProgramBuilder};
+use lf_isa::{reg, AluOp, BranchCond, Emulator, MemSize, Memory, Program, ProgramBuilder};
+use lf_stats::rng::SmallRng;
 use loopfrog::{simulate, LoopFrogConfig};
-use proptest::prelude::*;
 
 const ARRAYS: [i64; 3] = [0x1000, 0x3000, 0x5000];
+
+/// Cases per property (128 mirrors the original proptest config).
+const CASES: u64 = 128;
 
 #[derive(Debug, Clone)]
 enum OpSpec {
@@ -36,30 +43,42 @@ struct LoopSpec {
     seed: u64,
 }
 
-fn op_strategy() -> impl Strategy<Value = OpSpec> {
-    let alu_ops = prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Xor),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Srl),
-    ];
-    prop_oneof![
-        (0..3usize, -2..=2i64, 0..6usize).prop_map(|(arr, off, dst)| OpSpec::Load { arr, off, dst }),
-        (0..3usize, -2..=2i64, 0..6usize).prop_map(|(arr, off, src)| OpSpec::Store { arr, off, src }),
-        (alu_ops.clone(), 0..6usize, 0..6usize, 0..6usize)
-            .prop_map(|(op, dst, a, b)| OpSpec::Alu { op, dst, a, b }),
-        (alu_ops, 0..6usize, 0..6usize, 1..64i64)
-            .prop_map(|(op, dst, a, imm)| OpSpec::AluImm { op, dst, a, imm }),
-        (0..6usize).prop_map(|a| OpSpec::SkipIfOdd { a }),
-    ]
+const ALU_OPS: [AluOp; 7] =
+    [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Srl];
+
+fn random_op(rng: &mut SmallRng) -> OpSpec {
+    match rng.random_range(0..5u32) {
+        0 => OpSpec::Load {
+            arr: rng.random_range(0..3usize),
+            off: rng.random_range(-2..=2i64),
+            dst: rng.random_range(0..6usize),
+        },
+        1 => OpSpec::Store {
+            arr: rng.random_range(0..3usize),
+            off: rng.random_range(-2..=2i64),
+            src: rng.random_range(0..6usize),
+        },
+        2 => OpSpec::Alu {
+            op: ALU_OPS[rng.random_range(0..ALU_OPS.len())],
+            dst: rng.random_range(0..6usize),
+            a: rng.random_range(0..6usize),
+            b: rng.random_range(0..6usize),
+        },
+        3 => OpSpec::AluImm {
+            op: ALU_OPS[rng.random_range(0..ALU_OPS.len())],
+            dst: rng.random_range(0..6usize),
+            a: rng.random_range(0..6usize),
+            imm: rng.random_range(1..64i64),
+        },
+        _ => OpSpec::SkipIfOdd { a: rng.random_range(0..6usize) },
+    }
 }
 
-fn loop_strategy() -> impl Strategy<Value = LoopSpec> {
-    (4..48usize, prop::collection::vec(op_strategy(), 1..9), any::<u64>())
-        .prop_map(|(trip, ops, seed)| LoopSpec { trip, ops, seed })
+fn random_spec(rng: &mut SmallRng) -> LoopSpec {
+    let trip = rng.random_range(4..48usize);
+    let n = rng.random_range(1..9usize);
+    let ops = (0..n).map(|_| random_op(rng)).collect();
+    LoopSpec { trip, ops, seed: rng.random() }
 }
 
 /// Temps live in x3..x8; i in x1; bound in x2.
@@ -176,46 +195,79 @@ fn golden(program: &Program, mem: &Memory) -> u64 {
     emu.state_checksum()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+/// One case of the compiler-annotated property.
+fn check_compiler_annotated(spec: &LoopSpec) {
+    let plain = build(spec, None);
+    let mem = seeded_memory(spec.seed);
+    let gold = golden(&plain, &mem);
 
-    /// Compiler-annotated random kernels are exact on both cores.
-    #[test]
-    fn compiler_annotated_kernels_are_exact(spec in loop_strategy()) {
-        let plain = build(&spec, None);
-        let mem = seeded_memory(spec.seed);
-        let gold = golden(&plain, &mem);
+    let mut emu = Emulator::new(&plain, mem.clone());
+    emu.run(5_000_000).unwrap();
+    let opts = lf_compiler::SelectOptions {
+        min_trip: 2.0,
+        min_coverage: 0.0,
+        min_body_score: 1.0,
+        max_loops: 4,
+    };
+    let ann = lf_compiler::annotate(&plain, emu.profile(), &opts);
 
-        let mut emu = Emulator::new(&plain, mem.clone());
-        emu.run(5_000_000).unwrap();
-        let opts = lf_compiler::SelectOptions {
-            min_trip: 2.0, min_coverage: 0.0, min_body_score: 1.0, max_loops: 4,
-        };
-        let ann = lf_compiler::annotate(&plain, emu.profile(), &opts);
+    let base = simulate(&ann.program, mem.clone(), LoopFrogConfig::baseline()).unwrap();
+    assert_eq!(base.checksum, gold, "baseline diverged on {spec:?}");
+    let lf = simulate(&ann.program, mem.clone(), LoopFrogConfig::default()).unwrap();
+    assert_eq!(lf.checksum, gold, "loopfrog diverged on {spec:?}");
+}
 
-        let base = simulate(&ann.program, mem.clone(), LoopFrogConfig::baseline()).unwrap();
-        prop_assert_eq!(base.checksum, gold, "baseline diverged");
-        let lf = simulate(&ann.program, mem.clone(), LoopFrogConfig::default()).unwrap();
-        prop_assert_eq!(lf.checksum, gold, "loopfrog diverged");
+/// One case of the arbitrary-hint property.
+fn check_arbitrary_hints(spec: &LoopSpec, d: usize, r: usize) {
+    let n = spec.ops.len();
+    let hinted = build(spec, Some((d.min(n), r.min(n))));
+    let mem = seeded_memory(spec.seed);
+    // The hinted program must be sequentially identical to itself with
+    // hints stripped (hints are semantics-free)...
+    let gold = golden(&hinted.without_hints(), &mem);
+    assert_eq!(golden(&hinted, &mem), gold, "emulator diverged on {spec:?} d={d} r={r}");
+    // ...and the speculative core must preserve that.
+    let lf = simulate(&hinted, mem.clone(), LoopFrogConfig::default()).unwrap();
+    assert_eq!(lf.checksum, gold, "loopfrog diverged on arbitrary hints {spec:?} d={d} r={r}");
+}
+
+/// Compiler-annotated random kernels are exact on both cores.
+#[test]
+fn compiler_annotated_kernels_are_exact() {
+    let mut rng = SmallRng::seed_from_u64(0x1f_0001);
+    for case in 0..CASES {
+        let spec = random_spec(&mut rng);
+        eprintln!("case {case}: {spec:?}");
+        check_compiler_annotated(&spec);
     }
+}
 
-    /// ARBITRARY detach/reattach placements — legal or not — are exact:
-    /// the hardware's violation detection must cover compiler bugs.
-    #[test]
-    fn arbitrary_hint_placements_are_exact(
-        spec in loop_strategy(),
-        d in 0..9usize,
-        r in 0..10usize,
-    ) {
-        let n = spec.ops.len();
-        let hinted = build(&spec, Some((d.min(n), r.min(n))));
-        let mem = seeded_memory(spec.seed);
-        // The hinted program must be sequentially identical to itself with
-        // hints stripped (hints are semantics-free)...
-        let gold = golden(&hinted.without_hints(), &mem);
-        prop_assert_eq!(golden(&hinted, &mem), gold);
-        // ...and the speculative core must preserve that.
-        let lf = simulate(&hinted, mem.clone(), LoopFrogConfig::default()).unwrap();
-        prop_assert_eq!(lf.checksum, gold, "loopfrog diverged on arbitrary hints");
+/// ARBITRARY detach/reattach placements — legal or not — are exact:
+/// the hardware's violation detection must cover compiler bugs.
+#[test]
+fn arbitrary_hint_placements_are_exact() {
+    let mut rng = SmallRng::seed_from_u64(0x1f_0002);
+    for case in 0..CASES {
+        let spec = random_spec(&mut rng);
+        let d = rng.random_range(0..9usize);
+        let r = rng.random_range(0..10usize);
+        eprintln!("case {case}: d={d} r={r} {spec:?}");
+        check_arbitrary_hints(&spec, d, r);
     }
+}
+
+/// Regression corpus: cases proptest shrank to in earlier versions of this
+/// suite (kept verbatim from the retired `.proptest-regressions` file).
+#[test]
+fn shrunk_regression_cases() {
+    let spec = LoopSpec { trip: 4, ops: vec![OpSpec::Load { arr: 0, off: 0, dst: 0 }], seed: 0 };
+    check_arbitrary_hints(&spec, 1, 1);
+
+    let spec = LoopSpec {
+        trip: 4,
+        ops: vec![OpSpec::Alu { op: AluOp::Xor, dst: 0, a: 1, b: 1 }],
+        seed: 1,
+    };
+    check_compiler_annotated(&spec);
+    check_arbitrary_hints(&spec, 0, 1);
 }

@@ -1,11 +1,15 @@
 //! Property test: the SSB's multi-versioned read logic against a naive
 //! reference model (a stack of byte overlays per slice), over random
 //! interleaved writes and squashes.
+//!
+//! Randomized with the repository's seeded [`SmallRng`] (the external
+//! `proptest` crate is unavailable in hermetic builds); every case prints
+//! its index so failures reproduce deterministically.
 
 use lf_isa::Memory;
+use lf_stats::rng::SmallRng;
 use loopfrog::ssb::{Ssb, WriteOutcome};
 use loopfrog::SsbConfig;
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -16,91 +20,97 @@ enum Action {
     Squash(usize),
 }
 
-fn action() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        8 => (0..4usize, 0..256u64, 1..=8usize, any::<u64>())
-            .prop_map(|(s, a, l, v)| Action::Write(s, a, l, v)),
-        1 => (0..4usize).prop_map(Action::Squash),
-    ]
+fn random_action(rng: &mut SmallRng) -> Action {
+    // Writes outnumber squashes 8:1, as in the original strategy weights.
+    if rng.random_range(0..9u32) < 8 {
+        Action::Write(
+            rng.random_range(0..4usize),
+            rng.random_range(0..256u64),
+            rng.random_range(1..=8usize),
+            rng.random(),
+        )
+    } else {
+        Action::Squash(rng.random_range(0..4usize))
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+fn run_case(actions: &[Action], read_addr: u64, read_len: usize, reader: usize) {
+    let cfg = SsbConfig { size_bytes: 4096, line: 32, granule: 4, ..SsbConfig::default() };
+    let mut ssb = Ssb::new(&cfg, 4);
+    let mut mem = Memory::new(1024);
+    for i in 0..128 {
+        mem.write_u64(i * 8, i.wrapping_mul(0x9e3779b9) | 1).unwrap();
+    }
+    // Naive model: per-slice byte overlays.
+    let mut model: Vec<HashMap<u64, u8>> = vec![HashMap::new(); 4];
 
-    #[test]
-    fn versioned_reads_match_naive_overlay(
-        actions in prop::collection::vec(action(), 1..60),
-        read_addr in 0..256u64,
-        read_len in 1..=8usize,
-        reader in 0..4usize,
-    ) {
-        let cfg = SsbConfig { size_bytes: 4096, line: 32, granule: 4, ..SsbConfig::default() };
-        let mut ssb = Ssb::new(&cfg, 4);
-        let mut mem = Memory::new(1024);
-        for i in 0..128 {
-            mem.write_u64(i * 8, i.wrapping_mul(0x9e3779b9) | 1).unwrap();
-        }
-        // Naive model: per-slice byte overlays.
-        let mut model: Vec<HashMap<u64, u8>> = vec![HashMap::new(); 4];
-
-        for act in &actions {
-            match *act {
-                Action::Write(slice, addr, len, seed) => {
-                    let bytes: Vec<u8> =
-                        (0..len).map(|i| (seed >> (i * 8)) as u8).collect();
-                    // Older view for read-fills: slices 0..=slice over memory.
-                    let view_order: Vec<usize> = (0..=slice).collect();
-                    let view: Vec<(u64, u8)> = (addr.saturating_sub(8)..addr + 16)
-                        .map(|a| {
-                            let mut b = mem.read_u8(a).unwrap_or(0);
-                            for &s in &view_order {
-                                if let Some(&v) = model[s].get(&a) {
-                                    b = v;
-                                }
+    for act in actions {
+        match *act {
+            Action::Write(slice, addr, len, seed) => {
+                let bytes: Vec<u8> = (0..len).map(|i| (seed >> (i * 8)) as u8).collect();
+                // Older view for read-fills: slices 0..=slice over memory.
+                let view_order: Vec<usize> = (0..=slice).collect();
+                let view: Vec<(u64, u8)> = (addr.saturating_sub(8)..addr + 16)
+                    .map(|a| {
+                        let mut b = mem.read_u8(a).unwrap_or(0);
+                        for &s in &view_order {
+                            if let Some(&v) = model[s].get(&a) {
+                                b = v;
                             }
-                            (a, b)
-                        })
-                        .collect();
-                    let lookup: HashMap<u64, u8> = view.into_iter().collect();
-                    let out = ssb.write(slice, addr, &bytes, |a| lookup[&a]);
-                    let ok = matches!(out, WriteOutcome::Ok { .. });
-                    prop_assert!(ok, "write overflowed unexpectedly");
-                    // Model: the write plus granule read-fills.
-                    let g = 4u64;
-                    let first = addr / g * g;
-                    let last = (addr + len as u64 - 1) / g * g + g;
-                    for a in first..last {
-                        let covered = a >= addr && a < addr + len as u64;
-                        let newly = !model[slice].contains_key(&(a / g * g))
-                            || model[slice].contains_key(&a);
-                        let _ = newly;
-                        if covered {
-                            model[slice].insert(a, bytes[(a - addr) as usize]);
-                        } else if !model[slice].contains_key(&a) {
-                            // Read-fill from the older view.
-                            model[slice].insert(a, lookup[&a]);
                         }
+                        (a, b)
+                    })
+                    .collect();
+                let lookup: HashMap<u64, u8> = view.into_iter().collect();
+                let out = ssb.write(slice, addr, &bytes, |a| lookup[&a]);
+                assert!(matches!(out, WriteOutcome::Ok { .. }), "write overflowed unexpectedly");
+                // Model: the write plus granule read-fills.
+                let g = 4u64;
+                let first = addr / g * g;
+                let last = (addr + len as u64 - 1) / g * g + g;
+                for a in first..last {
+                    let covered = a >= addr && a < addr + len as u64;
+                    if covered {
+                        model[slice].insert(a, bytes[(a - addr) as usize]);
+                    } else {
+                        // Read-fill from the older view.
+                        model[slice].entry(a).or_insert_with(|| lookup[&a]);
                     }
                 }
-                Action::Squash(slice) => {
-                    ssb.invalidate_slice(slice);
-                    model[slice].clear();
-                }
+            }
+            Action::Squash(slice) => {
+                ssb.invalidate_slice(slice);
+                model[slice].clear();
             }
         }
+    }
 
-        // Read as `reader`: slices 0..=reader overlay memory, newest wins.
-        let order: Vec<usize> = (0..=reader).collect();
-        let (got, _) = ssb.read(&order, read_addr, read_len as u64, &mem);
-        for (i, b) in got.iter().enumerate() {
-            let a = read_addr + i as u64;
-            let mut expect = mem.read_u8(a).unwrap_or(0);
-            for &s in &order {
-                if let Some(&v) = model[s].get(&a) {
-                    expect = v;
-                }
+    // Read as `reader`: slices 0..=reader overlay memory, newest wins.
+    let order: Vec<usize> = (0..=reader).collect();
+    let (got, _) = ssb.read(&order, read_addr, read_len as u64, &mem);
+    for (i, b) in got.iter().enumerate() {
+        let a = read_addr + i as u64;
+        let mut expect = mem.read_u8(a).unwrap_or(0);
+        for &s in &order {
+            if let Some(&v) = model[s].get(&a) {
+                expect = v;
             }
-            prop_assert_eq!(*b, expect, "byte {} at {:#x}", i, a);
         }
+        assert_eq!(*b, expect, "byte {} at {:#x}", i, a);
+    }
+}
+
+#[test]
+fn versioned_reads_match_naive_overlay() {
+    // 256 cases mirrors the original proptest config.
+    let mut rng = SmallRng::seed_from_u64(0x55b_0001);
+    for case in 0..256 {
+        let n = rng.random_range(1..60usize);
+        let actions: Vec<Action> = (0..n).map(|_| random_action(&mut rng)).collect();
+        let read_addr = rng.random_range(0..256u64);
+        let read_len = rng.random_range(1..=8usize);
+        let reader = rng.random_range(0..4usize);
+        eprintln!("case {case}: {} actions, read {read_len}@{read_addr} as T{reader}", n);
+        run_case(&actions, read_addr, read_len, reader);
     }
 }

@@ -1,0 +1,131 @@
+//! Integration tests for the telemetry layer: cycle accounting, interval
+//! sampling, registry dumps, and the JSON artifact pipeline — all driven
+//! through real kernel simulations rather than synthetic counters.
+
+use lf_bench::{run_kernel, RunConfig};
+use lf_stats::Json;
+use lf_workloads::Scale;
+use loopfrog::{simulate, CycleBucket, LoopFrogConfig, TelemetryConfig};
+
+fn smoke(name: &str) -> lf_workloads::Workload {
+    lf_workloads::by_name(name, Scale::Smoke).expect("kernel exists")
+}
+
+/// The central invariant: every commit slot of every counted cycle lands
+/// in exactly one accounting bucket, so the buckets sum to
+/// `cycles × commit_width` — on a real kernel, both baseline and LoopFrog.
+#[test]
+fn accounting_buckets_sum_to_cycles_times_commit_width() {
+    let w = smoke("stencil_blur");
+    for cfg in [LoopFrogConfig::default(), LoopFrogConfig::baseline()] {
+        let cw = cfg.core.commit_width as u64;
+        let r = simulate(&w.program, w.mem.clone(), cfg).expect("kernel simulates");
+        assert!(r.stats.cycles > 0);
+        assert_eq!(
+            r.accounting.total(),
+            r.stats.cycles * cw,
+            "accounting must cover every commit slot"
+        );
+        // Every commit (architectural, promoted, or later squashed) occupies
+        // a BaseCommit slot, except those of the final halt cycle, which is
+        // excluded from accounting along with its cycle count.
+        let all_commits =
+            r.stats.commits_arch + r.stats.commits_spec_success + r.stats.commits_spec_failed;
+        let base = r.accounting.get(CycleBucket::BaseCommit);
+        assert!(base <= all_commits);
+        assert!(all_commits - base <= cw, "only the halt cycle's commits may be uncounted");
+    }
+}
+
+/// Interval sampling emits ⌈cycles / N⌉ cumulative snapshots whose final
+/// entry matches the end-of-run statistics.
+#[test]
+fn sampler_emits_ceil_cycles_over_period_snapshots() {
+    let w = smoke("stencil_blur");
+    let period = 1000u64;
+    let mut cfg = LoopFrogConfig::default();
+    cfg.telemetry = TelemetryConfig { interval_cycles: Some(period), ..cfg.telemetry };
+    let r = simulate(&w.program, w.mem.clone(), cfg).expect("kernel simulates");
+    let expect = r.stats.cycles.div_ceil(period) as usize;
+    assert_eq!(r.intervals.len(), expect);
+    let last = r.intervals.last().unwrap();
+    assert_eq!(last.cycle, r.stats.cycles);
+    assert_eq!(last.committed_insts, r.stats.committed_insts);
+    // Snapshots are cumulative, hence monotone.
+    for pair in r.intervals.windows(2) {
+        assert!(pair[0].cycle < pair[1].cycle);
+        assert!(pair[0].committed_insts <= pair[1].committed_insts);
+        assert!(pair[0].issued_insts <= pair[1].issued_insts);
+    }
+}
+
+/// Disabling the sampler yields no intervals; the registry still dumps.
+#[test]
+fn sampling_can_be_disabled() {
+    let w = smoke("event_queue");
+    let mut cfg = LoopFrogConfig::default();
+    cfg.telemetry.interval_cycles = None;
+    let r = simulate(&w.program, w.mem.clone(), cfg).expect("kernel simulates");
+    assert!(r.intervals.is_empty());
+    assert_eq!(r.registry.scalar("core.cycles"), r.stats.cycles);
+}
+
+/// The registry dump of a real run is internally consistent with the flat
+/// statistics and contains the documented namespaces.
+#[test]
+fn registry_matches_flat_stats() {
+    let w = smoke("stencil_blur");
+    let r = simulate(&w.program, w.mem.clone(), LoopFrogConfig::default()).expect("simulates");
+    let reg = &r.registry;
+    assert_eq!(reg.scalar("core.cycles"), r.stats.cycles);
+    assert_eq!(reg.scalar("core.commit.total_insts"), r.stats.committed_insts);
+    assert_eq!(reg.scalar("threadlet.spawns"), r.stats.spawns);
+    for bucket in CycleBucket::ALL {
+        let name = format!("accounting.{}", bucket.name());
+        assert_eq!(reg.scalar(&name), r.accounting.get(bucket), "{name}");
+    }
+    let ipc = reg.value("core.ipc");
+    assert!((ipc - r.stats.ipc()).abs() < 1e-12, "formula must match SimStats::ipc");
+}
+
+/// A full kernel artifact (registry + accounting + intervals for both
+/// simulations) survives a JSON serialize → parse round trip.
+#[test]
+fn artifact_json_round_trips_on_real_kernel() {
+    let w = smoke("stencil_blur");
+    let run = run_kernel(&w, &RunConfig::default());
+    let doc = lf_bench::artifact::kernel_json(&run);
+    let text = doc.to_string_pretty();
+    let back = Json::parse(&text).expect("artifact parses");
+    assert_eq!(back, doc, "parse must invert serialization");
+
+    let lf = back.get("loopfrog").unwrap();
+    let cycles = lf.get("registry").unwrap().get("core.cycles").unwrap().as_u64().unwrap();
+    assert_eq!(cycles, run.lf.cycles);
+    let acct = lf.get("accounting").unwrap();
+    let sum: u64 =
+        CycleBucket::ALL.iter().map(|b| acct.get(b.name()).unwrap().as_u64().unwrap()).sum();
+    let cw = lf.get("registry").unwrap().get("core.config.commit_width").unwrap().as_u64().unwrap();
+    assert_eq!(sum, cycles * cw, "invariant must survive the round trip");
+    assert!(!lf.get("intervals").unwrap().as_arr().unwrap().is_empty());
+}
+
+/// The flight recorder captures a bounded window of events preceding a
+/// squash on a kernel that actually squashes.
+#[test]
+fn flight_recorder_captures_pre_squash_window() {
+    let w = smoke("event_queue");
+    let mut cfg = LoopFrogConfig::default();
+    cfg.telemetry.flight_recorder_depth = 32;
+    let r = simulate(&w.program, w.mem.clone(), cfg).expect("kernel simulates");
+    let squashes = r.stats.squashes_conflict
+        + r.stats.squashes_sync
+        + r.stats.squashes_packing
+        + r.stats.squashes_wrong_path;
+    if squashes > 0 {
+        assert!(!r.flight_recorder.is_empty(), "a squash must freeze the ring");
+        assert!(r.flight_recorder.len() <= 32);
+    } else {
+        assert!(r.flight_recorder.is_empty());
+    }
+}
