@@ -28,10 +28,17 @@ pub struct RunArtifact {
 impl RunArtifact {
     /// Starts an artifact for the named tool at the given scale.
     pub fn new(tool: &str, scale: Scale) -> RunArtifact {
+        let mut art = RunArtifact::for_tool(tool);
+        art.root.set("scale", format!("{scale:?}").to_lowercase());
+        art
+    }
+
+    /// Starts an artifact for a tool with no workload scale (e.g. the
+    /// `lf-verify` fuzzer, whose inputs are generated programs).
+    pub fn for_tool(tool: &str) -> RunArtifact {
         let mut root = Json::obj();
         root.set("schema_version", SCHEMA_VERSION);
         root.set("tool", tool);
-        root.set("scale", format!("{scale:?}").to_lowercase());
         RunArtifact { root, kernels: Vec::new() }
     }
 

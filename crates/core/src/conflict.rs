@@ -15,12 +15,29 @@ use std::collections::HashSet;
 pub struct ConflictDetector {
     rd: Vec<HashSet<u64>>,
     wr: Vec<HashSet<u64>>,
+    /// Fault injection for verify builds: drop the first granule from every
+    /// write-set insertion (squash checks keep the full granule list). The
+    /// lf-verify harness enables this to prove its invariant checks catch
+    /// detector bugs.
+    #[cfg(feature = "verify")]
+    inject_drop_write_granule: bool,
 }
 
 impl ConflictDetector {
     /// Creates a detector for `contexts` threadlet slots.
     pub fn new(contexts: usize) -> ConflictDetector {
-        ConflictDetector { rd: vec![HashSet::new(); contexts], wr: vec![HashSet::new(); contexts] }
+        ConflictDetector {
+            rd: vec![HashSet::new(); contexts],
+            wr: vec![HashSet::new(); contexts],
+            #[cfg(feature = "verify")]
+            inject_drop_write_granule: false,
+        }
+    }
+
+    /// Arms the drop-one-write-granule fault injection (verify builds).
+    #[cfg(feature = "verify")]
+    pub fn set_inject_drop_write_granule(&mut self, on: bool) {
+        self.inject_drop_write_granule = on;
     }
 
     /// Clears both sets of a slot (threadlet squash or recycle).
@@ -46,7 +63,15 @@ impl ConflictDetector {
     /// conflicting younger threadlet, which must be squashed (along with
     /// everything younger).
     pub fn on_write(&mut self, slot: usize, granules: &[u64], younger: &[usize]) -> Option<usize> {
-        self.wr[slot].extend(granules.iter().copied());
+        #[cfg(feature = "verify")]
+        let recorded = if self.inject_drop_write_granule && !granules.is_empty() {
+            &granules[1..]
+        } else {
+            granules
+        };
+        #[cfg(not(feature = "verify"))]
+        let recorded = granules;
+        self.wr[slot].extend(recorded.iter().copied());
 
         let mut fwd: HashSet<u64> = granules.iter().copied().collect();
         for &t in younger {

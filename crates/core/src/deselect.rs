@@ -265,6 +265,59 @@ mod tests {
     }
 
     #[test]
+    fn flip_flop_suppression_cycles_cleanly() {
+        // suppress → retry reset → re-suppress → retry reset again: the
+        // clean slate after each retry must re-run the full warmup, and a
+        // region that keeps storming keeps getting re-suppressed.
+        let cfg = DeselectConfig { retry_after: 10, ..enabled() };
+        let mut d = Deselector::new(&cfg);
+        let r = RegionId(7);
+        for round in 0..3 {
+            for _ in 0..10 {
+                d.on_spawn(r);
+                d.on_retire(r, 50);
+                d.on_conflict(r);
+                d.on_conflict(r);
+                d.on_conflict(r);
+            }
+            assert!(d.is_suppressed(r), "round {round}: storm suppresses");
+            // Mid-retry the region stays suppressed (no early reset).
+            for k in 0..9 {
+                d.note_suppressed_detach(r);
+                assert!(d.is_suppressed(r), "round {round}: still suppressed at {k}");
+            }
+            d.note_suppressed_detach(r);
+            assert!(!d.is_suppressed(r), "round {round}: retry grants a clean slate");
+            // The clean slate must re-run warmup: a single early conflict
+            // is not judged before `warmup_epochs` spawns.
+            d.on_spawn(r);
+            d.on_conflict(r);
+            assert!(!d.is_suppressed(r), "round {round}: warmup restarts after reset");
+        }
+    }
+
+    #[test]
+    fn suppressed_detach_on_healthy_region_is_inert() {
+        // The retry clock only runs for suppressed regions: committed
+        // detaches of a healthy region must not erase its history.
+        let cfg = DeselectConfig { retry_after: 2, ..enabled() };
+        let mut d = Deselector::new(&cfg);
+        let r = RegionId(8);
+        for _ in 0..10 {
+            d.on_spawn(r);
+            d.on_retire(r, 50);
+            d.note_suppressed_detach(r);
+        }
+        assert!(!d.is_suppressed(r));
+        // History survived: a conflict storm is judged on the full record
+        // (10 retires), not a freshly reset one still in warmup.
+        for _ in 0..21 {
+            d.on_conflict(r);
+        }
+        assert!(d.is_suppressed(r), "21 conflicts over 10 retires is a storm");
+    }
+
+    #[test]
     fn regions_are_independent() {
         let mut d = Deselector::new(&enabled());
         let (bad, good) = (RegionId(1), RegionId(2));

@@ -318,6 +318,8 @@ impl LoopFrogCore<'_> {
                 }
             }
         }
+        #[cfg(feature = "verify")]
+        self.verify_store_granules(tid, &granules);
         if let Some(d) = self.slab.get_mut(&uid) {
             d.drained = true;
             d.completed = true;
@@ -483,6 +485,8 @@ impl LoopFrogCore<'_> {
     /// applying the successor's SSB slice to architectural memory atomically
     /// (the `S_arch` increment of §4.1.4).
     fn retire_arch(&mut self, tid: usize) {
+        #[cfg(feature = "verify")]
+        let boundary = self.verify_boundary_pre(tid);
         if self.observing() {
             self.emit(crate::trace::TraceEvent::Retire {
                 cycle: self.cycle,
@@ -519,6 +523,8 @@ impl LoopFrogCore<'_> {
             // happen if the program ended; stop.
             debug_assert!(self.halted, "architectural threadlet retired without successor");
             self.halted = true;
+            #[cfg(feature = "verify")]
+            self.verify_boundary_post(boundary);
             return;
         };
         // Atomic threadlet commit: the successor's buffered state becomes
@@ -542,5 +548,23 @@ impl LoopFrogCore<'_> {
         if s.finished_with_halt {
             self.halted = true;
         }
+        // A successor spawned *on* its region's reattach hint (the usual
+        // compiler placement) commits that hint once beyond program order;
+        // count those so boundary recording can subtract them (see
+        // `VerifyState::promoted_spawns`). Successors spawned past the
+        // reattach start on a program-order instruction and count nothing.
+        #[cfg(feature = "verify")]
+        if let Some(r) = self.ctx[succ].spawn_region {
+            let starts_on_reattach = matches!(
+                self.program.insts().get(r.0),
+                Some(lf_isa::Inst::Hint { kind: lf_isa::HintKind::Reattach, region })
+                    if *region == r
+            );
+            if starts_on_reattach {
+                self.verify.promoted_spawns += 1;
+            }
+        }
+        #[cfg(feature = "verify")]
+        self.verify_boundary_post(boundary);
     }
 }

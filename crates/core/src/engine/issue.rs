@@ -197,6 +197,8 @@ impl LoopFrogCore<'_> {
             // detector").
             let ready = self.hier.access_data(d.pc as u64, addr, AccessKind::Load, self.cycle);
             self.conflict.on_read(d.tid, &granules);
+            #[cfg(feature = "verify")]
+            self.verify_load_granules(d.tid, &granules);
             let value = self.mem.read(addr, len).expect("bounds checked");
             LoadOutcome::Value { value, ready }
         } else {
@@ -209,6 +211,8 @@ impl LoopFrogCore<'_> {
             let ssb_ready = self.cycle + self.cfg.ssb.read_latency;
             let ready = if all_ssb { ssb_ready } else { ssb_ready.max(l1d_ready) };
             self.conflict.on_read(d.tid, &granules);
+            #[cfg(feature = "verify")]
+            self.verify_load_granules(d.tid, &granules);
             let mut buf = [0u8; 8];
             buf[..len as usize].copy_from_slice(&bytes);
             LoadOutcome::Value { value: u64::from_le_bytes(buf), ready }

@@ -19,6 +19,8 @@ mod rename_stage;
 mod squash;
 #[cfg(test)]
 mod tests;
+#[cfg(feature = "verify")]
+mod verify_checks;
 
 use crate::bloom::BloomConflictDetector;
 use crate::config::LoopFrogConfig;
@@ -165,6 +167,9 @@ pub struct LoopFrogCore<'p> {
     pub(crate) overflow_stall_cycle: u64,
     /// Structural back-pressure observed by rename this cycle.
     pub(crate) rename_stall: RenameStall,
+    /// Invariant log and lockstep boundary recorder (verify builds only).
+    #[cfg(feature = "verify")]
+    pub(crate) verify: crate::verify::VerifyState,
 }
 
 /// Which shared structure blocked rename this cycle (reset every tick).
@@ -262,6 +267,8 @@ impl<'p> LoopFrogCore<'p> {
             recovery_until: 0,
             overflow_stall_cycle: u64::MAX,
             rename_stall: RenameStall::default(),
+            #[cfg(feature = "verify")]
+            verify: crate::verify::VerifyState::default(),
             prf,
             mem,
             program,
@@ -347,6 +354,9 @@ impl<'p> LoopFrogCore<'p> {
         self.telem.commit_bandwidth.record(committed);
         self.telem.rob_occupancy.record(self.rob_occupancy as u64);
         self.telem.iq_occupancy.record(self.iq.len() as u64);
+
+        #[cfg(feature = "verify")]
+        self.verify_tick();
 
         self.cycle += 1;
         self.stats.cycles = self.cycle;
@@ -469,6 +479,8 @@ impl<'p> LoopFrogCore<'p> {
     }
 
     fn finish(&mut self, stop: SimStop) -> SimResult {
+        #[cfg(feature = "verify")]
+        self.verify_finish();
         // Final architectural registers come from the architectural
         // threadlet's rename map. x0 reads as zero by construction.
         let tid = self.arch_tid();

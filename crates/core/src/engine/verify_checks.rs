@@ -1,0 +1,186 @@
+//! Engine-side invariant checks for the `verify` feature (see
+//! [`crate::verify`] for the invariant catalogue). Kept in a separate
+//! module so the hot-path stage files only carry one-line hook calls.
+
+use super::LoopFrogCore;
+use crate::threadlet::CtxState;
+use crate::verify::BoundaryPre;
+use lf_isa::NUM_ARCH_REGS;
+
+impl LoopFrogCore<'_> {
+    /// Per-cycle invariants: occupancy conservation, epoch-sorted active
+    /// list, free-context emptiness, and (sampled) SSB ownership.
+    pub(super) fn verify_tick(&mut self) {
+        let (mut rob, mut lq, mut sq) = (0usize, 0usize, 0usize);
+        for t in &self.ctx {
+            rob += t.rob.len();
+            lq += t.lq.len();
+            sq += t.sq.len();
+        }
+        if rob != self.rob_occupancy || lq != self.lq_occupancy || sq != self.sq_occupancy {
+            let msg = format!(
+                "occupancy: counters rob={}/lq={}/sq={} but queues sum rob={rob}/lq={lq}/sq={sq} \
+                 at cycle {}",
+                self.rob_occupancy, self.lq_occupancy, self.sq_occupancy, self.cycle
+            );
+            self.verify.violation(msg);
+        }
+
+        let mut prev_epoch: Option<u64> = None;
+        let mut order_bad = None;
+        for &t in &self.order {
+            let e = self.ctx[t].epoch;
+            if prev_epoch.is_some_and(|p| e <= p) {
+                order_bad = Some((t, e));
+            }
+            prev_epoch = Some(e);
+        }
+        if let Some((t, e)) = order_bad {
+            let msg = format!(
+                "epoch-order: active list {:?} not strictly increasing (ctx{t} epoch {e}) at \
+                 cycle {}",
+                self.order, self.cycle
+            );
+            self.verify.violation(msg);
+        }
+
+        let free_bad: Vec<usize> =
+            (0..self.ctx.len()).filter(|&i| !self.ctx[i].verify_free_is_empty()).collect();
+        for i in free_bad {
+            let msg = format!("free-context: ctx{i} is Free but holds window or rename state");
+            self.verify.violation(msg);
+        }
+
+        // The SSB scan walks every line; sample it so verify builds stay
+        // usable on long runs (retirement also triggers a full scan).
+        if self.cycle.is_multiple_of(64) {
+            self.verify_ssb();
+        }
+    }
+
+    /// SSB ownership scan: data only in active, non-architectural slices;
+    /// valid masks within the line's granule count; capacities respected.
+    pub(super) fn verify_ssb(&mut self) {
+        let active: Vec<bool> = self.ctx.iter().map(|t| t.state == CtxState::Active).collect();
+        let arch = self.order.front().copied();
+        if let Err(msg) = self.ssb.check_invariants(&active, arch) {
+            let msg = format!("ssb: {msg} at cycle {}", self.cycle);
+            self.verify.violation(msg);
+        }
+    }
+
+    /// Conflict-set ⊇ accesses, write side: called right after a store
+    /// drained and ran `conflict.on_write` — every granule it touched must
+    /// be in the threadlet's write set.
+    pub(super) fn verify_store_granules(&mut self, tid: usize, granules: &[u64]) {
+        let missing: Vec<u64> =
+            granules.iter().copied().filter(|&g| !self.conflict.has_written(tid, g)).collect();
+        if !missing.is_empty() {
+            let msg = format!(
+                "conflict-write-set: ctx{tid} drained store granules {granules:?} but write set \
+                 is missing {missing:?} at cycle {}",
+                self.cycle
+            );
+            self.verify.violation(msg);
+        }
+    }
+
+    /// Conflict-set ⊇ accesses, read side: after a load ran
+    /// `conflict.on_read`, every granule is in the read set or masked by
+    /// the threadlet's own write set.
+    pub(super) fn verify_load_granules(&mut self, tid: usize, granules: &[u64]) {
+        let missing: Vec<u64> = granules
+            .iter()
+            .copied()
+            .filter(|&g| !self.conflict.has_read(tid, g) && !self.conflict.has_written(tid, g))
+            .collect();
+        if !missing.is_empty() {
+            let msg = format!(
+                "conflict-read-set: ctx{tid} load granules {granules:?} not covered; missing \
+                 {missing:?} at cycle {}",
+                self.cycle
+            );
+            self.verify.violation(msg);
+        }
+    }
+
+    /// Retirement-time bookkeeping: epoch-order check plus (when lockstep
+    /// recording is on) the pre-retire half of a [`CommitBoundary`].
+    pub(super) fn verify_boundary_pre(&mut self, tid: usize) -> Option<BoundaryPre> {
+        let epoch = self.ctx[tid].epoch;
+        if let Some(prev) = self.verify.last_retired_epoch {
+            if epoch <= prev {
+                let msg =
+                    format!("epoch-order: retiring epoch {epoch} after already-retired {prev}");
+                self.verify.violation(msg);
+            }
+        }
+        self.verify.last_retired_epoch = Some(epoch);
+        self.verify_ssb();
+        if !self.verify.record_boundaries {
+            return None;
+        }
+        let map = self.ctx[tid].map.as_ref().expect("retiring threadlet has a map");
+        let regs: Vec<u64> = (0..NUM_ARCH_REGS)
+            .map(|a| {
+                let p = map.get(a);
+                if self.prf.is_ready(p) {
+                    self.prf.read(p)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        // Subtract the spawn-point reattach hints re-committed by promoted
+        // successors so the count is comparable with emulator program order.
+        let insts_before = self.stats.committed_insts - self.verify.promoted_spawns;
+        Some(BoundaryPre { epoch, insts_before, regs })
+    }
+
+    /// Completes a boundary record after the successor's slice applied and
+    /// its speculative commits were credited.
+    pub(super) fn verify_boundary_post(&mut self, pre: Option<BoundaryPre>) {
+        let Some(pre) = pre else { return };
+        let mem_checksum_after = self.mem.checksum();
+        self.verify.boundaries.push(crate::verify::CommitBoundary {
+            epoch: pre.epoch,
+            insts_before: pre.insts_before,
+            regs: pre.regs,
+            insts_after: self.stats.committed_insts - self.verify.promoted_spawns,
+            mem_checksum_after,
+        });
+    }
+
+    /// End-of-run invariant: accounting buckets sum to `cycles × width`.
+    pub(super) fn verify_finish(&mut self) {
+        let want = self.stats.cycles * self.cfg.core.commit_width as u64;
+        let got = self.telem.accounting.total();
+        if got != want {
+            let msg = format!(
+                "accounting: buckets sum to {got} but cycles×width = {} × {} = {want}",
+                self.stats.cycles, self.cfg.core.commit_width
+            );
+            self.verify.violation(msg);
+        }
+        self.verify_ssb();
+    }
+
+    /// Read access to the invariant log and recorded boundaries.
+    pub fn verify_state(&self) -> &crate::verify::VerifyState {
+        &self.verify
+    }
+
+    /// Enables per-retirement [`CommitBoundary`] recording (lockstep mode).
+    pub fn set_lockstep_recording(&mut self, on: bool) {
+        self.verify.record_boundaries = on;
+    }
+
+    /// Fault injection: drops the first granule from every conflict-detector
+    /// write-set insertion (exact detector only), leaving all other behavior
+    /// intact. Used to prove the harness catches detector bugs.
+    pub fn inject_drop_write_granule(&mut self) {
+        if let super::ConflictSets::Exact(c) = &mut self.conflict {
+            c.set_inject_drop_write_granule(true);
+        }
+    }
+}

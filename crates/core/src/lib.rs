@@ -69,6 +69,8 @@ pub mod stats;
 pub mod telemetry;
 mod threadlet;
 pub mod trace;
+#[cfg(feature = "verify")]
+pub mod verify;
 
 pub use config::{LoopFrogConfig, PackingConfig, SsbConfig};
 pub use deselect::DeselectConfig;

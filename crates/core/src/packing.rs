@@ -200,6 +200,13 @@ impl PackingPredictors {
             }
         }
         predictions.sort_by_key(|(r, _, _)| *r);
+        // Verify-build invariant: a packed decision stays within
+        // [2, max_factor] and predicts every detected IV exactly once.
+        #[cfg(feature = "verify")]
+        {
+            assert!((2..=max_factor).contains(&p), "packing factor {p} outside [2, {max_factor}]");
+            assert_eq!(predictions.len(), st.ivs.len(), "one prediction per IV");
+        }
         PackDecision { factor: p, predictions }
     }
 }
@@ -296,6 +303,97 @@ mod tests {
             p.observe_iteration(r, &set(&[5]), &set(&[5]), 20);
         }
         assert!(p.decide(r).factor > 1);
+    }
+
+    #[test]
+    fn factor_clamps_at_max_factor() {
+        // Ultra-small iterations against a huge target: raw P = floor(1000/4)
+        // = 250, clamped to the default max_factor of 25 (a packed epoch's
+        // squash cost grows with P, so the paper caps it).
+        let cfg = PackingConfig { target_epoch_size: 1000, ..PackingConfig::default() };
+        let mut p = PackingPredictors::new(&cfg);
+        let r = RegionId(11);
+        train_simple_loop(&mut p, r, 8, 4);
+        let d = p.decide(r);
+        assert_eq!(d.factor, 25);
+        // The prediction reaches P − 1 = 24 strides past the last value
+        // (56): 56 + 24*8 = 248.
+        assert_eq!(d.predictions, vec![(5, 248, 8)]);
+
+        // An explicit tighter cap wins over the size-derived factor too.
+        let cfg = PackingConfig { target_epoch_size: 1000, max_factor: 3, ..cfg };
+        let mut p = PackingPredictors::new(&cfg);
+        train_simple_loop(&mut p, r, 8, 4);
+        let d = p.decide(r);
+        assert_eq!(d.factor, 3);
+        assert_eq!(d.predictions, vec![(5, 56 + 2 * 8, 8)]);
+    }
+
+    #[test]
+    fn factor_one_boundary_stays_unpacked() {
+        // S == target → P = 1, which is no packing at all; just below the
+        // 2× threshold (S in (target/2, target]) still yields P = 1.
+        let cfg = PackingConfig { target_epoch_size: 100, ..PackingConfig::default() };
+        let mut p = PackingPredictors::new(&cfg);
+        let r = RegionId(12);
+        train_simple_loop(&mut p, r, 8, 100);
+        assert_eq!(p.decide(r), PackDecision::unpacked());
+
+        let mut p = PackingPredictors::new(&cfg);
+        train_simple_loop(&mut p, r, 8, 60);
+        assert_eq!(p.decide(r), PackDecision::unpacked());
+
+        // Exactly at the threshold (S == target/2) the first packed factor
+        // appears.
+        let mut p = PackingPredictors::new(&cfg);
+        train_simple_loop(&mut p, r, 8, 50);
+        assert_eq!(p.decide(r).factor, 2);
+    }
+
+    #[test]
+    fn one_unconfident_iv_among_confident_blocks_packing() {
+        // Two IVs: reg 5 strides perfectly, reg 6 is erratic. Packing
+        // requires *every* IV to be predictable, so the region falls back
+        // to unpacked until reg 6 settles.
+        let cfg = PackingConfig { target_epoch_size: 100, ..PackingConfig::default() };
+        let mut p = PackingPredictors::new(&cfg);
+        let r = RegionId(13);
+        let noisy = [0u64, 3, 11, 12, 40, 41, 77, 90];
+        for (i, v) in noisy.iter().enumerate() {
+            p.train_value(r, 5, (i as u64) * 8);
+            p.train_value(r, 6, *v);
+            p.observe_iteration(r, &set(&[5, 6]), &set(&[5, 6]), 20);
+        }
+        assert_eq!(p.ivs(r).unwrap(), &set(&[5, 6]));
+        assert_eq!(p.decide(r), PackDecision::unpacked());
+        // Once reg 6 locks onto a stride, both IVs are predicted.
+        for i in 0..8u64 {
+            p.train_value(r, 5, 64 + i * 8);
+            p.train_value(r, 6, 100 + i * 4);
+            p.observe_iteration(r, &set(&[5, 6]), &set(&[5, 6]), 20);
+        }
+        let d = p.decide(r);
+        assert_eq!(d.factor, 5);
+        assert_eq!(d.predictions.len(), 2);
+    }
+
+    #[test]
+    fn mispredict_suppresses_packing_until_retrained() {
+        let cfg = PackingConfig { target_epoch_size: 100, ..PackingConfig::default() };
+        let mut p = PackingPredictors::new(&cfg);
+        let r = RegionId(14);
+        train_simple_loop(&mut p, r, 8, 20);
+        assert_eq!(p.decide(r).factor, 5);
+        // A verified misprediction zeroes confidence: no packing even
+        // though the stride tables still hold the old pattern.
+        p.on_mispredict(r, 5);
+        assert_eq!(p.decide(r), PackDecision::unpacked());
+        // Continued correct strides rebuild confidence to the threshold.
+        for i in 8..13u32 {
+            p.train_value(r, 5, (i as u64) * 8);
+            p.observe_iteration(r, &set(&[5, 6]), &set(&[5, 7]), 20);
+        }
+        assert_eq!(p.decide(r).factor, 5);
     }
 
     #[test]

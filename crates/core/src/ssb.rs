@@ -297,6 +297,70 @@ impl Ssb {
         out
     }
 
+    /// Structural invariants scanned by verify builds: valid masks confined
+    /// to the line's granule count and never empty, data only in slices
+    /// whose contexts are active (`active[slice]`), the architectural
+    /// slice (`arch`, whose stores bypass the SSB) empty, and capacity
+    /// bounds respected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    #[cfg(feature = "verify")]
+    pub fn check_invariants(&self, active: &[bool], arch: Option<usize>) -> Result<(), String> {
+        let gpl = self.cfg.line / self.cfg.granule;
+        let mask = if gpl >= 64 { u64::MAX } else { (1u64 << gpl) - 1 };
+        let check_line = |slice: usize, la: u64, d: &LineData| -> Result<(), String> {
+            if d.valid == 0 {
+                return Err(format!("slice {slice} line {la:#x} has an empty valid mask"));
+            }
+            if d.valid & !mask != 0 {
+                return Err(format!(
+                    "slice {slice} line {la:#x} valid mask {:#x} exceeds {gpl} granules",
+                    d.valid
+                ));
+            }
+            Ok(())
+        };
+        for (i, s) in self.slices.iter().enumerate() {
+            if s.lines.len() > self.lines_per_slice {
+                return Err(format!(
+                    "slice {i} holds {} lines, capacity {}",
+                    s.lines.len(),
+                    self.lines_per_slice
+                ));
+            }
+            if !s.lines.is_empty() {
+                if !active.get(i).copied().unwrap_or(false) {
+                    return Err(format!("slice {i} holds data but its context is not active"));
+                }
+                if arch == Some(i) {
+                    return Err(format!("slice {i} holds data but is architectural"));
+                }
+            }
+            for (la, d) in &s.lines {
+                check_line(i, *la, d)?;
+            }
+        }
+        if self.victim.len() > self.cfg.victim_entries {
+            return Err(format!(
+                "victim buffer holds {} entries, capacity {}",
+                self.victim.len(),
+                self.cfg.victim_entries
+            ));
+        }
+        for v in &self.victim {
+            if !active.get(v.slice).copied().unwrap_or(false) || arch == Some(v.slice) {
+                return Err(format!(
+                    "victim entry for line {:#x} owned by non-speculative slice {}",
+                    v.line_addr, v.slice
+                ));
+            }
+            check_line(v.slice, v.line_addr, &v.data)?;
+        }
+        Ok(())
+    }
+
     /// Applies one taken line to architectural memory, honoring the valid
     /// granule mask (byte-masked writeback; §4.1.1).
     pub fn apply_line(&self, mem: &mut Memory, line_addr: u64, bytes: &[u8], valid: u64) {

@@ -175,6 +175,21 @@ impl Threadlet {
         }
     }
 
+    /// Verify-build invariant: a Free context owns no window entries,
+    /// register maps, or deferred spawns (they would leak physical
+    /// registers and occupancy on reallocation).
+    #[cfg(feature = "verify")]
+    pub fn verify_free_is_empty(&self) -> bool {
+        self.state != CtxState::Free
+            || (self.rob.is_empty()
+                && self.lq.is_empty()
+                && self.sq.is_empty()
+                && self.map.is_none()
+                && self.checkpoint.is_none()
+                && self.pending_spawn.is_none()
+                && !self.finished)
+    }
+
     /// Resets all per-epoch execution state, keeping the checkpoint and
     /// packing predictions (used by squash-restart).
     pub fn reset_for_restart(&mut self, now: u64, refill_latency: u64) {

@@ -1,0 +1,144 @@
+//! Architectural state diffing.
+//!
+//! When a differential harness finds that two executions disagree, a bare
+//! checksum mismatch is useless for debugging. This module computes and
+//! formats a human-readable diff between two architectural states (register
+//! file and/or memory image), used by the `lf-verify` lockstep checker to
+//! report exactly *which* registers and bytes diverged at a threadlet
+//! commit boundary.
+
+use crate::mem::Memory;
+use crate::reg::{NUM_ARCH_REGS, NUM_INT_REGS};
+use std::fmt;
+
+/// A single diverging register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegDiff {
+    /// Flat register index in `0..NUM_ARCH_REGS`.
+    pub index: usize,
+    /// Value on the left-hand side (conventionally the golden model).
+    pub lhs: u64,
+    /// Value on the right-hand side (conventionally the device under test).
+    pub rhs: u64,
+}
+
+/// A single diverging memory byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemDiff {
+    /// Byte address.
+    pub addr: u64,
+    /// Byte on the left-hand side.
+    pub lhs: u8,
+    /// Byte on the right-hand side.
+    pub rhs: u8,
+}
+
+/// A structured diff between two architectural states.
+#[derive(Debug, Clone, Default)]
+pub struct StateDiff {
+    /// Diverging registers, ascending by index.
+    pub regs: Vec<RegDiff>,
+    /// First diverging memory bytes, ascending by address (capped; see
+    /// [`StateDiff::mem_truncated`]).
+    pub mem: Vec<MemDiff>,
+    /// Whether the memory diff was truncated at the cap.
+    pub mem_truncated: bool,
+}
+
+/// Cap on reported memory byte diffs; divergence is usually clustered, and
+/// a runaway diff would drown the interesting part of the report.
+const MEM_DIFF_CAP: usize = 32;
+
+/// The conventional assembly name of flat register index `i`.
+fn reg_name(i: usize) -> String {
+    if i < NUM_INT_REGS {
+        format!("x{i}")
+    } else {
+        format!("f{}", i - NUM_INT_REGS)
+    }
+}
+
+impl StateDiff {
+    /// Diffs two register files (and optionally two memory images).
+    ///
+    /// Register slices shorter than [`NUM_ARCH_REGS`] are compared up to
+    /// the shorter length; a length mismatch itself is reported as a diff
+    /// on the missing indices against zero.
+    pub fn compare(lhs_regs: &[u64], rhs_regs: &[u64], mem: Option<(&Memory, &Memory)>) -> Self {
+        let mut d = StateDiff::default();
+        let n = lhs_regs.len().max(rhs_regs.len()).min(NUM_ARCH_REGS);
+        for i in 0..n {
+            let l = lhs_regs.get(i).copied().unwrap_or(0);
+            let r = rhs_regs.get(i).copied().unwrap_or(0);
+            if l != r {
+                d.regs.push(RegDiff { index: i, lhs: l, rhs: r });
+            }
+        }
+        if let Some((lm, rm)) = mem {
+            let len = lm.len().min(rm.len());
+            for a in 0..len as u64 {
+                let l = lm.read_u8(a).unwrap_or(0);
+                let r = rm.read_u8(a).unwrap_or(0);
+                if l != r {
+                    if d.mem.len() == MEM_DIFF_CAP {
+                        d.mem_truncated = true;
+                        break;
+                    }
+                    d.mem.push(MemDiff { addr: a, lhs: l, rhs: r });
+                }
+            }
+        }
+        d
+    }
+
+    /// True when the two states were identical.
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty() && self.mem.is_empty()
+    }
+}
+
+impl fmt::Display for StateDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "  (states identical)");
+        }
+        for r in &self.regs {
+            writeln!(f, "  {:>4}: {:#018x} != {:#018x}", reg_name(r.index), r.lhs, r.rhs)?;
+        }
+        for m in &self.mem {
+            writeln!(f, "  [{:#06x}]: {:#04x} != {:#04x}", m.addr, m.lhs, m.rhs)?;
+        }
+        if self.mem_truncated {
+            writeln!(f, "  ... memory diff truncated at {MEM_DIFF_CAP} bytes")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_states_diff_empty() {
+        let regs = [1u64, 2, 3];
+        let d = StateDiff::compare(&regs, &regs, None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn register_and_memory_divergence_reported() {
+        let a = [0u64, 7, 3];
+        let b = [0u64, 8, 3];
+        let mut m1 = Memory::new(64);
+        let m2 = m1.clone();
+        m1.write_u64(8, 0xff).unwrap();
+        let d = StateDiff::compare(&a, &b, Some((&m1, &m2)));
+        assert_eq!(d.regs.len(), 1);
+        assert_eq!(d.regs[0], RegDiff { index: 1, lhs: 7, rhs: 8 });
+        assert_eq!(d.mem.len(), 1);
+        assert_eq!(d.mem[0].addr, 8);
+        let text = d.to_string();
+        assert!(text.contains("x1"), "{text}");
+    }
+}

@@ -25,6 +25,21 @@ pub enum StopReason {
     OutOfFuel,
 }
 
+/// Outcome of a step-bounded run ([`Emulator::run_to_inst_count`]).
+///
+/// Distinct from [`StopReason`] so that exhausting a step budget is never
+/// mistaken for a normal halt: lockstep replay treats `FuelExhausted` at a
+/// commit boundary as the expected "paused" state, while a fuzzer treats it
+/// on a whole-program budget as "reject: did not terminate".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStop {
+    /// The step budget ran out before a `halt` executed; the emulator is
+    /// paused and can be stepped further.
+    FuelExhausted,
+    /// A `halt` instruction executed at or before the budget.
+    Halted,
+}
+
 /// Errors raised during emulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EmuError {
@@ -358,6 +373,28 @@ impl<'p> Emulator<'p> {
             checksum: self.state_checksum(),
         })
     }
+
+    /// Steps until the cumulative dynamic instruction count reaches
+    /// `target` (a step budget, *not* a program counter) or the program
+    /// halts, whichever comes first. The two outcomes are reported
+    /// distinctly — a bounded run that stops on budget exhaustion is
+    /// [`StepStop::FuelExhausted`], never conflated with a genuine
+    /// [`StepStop::Halted`] — so callers (the lockstep differential
+    /// checker, the fuzzer's non-termination screen) can tell "paused at
+    /// the requested boundary" from "program finished early" without
+    /// re-inspecting state.
+    ///
+    /// If the count is already at or past `target`, returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError`] on PC or memory faults.
+    pub fn run_to_inst_count(&mut self, target: u64) -> Result<StepStop, EmuError> {
+        while !self.halted && self.insts < target {
+            self.step()?;
+        }
+        Ok(if self.halted { StepStop::Halted } else { StepStop::FuelExhausted })
+    }
 }
 
 #[cfg(test)]
@@ -450,6 +487,31 @@ mod tests {
         b.jump(top);
         let (_, r) = run_program(b, 16);
         assert_eq!(r.stop, StopReason::OutOfFuel);
+    }
+
+    #[test]
+    fn step_bounded_run_distinguishes_fuel_from_halt() {
+        // sum loop: 3 insts of setup + 3 per iteration + halt.
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        b.li(reg::x(1), 0);
+        b.li(reg::x(3), 4);
+        b.bind(top);
+        b.alui(AluOp::Add, reg::x(1), reg::x(1), 1);
+        b.branch(BranchCond::Lt, reg::x(1), reg::x(3), top);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut emu = Emulator::new(&p, Memory::new(16));
+        // Pause mid-loop: budget exhausted, not halted.
+        assert_eq!(emu.run_to_inst_count(5).unwrap(), StepStop::FuelExhausted);
+        assert_eq!(emu.inst_count(), 5);
+        assert!(!emu.is_halted());
+        // Re-requesting a past boundary is a no-op.
+        assert_eq!(emu.run_to_inst_count(3).unwrap(), StepStop::FuelExhausted);
+        assert_eq!(emu.inst_count(), 5);
+        // A generous budget runs to the genuine halt.
+        assert_eq!(emu.run_to_inst_count(1000).unwrap(), StepStop::Halted);
+        assert_eq!(emu.reg(reg::x(1)), 4);
     }
 
     #[test]

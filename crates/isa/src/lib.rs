@@ -38,6 +38,7 @@
 
 pub mod builder;
 pub mod checksum;
+pub mod diff;
 pub mod emu;
 pub mod inst;
 pub mod mem;
@@ -46,9 +47,10 @@ pub mod program;
 pub mod reg;
 
 pub use builder::{BuildError, Label, ProgramBuilder};
+pub use diff::{MemDiff, RegDiff, StateDiff};
 pub use emu::{
     eval_alu, eval_branch, eval_fpu, extend_load, EmuError, Emulator, ExecResult, Profile,
-    StopReason,
+    StepStop, StopReason,
 };
 pub use inst::{AluOp, BranchCond, FpuOp, FuClass, HintKind, Inst, MemSize, Operand, RegionId};
 pub use mem::{MemError, Memory};

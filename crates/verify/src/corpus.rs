@@ -1,0 +1,248 @@
+//! Text serialization of cases — the checked-in regression corpus format.
+//!
+//! One case per file, line-oriented, diff-friendly:
+//!
+//! ```text
+//! # conflict squash: same-address store every iteration
+//! seed 3
+//! trip 8
+//! hint arbitrary 0 1
+//! op store 0 0 2
+//! inner 2 1
+//! iop alui add 1 1 3
+//! ```
+//!
+//! `#` lines are comments; `inner <trip> <pos>` opens a nested loop whose
+//! ops follow as `iop` lines. The format round-trips exactly through
+//! [`serialize`]/[`parse`], so a fuzz failure printed by `lf-verify
+//! --minimize` can be committed to `tests/corpus/` verbatim.
+
+use crate::spec::{CaseSpec, HintMode, InnerSpec, OpSpec};
+use lf_isa::AluOp;
+use std::fmt::Write as _;
+
+const ALU_NAMES: [(AluOp, &str); 14] = [
+    (AluOp::Add, "add"),
+    (AluOp::Sub, "sub"),
+    (AluOp::Mul, "mul"),
+    (AluOp::Div, "div"),
+    (AluOp::Rem, "rem"),
+    (AluOp::And, "and"),
+    (AluOp::Or, "or"),
+    (AluOp::Xor, "xor"),
+    (AluOp::Sll, "sll"),
+    (AluOp::Srl, "srl"),
+    (AluOp::Sra, "sra"),
+    (AluOp::Slt, "slt"),
+    (AluOp::Sltu, "sltu"),
+    (AluOp::Seq, "seq"),
+];
+
+fn alu_name(op: AluOp) -> &'static str {
+    ALU_NAMES.iter().find(|(o, _)| *o == op).map(|(_, n)| *n).expect("all ops named")
+}
+
+fn parse_alu(name: &str) -> Result<AluOp, String> {
+    ALU_NAMES
+        .iter()
+        .find(|(_, n)| *n == name)
+        .map(|(o, _)| *o)
+        .ok_or_else(|| format!("unknown alu op {name:?}"))
+}
+
+fn write_op(out: &mut String, key: &str, op: &OpSpec) {
+    let _ = match op {
+        OpSpec::Load { arr, off, dst } => writeln!(out, "{key} load {arr} {off} {dst}"),
+        OpSpec::Store { arr, off, src } => writeln!(out, "{key} store {arr} {off} {src}"),
+        OpSpec::StridedLoad { arr, stride, dst } => {
+            writeln!(out, "{key} strided_load {arr} {stride} {dst}")
+        }
+        OpSpec::StridedStore { arr, stride, src } => {
+            writeln!(out, "{key} strided_store {arr} {stride} {src}")
+        }
+        OpSpec::ChaseLoad { arr, dst } => writeln!(out, "{key} chase_load {arr} {dst}"),
+        OpSpec::Alu { op, dst, a, b } => {
+            writeln!(out, "{key} alu {} {dst} {a} {b}", alu_name(*op))
+        }
+        OpSpec::AluImm { op, dst, a, imm } => {
+            writeln!(out, "{key} alui {} {dst} {a} {imm}", alu_name(*op))
+        }
+        OpSpec::SkipIfOdd { a } => writeln!(out, "{key} skip_if_odd {a}"),
+    };
+}
+
+/// Serializes a case (with an optional leading `#` comment).
+pub fn serialize(spec: &CaseSpec, comment: &str) -> String {
+    let mut out = String::new();
+    if !comment.is_empty() {
+        let _ = writeln!(out, "# {comment}");
+    }
+    let _ = writeln!(out, "seed {}", spec.seed);
+    let _ = writeln!(out, "trip {}", spec.trip);
+    match spec.hint {
+        HintMode::None => out.push_str("hint none\n"),
+        HintMode::Compiler => out.push_str("hint compiler\n"),
+        HintMode::Arbitrary { d, r } => {
+            let _ = writeln!(out, "hint arbitrary {d} {r}");
+        }
+    }
+    for op in &spec.ops {
+        write_op(&mut out, "op", op);
+    }
+    if let Some(inner) = &spec.inner {
+        let _ = writeln!(out, "inner {} {}", inner.trip, inner.pos);
+        for op in &inner.ops {
+            write_op(&mut out, "iop", op);
+        }
+    }
+    out
+}
+
+fn parse_op(fields: &[&str]) -> Result<OpSpec, String> {
+    let int = |s: &str| s.parse::<i64>().map_err(|e| format!("bad integer {s:?}: {e}"));
+    let idx = |s: &str| s.parse::<usize>().map_err(|e| format!("bad index {s:?}: {e}"));
+    let need = |n: usize| {
+        if fields.len() != n + 1 {
+            Err(format!("op {:?} takes {} fields, got {}", fields[0], n, fields.len() - 1))
+        } else {
+            Ok(())
+        }
+    };
+    match fields[0] {
+        "load" => {
+            need(3)?;
+            Ok(OpSpec::Load { arr: idx(fields[1])?, off: int(fields[2])?, dst: idx(fields[3])? })
+        }
+        "store" => {
+            need(3)?;
+            Ok(OpSpec::Store { arr: idx(fields[1])?, off: int(fields[2])?, src: idx(fields[3])? })
+        }
+        "strided_load" => {
+            need(3)?;
+            Ok(OpSpec::StridedLoad {
+                arr: idx(fields[1])?,
+                stride: int(fields[2])?,
+                dst: idx(fields[3])?,
+            })
+        }
+        "strided_store" => {
+            need(3)?;
+            Ok(OpSpec::StridedStore {
+                arr: idx(fields[1])?,
+                stride: int(fields[2])?,
+                src: idx(fields[3])?,
+            })
+        }
+        "chase_load" => {
+            need(2)?;
+            Ok(OpSpec::ChaseLoad { arr: idx(fields[1])?, dst: idx(fields[2])? })
+        }
+        "alu" => {
+            need(4)?;
+            Ok(OpSpec::Alu {
+                op: parse_alu(fields[1])?,
+                dst: idx(fields[2])?,
+                a: idx(fields[3])?,
+                b: idx(fields[4])?,
+            })
+        }
+        "alui" => {
+            need(4)?;
+            Ok(OpSpec::AluImm {
+                op: parse_alu(fields[1])?,
+                dst: idx(fields[2])?,
+                a: idx(fields[3])?,
+                imm: int(fields[4])?,
+            })
+        }
+        "skip_if_odd" => {
+            need(1)?;
+            Ok(OpSpec::SkipIfOdd { a: idx(fields[1])? })
+        }
+        other => Err(format!("unknown op kind {other:?}")),
+    }
+}
+
+/// Parses a serialized case.
+pub fn parse(text: &str) -> Result<CaseSpec, String> {
+    let mut seed = None;
+    let mut trip = None;
+    let mut hint = None;
+    let mut ops = Vec::new();
+    let mut inner: Option<InnerSpec> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        match fields[0] {
+            "seed" if fields.len() == 2 => {
+                seed = Some(fields[1].parse::<u64>().map_err(|e| err(format!("{e}")))?);
+            }
+            "trip" if fields.len() == 2 => {
+                trip = Some(fields[1].parse::<usize>().map_err(|e| err(format!("{e}")))?);
+            }
+            "hint" => {
+                hint = Some(match &fields[1..] {
+                    ["none"] => HintMode::None,
+                    ["compiler"] => HintMode::Compiler,
+                    ["arbitrary", d, r] => HintMode::Arbitrary {
+                        d: d.parse().map_err(|e| err(format!("{e}")))?,
+                        r: r.parse().map_err(|e| err(format!("{e}")))?,
+                    },
+                    _ => return Err(err(format!("bad hint line {line:?}"))),
+                });
+            }
+            "op" => ops.push(parse_op(&fields[1..]).map_err(err)?),
+            "inner" if fields.len() == 3 => {
+                inner = Some(InnerSpec {
+                    trip: fields[1].parse().map_err(|e| err(format!("{e}")))?,
+                    pos: fields[2].parse().map_err(|e| err(format!("{e}")))?,
+                    ops: Vec::new(),
+                });
+            }
+            "iop" => match &mut inner {
+                Some(i) => i.ops.push(parse_op(&fields[1..]).map_err(err)?),
+                None => return Err(err("iop before inner".into())),
+            },
+            other => return Err(err(format!("unknown directive {other:?}"))),
+        }
+    }
+    if let Some(i) = &inner {
+        if i.ops.is_empty() {
+            return Err("inner loop has no iop lines".into());
+        }
+    }
+    Ok(CaseSpec {
+        seed: seed.ok_or("missing seed line")?,
+        trip: trip.ok_or("missing trip line")?,
+        ops,
+        inner,
+        hint: hint.ok_or("missing hint line")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::case_from_seed;
+
+    #[test]
+    fn random_cases_round_trip() {
+        for s in 0..64u64 {
+            let c = case_from_seed(s);
+            let text = serialize(&c, "round-trip");
+            let back = parse(&text).unwrap_or_else(|e| panic!("seed {s}: {e}\n{text}"));
+            assert_eq!(c, back, "seed {s} did not round-trip:\n{text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse("seed 1\ntrip 4").is_err(), "missing hint");
+        assert!(parse("seed 1\ntrip 4\nhint none\nop bogus 1").is_err());
+        assert!(parse("seed 1\ntrip 4\nhint none\niop alu add 0 0 0").is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Seeded case generation and mutation.
+//!
+//! Every case derives from a single `u64` case seed: the generator expands
+//! it through the repository's [`SmallRng`] (no external proptest), so any
+//! failure reproduces from the printed seed alone. Mutation takes an
+//! existing (coverage-interesting) case and perturbs one dimension, which
+//! is what makes the fuzzer coverage-guided rather than purely random.
+
+use crate::spec::{CaseSpec, HintMode, InnerSpec, OpSpec, ALU_OPS};
+use lf_stats::rng::SmallRng;
+
+fn random_op(rng: &mut SmallRng) -> OpSpec {
+    match rng.random_range(0..8u32) {
+        0 => OpSpec::Load {
+            arr: rng.random_range(0..3usize),
+            off: rng.random_range(-2..=2i64),
+            dst: rng.random_range(0..6usize),
+        },
+        1 => OpSpec::Store {
+            arr: rng.random_range(0..3usize),
+            off: rng.random_range(-2..=2i64),
+            src: rng.random_range(0..6usize),
+        },
+        2 => OpSpec::StridedLoad {
+            arr: rng.random_range(0..3usize),
+            stride: rng.random_range(2..=5i64),
+            dst: rng.random_range(0..6usize),
+        },
+        3 => OpSpec::StridedStore {
+            arr: rng.random_range(0..3usize),
+            stride: rng.random_range(2..=5i64),
+            src: rng.random_range(0..6usize),
+        },
+        4 => {
+            OpSpec::ChaseLoad { arr: rng.random_range(0..3usize), dst: rng.random_range(0..6usize) }
+        }
+        5 => OpSpec::Alu {
+            op: ALU_OPS[rng.random_range(0..ALU_OPS.len())],
+            dst: rng.random_range(0..6usize),
+            a: rng.random_range(0..6usize),
+            b: rng.random_range(0..6usize),
+        },
+        6 => OpSpec::AluImm {
+            op: ALU_OPS[rng.random_range(0..ALU_OPS.len())],
+            dst: rng.random_range(0..6usize),
+            a: rng.random_range(0..6usize),
+            imm: rng.random_range(1..64i64),
+        },
+        _ => OpSpec::SkipIfOdd { a: rng.random_range(0..6usize) },
+    }
+}
+
+fn random_hint(rng: &mut SmallRng) -> HintMode {
+    // Arbitrary placements dominate: they exercise the violation-recovery
+    // paths the compiler would never produce.
+    if rng.random_range(0..4u32) == 0 {
+        HintMode::Compiler
+    } else {
+        HintMode::Arbitrary { d: rng.random_range(0..9usize), r: rng.random_range(0..10usize) }
+    }
+}
+
+/// Expands one case seed into a full case.
+pub fn case_from_seed(case_seed: u64) -> CaseSpec {
+    let mut rng = SmallRng::seed_from_u64(case_seed);
+    let trip = rng.random_range(4..48usize);
+    let n = rng.random_range(1..9usize);
+    let ops: Vec<OpSpec> = (0..n).map(|_| random_op(&mut rng)).collect();
+    // 1 in 4 cases nests an inner loop.
+    let inner = if rng.random_range(0..4u32) == 0 {
+        let m = rng.random_range(1..4usize);
+        Some(InnerSpec {
+            pos: rng.random_range(0..=n),
+            trip: rng.random_range(1..5usize),
+            ops: (0..m).map(|_| random_op(&mut rng)).collect(),
+        })
+    } else {
+        None
+    };
+    let hint = random_hint(&mut rng);
+    CaseSpec { seed: rng.random(), trip, ops, inner, hint }
+}
+
+/// Perturbs one dimension of `base` (coverage-guided mutation).
+pub fn mutate(base: &CaseSpec, rng: &mut SmallRng) -> CaseSpec {
+    let mut c = base.clone();
+    match rng.random_range(0..6u32) {
+        0 => c.trip = rng.random_range(2..64usize),
+        1 => {
+            let k = rng.random_range(0..c.ops.len());
+            c.ops[k] = random_op(rng);
+        }
+        2 => c.ops.push(random_op(rng)),
+        3 => c.hint = random_hint(rng),
+        4 => c.seed = rng.random(),
+        _ => {
+            c.inner = match c.inner {
+                Some(_) if rng.random_range(0..2u32) == 0 => None,
+                _ => Some(InnerSpec {
+                    pos: rng.random_range(0..=c.ops.len()),
+                    trip: rng.random_range(1..5usize),
+                    ops: vec![random_op(rng)],
+                }),
+            };
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_generation_is_deterministic() {
+        assert_eq!(case_from_seed(42), case_from_seed(42));
+        assert_ne!(case_from_seed(42), case_from_seed(43));
+    }
+
+    #[test]
+    fn mutation_changes_something() {
+        let base = case_from_seed(7);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let changed = (0..16).any(|_| mutate(&base, &mut rng) != base);
+        assert!(changed);
+    }
+}

@@ -1,0 +1,37 @@
+//! # lf-verify — differential fuzzing and lockstep checking for LoopFrog
+//!
+//! A structured, seeded, coverage-guided fuzzer over hinted loop programs,
+//! plus the differential machinery that makes its verdicts trustworthy:
+//!
+//! - [`spec`]: the case format — counted loops over loads/stores (fixed
+//!   and irregular strides), pointer-chasing loads, ALU ops,
+//!   data-dependent skips, optional nested inner loops, and three hint
+//!   modes (none / compiler-annotated / arbitrary placements);
+//! - [`gen`]: seeded case generation and coverage-guided mutation;
+//! - [`harness`]: runs every case on the golden `lf_isa::Emulator`, the
+//!   baseline core, and the LoopFrog core with the `verify` feature's
+//!   cycle-level invariants armed, replays every threadlet commit boundary
+//!   against the emulator in lockstep, and checks metamorphic
+//!   configuration properties (hints-as-NOPs ≡ baseline, threadlet-count
+//!   invariance, granule refinement);
+//! - [`shrink`]: greedy minimization of failing cases;
+//! - [`corpus`]: the text format of `tests/corpus/` regression programs;
+//! - [`coverage`]: the behavioral-coverage bitmap that guides mutation;
+//! - [`ssb_model`]: the SSB action-sequence property (naive overlay
+//!   reference model), sharing the same seeded-RNG case discipline.
+//!
+//! The `lf-verify` binary drives all of this from the command line; see
+//! `EXPERIMENTS.md` for reproducing a fuzz failure from its printed seed.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod coverage;
+pub mod gen;
+pub mod harness;
+pub mod shrink;
+pub mod spec;
+pub mod ssb_model;
+
+pub use harness::{run_case, FailKind, Failure, HarnessOptions, Outcome};
+pub use spec::{CaseSpec, HintMode, InnerSpec, OpSpec};

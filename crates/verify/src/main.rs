@@ -1,0 +1,252 @@
+//! `lf-verify`: the differential fuzzer CLI.
+//!
+//! ```text
+//! lf-verify --seed 42 --cases 500            # fixed-budget fuzz run
+//! lf-verify --seed 42 --soak-secs 600        # time-budgeted soak
+//! lf-verify --seed 7 --cases 200 --minimize  # shrink any failure found
+//! lf-verify --inject-bug --cases 100 --minimize
+//!     # prove the harness catches a seeded conflict-detector bug
+//! ```
+//!
+//! Every failure prints the case's seed (when it came straight from the
+//! generator) and its full text serialization, which reproduces the case
+//! exactly (`lf-verify --replay <file>` or commit it to `tests/corpus/`).
+//! With `--json <path>` the run writes a machine-readable artifact through
+//! the shared `lf-bench` schema.
+
+use lf_bench::artifact::RunArtifact;
+use lf_stats::rng::SmallRng;
+use lf_stats::Json;
+use lf_verify::{corpus, coverage, gen, harness, shrink};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+struct Args {
+    seed: u64,
+    cases: u64,
+    soak_secs: Option<u64>,
+    minimize: bool,
+    inject_bug: bool,
+    emit_corpus: Option<PathBuf>,
+    replay: Option<PathBuf>,
+    json: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: lf-verify [--seed N] [--cases N] [--soak-secs N] [--minimize] \
+                     [--inject-bug] [--emit-corpus DIR] [--replay FILE] [--json PATH]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 42,
+        cases: 500,
+        soak_secs: None,
+        minimize: false,
+        inject_bug: false,
+        emit_corpus: None,
+        replay: None,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--cases" => args.cases = value("--cases")?.parse().map_err(|e| format!("{e}"))?,
+            "--soak-secs" => {
+                args.soak_secs = Some(value("--soak-secs")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--minimize" => args.minimize = true,
+            "--inject-bug" => args.inject_bug = true,
+            "--emit-corpus" => args.emit_corpus = Some(value("--emit-corpus")?.into()),
+            "--replay" => args.replay = Some(value("--replay")?.into()),
+            "--json" => args.json = Some(value("--json")?.into()),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// One failure's full report (also what lands in the JSON artifact).
+struct FailureReport {
+    case_seed: Option<u64>,
+    kind: String,
+    detail: String,
+    serialized: String,
+    minimized: Option<String>,
+}
+
+fn report_failure(
+    args: &Args,
+    opts: &harness::HarnessOptions,
+    spec: &lf_verify::CaseSpec,
+    f: &harness::Failure,
+    case_seed: Option<u64>,
+    index: u64,
+) -> FailureReport {
+    eprintln!("\nFAIL case {index} ({:?}):", f.kind);
+    eprintln!("{}", f.detail);
+    if let Some(s) = case_seed {
+        eprintln!("case seed: {s} (regenerate with gen::case_from_seed({s}))");
+    }
+    let serialized = corpus::serialize(spec, &format!("fuzz failure: {:?}", f.kind));
+    eprintln!("--- case ---\n{serialized}------------");
+    let minimized = if args.minimize {
+        let small = shrink::shrink(spec, opts);
+        let text = corpus::serialize(&small, &format!("minimized reproducer: {:?}", f.kind));
+        eprintln!("minimized to {} instructions:\n{text}", small.build().len());
+        if let Some(dir) = &args.emit_corpus {
+            let _ = std::fs::create_dir_all(dir);
+            let path = dir.join(format!("repro_{index}.lfcase"));
+            match std::fs::write(&path, &text) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("error writing {}: {e}", path.display()),
+            }
+        }
+        Some(text)
+    } else {
+        None
+    };
+    FailureReport {
+        case_seed,
+        kind: format!("{:?}", f.kind),
+        detail: f.detail.clone(),
+        serialized,
+        minimized,
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let opts = harness::HarnessOptions { inject_bug: args.inject_bug, metamorphic: true };
+
+    // Replay mode: run one serialized case and exit.
+    if let Some(path) = &args.replay {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        let spec = match corpus::parse(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot parse {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        match harness::run_case(&spec, &opts) {
+            harness::Outcome::Pass { sig } => {
+                println!("PASS ({})", coverage::describe(sig));
+            }
+            harness::Outcome::Reject { reason } => println!("REJECT: {reason}"),
+            harness::Outcome::Fail(f) => {
+                report_failure(&args, &opts, &spec, &f, None, 0);
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let started = Instant::now();
+    let deadline = args.soak_secs.map(|s| started + Duration::from_secs(s));
+    let budget = if deadline.is_some() { u64::MAX } else { args.cases };
+
+    let mut rng = SmallRng::seed_from_u64(args.seed);
+    let mut seen_cov = 0u32;
+    let mut interesting: Vec<lf_verify::CaseSpec> = Vec::new();
+    let mut failures: Vec<FailureReport> = Vec::new();
+    let (mut ran, mut rejected) = (0u64, 0u64);
+
+    for case in 0..budget {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                break;
+            }
+        }
+        // 1 in 4 cases mutates a coverage-interesting ancestor; the rest
+        // come straight from a fresh case seed (printable, replayable).
+        let (spec, case_seed) = if !interesting.is_empty() && rng.random_range(0..4u32) == 0 {
+            let base = &interesting[rng.random_range(0..interesting.len())];
+            (gen::mutate(base, &mut rng), None)
+        } else {
+            let s: u64 = rng.random();
+            (gen::case_from_seed(s), Some(s))
+        };
+        ran += 1;
+        match harness::run_case(&spec, &opts) {
+            harness::Outcome::Pass { sig } => {
+                if sig & !seen_cov != 0 {
+                    seen_cov |= sig;
+                    interesting.push(spec);
+                }
+            }
+            harness::Outcome::Reject { .. } => rejected += 1,
+            harness::Outcome::Fail(f) => {
+                let r = report_failure(&args, &opts, &spec, &f, case_seed, case);
+                failures.push(r);
+                if failures.len() >= 8 {
+                    eprintln!("stopping after 8 failures");
+                    break;
+                }
+            }
+        }
+    }
+
+    let elapsed = started.elapsed();
+    println!(
+        "lf-verify: {ran} cases in {:.1}s ({} rejected, {} failed), coverage: {}",
+        elapsed.as_secs_f64(),
+        rejected,
+        failures.len(),
+        coverage::describe(seen_cov)
+    );
+
+    if let Some(path) = &args.json {
+        let mut art = RunArtifact::for_tool("lf-verify");
+        art.set_extra("seed", args.seed);
+        art.set_extra("cases_run", ran);
+        art.set_extra("rejected", rejected);
+        art.set_extra("elapsed_secs", elapsed.as_secs_f64());
+        art.set_extra("coverage_bits", seen_cov as u64);
+        art.set_extra("coverage", coverage::describe(seen_cov));
+        art.set_extra("inject_bug", Json::Bool(args.inject_bug));
+        let fails: Vec<Json> = failures
+            .iter()
+            .map(|f| {
+                let mut j = Json::obj();
+                j.set("kind", f.kind.as_str());
+                j.set("detail", f.detail.as_str());
+                j.set("case", f.serialized.as_str());
+                match f.case_seed {
+                    Some(s) => j.set("case_seed", s),
+                    None => j.set("case_seed", Json::Null),
+                };
+                match &f.minimized {
+                    Some(m) => j.set("minimized", m.as_str()),
+                    None => j.set("minimized", Json::Null),
+                };
+                j
+            })
+            .collect();
+        art.set_extra("failures", Json::Arr(fails));
+        match art.write(path) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("error: failed to write {}: {e}", path.display()),
+        }
+    }
+
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Greedy case minimization.
+//!
+//! Given a failing case, the shrinker tries a fixed menu of reductions —
+//! drop the inner loop, remove body ops, shrink the trip count, zero the
+//! data seed — re-running the harness after each and keeping any reduction
+//! that still fails. It loops until a full pass makes no progress, which
+//! terminates because every accepted step strictly shrinks a finite
+//! measure (op count, trip count, seed popcount).
+
+use crate::harness::{run_case, HarnessOptions};
+use crate::spec::CaseSpec;
+
+/// Candidate reductions of `c`, most aggressive first.
+fn candidates(c: &CaseSpec) -> Vec<CaseSpec> {
+    let mut out = Vec::new();
+    if c.inner.is_some() {
+        out.push(CaseSpec { inner: None, ..c.clone() });
+    }
+    if c.ops.len() > 1 {
+        for k in 0..c.ops.len() {
+            let mut v = c.clone();
+            v.ops.remove(k);
+            out.push(v);
+        }
+    }
+    if let Some(inner) = &c.inner {
+        if inner.ops.len() > 1 {
+            for k in 0..inner.ops.len() {
+                let mut v = c.clone();
+                v.inner.as_mut().expect("checked").ops.remove(k);
+                out.push(v);
+            }
+        }
+        if inner.trip > 1 {
+            let mut v = c.clone();
+            v.inner.as_mut().expect("checked").trip = 1;
+            out.push(v);
+        }
+    }
+    for trip in [2, 3, 4, c.trip / 2] {
+        if trip >= 2 && trip < c.trip {
+            out.push(CaseSpec { trip, ..c.clone() });
+        }
+    }
+    if c.seed != 0 {
+        out.push(CaseSpec { seed: 0, ..c.clone() });
+    }
+    out
+}
+
+/// Minimizes a failing case; returns the smallest still-failing variant
+/// found (possibly `spec` itself). `opts` must reproduce the original
+/// failure signal (e.g. keep `inject_bug` armed).
+pub fn shrink(spec: &CaseSpec, opts: &HarnessOptions) -> CaseSpec {
+    let mut best = spec.clone();
+    loop {
+        let mut progressed = false;
+        for cand in candidates(&best) {
+            if run_case(&cand, opts).is_fail() {
+                best = cand;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{HintMode, InnerSpec, OpSpec};
+
+    #[test]
+    fn shrink_keeps_failure_and_reduces_size() {
+        // With the conflict-detector fault injected, any case with a store
+        // fails; shrinking must keep at least one store and cut the rest.
+        let opts = HarnessOptions { inject_bug: true, metamorphic: false };
+        let fat = CaseSpec {
+            seed: 0xdead,
+            trip: 37,
+            ops: vec![
+                OpSpec::Load { arr: 0, off: 1, dst: 2 },
+                OpSpec::Store { arr: 1, off: 0, src: 2 },
+                OpSpec::AluImm { op: lf_isa::AluOp::Add, dst: 2, a: 2, imm: 5 },
+            ],
+            inner: Some(InnerSpec {
+                pos: 1,
+                trip: 3,
+                ops: vec![OpSpec::Alu { op: lf_isa::AluOp::Xor, dst: 0, a: 0, b: 1 }],
+            }),
+            hint: HintMode::Arbitrary { d: 0, r: 2 },
+        };
+        assert!(run_case(&fat, &opts).is_fail(), "fat case must fail under injection");
+        let small = shrink(&fat, &opts);
+        assert!(run_case(&small, &opts).is_fail());
+        assert!(small.inner.is_none());
+        assert!(small.ops.len() <= 2);
+        assert!(small.trip <= 4);
+    }
+}

@@ -1,0 +1,318 @@
+//! The hinted-loop case format shared by the fuzzer, the shrinker, the
+//! checked-in corpus, and the ported property tests.
+//!
+//! A [`CaseSpec`] describes one structured loop kernel: an outer counted
+//! loop over a small set of body operations (loads/stores with fixed or
+//! irregular strides, pointer-chasing loads, ALU ops, and a data-dependent
+//! skip), an optional nested inner loop, and a hint placement mode. The
+//! builder lowers a spec to an [`lf_isa::Program`] the same way for every
+//! consumer, so a failing case reproduces bit-identically from its text
+//! serialization (see [`crate::corpus`]).
+
+use lf_isa::{reg, AluOp, BranchCond, MemSize, Memory, Program, ProgramBuilder, Reg};
+
+/// Base addresses of the three data arrays the ops index into.
+pub const ARRAYS: [i64; 3] = [0x1000, 0x3000, 0x5000];
+
+/// Size of the seeded data memory image.
+pub const MEM_BYTES: u64 = 0x8000;
+
+/// Mask applied to pointer-chase values: keeps the chased address 8-byte
+/// aligned and within 2 KiB of the array base.
+pub const CHASE_MASK: i64 = 0x7f8;
+
+/// ALU operations the generator draws from.
+pub const ALU_OPS: [AluOp; 7] =
+    [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Srl];
+
+/// One loop-body operation. Temps are a 6-register file (`tmp0..tmp5`
+/// living in `x3..x8`); `idx` is the loop's byte-offset induction variable
+/// (`x1` for the outer loop, `x11` for the inner).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // field semantics are documented per variant
+pub enum OpSpec {
+    /// `tmp[dst] = mem[array + idx + off*8]`
+    Load { arr: usize, off: i64, dst: usize },
+    /// `mem[array + idx + off*8] = tmp[src]`
+    Store { arr: usize, off: i64, src: usize },
+    /// `tmp[dst] = mem[array + idx*stride]` — irregular stride (the index
+    /// already steps by 8 bytes, so `stride` multiplies that).
+    StridedLoad { arr: usize, stride: i64, dst: usize },
+    /// `mem[array + idx*stride] = tmp[src]`
+    StridedStore { arr: usize, stride: i64, src: usize },
+    /// `tmp[dst] = mem[array + (tmp[dst] & CHASE_MASK)]` — pointer chasing:
+    /// a serial load-to-address dependence chain across iterations.
+    ChaseLoad { arr: usize, dst: usize },
+    /// `tmp[dst] = op(tmp[a], tmp[b])`
+    Alu { op: AluOp, dst: usize, a: usize, b: usize },
+    /// `tmp[dst] = op(tmp[a], imm)`
+    AluImm { op: AluOp, dst: usize, a: usize, imm: i64 },
+    /// Skip the next op if `tmp[a]` is odd (data-dependent branch).
+    SkipIfOdd { a: usize },
+}
+
+/// A nested inner loop, emitted between two outer-body ops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InnerSpec {
+    /// Outer-body op index before which the inner loop runs (clamped).
+    pub pos: usize,
+    /// Inner trip count (kept small; it multiplies the outer trip).
+    pub trip: usize,
+    /// Inner-body ops, indexed by the inner induction variable.
+    pub ops: Vec<OpSpec>,
+}
+
+/// How the program is hinted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HintMode {
+    /// No hints: the plain sequential kernel.
+    None,
+    /// Hints inserted by `lf_compiler::annotate` from a golden profile.
+    Compiler,
+    /// Detach before outer op `d`, reattach before outer op `r` (when
+    /// `r > d`), sync at the exit — arbitrary, possibly illegal placements
+    /// the hardware must still execute correctly.
+    Arbitrary {
+        /// Outer-body op index the detach precedes (clamped to the count).
+        d: usize,
+        /// Outer-body op index the reattach precedes; `r <= d` emits a
+        /// detach with no reattach (continuation = induction update).
+        r: usize,
+    },
+}
+
+/// One differential-fuzzing case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseSpec {
+    /// Seeds the data memory image and the temp-register initial values.
+    pub seed: u64,
+    /// Outer trip count.
+    pub trip: usize,
+    /// Outer-body ops.
+    pub ops: Vec<OpSpec>,
+    /// Optional nested loop.
+    pub inner: Option<InnerSpec>,
+    /// Hint placement.
+    pub hint: HintMode,
+}
+
+/// Temps live in x3..x8; outer index in x1, bound in x2; x9/x10 are
+/// scratch; inner index in x11, bound in x12.
+pub fn tmp(r: usize) -> Reg {
+    reg::x(3 + r)
+}
+
+fn emit_op(b: &mut ProgramBuilder, op: &OpSpec, idx: Reg) {
+    match *op {
+        OpSpec::Load { arr, off, dst } => {
+            b.load(tmp(dst), idx, ARRAYS[arr] + off * 8 + 16, MemSize::B8);
+        }
+        OpSpec::Store { arr, off, src } => {
+            b.store(tmp(src), idx, ARRAYS[arr] + off * 8 + 16, MemSize::B8);
+        }
+        OpSpec::StridedLoad { arr, stride, dst } => {
+            b.alui(AluOp::Mul, reg::x(10), idx, stride);
+            b.load(tmp(dst), reg::x(10), ARRAYS[arr] + 16, MemSize::B8);
+        }
+        OpSpec::StridedStore { arr, stride, src } => {
+            b.alui(AluOp::Mul, reg::x(10), idx, stride);
+            b.store(tmp(src), reg::x(10), ARRAYS[arr] + 16, MemSize::B8);
+        }
+        OpSpec::ChaseLoad { arr, dst } => {
+            b.alui(AluOp::And, reg::x(10), tmp(dst), CHASE_MASK);
+            b.load(tmp(dst), reg::x(10), ARRAYS[arr], MemSize::B8);
+        }
+        OpSpec::Alu { op, dst, a, b: rb } => {
+            b.alu(op, tmp(dst), tmp(a), tmp(rb));
+        }
+        OpSpec::AluImm { op, dst, a, imm } => {
+            b.alui(op, tmp(dst), tmp(a), imm);
+        }
+        // SkipIfOdd needs a label bound after the *next* op; the callers
+        // handle it inline and never pass it here.
+        OpSpec::SkipIfOdd { .. } => unreachable!("SkipIfOdd handled by the sequence emitters"),
+    }
+}
+
+/// Emits a straight-line op sequence (resolving `SkipIfOdd` branches) with
+/// `idx` as the indexing register.
+fn emit_ops(b: &mut ProgramBuilder, ops: &[OpSpec], idx: Reg, uniq: &mut u32) {
+    let mut pending: Option<lf_isa::Label> = None;
+    for (k, op) in ops.iter().enumerate() {
+        if let OpSpec::SkipIfOdd { a } = *op {
+            // A skip directly after a skip targets the next test-and-branch
+            // pair: bind the older label here so it never leaks unbound.
+            if let Some(l) = pending.take() {
+                b.bind(l);
+            }
+            if k + 1 < ops.len() {
+                let l = b.label(&format!("skip{uniq}"));
+                *uniq += 1;
+                b.alui(AluOp::And, reg::x(9), tmp(a), 1);
+                b.branch(BranchCond::Ne, reg::x(9), reg::ZERO, l);
+                pending = Some(l);
+            }
+            continue;
+        }
+        emit_op(b, op, idx);
+        if let Some(l) = pending.take() {
+            b.bind(l);
+        }
+    }
+    if let Some(l) = pending {
+        b.bind(l);
+    }
+}
+
+fn emit_inner(b: &mut ProgramBuilder, inner: &InnerSpec, uniq: &mut u32) {
+    let head = b.label(&format!("inner{uniq}"));
+    *uniq += 1;
+    b.li(reg::x(11), 0);
+    b.li(reg::x(12), inner.trip.max(1) as i64 * 8);
+    b.bind(head);
+    emit_ops(b, &inner.ops, reg::x(11), uniq);
+    b.alui(AluOp::Add, reg::x(11), reg::x(11), 8);
+    b.branch(BranchCond::Lt, reg::x(11), reg::x(12), head);
+}
+
+impl CaseSpec {
+    /// Lowers the spec to a program. `HintMode::Compiler` builds the plain
+    /// kernel here — the harness annotates it from a golden profile.
+    pub fn build(&self) -> Program {
+        let mut b = ProgramBuilder::new();
+        let head = b.label("head");
+        let cont = b.label("cont");
+        let mut uniq = 0u32;
+        b.li(reg::x(1), 0);
+        b.li(reg::x(2), self.trip.max(1) as i64 * 8);
+        for r in 0..6 {
+            b.li(tmp(r), (self.seed.wrapping_mul(r as u64 + 1) & 0xffff) as i64);
+        }
+        b.bind(head);
+        let n = self.ops.len();
+        let (d, r) = match self.hint {
+            HintMode::Arbitrary { d, r } => (d.min(n), r.min(n)),
+            _ => (usize::MAX, usize::MAX),
+        };
+        let hinted = matches!(self.hint, HintMode::Arbitrary { .. });
+        let has_reattach = hinted && r > d;
+        let inner_pos = self.inner.as_ref().map(|i| i.pos.min(n));
+        // Ops are emitted one at a time so hints and the inner loop land
+        // between them; a SkipIfOdd therefore skips the next *outer* op
+        // (including any hint or inner loop emitted before it).
+        let mut pending: Option<lf_isa::Label> = None;
+        for k in 0..=n {
+            if k == d {
+                b.detach(cont);
+            }
+            if k == r && has_reattach {
+                b.reattach(cont);
+                b.bind(cont);
+            }
+            if inner_pos == Some(k) {
+                emit_inner(&mut b, self.inner.as_ref().expect("inner_pos set"), &mut uniq);
+            }
+            if k == n {
+                break;
+            }
+            if let OpSpec::SkipIfOdd { a } = self.ops[k] {
+                if let Some(l) = pending.take() {
+                    b.bind(l);
+                }
+                if k + 1 < n {
+                    let l = b.label(&format!("skip{uniq}"));
+                    uniq += 1;
+                    b.alui(AluOp::And, reg::x(9), tmp(a), 1);
+                    b.branch(BranchCond::Ne, reg::x(9), reg::ZERO, l);
+                    pending = Some(l);
+                }
+                continue;
+            }
+            emit_op(&mut b, &self.ops[k], reg::x(1));
+            if let Some(l) = pending.take() {
+                b.bind(l);
+            }
+        }
+        if let Some(l) = pending.take() {
+            b.bind(l);
+        }
+        if hinted && !has_reattach {
+            b.bind(cont); // continuation defaults to the induction update
+        }
+        b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
+        b.branch(BranchCond::Lt, reg::x(1), reg::x(2), head);
+        if hinted {
+            b.sync(cont);
+        }
+        b.halt();
+        b.build().expect("spec builder emits bound labels")
+    }
+
+    /// The same kernel with `HintMode::None`.
+    pub fn plain(&self) -> CaseSpec {
+        CaseSpec { hint: HintMode::None, ..self.clone() }
+    }
+}
+
+/// The deterministic data memory image for a case seed.
+pub fn seeded_memory(seed: u64) -> Memory {
+    let mut mem = Memory::new(MEM_BYTES as usize);
+    let mut x = seed | 1;
+    for i in 0..(MEM_BYTES / 8) {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        mem.write_u64(i * 8, x).unwrap();
+    }
+    mem
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_op_case(hint: HintMode) -> CaseSpec {
+        CaseSpec {
+            seed: 7,
+            trip: 4,
+            ops: vec![OpSpec::Load { arr: 0, off: 0, dst: 0 }],
+            inner: None,
+            hint,
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let c = one_op_case(HintMode::Arbitrary { d: 0, r: 1 });
+        assert_eq!(c.build().insts(), c.build().insts());
+    }
+
+    #[test]
+    fn plain_build_has_no_hints() {
+        let c = one_op_case(HintMode::None);
+        let p = c.build();
+        assert!(p.insts().iter().all(|i| i.hint().is_none()));
+    }
+
+    #[test]
+    fn minimal_hinted_case_is_small() {
+        // The shrinker's floor: a 1-op arbitrary-hinted loop stays within
+        // the 20-instruction reproducer budget.
+        let c = one_op_case(HintMode::Arbitrary { d: 0, r: 1 });
+        assert!(c.build().len() <= 20, "got {}", c.build().len());
+    }
+
+    #[test]
+    fn inner_loop_emits_between_ops() {
+        let mut c = one_op_case(HintMode::None);
+        c.inner = Some(InnerSpec {
+            pos: 0,
+            trip: 2,
+            ops: vec![OpSpec::Store { arr: 1, off: 0, src: 1 }],
+        });
+        let p = c.build();
+        assert!(p.insts().iter().any(|i| i.is_store()));
+        // Two backward branches: inner and outer.
+        let branches =
+            p.insts().iter().filter(|i| matches!(i, lf_isa::Inst::Branch { .. })).count();
+        assert_eq!(branches, 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! Replays every checked-in regression program in `tests/corpus/` through
+//! the full differential harness — golden emulator (plain and hinted),
+//! baseline core, and the LoopFrog core with invariants and lockstep
+//! boundary replay armed — so a fixed bug stays fixed on all three
+//! backends.
+//!
+//! New reproducers come from `lf-verify --minimize`: the printed case text
+//! is committed verbatim as a `.lfcase` file (see EXPERIMENTS.md).
+
+use lf_verify::{corpus, run_case, HarnessOptions, Outcome};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+#[test]
+fn corpus_replays_clean_on_all_backends() {
+    let dir = corpus_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "lfcase"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 10,
+        "corpus holds {} cases; at least 10 expected in {}",
+        entries.len(),
+        dir.display()
+    );
+    let opts = HarnessOptions::default();
+    for path in &entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{name}: cannot read: {e}"));
+        let spec = corpus::parse(&text).unwrap_or_else(|e| panic!("{name}: parse error: {e}"));
+        match run_case(&spec, &opts) {
+            Outcome::Pass { .. } => {}
+            Outcome::Reject { reason } => {
+                panic!("{name}: rejected ({reason}) — corpus cases must terminate")
+            }
+            Outcome::Fail(f) => panic!("{name}: {:?} regressed:\n{}", f.kind, f.detail),
+        }
+    }
+}
+
+#[test]
+fn corpus_files_round_trip() {
+    // Committed files must survive a parse → serialize → parse cycle, so
+    // `lf-verify --replay` and hand edits stay in the same dialect.
+    for path in std::fs::read_dir(corpus_dir()).expect("corpus dir") {
+        let path = path.expect("entry").path();
+        if path.extension().is_none_or(|x| x != "lfcase") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let spec = corpus::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let back = corpus::parse(&corpus::serialize(&spec, "")).expect("serialized parses");
+        assert_eq!(spec, back, "{name} did not round-trip");
+    }
+}

@@ -1,244 +1,44 @@
-//! Property-based differential testing.
+//! Property-based differential testing, ported onto the `lf-verify`
+//! generator and harness (one seeded-RNG case format shared with the
+//! fuzzer, the shrinker, and `tests/corpus/`).
 //!
-//! Random structured loop kernels are generated, hinted two ways —
-//! automatically by the compiler pass, and by *arbitrary* detach/reattach
-//! placements inside the loop — and executed on the golden emulator, the
-//! baseline core, and the LoopFrog core. All runs must produce identical
-//! architectural state: the microarchitecture must preserve sequential
-//! semantics for any hint placement (paper §3.2), not just legal ones —
-//! illegal register dataflow is caught by the register-merge violation
-//! squash, and memory dependences by the conflict detector.
+//! Random structured loop kernels are hinted two ways — automatically by
+//! the compiler pass, and by *arbitrary* detach/reattach placements inside
+//! the loop — and run through the full harness: golden emulator on plain
+//! and hinted kernels, baseline core, LoopFrog core with cycle-level
+//! invariants and lockstep boundary replay, and metamorphic configuration
+//! variants. The microarchitecture must preserve sequential semantics for
+//! any hint placement (paper §3.2), not just legal ones — illegal register
+//! dataflow is caught by the register-merge violation squash, and memory
+//! dependences by the conflict detector.
 //!
-//! The generator is driven by the repository's seeded [`SmallRng`] (the
-//! external `proptest` crate is unavailable in hermetic builds), so every
-//! case is reproducible from its printed seed.
+//! Every case reproduces from its printed seed via
+//! `lf_verify::gen::case_from_seed` (see EXPERIMENTS.md).
 
-use lf_isa::{reg, AluOp, BranchCond, Emulator, MemSize, Memory, Program, ProgramBuilder};
 use lf_stats::rng::SmallRng;
-use loopfrog::{simulate, LoopFrogConfig};
-
-const ARRAYS: [i64; 3] = [0x1000, 0x3000, 0x5000];
+use lf_verify::{gen, run_case, CaseSpec, HarnessOptions, HintMode, Outcome};
 
 /// Cases per property (128 mirrors the original proptest config).
 const CASES: u64 = 128;
 
-#[derive(Debug, Clone)]
-enum OpSpec {
-    /// tmp[dst] = mem[array + i + off*8]
-    Load { arr: usize, off: i64, dst: usize },
-    /// mem[array + i + off*8] = tmp[src]
-    Store { arr: usize, off: i64, src: usize },
-    /// tmp[dst] = op(tmp[a], tmp[b])
-    Alu { op: AluOp, dst: usize, a: usize, b: usize },
-    /// tmp[dst] = op(tmp[a], imm)
-    AluImm { op: AluOp, dst: usize, a: usize, imm: i64 },
-    /// Skip the next op if tmp[a] is odd (data-dependent branch).
-    SkipIfOdd { a: usize },
-}
-
-#[derive(Debug, Clone)]
-struct LoopSpec {
-    trip: usize,
-    ops: Vec<OpSpec>,
-    seed: u64,
-}
-
-const ALU_OPS: [AluOp; 7] =
-    [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Xor, AluOp::And, AluOp::Or, AluOp::Srl];
-
-fn random_op(rng: &mut SmallRng) -> OpSpec {
-    match rng.random_range(0..5u32) {
-        0 => OpSpec::Load {
-            arr: rng.random_range(0..3usize),
-            off: rng.random_range(-2..=2i64),
-            dst: rng.random_range(0..6usize),
-        },
-        1 => OpSpec::Store {
-            arr: rng.random_range(0..3usize),
-            off: rng.random_range(-2..=2i64),
-            src: rng.random_range(0..6usize),
-        },
-        2 => OpSpec::Alu {
-            op: ALU_OPS[rng.random_range(0..ALU_OPS.len())],
-            dst: rng.random_range(0..6usize),
-            a: rng.random_range(0..6usize),
-            b: rng.random_range(0..6usize),
-        },
-        3 => OpSpec::AluImm {
-            op: ALU_OPS[rng.random_range(0..ALU_OPS.len())],
-            dst: rng.random_range(0..6usize),
-            a: rng.random_range(0..6usize),
-            imm: rng.random_range(1..64i64),
-        },
-        _ => OpSpec::SkipIfOdd { a: rng.random_range(0..6usize) },
+fn check(spec: &CaseSpec, label: &str) {
+    match run_case(spec, &HarnessOptions::default()) {
+        Outcome::Fail(f) => panic!("{label} failed ({:?}) on {spec:?}:\n{}", f.kind, f.detail),
+        Outcome::Reject { reason } => eprintln!("{label} rejected ({reason}): {spec:?}"),
+        Outcome::Pass { .. } => {}
     }
 }
 
-fn random_spec(rng: &mut SmallRng) -> LoopSpec {
-    let trip = rng.random_range(4..48usize);
-    let n = rng.random_range(1..9usize);
-    let ops = (0..n).map(|_| random_op(rng)).collect();
-    LoopSpec { trip, ops, seed: rng.random() }
-}
-
-/// Temps live in x3..x8; i in x1; bound in x2.
-fn tmp(r: usize) -> lf_isa::Reg {
-    reg::x(3 + r)
-}
-
-/// Emits the loop body ops; returns the body instruction count.
-fn emit_ops(b: &mut ProgramBuilder, ops: &[OpSpec]) {
-    let mut skip_next = false;
-    let mut pending_label = None;
-    for (k, op) in ops.iter().enumerate() {
-        if skip_next {
-            // Bind the skip label before this op's successor.
-            skip_next = false;
-        }
-        match *op {
-            OpSpec::Load { arr, off, dst } => {
-                b.load(tmp(dst), reg::x(1), ARRAYS[arr] + off * 8 + 16, MemSize::B8);
-            }
-            OpSpec::Store { arr, off, src } => {
-                b.store(tmp(src), reg::x(1), ARRAYS[arr] + off * 8 + 16, MemSize::B8);
-            }
-            OpSpec::Alu { op, dst, a, b: rb } => {
-                b.alu(op, tmp(dst), tmp(a), tmp(rb));
-            }
-            OpSpec::AluImm { op, dst, a, imm } => {
-                b.alui(op, tmp(dst), tmp(a), imm);
-            }
-            OpSpec::SkipIfOdd { a } => {
-                if k + 1 < ops.len() {
-                    let l = b.label(&format!("skip{k}"));
-                    b.alui(AluOp::And, reg::x(9), tmp(a), 1);
-                    b.branch(BranchCond::Ne, reg::x(9), reg::ZERO, l);
-                    pending_label = Some((l, k + 1));
-                    skip_next = true;
-                }
-            }
-        }
-        if let Some((l, at)) = pending_label {
-            if k == at {
-                b.bind(l);
-                pending_label = None;
-            }
-        }
-    }
-    if let Some((l, _)) = pending_label {
-        b.bind(l);
-    }
-}
-
-/// Builds the kernel; `hint_at = Some((d, r))` places detach before body op
-/// index `d` and (when `r > d`) reattach before body op index `r` —
-/// arbitrary, possibly illegal placements. A detach with no reattach is
-/// also emitted when `r <= d` (the region's continuation is then the
-/// induction update): the hardware must tolerate that too. A sync guards
-/// the exit whenever hints are present.
-fn build(spec: &LoopSpec, hint_at: Option<(usize, usize)>) -> Program {
-    let mut b = ProgramBuilder::new();
-    let head = b.label("head");
-    let cont = b.label("cont");
-    b.li(reg::x(1), 0);
-    b.li(reg::x(2), spec.trip as i64 * 8);
-    for r in 0..6 {
-        b.li(tmp(r), (spec.seed.wrapping_mul(r as u64 + 1) & 0xffff) as i64);
-    }
-    b.bind(head);
-    let n = spec.ops.len();
-    let (d, r) = hint_at.map_or((usize::MAX, usize::MAX), |(d, r)| (d.min(n), r.min(n)));
-    let has_reattach = hint_at.is_some() && r > d;
-    for (k, op) in spec.ops.iter().enumerate() {
-        if k == d {
-            b.detach(cont);
-        }
-        if k == r && has_reattach {
-            b.reattach(cont);
-            b.bind(cont);
-        }
-        emit_ops(&mut b, std::slice::from_ref(op));
-    }
-    if n == d {
-        b.detach(cont);
-    }
-    if n == r && has_reattach {
-        b.reattach(cont);
-        b.bind(cont);
-    }
-    if hint_at.is_some() && !has_reattach {
-        b.bind(cont); // continuation defaults to the induction update
-    }
-    b.alui(AluOp::Add, reg::x(1), reg::x(1), 8);
-    b.branch(BranchCond::Lt, reg::x(1), reg::x(2), head);
-    if hint_at.is_some() {
-        b.sync(cont);
-    }
-    b.halt();
-    b.build().expect("generator emits bound labels")
-}
-
-fn seeded_memory(seed: u64) -> Memory {
-    let mut mem = Memory::new(0x8000);
-    let mut x = seed | 1;
-    for i in 0..(0x8000 / 8) {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        mem.write_u64(i * 8, x).unwrap();
-    }
-    mem
-}
-
-fn golden(program: &Program, mem: &Memory) -> u64 {
-    let mut emu = Emulator::new(program, mem.clone());
-    let r = emu.run(5_000_000).unwrap();
-    assert_eq!(r.stop, lf_isa::StopReason::Halted);
-    emu.state_checksum()
-}
-
-/// One case of the compiler-annotated property.
-fn check_compiler_annotated(spec: &LoopSpec) {
-    let plain = build(spec, None);
-    let mem = seeded_memory(spec.seed);
-    let gold = golden(&plain, &mem);
-
-    let mut emu = Emulator::new(&plain, mem.clone());
-    emu.run(5_000_000).unwrap();
-    let opts = lf_compiler::SelectOptions {
-        min_trip: 2.0,
-        min_coverage: 0.0,
-        min_body_score: 1.0,
-        max_loops: 4,
-    };
-    let ann = lf_compiler::annotate(&plain, emu.profile(), &opts);
-
-    let base = simulate(&ann.program, mem.clone(), LoopFrogConfig::baseline()).unwrap();
-    assert_eq!(base.checksum, gold, "baseline diverged on {spec:?}");
-    let lf = simulate(&ann.program, mem.clone(), LoopFrogConfig::default()).unwrap();
-    assert_eq!(lf.checksum, gold, "loopfrog diverged on {spec:?}");
-}
-
-/// One case of the arbitrary-hint property.
-fn check_arbitrary_hints(spec: &LoopSpec, d: usize, r: usize) {
-    let n = spec.ops.len();
-    let hinted = build(spec, Some((d.min(n), r.min(n))));
-    let mem = seeded_memory(spec.seed);
-    // The hinted program must be sequentially identical to itself with
-    // hints stripped (hints are semantics-free)...
-    let gold = golden(&hinted.without_hints(), &mem);
-    assert_eq!(golden(&hinted, &mem), gold, "emulator diverged on {spec:?} d={d} r={r}");
-    // ...and the speculative core must preserve that.
-    let lf = simulate(&hinted, mem.clone(), LoopFrogConfig::default()).unwrap();
-    assert_eq!(lf.checksum, gold, "loopfrog diverged on arbitrary hints {spec:?} d={d} r={r}");
-}
-
-/// Compiler-annotated random kernels are exact on both cores.
+/// Compiler-annotated random kernels are exact on both cores, at every
+/// commit boundary, under every metamorphic config.
 #[test]
 fn compiler_annotated_kernels_are_exact() {
     let mut rng = SmallRng::seed_from_u64(0x1f_0001);
     for case in 0..CASES {
-        let spec = random_spec(&mut rng);
-        eprintln!("case {case}: {spec:?}");
-        check_compiler_annotated(&spec);
+        let case_seed: u64 = rng.random();
+        let spec = CaseSpec { hint: HintMode::Compiler, ..gen::case_from_seed(case_seed) };
+        eprintln!("case {case} (seed {case_seed}): {spec:?}");
+        check(&spec, "compiler-annotated");
     }
 }
 
@@ -248,26 +48,28 @@ fn compiler_annotated_kernels_are_exact() {
 fn arbitrary_hint_placements_are_exact() {
     let mut rng = SmallRng::seed_from_u64(0x1f_0002);
     for case in 0..CASES {
-        let spec = random_spec(&mut rng);
-        let d = rng.random_range(0..9usize);
-        let r = rng.random_range(0..10usize);
-        eprintln!("case {case}: d={d} r={r} {spec:?}");
-        check_arbitrary_hints(&spec, d, r);
+        let case_seed: u64 = rng.random();
+        let mut spec = gen::case_from_seed(case_seed);
+        if !matches!(spec.hint, HintMode::Arbitrary { .. }) {
+            spec.hint = HintMode::Arbitrary {
+                d: rng.random_range(0..9usize),
+                r: rng.random_range(0..10usize),
+            };
+        }
+        eprintln!("case {case} (seed {case_seed}): {spec:?}");
+        check(&spec, "arbitrary-hints");
     }
 }
 
-/// Regression corpus: cases proptest shrank to in earlier versions of this
-/// suite (kept verbatim from the retired `.proptest-regressions` file).
+/// Mixed generator output exactly as the fuzzer draws it (hint mode
+/// included), so this file and `lf-verify --seed` explore the same space.
 #[test]
-fn shrunk_regression_cases() {
-    let spec = LoopSpec { trip: 4, ops: vec![OpSpec::Load { arr: 0, off: 0, dst: 0 }], seed: 0 };
-    check_arbitrary_hints(&spec, 1, 1);
-
-    let spec = LoopSpec {
-        trip: 4,
-        ops: vec![OpSpec::Alu { op: AluOp::Xor, dst: 0, a: 1, b: 1 }],
-        seed: 1,
-    };
-    check_compiler_annotated(&spec);
-    check_arbitrary_hints(&spec, 0, 1);
+fn generator_cases_are_exact() {
+    let mut rng = SmallRng::seed_from_u64(0x1f_0003);
+    for case in 0..CASES {
+        let case_seed: u64 = rng.random();
+        let spec = gen::case_from_seed(case_seed);
+        eprintln!("case {case} (seed {case_seed}): {spec:?}");
+        check(&spec, "generator");
+    }
 }

@@ -1,116 +1,30 @@
 //! Property test: the SSB's multi-versioned read logic against a naive
-//! reference model (a stack of byte overlays per slice), over random
-//! interleaved writes and squashes.
+//! reference model, ported onto `lf_verify::ssb_model` (one seeded-RNG
+//! case format shared with the fuzzer's soak mode).
 //!
-//! Randomized with the repository's seeded [`SmallRng`] (the external
-//! `proptest` crate is unavailable in hermetic builds); every case prints
-//! its index so failures reproduce deterministically.
+//! Random interleaved writes and squashes drive `loopfrog::ssb::Ssb`; a
+//! final versioned read must match a stack of per-slice byte overlays.
+//! Every case prints its index so failures reproduce deterministically
+//! from the fixed seed.
 
-use lf_isa::Memory;
 use lf_stats::rng::SmallRng;
-use loopfrog::ssb::{Ssb, WriteOutcome};
-use loopfrog::SsbConfig;
-use std::collections::HashMap;
-
-#[derive(Debug, Clone)]
-enum Action {
-    /// slice, addr (aligned within a small window), len 1..=8, value seed
-    Write(usize, u64, usize, u64),
-    /// squash slice
-    Squash(usize),
-}
-
-fn random_action(rng: &mut SmallRng) -> Action {
-    // Writes outnumber squashes 8:1, as in the original strategy weights.
-    if rng.random_range(0..9u32) < 8 {
-        Action::Write(
-            rng.random_range(0..4usize),
-            rng.random_range(0..256u64),
-            rng.random_range(1..=8usize),
-            rng.random(),
-        )
-    } else {
-        Action::Squash(rng.random_range(0..4usize))
-    }
-}
-
-fn run_case(actions: &[Action], read_addr: u64, read_len: usize, reader: usize) {
-    let cfg = SsbConfig { size_bytes: 4096, line: 32, granule: 4, ..SsbConfig::default() };
-    let mut ssb = Ssb::new(&cfg, 4);
-    let mut mem = Memory::new(1024);
-    for i in 0..128 {
-        mem.write_u64(i * 8, i.wrapping_mul(0x9e3779b9) | 1).unwrap();
-    }
-    // Naive model: per-slice byte overlays.
-    let mut model: Vec<HashMap<u64, u8>> = vec![HashMap::new(); 4];
-
-    for act in actions {
-        match *act {
-            Action::Write(slice, addr, len, seed) => {
-                let bytes: Vec<u8> = (0..len).map(|i| (seed >> (i * 8)) as u8).collect();
-                // Older view for read-fills: slices 0..=slice over memory.
-                let view_order: Vec<usize> = (0..=slice).collect();
-                let view: Vec<(u64, u8)> = (addr.saturating_sub(8)..addr + 16)
-                    .map(|a| {
-                        let mut b = mem.read_u8(a).unwrap_or(0);
-                        for &s in &view_order {
-                            if let Some(&v) = model[s].get(&a) {
-                                b = v;
-                            }
-                        }
-                        (a, b)
-                    })
-                    .collect();
-                let lookup: HashMap<u64, u8> = view.into_iter().collect();
-                let out = ssb.write(slice, addr, &bytes, |a| lookup[&a]);
-                assert!(matches!(out, WriteOutcome::Ok { .. }), "write overflowed unexpectedly");
-                // Model: the write plus granule read-fills.
-                let g = 4u64;
-                let first = addr / g * g;
-                let last = (addr + len as u64 - 1) / g * g + g;
-                for a in first..last {
-                    let covered = a >= addr && a < addr + len as u64;
-                    if covered {
-                        model[slice].insert(a, bytes[(a - addr) as usize]);
-                    } else {
-                        // Read-fill from the older view.
-                        model[slice].entry(a).or_insert_with(|| lookup[&a]);
-                    }
-                }
-            }
-            Action::Squash(slice) => {
-                ssb.invalidate_slice(slice);
-                model[slice].clear();
-            }
-        }
-    }
-
-    // Read as `reader`: slices 0..=reader overlay memory, newest wins.
-    let order: Vec<usize> = (0..=reader).collect();
-    let (got, _) = ssb.read(&order, read_addr, read_len as u64, &mem);
-    for (i, b) in got.iter().enumerate() {
-        let a = read_addr + i as u64;
-        let mut expect = mem.read_u8(a).unwrap_or(0);
-        for &s in &order {
-            if let Some(&v) = model[s].get(&a) {
-                expect = v;
-            }
-        }
-        assert_eq!(*b, expect, "byte {} at {:#x}", i, a);
-    }
-}
+use lf_verify::ssb_model::{check_case, random_case};
 
 #[test]
 fn versioned_reads_match_naive_overlay() {
     // 256 cases mirrors the original proptest config.
     let mut rng = SmallRng::seed_from_u64(0x55b_0001);
     for case in 0..256 {
-        let n = rng.random_range(1..60usize);
-        let actions: Vec<Action> = (0..n).map(|_| random_action(&mut rng)).collect();
-        let read_addr = rng.random_range(0..256u64);
-        let read_len = rng.random_range(1..=8usize);
-        let reader = rng.random_range(0..4usize);
-        eprintln!("case {case}: {} actions, read {read_len}@{read_addr} as T{reader}", n);
-        run_case(&actions, read_addr, read_len, reader);
+        let c = random_case(&mut rng);
+        eprintln!(
+            "case {case}: {} actions, read {}@{:#x} as T{}",
+            c.actions.len(),
+            c.read_len,
+            c.read_addr,
+            c.reader
+        );
+        if let Err(msg) = check_case(&c) {
+            panic!("case {case} diverged: {msg}\n{c:?}");
+        }
     }
 }
