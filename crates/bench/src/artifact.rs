@@ -15,8 +15,13 @@ use loopfrog::SimResult;
 use std::io;
 use std::path::Path;
 
-/// Artifact schema version; bump on incompatible layout changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Artifact schema version; bump on incompatible layout changes. Also
+/// versions the experiment engine's on-disk run cache
+/// ([`crate::engine::cache`]): a bump invalidates every cached outcome.
+///
+/// v2: unified experiment engine — artifacts gain a `planner` section and
+/// kernel records are rendered from memoized [`crate::RunOutcome`]s.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Builder for one experiment's JSON artifact.
 #[derive(Debug, Clone)]
@@ -91,7 +96,8 @@ impl RunArtifact {
     }
 }
 
-/// One kernel's record: identity, verdicts, and both full results.
+/// One kernel's record: identity, verdicts, and both full results (the
+/// pre-rendered dumps carried by the run's memoized outcomes).
 pub fn kernel_json(run: &KernelRun) -> Json {
     let mut k = Json::obj();
     k.set("name", run.name);
@@ -103,8 +109,8 @@ pub fn kernel_json(run: &KernelRun) -> Json {
     k.set("checksum_ok", Json::Bool(run.checksum_ok));
     k.set("deselected", Json::Bool(run.deselected));
     k.set("speedup", run.speedup());
-    k.set("base", sim_result_json(&run.base_result));
-    k.set("loopfrog", sim_result_json(&run.lf_result));
+    k.set("base", run.base.rendered.clone());
+    k.set("loopfrog", run.lf.rendered.clone());
     k
 }
 
@@ -134,37 +140,6 @@ pub fn sim_result_json(r: &SimResult) -> Json {
         .collect();
     j.set("intervals", Json::Arr(intervals));
     j
-}
-
-/// Standard tail for experiment binaries: if `--json <path>` was given,
-/// build an artifact over `runs` and write it, reporting the path.
-pub fn maybe_write(tool: &str, scale: Scale, cfg: &RunConfig, runs: &[KernelRun]) {
-    maybe_write_with(tool, scale, cfg, runs, |_| {})
-}
-
-/// As [`maybe_write`], with a hook to attach tool-specific extras before
-/// the document is serialized.
-pub fn maybe_write_with(
-    tool: &str,
-    scale: Scale,
-    cfg: &RunConfig,
-    runs: &[KernelRun],
-    extras: impl FnOnce(&mut RunArtifact),
-) {
-    let Some(path) = crate::json_path_from_args() else { return };
-    let mut art = RunArtifact::new(tool, scale);
-    art.set_config(cfg);
-    for run in runs {
-        art.push_kernel(run);
-    }
-    extras(&mut art);
-    match art.write(&path) {
-        Ok(()) => println!("\nwrote {}", path.display()),
-        Err(e) => {
-            eprintln!("error: failed to write {}: {e}", path.display());
-            std::process::exit(1);
-        }
-    }
 }
 
 #[cfg(test)]

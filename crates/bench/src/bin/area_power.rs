@@ -1,89 +1,7 @@
-//! §6.8: area and power overheads.
-//!
-//! The analytic part reproduces the paper's arithmetic (SSB + conflict
-//! checker ≈ 2% of a Neoverse-N1-class core; 12-17% total with SMT
-//! support, vs. 6-8% conventional scaling from Pollack's rule for the same
-//! area). The dynamic part measures the speculation activity counters the
-//! paper reports: issued-instruction increase, L2 access increase, and L2
-//! miss change.
-
-use lf_bench::area::AreaEstimate;
-use lf_bench::{print_table, run_suite, RunConfig};
+//! Shim: §6.8 (area and power overheads) now runs inside the unified
+//! experiment engine. Equivalent to `lf-bench run area_power`;
+//! kept for the historical per-figure command surface.
 
 fn main() {
-    let scale = lf_bench::scale_from_args();
-    let a = AreaEstimate::paper();
-    println!("§6.8: area model (7 nm)\n");
-    print_table(
-        &["component", "value"],
-        &[
-            vec!["SSB granule cache (4 slices)".into(), format!("{:.3} mm²", a.ssb_mm2)],
-            vec!["Bloom-filter conflict checker".into(), format!("{:.3} mm²", a.conflict_mm2)],
-            vec![
-                "reference core (Neoverse N1 + L1 + 1MB L2)".into(),
-                format!("{:.1} mm²", a.core_mm2),
-            ],
-            vec![
-                "LoopFrog structures / core".into(),
-                format!("{:.1}%", a.loopfrog_structures_frac() * 100.0),
-            ],
-            vec![
-                "total increase (with SMT support)".into(),
-                format!("{:.0}-{:.0}%", a.total_increase().0 * 100.0, a.total_increase().1 * 100.0),
-            ],
-            vec![
-                "Pollack's-rule speedup for same area".into(),
-                format!(
-                    "{:.0}-{:.0}%",
-                    (a.pollack_speedup().0 - 1.0) * 100.0,
-                    (a.pollack_speedup().1 - 1.0) * 100.0
-                ),
-            ],
-        ],
-    );
-
-    let cfg = RunConfig::default();
-    let runs = run_suite(scale, &cfg);
-    let mut issued_up = Vec::new();
-    let mut l2_up = Vec::new();
-    let mut l2_miss = Vec::new();
-    for r in &runs {
-        if r.deselected {
-            continue;
-        }
-        issued_up.push(r.lf.issued_insts as f64 / r.base.issued_insts.max(1) as f64);
-        l2_up.push(
-            r.lf.counters.get("l2_accesses") as f64
-                / r.base.counters.get("l2_accesses").max(1) as f64,
-        );
-        l2_miss.push(
-            r.lf.counters.get("l2_misses") as f64 / r.base.counters.get("l2_misses").max(1) as f64,
-        );
-    }
-    println!("\ndynamic activity (LoopFrog / baseline, geomean over selected kernels):");
-    println!(
-        "  instructions issued: {:+.1}% (paper +14%)",
-        (lf_stats::geomean(&issued_up) - 1.0) * 100.0
-    );
-    println!(
-        "  L2 accesses:         {:+.1}% (paper +1.7%)",
-        (lf_stats::geomean(&l2_up) - 1.0) * 100.0
-    );
-    println!(
-        "  L2 misses:           {:+.1}% (paper -2.3%)",
-        (lf_stats::geomean(&l2_miss) - 1.0) * 100.0
-    );
-    lf_bench::artifact::maybe_write_with("area_power", scale, &cfg, &runs, |art| {
-        let mut area = lf_stats::Json::obj();
-        area.set("ssb_mm2", a.ssb_mm2);
-        area.set("conflict_mm2", a.conflict_mm2);
-        area.set("core_mm2", a.core_mm2);
-        area.set("loopfrog_structures_frac", a.loopfrog_structures_frac());
-        art.set_extra("area_model", area);
-        let mut dynamic = lf_stats::Json::obj();
-        dynamic.set("issued_insts_ratio", lf_stats::geomean(&issued_up));
-        dynamic.set("l2_accesses_ratio", lf_stats::geomean(&l2_up));
-        dynamic.set("l2_misses_ratio", lf_stats::geomean(&l2_miss));
-        art.set_extra("dynamic_activity", dynamic);
-    });
+    lf_bench::engine::cli::run_single("area_power");
 }

@@ -1,45 +1,7 @@
-//! §6.6: SSB associativity sensitivity and the victim buffer.
-//!
-//! Paper: limiting slice associativity to 4/8 ways costs 2.0%/1.4% of the
-//! headline speedup; adding a small shared victim buffer (8 entries)
-//! reduces the impact to 1.2% in both cases.
-
-use lf_bench::{fmt_pct, print_table, run_suite, RunConfig};
+//! Shim: §6.6 (SSB associativity sensitivity) now runs inside the unified
+//! experiment engine. Equivalent to `lf-bench run assoc_sensitivity`;
+//! kept for the historical per-figure command surface.
 
 fn main() {
-    let scale = lf_bench::scale_from_args();
-    println!("§6.6: SSB associativity sensitivity (default: fully associative)\n");
-    let mut rows = Vec::new();
-    let mut points = Vec::new();
-    for (label, assoc, victim) in [
-        ("full assoc", None, 0usize),
-        ("8-way", Some(8usize), 0),
-        ("4-way", Some(4), 0),
-        ("8-way + victim", Some(8), 8),
-        ("4-way + victim", Some(4), 8),
-    ] {
-        let mut cfg = RunConfig::default();
-        cfg.lf.ssb.assoc = assoc;
-        cfg.lf.ssb.victim_entries = victim;
-        let runs = run_suite(scale, &cfg);
-        let g = lf_stats::geomean(&runs.iter().map(|r| r.speedup()).collect::<Vec<_>>());
-        let stalls: u64 = runs.iter().map(|r| r.lf.squashes_overflow).sum();
-        rows.push(vec![label.to_string(), fmt_pct(g), stalls.to_string()]);
-        let mut p = lf_stats::Json::obj();
-        p.set("label", label);
-        p.set("geomean_speedup", g);
-        p.set("overflow_stalls", stalls);
-        points.push(p);
-    }
-    print_table(&["SSB slices", "geomean speedup", "overflow stalls"], &rows);
-    println!(
-        "\npaper shape: limited associativity costs 1-2pp; the victim buffer recovers most of it."
-    );
-    lf_bench::artifact::maybe_write_with(
-        "assoc_sensitivity",
-        scale,
-        &RunConfig::default(),
-        &[],
-        |art| art.set_extra("sweep", lf_stats::Json::Arr(points)),
-    );
+    lf_bench::engine::cli::run_single("assoc_sensitivity");
 }

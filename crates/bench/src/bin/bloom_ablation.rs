@@ -1,50 +1,7 @@
-//! §4.2 / §6.1 ablation: idealized vs. real Bloom-filter conflict sets.
-//!
-//! The paper's headline configuration models idealized filters ("No false
-//! positives modeled") and estimates that a naive design could make ~2% of
-//! epochs fail from false aliasing. This experiment swaps in real filters
-//! (Swarm-style 4,096-bit, and deliberately undersized ones) and measures
-//! the speedup cost and the rate of aliasing-induced squashes.
-
-use lf_bench::{fmt_pct, print_table, run_suite, RunConfig};
+//! Shim: §4.2/§6.1 (Bloom-filter conflict-set ablation) now runs inside the unified
+//! experiment engine. Equivalent to `lf-bench run bloom_ablation`;
+//! kept for the historical per-figure command surface.
 
 fn main() {
-    let scale = lf_bench::scale_from_args();
-    println!("Bloom-filter conflict-set ablation (default: idealized, exact sets)\n");
-    let mut rows = Vec::new();
-    let mut points = Vec::new();
-    for (label, bloom) in [
-        ("idealized (exact)", None),
-        ("4096-bit, 4 hashes", Some((4096usize, 4u32))),
-        ("1024-bit, 4 hashes", Some((1024, 4))),
-        ("256-bit, 2 hashes", Some((256, 2))),
-    ] {
-        let mut cfg = RunConfig::default();
-        cfg.lf.ssb.bloom = bloom;
-        let runs = run_suite(scale, &cfg);
-        let g = lf_stats::geomean(&runs.iter().map(|r| r.speedup()).collect::<Vec<_>>());
-        let fp: u64 = runs.iter().map(|r| r.lf.counters.get("bloom_false_positive_squashes")).sum();
-        let spawns: u64 = runs.iter().map(|r| r.lf.spawns).sum();
-        let epoch_fail = if spawns == 0 { 0.0 } else { fp as f64 / spawns as f64 * 100.0 };
-        rows.push(vec![label.to_string(), fmt_pct(g), fp.to_string(), format!("{epoch_fail:.2}%")]);
-        let mut p = lf_stats::Json::obj();
-        p.set("label", label);
-        p.set("geomean_speedup", g);
-        p.set("false_positive_squashes", fp);
-        p.set("epoch_fail_pct", epoch_fail);
-        points.push(p);
-    }
-    print_table(
-        &["conflict sets", "geomean speedup", "false-positive squashes", "epochs failed"],
-        &rows,
-    );
-    println!("\npaper: a naive design could fail ~2% of epochs; properly sized");
-    println!("filters (4,096 bits) should be indistinguishable from idealized sets.");
-    lf_bench::artifact::maybe_write_with(
-        "bloom_ablation",
-        scale,
-        &RunConfig::default(),
-        &[],
-        |art| art.set_extra("sweep", lf_stats::Json::Arr(points)),
-    );
+    lf_bench::engine::cli::run_single("bloom_ablation");
 }

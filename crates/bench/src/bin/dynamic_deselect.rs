@@ -1,54 +1,7 @@
-//! §5.1 ablation: static vs. dynamic loop deselection.
-//!
-//! The paper's prototype simulates *perfect static selection* via profiling
-//! and notes that "unprofitable loops must be excluded by either static or
-//! dynamic deselection, as they may lead to slowdown (up to 10% in our
-//! tests)". This experiment quantifies all four quadrants on our suite:
-//! no deselection at all, dynamic-only (run-time counters), static-only
-//! (the profile oracle), and both.
-
-use lf_bench::{fmt_pct, print_table, run_suite, RunConfig};
-use loopfrog::DeselectConfig;
+//! Shim: §5.1 (loop deselection ablation) now runs inside the unified
+//! experiment engine. Equivalent to `lf-bench run dynamic_deselect`;
+//! kept for the historical per-figure command surface.
 
 fn main() {
-    let scale = lf_bench::scale_from_args();
-    let variants: Vec<(&str, bool, bool)> = vec![
-        ("none", false, false),
-        ("dynamic only", false, true),
-        ("static only (oracle)", true, false),
-        ("static + dynamic", true, true),
-    ];
-    println!("§5.1: loop deselection ablation\n");
-    let mut rows = Vec::new();
-    let mut points = Vec::new();
-    for (label, static_sel, dynamic) in variants {
-        let mut cfg = RunConfig { deselect_unprofitable: static_sel, ..RunConfig::default() };
-        cfg.lf.deselect = DeselectConfig { enabled: dynamic, ..DeselectConfig::default() };
-        let runs = run_suite(scale, &cfg);
-        let speedups: Vec<f64> = runs.iter().map(|r| r.speedup()).collect();
-        let worst = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
-        let suppressed: u64 = runs.iter().map(|r| r.lf.counters.get("regions_suppressed")).sum();
-        rows.push(vec![
-            label.to_string(),
-            fmt_pct(lf_stats::geomean(&speedups)),
-            fmt_pct(worst),
-            suppressed.to_string(),
-        ]);
-        let mut p = lf_stats::Json::obj();
-        p.set("label", label);
-        p.set("geomean_speedup", lf_stats::geomean(&speedups));
-        p.set("worst_speedup", worst);
-        p.set("regions_suppressed", suppressed);
-        points.push(p);
-    }
-    print_table(&["deselection", "geomean speedup", "worst kernel", "regions suppressed"], &rows);
-    println!("\npaper: without deselection, unprofitable loops cost up to 10%;");
-    println!("dynamic deselection should recover most of the static oracle's benefit.");
-    lf_bench::artifact::maybe_write_with(
-        "dynamic_deselect",
-        scale,
-        &RunConfig::default(),
-        &[],
-        |art| art.set_extra("sweep", lf_stats::Json::Arr(points)),
-    );
+    lf_bench::engine::cli::run_single("dynamic_deselect");
 }

@@ -1,36 +1,7 @@
-//! Figure 10: sensitivity to the SSB/conflict-detector granule size.
-//!
-//! Paper: 1-4 B granules are equivalent; 8 B costs one benchmark ~5%;
-//! 16 B drops the geomean to +6.5% and full-line (32 B) granularity — the
-//! approach of prior work — to +6%, due to false-sharing conflicts.
-
-use lf_bench::{fmt_pct, print_table, run_suite, RunConfig};
+//! Shim: Figure 10 (conflict granule sensitivity) now runs inside the unified
+//! experiment engine. Equivalent to `lf-bench run fig10_granule`;
+//! kept for the historical per-figure command surface.
 
 fn main() {
-    let scale = lf_bench::scale_from_args();
-    println!("Figure 10: speedup vs conflict granule size (default 4 B)\n");
-    let mut rows = Vec::new();
-    let mut points = Vec::new();
-    for granule in [1usize, 2, 4, 8, 16, 32] {
-        let mut cfg = RunConfig::default();
-        cfg.lf.ssb.granule = granule;
-        let runs = run_suite(scale, &cfg);
-        let g = lf_stats::geomean(&runs.iter().map(|r| r.speedup()).collect::<Vec<_>>());
-        let conflicts: u64 = runs.iter().map(|r| r.lf.squashes_conflict).sum();
-        rows.push(vec![format!("{granule} B"), fmt_pct(g), conflicts.to_string()]);
-        let mut p = lf_stats::Json::obj();
-        p.set("granule_bytes", granule);
-        p.set("geomean_speedup", g);
-        p.set("conflict_squashes", conflicts);
-        points.push(p);
-    }
-    print_table(&["granule", "geomean speedup", "conflict squashes"], &rows);
-    println!("\npaper shape: flat ≤4 B; increasing false sharing beyond 8 B.");
-    lf_bench::artifact::maybe_write_with(
-        "fig10_granule",
-        scale,
-        &RunConfig::default(),
-        &[],
-        |art| art.set_extra("sweep", lf_stats::Json::Arr(points)),
-    );
+    lf_bench::engine::cli::run_single("fig10_granule");
 }

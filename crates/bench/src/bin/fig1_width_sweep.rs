@@ -1,57 +1,7 @@
-//! Figure 1: geomean IPC and commit utilization vs. front-end width.
-//!
-//! The paper measures four Intel microarchitectures of increasing width and
-//! finds IPC rising roughly linearly while the fraction of commit bandwidth
-//! actually used falls. We reproduce the trend by sweeping our baseline
-//! core's width (4/6/8/10) over the CPU 2017 analog suite.
-
-use lf_bench::{print_table, scale_from_args};
-use lf_uarch::CoreConfig;
-use loopfrog::{simulate, LoopFrogConfig};
+//! Shim: Figure 1 (IPC and commit utilization vs front-end width) now runs inside the unified
+//! experiment engine. Equivalent to `lf-bench run fig1_width_sweep`;
+//! kept for the historical per-figure command surface.
 
 fn main() {
-    let scale = scale_from_args();
-    let suite = lf_workloads::suite17(scale);
-    println!("Figure 1: IPC and commit utilization vs front-end width");
-    println!("(paper: Intel Skylake→Golden Cove trend; here: width sweep of our baseline core)\n");
-    let mut rows = Vec::new();
-    let mut points = Vec::new();
-    for width in [4usize, 6, 8, 10] {
-        let mut ipcs = Vec::new();
-        let mut utils = Vec::new();
-        for w in &suite {
-            let cfg = LoopFrogConfig {
-                core: CoreConfig { threadlets: 1, ..CoreConfig::with_width(width) },
-                speculation: false,
-                ..LoopFrogConfig::default()
-            };
-            let r = simulate(&w.program, w.mem.clone(), cfg)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
-            ipcs.push(r.stats.ipc());
-            utils.push(r.stats.commit_utilization(width));
-        }
-        rows.push(vec![
-            format!("{width}-wide"),
-            format!("{:.2}", lf_stats::geomean(&ipcs)),
-            format!("{:.1}%", lf_stats::geomean(&utils) * 100.0),
-        ]);
-        let mut p = lf_stats::Json::obj();
-        p.set("width", width);
-        p.set("geomean_ipc", lf_stats::geomean(&ipcs));
-        p.set("commit_utilization", lf_stats::geomean(&utils));
-        points.push(p);
-    }
-    print_table(&["core", "geomean IPC", "commit utilization"], &rows);
-    println!("\npaper shape: IPC grows with width; commit utilization falls.");
-    if let Some(path) = lf_bench::json_path_from_args() {
-        let mut art = lf_bench::RunArtifact::new("fig1_width_sweep", scale);
-        art.set_extra("sweep", lf_stats::Json::Arr(points));
-        match art.write(&path) {
-            Ok(()) => println!("\nwrote {}", path.display()),
-            Err(e) => {
-                eprintln!("error: failed to write {}: {e}", path.display());
-                std::process::exit(1);
-            }
-        }
-    }
+    lf_bench::engine::cli::run_single("fig1_width_sweep");
 }

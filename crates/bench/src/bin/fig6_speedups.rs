@@ -1,47 +1,7 @@
-//! Figure 6: whole-program speedups across the SPEC CPU 2006 and CPU 2017
-//! analog suites (paper: geomean +9.2% and +9.5%).
-
-use lf_bench::{fmt_pct, print_table, run_suite, RunConfig};
-use lf_workloads::Suite;
+//! Shim: Figure 6 (whole-program speedups) now runs inside the unified
+//! experiment engine. Equivalent to `lf-bench run fig6_speedups`;
+//! kept for the historical per-figure command surface.
 
 fn main() {
-    let scale = lf_bench::scale_from_args();
-    let cfg = RunConfig::default();
-    let runs = run_suite(scale, &cfg);
-    println!("Figure 6: whole-program speedups (LoopFrog vs baseline, hints-as-NOPs)\n");
-    let rows: Vec<Vec<String>> = runs
-        .iter()
-        .map(|r| {
-            vec![
-                r.name.to_string(),
-                r.spec_analog.to_string(),
-                match r.suite {
-                    Suite::Cpu2006 => "CPU2006".into(),
-                    Suite::Cpu2017 => "CPU2017".into(),
-                },
-                fmt_pct(r.speedup()),
-                if r.deselected {
-                    "deselected".into()
-                } else {
-                    format!("{} loops", r.selected_loops)
-                },
-                if r.checksum_ok { "ok".into() } else { "MISMATCH".into() },
-            ]
-        })
-        .collect();
-    print_table(&["kernel", "analog", "suite", "speedup", "selection", "check"], &rows);
-
-    for (suite, label, paper) in
-        [(Suite::Cpu2006, "CPU 2006", "+9.2%"), (Suite::Cpu2017, "CPU 2017", "+9.5%")]
-    {
-        let s: Vec<f64> = runs.iter().filter(|r| r.suite == suite).map(|r| r.speedup()).collect();
-        println!(
-            "\n{label} geomean: {} (paper: {paper}); {}/{} kernels gain >1%",
-            fmt_pct(lf_stats::geomean(&s)),
-            s.iter().filter(|&&x| x > 1.01).count(),
-            s.len()
-        );
-    }
-    assert!(runs.iter().all(|r| r.checksum_ok), "architectural state mismatch");
-    lf_bench::artifact::maybe_write("fig6_speedups", scale, &cfg, &runs);
+    lf_bench::engine::cli::run_single("fig6_speedups");
 }

@@ -1,59 +1,7 @@
-//! Figure 7 / §6.3: threadlet utilization over each benchmark's lifetime,
-//! and the Amdahl-implied in-region loop speedup.
-//!
-//! Paper: ≥2 threadlets active 42% of the time in profitable benchmarks
-//! (29% overall), all four active 23% (16% overall); in-region geomean
-//! speedup 43%.
-
-use lf_bench::{fmt_pct, print_table, run_suite, RunConfig};
+//! Shim: Figure 7 (threadlet utilization) now runs inside the unified
+//! experiment engine. Equivalent to `lf-bench run fig7_utilization`;
+//! kept for the historical per-figure command surface.
 
 fn main() {
-    let scale = lf_bench::scale_from_args();
-    let cfg = RunConfig::default();
-    let runs = run_suite(scale, &cfg);
-    println!("Figure 7: threadlet activity distribution (fraction of cycles)\n");
-    let rows: Vec<Vec<String>> = runs
-        .iter()
-        .map(|r| {
-            let total = r.lf.cycles.max(1) as f64;
-            let mut cells = vec![r.name.to_string()];
-            for k in 0..=4 {
-                let c = r.lf.cycles_with_active.get(k).copied().unwrap_or(0);
-                cells.push(format!("{:.0}%", c as f64 / total * 100.0));
-            }
-            cells.push(format!("{:.0}%", r.lf.frac_active_at_least(2) * 100.0));
-            cells
-        })
-        .collect();
-    print_table(&["kernel", "0", "1", "2", "3", "4", "≥2 active"], &rows);
-
-    let profitable: Vec<_> = runs.iter().filter(|r| r.speedup() > 1.01).collect();
-    let ge2 = lf_stats::mean(
-        &profitable.iter().map(|r| r.lf.frac_active_at_least(2)).collect::<Vec<_>>(),
-    );
-    let ge4 = lf_stats::mean(
-        &profitable.iter().map(|r| r.lf.frac_active_at_least(4)).collect::<Vec<_>>(),
-    );
-    let all2 =
-        lf_stats::mean(&runs.iter().map(|r| r.lf.frac_active_at_least(2)).collect::<Vec<_>>());
-    println!(
-        "\nprofitable kernels: ≥2 active {:.0}% of cycles (paper 42%), 4 active {:.0}% (paper 23%)",
-        ge2 * 100.0,
-        ge4 * 100.0
-    );
-    println!("all kernels: ≥2 active {:.0}% (paper 29%)", all2 * 100.0);
-
-    // §6.3: invert Amdahl per profitable kernel to estimate in-region speedup.
-    let mut region = Vec::new();
-    for r in &profitable {
-        let coverage = r.lf.region_cycles as f64 / r.lf.cycles.max(1) as f64;
-        if let Some(s) = lf_stats::amdahl_region_speedup(r.speedup(), coverage.clamp(0.05, 1.0)) {
-            region.push(s);
-        }
-    }
-    println!(
-        "Amdahl-implied in-region loop speedup geomean: {} (paper: +43%)",
-        fmt_pct(lf_stats::geomean(&region))
-    );
-    lf_bench::artifact::maybe_write("fig7_utilization", scale, &cfg, &runs);
+    lf_bench::engine::cli::run_single("fig7_utilization");
 }

@@ -1,46 +1,7 @@
-//! Figure 8: instructions committed per cycle by the architectural and
-//! speculative threadlets (including misspeculation), normalized to the
-//! baseline IPC.
-//!
-//! Paper: the architectural threadlet runs ~6% below baseline due to
-//! resource sharing; successful speculation recoups that and adds the
-//! +9.5%; an extra ~31% of commits belong to speculation that later fails.
-
-use lf_bench::{print_table, run_suite, RunConfig};
+//! Shim: Figure 8 (commit-rate breakdown) now runs inside the unified
+//! experiment engine. Equivalent to `lf-bench run fig8_ipc_breakdown`;
+//! kept for the historical per-figure command surface.
 
 fn main() {
-    let scale = lf_bench::scale_from_args();
-    let cfg = RunConfig::default();
-    let runs = run_suite(scale, &cfg);
-    println!("Figure 8: commit-rate breakdown, normalized to baseline IPC\n");
-    let mut rows = Vec::new();
-    let (mut archs, mut succs, mut fails) = (Vec::new(), Vec::new(), Vec::new());
-    for r in &runs {
-        let base_ipc = r.base.ipc();
-        let cyc = r.lf.cycles.max(1) as f64;
-        let arch = r.lf.commits_arch as f64 / cyc / base_ipc;
-        let succ = r.lf.commits_spec_success as f64 / cyc / base_ipc;
-        let fail = r.lf.commits_spec_failed as f64 / cyc / base_ipc;
-        archs.push(arch);
-        succs.push(succ);
-        fails.push(fail);
-        rows.push(vec![
-            r.name.to_string(),
-            format!("{:.2}", arch),
-            format!("{:.2}", succ),
-            format!("{:.2}", fail),
-            format!("{:.2}", arch + succ),
-        ]);
-    }
-    print_table(
-        &["kernel", "architectural", "spec (success)", "spec (failed)", "useful total"],
-        &rows,
-    );
-    println!(
-        "\nmeans: architectural {:.2} (paper ≈0.94 of baseline), successful spec {:.2}, failed spec {:.2} (paper ≈0.31)",
-        lf_stats::mean(&archs),
-        lf_stats::mean(&succs),
-        lf_stats::mean(&fails)
-    );
-    lf_bench::artifact::maybe_write("fig8_ipc_breakdown", scale, &cfg, &runs);
+    lf_bench::engine::cli::run_single("fig8_ipc_breakdown");
 }

@@ -1,38 +1,7 @@
-//! Figure 9: sensitivity of the geomean speedup to the SSB size.
-//!
-//! Paper: 8 KiB is the headline; 32 KiB adds <0.1%, 2 KiB costs only 0.4%,
-//! and even 512 B still gains +6.2% — size acts almost binarily per loop
-//! (does the working set fit?).
-
-use lf_bench::{fmt_pct, print_table, run_suite, RunConfig};
+//! Shim: Figure 9 (SSB size sensitivity) now runs inside the unified
+//! experiment engine. Equivalent to `lf-bench run fig9_ssb_size`;
+//! kept for the historical per-figure command surface.
 
 fn main() {
-    let scale = lf_bench::scale_from_args();
-    println!("Figure 9: speedup vs SSB size (default 8 KiB)\n");
-    let mut rows = Vec::new();
-    let mut points = Vec::new();
-    for (label, bytes) in
-        [("512 B", 512usize), ("2 KiB", 2 << 10), ("8 KiB", 8 << 10), ("32 KiB", 32 << 10)]
-    {
-        let mut cfg = RunConfig::default();
-        cfg.lf.ssb.size_bytes = bytes;
-        let runs = run_suite(scale, &cfg);
-        let g = lf_stats::geomean(&runs.iter().map(|r| r.speedup()).collect::<Vec<_>>());
-        let stalls: u64 = runs.iter().map(|r| r.lf.squashes_overflow).sum();
-        rows.push(vec![label.to_string(), fmt_pct(g), stalls.to_string()]);
-        let mut p = lf_stats::Json::obj();
-        p.set("size_bytes", bytes);
-        p.set("geomean_speedup", g);
-        p.set("overflow_stalls", stalls);
-        points.push(p);
-    }
-    print_table(&["SSB size", "geomean speedup", "overflow stalls"], &rows);
-    println!("\npaper shape: flat from 2 KiB up; degraded but still positive at 512 B.");
-    lf_bench::artifact::maybe_write_with(
-        "fig9_ssb_size",
-        scale,
-        &RunConfig::default(),
-        &[],
-        |art| art.set_extra("sweep", lf_stats::Json::Arr(points)),
-    );
+    lf_bench::engine::cli::run_single("fig9_ssb_size");
 }

@@ -1,30 +1,7 @@
-//! §6.7: generality — the speedup restricted to loops that are *not*
-//! inside an OpenMP parallel region in the original benchmark.
-//!
-//! Paper: considering only non-OpenMP loops, the CPU 2017 geomean is still
-//! +7.5%, showing LoopFrog's gains are orthogonal to coarse TLP.
-
-use lf_bench::{fmt_pct, run_suite, RunConfig};
-use lf_workloads::Suite;
+//! Shim: §6.7 (generality: non-OpenMP loops) now runs inside the unified
+//! experiment engine. Equivalent to `lf-bench run generality`;
+//! kept for the historical per-figure command surface.
 
 fn main() {
-    let scale = lf_bench::scale_from_args();
-    let cfg = RunConfig::default();
-    let runs = run_suite(scale, &cfg);
-    let s17: Vec<_> = runs.iter().filter(|r| r.suite == Suite::Cpu2017).collect();
-    let all: Vec<f64> = s17.iter().map(|r| r.speedup()).collect();
-    // Kernels whose source loop sits in an OpenMP region contribute no
-    // LoopFrog gain in this analysis (their coarse parallelism is assumed
-    // already exploited).
-    let non_omp: Vec<f64> =
-        s17.iter().map(|r| if r.in_openmp_region { 1.0 } else { r.speedup() }).collect();
-    println!("§6.7: generality (CPU 2017 analogs)\n");
-    println!("geomean, all loops:                {}", fmt_pct(lf_stats::geomean(&all)));
-    println!(
-        "geomean, non-OpenMP loops only:    {} (paper: +7.5% vs +9.5%)",
-        fmt_pct(lf_stats::geomean(&non_omp))
-    );
-    let omp = s17.iter().filter(|r| r.in_openmp_region).count();
-    println!("\n{omp} of {} CPU 2017 analogs mirror loops inside OpenMP regions", s17.len());
-    lf_bench::artifact::maybe_write("generality", scale, &cfg, &runs);
+    lf_bench::engine::cli::run_single("generality");
 }

@@ -1,0 +1,8 @@
+//! `lf-bench` — the unified experiment driver.
+//!
+//! Lists and runs registered scenarios through the deduplicating run
+//! planner; see [`lf_bench::engine::cli`] for the command surface.
+
+fn main() {
+    lf_bench::engine::cli::main();
+}

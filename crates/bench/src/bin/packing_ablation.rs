@@ -1,69 +1,7 @@
-//! §6.5: iteration packing ablation.
-//!
-//! Paper: packing affects 5 of the 13 profitable benchmarks, adds +0.9pp
-//! to the geomean (9.5% → 8.6% without), with a mean packing factor of
-//! 2.1× and a maximum of 25×.
-
-use lf_bench::{fmt_pct, print_table, run_suite, RunConfig};
+//! Shim: §6.5 (iteration packing ablation) now runs inside the unified
+//! experiment engine. Equivalent to `lf-bench run packing_ablation`;
+//! kept for the historical per-figure command surface.
 
 fn main() {
-    let scale = lf_bench::scale_from_args();
-    let cfg_with = RunConfig::default();
-    let with = run_suite(scale, &cfg_with);
-    let mut cfg = RunConfig::default();
-    cfg.lf.packing.enabled = false;
-    let without = run_suite(scale, &cfg);
-
-    println!("§6.5: iteration packing ablation\n");
-    let mut rows = Vec::new();
-    let mut affected = 0;
-    for (w, wo) in with.iter().zip(&without) {
-        let delta = w.speedup() / wo.speedup();
-        if (delta - 1.0).abs() > 0.005 {
-            affected += 1;
-        }
-        rows.push(vec![
-            w.name.to_string(),
-            fmt_pct(w.speedup()),
-            fmt_pct(wo.speedup()),
-            format!("{:+.1}pp", (w.speedup() - wo.speedup()) * 100.0),
-            format!("{:.1}", w.lf.mean_pack_factor()),
-            w.lf.pack_factor_max.to_string(),
-        ]);
-    }
-    print_table(
-        &["kernel", "with packing", "without", "delta", "mean factor", "max factor"],
-        &rows,
-    );
-    let g_with = lf_stats::geomean(&with.iter().map(|r| r.speedup()).collect::<Vec<_>>());
-    let g_without = lf_stats::geomean(&without.iter().map(|r| r.speedup()).collect::<Vec<_>>());
-    let packed_factors: Vec<f64> =
-        with.iter().filter(|r| r.lf.packed_spawns > 0).map(|r| r.lf.mean_pack_factor()).collect();
-    println!(
-        "\ngeomean with packing {} vs without {} ({:+.1}pp; paper +0.9pp)",
-        fmt_pct(g_with),
-        fmt_pct(g_without),
-        (g_with - g_without) * 100.0
-    );
-    println!(
-        "{affected} kernels affected (paper: 5); mean packing factor {:.1} (paper 2.1), max {} (paper 25)",
-        lf_stats::mean(&packed_factors),
-        with.iter().map(|r| r.lf.pack_factor_max).max().unwrap_or(0)
-    );
-    lf_bench::artifact::maybe_write_with("packing_ablation", scale, &cfg_with, &with, |art| {
-        let mut abl = lf_stats::Json::obj();
-        abl.set("geomean_with_packing", g_with);
-        abl.set("geomean_without_packing", g_without);
-        let no_pack: Vec<lf_stats::Json> = without
-            .iter()
-            .map(|r| {
-                let mut k = lf_stats::Json::obj();
-                k.set("name", r.name);
-                k.set("speedup", r.speedup());
-                k
-            })
-            .collect();
-        abl.set("without_packing", lf_stats::Json::Arr(no_pack));
-        art.set_extra("ablation", abl);
-    });
+    lf_bench::engine::cli::run_single("packing_ablation");
 }

@@ -1,117 +1,7 @@
-//! §6.1 methodology check: SimPoint-style sampled simulation.
-//!
-//! The paper simulates up to 15 SimPoints of 250M instructions per SPEC
-//! benchmark and estimates the whole run from the cluster weights. This
-//! experiment validates the same pipeline end-to-end at our scale: collect
-//! basic-block vectors on the golden emulator, cluster them (random
-//! projection + k-means + BIC), warm-start the cycle simulator at each
-//! representative interval, and compare the weighted cycle estimate with
-//! the full detailed simulation.
-
-use lf_compiler::{annotate, Cfg, SelectOptions};
-use lf_isa::Emulator;
-use lf_stats::simpoint::{pick_simpoints, weighted_cycles, BbvCollector};
-use loopfrog::{LoopFrogConfig, LoopFrogCore};
+//! Shim: §6.1 (SimPoint methodology check) now runs inside the unified
+//! experiment engine. Equivalent to `lf-bench run simpoint_check`;
+//! kept for the historical per-figure command surface.
 
 fn main() {
-    let scale = lf_bench::scale_from_args();
-    println!("§6.1 methodology: SimPoint-sampled vs full detailed simulation\n");
-    println!(
-        "{:<16} {:>9} {:>6} {:>12} {:>12} {:>7}",
-        "kernel", "insts", "k", "full cycles", "estimated", "error"
-    );
-
-    let mut points = Vec::new();
-    for name in ["stencil_blur", "event_queue", "hash_lookup", "md_force"] {
-        let w = lf_workloads::by_name(name, scale).expect("kernel exists");
-        let emu0 = w.reference_emulator().expect("kernel runs");
-        let ann = annotate(&w.program, emu0.profile(), &SelectOptions::default());
-        let program = &ann.program;
-        let cfg_sim = LoopFrogConfig::default();
-
-        // 1. BBV collection on the golden emulator, with interval-boundary
-        //    state snapshots for warm starts.
-        let total_insts = {
-            let mut e = Emulator::new(program, w.mem.clone());
-            e.run(200_000_000).unwrap();
-            e.inst_count()
-        };
-        let interval = (total_insts / 16).max(1_500);
-        let cfg_blocks = Cfg::build(program);
-        let mut collector = BbvCollector::new(interval);
-        let mut snapshots = Vec::new(); // (regs, mem, pc) at interval starts
-        {
-            let mut e = Emulator::new(program, w.mem.clone());
-            let mut since = 0u64;
-            snapshots.push((*e.regs(), e.mem().clone(), e.pc()));
-            while !e.is_halted() {
-                let pc = e.step().unwrap();
-                collector.record(cfg_blocks.block_of(pc), 1);
-                since += 1;
-                if since == interval {
-                    since = 0;
-                    snapshots.push((*e.regs(), e.mem().clone(), e.pc()));
-                }
-            }
-            collector.finish();
-        }
-
-        // 2. Cluster and pick representatives.
-        let picks = pick_simpoints(collector.vectors(), 6, 0xC0FFEE);
-
-        // 3. Detailed simulation of each representative interval, with one
-        //    preceding interval as microarchitectural warmup (the paper
-        //    uses 50M-instruction warmups before each 250M SimPoint).
-        let mut samples = Vec::new();
-        for p in &picks {
-            let idx = p.interval.min(snapshots.len() - 1);
-            let warm_idx = idx.saturating_sub(3);
-            let warmup = (idx - warm_idx) as u64 * interval;
-            let (regs, mem, pc) = &snapshots[warm_idx];
-            let mut core =
-                LoopFrogCore::with_initial_state(program, mem.clone(), regs, *pc, cfg_sim.clone());
-            core.run_until_committed(warmup).expect("warmup simulates");
-            let (c0, i0) = (core.cycle(), core.committed_insts());
-            core.run_until_committed(warmup + interval).expect("interval simulates");
-            let (c1, i1) = (core.cycle(), core.committed_insts());
-            samples.push((*p, c1 - c0, (i1 - i0).max(1)));
-        }
-        let estimate = weighted_cycles(&samples, total_insts);
-
-        // 4. Ground truth: the full detailed run.
-        let full = loopfrog::simulate(program, w.mem.clone(), cfg_sim.clone())
-            .expect("full run simulates");
-
-        let err = (estimate - full.stats.cycles as f64) / full.stats.cycles as f64 * 100.0;
-        println!(
-            "{:<16} {:>9} {:>6} {:>12} {:>12.0} {:>+6.1}%",
-            name,
-            total_insts,
-            picks.len(),
-            full.stats.cycles,
-            estimate,
-            err
-        );
-        let mut p = lf_stats::Json::obj();
-        p.set("kernel", name);
-        p.set("total_insts", total_insts);
-        p.set("simpoints", picks.len());
-        p.set("full_cycles", full.stats.cycles);
-        p.set("estimated_cycles", estimate);
-        p.set("error_pct", err);
-        points.push(p);
-    }
-    println!("\npaper methodology: SimPoint-weighted estimates stand in for full runs;");
-    println!("errors within ±10% validate the sampling pipeline at this scale.");
-    if let Some(path) = lf_bench::json_path_from_args() {
-        let mut art = lf_bench::RunArtifact::new("simpoint_check", scale);
-        art.set_extra("simpoint_estimates", lf_stats::Json::Arr(points));
-        match art.write(&path) {
-            Ok(()) => println!("\nwrote {}", path.display()),
-            Err(e) => {
-                eprintln!("error: failed to write {}: {e}", path.display());
-                std::process::exit(1);
-            }
-        }
-    }
+    lf_bench::engine::cli::run_single("simpoint_check");
 }

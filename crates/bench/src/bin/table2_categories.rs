@@ -1,44 +1,7 @@
-//! Table 2: sources of performance gains.
-//!
-//! Paper (over 38 profitable loops): memory parallelism 17 loops / 29% of
-//! the gain, control dependencies 9 / 23%, dependency chains 2 / 12%,
-//! branch-condition prefetching 6 / 32%, data-value prefetching 4 / 3%.
-//! As in the paper, each profitable kernel's speedup is attributed wholly
-//! to its dominant category.
-
-use lf_bench::{print_table, run_suite, RunConfig};
-use lf_workloads::Category;
+//! Shim: Table 2 (sources of performance gains) now runs inside the unified
+//! experiment engine. Equivalent to `lf-bench run table2_categories`;
+//! kept for the historical per-figure command surface.
 
 fn main() {
-    let scale = lf_bench::scale_from_args();
-    let cfg = RunConfig::default();
-    let runs = run_suite(scale, &cfg);
-    let profitable: Vec<_> = runs.iter().filter(|r| r.speedup() > 1.01).collect();
-    let total_log_gain: f64 = profitable.iter().map(|r| r.speedup().ln()).sum();
-
-    println!("Table 2: sources of performance gains (profitable kernels only)\n");
-    let cats = [
-        (Category::MemParallelism, "True parallelism", "Memory parallelism", "29%"),
-        (Category::ControlDep, "True parallelism", "Control dependencies", "23%"),
-        (Category::DepChains, "True parallelism", "Dependency chains", "12%"),
-        (Category::BranchPrefetch, "Prefetching", "Branch conditions", "32%"),
-        (Category::DataPrefetch, "Prefetching", "Data values", "3%"),
-        (Category::NoSpeedup, "(expected no speedup)", "-", "-"),
-    ];
-    let mut rows = Vec::new();
-    for (cat, class, sub, paper) in cats {
-        let in_cat: Vec<_> = profitable.iter().filter(|r| r.category == cat).collect();
-        let log_gain: f64 = in_cat.iter().map(|r| r.speedup().ln()).sum();
-        let frac = if total_log_gain > 0.0 { log_gain / total_log_gain * 100.0 } else { 0.0 };
-        rows.push(vec![
-            class.to_string(),
-            sub.to_string(),
-            in_cat.len().to_string(),
-            format!("{frac:.0}%"),
-            paper.to_string(),
-        ]);
-    }
-    print_table(&["category", "sub-category", "kernels", "fraction of speedup", "paper"], &rows);
-    println!("\n{} of {} kernels profitable", profitable.len(), runs.len());
-    lf_bench::artifact::maybe_write("table2_categories", scale, &cfg, &runs);
+    lf_bench::engine::cli::run_single("table2_categories");
 }

@@ -1,47 +1,7 @@
-//! Table 3: comparison with past TLS/SpMT schemes.
-//!
-//! LoopFrog's speedup is measured on this repository's simulator; STAMPede
-//! and Multiscalar come from the cost models in `lf-baselines`, driven with
-//! their papers' characteristic task sizes, and are calibrated against the
-//! published results. As the paper notes, the numbers are not like-for-like.
-
-use lf_baselines::table3;
-use lf_bench::{print_table, run_suite, RunConfig};
+//! Shim: Table 3 (TLS/SpMT comparison) now runs inside the unified
+//! experiment engine. Equivalent to `lf-bench run table3_comparison`;
+//! kept for the historical per-figure command surface.
 
 fn main() {
-    let scale = lf_bench::scale_from_args();
-    let cfg = RunConfig::default();
-    let runs = run_suite(scale, &cfg);
-    let suite17: Vec<f64> = runs
-        .iter()
-        .filter(|r| r.suite == lf_workloads::Suite::Cpu2017)
-        .map(|r| r.speedup())
-        .collect();
-    let measured = lf_stats::geomean(&suite17);
-
-    println!("Table 3: comparison with past TLS/SpMT schemes\n");
-    let rows: Vec<Vec<String>> = table3(measured)
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.scheme.to_string(),
-                format!("{:.2}x", r.speedup),
-                r.cores,
-                format!("~{:.2}x", r.area),
-                r.baseline.to_string(),
-                r.task_sizes.to_string(),
-                r.deployment.to_string(),
-            ]
-        })
-        .collect();
-    print_table(
-        &["scheme", "speedup", "cores", "area", "baseline", "task sizes", "deployment"],
-        &rows,
-    );
-    println!(
-        "\npaper: LoopFrog 1.1x @ ~1.15x area; STAMPede 1.16x @ >4x; Multiscalar 2.16x @ ~8x."
-    );
-    lf_bench::artifact::maybe_write_with("table3_comparison", scale, &cfg, &runs, |art| {
-        art.set_extra("measured_geomean_cpu2017", measured);
-    });
+    lf_bench::engine::cli::run_single("table3_comparison");
 }

@@ -1,0 +1,155 @@
+//! The on-disk run cache: memoized simulation outcomes under
+//! `results/cache/`, keyed by run fingerprint.
+//!
+//! Each unique `(annotated program, config, scale)` fingerprint maps to
+//! one pretty-printed JSON file `results/cache/<fingerprint>.json`
+//! holding the run's statistics, final-state checksum, and full rendered
+//! record. A cache hit skips the cycle-level simulation entirely, so
+//! re-rendering a figure after a table-formatting change is free.
+//!
+//! Entries carry the artifact [`SCHEMA_VERSION`]; a version bump (or a
+//! corrupt/truncated file) invalidates the entry silently — the run is
+//! simply re-simulated and the entry rewritten. `--no-cache` bypasses
+//! both directions.
+
+use crate::artifact::SCHEMA_VERSION;
+use crate::runner::RunOutcome;
+use lf_stats::{fingerprint_hex, parse_fingerprint_hex, Json};
+use loopfrog::SimStats;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Handle on a cache directory.
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    dir: PathBuf,
+    schema: u64,
+}
+
+impl DiskCache {
+    /// Opens (without creating) the cache at `dir` under the current
+    /// [`SCHEMA_VERSION`].
+    pub fn new(dir: impl Into<PathBuf>) -> DiskCache {
+        DiskCache::with_schema(dir, SCHEMA_VERSION)
+    }
+
+    /// Opens the cache pinned to an explicit schema version — the test
+    /// seam for validating that a version bump invalidates entries.
+    pub fn with_schema(dir: impl Into<PathBuf>, schema: u64) -> DiskCache {
+        DiskCache { dir: dir.into(), schema }
+    }
+
+    /// The entry path for a fingerprint.
+    pub fn entry_path(&self, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("{}.json", fingerprint_hex(fingerprint)))
+    }
+
+    /// Loads a memoized outcome, or `None` on miss, schema mismatch, or a
+    /// corrupt entry.
+    pub fn load(&self, fingerprint: u64) -> Option<RunOutcome> {
+        let text = std::fs::read_to_string(self.entry_path(fingerprint)).ok()?;
+        let doc = Json::parse(&text).ok()?;
+        if doc.get("schema_version")?.as_u64()? != self.schema {
+            return None;
+        }
+        let stored_fp = parse_fingerprint_hex(doc.get("fingerprint")?.as_str()?)?;
+        if stored_fp != fingerprint {
+            return None;
+        }
+        let checksum = parse_fingerprint_hex(doc.get("checksum")?.as_str()?)?;
+        let stats = SimStats::from_json(doc.get("stats")?)?;
+        let rendered = doc.get("result")?.clone();
+        Some(RunOutcome { fingerprint, stats, checksum, rendered, from_cache: true })
+    }
+
+    /// Persists an outcome, creating the cache directory as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (callers treat the cache as best-effort
+    /// and may choose to warn rather than abort).
+    pub fn store(&self, outcome: &RunOutcome) -> io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let mut doc = Json::obj();
+        doc.set("schema_version", self.schema);
+        doc.set("fingerprint", fingerprint_hex(outcome.fingerprint));
+        // Full-width u64 checksums do not survive JSON's f64 numbers;
+        // store them as hex tokens.
+        doc.set("checksum", fingerprint_hex(outcome.checksum));
+        doc.set("stats", outcome.stats.to_json());
+        doc.set("result", outcome.rendered.clone());
+        write_atomically(&self.entry_path(outcome.fingerprint), &doc.to_string_pretty())
+    }
+}
+
+/// Writes via a temp file + rename so a crashed run cannot leave a
+/// half-written entry that later parses as truncated JSON.
+fn write_atomically(path: &Path, text: &str) -> io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_stats::Counters;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lf-bench-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_outcome(fingerprint: u64) -> RunOutcome {
+        let mut stats = SimStats::new(4);
+        stats.cycles = 1000;
+        stats.committed_insts = 4000;
+        stats.counters = Counters::new();
+        stats.counters.add("l2_accesses", 77);
+        let mut rendered = Json::obj();
+        rendered.set("registry", Json::obj());
+        RunOutcome {
+            fingerprint,
+            stats,
+            checksum: 0xdead_beef_dead_beef,
+            rendered,
+            from_cache: false,
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let cache = DiskCache::new(scratch_dir("round-trip"));
+        let out = sample_outcome(42);
+        cache.store(&out).unwrap();
+        let back = cache.load(42).expect("entry loads");
+        assert!(back.from_cache);
+        assert_eq!(back.fingerprint, 42);
+        assert_eq!(back.checksum, out.checksum);
+        assert_eq!(back.stats.cycles, 1000);
+        assert_eq!(back.stats.counters.get("l2_accesses"), 77);
+        assert_eq!(back.rendered, out.rendered);
+        assert!(cache.load(43).is_none(), "unknown fingerprints miss");
+    }
+
+    #[test]
+    fn schema_bump_invalidates() {
+        let dir = scratch_dir("schema-bump");
+        let cache = DiskCache::new(dir.clone());
+        cache.store(&sample_outcome(7)).unwrap();
+        assert!(cache.load(7).is_some());
+        let bumped = DiskCache::with_schema(dir, SCHEMA_VERSION + 1);
+        assert!(bumped.load(7).is_none(), "a schema bump must invalidate old entries");
+    }
+
+    #[test]
+    fn corrupt_entries_miss() {
+        let dir = scratch_dir("corrupt");
+        let cache = DiskCache::new(dir.clone());
+        cache.store(&sample_outcome(9)).unwrap();
+        std::fs::write(cache.entry_path(9), "{ truncated").unwrap();
+        assert!(cache.load(9).is_none());
+    }
+}

@@ -1,0 +1,338 @@
+//! The `lf-bench` command line: one binary driving every registered
+//! scenario through the deduplicating run planner.
+//!
+//! ```text
+//! lf-bench list [--scale smoke|eval]
+//! lf-bench run <scenario>... [options]
+//! lf-bench run --all [options]
+//!
+//! options:
+//!   --scale smoke|eval   workload scale (default smoke)
+//!   -j N                 worker threads (default: available parallelism)
+//!   --filter SUBSTR      keep only kernels whose name contains SUBSTR
+//!   --no-cache           skip the on-disk run cache (results/cache/)
+//!   --cache-dir DIR      cache location (default results/cache)
+//!   --json [DIR]         write per-scenario artifacts, planner.json, and
+//!                        the BENCH_harness.json trajectory under DIR
+//!                        (default results)
+//!   --assert-dedup       exit non-zero unless deduplication occurred
+//! ```
+//!
+//! The historical per-figure binaries still exist as shims over
+//! [`run_single`], preserving their `--scale`/`--json <path>` surface.
+
+use crate::engine::cache::DiskCache;
+use crate::engine::{by_name, registry, run_scenarios, EngineOptions, EngineOutput, Scenario};
+use crate::runner::scale_tag;
+use lf_stats::Json;
+use lf_workloads::Scale;
+use std::path::{Path, PathBuf};
+
+/// Parsed command line.
+struct Cli {
+    command: Command,
+    scale: Scale,
+    jobs: usize,
+    filter: Option<String>,
+    no_cache: bool,
+    cache_dir: PathBuf,
+    json_dir: Option<PathBuf>,
+    assert_dedup: bool,
+}
+
+enum Command {
+    List,
+    Run { names: Vec<String>, all: bool },
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lf-bench <list|run> [scenario...] [--all] [--scale smoke|eval] [-j N]\n\
+         \x20                [--filter SUBSTR] [--no-cache] [--cache-dir DIR] [--json [DIR]]\n\
+         \x20                [--assert-dedup]"
+    );
+    std::process::exit(2);
+}
+
+fn parse(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        command: Command::List,
+        scale: Scale::Smoke,
+        jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        filter: None,
+        no_cache: false,
+        cache_dir: PathBuf::from("results/cache"),
+        json_dir: None,
+        assert_dedup: false,
+    };
+    let mut names = Vec::new();
+    let mut all = false;
+    let mut command = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut value = |what: &str| -> String {
+            i += 1;
+            match args.get(i) {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => {
+                    eprintln!("error: {arg} expects {what}");
+                    std::process::exit(2);
+                }
+            }
+        };
+        match arg {
+            "list" | "--list" if command.is_none() => command = Some("list"),
+            "run" if command.is_none() => command = Some("run"),
+            "--all" => all = true,
+            "--scale" => {
+                cli.scale = match value("`smoke` or `eval`").as_str() {
+                    "smoke" => Scale::Smoke,
+                    "eval" => Scale::Eval,
+                    other => {
+                        eprintln!("error: --scale expects `smoke` or `eval`, got {other}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "-j" | "--jobs" => {
+                let v = value("a worker count");
+                cli.jobs = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("error: -j expects a positive integer, got {v}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--filter" => cli.filter = Some(value("a kernel-name substring")),
+            "--no-cache" => cli.no_cache = true,
+            "--cache-dir" => cli.cache_dir = PathBuf::from(value("a directory")),
+            "--json" => {
+                // The directory operand is optional: `--json` alone means
+                // the default results/ tree.
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") && !is_scenario_like(v) => {
+                        i += 1;
+                        cli.json_dir = Some(PathBuf::from(v.clone()));
+                    }
+                    _ => cli.json_dir = Some(PathBuf::from("results")),
+                }
+            }
+            "--assert-dedup" => cli.assert_dedup = true,
+            name if !name.starts_with('-') && command == Some("run") => {
+                names.push(name.to_string())
+            }
+            _ => {
+                eprintln!("error: unrecognized argument {arg}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    match command {
+        Some("run") => cli.command = Command::Run { names, all },
+        Some(_) => cli.command = Command::List,
+        None => usage(),
+    }
+    cli
+}
+
+/// Whether `v` names a registered scenario (disambiguates the optional
+/// `--json [DIR]` operand from a following positional scenario name).
+fn is_scenario_like(v: &str) -> bool {
+    registry().iter().any(|s| s.name() == v)
+}
+
+fn engine_options(cli: &Cli) -> EngineOptions {
+    EngineOptions {
+        scale: cli.scale,
+        jobs: cli.jobs,
+        filter: cli.filter.clone(),
+        disk_cache: if cli.no_cache { None } else { Some(DiskCache::new(cli.cache_dir.clone())) },
+        sim_hook: None,
+    }
+}
+
+/// Entry point of the `lf-bench` binary.
+pub fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse(&args);
+    match &cli.command {
+        Command::List => list(&cli),
+        Command::Run { names, all } => {
+            let selected: Vec<Box<dyn Scenario>> = if *all {
+                registry()
+            } else if names.is_empty() {
+                eprintln!("error: `run` expects scenario names or --all");
+                usage();
+            } else {
+                names
+                    .iter()
+                    .map(|n| {
+                        by_name(n).unwrap_or_else(|| {
+                            eprintln!("error: unknown scenario {n:?} (see `lf-bench list`)");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect()
+            };
+            let refs: Vec<&dyn Scenario> = selected.iter().map(|s| s.as_ref()).collect();
+            let output = run_scenarios(&refs, &engine_options(&cli));
+            print_output(&output, refs.len() > 1);
+            if let Some(dir) = &cli.json_dir {
+                write_artifacts(&output, dir);
+            }
+            if cli.assert_dedup && output.report.unique >= output.report.requests {
+                eprintln!(
+                    "error: --assert-dedup: no deduplication occurred ({} requests, {} unique)",
+                    output.report.requests, output.report.unique
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Entry point of the historical per-figure shim binaries: runs exactly
+/// one scenario with the legacy `--scale <s>` / `--json <path>` surface
+/// (plus the shared `-j`/`--filter`/`--no-cache` flags).
+pub fn run_single(name: &str) {
+    let scenario = by_name(name).unwrap_or_else(|| panic!("scenario {name} is not registered"));
+    let scale = crate::scale_from_args();
+    let json_path = crate::json_path_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = args
+        .iter()
+        .position(|a| a == "-j" || a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let filter = args.iter().position(|a| a == "--filter").and_then(|i| args.get(i + 1)).cloned();
+    let no_cache = args.iter().any(|a| a == "--no-cache");
+    let opts = EngineOptions {
+        scale,
+        jobs,
+        filter,
+        disk_cache: if no_cache { None } else { Some(DiskCache::new("results/cache")) },
+        sim_hook: None,
+    };
+    let output = run_scenarios(&[scenario.as_ref()], &opts);
+    print_output(&output, false);
+    if let Some(path) = json_path {
+        let s = &output.scenarios[0];
+        match write_json(&s.artifact, &path) {
+            Ok(()) => println!("\nwrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn list(cli: &Cli) {
+    let suite = lf_workloads::all(cli.scale);
+    println!("registered scenarios ({} kernels at scale {}):\n", suite.len(), scale_tag(cli.scale));
+    let mut rows = Vec::new();
+    let mut total = 0usize;
+    for s in registry() {
+        let mut planner = crate::engine::planner::Planner::new(&suite);
+        s.plan(&mut planner);
+        let n = planner.request_count();
+        total += n;
+        rows.push(vec![s.name().to_string(), n.to_string(), s.title().to_string()]);
+    }
+    crate::print_table(&["scenario", "runs", "title"], &rows);
+    println!("\n{total} total run requests before deduplication");
+}
+
+fn print_output(output: &EngineOutput, separators: bool) {
+    for (i, s) in output.scenarios.iter().enumerate() {
+        if separators {
+            if i > 0 {
+                println!();
+            }
+            println!("━━━ {} ━━━\n", s.name);
+        }
+        print!("{}", s.text);
+    }
+    // Telemetry goes to stderr: stdout stays byte-identical across runs
+    // (cache hits and wall-clock vary) and redirecting it reproduces the
+    // seed experiment tables exactly.
+    let r = &output.report;
+    eprintln!(
+        "\nplanner: {} requests → {} unique ({} deduplicated); {} from cache, {} simulated; {} ms on {} jobs",
+        r.requests,
+        r.unique,
+        r.requests - r.unique,
+        r.disk_hits,
+        r.simulated,
+        r.execute_wall_ms,
+        r.jobs
+    );
+}
+
+fn write_artifacts(output: &EngineOutput, dir: &Path) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    for s in &output.scenarios {
+        let path = dir.join(format!("{}.json", s.name));
+        if let Err(e) = write_json(&s.artifact, &path) {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
+    let planner_path = dir.join("planner.json");
+    if let Err(e) = write_json(&output.report.to_json(), &planner_path) {
+        eprintln!("error: failed to write {}: {e}", planner_path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", planner_path.display());
+    let harness_path = dir.join("BENCH_harness.json");
+    if let Err(e) = append_harness_entry(&harness_path, output) {
+        eprintln!("error: failed to update {}: {e}", harness_path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", harness_path.display());
+}
+
+fn write_json(doc: &Json, path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, doc.to_string_pretty() + "\n")
+}
+
+/// Appends this invocation's planner telemetry to the wall-clock
+/// trajectory file (one entry per engine run; CI tracks the history as an
+/// artifact).
+fn append_harness_entry(path: &Path, output: &EngineOutput) -> std::io::Result<()> {
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .filter(|d| d.get("runs").and_then(Json::as_arr).is_some())
+        .unwrap_or_else(|| {
+            let mut d = Json::obj();
+            d.set("schema_version", crate::artifact::SCHEMA_VERSION);
+            d.set("runs", Json::Arr(Vec::new()));
+            d
+        });
+    let mut runs: Vec<Json> =
+        doc.get("runs").and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap_or_default();
+    let mut entry = output.report.to_json();
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    entry.set("unix_time", unix_secs);
+    entry.set("scenarios", output.scenarios.len() as u64);
+    runs.push(entry);
+    doc.set("runs", Json::Arr(runs));
+    write_json(&doc, path)
+}

@@ -1,0 +1,336 @@
+//! The unified experiment engine.
+//!
+//! Every figure and table of the reproduction is a [`Scenario`]: a named
+//! experiment that *declares* the simulations it needs ([`Scenario::plan`])
+//! and *renders* its tables and JSON artifact from the returned outcomes
+//! ([`Scenario::render`]). The engine collects the requests of all selected
+//! scenarios, deduplicates them by content fingerprint — the headline
+//! experiments overwhelmingly share the same default-config suite — and
+//! executes only the unique set on a worker pool, optionally memoized
+//! through an on-disk cache. Rendering then happens serially, in registry
+//! order, so output is byte-identical regardless of `-j`.
+//!
+//! ```text
+//! plan (all scenarios) → prepare kernels → fingerprint + dedupe
+//!   → load disk cache → simulate misses (parallel) → store
+//!   → render (serial)
+//! ```
+
+pub mod cache;
+pub mod cli;
+pub mod planner;
+pub mod pool;
+pub mod scenarios;
+
+use crate::runner::{KernelRun, RunConfig, RunOutcome};
+use crate::RunArtifact;
+use cache::DiskCache;
+use lf_stats::Json;
+use lf_workloads::{Scale, Workload};
+use planner::{dedupe, execute, prepare_kernels, Hinting, Planner, PrepKey, PreparedKernel};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One experiment: a registered figure/table reproduction.
+pub trait Scenario: Sync {
+    /// CLI name (stable; matches the historical binary name).
+    fn name(&self) -> &'static str;
+    /// One-line human title printed above the rendered output.
+    fn title(&self) -> &'static str;
+    /// Declares every simulation this scenario needs against the engine's
+    /// (possibly filtered) kernel suite. Must be deterministic and must
+    /// not simulate anything itself.
+    fn plan(&self, p: &mut Planner<'_>);
+    /// Renders tables/summaries into `out` and builds the scenario's JSON
+    /// artifact from the memoized outcomes in `ctx`. Runs serially.
+    fn render(&self, ctx: &EngineCtx<'_>, out: &mut String) -> RunArtifact;
+}
+
+/// Engine invocation options.
+#[derive(Clone)]
+pub struct EngineOptions {
+    /// Workload scale for every planned run.
+    pub scale: Scale,
+    /// Worker threads for kernel preparation and simulation.
+    pub jobs: usize,
+    /// Kernel-name substring filter; non-matching kernels are dropped from
+    /// the suite before planning.
+    pub filter: Option<String>,
+    /// On-disk run cache; `None` disables memoization across processes
+    /// (`--no-cache`).
+    pub disk_cache: Option<DiskCache>,
+    /// Test hook: fires once per *simulated* (not cached) run, with the
+    /// kernel name. Used to assert each unique fingerprint simulates
+    /// exactly once.
+    pub sim_hook: Option<Arc<dyn Fn(&'static str) + Send + Sync>>,
+}
+
+impl EngineOptions {
+    /// Options for `scale` with serial execution and no disk cache.
+    pub fn new(scale: Scale) -> EngineOptions {
+        EngineOptions { scale, jobs: 1, filter: None, disk_cache: None, sim_hook: None }
+    }
+}
+
+/// Everything a scenario's render phase can consult: the planned suite,
+/// the prepared (profiled/annotated) kernels, and the memoized outcome of
+/// every requested run.
+pub struct EngineCtx<'e> {
+    scale: Scale,
+    suite: &'e [Workload],
+    prepared: HashMap<PrepKey, Arc<PreparedKernel>>,
+    outcomes: HashMap<u64, Arc<RunOutcome>>,
+}
+
+impl EngineCtx<'_> {
+    /// The workload scale of this engine run.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The (possibly filtered) kernel suite, in canonical order.
+    pub fn kernels(&self) -> &[Workload] {
+        self.suite
+    }
+
+    /// The prepared kernel for a `(kernel, hinting)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scenario requested this pair — rendering may only
+    /// consume planned work.
+    pub fn prepared(&self, kernel: &str, hinting: &Hinting) -> &Arc<PreparedKernel> {
+        self.prepared
+            .iter()
+            .find(|((name, h), _)| *name == kernel && *h == hinting.fingerprint())
+            .map(|(_, p)| p)
+            .unwrap_or_else(|| panic!("kernel {kernel} was not prepared — did plan() request it?"))
+    }
+
+    /// The memoized outcome of one requested run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was never declared during planning.
+    pub fn outcome(
+        &self,
+        kernel: &str,
+        hinting: &Hinting,
+        cfg: &loopfrog::LoopFrogConfig,
+    ) -> Arc<RunOutcome> {
+        let prep = self.prepared(kernel, hinting);
+        let fp = prep.request_fingerprint(cfg);
+        self.outcomes
+            .get(&fp)
+            .cloned()
+            .unwrap_or_else(|| panic!("run for {kernel} was not planned (fingerprint {fp:#x})"))
+    }
+
+    /// Assembles the standard experiment view — one [`KernelRun`] per suite
+    /// kernel under `rc`, with profile-guided deselection applied — from
+    /// memoized outcomes. The engine-side equivalent of the standalone
+    /// [`crate::run_suite`].
+    pub fn suite_runs(&self, rc: &RunConfig) -> Vec<KernelRun> {
+        let hinting = Hinting::Annotated(rc.select.clone());
+        self.suite
+            .iter()
+            .map(|w| {
+                let prep = self.prepared(w.name, &hinting);
+                let base = self.outcome(w.name, &hinting, &rc.base);
+                let lf = self.outcome(w.name, &hinting, &rc.lf);
+                let golden = prep.golden.expect("annotated preparations carry a golden checksum");
+                KernelRun::from_outcomes(
+                    &prep.workload,
+                    prep.selected_loops,
+                    golden,
+                    base,
+                    lf,
+                    rc.deselect_unprofitable,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Planner telemetry for one engine invocation: how much the
+/// content-addressed deduplication and the caches saved.
+#[derive(Debug, Clone)]
+pub struct PlannerReport {
+    /// Requests declared, per scenario, in registry order.
+    pub per_scenario: Vec<(&'static str, usize)>,
+    /// Total run requests declared by all scenarios.
+    pub requests: usize,
+    /// Unique run fingerprints after deduplication.
+    pub unique: usize,
+    /// Runs served from the on-disk cache.
+    pub disk_hits: usize,
+    /// Runs actually simulated in this process.
+    pub simulated: usize,
+    /// Distinct `(kernel, hinting)` preparations (profile + annotate).
+    pub prepared: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock milliseconds from planning through the last simulation
+    /// (rendering excluded).
+    pub execute_wall_ms: u64,
+    /// Wall-clock milliseconds for the whole invocation.
+    pub total_wall_ms: u64,
+}
+
+impl PlannerReport {
+    /// The machine-readable planner section embedded in artifacts.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        let mut per = Json::obj();
+        for (name, n) in &self.per_scenario {
+            per.set(name, *n as u64);
+        }
+        j.set("requests_per_scenario", per);
+        j.set("requests", self.requests as u64);
+        j.set("unique_runs", self.unique as u64);
+        j.set("deduplicated", (self.requests - self.unique) as u64);
+        j.set("disk_cache_hits", self.disk_hits as u64);
+        j.set("simulated", self.simulated as u64);
+        j.set("prepared_kernels", self.prepared as u64);
+        j.set("jobs", self.jobs as u64);
+        j.set("execute_wall_ms", self.execute_wall_ms);
+        j.set("total_wall_ms", self.total_wall_ms);
+        j
+    }
+}
+
+/// One scenario's rendered output.
+pub struct ScenarioOutput {
+    /// Scenario CLI name.
+    pub name: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// The rendered text (tables and summary lines).
+    pub text: String,
+    /// The finalized JSON artifact (planner section included).
+    pub artifact: Json,
+}
+
+/// The result of one engine invocation.
+pub struct EngineOutput {
+    /// Rendered scenarios, in registry order.
+    pub scenarios: Vec<ScenarioOutput>,
+    /// Planner telemetry.
+    pub report: PlannerReport,
+}
+
+/// Plans, deduplicates, executes, and renders `scenarios`.
+///
+/// Phases: every scenario declares its runs; distinct `(kernel, hinting)`
+/// pairs are prepared in parallel; requests resolve to content fingerprints
+/// and collapse to the unique set; the disk cache absorbs known outcomes;
+/// the remainder simulates on the worker pool; finally each scenario
+/// renders serially from the shared outcome table. Identical requests from
+/// different scenarios are simulated exactly once.
+pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> EngineOutput {
+    let started = Instant::now();
+    let suite: Vec<Workload> = lf_workloads::all(opts.scale)
+        .into_iter()
+        .filter(|w| match &opts.filter {
+            Some(f) => w.name.contains(f.as_str()),
+            None => true,
+        })
+        .collect();
+
+    // Phase 1: plan. Scenarios only declare work; nothing runs yet.
+    let mut planner = Planner::new(&suite);
+    let mut per_scenario = Vec::new();
+    for s in scenarios {
+        let before = planner.request_count();
+        s.plan(&mut planner);
+        per_scenario.push((s.name(), planner.request_count() - before));
+    }
+    let requests = planner.into_requests();
+
+    // Phase 2: prepare (profile + annotate) each distinct kernel/hinting
+    // pair, then collapse requests to unique fingerprints.
+    let prepared = prepare_kernels(&suite, &requests, opts.jobs);
+    let unique = dedupe(&requests, &prepared);
+
+    // Phase 3: serve what the disk cache already knows, simulate the rest.
+    let mut outcomes: HashMap<u64, Arc<RunOutcome>> = HashMap::new();
+    let mut misses = Vec::new();
+    let mut disk_hits = 0usize;
+    for run in unique.iter() {
+        match opts.disk_cache.as_ref().and_then(|c| c.load(run.fingerprint)) {
+            Some(hit) => {
+                disk_hits += 1;
+                outcomes.insert(run.fingerprint, Arc::new(hit));
+            }
+            None => misses.push(run),
+        }
+    }
+    let misses: Vec<_> = misses; // shadow as immutable for the pool
+    let executed = execute_refs(&misses, opts);
+    for (run, outcome) in misses.iter().zip(executed) {
+        if let Some(cache) = &opts.disk_cache {
+            if let Err(e) = cache.store(&outcome) {
+                eprintln!("warning: run cache write failed: {e}");
+            }
+        }
+        outcomes.insert(run.fingerprint, outcome);
+    }
+    let execute_wall_ms = started.elapsed().as_millis() as u64;
+
+    // Phase 4: render serially in registry order — output is deterministic
+    // for any `-j`.
+    let ctx = EngineCtx { scale: opts.scale, suite: &suite, prepared, outcomes };
+    let mut report = PlannerReport {
+        requests: per_scenario.iter().map(|(_, n)| n).sum(),
+        per_scenario,
+        unique: unique.len(),
+        disk_hits,
+        simulated: misses.len(),
+        prepared: ctx.prepared.len(),
+        jobs: opts.jobs,
+        execute_wall_ms,
+        total_wall_ms: 0,
+    };
+    let mut rendered = Vec::new();
+    for s in scenarios {
+        let mut text = String::new();
+        let mut artifact = s.render(&ctx, &mut text);
+        artifact.set_extra("planner", report.to_json());
+        rendered.push(ScenarioOutput {
+            name: s.name(),
+            title: s.title(),
+            text,
+            artifact: artifact.into_json(),
+        });
+    }
+    report.total_wall_ms = started.elapsed().as_millis() as u64;
+    EngineOutput { scenarios: rendered, report }
+}
+
+/// [`execute`] over a borrowed miss list (the cache split leaves us with
+/// `&UniqueRun`s).
+fn execute_refs(misses: &[&planner::UniqueRun], opts: &EngineOptions) -> Vec<Arc<RunOutcome>> {
+    let hook = opts.sim_hook.as_deref();
+    let owned: Vec<planner::UniqueRun> = misses
+        .iter()
+        .map(|r| planner::UniqueRun {
+            fingerprint: r.fingerprint,
+            kernel: r.kernel,
+            prepared: r.prepared.clone(),
+            config: r.config.clone(),
+        })
+        .collect();
+    execute(&owned, opts.jobs, hook)
+}
+
+/// The scenario registry, in render order. Names are stable CLI surface
+/// (they match the historical per-figure binaries).
+pub fn registry() -> Vec<Box<dyn Scenario>> {
+    scenarios::all()
+}
+
+/// Looks up one registered scenario by name.
+pub fn by_name(name: &str) -> Option<Box<dyn Scenario>> {
+    registry().into_iter().find(|s| s.name() == name)
+}

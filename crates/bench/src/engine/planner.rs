@@ -1,0 +1,243 @@
+//! The run planner: request collection, content-addressed deduplication,
+//! and parallel execution of the unique run set.
+//!
+//! Scenarios *declare* the simulations they need as [`RunRequest`]s; the
+//! planner resolves each request to a [`run_fingerprint`] (annotated
+//! program × canonical config × scale), collapses duplicates — fig6, fig7,
+//! fig8, table2, and friends all want the identical default-config suite —
+//! and executes only the unique set on a scoped worker pool, memoizing
+//! every outcome for the render phase and (optionally) the on-disk cache.
+
+use crate::engine::pool::parallel_map;
+use crate::runner::{run_fingerprint, RunConfig, RunOutcome};
+use lf_compiler::{annotate, SelectOptions};
+use lf_isa::Program;
+use lf_workloads::Workload;
+use loopfrog::{simulate, LoopFrogConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How a requested run's program is derived from the workload.
+#[derive(Debug, Clone)]
+pub enum Hinting {
+    /// The raw, hint-free kernel program (e.g. the Figure 1 width sweep,
+    /// which characterizes the baseline core itself).
+    Raw,
+    /// The compiler pass annotates the program using the golden emulator's
+    /// profile and these selection thresholds.
+    Annotated(SelectOptions),
+}
+
+impl Hinting {
+    /// Annotation with the default selection thresholds — what every
+    /// headline experiment uses.
+    pub fn default_annotated() -> Hinting {
+        Hinting::Annotated(SelectOptions::default())
+    }
+
+    /// Stable fingerprint of the hinting mode (keys the prepared-kernel
+    /// cache and feeds request resolution).
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = lf_stats::Fingerprint::new();
+        match self {
+            Hinting::Raw => {
+                fp.str("raw");
+            }
+            Hinting::Annotated(s) => {
+                fp.str("annotated")
+                    .usize(s.max_loops)
+                    .f64(s.min_trip)
+                    .f64(s.min_body_score)
+                    .f64(s.min_coverage);
+            }
+        }
+        fp.finish()
+    }
+}
+
+/// One declared simulation: which kernel, how its program is prepared,
+/// and the full simulator configuration. The workload scale is engine
+/// state, not request state — a planner instance plans one scale.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// Kernel name (must be part of the engine's (possibly filtered)
+    /// suite).
+    pub kernel: &'static str,
+    /// Program preparation.
+    pub hinting: Hinting,
+    /// Simulator configuration.
+    pub config: LoopFrogConfig,
+}
+
+/// A workload prepared for simulation: profiled, (optionally) annotated,
+/// and content-fingerprinted. Prepared once per `(kernel, hinting)` pair
+/// and shared by every request against it.
+#[derive(Debug)]
+pub struct PreparedKernel {
+    /// The source workload (name, metadata, memory image).
+    pub workload: Workload,
+    /// Golden-emulator final-state checksum; `None` for [`Hinting::Raw`]
+    /// preparations, which skip the profiling run.
+    pub golden: Option<u64>,
+    /// The program that will be simulated (annotated or raw).
+    pub program: Program,
+    /// Loops the compiler pass placed hints for (0 for raw).
+    pub selected_loops: usize,
+}
+
+impl PreparedKernel {
+    /// Profiles and annotates `w` according to `hinting`.
+    pub fn prepare(w: Workload, hinting: &Hinting) -> PreparedKernel {
+        match hinting {
+            Hinting::Raw => PreparedKernel {
+                program: w.program.clone(),
+                golden: None,
+                selected_loops: 0,
+                workload: w,
+            },
+            Hinting::Annotated(select) => {
+                let emu = w.reference_emulator().expect("kernel runs on the golden emulator");
+                assert!(emu.is_halted(), "{} did not halt", w.name);
+                let golden = emu.state_checksum();
+                let ann = annotate(&w.program, emu.profile(), select);
+                let selected_loops = ann.reports.iter().filter(|r| r.placement.is_some()).count();
+                PreparedKernel {
+                    golden: Some(golden),
+                    program: ann.program,
+                    selected_loops,
+                    workload: w,
+                }
+            }
+        }
+    }
+
+    /// The run fingerprint of simulating this prepared kernel under `cfg`.
+    pub fn request_fingerprint(&self, cfg: &LoopFrogConfig) -> u64 {
+        run_fingerprint(&self.program, &self.workload.mem, cfg, self.workload.scale)
+    }
+}
+
+/// Collects scenario run declarations during the planning phase.
+pub struct Planner<'e> {
+    suite: &'e [Workload],
+    requests: Vec<RunRequest>,
+}
+
+impl<'e> Planner<'e> {
+    pub(crate) fn new(suite: &'e [Workload]) -> Planner<'e> {
+        Planner { suite, requests: Vec::new() }
+    }
+
+    /// The engine's (possibly `--filter`ed) kernel suite, in canonical
+    /// order. Scenarios must only request kernels listed here.
+    pub fn kernels(&self) -> &'e [Workload] {
+        self.suite
+    }
+
+    /// Declares one simulation.
+    pub fn request(&mut self, kernel: &'static str, hinting: Hinting, config: &LoopFrogConfig) {
+        debug_assert!(
+            self.suite.iter().any(|w| w.name == kernel),
+            "request for kernel {kernel:?} outside the planned suite"
+        );
+        self.requests.push(RunRequest { kernel, hinting, config: config.clone() });
+    }
+
+    /// Declares the standard experiment shape: baseline + LoopFrog
+    /// simulations of every suite kernel under `rc` — the request-level
+    /// equivalent of the old `run_suite`.
+    pub fn request_suite(&mut self, rc: &RunConfig) {
+        for w in self.suite {
+            let hinting = Hinting::Annotated(rc.select.clone());
+            self.request(w.name, hinting.clone(), &rc.base);
+            self.request(w.name, hinting, &rc.lf);
+        }
+    }
+
+    /// Number of requests declared so far (engine telemetry).
+    pub fn request_count(&self) -> usize {
+        self.requests.len()
+    }
+
+    pub(crate) fn into_requests(self) -> Vec<RunRequest> {
+        self.requests
+    }
+}
+
+/// Key of the prepared-kernel map.
+pub(crate) type PrepKey = (&'static str, u64);
+
+/// Prepares every distinct `(kernel, hinting)` pair referenced by
+/// `requests`, in parallel. Profiling runs the golden emulator, which is
+/// the second-most expensive step after simulation itself.
+pub(crate) fn prepare_kernels(
+    suite: &[Workload],
+    requests: &[RunRequest],
+    jobs: usize,
+) -> HashMap<PrepKey, Arc<PreparedKernel>> {
+    let mut distinct: Vec<(PrepKey, &Hinting)> = Vec::new();
+    for r in requests {
+        let key = (r.kernel, r.hinting.fingerprint());
+        if !distinct.iter().any(|(k, _)| *k == key) {
+            distinct.push((key, &r.hinting));
+        }
+    }
+    let prepared: Vec<Arc<PreparedKernel>> = parallel_map(jobs, &distinct, |((name, _), h)| {
+        let w = suite
+            .iter()
+            .find(|w| w.name == *name)
+            .unwrap_or_else(|| panic!("kernel {name} not in suite"))
+            .clone();
+        Arc::new(PreparedKernel::prepare(w, h))
+    });
+    distinct.iter().map(|(k, _)| *k).zip(prepared).collect()
+}
+
+/// One entry of the deduplicated execution plan.
+pub(crate) struct UniqueRun {
+    pub fingerprint: u64,
+    pub kernel: &'static str,
+    pub prepared: Arc<PreparedKernel>,
+    pub config: LoopFrogConfig,
+}
+
+/// Collapses `requests` to unique fingerprints in first-seen order.
+pub(crate) fn dedupe(
+    requests: &[RunRequest],
+    prepared: &HashMap<PrepKey, Arc<PreparedKernel>>,
+) -> Vec<UniqueRun> {
+    let mut seen: HashMap<u64, ()> = HashMap::new();
+    let mut unique = Vec::new();
+    for r in requests {
+        let prep = &prepared[&(r.kernel, r.hinting.fingerprint())];
+        let fp = prep.request_fingerprint(&r.config);
+        if seen.insert(fp, ()).is_none() {
+            unique.push(UniqueRun {
+                fingerprint: fp,
+                kernel: r.kernel,
+                prepared: prep.clone(),
+                config: r.config.clone(),
+            });
+        }
+    }
+    unique
+}
+
+/// Simulates `runs` on the worker pool, returning outcomes in input
+/// order. `hook` (the planner's counting hook; tests use it to assert
+/// each fingerprint simulates exactly once) fires once per executed run.
+pub(crate) fn execute(
+    runs: &[UniqueRun],
+    jobs: usize,
+    hook: Option<&(dyn Fn(&'static str) + Send + Sync)>,
+) -> Vec<Arc<RunOutcome>> {
+    parallel_map(jobs, runs, |run| {
+        if let Some(h) = hook {
+            h(run.kernel);
+        }
+        let result =
+            simulate(&run.prepared.program, run.prepared.workload.mem.clone(), run.config.clone())
+                .unwrap_or_else(|e| panic!("{} failed: {e}", run.kernel));
+        Arc::new(RunOutcome::from_result(run.fingerprint, result))
+    })
+}

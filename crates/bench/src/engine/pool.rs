@@ -1,0 +1,77 @@
+//! A minimal scoped worker pool for executing unique runs in parallel.
+//!
+//! The hermetic build has no `rayon`; this is the few dozen lines of it we
+//! need. Workers are scoped threads pulling item indices from a shared
+//! atomic counter (work stealing by index), results flow back over a
+//! channel and are reassembled in input order, so callers observe a
+//! deterministic result vector regardless of worker count or scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Maps `f` over `items` using up to `jobs` worker threads, preserving
+/// input order in the results. `jobs <= 1` runs inline on the caller's
+/// thread. A panic in `f` propagates to the caller.
+pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                if tx.send((i, f(&items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter().map(|r| r.expect("a worker panicked before delivering its item")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_every_item() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = parallel_map(1, &items, |&x| x * x);
+        let parallel = parallel_map(4, &items, |&x| x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[7], 49);
+        assert_eq!(parallel.len(), 100);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = parallel_map(4, &Vec::<u64>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_jobs_than_items() {
+        let out = parallel_map(16, &[1u64, 2], |&x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+}

@@ -1,0 +1,87 @@
+//! §5.1 ablation: static vs. dynamic loop deselection.
+//!
+//! The paper's prototype simulates *perfect static selection* via profiling
+//! and notes that "unprofitable loops must be excluded by either static or
+//! dynamic deselection, as they may lead to slowdown (up to 10% in our
+//! tests)". This experiment quantifies all four quadrants on our suite:
+//! no deselection at all, dynamic-only (run-time counters), static-only
+//! (the profile oracle), and both.
+//!
+//! Static deselection is a render-time policy (it compares the two runs),
+//! so the `none`/`static only` and `dynamic only`/`static + dynamic`
+//! quadrant pairs deduplicate to the same simulations in the planner.
+
+use crate::engine::{EngineCtx, Planner, Scenario};
+use crate::table::write_table;
+use crate::{fmt_pct, RunArtifact, RunConfig};
+use loopfrog::DeselectConfig;
+use std::fmt::Write;
+
+const VARIANTS: [(&str, bool, bool); 4] = [
+    ("none", false, false),
+    ("dynamic only", false, true),
+    ("static only (oracle)", true, false),
+    ("static + dynamic", true, true),
+];
+
+fn quadrant_cfg(static_sel: bool, dynamic: bool) -> RunConfig {
+    let mut cfg = RunConfig { deselect_unprofitable: static_sel, ..RunConfig::default() };
+    cfg.lf.deselect = DeselectConfig { enabled: dynamic, ..DeselectConfig::default() };
+    cfg
+}
+
+/// The deselection-ablation scenario.
+pub struct DynamicDeselect;
+
+impl Scenario for DynamicDeselect {
+    fn name(&self) -> &'static str {
+        "dynamic_deselect"
+    }
+
+    fn title(&self) -> &'static str {
+        "§5.1: loop deselection ablation"
+    }
+
+    fn plan(&self, p: &mut Planner<'_>) {
+        for (_, static_sel, dynamic) in VARIANTS {
+            p.request_suite(&quadrant_cfg(static_sel, dynamic));
+        }
+    }
+
+    fn render(&self, ctx: &EngineCtx<'_>, out: &mut String) -> RunArtifact {
+        writeln!(out, "{}\n", self.title()).unwrap();
+        let mut rows = Vec::new();
+        let mut points = Vec::new();
+        for (label, static_sel, dynamic) in VARIANTS {
+            let runs = ctx.suite_runs(&quadrant_cfg(static_sel, dynamic));
+            let speedups: Vec<f64> = runs.iter().map(|r| r.speedup()).collect();
+            let worst = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+            let suppressed: u64 =
+                runs.iter().map(|r| r.lf_stats().counters.get("regions_suppressed")).sum();
+            rows.push(vec![
+                label.to_string(),
+                fmt_pct(lf_stats::geomean(&speedups)),
+                fmt_pct(worst),
+                suppressed.to_string(),
+            ]);
+            let mut p = lf_stats::Json::obj();
+            p.set("label", label);
+            p.set("geomean_speedup", lf_stats::geomean(&speedups));
+            p.set("worst_speedup", worst);
+            p.set("regions_suppressed", suppressed);
+            points.push(p);
+        }
+        write_table(
+            out,
+            &["deselection", "geomean speedup", "worst kernel", "regions suppressed"],
+            &rows,
+        );
+        writeln!(out, "\npaper: without deselection, unprofitable loops cost up to 10%;").unwrap();
+        writeln!(out, "dynamic deselection should recover most of the static oracle's benefit.")
+            .unwrap();
+        let mut art = RunArtifact::new(self.name(), ctx.scale());
+        art.set_config(&RunConfig::default());
+        art.set_extra("sweep", lf_stats::Json::Arr(points));
+        art
+    }
+}

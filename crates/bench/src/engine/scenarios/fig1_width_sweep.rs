@@ -1,0 +1,84 @@
+//! Figure 1: geomean IPC and commit utilization vs. front-end width.
+//!
+//! The paper measures four Intel microarchitectures of increasing width and
+//! finds IPC rising roughly linearly while the fraction of commit bandwidth
+//! actually used falls. We reproduce the trend by sweeping our baseline
+//! core's width (4/6/8/10) over the CPU 2017 analog suite — raw, hint-free
+//! programs, single-threadlet, no speculation.
+
+use crate::engine::planner::{Hinting, Planner};
+use crate::engine::{EngineCtx, Scenario};
+use crate::table::write_table;
+use crate::RunArtifact;
+use lf_uarch::CoreConfig;
+use lf_workloads::Suite;
+use loopfrog::LoopFrogConfig;
+use std::fmt::Write;
+
+const WIDTHS: [usize; 4] = [4, 6, 8, 10];
+
+fn width_cfg(width: usize) -> LoopFrogConfig {
+    LoopFrogConfig {
+        core: CoreConfig { threadlets: 1, ..CoreConfig::with_width(width) },
+        speculation: false,
+        ..LoopFrogConfig::default()
+    }
+}
+
+/// The Figure 1 scenario.
+pub struct Fig1WidthSweep;
+
+impl Scenario for Fig1WidthSweep {
+    fn name(&self) -> &'static str {
+        "fig1_width_sweep"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 1: IPC and commit utilization vs front-end width"
+    }
+
+    fn plan(&self, p: &mut Planner<'_>) {
+        for w in p.kernels().iter().filter(|w| w.suite == Suite::Cpu2017) {
+            for width in WIDTHS {
+                p.request(w.name, Hinting::Raw, &width_cfg(width));
+            }
+        }
+    }
+
+    fn render(&self, ctx: &EngineCtx<'_>, out: &mut String) -> RunArtifact {
+        writeln!(out, "{}", self.title()).unwrap();
+        writeln!(
+            out,
+            "(paper: Intel Skylake→Golden Cove trend; here: width sweep of our baseline core)\n"
+        )
+        .unwrap();
+        let suite: Vec<_> = ctx.kernels().iter().filter(|w| w.suite == Suite::Cpu2017).collect();
+        let mut rows = Vec::new();
+        let mut points = Vec::new();
+        for width in WIDTHS {
+            let cfg = width_cfg(width);
+            let mut ipcs = Vec::new();
+            let mut utils = Vec::new();
+            for w in &suite {
+                let r = ctx.outcome(w.name, &Hinting::Raw, &cfg);
+                ipcs.push(r.stats.ipc());
+                utils.push(r.stats.commit_utilization(width));
+            }
+            rows.push(vec![
+                format!("{width}-wide"),
+                format!("{:.2}", lf_stats::geomean(&ipcs)),
+                format!("{:.1}%", lf_stats::geomean(&utils) * 100.0),
+            ]);
+            let mut p = lf_stats::Json::obj();
+            p.set("width", width);
+            p.set("geomean_ipc", lf_stats::geomean(&ipcs));
+            p.set("commit_utilization", lf_stats::geomean(&utils));
+            points.push(p);
+        }
+        write_table(out, &["core", "geomean IPC", "commit utilization"], &rows);
+        writeln!(out, "\npaper shape: IPC grows with width; commit utilization falls.").unwrap();
+        let mut art = RunArtifact::new(self.name(), ctx.scale());
+        art.set_extra("sweep", lf_stats::Json::Arr(points));
+        art
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 6: whole-program speedups across the SPEC CPU 2006 and CPU 2017
+//! analog suites (paper: geomean +9.2% and +9.5%).
+
+use crate::engine::{EngineCtx, Planner, Scenario};
+use crate::table::write_table;
+use crate::{fmt_pct, RunArtifact, RunConfig};
+use lf_workloads::Suite;
+use std::fmt::Write;
+
+/// The Figure 6 scenario.
+pub struct Fig6Speedups;
+
+impl Scenario for Fig6Speedups {
+    fn name(&self) -> &'static str {
+        "fig6_speedups"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 6: whole-program speedups (LoopFrog vs baseline, hints-as-NOPs)"
+    }
+
+    fn plan(&self, p: &mut Planner<'_>) {
+        p.request_suite(&RunConfig::default());
+    }
+
+    fn render(&self, ctx: &EngineCtx<'_>, out: &mut String) -> RunArtifact {
+        let cfg = RunConfig::default();
+        let runs = ctx.suite_runs(&cfg);
+        writeln!(out, "{}\n", self.title()).unwrap();
+        let rows: Vec<Vec<String>> = runs
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.to_string(),
+                    r.spec_analog.to_string(),
+                    match r.suite {
+                        Suite::Cpu2006 => "CPU2006".into(),
+                        Suite::Cpu2017 => "CPU2017".into(),
+                    },
+                    fmt_pct(r.speedup()),
+                    if r.deselected {
+                        "deselected".into()
+                    } else {
+                        format!("{} loops", r.selected_loops)
+                    },
+                    if r.checksum_ok { "ok".into() } else { "MISMATCH".into() },
+                ]
+            })
+            .collect();
+        write_table(out, &["kernel", "analog", "suite", "speedup", "selection", "check"], &rows);
+
+        for (suite, label, paper) in
+            [(Suite::Cpu2006, "CPU 2006", "+9.2%"), (Suite::Cpu2017, "CPU 2017", "+9.5%")]
+        {
+            let s: Vec<f64> =
+                runs.iter().filter(|r| r.suite == suite).map(|r| r.speedup()).collect();
+            writeln!(
+                out,
+                "\n{label} geomean: {} (paper: {paper}); {}/{} kernels gain >1%",
+                fmt_pct(lf_stats::geomean(&s)),
+                s.iter().filter(|&&x| x > 1.01).count(),
+                s.len()
+            )
+            .unwrap();
+        }
+        assert!(runs.iter().all(|r| r.checksum_ok), "architectural state mismatch");
+        let mut art = RunArtifact::new(self.name(), ctx.scale());
+        art.set_config(&cfg);
+        for r in &runs {
+            art.push_kernel(r);
+        }
+        art
+    }
+}

@@ -1,0 +1,105 @@
+//! §6.5: iteration packing ablation.
+//!
+//! Paper: packing affects 5 of the 13 profitable benchmarks, adds +0.9pp
+//! to the geomean (9.5% → 8.6% without), with a mean packing factor of
+//! 2.1× and a maximum of 25×.
+
+use crate::engine::{EngineCtx, Planner, Scenario};
+use crate::table::write_table;
+use crate::{fmt_pct, RunArtifact, RunConfig};
+use std::fmt::Write;
+
+fn no_packing_cfg() -> RunConfig {
+    let mut cfg = RunConfig::default();
+    cfg.lf.packing.enabled = false;
+    cfg
+}
+
+/// The iteration-packing ablation scenario.
+pub struct PackingAblation;
+
+impl Scenario for PackingAblation {
+    fn name(&self) -> &'static str {
+        "packing_ablation"
+    }
+
+    fn title(&self) -> &'static str {
+        "§6.5: iteration packing ablation"
+    }
+
+    fn plan(&self, p: &mut Planner<'_>) {
+        p.request_suite(&RunConfig::default());
+        p.request_suite(&no_packing_cfg());
+    }
+
+    fn render(&self, ctx: &EngineCtx<'_>, out: &mut String) -> RunArtifact {
+        let cfg_with = RunConfig::default();
+        let with = ctx.suite_runs(&cfg_with);
+        let without = ctx.suite_runs(&no_packing_cfg());
+
+        writeln!(out, "{}\n", self.title()).unwrap();
+        let mut rows = Vec::new();
+        let mut affected = 0;
+        for (w, wo) in with.iter().zip(&without) {
+            let delta = w.speedup() / wo.speedup();
+            if (delta - 1.0).abs() > 0.005 {
+                affected += 1;
+            }
+            rows.push(vec![
+                w.name.to_string(),
+                fmt_pct(w.speedup()),
+                fmt_pct(wo.speedup()),
+                format!("{:+.1}pp", (w.speedup() - wo.speedup()) * 100.0),
+                format!("{:.1}", w.lf_stats().mean_pack_factor()),
+                w.lf_stats().pack_factor_max.to_string(),
+            ]);
+        }
+        write_table(
+            out,
+            &["kernel", "with packing", "without", "delta", "mean factor", "max factor"],
+            &rows,
+        );
+        let g_with = lf_stats::geomean(&with.iter().map(|r| r.speedup()).collect::<Vec<_>>());
+        let g_without = lf_stats::geomean(&without.iter().map(|r| r.speedup()).collect::<Vec<_>>());
+        let packed_factors: Vec<f64> = with
+            .iter()
+            .filter(|r| r.lf_stats().packed_spawns > 0)
+            .map(|r| r.lf_stats().mean_pack_factor())
+            .collect();
+        writeln!(
+            out,
+            "\ngeomean with packing {} vs without {} ({:+.1}pp; paper +0.9pp)",
+            fmt_pct(g_with),
+            fmt_pct(g_without),
+            (g_with - g_without) * 100.0
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "{affected} kernels affected (paper: 5); mean packing factor {:.1} (paper 2.1), max {} (paper 25)",
+            lf_stats::mean(&packed_factors),
+            with.iter().map(|r| r.lf_stats().pack_factor_max).max().unwrap_or(0)
+        )
+        .unwrap();
+        let mut art = RunArtifact::new(self.name(), ctx.scale());
+        art.set_config(&cfg_with);
+        for r in &with {
+            art.push_kernel(r);
+        }
+        let mut abl = lf_stats::Json::obj();
+        abl.set("geomean_with_packing", g_with);
+        abl.set("geomean_without_packing", g_without);
+        let no_pack: Vec<lf_stats::Json> = without
+            .iter()
+            .map(|r| {
+                let mut k = lf_stats::Json::obj();
+                k.set("name", r.name);
+                k.set("speedup", r.speedup());
+                k
+            })
+            .collect();
+        abl.set("without_packing", lf_stats::Json::Arr(no_pack));
+        art.set_extra("ablation", abl);
+        art
+    }
+}

@@ -1,0 +1,73 @@
+//! Table 3: comparison with past TLS/SpMT schemes.
+//!
+//! LoopFrog's speedup is measured on this repository's simulator; STAMPede
+//! and Multiscalar come from the cost models in `lf-baselines`, driven with
+//! their papers' characteristic task sizes, and are calibrated against the
+//! published results. As the paper notes, the numbers are not like-for-like.
+
+use crate::engine::{EngineCtx, Planner, Scenario};
+use crate::table::write_table;
+use crate::{RunArtifact, RunConfig};
+use lf_baselines::table3;
+use std::fmt::Write;
+
+/// The Table 3 scenario.
+pub struct Table3Comparison;
+
+impl Scenario for Table3Comparison {
+    fn name(&self) -> &'static str {
+        "table3_comparison"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 3: comparison with past TLS/SpMT schemes"
+    }
+
+    fn plan(&self, p: &mut Planner<'_>) {
+        p.request_suite(&RunConfig::default());
+    }
+
+    fn render(&self, ctx: &EngineCtx<'_>, out: &mut String) -> RunArtifact {
+        let cfg = RunConfig::default();
+        let runs = ctx.suite_runs(&cfg);
+        let suite17: Vec<f64> = runs
+            .iter()
+            .filter(|r| r.suite == lf_workloads::Suite::Cpu2017)
+            .map(|r| r.speedup())
+            .collect();
+        let measured = lf_stats::geomean(&suite17);
+
+        writeln!(out, "{}\n", self.title()).unwrap();
+        let rows: Vec<Vec<String>> = table3(measured)
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.scheme.to_string(),
+                    format!("{:.2}x", r.speedup),
+                    r.cores,
+                    format!("~{:.2}x", r.area),
+                    r.baseline.to_string(),
+                    r.task_sizes.to_string(),
+                    r.deployment.to_string(),
+                ]
+            })
+            .collect();
+        write_table(
+            out,
+            &["scheme", "speedup", "cores", "area", "baseline", "task sizes", "deployment"],
+            &rows,
+        );
+        writeln!(
+            out,
+            "\npaper: LoopFrog 1.1x @ ~1.15x area; STAMPede 1.16x @ >4x; Multiscalar 2.16x @ ~8x."
+        )
+        .unwrap();
+        let mut art = RunArtifact::new(self.name(), ctx.scale());
+        art.set_config(&cfg);
+        for r in &runs {
+            art.push_kernel(r);
+        }
+        art.set_extra("measured_geomean_cpu2017", measured);
+        art
+    }
+}

@@ -1,21 +1,26 @@
 //! # lf-bench — experiment harness for the LoopFrog reproduction
 //!
-//! Shared machinery behind the per-figure/table binaries: run a workload
-//! through the full pipeline (profile → hint insertion → baseline and
-//! LoopFrog simulations), validate architectural equivalence against the
-//! golden emulator, and aggregate suite-level statistics.
+//! The [`engine`] module is the heart: every figure/table is a registered
+//! [`engine::Scenario`] that declares its simulations to a deduplicating
+//! run planner and renders from memoized outcomes — `lf-bench run --all`
+//! simulates each unique (program × config × scale) exactly once. The
+//! [`runner`] module keeps the standalone single-kernel path used by tests
+//! and one-off experiments.
 
 #![warn(missing_docs)]
 
 pub mod area;
 pub mod artifact;
+pub mod engine;
 pub mod microbench;
 pub mod runner;
 pub mod table;
 
 pub use artifact::RunArtifact;
-pub use runner::{run_kernel, run_suite, KernelRun, RunConfig};
-pub use table::{fmt_pct, print_table};
+pub use runner::{
+    run_fingerprint, run_kernel, run_suite, scale_tag, KernelRun, RunConfig, RunOutcome,
+};
+pub use table::{fmt_pct, print_table, write_table};
 
 /// Parses `--scale smoke|eval` from the process arguments (default smoke).
 /// Exits with an error on an unrecognized value rather than silently

@@ -1,9 +1,18 @@
 //! The kernel experiment runner.
+//!
+//! [`run_kernel`] / [`run_suite`] drive one workload (or the whole suite)
+//! through profile → hint insertion → baseline + LoopFrog simulation, as a
+//! standalone convenience for tests and one-off experiments. The unified
+//! experiment engine ([`crate::engine`]) produces the same [`KernelRun`]
+//! values from memoized, deduplicated [`RunOutcome`]s instead of
+//! simulating inline.
 
 use lf_compiler::{annotate, SelectOptions};
-use lf_isa::Program;
+use lf_isa::{checksum::fnv1a, Memory, Program};
+use lf_stats::Json;
 use lf_workloads::{Scale, Workload};
 use loopfrog::{simulate, LoopFrogConfig, SimResult, SimStats};
+use std::sync::Arc;
 
 /// Configuration for one experiment run.
 #[derive(Debug, Clone)]
@@ -33,6 +42,66 @@ impl Default for RunConfig {
     }
 }
 
+/// The memoizable product of one simulation: everything any scenario
+/// consumes, detached from the live simulator state so it can be shared
+/// (`Arc`), sent across worker threads, and round-tripped through the
+/// on-disk run cache.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Content fingerprint of `(annotated program, memory, config, scale)`;
+    /// see [`run_fingerprint`].
+    pub fingerprint: u64,
+    /// Scalar statistics (tables and summary math).
+    pub stats: SimStats,
+    /// Final architectural state checksum.
+    pub checksum: u64,
+    /// The full machine-readable record (metrics registry, cycle
+    /// accounting, intervals), pre-rendered to JSON for artifacts.
+    pub rendered: Json,
+    /// Whether this outcome was served from the on-disk cache rather than
+    /// simulated in this process.
+    pub from_cache: bool,
+}
+
+impl RunOutcome {
+    /// Converts a finished simulation into its memoizable outcome. The
+    /// `SimResult` is consumed — statistics move, and the heavyweight
+    /// registry/interval state is rendered to JSON once and dropped.
+    pub fn from_result(fingerprint: u64, result: SimResult) -> RunOutcome {
+        let rendered = crate::artifact::sim_result_json(&result);
+        RunOutcome {
+            fingerprint,
+            checksum: result.checksum,
+            stats: result.stats,
+            rendered,
+            from_cache: false,
+        }
+    }
+}
+
+/// Stable identity of one simulation, per the experiment engine's
+/// deduplication contract: the annotated program's code fingerprint, the
+/// initial memory image, the canonicalized [`LoopFrogConfig`], and the
+/// workload scale. Equal fingerprints produce identical results (the
+/// simulator is deterministic).
+pub fn run_fingerprint(program: &Program, mem: &Memory, cfg: &LoopFrogConfig, scale: Scale) -> u64 {
+    let mut fp = lf_stats::Fingerprint::new();
+    fp.u64(program.code_fingerprint())
+        .u64(fnv1a(mem.as_bytes()))
+        .str(scale_tag(scale))
+        .u64(cfg.fingerprint());
+    fp.finish()
+}
+
+/// The lowercase tag used for a scale in fingerprints, CLI flags, and
+/// artifacts.
+pub fn scale_tag(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Smoke => "smoke",
+        Scale::Eval => "eval",
+    }
+}
+
 /// Outcome of running one kernel under baseline and LoopFrog.
 #[derive(Debug, Clone)]
 pub struct KernelRun {
@@ -48,17 +117,11 @@ pub struct KernelRun {
     pub in_openmp_region: bool,
     /// Number of loops the compiler annotated.
     pub selected_loops: usize,
-    /// The annotated program (for further experiments).
-    pub annotated: Program,
-    /// Baseline run statistics.
-    pub base: SimStats,
-    /// LoopFrog run statistics.
-    pub lf: SimStats,
-    /// Full baseline result (metrics registry, cycle accounting, interval
-    /// samples) for machine-readable artifacts.
-    pub base_result: SimResult,
-    /// Full LoopFrog result; mirrors `base_result` when deselected.
-    pub lf_result: SimResult,
+    /// Baseline outcome.
+    pub base: Arc<RunOutcome>,
+    /// LoopFrog outcome; mirrors `base` (shared, not re-simulated) when
+    /// the kernel is deselected.
+    pub lf: Arc<RunOutcome>,
     /// Whether emulator, baseline, and LoopFrog all agreed on final state.
     pub checksum_ok: bool,
     /// The kernel's loops were deselected as unprofitable (its shipped
@@ -67,9 +130,48 @@ pub struct KernelRun {
 }
 
 impl KernelRun {
+    /// Applies the profile-guided deselection rule to a pair of outcomes
+    /// and assembles the record. Outcomes are shared `Arc`s: a deselected
+    /// kernel's `lf` is the same allocation as its `base`, never a copy.
+    pub fn from_outcomes(
+        w: &Workload,
+        selected_loops: usize,
+        golden: u64,
+        base: Arc<RunOutcome>,
+        lf: Arc<RunOutcome>,
+        deselect_unprofitable: bool,
+    ) -> KernelRun {
+        let checksum_ok = base.checksum == golden && lf.checksum == golden;
+        let deselected = deselect_unprofitable && lf.stats.cycles > base.stats.cycles;
+        let (lf, selected_loops) =
+            if deselected { (base.clone(), 0) } else { (lf, selected_loops) };
+        KernelRun {
+            name: w.name,
+            spec_analog: w.spec_analog,
+            suite: w.suite,
+            category: w.category,
+            in_openmp_region: w.in_openmp_region,
+            selected_loops,
+            base,
+            lf,
+            checksum_ok,
+            deselected,
+        }
+    }
+
     /// Whole-program speedup of LoopFrog over the baseline.
     pub fn speedup(&self) -> f64 {
-        self.base.cycles as f64 / self.lf.cycles as f64
+        self.base.stats.cycles as f64 / self.lf.stats.cycles as f64
+    }
+
+    /// Baseline run statistics.
+    pub fn base_stats(&self) -> &SimStats {
+        &self.base.stats
+    }
+
+    /// LoopFrog run statistics (the baseline's when deselected).
+    pub fn lf_stats(&self) -> &SimStats {
+        &self.lf.stats
     }
 }
 
@@ -91,26 +193,18 @@ pub fn run_kernel(w: &Workload, cfg: &RunConfig) -> KernelRun {
         .unwrap_or_else(|e| panic!("{} baseline failed: {e}", w.name));
     let lf = simulate(&ann.program, w.mem.clone(), cfg.lf.clone())
         .unwrap_or_else(|e| panic!("{} loopfrog failed: {e}", w.name));
-    let checksum_ok = base.checksum == golden && lf.checksum == golden;
 
-    let deselected = cfg.deselect_unprofitable && lf.stats.cycles > base.stats.cycles;
-    let (lf_result, selected_loops) =
-        if deselected { (base.clone(), 0) } else { (lf, selected_loops) };
-    KernelRun {
-        name: w.name,
-        spec_analog: w.spec_analog,
-        suite: w.suite,
-        category: w.category,
-        in_openmp_region: w.in_openmp_region,
-        selected_loops,
-        annotated: ann.program,
-        base: base.stats.clone(),
-        lf: lf_result.stats.clone(),
-        base_result: base,
-        lf_result,
-        checksum_ok,
-        deselected,
-    }
+    // Results move into shared outcomes; nothing is deep-copied, and a
+    // deselected kernel mirrors the baseline by Arc, not by clone.
+    let base = Arc::new(RunOutcome::from_result(
+        run_fingerprint(&ann.program, &w.mem, &cfg.base, w.scale),
+        base,
+    ));
+    let lf = Arc::new(RunOutcome::from_result(
+        run_fingerprint(&ann.program, &w.mem, &cfg.lf, w.scale),
+        lf,
+    ));
+    KernelRun::from_outcomes(w, selected_loops, golden, base, lf, cfg.deselect_unprofitable)
 }
 
 /// Runs the whole suite at `scale`.
@@ -128,6 +222,33 @@ mod tests {
         let r = run_kernel(&w, &RunConfig::default());
         assert!(r.checksum_ok, "architectural state must match the emulator");
         assert!(r.selected_loops >= 1, "the hot loop must be selected");
-        assert!(r.lf.spawns > 0, "threadlets must spawn");
+        assert!(r.lf_stats().spawns > 0, "threadlets must spawn");
+        assert_ne!(r.base.fingerprint, r.lf.fingerprint, "configs must fingerprint apart");
+    }
+
+    #[test]
+    fn deselected_kernels_share_the_baseline_outcome() {
+        let w = lf_workloads::by_name("compress_rle", Scale::Smoke).unwrap();
+        let r = run_kernel(&w, &RunConfig::default());
+        if r.deselected {
+            assert!(Arc::ptr_eq(&r.base, &r.lf), "mirroring must share, not copy");
+            assert_eq!(r.selected_loops, 0);
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_scale_and_config() {
+        let w = lf_workloads::by_name("stencil_blur", Scale::Smoke).unwrap();
+        let cfg = LoopFrogConfig::default();
+        let fp = run_fingerprint(&w.program, &w.mem, &cfg, Scale::Smoke);
+        assert_eq!(fp, run_fingerprint(&w.program, &w.mem, &cfg, Scale::Smoke));
+        assert_ne!(fp, run_fingerprint(&w.program, &w.mem, &cfg, Scale::Eval));
+        assert_ne!(
+            fp,
+            run_fingerprint(&w.program, &w.mem, &LoopFrogConfig::baseline(), Scale::Smoke)
+        );
+        let mut small_ssb = LoopFrogConfig::default();
+        small_ssb.ssb.size_bytes = 512;
+        assert_ne!(fp, run_fingerprint(&w.program, &w.mem, &small_ssb, Scale::Smoke));
     }
 }

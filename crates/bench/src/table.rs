@@ -5,8 +5,10 @@ pub fn fmt_pct(factor: f64) -> String {
     format!("{:+.1}%", (factor - 1.0) * 100.0)
 }
 
-/// Prints a header row and aligned data rows.
-pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+/// Renders a header row and aligned data rows into `out` (one trailing
+/// newline per row). Scenario renderers write here so the engine can
+/// compare, capture, and route output deterministically.
+pub fn write_table(out: &mut String, headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -15,16 +17,24 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let line = |cells: Vec<String>| {
+    let mut line = |cells: Vec<String>| {
         let mut s = String::new();
         for (i, c) in cells.iter().enumerate() {
             s.push_str(&format!("{:w$}  ", c, w = widths[i]));
         }
-        println!("{}", s.trim_end());
+        out.push_str(s.trim_end());
+        out.push('\n');
     };
     line(headers.iter().map(|h| h.to_string()).collect());
     line(widths.iter().map(|w| "-".repeat(*w)).collect());
     for row in rows {
         line(row.clone());
     }
+}
+
+/// Prints a header row and aligned data rows to stdout.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut out = String::new();
+    write_table(&mut out, headers, rows);
+    print!("{out}");
 }

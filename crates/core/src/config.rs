@@ -148,6 +148,99 @@ impl LoopFrogConfig {
             ..LoopFrogConfig::default()
         }
     }
+
+    /// A stable canonical fingerprint over *every* configuration field,
+    /// including telemetry knobs (they change the [`crate::SimResult`]
+    /// contents, so runs under different telemetry settings must not be
+    /// deduplicated against each other). Combined with the annotated
+    /// program's code fingerprint and the workload scale, this identifies
+    /// a simulation: equal fingerprints ⇒ identical results.
+    ///
+    /// Any new configuration field MUST be fed here, otherwise the
+    /// experiment engine's cache will serve stale results when that field
+    /// changes; `fingerprint_covers_every_field` below guards the known
+    /// ones.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = lf_stats::Fingerprint::new();
+        fingerprint_core(&mut fp, &self.core);
+        fingerprint_mem(&mut fp, &self.mem);
+        fingerprint_ssb(&mut fp, &self.ssb);
+        fingerprint_packing(&mut fp, &self.packing);
+        fingerprint_deselect(&mut fp, &self.deselect);
+        fp.bool(self.speculation)
+            .u64(self.spawn_latency)
+            .u64(self.max_insts)
+            .u64(self.max_cycles)
+            .opt_u64(self.telemetry.interval_cycles)
+            .usize(self.telemetry.flight_recorder_depth);
+        fp.finish()
+    }
+}
+
+fn fingerprint_core(fp: &mut lf_stats::Fingerprint, c: &CoreConfig) {
+    fp.str("core")
+        .usize(c.width)
+        .usize(c.commit_width)
+        .usize(c.rob_size)
+        .usize(c.iq_size)
+        .usize(c.lq_size)
+        .usize(c.sq_size)
+        .usize(c.fetch_queue_size)
+        .usize(c.int_phys_regs)
+        .usize(c.fp_phys_regs)
+        .usize(c.fu.int_alu)
+        .usize(c.fu.int_mul_div)
+        .usize(c.fu.fp)
+        .usize(c.fu.fp_div_sqrt)
+        .usize(c.fu.load)
+        .usize(c.fu.store)
+        .u64(c.frontend_latency)
+        .usize(c.threadlets);
+}
+
+fn fingerprint_cache(fp: &mut lf_stats::Fingerprint, c: &lf_uarch::CacheConfig) {
+    fp.usize(c.size).usize(c.ways).usize(c.line).u64(c.hit_latency).usize(c.mshrs);
+}
+
+fn fingerprint_mem(fp: &mut lf_stats::Fingerprint, m: &MemConfig) {
+    fp.str("mem");
+    fingerprint_cache(fp, &m.l1i);
+    fingerprint_cache(fp, &m.l1d);
+    fingerprint_cache(fp, &m.l2);
+    fp.u64(m.dram_latency).usize(m.l1d_prefetch_degree).usize(m.l2_prefetch_degree);
+}
+
+fn fingerprint_ssb(fp: &mut lf_stats::Fingerprint, s: &SsbConfig) {
+    fp.str("ssb")
+        .usize(s.size_bytes)
+        .usize(s.line)
+        .usize(s.granule)
+        .opt_usize(s.assoc)
+        .usize(s.victim_entries)
+        .u64(s.read_latency)
+        .u64(s.write_latency)
+        .u64(s.conflict_check_latency)
+        .opt_u64(s.bloom.map(|(bits, hashes)| ((bits as u64) << 8) | hashes as u64))
+        .usize(s.flush_lines_per_cycle);
+}
+
+fn fingerprint_packing(fp: &mut lf_stats::Fingerprint, p: &PackingConfig) {
+    fp.str("packing")
+        .bool(p.enabled)
+        .f64(p.alpha)
+        .u64(p.target_epoch_size)
+        .u64(p.max_factor as u64)
+        .u64(p.confidence_threshold as u64);
+}
+
+fn fingerprint_deselect(fp: &mut lf_stats::Fingerprint, d: &DeselectConfig) {
+    fp.str("deselect")
+        .bool(d.enabled)
+        .u64(d.warmup_epochs)
+        .f64(d.max_conflict_rate)
+        .f64(d.max_overflow_rate)
+        .f64(d.min_epoch_insts)
+        .u64(d.retry_after);
 }
 
 #[cfg(test)]
@@ -167,5 +260,81 @@ mod tests {
         let c = LoopFrogConfig::baseline();
         assert!(!c.speculation);
         assert_eq!(c.core.threadlets, 1);
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_distinguishes_presets() {
+        assert_eq!(
+            LoopFrogConfig::default().fingerprint(),
+            LoopFrogConfig::default().fingerprint()
+        );
+        assert_ne!(
+            LoopFrogConfig::default().fingerprint(),
+            LoopFrogConfig::baseline().fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_covers_every_field() {
+        // Mutate one field at a time; every mutation must move the hash.
+        type Mutation = Box<dyn Fn(&mut LoopFrogConfig)>;
+        let base = LoopFrogConfig::default().fingerprint();
+        let mutations: Vec<Mutation> = vec![
+            Box::new(|c| c.core.width += 1),
+            Box::new(|c| c.core.commit_width += 1),
+            Box::new(|c| c.core.rob_size += 1),
+            Box::new(|c| c.core.iq_size += 1),
+            Box::new(|c| c.core.lq_size += 1),
+            Box::new(|c| c.core.sq_size += 1),
+            Box::new(|c| c.core.fetch_queue_size += 1),
+            Box::new(|c| c.core.int_phys_regs += 1),
+            Box::new(|c| c.core.fp_phys_regs += 1),
+            Box::new(|c| c.core.fu.int_alu += 1),
+            Box::new(|c| c.core.fu.int_mul_div += 1),
+            Box::new(|c| c.core.fu.fp += 1),
+            Box::new(|c| c.core.fu.fp_div_sqrt += 1),
+            Box::new(|c| c.core.fu.load += 1),
+            Box::new(|c| c.core.fu.store += 1),
+            Box::new(|c| c.core.frontend_latency += 1),
+            Box::new(|c| c.core.threadlets += 1),
+            Box::new(|c| c.mem.l1i.size *= 2),
+            Box::new(|c| c.mem.l1d.ways += 1),
+            Box::new(|c| c.mem.l2.hit_latency += 1),
+            Box::new(|c| c.mem.dram_latency += 1),
+            Box::new(|c| c.mem.l1d_prefetch_degree += 1),
+            Box::new(|c| c.mem.l2_prefetch_degree += 1),
+            Box::new(|c| c.ssb.size_bytes *= 2),
+            Box::new(|c| c.ssb.line *= 2),
+            Box::new(|c| c.ssb.granule *= 2),
+            Box::new(|c| c.ssb.assoc = Some(8)),
+            Box::new(|c| c.ssb.victim_entries = 8),
+            Box::new(|c| c.ssb.read_latency += 1),
+            Box::new(|c| c.ssb.write_latency += 1),
+            Box::new(|c| c.ssb.conflict_check_latency += 1),
+            Box::new(|c| c.ssb.bloom = Some((4096, 4))),
+            Box::new(|c| c.ssb.flush_lines_per_cycle += 1),
+            Box::new(|c| c.packing.enabled = !c.packing.enabled),
+            Box::new(|c| c.packing.alpha += 0.1),
+            Box::new(|c| c.packing.target_epoch_size += 1),
+            Box::new(|c| c.packing.max_factor += 1),
+            Box::new(|c| c.packing.confidence_threshold += 1),
+            Box::new(|c| c.deselect.enabled = !c.deselect.enabled),
+            Box::new(|c| c.deselect.warmup_epochs += 1),
+            Box::new(|c| c.deselect.max_conflict_rate += 0.5),
+            Box::new(|c| c.deselect.max_overflow_rate += 0.5),
+            Box::new(|c| c.deselect.min_epoch_insts += 1.0),
+            Box::new(|c| c.deselect.retry_after += 1),
+            Box::new(|c| c.speculation = !c.speculation),
+            Box::new(|c| c.spawn_latency += 1),
+            Box::new(|c| c.max_insts = 1 << 40),
+            Box::new(|c| c.max_cycles = 1 << 40),
+            Box::new(|c| c.telemetry.interval_cycles = None),
+            Box::new(|c| c.telemetry.flight_recorder_depth += 1),
+        ];
+        for (i, m) in mutations.iter().enumerate() {
+            let mut c = LoopFrogConfig::default();
+            m(&mut c);
+            assert_ne!(base, c.fingerprint(), "mutation {i} did not change the fingerprint");
+        }
     }
 }

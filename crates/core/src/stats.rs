@@ -115,6 +115,93 @@ impl SimStats {
             self.pack_factor_sum as f64 / self.packed_spawns as f64
         }
     }
+
+    /// Serializes every field to JSON, for the experiment engine's on-disk
+    /// run cache. Inverse of [`SimStats::from_json`]. All counts here are
+    /// far below 2^53, so the number representation is lossless.
+    pub fn to_json(&self) -> lf_stats::Json {
+        let mut j = lf_stats::Json::obj();
+        j.set("cycles", self.cycles);
+        j.set("committed_insts", self.committed_insts);
+        j.set("commits_arch", self.commits_arch);
+        j.set("commits_spec_success", self.commits_spec_success);
+        j.set("commits_spec_failed", self.commits_spec_failed);
+        j.set("issued_insts", self.issued_insts);
+        j.set("fetched_insts", self.fetched_insts);
+        j.set("renamed_insts", self.renamed_insts);
+        j.set("fetch_icache_stalls", self.fetch_icache_stalls);
+        j.set("branches", self.branches);
+        j.set("branch_mispredicts", self.branch_mispredicts);
+        j.set("spawns", self.spawns);
+        j.set("packed_spawns", self.packed_spawns);
+        j.set("pack_factor_sum", self.pack_factor_sum);
+        j.set("pack_factor_max", self.pack_factor_max as u64);
+        j.set("pack_patches", self.pack_patches);
+        j.set("squashes_conflict", self.squashes_conflict);
+        j.set("squashes_overflow", self.squashes_overflow);
+        j.set("squashes_sync", self.squashes_sync);
+        j.set("squashes_packing", self.squashes_packing);
+        j.set("squashes_wrong_path", self.squashes_wrong_path);
+        j.set(
+            "cycles_with_active",
+            lf_stats::Json::Arr(
+                self.cycles_with_active.iter().map(|&c| lf_stats::Json::from(c)).collect(),
+            ),
+        );
+        j.set("region_cycles", self.region_cycles);
+        let mut counters = lf_stats::Json::obj();
+        for (name, n) in self.counters.iter() {
+            counters.set(name, n);
+        }
+        j.set("counters", counters);
+        j
+    }
+
+    /// Reconstructs stats from a [`SimStats::to_json`] document; `None` if
+    /// any field is missing or mistyped (a corrupt or stale cache entry).
+    pub fn from_json(j: &lf_stats::Json) -> Option<SimStats> {
+        let u = |key: &str| j.get(key).and_then(lf_stats::Json::as_u64);
+        let mut counters = Counters::new();
+        match j.get("counters")? {
+            lf_stats::Json::Obj(m) => {
+                for (name, v) in m {
+                    counters.add(name, v.as_u64()?);
+                }
+            }
+            _ => return None,
+        }
+        Some(SimStats {
+            cycles: u("cycles")?,
+            committed_insts: u("committed_insts")?,
+            commits_arch: u("commits_arch")?,
+            commits_spec_success: u("commits_spec_success")?,
+            commits_spec_failed: u("commits_spec_failed")?,
+            issued_insts: u("issued_insts")?,
+            fetched_insts: u("fetched_insts")?,
+            renamed_insts: u("renamed_insts")?,
+            fetch_icache_stalls: u("fetch_icache_stalls")?,
+            branches: u("branches")?,
+            branch_mispredicts: u("branch_mispredicts")?,
+            spawns: u("spawns")?,
+            packed_spawns: u("packed_spawns")?,
+            pack_factor_sum: u("pack_factor_sum")?,
+            pack_factor_max: u("pack_factor_max")? as u32,
+            pack_patches: u("pack_patches")?,
+            squashes_conflict: u("squashes_conflict")?,
+            squashes_overflow: u("squashes_overflow")?,
+            squashes_sync: u("squashes_sync")?,
+            squashes_packing: u("squashes_packing")?,
+            squashes_wrong_path: u("squashes_wrong_path")?,
+            cycles_with_active: j
+                .get("cycles_with_active")?
+                .as_arr()?
+                .iter()
+                .map(lf_stats::Json::as_u64)
+                .collect::<Option<Vec<u64>>>()?,
+            region_cycles: u("region_cycles")?,
+            counters,
+        })
+    }
 }
 
 /// Why the simulation stopped.
@@ -182,5 +269,33 @@ mod tests {
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.mispredict_rate(), 0.0);
         assert_eq!(s.mean_pack_factor(), 1.0);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let mut s = SimStats::new(4);
+        s.cycles = 12_345;
+        s.committed_insts = 54_321;
+        s.commits_arch = 40_000;
+        s.commits_spec_success = 10_000;
+        s.commits_spec_failed = 4_321;
+        s.issued_insts = 60_000;
+        s.spawns = 17;
+        s.packed_spawns = 5;
+        s.pack_factor_sum = 12;
+        s.pack_factor_max = 7;
+        s.squashes_conflict = 3;
+        s.cycles_with_active = vec![1, 2, 3, 4, 5];
+        s.region_cycles = 9_000;
+        s.counters.add("l2_accesses", 999);
+        s.counters.add("bloom_false_positive_squashes", 2);
+
+        let text = s.to_json().to_string_pretty();
+        let parsed = lf_stats::Json::parse(&text).expect("stats JSON parses");
+        let back = SimStats::from_json(&parsed).expect("stats reconstruct");
+        assert_eq!(format!("{s:?}"), format!("{back:?}"));
+
+        // Corrupt documents are rejected, not mis-read.
+        assert!(SimStats::from_json(&lf_stats::Json::obj()).is_none());
     }
 }

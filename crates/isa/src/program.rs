@@ -79,6 +79,24 @@ impl Program {
         v
     }
 
+    /// A stable content checksum over the executable code (instructions
+    /// and entry point; debug labels are excluded). Two programs with
+    /// equal fingerprints execute identically, so the experiment engine
+    /// uses this as the program component of a run fingerprint.
+    pub fn code_fingerprint(&self) -> u64 {
+        use std::fmt::Write as _;
+        let mut text = String::with_capacity(self.insts.len() * 24);
+        for inst in &self.insts {
+            // `Inst`'s Debug form is a canonical, stable rendering of every
+            // operand; separate instructions with a newline so adjacent
+            // encodings cannot bleed together.
+            let _ = writeln!(text, "{inst:?}");
+        }
+        let mut h = crate::checksum::fnv1a(text.as_bytes());
+        h ^= crate::checksum::fnv1a_u64(&[self.entry as u64]);
+        h
+    }
+
     /// Returns a copy of this program with every hint replaced by `Nop`.
     ///
     /// Useful for checking that hints never change sequential semantics.
@@ -131,5 +149,23 @@ mod tests {
         assert_eq!(q.fetch(0), Some(Inst::Nop));
         assert_eq!(q.fetch(1), Some(Inst::Halt));
         assert_eq!(q.len(), p.len());
+    }
+
+    #[test]
+    fn code_fingerprint_tracks_code_not_labels() {
+        let hinted = Program::new(vec![
+            Inst::Hint { kind: HintKind::Detach, region: RegionId(1) },
+            Inst::Halt,
+        ]);
+        let plain = hinted.without_hints();
+        assert_ne!(hinted.code_fingerprint(), plain.code_fingerprint());
+
+        let mut labels = BTreeMap::new();
+        labels.insert(0, "loop_head".to_string());
+        let labelled = Program::with_labels(
+            vec![Inst::Hint { kind: HintKind::Detach, region: RegionId(1) }, Inst::Halt],
+            labels,
+        );
+        assert_eq!(hinted.code_fingerprint(), labelled.code_fingerprint());
     }
 }

@@ -1,0 +1,253 @@
+//! Stable content fingerprinting for run deduplication.
+//!
+//! The experiment engine identifies a simulation by a *fingerprint*: a
+//! stable 64-bit hash over the annotated program, the canonicalized
+//! configuration, and the workload scale. Two `RunRequest`s with equal
+//! fingerprints are guaranteed to produce identical `SimResult`s (the
+//! simulator is deterministic), so the planner simulates each fingerprint
+//! exactly once and the on-disk cache can key artifacts by it.
+//!
+//! [`Fingerprint`] is a small streaming hasher built on FNV-1a with
+//! per-value type tagging, so differently-typed field sequences that
+//! happen to share a byte encoding cannot collide trivially, and
+//! variable-length values (strings, byte slices) are length-prefixed so
+//! adjacent fields cannot bleed into each other. Unlike
+//! `std::collections::hash_map::DefaultHasher`, the result is stable
+//! across processes and Rust versions — a requirement for the on-disk
+//! cache.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming, process-stable 64-bit content hasher.
+///
+/// # Examples
+///
+/// ```
+/// use lf_stats::Fingerprint;
+///
+/// let mut a = Fingerprint::new();
+/// a.u64(8192).bool(true).str("smoke");
+/// let mut b = Fingerprint::new();
+/// b.u64(8192).bool(true).str("smoke");
+/// assert_eq!(a.finish(), b.finish());
+///
+/// let mut c = Fingerprint::new();
+/// c.u64(8192).bool(false).str("smoke");
+/// assert_ne!(a.finish(), c.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    h: u64,
+}
+
+/// Type tags providing domain separation between pushed values.
+#[repr(u8)]
+enum Tag {
+    U64 = 1,
+    F64 = 2,
+    Bool = 3,
+    Str = 4,
+    Bytes = 5,
+    None = 6,
+    Some = 7,
+}
+
+impl Fingerprint {
+    /// Starts a fresh fingerprint.
+    pub fn new() -> Fingerprint {
+        Fingerprint { h: FNV_OFFSET }
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.h ^= b as u64;
+        self.h = self.h.wrapping_mul(FNV_PRIME);
+    }
+
+    fn raw_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// Feeds an unsigned integer.
+    pub fn u64(&mut self, v: u64) -> &mut Fingerprint {
+        self.byte(Tag::U64 as u8);
+        self.raw_u64(v);
+        self
+    }
+
+    /// Feeds a `usize` (hashed as `u64`, so 32/64-bit hosts agree).
+    pub fn usize(&mut self, v: usize) -> &mut Fingerprint {
+        self.u64(v as u64)
+    }
+
+    /// Feeds a float by its bit pattern, with `-0.0` normalized to `0.0`
+    /// so numerically-equal configurations fingerprint equally. (NaN
+    /// payloads are hashed as-is; configuration knobs are never NaN.)
+    pub fn f64(&mut self, v: f64) -> &mut Fingerprint {
+        let v = if v == 0.0 { 0.0 } else { v };
+        self.byte(Tag::F64 as u8);
+        self.raw_u64(v.to_bits());
+        self
+    }
+
+    /// Feeds a boolean.
+    pub fn bool(&mut self, v: bool) -> &mut Fingerprint {
+        self.byte(Tag::Bool as u8);
+        self.byte(v as u8);
+        self
+    }
+
+    /// Feeds a string (length-prefixed UTF-8 bytes).
+    pub fn str(&mut self, s: &str) -> &mut Fingerprint {
+        self.byte(Tag::Str as u8);
+        self.raw_u64(s.len() as u64);
+        for &b in s.as_bytes() {
+            self.byte(b);
+        }
+        self
+    }
+
+    /// Feeds a byte slice (length-prefixed).
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Fingerprint {
+        self.byte(Tag::Bytes as u8);
+        self.raw_u64(bytes.len() as u64);
+        for &b in bytes {
+            self.byte(b);
+        }
+        self
+    }
+
+    /// Feeds an optional unsigned integer (presence is part of the hash,
+    /// so `None` and `Some(0)` differ).
+    pub fn opt_u64(&mut self, v: Option<u64>) -> &mut Fingerprint {
+        match v {
+            None => {
+                self.byte(Tag::None as u8);
+            }
+            Some(v) => {
+                self.byte(Tag::Some as u8);
+                self.raw_u64(v);
+            }
+        }
+        self
+    }
+
+    /// Feeds an optional `usize`.
+    pub fn opt_usize(&mut self, v: Option<usize>) -> &mut Fingerprint {
+        self.opt_u64(v.map(|x| x as u64))
+    }
+
+    /// The fingerprint over everything fed so far.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Fingerprint {
+        Fingerprint::new()
+    }
+}
+
+/// Formats a fingerprint as the fixed-width hex token used in cache file
+/// names and JSON reports.
+pub fn fingerprint_hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+/// Parses a [`fingerprint_hex`] token back to the fingerprint.
+pub fn parse_fingerprint_hex(s: &str) -> Option<u64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_across_instances() {
+        let mut a = Fingerprint::new();
+        a.u64(1).f64(0.7).str("x").bool(true).opt_usize(None);
+        let mut b = Fingerprint::new();
+        b.u64(1).f64(0.7).str("x").bool(true).opt_usize(None);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn every_value_matters() {
+        let base = {
+            let mut f = Fingerprint::new();
+            f.u64(1).f64(0.7).str("x").bool(true).opt_usize(Some(4));
+            f.finish()
+        };
+        let variants: Vec<u64> = vec![
+            {
+                let mut f = Fingerprint::new();
+                f.u64(2).f64(0.7).str("x").bool(true).opt_usize(Some(4));
+                f.finish()
+            },
+            {
+                let mut f = Fingerprint::new();
+                f.u64(1).f64(0.8).str("x").bool(true).opt_usize(Some(4));
+                f.finish()
+            },
+            {
+                let mut f = Fingerprint::new();
+                f.u64(1).f64(0.7).str("y").bool(true).opt_usize(Some(4));
+                f.finish()
+            },
+            {
+                let mut f = Fingerprint::new();
+                f.u64(1).f64(0.7).str("x").bool(false).opt_usize(Some(4));
+                f.finish()
+            },
+            {
+                let mut f = Fingerprint::new();
+                f.u64(1).f64(0.7).str("x").bool(true).opt_usize(None);
+                f.finish()
+            },
+        ];
+        for v in variants {
+            assert_ne!(base, v);
+        }
+    }
+
+    #[test]
+    fn none_differs_from_some_zero() {
+        let mut a = Fingerprint::new();
+        a.opt_u64(None);
+        let mut b = Fingerprint::new();
+        b.opt_u64(Some(0));
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn string_boundaries_do_not_bleed() {
+        let mut a = Fingerprint::new();
+        a.str("ab").str("c");
+        let mut b = Fingerprint::new();
+        b.str("a").str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn negative_zero_is_normalized() {
+        let mut a = Fingerprint::new();
+        a.f64(0.0);
+        let mut b = Fingerprint::new();
+        b.f64(-0.0);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let fp = 0x0123_4567_89ab_cdef;
+        assert_eq!(parse_fingerprint_hex(&fingerprint_hex(fp)), Some(fp));
+        assert_eq!(parse_fingerprint_hex("xyz"), None);
+    }
+}

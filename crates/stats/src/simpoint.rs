@@ -85,7 +85,12 @@ pub fn project(vectors: &[HashMap<usize, u64>], dim: usize, seed: u64) -> Vec<Ve
         let total: u64 = v.values().sum();
         let mut dense = vec![0.0; dim];
         if total > 0 {
-            for (&block, &count) in v {
+            // Accumulate in block order: float addition is not associative,
+            // so HashMap iteration order would leak the per-process hash
+            // seed into the projection (and from there into the clustering).
+            let mut blocks: Vec<(usize, u64)> = v.iter().map(|(&b, &c)| (b, c)).collect();
+            blocks.sort_unstable_by_key(|&(b, _)| b);
+            for (block, count) in blocks {
                 let frac = count as f64 / total as f64;
                 // Per-block deterministic projection row derived from the
                 // block id and the global seed.

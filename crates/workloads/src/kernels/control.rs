@@ -56,6 +56,7 @@ pub fn ir_constfold(scale: Scale) -> Workload {
     gen::fill_u64(&mut mem, &mut rng, lhs as u64, n, 1 << 20);
     gen::fill_u64(&mut mem, &mut rng, rhs as u64, n, 1 << 20);
     Workload {
+        scale,
         name: "ir_constfold",
         suite: Suite::Cpu2017,
         spec_analog: "502.gcc_r",
@@ -111,6 +112,7 @@ pub fn hash_lookup(scale: Scale) -> Workload {
     gen::fill_u64(&mut mem, &mut rng, keys as u64, n, 0);
     gen::fill_u64(&mut mem, &mut rng, table as u64, table_slots as usize, 0);
     Workload {
+        scale,
         name: "hash_lookup",
         suite: Suite::Cpu2017,
         spec_analog: "500.perlbench_r",
@@ -162,6 +164,7 @@ pub fn exchange2_perm(scale: Scale) -> Workload {
     let mut rng = gen::rng_for("exchange2_perm");
     gen::fill_u64(&mut mem, &mut rng, cands as u64, n * 4, 6);
     Workload {
+        scale,
         name: "exchange2_perm",
         suite: Suite::Cpu2017,
         spec_analog: "548.exchange2_r",
@@ -214,6 +217,7 @@ pub fn hmmer_viterbi(scale: Scale) -> Workload {
     gen::fill_u64(&mut mem, &mut rng, ip as u64, n + 1, 1 << 16);
     gen::fill_u64(&mut mem, &mut rng, tr as u64, n + 1, 1 << 10);
     Workload {
+        scale,
         name: "hmmer_viterbi",
         suite: Suite::Cpu2006,
         spec_analog: "456.hmmer",
@@ -263,6 +267,7 @@ pub fn bzip_bwt(scale: Scale) -> Workload {
     gen::fill_permutation(&mut mem, &mut rng, ptr as u64, n);
     gen::fill_u64(&mut mem, &mut rng, data as u64, n, 0);
     Workload {
+        scale,
         name: "bzip_bwt",
         suite: Suite::Cpu2006,
         spec_analog: "401.bzip2",
@@ -324,6 +329,7 @@ pub fn gobmk_patterns(scale: Scale) -> Workload {
     let mut rng = gen::rng_for("gobmk_patterns");
     gen::fill_u64(&mut mem, &mut rng, board as u64, n + 32, 0);
     Workload {
+        scale,
         name: "gobmk_patterns",
         suite: Suite::Cpu2006,
         spec_analog: "445.gobmk",

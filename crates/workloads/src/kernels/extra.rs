@@ -44,6 +44,7 @@ pub fn soplex_pricing(scale: Scale) -> Workload {
     gen::fill_u64(&mut mem, &mut rng, coef as u64, rows * nnz, 1 << 10);
     gen::fill_u64(&mut mem, &mut rng, price as u64, cols, 1 << 12);
     Workload {
+        scale,
         name: "soplex_pricing",
         suite: Suite::Cpu2006,
         spec_analog: "450.soplex",
@@ -95,6 +96,7 @@ pub fn gems_fdtd(scale: Scale) -> Workload {
         gen::fill_f64(&mut mem, &mut rng, base as u64, n + 2, -1.0, 1.0);
     }
     Workload {
+        scale,
         name: "gems_fdtd",
         suite: Suite::Cpu2006,
         spec_analog: "459.GemsFDTD",
@@ -146,6 +148,7 @@ pub fn povray_noise(scale: Scale) -> Workload {
     let mut rng = gen::rng_for("povray_noise");
     gen::fill_u64(&mut mem, &mut rng, grad as u64, table as usize, 1 << 16);
     Workload {
+        scale,
         name: "povray_noise",
         suite: Suite::Cpu2006,
         spec_analog: "453.povray",
@@ -200,6 +203,7 @@ pub fn perl_scan(scale: Scale) -> Workload {
     let mut rng = gen::rng_for("perl_scan");
     gen::fill_bytes(&mut mem, &mut rng, data as u64, strings * bytes_per as usize, 0);
     Workload {
+        scale,
         name: "perl_scan",
         suite: Suite::Cpu2006,
         spec_analog: "400.perlbench",
@@ -245,6 +249,7 @@ pub fn deal_assembly(scale: Scale) -> Workload {
     }
     gen::fill_u64(&mut mem, &mut rng, contrib as u64, elems, 1 << 10);
     Workload {
+        scale,
         name: "deal_assembly",
         suite: Suite::Cpu2006,
         spec_analog: "447.dealII",
@@ -294,6 +299,7 @@ pub fn cactus_bssn(scale: Scale) -> Workload {
     gen::fill_f64(&mut mem, &mut rng, g as u64, n + 2, 0.5, 2.0);
     gen::fill_f64(&mut mem, &mut rng, k as u64, n + 2, -1.0, 1.0);
     Workload {
+        scale,
         name: "cactus_bssn",
         suite: Suite::Cpu2017,
         spec_analog: "507.cactuBSSN_r",

@@ -44,6 +44,7 @@ pub fn event_queue(scale: Scale) -> Workload {
     gen::fill_permutation(&mut mem, &mut rng, idx as u64, n);
     gen::fill_u64(&mut mem, &mut rng, rec as u64, n * 2, 1 << 30);
     Workload {
+        scale,
         name: "event_queue",
         suite: Suite::Cpu2017,
         spec_analog: "520.omnetpp_r",
@@ -84,6 +85,7 @@ pub fn dom_tree_walk(scale: Scale) -> Workload {
     gen::fill_permutation(&mut mem, &mut rng, idx as u64, n);
     gen::fill_u64(&mut mem, &mut rng, nodes as u64, n, 0);
     Workload {
+        scale,
         name: "dom_tree_walk",
         suite: Suite::Cpu2017,
         spec_analog: "523.xalancbmk_r",
@@ -136,6 +138,7 @@ pub fn graph_relax(scale: Scale) -> Workload {
     gen::fill_u64(&mut mem, &mut rng, w as u64, edges, 1 << 12);
     gen::fill_u64(&mut mem, &mut rng, pot as u64, nodes, 1 << 12);
     Workload {
+        scale,
         name: "graph_relax",
         suite: Suite::Cpu2017,
         spec_analog: "505.mcf_r",
@@ -192,6 +195,7 @@ pub fn ray_march(scale: Scale) -> Workload {
     let mut rng = gen::rng_for("ray_march");
     gen::fill_u64(&mut mem, &mut rng, field as u64, field_elems, 1 << 31);
     Workload {
+        scale,
         name: "ray_march",
         suite: Suite::Cpu2017,
         spec_analog: "511.povray_r",
@@ -239,6 +243,7 @@ pub fn quantum_gate(scale: Scale) -> Workload {
     let mut rng = gen::rng_for("quantum_gate");
     gen::fill_u64(&mut mem, &mut rng, amp as u64, n, 0);
     Workload {
+        scale,
         name: "quantum_gate",
         suite: Suite::Cpu2006,
         spec_analog: "462.libquantum",
@@ -283,6 +288,7 @@ pub fn pointer_chase(scale: Scale) -> Workload {
         mem.write_u64(list as u64 + i * node_bytes + 8, i.wrapping_mul(0x9e37) | 1).unwrap();
     }
     Workload {
+        scale,
         name: "pointer_chase",
         suite: Suite::Cpu2006,
         spec_analog: "429.mcf",

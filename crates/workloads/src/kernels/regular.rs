@@ -37,6 +37,7 @@ pub fn stencil_blur(scale: Scale) -> Workload {
     let mut rng = gen::rng_for("stencil_blur");
     gen::fill_u64(&mut mem, &mut rng, src as u64, n + 2, 1 << 20);
     Workload {
+        scale,
         name: "stencil_blur",
         suite: Suite::Cpu2017,
         spec_analog: "538.imagick_r",
@@ -87,6 +88,7 @@ pub fn wave_update(scale: Scale) -> Workload {
     let mut rng = gen::rng_for("wave_update");
     gen::fill_f64(&mut mem, &mut rng, src as u64, n + 2, -1.0, 1.0);
     Workload {
+        scale,
         name: "wave_update",
         suite: Suite::Cpu2017,
         spec_analog: "503.bwaves_r",
@@ -131,6 +133,7 @@ pub fn md_force(scale: Scale) -> Workload {
     let mut rng = gen::rng_for("md_force");
     gen::fill_f64(&mut mem, &mut rng, xs as u64, n, -8.0, 8.0);
     Workload {
+        scale,
         name: "md_force",
         suite: Suite::Cpu2017,
         spec_analog: "544.nab_r",
@@ -181,6 +184,7 @@ pub fn motion_sad(scale: Scale) -> Workload {
     gen::fill_u64(&mut mem, &mut rng, cur as u64, blocks, 0);
     gen::fill_u64(&mut mem, &mut rng, ref_ as u64, blocks, 0);
     Workload {
+        scale,
         name: "motion_sad",
         suite: Suite::Cpu2017,
         spec_analog: "525.x264_r",
@@ -227,6 +231,7 @@ pub fn fotonik_fdtd(scale: Scale) -> Workload {
     gen::fill_f64(&mut mem, &mut rng, e as u64, n + 1, -1.0, 1.0);
     gen::fill_f64(&mut mem, &mut rng, h as u64, n + 1, -1.0, 1.0);
     Workload {
+        scale,
         name: "fotonik_fdtd",
         suite: Suite::Cpu2017,
         spec_analog: "549.fotonik3d_r",
@@ -271,6 +276,7 @@ pub fn particle_dense(scale: Scale) -> Workload {
         gen::fill_f64(&mut mem, &mut rng, base as u64, n, -2.0, 2.0);
     }
     Workload {
+        scale,
         name: "particle_dense",
         suite: Suite::Cpu2017,
         spec_analog: "508.namd_r",
@@ -322,6 +328,7 @@ pub fn fluid_lbm(scale: Scale) -> Workload {
     let mut rng = gen::rng_for("fluid_lbm");
     gen::fill_u64(&mut mem, &mut rng, grid as u64, cells * lanes as usize, 1 << 16);
     Workload {
+        scale,
         name: "fluid_lbm",
         suite: Suite::Cpu2017,
         spec_analog: "519.lbm_r",
@@ -373,6 +380,7 @@ pub fn milc_su3(scale: Scale) -> Workload {
     gen::fill_f64(&mut mem, &mut rng, m as u64, sites * 4, -1.0, 1.0);
     gen::fill_f64(&mut mem, &mut rng, v as u64, sites * 2, -1.0, 1.0);
     Workload {
+        scale,
         name: "milc_su3",
         suite: Suite::Cpu2006,
         spec_analog: "433.milc",
@@ -415,6 +423,7 @@ pub fn h264_me(scale: Scale) -> Workload {
     let mut rng = gen::rng_for("h264_me");
     gen::fill_u64(&mut mem, &mut rng, src as u64, n + 4, 256);
     Workload {
+        scale,
         name: "h264_me",
         suite: Suite::Cpu2006,
         spec_analog: "464.h264ref",
@@ -459,6 +468,7 @@ pub fn sphinx_gauss(scale: Scale) -> Workload {
     gen::fill_f64(&mut mem, &mut rng, mean as u64, n, -4.0, 4.0);
     gen::fill_f64(&mut mem, &mut rng, var as u64, n, 0.1, 2.0);
     Workload {
+        scale,
         name: "sphinx_gauss",
         suite: Suite::Cpu2006,
         spec_analog: "482.sphinx3",

@@ -44,6 +44,7 @@ pub fn compress_rle(scale: Scale) -> Workload {
     let mut rng = gen::rng_for("compress_rle");
     gen::fill_u64(&mut mem, &mut rng, src as u64, n, 0);
     Workload {
+        scale,
         name: "compress_rle",
         suite: Suite::Cpu2017,
         spec_analog: "557.xz_r",
@@ -93,6 +94,7 @@ pub fn chess_eval(scale: Scale) -> Workload {
     let mut rng = gen::rng_for("chess_eval");
     gen::fill_u64(&mut mem, &mut rng, feat as u64, positions * 4, 1 << 12);
     Workload {
+        scale,
         name: "chess_eval",
         suite: Suite::Cpu2017,
         spec_analog: "531.deepsjeng_r",
@@ -135,6 +137,7 @@ pub fn mc_playout(scale: Scale) -> Workload {
 
     let mem = Memory::new(mem_size);
     Workload {
+        scale,
         name: "mc_playout",
         suite: Suite::Cpu2017,
         spec_analog: "541.leela_r",
@@ -194,6 +197,7 @@ pub fn astar_heap(scale: Scale) -> Workload {
     gen::fill_u64(&mut mem, &mut rng, heap as u64, heap_elems as usize + 1, 1 << 30);
     gen::fill_u64(&mut mem, &mut rng, keys as u64, ops, 1 << 30);
     Workload {
+        scale,
         name: "astar_heap",
         suite: Suite::Cpu2006,
         spec_analog: "473.astar",

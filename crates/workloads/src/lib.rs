@@ -94,6 +94,9 @@ pub struct Workload {
     /// Whether the mirrored source loop sits inside an OpenMP parallel
     /// region in the original benchmark (paper §6.7 generality analysis).
     pub in_openmp_region: bool,
+    /// The scale this instance was built at (part of a run's identity for
+    /// the experiment engine's deduplication fingerprints).
+    pub scale: Scale,
     /// The kernel program, without hints.
     pub program: Program,
     /// Initial memory image.

@@ -39,10 +39,10 @@ fn profitable_kernels_use_multiple_threadlets() {
     let runs = lf_bench::run_suite(Scale::Smoke, &RunConfig::default());
     for r in runs.iter().filter(|r| r.speedup() > 1.05) {
         assert!(
-            r.lf.frac_active_at_least(2) > 0.2,
+            r.lf_stats().frac_active_at_least(2) > 0.2,
             "{}: speedup without threadlet concurrency?",
             r.name
         );
-        assert!(r.lf.spawns > 0, "{}: no spawns", r.name);
+        assert!(r.lf_stats().spawns > 0, "{}: no spawns", r.name);
     }
 }

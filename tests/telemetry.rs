@@ -101,7 +101,7 @@ fn artifact_json_round_trips_on_real_kernel() {
 
     let lf = back.get("loopfrog").unwrap();
     let cycles = lf.get("registry").unwrap().get("core.cycles").unwrap().as_u64().unwrap();
-    assert_eq!(cycles, run.lf.cycles);
+    assert_eq!(cycles, run.lf_stats().cycles);
     let acct = lf.get("accounting").unwrap();
     let sum: u64 =
         CycleBucket::ALL.iter().map(|b| acct.get(b.name()).unwrap().as_u64().unwrap()).sum();
