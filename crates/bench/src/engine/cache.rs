@@ -7,10 +7,13 @@
 //! record. A cache hit skips the cycle-level simulation entirely, so
 //! re-rendering a figure after a table-formatting change is free.
 //!
-//! Entries carry the artifact [`SCHEMA_VERSION`]; a version bump (or a
-//! corrupt/truncated file) invalidates the entry silently — the run is
-//! simply re-simulated and the entry rewritten. `--no-cache` bypasses
-//! both directions.
+//! Entries carry the artifact [`SCHEMA_VERSION`]; [`DiskCache::lookup`]
+//! classifies every non-hit so planner telemetry can distinguish an
+//! ordinary miss from a schema-version mismatch (a stale but well-formed
+//! entry, left in place and overwritten on store) and from corruption (an
+//! unparseable or self-inconsistent entry, moved to
+//! `<cache>/quarantine/` so it is preserved for diagnosis and can never
+//! be re-read). `--no-cache` bypasses both directions.
 
 use crate::artifact::SCHEMA_VERSION;
 use crate::runner::RunOutcome;
@@ -18,12 +21,33 @@ use lf_stats::{fingerprint_hex, parse_fingerprint_hex, Json};
 use loopfrog::SimStats;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Handle on a cache directory.
 #[derive(Debug, Clone)]
 pub struct DiskCache {
     dir: PathBuf,
     schema: u64,
+}
+
+/// The classified result of a cache probe.
+#[derive(Debug)]
+pub enum CacheLookup {
+    /// The entry parsed, matched the schema, and reconstructed.
+    Hit(Box<RunOutcome>),
+    /// No entry on disk.
+    Miss,
+    /// The entry exists but is unparseable or self-inconsistent (wrong
+    /// fingerprint, missing or mistyped fields). The file has been moved
+    /// to the quarantine directory when `quarantined` is true (the move
+    /// itself is best-effort).
+    Corrupt {
+        /// Whether the bad entry was successfully moved aside.
+        quarantined: bool,
+    },
+    /// The entry is well-formed but written under a different schema
+    /// version; left in place to be overwritten by this run's store.
+    SchemaMismatch,
 }
 
 impl DiskCache {
@@ -44,22 +68,64 @@ impl DiskCache {
         self.dir.join(format!("{}.json", fingerprint_hex(fingerprint)))
     }
 
-    /// Loads a memoized outcome, or `None` on miss, schema mismatch, or a
-    /// corrupt entry.
+    /// Where corrupt entries are moved on detection.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    /// Probes the cache, classifying the result. Corrupt entries are
+    /// quarantined as a side effect.
+    pub fn lookup(&self, fingerprint: u64) -> CacheLookup {
+        let path = self.entry_path(fingerprint);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => return CacheLookup::Miss,
+        };
+        let parse = |text: &str| -> Result<Box<RunOutcome>, bool> {
+            let doc = Json::parse(text).map_err(|_| false)?;
+            // A well-formed entry under the wrong schema version is stale,
+            // not corrupt.
+            match doc.get("schema_version").and_then(Json::as_u64) {
+                Some(v) if v == self.schema => {}
+                Some(_) => return Err(true),
+                None => return Err(false),
+            }
+            let field = |key: &str| doc.get(key).and_then(Json::as_str);
+            let stored_fp = field("fingerprint").and_then(parse_fingerprint_hex).ok_or(false)?;
+            if stored_fp != fingerprint {
+                return Err(false);
+            }
+            let checksum = field("checksum").and_then(parse_fingerprint_hex).ok_or(false)?;
+            let stats = doc.get("stats").and_then(SimStats::from_json).ok_or(false)?;
+            let rendered = doc.get("result").ok_or(false)?.clone();
+            Ok(Box::new(RunOutcome { fingerprint, stats, checksum, rendered, from_cache: true }))
+        };
+        match parse(&text) {
+            Ok(outcome) => CacheLookup::Hit(outcome),
+            Err(true) => CacheLookup::SchemaMismatch,
+            Err(false) => {
+                let quarantined = self.quarantine(&path, fingerprint).is_ok();
+                CacheLookup::Corrupt { quarantined }
+            }
+        }
+    }
+
+    /// Loads a memoized outcome, or `None` on any non-hit. Kept as the
+    /// simple interface for callers that do not track miss causes; goes
+    /// through [`DiskCache::lookup`], so corrupt entries are still
+    /// quarantined.
     pub fn load(&self, fingerprint: u64) -> Option<RunOutcome> {
-        let text = std::fs::read_to_string(self.entry_path(fingerprint)).ok()?;
-        let doc = Json::parse(&text).ok()?;
-        if doc.get("schema_version")?.as_u64()? != self.schema {
-            return None;
+        match self.lookup(fingerprint) {
+            CacheLookup::Hit(outcome) => Some(*outcome),
+            _ => None,
         }
-        let stored_fp = parse_fingerprint_hex(doc.get("fingerprint")?.as_str()?)?;
-        if stored_fp != fingerprint {
-            return None;
-        }
-        let checksum = parse_fingerprint_hex(doc.get("checksum")?.as_str()?)?;
-        let stats = SimStats::from_json(doc.get("stats")?)?;
-        let rendered = doc.get("result")?.clone();
-        Some(RunOutcome { fingerprint, stats, checksum, rendered, from_cache: true })
+    }
+
+    /// Moves a corrupt entry into the quarantine directory.
+    fn quarantine(&self, path: &Path, fingerprint: u64) -> io::Result<()> {
+        let qdir = self.quarantine_dir();
+        std::fs::create_dir_all(&qdir)?;
+        std::fs::rename(path, qdir.join(format!("{}.json", fingerprint_hex(fingerprint))))
     }
 
     /// Persists an outcome, creating the cache directory as needed.
@@ -67,7 +133,7 @@ impl DiskCache {
     /// # Errors
     ///
     /// Propagates filesystem errors (callers treat the cache as best-effort
-    /// and may choose to warn rather than abort).
+    /// and may choose to retry or warn rather than abort).
     pub fn store(&self, outcome: &RunOutcome) -> io::Result<()> {
         std::fs::create_dir_all(&self.dir)?;
         let mut doc = Json::obj();
@@ -83,11 +149,22 @@ impl DiskCache {
 }
 
 /// Writes via a temp file + rename so a crashed run cannot leave a
-/// half-written entry that later parses as truncated JSON.
+/// half-written entry that later parses as truncated JSON. The temp name
+/// embeds the process id and a per-process sequence number: campaigns in
+/// separate processes (or threads) sharing a cache directory must never
+/// write through the same temp file, or one writer's rename publishes the
+/// other's half-written bytes.
 fn write_atomically(path: &Path, text: &str) -> io::Result<()> {
-    let tmp = path.with_extension("json.tmp");
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let tmp = path.with_extension(format!(
+        "json.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     std::fs::write(&tmp, text)?;
-    std::fs::rename(&tmp, path)
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 #[cfg(test)]
@@ -132,6 +209,7 @@ mod tests {
         assert_eq!(back.stats.counters.get("l2_accesses"), 77);
         assert_eq!(back.rendered, out.rendered);
         assert!(cache.load(43).is_none(), "unknown fingerprints miss");
+        assert!(matches!(cache.lookup(43), CacheLookup::Miss));
     }
 
     #[test]
@@ -142,14 +220,65 @@ mod tests {
         assert!(cache.load(7).is_some());
         let bumped = DiskCache::with_schema(dir, SCHEMA_VERSION + 1);
         assert!(bumped.load(7).is_none(), "a schema bump must invalidate old entries");
+        assert!(
+            matches!(bumped.lookup(7), CacheLookup::SchemaMismatch),
+            "a stale entry is classified, not treated as corrupt"
+        );
+        assert!(bumped.entry_path(7).exists(), "stale entries stay in place to be overwritten");
     }
 
     #[test]
-    fn corrupt_entries_miss() {
+    fn corrupt_entries_miss_and_quarantine() {
         let dir = scratch_dir("corrupt");
         let cache = DiskCache::new(dir.clone());
         cache.store(&sample_outcome(9)).unwrap();
         std::fs::write(cache.entry_path(9), "{ truncated").unwrap();
-        assert!(cache.load(9).is_none());
+        assert!(matches!(cache.lookup(9), CacheLookup::Corrupt { quarantined: true }));
+        assert!(!cache.entry_path(9).exists(), "the bad entry is moved aside");
+        assert!(
+            cache.quarantine_dir().join(format!("{}.json", fingerprint_hex(9))).exists(),
+            "the bad entry is preserved under quarantine/"
+        );
+        // The slot is now a plain miss and can be refilled.
+        assert!(matches!(cache.lookup(9), CacheLookup::Miss));
+        cache.store(&sample_outcome(9)).unwrap();
+        assert!(cache.load(9).is_some());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_corrupt() {
+        let dir = scratch_dir("fp-mismatch");
+        let cache = DiskCache::new(dir.clone());
+        cache.store(&sample_outcome(11)).unwrap();
+        // An entry stored under the wrong filename claims fingerprint 11.
+        std::fs::rename(cache.entry_path(11), cache.entry_path(12)).unwrap();
+        assert!(matches!(cache.lookup(12), CacheLookup::Corrupt { .. }));
+    }
+
+    #[test]
+    fn concurrent_stores_to_one_dir_never_collide() {
+        let dir = scratch_dir("concurrent");
+        let cache = DiskCache::new(dir.clone());
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..20u64 {
+                        // All threads hammer the same fingerprint so their
+                        // temp files would collide under a shared name.
+                        let _ = i;
+                        cache.store(&sample_outcome(1000 + t % 2)).unwrap();
+                    }
+                });
+            }
+        });
+        assert!(cache.load(1000).is_some());
+        assert!(cache.load(1001).is_some());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "no temp files left behind: {leftovers:?}");
     }
 }

@@ -16,17 +16,33 @@
 //!                        the BENCH_harness.json trajectory under DIR
 //!                        (default results)
 //!   --assert-dedup       exit non-zero unless deduplication occurred
+//!   --budget-cycles N    per-run cycle budget (0 = unlimited; default 50M)
+//!   --deadline-secs N    per-run wall-clock deadline (default: none)
+//!   --resume [FILE]      re-run a campaign, re-executing only the runs a
+//!                        previous failures.json recorded as failed
+//!                        (default FILE: <json-dir|results>/failures.json)
+//!   --inject-fault SPEC  deterministic fault injection (repeatable):
+//!                        panic:<rate> | hang:<fingerprint|rate> |
+//!                        corrupt-cache:<rate>
 //! ```
+//!
+//! Every `run` writes a failure report (`failures.json`, empty on a clean
+//! campaign) next to the artifacts; the campaign exits zero as long as it
+//! completes, even with failed runs — failures are data, not crashes.
 //!
 //! The historical per-figure binaries still exist as shims over
 //! [`run_single`], preserving their `--scale`/`--json <path>` surface.
 
 use crate::engine::cache::DiskCache;
+use crate::engine::fault::{
+    read_failures_json, write_failures_json, FaultPlan, RunBudget, DEFAULT_BUDGET_CYCLES,
+};
 use crate::engine::{by_name, registry, run_scenarios, EngineOptions, EngineOutput, Scenario};
 use crate::runner::scale_tag;
 use lf_stats::Json;
 use lf_workloads::Scale;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Parsed command line.
 struct Cli {
@@ -38,6 +54,12 @@ struct Cli {
     cache_dir: PathBuf,
     json_dir: Option<PathBuf>,
     assert_dedup: bool,
+    budget_cycles: Option<u64>,
+    deadline_secs: Option<u64>,
+    faults: FaultPlan,
+    /// `--resume` with its optional FILE operand (`Some(None)` = flag
+    /// present, default file).
+    resume: Option<Option<PathBuf>>,
 }
 
 enum Command {
@@ -49,7 +71,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: lf-bench <list|run> [scenario...] [--all] [--scale smoke|eval] [-j N]\n\
          \x20                [--filter SUBSTR] [--no-cache] [--cache-dir DIR] [--json [DIR]]\n\
-         \x20                [--assert-dedup]"
+         \x20                [--assert-dedup] [--budget-cycles N] [--deadline-secs N]\n\
+         \x20                [--resume [FILE]] [--inject-fault SPEC]..."
     );
     std::process::exit(2);
 }
@@ -64,6 +87,10 @@ fn parse(args: &[String]) -> Cli {
         cache_dir: PathBuf::from("results/cache"),
         json_dir: None,
         assert_dedup: false,
+        budget_cycles: None,
+        deadline_secs: None,
+        faults: FaultPlan::default(),
+        resume: None,
     };
     let mut names = Vec::new();
     let mut all = false;
@@ -120,6 +147,44 @@ fn parse(args: &[String]) -> Cli {
                 }
             }
             "--assert-dedup" => cli.assert_dedup = true,
+            "--budget-cycles" => {
+                let v = value("a cycle count (0 = unlimited)");
+                cli.budget_cycles = match v.parse::<u64>() {
+                    Ok(n) => Some(n),
+                    _ => {
+                        eprintln!("error: --budget-cycles expects an integer, got {v}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--deadline-secs" => {
+                let v = value("a duration in seconds");
+                cli.deadline_secs = match v.parse::<u64>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!("error: --deadline-secs expects a positive integer, got {v}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--inject-fault" => {
+                let v =
+                    value("a fault spec (panic:<rate> | hang:<fp|rate> | corrupt-cache:<rate>)");
+                if let Err(e) = cli.faults.parse_spec(&v) {
+                    eprintln!("error: --inject-fault: {e}");
+                    std::process::exit(2);
+                }
+            }
+            "--resume" => {
+                // Like --json, the FILE operand is optional.
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") && !is_scenario_like(v) => {
+                        i += 1;
+                        cli.resume = Some(Some(PathBuf::from(v.clone())));
+                    }
+                    _ => cli.resume = Some(None),
+                }
+            }
             name if !name.starts_with('-') && command == Some("run") => {
                 names.push(name.to_string())
             }
@@ -145,13 +210,42 @@ fn is_scenario_like(v: &str) -> bool {
 }
 
 fn engine_options(cli: &Cli) -> EngineOptions {
+    let budget = RunBudget {
+        max_cycles: match cli.budget_cycles {
+            Some(0) => None,
+            Some(n) => Some(n),
+            None => Some(DEFAULT_BUDGET_CYCLES),
+        },
+        deadline: cli.deadline_secs.map(Duration::from_secs),
+    };
+    let resume_from = cli.resume.as_ref().map(|file| {
+        let path = file.clone().unwrap_or_else(|| failures_path(cli));
+        match read_failures_json(&path) {
+            Ok(fps) => {
+                eprintln!("resuming: {} failed run(s) recorded in {}", fps.len(), path.display());
+                fps
+            }
+            Err(e) => {
+                eprintln!("error: --resume: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
     EngineOptions {
         scale: cli.scale,
         jobs: cli.jobs,
         filter: cli.filter.clone(),
         disk_cache: if cli.no_cache { None } else { Some(DiskCache::new(cli.cache_dir.clone())) },
         sim_hook: None,
+        budget,
+        faults: cli.faults.clone(),
+        resume_from,
     }
+}
+
+/// Where this invocation reads and writes its failure report.
+fn failures_path(cli: &Cli) -> PathBuf {
+    cli.json_dir.clone().unwrap_or_else(|| PathBuf::from("results")).join("failures.json")
 }
 
 /// Entry point of the `lf-bench` binary.
@@ -180,6 +274,17 @@ pub fn main() {
             let refs: Vec<&dyn Scenario> = selected.iter().map(|s| s.as_ref()).collect();
             let output = run_scenarios(&refs, &engine_options(&cli));
             print_output(&output, refs.len() > 1);
+            // The failure report is written on every run — empty on a
+            // clean campaign — so a follow-up --resume always has a
+            // current file to read.
+            let failures = failures_path(&cli);
+            match write_failures_json(&failures, &output.failures, scale_tag(cli.scale)) {
+                Ok(()) => eprintln!("wrote {}", failures.display()),
+                Err(e) => {
+                    eprintln!("error: failed to write {}: {e}", failures.display());
+                    std::process::exit(1);
+                }
+            }
             if let Some(dir) = &cli.json_dir {
                 write_artifacts(&output, dir);
             }
@@ -216,6 +321,7 @@ pub fn run_single(name: &str) {
         filter,
         disk_cache: if no_cache { None } else { Some(DiskCache::new("results/cache")) },
         sim_hook: None,
+        ..EngineOptions::new(scale)
     };
     let output = run_scenarios(&[scenario.as_ref()], &opts);
     print_output(&output, false);
@@ -271,6 +377,22 @@ fn print_output(output: &EngineOutput, separators: bool) {
         r.execute_wall_ms,
         r.jobs
     );
+    let f = &r.faults;
+    if !output.failures.is_empty() || f.cache_corrupt > 0 || f.cache_schema_mismatch > 0 {
+        eprintln!(
+            "faults: {} failed run(s) ({} panicked, {} over budget, {} sim errors, {} prep, {} render); cache: {} corrupt ({} quarantined), {} schema-stale; {} resumed",
+            output.failures.len(),
+            f.panicked,
+            f.budget_exceeded,
+            f.sim_errors,
+            f.prep_failures,
+            f.render_failures,
+            f.cache_corrupt,
+            f.quarantined,
+            f.cache_schema_mismatch,
+            f.resumed
+        );
+    }
 }
 
 fn write_artifacts(output: &EngineOutput, dir: &Path) {

@@ -15,22 +15,35 @@
 //!   → load disk cache → simulate misses (parallel) → store
 //!   → render (serial)
 //! ```
+//!
+//! Campaigns are fault-tolerant end to end: a panicking worker, a
+//! livelocked simulation, or a corrupt cache entry costs exactly the
+//! affected run, which becomes a structured [`fault::RunFailure`] (with a
+//! repro command) while every other run proceeds. Scenarios render
+//! partial tables with explicit `FAILED(<fingerprint>)` cells, the full
+//! failure list lands in `failures.json`, and `--resume` replays a
+//! campaign re-executing only what previously failed (successes are
+//! served from the cache).
 
 pub mod cache;
 pub mod cli;
+pub mod fault;
 pub mod planner;
 pub mod pool;
 pub mod scenarios;
 
-use crate::runner::{KernelRun, RunConfig, RunOutcome};
+use crate::runner::{scale_tag, KernelRun, RunConfig, RunOutcome};
 use crate::RunArtifact;
-use cache::DiskCache;
+use cache::{CacheLookup, DiskCache};
+use fault::{FaultPlan, FaultStats, RunBudget, RunError, RunFailure};
 use lf_stats::Json;
 use lf_workloads::{Scale, Workload};
 use planner::{dedupe, execute, prepare_kernels, Hinting, Planner, PrepKey, PreparedKernel};
-use std::collections::HashMap;
+use pool::WorkerPanic;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One experiment: a registered figure/table reproduction.
 pub trait Scenario: Sync {
@@ -64,12 +77,31 @@ pub struct EngineOptions {
     /// kernel name. Used to assert each unique fingerprint simulates
     /// exactly once.
     pub sim_hook: Option<Arc<dyn Fn(&'static str) + Send + Sync>>,
+    /// Per-run execution budget (cycle cap + optional wall-clock
+    /// deadline); the watchdog converting livelocks into structured
+    /// failures.
+    pub budget: RunBudget,
+    /// Deterministic fault injection (`--inject-fault`); default inactive.
+    pub faults: FaultPlan,
+    /// Fingerprints from a previous campaign's `failures.json`
+    /// (`--resume`). Only used for telemetry: failed runs were never
+    /// cached, so they re-execute naturally while successes hit the cache.
+    pub resume_from: Option<HashSet<u64>>,
 }
 
 impl EngineOptions {
     /// Options for `scale` with serial execution and no disk cache.
     pub fn new(scale: Scale) -> EngineOptions {
-        EngineOptions { scale, jobs: 1, filter: None, disk_cache: None, sim_hook: None }
+        EngineOptions {
+            scale,
+            jobs: 1,
+            filter: None,
+            disk_cache: None,
+            sim_hook: None,
+            budget: RunBudget::default(),
+            faults: FaultPlan::default(),
+            resume_from: None,
+        }
     }
 }
 
@@ -81,6 +113,11 @@ pub struct EngineCtx<'e> {
     suite: &'e [Workload],
     prepared: HashMap<PrepKey, Arc<PreparedKernel>>,
     outcomes: HashMap<u64, Arc<RunOutcome>>,
+    /// Failed runs, by fingerprint.
+    failures: HashMap<u64, Arc<RunFailure>>,
+    /// Kernels whose preparation (profile + annotate) itself failed; their
+    /// dependent runs have no fingerprint.
+    prep_failures: HashMap<PrepKey, Arc<RunFailure>>,
 }
 
 impl EngineCtx<'_> {
@@ -94,6 +131,15 @@ impl EngineCtx<'_> {
         self.suite
     }
 
+    /// The prepared kernel for a `(kernel, hinting)` pair, or `None` if
+    /// its preparation failed (or was never requested).
+    pub fn try_prepared(&self, kernel: &str, hinting: &Hinting) -> Option<&Arc<PreparedKernel>> {
+        self.prepared
+            .iter()
+            .find(|((name, h), _)| *name == kernel && *h == hinting.fingerprint())
+            .map(|(_, p)| p)
+    }
+
     /// The prepared kernel for a `(kernel, hinting)` pair.
     ///
     /// # Panics
@@ -101,53 +147,166 @@ impl EngineCtx<'_> {
     /// Panics if no scenario requested this pair — rendering may only
     /// consume planned work.
     pub fn prepared(&self, kernel: &str, hinting: &Hinting) -> &Arc<PreparedKernel> {
-        self.prepared
-            .iter()
-            .find(|((name, h), _)| *name == kernel && *h == hinting.fingerprint())
-            .map(|(_, p)| p)
+        self.try_prepared(kernel, hinting)
             .unwrap_or_else(|| panic!("kernel {kernel} was not prepared — did plan() request it?"))
+    }
+
+    /// The memoized outcome of one requested run, or the failure record if
+    /// it (or its kernel's preparation) failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was never declared during planning — absence is a
+    /// scenario bug, not a runtime failure.
+    pub fn try_outcome(
+        &self,
+        kernel: &str,
+        hinting: &Hinting,
+        cfg: &loopfrog::LoopFrogConfig,
+    ) -> Result<Arc<RunOutcome>, Arc<RunFailure>> {
+        if let Some(f) = self.prep_failure(kernel, hinting) {
+            return Err(f.clone());
+        }
+        let prep = self.prepared(kernel, hinting);
+        let fp = prep.request_fingerprint(cfg);
+        if let Some(outcome) = self.outcomes.get(&fp) {
+            return Ok(outcome.clone());
+        }
+        if let Some(failure) = self.failures.get(&fp) {
+            return Err(failure.clone());
+        }
+        panic!("run for {kernel} was not planned (fingerprint {fp:#x})")
     }
 
     /// The memoized outcome of one requested run.
     ///
     /// # Panics
     ///
-    /// Panics if the run was never declared during planning.
+    /// Panics if the run was never declared during planning, or if it
+    /// failed (callers that tolerate failures use
+    /// [`EngineCtx::try_outcome`]).
     pub fn outcome(
         &self,
         kernel: &str,
         hinting: &Hinting,
         cfg: &loopfrog::LoopFrogConfig,
     ) -> Arc<RunOutcome> {
-        let prep = self.prepared(kernel, hinting);
-        let fp = prep.request_fingerprint(cfg);
-        self.outcomes
-            .get(&fp)
-            .cloned()
-            .unwrap_or_else(|| panic!("run for {kernel} was not planned (fingerprint {fp:#x})"))
+        self.try_outcome(kernel, hinting, cfg)
+            .unwrap_or_else(|f| panic!("run for {kernel} failed: {}", f.error.message()))
+    }
+
+    /// The preparation-failure record for a `(kernel, hinting)` pair, if
+    /// its profile/annotate step panicked.
+    fn prep_failure(&self, kernel: &str, hinting: &Hinting) -> Option<&Arc<RunFailure>> {
+        self.prep_failures
+            .iter()
+            .find(|((name, h), _)| *name == kernel && *h == hinting.fingerprint())
+            .map(|(_, f)| f)
+    }
+
+    /// The failure record keeping `kernel` out of the suite view under
+    /// `rc`, if any: its preparation failure, or the first of its
+    /// baseline/LoopFrog run failures.
+    pub fn suite_failure(&self, kernel: &str, rc: &RunConfig) -> Option<Arc<RunFailure>> {
+        let hinting = Hinting::Annotated(rc.select.clone());
+        if let Some(f) = self.prep_failure(kernel, &hinting) {
+            return Some(f.clone());
+        }
+        let prep = self.try_prepared(kernel, &hinting)?;
+        for cfg in [&rc.base, &rc.lf] {
+            let fp = prep.request_fingerprint(cfg);
+            if let Some(f) = self.failures.get(&fp) {
+                return Some(f.clone());
+            }
+        }
+        None
+    }
+
+    /// Every suite kernel missing from [`EngineCtx::suite_runs`] under
+    /// `rc`, with the failure responsible, in canonical suite order.
+    pub fn suite_failures(&self, rc: &RunConfig) -> Vec<(&'static str, Arc<RunFailure>)> {
+        self.suite
+            .iter()
+            .filter_map(|w| self.suite_failure(w.name, rc).map(|f| (w.name, f)))
+            .collect()
+    }
+
+    /// Rows for the failed kernels under `rc`, shaped for a `width`-column
+    /// table: kernel name, a `FAILED(<fingerprint>)` cell, then padding.
+    /// Scenarios append these below their successful rows so partial
+    /// tables stay explicit about what is missing.
+    pub fn failed_suite_rows(&self, rc: &RunConfig, width: usize) -> Vec<Vec<String>> {
+        self.suite_failures(rc)
+            .into_iter()
+            .map(|(kernel, f)| {
+                let mut row = vec![kernel.to_string(), f.cell()];
+                row.resize(width.max(2), "-".to_string());
+                row
+            })
+            .collect()
+    }
+
+    /// Appends one explanatory line per failed kernel under `rc` to `out`
+    /// and returns the failure records as a JSON array for the scenario's
+    /// artifact (`None` when the suite view is complete).
+    pub fn note_suite_failures(&self, rc: &RunConfig, out: &mut String) -> Option<Json> {
+        let failed = self.suite_failures(rc);
+        if failed.is_empty() {
+            return None;
+        }
+        out.push('\n');
+        for (kernel, f) in &failed {
+            out.push_str(&format!("FAILED {kernel}: {} (repro: {})\n", f.error.message(), f.repro));
+        }
+        Some(Json::Arr(failed.iter().map(|(_, f)| f.to_json()).collect()))
+    }
+
+    /// Sweep-scenario variant of [`EngineCtx::note_suite_failures`]:
+    /// appends one line per kernel failed under `rc`, naming the sweep
+    /// point `label`, and accumulates the failure records into `acc` for
+    /// the scenario's artifact.
+    pub fn note_point_failures(
+        &self,
+        rc: &RunConfig,
+        label: &str,
+        out: &mut String,
+        acc: &mut Vec<Json>,
+    ) {
+        for (kernel, f) in self.suite_failures(rc) {
+            out.push_str(&format!(
+                "FAILED {kernel} at {label}: {} ({})\n",
+                f.error.message(),
+                f.cell()
+            ));
+            let mut record = f.to_json();
+            record.set("sweep_point", label);
+            acc.push(record);
+        }
     }
 
     /// Assembles the standard experiment view — one [`KernelRun`] per suite
     /// kernel under `rc`, with profile-guided deselection applied — from
     /// memoized outcomes. The engine-side equivalent of the standalone
-    /// [`crate::run_suite`].
+    /// [`crate::run_suite`]. Kernels with a failed preparation or run are
+    /// omitted (graceful degradation); [`EngineCtx::suite_failures`] lists
+    /// them and [`EngineCtx::failed_suite_rows`] renders them.
     pub fn suite_runs(&self, rc: &RunConfig) -> Vec<KernelRun> {
         let hinting = Hinting::Annotated(rc.select.clone());
         self.suite
             .iter()
-            .map(|w| {
-                let prep = self.prepared(w.name, &hinting);
-                let base = self.outcome(w.name, &hinting, &rc.base);
-                let lf = self.outcome(w.name, &hinting, &rc.lf);
+            .filter_map(|w| {
+                let prep = self.try_prepared(w.name, &hinting)?;
+                let base = self.try_outcome(w.name, &hinting, &rc.base).ok()?;
+                let lf = self.try_outcome(w.name, &hinting, &rc.lf).ok()?;
                 let golden = prep.golden.expect("annotated preparations carry a golden checksum");
-                KernelRun::from_outcomes(
+                Some(KernelRun::from_outcomes(
                     &prep.workload,
                     prep.selected_loops,
                     golden,
                     base,
                     lf,
                     rc.deselect_unprofitable,
-                )
+                ))
             })
             .collect()
     }
@@ -176,6 +335,9 @@ pub struct PlannerReport {
     pub execute_wall_ms: u64,
     /// Wall-clock milliseconds for the whole invocation.
     pub total_wall_ms: u64,
+    /// Failure counters: failed runs by cause, cache corruption and
+    /// quarantine activity, store retries, resumed runs.
+    pub faults: FaultStats,
 }
 
 impl PlannerReport {
@@ -196,6 +358,7 @@ impl PlannerReport {
         j.set("jobs", self.jobs as u64);
         j.set("execute_wall_ms", self.execute_wall_ms);
         j.set("total_wall_ms", self.total_wall_ms);
+        j.set("faults", self.faults.to_json());
         j
     }
 }
@@ -218,6 +381,9 @@ pub struct EngineOutput {
     pub scenarios: Vec<ScenarioOutput>,
     /// Planner telemetry.
     pub report: PlannerReport,
+    /// Every failure of the campaign (preparation, run, and render), in
+    /// deterministic order — the content of `failures.json`.
+    pub failures: Vec<Arc<RunFailure>>,
 }
 
 /// Plans, deduplicates, executes, and renders `scenarios`.
@@ -249,38 +415,100 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
     let requests = planner.into_requests();
 
     // Phase 2: prepare (profile + annotate) each distinct kernel/hinting
-    // pair, then collapse requests to unique fingerprints.
-    let prepared = prepare_kernels(&suite, &requests, opts.jobs);
+    // pair, then collapse requests to unique fingerprints. A failed
+    // preparation drops only that pair's requests; its failure record
+    // stands in for every run that depended on it.
+    let tag = scale_tag(opts.scale);
+    let repro_for = |kernel: &str| {
+        format!("lf-bench run --all --scale {tag} --filter {kernel} -j 1 --no-cache")
+    };
+    let mut faults = FaultStats::default();
+    let mut failure_list: Vec<Arc<RunFailure>> = Vec::new();
+    let (prepared, prep_panics) = prepare_kernels(&suite, &requests, opts.jobs);
+    let mut prep_failures: HashMap<PrepKey, Arc<RunFailure>> = HashMap::new();
+    for (key, panic) in prep_panics {
+        faults.prep_failures += 1;
+        let record = Arc::new(RunFailure {
+            fingerprint: 0,
+            kernel: key.0.to_string(),
+            error: RunError::Panicked { payload: panic.payload },
+            repro: repro_for(key.0),
+        });
+        failure_list.push(record.clone());
+        prep_failures.insert(key, record);
+    }
     let unique = dedupe(&requests, &prepared);
 
     // Phase 3: serve what the disk cache already knows, simulate the rest.
+    // Cache probes are classified so telemetry can separate ordinary
+    // misses from schema-stale and corrupt (quarantined) entries.
     let mut outcomes: HashMap<u64, Arc<RunOutcome>> = HashMap::new();
     let mut misses = Vec::new();
     let mut disk_hits = 0usize;
     for run in unique.iter() {
-        match opts.disk_cache.as_ref().and_then(|c| c.load(run.fingerprint)) {
-            Some(hit) => {
-                disk_hits += 1;
-                outcomes.insert(run.fingerprint, Arc::new(hit));
-            }
+        match opts.disk_cache.as_ref() {
             None => misses.push(run),
+            Some(c) => match c.lookup(run.fingerprint) {
+                CacheLookup::Hit(hit) => {
+                    disk_hits += 1;
+                    outcomes.insert(run.fingerprint, Arc::new(*hit));
+                }
+                CacheLookup::Miss => misses.push(run),
+                CacheLookup::Corrupt { quarantined } => {
+                    faults.cache_corrupt += 1;
+                    if quarantined {
+                        faults.quarantined += 1;
+                    }
+                    misses.push(run);
+                }
+                CacheLookup::SchemaMismatch => {
+                    faults.cache_schema_mismatch += 1;
+                    misses.push(run);
+                }
+            },
         }
+    }
+    if let Some(resume) = &opts.resume_from {
+        // Failed runs are never cached, so a resumed campaign re-executes
+        // exactly the previous failures; this counts how many of the
+        // misses are such replays.
+        faults.resumed = misses.iter().filter(|r| resume.contains(&r.fingerprint)).count();
     }
     let misses: Vec<_> = misses; // shadow as immutable for the pool
     let executed = execute_refs(&misses, opts);
-    for (run, outcome) in misses.iter().zip(executed) {
-        if let Some(cache) = &opts.disk_cache {
-            if let Err(e) = cache.store(&outcome) {
-                eprintln!("warning: run cache write failed: {e}");
+    let mut failures: HashMap<u64, Arc<RunFailure>> = HashMap::new();
+    for (run, result) in misses.iter().zip(executed) {
+        match result {
+            Ok(outcome) => {
+                if let Some(cache) = &opts.disk_cache {
+                    store_outcome(cache, run.fingerprint, &outcome, opts, &mut faults);
+                }
+                outcomes.insert(run.fingerprint, outcome);
+            }
+            Err(error) => {
+                match &error {
+                    RunError::Panicked { .. } => faults.panicked += 1,
+                    RunError::Sim { .. } => faults.sim_errors += 1,
+                    RunError::BudgetExceeded { .. } => faults.budget_exceeded += 1,
+                }
+                let record = Arc::new(RunFailure {
+                    fingerprint: run.fingerprint,
+                    kernel: run.kernel.to_string(),
+                    error,
+                    repro: repro_for(run.kernel),
+                });
+                failure_list.push(record.clone());
+                failures.insert(run.fingerprint, record);
             }
         }
-        outcomes.insert(run.fingerprint, outcome);
     }
     let execute_wall_ms = started.elapsed().as_millis() as u64;
 
     // Phase 4: render serially in registry order — output is deterministic
-    // for any `-j`.
-    let ctx = EngineCtx { scale: opts.scale, suite: &suite, prepared, outcomes };
+    // for any `-j`. A panicking render costs only that scenario's output:
+    // the campaign still renders everything else and reports the failure.
+    let ctx =
+        EngineCtx { scale: opts.scale, suite: &suite, prepared, outcomes, failures, prep_failures };
     let mut report = PlannerReport {
         requests: per_scenario.iter().map(|(_, n)| n).sum(),
         per_scenario,
@@ -291,26 +519,94 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
         jobs: opts.jobs,
         execute_wall_ms,
         total_wall_ms: 0,
+        faults,
     };
     let mut rendered = Vec::new();
     for s in scenarios {
-        let mut text = String::new();
-        let mut artifact = s.render(&ctx, &mut text);
-        artifact.set_extra("planner", report.to_json());
-        rendered.push(ScenarioOutput {
-            name: s.name(),
-            title: s.title(),
-            text,
-            artifact: artifact.into_json(),
-        });
+        match catch_unwind(AssertUnwindSafe(|| {
+            let mut text = String::new();
+            let artifact = s.render(&ctx, &mut text);
+            (text, artifact)
+        })) {
+            Ok((text, mut artifact)) => {
+                artifact.set_extra("planner", report.to_json());
+                rendered.push(ScenarioOutput {
+                    name: s.name(),
+                    title: s.title(),
+                    text,
+                    artifact: artifact.into_json(),
+                });
+            }
+            Err(payload) => {
+                let panic = WorkerPanic::from_payload(payload);
+                report.faults.render_failures += 1;
+                let record = Arc::new(RunFailure {
+                    fingerprint: 0,
+                    kernel: s.name().to_string(),
+                    error: RunError::Panicked { payload: panic.payload.clone() },
+                    repro: format!("lf-bench run {} --scale {tag}", s.name()),
+                });
+                failure_list.push(record.clone());
+                let mut artifact = RunArtifact::new(s.name(), opts.scale);
+                artifact.set_extra("render_error", record.error.message());
+                artifact.set_extra("planner", report.to_json());
+                rendered.push(ScenarioOutput {
+                    name: s.name(),
+                    title: s.title(),
+                    text: format!(
+                        "{}\n\nRENDER FAILED: {}\n(repro: {})\n",
+                        s.title(),
+                        panic.payload,
+                        record.repro
+                    ),
+                    artifact: artifact.into_json(),
+                });
+            }
+        }
     }
     report.total_wall_ms = started.elapsed().as_millis() as u64;
-    EngineOutput { scenarios: rendered, report }
+    EngineOutput { scenarios: rendered, report, failures: failure_list }
+}
+
+/// Persists one outcome through the retry schedule, then (under
+/// `--inject-fault corrupt-cache:<rate>`) garbles the freshly written
+/// entry so the *next* campaign exercises the quarantine path.
+fn store_outcome(
+    cache: &DiskCache,
+    fingerprint: u64,
+    outcome: &RunOutcome,
+    opts: &EngineOptions,
+    faults: &mut FaultStats,
+) {
+    let (tried, stored) =
+        lf_stats::fault::retry(2, Duration::from_millis(10), Duration::from_millis(80), || {
+            cache.store(outcome)
+        });
+    faults.store_retries += (tried - 1) as usize;
+    match stored {
+        Err(e) => {
+            // The run itself succeeded; only cross-process memoization is
+            // lost.
+            faults.store_failures += 1;
+            eprintln!("warning: run cache write failed after {tried} attempts: {e}");
+        }
+        Ok(()) => {
+            if opts.faults.should_corrupt(fingerprint) {
+                let _ = std::fs::write(
+                    cache.entry_path(fingerprint),
+                    "{ \"injected\": \"corrupt-cache\"",
+                );
+            }
+        }
+    }
 }
 
 /// [`execute`] over a borrowed miss list (the cache split leaves us with
 /// `&UniqueRun`s).
-fn execute_refs(misses: &[&planner::UniqueRun], opts: &EngineOptions) -> Vec<Arc<RunOutcome>> {
+fn execute_refs(
+    misses: &[&planner::UniqueRun],
+    opts: &EngineOptions,
+) -> Vec<Result<Arc<RunOutcome>, RunError>> {
     let hook = opts.sim_hook.as_deref();
     let owned: Vec<planner::UniqueRun> = misses
         .iter()
@@ -321,7 +617,7 @@ fn execute_refs(misses: &[&planner::UniqueRun], opts: &EngineOptions) -> Vec<Arc
             config: r.config.clone(),
         })
         .collect();
-    execute(&owned, opts.jobs, hook)
+    execute(&owned, opts.jobs, hook, &opts.budget, &opts.faults)
 }
 
 /// The scenario registry, in render order. Names are stable CLI surface

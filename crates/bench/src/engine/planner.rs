@@ -8,12 +8,13 @@
 //! and executes only the unique set on a scoped worker pool, memoizing
 //! every outcome for the render phase and (optionally) the on-disk cache.
 
-use crate::engine::pool::parallel_map;
+use crate::engine::fault::{hang_program, render_flight_recorder, FaultPlan, RunBudget, RunError};
+use crate::engine::pool::{try_parallel_map, WorkerPanic};
 use crate::runner::{run_fingerprint, RunConfig, RunOutcome};
 use lf_compiler::{annotate, SelectOptions};
 use lf_isa::Program;
 use lf_workloads::Workload;
-use loopfrog::{simulate, LoopFrogConfig};
+use loopfrog::{LoopFrogConfig, LoopFrogCore, SimStop};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -167,14 +168,21 @@ impl<'e> Planner<'e> {
 /// Key of the prepared-kernel map.
 pub(crate) type PrepKey = (&'static str, u64);
 
+/// Result of the parallel preparation phase: the successfully prepared
+/// kernels plus one record per panicking preparation.
+pub(crate) type PreparedMap = (HashMap<PrepKey, Arc<PreparedKernel>>, Vec<(PrepKey, WorkerPanic)>);
+
 /// Prepares every distinct `(kernel, hinting)` pair referenced by
 /// `requests`, in parallel. Profiling runs the golden emulator, which is
-/// the second-most expensive step after simulation itself.
+/// the second-most expensive step after simulation itself. A panicking
+/// preparation (a kernel the emulator rejects) costs only that pair:
+/// every dependent request becomes a structured failure while the rest of
+/// the campaign proceeds.
 pub(crate) fn prepare_kernels(
     suite: &[Workload],
     requests: &[RunRequest],
     jobs: usize,
-) -> HashMap<PrepKey, Arc<PreparedKernel>> {
+) -> PreparedMap {
     let mut distinct: Vec<(PrepKey, &Hinting)> = Vec::new();
     for r in requests {
         let key = (r.kernel, r.hinting.fingerprint());
@@ -182,7 +190,7 @@ pub(crate) fn prepare_kernels(
             distinct.push((key, &r.hinting));
         }
     }
-    let prepared: Vec<Arc<PreparedKernel>> = parallel_map(jobs, &distinct, |((name, _), h)| {
+    let prepared = try_parallel_map(jobs, &distinct, |((name, _), h)| {
         let w = suite
             .iter()
             .find(|w| w.name == *name)
@@ -190,7 +198,17 @@ pub(crate) fn prepare_kernels(
             .clone();
         Arc::new(PreparedKernel::prepare(w, h))
     });
-    distinct.iter().map(|(k, _)| *k).zip(prepared).collect()
+    let mut map = HashMap::new();
+    let mut failures = Vec::new();
+    for ((key, _), result) in distinct.iter().zip(prepared) {
+        match result {
+            Ok(prep) => {
+                map.insert(*key, prep);
+            }
+            Err(panic) => failures.push((*key, panic)),
+        }
+    }
+    (map, failures)
 }
 
 /// One entry of the deduplicated execution plan.
@@ -202,6 +220,9 @@ pub(crate) struct UniqueRun {
 }
 
 /// Collapses `requests` to unique fingerprints in first-seen order.
+/// Requests against a kernel whose preparation failed have no fingerprint
+/// and are skipped here; the engine reports them from the preparation
+/// failure list instead.
 pub(crate) fn dedupe(
     requests: &[RunRequest],
     prepared: &HashMap<PrepKey, Arc<PreparedKernel>>,
@@ -209,7 +230,9 @@ pub(crate) fn dedupe(
     let mut seen: HashMap<u64, ()> = HashMap::new();
     let mut unique = Vec::new();
     for r in requests {
-        let prep = &prepared[&(r.kernel, r.hinting.fingerprint())];
+        let Some(prep) = prepared.get(&(r.kernel, r.hinting.fingerprint())) else {
+            continue;
+        };
         let fp = prep.request_fingerprint(&r.config);
         if seen.insert(fp, ()).is_none() {
             unique.push(UniqueRun {
@@ -223,21 +246,98 @@ pub(crate) fn dedupe(
     unique
 }
 
-/// Simulates `runs` on the worker pool, returning outcomes in input
-/// order. `hook` (the planner's counting hook; tests use it to assert
-/// each fingerprint simulates exactly once) fires once per executed run.
+/// Simulates one run under the campaign budget and fault plan.
+fn execute_one(
+    run: &UniqueRun,
+    budget: &RunBudget,
+    faults: &FaultPlan,
+) -> Result<RunOutcome, RunError> {
+    if faults.should_panic(run.fingerprint) {
+        panic!("injected fault: panic (run {})", lf_stats::fingerprint_hex(run.fingerprint));
+    }
+
+    // An injected hang swaps in a deliberately non-terminating kernel so
+    // the watchdog path is exercised end to end.
+    let hang = faults.should_hang(run.fingerprint);
+    let hang_prog;
+    let (program, mem) = if hang {
+        hang_prog = hang_program();
+        (&hang_prog, lf_isa::Memory::new(64))
+    } else {
+        (&run.prepared.program, run.prepared.workload.mem.clone())
+    };
+
+    // The budget clamps a *clone* of the config: the fingerprint (and the
+    // cache key) stay functions of the requested configuration, and the
+    // clamp only ever binds below the config's own `max_cycles`.
+    let mut cfg = run.config.clone();
+    let budget_cycles = budget.max_cycles.filter(|&b| b < cfg.max_cycles);
+    if let Some(b) = budget_cycles {
+        cfg.max_cycles = b;
+    }
+    // Arm the recorder for any run a watchdog might stop mid-flight, so a
+    // budget failure carries a real pre-stop event window. If the run
+    // completes normally, the artificially recorded events are stripped
+    // again below: cached artifacts must not depend on whether a harness
+    // budget happened to be in effect.
+    let armed = (hang || budget_cycles.is_some() || budget.deadline.is_some())
+        && cfg.telemetry.flight_recorder_depth == 0;
+    if armed {
+        cfg.telemetry.flight_recorder_depth = 64;
+    }
+    let mut core = LoopFrogCore::new(program, mem, cfg);
+    if let Some(d) = budget.deadline {
+        core.set_deadline(std::time::Instant::now() + d);
+    }
+
+    let mut result = core.run().map_err(|e| RunError::Sim { message: e.to_string() })?;
+    let budget_hit = match result.stop {
+        SimStop::Deadline => true,
+        // `MaxCycles` is a legitimate outcome when the *config* bounds the
+        // run; it is a budget failure only when the harness cap was the
+        // binding constraint.
+        SimStop::MaxCycles => {
+            matches!(budget_cycles, Some(b) if result.stats.cycles >= b)
+        }
+        _ => false,
+    };
+    if budget_hit {
+        return Err(RunError::BudgetExceeded {
+            cycles: result.stats.cycles,
+            budget_cycles,
+            wall_clock: result.stop == SimStop::Deadline,
+            flight_recorder: render_flight_recorder(&result.flight_recorder),
+        });
+    }
+    if armed {
+        result.flight_recorder.clear();
+    }
+    Ok(RunOutcome::from_result(run.fingerprint, result))
+}
+
+/// Simulates `runs` on the worker pool, returning per-run results in
+/// input order. A panicking, faulting, or over-budget run yields `Err` in
+/// its slot without disturbing its siblings. `hook` (the planner's
+/// counting hook; tests use it to assert each fingerprint simulates
+/// exactly once) fires once per executed run.
 pub(crate) fn execute(
     runs: &[UniqueRun],
     jobs: usize,
     hook: Option<&(dyn Fn(&'static str) + Send + Sync)>,
-) -> Vec<Arc<RunOutcome>> {
-    parallel_map(jobs, runs, |run| {
+    budget: &RunBudget,
+    faults: &FaultPlan,
+) -> Vec<Result<Arc<RunOutcome>, RunError>> {
+    try_parallel_map(jobs, runs, |run| {
         if let Some(h) = hook {
             h(run.kernel);
         }
-        let result =
-            simulate(&run.prepared.program, run.prepared.workload.mem.clone(), run.config.clone())
-                .unwrap_or_else(|e| panic!("{} failed: {e}", run.kernel));
-        Arc::new(RunOutcome::from_result(run.fingerprint, result))
+        execute_one(run, budget, faults)
     })
+    .into_iter()
+    .map(|r| match r {
+        Ok(Ok(outcome)) => Ok(Arc::new(outcome)),
+        Ok(Err(e)) => Err(e),
+        Err(WorkerPanic { payload }) => Err(RunError::Panicked { payload }),
+    })
+    .collect()
 }

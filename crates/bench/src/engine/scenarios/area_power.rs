@@ -120,6 +120,9 @@ impl Scenario for AreaPower {
         dynamic.set("l2_accesses_ratio", lf_stats::geomean(&l2_up));
         dynamic.set("l2_misses_ratio", lf_stats::geomean(&l2_miss));
         art.set_extra("dynamic_activity", dynamic);
+        if let Some(failures) = ctx.note_suite_failures(&cfg, out) {
+            art.set_extra("failures", failures);
+        }
         art
     }
 }

@@ -46,8 +46,11 @@ impl Scenario for AssocSensitivity {
         writeln!(out, "{}\n", self.title()).unwrap();
         let mut rows = Vec::new();
         let mut points = Vec::new();
+        let mut failures = Vec::new();
         for (label, assoc, victim) in VARIANTS {
-            let runs = ctx.suite_runs(&assoc_cfg(assoc, victim));
+            let cfg = assoc_cfg(assoc, victim);
+            let runs = ctx.suite_runs(&cfg);
+            ctx.note_point_failures(&cfg, label, out, &mut failures);
             let g = lf_stats::geomean(&runs.iter().map(|r| r.speedup()).collect::<Vec<_>>());
             let stalls: u64 = runs.iter().map(|r| r.lf_stats().squashes_overflow).sum();
             rows.push(vec![label.to_string(), fmt_pct(g), stalls.to_string()]);
@@ -55,6 +58,7 @@ impl Scenario for AssocSensitivity {
             p.set("label", label);
             p.set("geomean_speedup", g);
             p.set("overflow_stalls", stalls);
+            p.set("kernels", runs.len());
             points.push(p);
         }
         write_table(out, &["SSB slices", "geomean speedup", "overflow stalls"], &rows);
@@ -66,6 +70,9 @@ impl Scenario for AssocSensitivity {
         let mut art = RunArtifact::new(self.name(), ctx.scale());
         art.set_config(&RunConfig::default());
         art.set_extra("sweep", lf_stats::Json::Arr(points));
+        if !failures.is_empty() {
+            art.set_extra("failures", lf_stats::Json::Arr(failures));
+        }
         art
     }
 }

@@ -46,8 +46,11 @@ impl Scenario for BloomAblation {
         writeln!(out, "{}\n", self.title()).unwrap();
         let mut rows = Vec::new();
         let mut points = Vec::new();
+        let mut failures = Vec::new();
         for (label, bloom) in VARIANTS {
-            let runs = ctx.suite_runs(&bloom_cfg(bloom));
+            let cfg = bloom_cfg(bloom);
+            let runs = ctx.suite_runs(&cfg);
+            ctx.note_point_failures(&cfg, label, out, &mut failures);
             let g = lf_stats::geomean(&runs.iter().map(|r| r.speedup()).collect::<Vec<_>>());
             let fp: u64 = runs
                 .iter()
@@ -79,6 +82,9 @@ impl Scenario for BloomAblation {
         let mut art = RunArtifact::new(self.name(), ctx.scale());
         art.set_config(&RunConfig::default());
         art.set_extra("sweep", lf_stats::Json::Arr(points));
+        if !failures.is_empty() {
+            art.set_extra("failures", lf_stats::Json::Arr(failures));
+        }
         art
     }
 }

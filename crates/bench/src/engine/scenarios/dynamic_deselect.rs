@@ -52,8 +52,11 @@ impl Scenario for DynamicDeselect {
         writeln!(out, "{}\n", self.title()).unwrap();
         let mut rows = Vec::new();
         let mut points = Vec::new();
+        let mut failures = Vec::new();
         for (label, static_sel, dynamic) in VARIANTS {
-            let runs = ctx.suite_runs(&quadrant_cfg(static_sel, dynamic));
+            let cfg = quadrant_cfg(static_sel, dynamic);
+            let runs = ctx.suite_runs(&cfg);
+            ctx.note_point_failures(&cfg, label, out, &mut failures);
             let speedups: Vec<f64> = runs.iter().map(|r| r.speedup()).collect();
             let worst = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
             let suppressed: u64 =
@@ -82,6 +85,9 @@ impl Scenario for DynamicDeselect {
         let mut art = RunArtifact::new(self.name(), ctx.scale());
         art.set_config(&RunConfig::default());
         art.set_extra("sweep", lf_stats::Json::Arr(points));
+        if !failures.is_empty() {
+            art.set_extra("failures", lf_stats::Json::Arr(failures));
+        }
         art
     }
 }

@@ -39,8 +39,11 @@ impl Scenario for Fig10Granule {
         writeln!(out, "{}\n", self.title()).unwrap();
         let mut rows = Vec::new();
         let mut points = Vec::new();
+        let mut failures = Vec::new();
         for granule in GRANULES {
-            let runs = ctx.suite_runs(&granule_cfg(granule));
+            let cfg = granule_cfg(granule);
+            let runs = ctx.suite_runs(&cfg);
+            ctx.note_point_failures(&cfg, &format!("{granule} B"), out, &mut failures);
             let g = lf_stats::geomean(&runs.iter().map(|r| r.speedup()).collect::<Vec<_>>());
             let conflicts: u64 = runs.iter().map(|r| r.lf_stats().squashes_conflict).sum();
             rows.push(vec![format!("{granule} B"), fmt_pct(g), conflicts.to_string()]);
@@ -48,6 +51,7 @@ impl Scenario for Fig10Granule {
             p.set("granule_bytes", granule);
             p.set("geomean_speedup", g);
             p.set("conflict_squashes", conflicts);
+            p.set("kernels", runs.len());
             points.push(p);
         }
         write_table(out, &["granule", "geomean speedup", "conflict squashes"], &rows);
@@ -55,6 +59,9 @@ impl Scenario for Fig10Granule {
         let mut art = RunArtifact::new(self.name(), ctx.scale());
         art.set_config(&RunConfig::default());
         art.set_extra("sweep", lf_stats::Json::Arr(points));
+        if !failures.is_empty() {
+            art.set_extra("failures", lf_stats::Json::Arr(failures));
+        }
         art
     }
 }

@@ -55,14 +55,29 @@ impl Scenario for Fig1WidthSweep {
         let suite: Vec<_> = ctx.kernels().iter().filter(|w| w.suite == Suite::Cpu2017).collect();
         let mut rows = Vec::new();
         let mut points = Vec::new();
+        let mut failures = Vec::new();
         for width in WIDTHS {
             let cfg = width_cfg(width);
             let mut ipcs = Vec::new();
             let mut utils = Vec::new();
             for w in &suite {
-                let r = ctx.outcome(w.name, &Hinting::Raw, &cfg);
-                ipcs.push(r.stats.ipc());
-                utils.push(r.stats.commit_utilization(width));
+                match ctx.try_outcome(w.name, &Hinting::Raw, &cfg) {
+                    Ok(r) => {
+                        ipcs.push(r.stats.ipc());
+                        utils.push(r.stats.commit_utilization(width));
+                    }
+                    Err(f) => {
+                        writeln!(
+                            out,
+                            "FAILED {} at {width}-wide: {} ({})",
+                            w.name,
+                            f.error.message(),
+                            f.cell()
+                        )
+                        .unwrap();
+                        failures.push(f.to_json());
+                    }
+                }
             }
             rows.push(vec![
                 format!("{width}-wide"),
@@ -73,12 +88,16 @@ impl Scenario for Fig1WidthSweep {
             p.set("width", width);
             p.set("geomean_ipc", lf_stats::geomean(&ipcs));
             p.set("commit_utilization", lf_stats::geomean(&utils));
+            p.set("kernels", ipcs.len());
             points.push(p);
         }
         write_table(out, &["core", "geomean IPC", "commit utilization"], &rows);
         writeln!(out, "\npaper shape: IPC grows with width; commit utilization falls.").unwrap();
         let mut art = RunArtifact::new(self.name(), ctx.scale());
         art.set_extra("sweep", lf_stats::Json::Arr(points));
+        if !failures.is_empty() {
+            art.set_extra("failures", lf_stats::Json::Arr(failures));
+        }
         art
     }
 }

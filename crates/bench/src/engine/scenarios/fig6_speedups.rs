@@ -47,6 +47,8 @@ impl Scenario for Fig6Speedups {
                 ]
             })
             .collect();
+        let mut rows = rows;
+        rows.extend(ctx.failed_suite_rows(&cfg, 6));
         write_table(out, &["kernel", "analog", "suite", "speedup", "selection", "check"], &rows);
 
         for (suite, label, paper) in
@@ -68,6 +70,9 @@ impl Scenario for Fig6Speedups {
         art.set_config(&cfg);
         for r in &runs {
             art.push_kernel(r);
+        }
+        if let Some(failures) = ctx.note_suite_failures(&cfg, out) {
+            art.set_extra("failures", failures);
         }
         art
     }

@@ -44,6 +44,8 @@ impl Scenario for Fig7Utilization {
                 cells
             })
             .collect();
+        let mut rows = rows;
+        rows.extend(ctx.failed_suite_rows(&cfg, 7));
         write_table(out, &["kernel", "0", "1", "2", "3", "4", "≥2 active"], &rows);
 
         let profitable: Vec<_> = runs.iter().filter(|r| r.speedup() > 1.01).collect();
@@ -85,6 +87,9 @@ impl Scenario for Fig7Utilization {
         art.set_config(&cfg);
         for r in &runs {
             art.push_kernel(r);
+        }
+        if let Some(failures) = ctx.note_suite_failures(&cfg, out) {
+            art.set_extra("failures", failures);
         }
         art
     }

@@ -51,6 +51,7 @@ impl Scenario for Fig8IpcBreakdown {
                 format!("{:.2}", arch + succ),
             ]);
         }
+        rows.extend(ctx.failed_suite_rows(&cfg, 5));
         write_table(
             out,
             &["kernel", "architectural", "spec (success)", "spec (failed)", "useful total"],
@@ -68,6 +69,9 @@ impl Scenario for Fig8IpcBreakdown {
         art.set_config(&cfg);
         for r in &runs {
             art.push_kernel(r);
+        }
+        if let Some(failures) = ctx.note_suite_failures(&cfg, out) {
+            art.set_extra("failures", failures);
         }
         art
     }

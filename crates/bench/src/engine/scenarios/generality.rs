@@ -56,6 +56,9 @@ impl Scenario for Generality {
         for r in &runs {
             art.push_kernel(r);
         }
+        if let Some(failures) = ctx.note_suite_failures(&cfg, out) {
+            art.set_extra("failures", failures);
+        }
         art
     }
 }

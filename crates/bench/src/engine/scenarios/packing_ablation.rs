@@ -40,7 +40,15 @@ impl Scenario for PackingAblation {
         writeln!(out, "{}\n", self.title()).unwrap();
         let mut rows = Vec::new();
         let mut affected = 0;
-        for (w, wo) in with.iter().zip(&without) {
+        // Join the two suite views by kernel name: with failure-tolerant
+        // rendering either side may be missing a kernel, so positional
+        // zipping would misalign the comparison.
+        let without_by_name: std::collections::HashMap<&str, &crate::KernelRun> =
+            without.iter().map(|r| (r.name, r)).collect();
+        for w in &with {
+            let Some(wo) = without_by_name.get(w.name) else {
+                continue;
+            };
             let delta = w.speedup() / wo.speedup();
             if (delta - 1.0).abs() > 0.005 {
                 affected += 1;
@@ -54,6 +62,7 @@ impl Scenario for PackingAblation {
                 w.lf_stats().pack_factor_max.to_string(),
             ]);
         }
+        rows.extend(ctx.failed_suite_rows(&cfg_with, 6));
         write_table(
             out,
             &["kernel", "with packing", "without", "delta", "mean factor", "max factor"],
@@ -100,6 +109,12 @@ impl Scenario for PackingAblation {
             .collect();
         abl.set("without_packing", lf_stats::Json::Arr(no_pack));
         art.set_extra("ablation", abl);
+        let mut failures = Vec::new();
+        ctx.note_point_failures(&cfg_with, "with packing", out, &mut failures);
+        ctx.note_point_failures(&no_packing_cfg(), "without packing", out, &mut failures);
+        if !failures.is_empty() {
+            art.set_extra("failures", lf_stats::Json::Arr(failures));
+        }
         art
     }
 }

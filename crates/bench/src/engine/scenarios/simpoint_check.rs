@@ -56,9 +56,22 @@ impl Scenario for SimpointCheck {
         .unwrap();
 
         let mut points = Vec::new();
+        let mut failures = Vec::new();
         let kernels =
             KERNELS.iter().filter_map(|name| ctx.kernels().iter().find(|w| w.name == *name));
         for w in kernels {
+            // The full-run ground truth (and the preparation it depends
+            // on) may have failed; skip the kernel with an explicit line
+            // rather than aborting the whole methodology check.
+            let full = match ctx.try_outcome(w.name, &hinting, &rc.lf) {
+                Ok(outcome) => outcome,
+                Err(f) => {
+                    writeln!(out, "{:<16} FAILED: {} ({})", w.name, f.error.message(), f.cell())
+                        .unwrap();
+                    failures.push(f.to_json());
+                    continue;
+                }
+            };
             let prep = ctx.prepared(w.name, &hinting);
             let program = &prep.program;
             let cfg_sim = LoopFrogConfig::default();
@@ -119,9 +132,8 @@ impl Scenario for SimpointCheck {
             let estimate = weighted_cycles(&samples, total_insts);
 
             // 4. Ground truth: the full detailed run (memoized; shared with
-            //    every default-config scenario).
-            let full = ctx.outcome(w.name, &hinting, &rc.lf);
-
+            //    every default-config scenario), fetched up front so a
+            //    failed run skips the expensive BBV collection too.
             let err = (estimate - full.stats.cycles as f64) / full.stats.cycles as f64 * 100.0;
             writeln!(
                 out,
@@ -148,6 +160,9 @@ impl Scenario for SimpointCheck {
         writeln!(out, "errors within ±10% validate the sampling pipeline at this scale.").unwrap();
         let mut art = RunArtifact::new(self.name(), ctx.scale());
         art.set_extra("simpoint_estimates", lf_stats::Json::Arr(points));
+        if !failures.is_empty() {
+            art.set_extra("failures", lf_stats::Json::Arr(failures));
+        }
         art
     }
 }

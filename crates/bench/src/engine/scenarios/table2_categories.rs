@@ -67,6 +67,9 @@ impl Scenario for Table2Categories {
         for r in &runs {
             art.push_kernel(r);
         }
+        if let Some(failures) = ctx.note_suite_failures(&cfg, out) {
+            art.set_extra("failures", failures);
+        }
         art
     }
 }

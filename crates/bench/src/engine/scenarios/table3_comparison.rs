@@ -68,6 +68,9 @@ impl Scenario for Table3Comparison {
             art.push_kernel(r);
         }
         art.set_extra("measured_geomean_cpu2017", measured);
+        if let Some(failures) = ctx.note_suite_failures(&cfg, out) {
+            art.set_extra("failures", failures);
+        }
         art
     }
 }

@@ -79,6 +79,12 @@ impl std::error::Error for SimError {}
 /// Cycles without any architectural commit before the watchdog trips.
 const WATCHDOG_CYCLES: u64 = 200_000;
 
+/// How often (in cycles) the step loop consults the wall-clock deadline.
+/// A power of two so the check is a mask; coarse enough that the common
+/// undeadlined case pays one branch per cycle and armed runs pay one
+/// `Instant::now()` per four thousand cycles.
+const DEADLINE_CHECK_CYCLES: u64 = 4096;
+
 /// Hard cap on threadlet contexts (sizes the inline ordering lists used on
 /// the per-access hot path).
 const MAX_CONTEXTS: usize = 16;
@@ -156,6 +162,9 @@ pub struct LoopFrogCore<'p> {
     pub(crate) tracer: Option<Box<dyn Tracer>>,
     pub(crate) halted: bool,
     pub(crate) fault: Option<SimError>,
+    /// Harness-side wall-clock watchdog; checked every
+    /// [`DEADLINE_CHECK_CYCLES`] cycles in the step loop.
+    pub(crate) deadline: Option<std::time::Instant>,
     pub(crate) last_commit_cycle: u64,
 
     /// Instructions committed by the current cycle's commit stage (cycle
@@ -262,6 +271,7 @@ impl<'p> LoopFrogCore<'p> {
             tracer: None,
             halted: false,
             fault: None,
+            deadline: None,
             last_commit_cycle: 0,
             committed_this_cycle: 0,
             recovery_until: 0,
@@ -459,6 +469,11 @@ impl<'p> LoopFrogCore<'p> {
             if self.cycle - self.last_commit_cycle > WATCHDOG_CYCLES {
                 return Err(SimError::Deadlock { cycle: self.cycle });
             }
+            if let Some(d) = self.deadline {
+                if self.cycle & (DEADLINE_CHECK_CYCLES - 1) == 0 && std::time::Instant::now() >= d {
+                    return Ok(SimStop::Deadline);
+                }
+            }
             self.tick()?;
             if let Some(f) = self.fault.take() {
                 return Err(f);
@@ -523,8 +538,18 @@ impl<'p> LoopFrogCore<'p> {
         let accounting = self.telem.accounting.clone();
         let intervals =
             self.telem.sampler.as_ref().map(|s| s.samples().to_vec()).unwrap_or_default();
-        let flight_recorder =
-            self.telem.recorder.as_ref().map(|r| r.pre_squash().to_vec()).unwrap_or_default();
+        // A run stopped mid-flight (cycle cap or deadline) reports the
+        // *live* event window — what the pipeline was doing when time ran
+        // out; normal completions keep the pre-squash capture.
+        let flight_recorder = self
+            .telem
+            .recorder
+            .as_ref()
+            .map(|r| match stop {
+                SimStop::MaxCycles | SimStop::Deadline => r.live_window(),
+                _ => r.pre_squash().to_vec(),
+            })
+            .unwrap_or_default();
         let registry = crate::telemetry::build_registry(&stats, &self.telem, &self.cfg);
 
         SimResult {
@@ -552,6 +577,16 @@ impl<'p> LoopFrogCore<'p> {
     /// The architectural memory image.
     pub fn mem(&self) -> &Memory {
         &self.mem
+    }
+
+    /// Arms a wall-clock watchdog: once `deadline` passes, the step loop
+    /// stops with [`SimStop::Deadline`] at its next check (every
+    /// [`DEADLINE_CHECK_CYCLES`] cycles). The harness uses this to convert
+    /// a livelocked simulation into a structured budget failure instead of
+    /// hanging the worker pool; a deadline-stopped run's results are
+    /// partial and must not be treated as a completed simulation.
+    pub fn set_deadline(&mut self, deadline: std::time::Instant) {
+        self.deadline = Some(deadline);
     }
 
     /// Attaches a pipeline-event observer (see [`crate::trace`]). Pass a

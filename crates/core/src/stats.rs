@@ -213,6 +213,10 @@ pub enum SimStop {
     MaxInsts,
     /// The cycle budget was exhausted.
     MaxCycles,
+    /// The harness-side wall-clock deadline passed (see
+    /// [`crate::LoopFrogCore::set_deadline`]). Never produced unless a
+    /// deadline was armed; results are partial and must not be cached.
+    Deadline,
 }
 
 /// Final outcome of a simulation.

@@ -217,6 +217,13 @@ impl FlightRecorder {
         &self.pre_squash
     }
 
+    /// The live ring — the last `cap` events recorded, regardless of
+    /// squashes. This is the window a watchdog wants when a run is
+    /// stopped mid-flight by a cycle budget or deadline.
+    pub fn live_window(&self) -> Vec<TraceEvent> {
+        self.ring.iter().cloned().collect()
+    }
+
     /// Consumes the recorder, returning the pre-squash capture.
     pub fn into_pre_squash(self) -> Vec<TraceEvent> {
         self.pre_squash

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod fault;
 pub mod fingerprint;
 pub mod json;
 pub mod registry;
@@ -19,6 +20,7 @@ pub mod simpoint;
 pub mod summary;
 
 pub use counters::{Counters, Histogram};
+pub use fault::{rate_gate, Backoff};
 pub use fingerprint::{fingerprint_hex, parse_fingerprint_hex, Fingerprint};
 pub use json::Json;
 pub use registry::{Expr, MetricsRegistry, RegistryError};

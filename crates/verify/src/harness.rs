@@ -36,6 +36,10 @@ pub struct HarnessOptions {
     /// Arm the conflict-detector fault injection in the LoopFrog run
     /// (drops one granule from every write-set insertion).
     pub inject_bug: bool,
+    /// Arm the same injection on a deterministic fraction of cases,
+    /// gated on the case seed: the same seeds are affected on every
+    /// run, so a failing campaign reproduces exactly. `0.0` disables.
+    pub inject_bug_rate: f64,
     /// Run the metamorphic configuration variants (off while shrinking,
     /// where only the original failure signal matters).
     pub metamorphic: bool,
@@ -43,7 +47,15 @@ pub struct HarnessOptions {
 
 impl Default for HarnessOptions {
     fn default() -> HarnessOptions {
-        HarnessOptions { inject_bug: false, metamorphic: true }
+        HarnessOptions { inject_bug: false, inject_bug_rate: 0.0, metamorphic: true }
+    }
+}
+
+impl HarnessOptions {
+    /// Whether this case's LoopFrog run gets the seeded bug.
+    fn injects_bug(&self, spec: &CaseSpec) -> bool {
+        self.inject_bug
+            || lf_stats::rate_gate(spec.seed, "lf-verify-inject-bug", self.inject_bug_rate)
     }
 }
 
@@ -168,7 +180,7 @@ pub fn run_case(spec: &CaseSpec, opts: &HarnessOptions) -> Outcome {
     // 4. LoopFrog core with invariants and lockstep recording.
     let mut core = LoopFrogCore::new(&hinted, mem.clone(), LoopFrogConfig::default());
     core.set_lockstep_recording(true);
-    if opts.inject_bug {
+    if opts.injects_bug(spec) {
         core.inject_drop_write_granule();
     }
     let lf = match core.run() {
@@ -309,7 +321,8 @@ mod tests {
         // must be caught by the write-set superset invariant within a small
         // case budget, and the shrinker must reduce the reproducer to at
         // most 20 instructions.
-        let opts = HarnessOptions { inject_bug: true, metamorphic: false };
+        let opts =
+            HarnessOptions { inject_bug: true, metamorphic: false, ..HarnessOptions::default() };
         let mut found = None;
         for case in 0..100u64 {
             let spec = case_from_seed(0xb00_0000 + case);

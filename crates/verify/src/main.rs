@@ -6,6 +6,8 @@
 //! lf-verify --seed 7 --cases 200 --minimize  # shrink any failure found
 //! lf-verify --inject-bug --cases 100 --minimize
 //!     # prove the harness catches a seeded conflict-detector bug
+//! lf-verify --inject-bug-rate 0.05 --cases 200
+//!     # same bug on a deterministic 5% of case seeds (campaign-style)
 //! ```
 //!
 //! Every failure prints the case's seed (when it came straight from the
@@ -27,13 +29,15 @@ struct Args {
     soak_secs: Option<u64>,
     minimize: bool,
     inject_bug: bool,
+    inject_bug_rate: f64,
     emit_corpus: Option<PathBuf>,
     replay: Option<PathBuf>,
     json: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: lf-verify [--seed N] [--cases N] [--soak-secs N] [--minimize] \
-                     [--inject-bug] [--emit-corpus DIR] [--replay FILE] [--json PATH]";
+                     [--inject-bug] [--inject-bug-rate R] [--emit-corpus DIR] [--replay FILE] \
+                     [--json PATH]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -42,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         soak_secs: None,
         minimize: false,
         inject_bug: false,
+        inject_bug_rate: 0.0,
         emit_corpus: None,
         replay: None,
         json: None,
@@ -57,6 +62,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--minimize" => args.minimize = true,
             "--inject-bug" => args.inject_bug = true,
+            "--inject-bug-rate" => {
+                let r: f64 = value("--inject-bug-rate")?.parse().map_err(|e| format!("{e}"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("--inject-bug-rate must be in [0, 1], got {r}"));
+                }
+                args.inject_bug_rate = r;
+            }
             "--emit-corpus" => args.emit_corpus = Some(value("--emit-corpus")?.into()),
             "--replay" => args.replay = Some(value("--replay")?.into()),
             "--json" => args.json = Some(value("--json")?.into()),
@@ -127,7 +139,11 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let opts = harness::HarnessOptions { inject_bug: args.inject_bug, metamorphic: true };
+    let opts = harness::HarnessOptions {
+        inject_bug: args.inject_bug,
+        inject_bug_rate: args.inject_bug_rate,
+        metamorphic: true,
+    };
 
     // Replay mode: run one serialized case and exit.
     if let Some(path) = &args.replay {
@@ -221,6 +237,7 @@ fn main() {
         art.set_extra("coverage_bits", seen_cov as u64);
         art.set_extra("coverage", coverage::describe(seen_cov));
         art.set_extra("inject_bug", Json::Bool(args.inject_bug));
+        art.set_extra("inject_bug_rate", args.inject_bug_rate);
         let fails: Vec<Json> = failures
             .iter()
             .map(|f| {

@@ -77,7 +77,8 @@ mod tests {
     fn shrink_keeps_failure_and_reduces_size() {
         // With the conflict-detector fault injected, any case with a store
         // fails; shrinking must keep at least one store and cut the rest.
-        let opts = HarnessOptions { inject_bug: true, metamorphic: false };
+        let opts =
+            HarnessOptions { inject_bug: true, metamorphic: false, ..HarnessOptions::default() };
         let fat = CaseSpec {
             seed: 0xdead,
             trip: 37,

@@ -1,0 +1,259 @@
+//! Integration tests for fault-tolerant campaigns: panic isolation,
+//! watchdog budgets, cache corruption quarantine, and `--resume` — all
+//! driven through the real engine on real kernels with deterministic
+//! `--inject-fault` gates.
+
+use lf_bench::engine::cache::DiskCache;
+use lf_bench::engine::fault::{
+    hang_program, read_failures_json, write_failures_json, FaultPlan, RunBudget,
+};
+use lf_bench::engine::planner::Planner;
+use lf_bench::engine::{run_scenarios, EngineCtx, EngineOptions, Scenario};
+use lf_bench::{RunArtifact, RunConfig};
+use lf_workloads::Scale;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A minimal scenario rendering the standard suite plus explicit failure
+/// lines — the shape every registered scenario follows.
+struct SuiteScenario;
+
+impl Scenario for SuiteScenario {
+    fn name(&self) -> &'static str {
+        "fault_suite"
+    }
+    fn title(&self) -> &'static str {
+        "fault-tolerance test scenario"
+    }
+    fn plan(&self, p: &mut Planner<'_>) {
+        p.request_suite(&RunConfig::default());
+    }
+    fn render(&self, ctx: &EngineCtx<'_>, out: &mut String) -> RunArtifact {
+        let rc = RunConfig::default();
+        for r in ctx.suite_runs(&rc) {
+            out.push_str(&format!("{} {:.4}\n", r.name, r.speedup()));
+        }
+        let mut art = RunArtifact::new(self.name(), ctx.scale());
+        if let Some(failures) = ctx.note_suite_failures(&rc, out) {
+            art.set_extra("failures", failures);
+        }
+        art
+    }
+}
+
+fn opts_for(filter: &str) -> EngineOptions {
+    let mut opts = EngineOptions::new(Scale::Smoke);
+    opts.filter = Some(filter.to_string());
+    opts.jobs = 2;
+    opts
+}
+
+fn faults(specs: &[&str]) -> FaultPlan {
+    let mut plan = FaultPlan::default();
+    for s in specs {
+        plan.parse_spec(s).expect("test spec parses");
+    }
+    plan
+}
+
+fn counting_hook(opts: &mut EngineOptions) -> Arc<AtomicUsize> {
+    let count = Arc::new(AtomicUsize::new(0));
+    let counter = count.clone();
+    opts.sim_hook = Some(Arc::new(move |_| {
+        counter.fetch_add(1, Ordering::SeqCst);
+    }));
+    count
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("lf-bench-faults-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// An injected panic costs exactly the affected runs: the campaign
+/// completes, the scenario renders explicit failure lines, and every
+/// failure record carries its fingerprint and a repro command.
+#[test]
+fn injected_panics_fail_runs_without_killing_the_campaign() {
+    let mut opts = opts_for("stencil_blur");
+    opts.faults = faults(&["panic:1.0"]);
+    let output = run_scenarios(&[&SuiteScenario], &opts);
+
+    assert_eq!(output.report.faults.panicked, 2, "baseline + LoopFrog runs both panic");
+    assert_eq!(output.report.faults.failed_runs(), 2);
+    assert_eq!(output.failures.len(), 2);
+    for f in &output.failures {
+        assert_eq!(f.error.kind(), "panic");
+        assert_ne!(f.fingerprint, 0);
+        assert!(f.repro.contains("stencil_blur"), "repro names the kernel: {}", f.repro);
+        assert!(f.cell().starts_with("FAILED("));
+    }
+    let text = &output.scenarios[0].text;
+    assert!(text.contains("FAILED stencil_blur"), "render must name the failure:\n{text}");
+    assert!(text.contains("repro:"), "render must carry the repro command:\n{text}");
+}
+
+/// A livelocked simulation (injected hang) is stopped by the cycle budget
+/// and reported as a structured budget failure, not a hung process.
+#[test]
+fn hang_injection_is_stopped_by_the_cycle_budget() {
+    let mut opts = opts_for("stencil_blur");
+    opts.faults = faults(&["hang:1.0"]);
+    opts.budget = RunBudget { max_cycles: Some(20_000), deadline: None };
+    let output = run_scenarios(&[&SuiteScenario], &opts);
+
+    assert_eq!(output.report.faults.budget_exceeded, 2);
+    for f in &output.failures {
+        assert_eq!(f.error.kind(), "budget_exceeded");
+        assert!(f.error.message().contains("cycle budget"), "{}", f.error.message());
+    }
+    assert!(output.scenarios[0].text.contains("FAILED stencil_blur"));
+}
+
+/// The wall-clock watchdog variant: with no cycle cap at all, the deadline
+/// armed on the core's step loop stops the same livelock.
+#[test]
+fn hang_injection_is_stopped_by_the_wall_clock_deadline() {
+    let mut opts = opts_for("stencil_blur");
+    opts.jobs = 1;
+    opts.faults = faults(&["hang:1.0"]);
+    opts.budget = RunBudget { max_cycles: None, deadline: Some(Duration::from_millis(100)) };
+    let output = run_scenarios(&[&SuiteScenario], &opts);
+
+    assert_eq!(output.report.faults.budget_exceeded, 2);
+    for f in &output.failures {
+        assert!(f.error.message().contains("wall-clock"), "{}", f.error.message());
+    }
+}
+
+/// Core-level deadline contract: an already-expired deadline stops a
+/// non-terminating kernel on its first check instead of hanging.
+#[test]
+fn core_deadline_stops_a_nonterminating_kernel() {
+    let program = hang_program();
+    let mut cfg = loopfrog::LoopFrogConfig::baseline();
+    cfg.max_cycles = u64::MAX;
+    let mut core = loopfrog::LoopFrogCore::new(&program, lf_isa::Memory::new(64), cfg);
+    core.set_deadline(Instant::now());
+    let r = core.run().expect("deadline stop is not an error");
+    assert_eq!(r.stop, loopfrog::SimStop::Deadline);
+}
+
+/// Corrupt cache entries are quarantined on first contact, the runs
+/// re-simulate cleanly, and the refilled slots hit on the next campaign.
+#[test]
+fn corrupt_cache_entries_quarantine_and_refill() {
+    let dir = scratch_dir("quarantine");
+
+    // Campaign 1 stores both runs, then the injection garbles the entries.
+    let mut opts = opts_for("stencil_blur");
+    opts.disk_cache = Some(DiskCache::new(dir.clone()));
+    opts.faults = faults(&["corrupt-cache:1.0"]);
+    let first = run_scenarios(&[&SuiteScenario], &opts);
+    assert!(first.failures.is_empty(), "corruption strikes the cache, not the runs");
+
+    // Campaign 2 finds the corruption, quarantines it, and re-simulates.
+    let mut opts2 = opts_for("stencil_blur");
+    opts2.disk_cache = Some(DiskCache::new(dir.clone()));
+    let sims = counting_hook(&mut opts2);
+    let second = run_scenarios(&[&SuiteScenario], &opts2);
+    assert_eq!(second.report.faults.cache_corrupt, 2);
+    assert_eq!(second.report.faults.quarantined, 2);
+    assert_eq!(second.report.disk_hits, 0);
+    assert_eq!(sims.load(Ordering::SeqCst), 2);
+    assert!(second.failures.is_empty());
+    let quarantined = std::fs::read_dir(dir.join("quarantine")).unwrap().count();
+    assert_eq!(quarantined, 2, "garbled entries must be preserved for inspection");
+
+    // Campaign 3: the refilled slots serve hits again.
+    let mut opts3 = opts_for("stencil_blur");
+    opts3.disk_cache = Some(DiskCache::new(dir));
+    let sims3 = counting_hook(&mut opts3);
+    let third = run_scenarios(&[&SuiteScenario], &opts3);
+    assert_eq!(third.report.disk_hits, 2);
+    assert_eq!(sims3.load(Ordering::SeqCst), 0);
+}
+
+/// The resume contract on a mixed campaign: previously failed runs (never
+/// cached) re-execute; previous successes are served from the cache.
+#[test]
+fn resume_reexecutes_only_previously_failed_runs() {
+    let dir = scratch_dir("resume");
+    let failures_path = dir.join("failures.json");
+
+    // Campaign 0: one of the two fdtd kernels runs cleanly and is cached.
+    let mut warm = opts_for("gems_fdtd");
+    warm.disk_cache = Some(DiskCache::new(dir.clone()));
+    let warmed = run_scenarios(&[&SuiteScenario], &warm);
+    assert!(warmed.failures.is_empty());
+
+    // Campaign 1 over both fdtd kernels with every *simulated* run
+    // panicking: the cached kernel sails through, the other fails.
+    let mut opts = opts_for("fdtd");
+    opts.disk_cache = Some(DiskCache::new(dir.clone()));
+    opts.faults = faults(&["panic:1.0"]);
+    let broken = run_scenarios(&[&SuiteScenario], &opts);
+    assert_eq!(broken.report.disk_hits, 2, "gems_fdtd is served from the cache");
+    assert_eq!(broken.report.faults.panicked, 2, "fotonik_fdtd's two runs panic");
+    assert!(broken.failures.iter().all(|f| f.kernel == "fotonik_fdtd"));
+    let text = &broken.scenarios[0].text;
+    assert!(text.contains("gems_fdtd"), "partial table keeps the surviving kernel:\n{text}");
+    assert!(text.contains("FAILED fotonik_fdtd"), "and names the failed one:\n{text}");
+    write_failures_json(&failures_path, &broken.failures, "smoke").unwrap();
+
+    // Campaign 2 resumes: exactly the failed runs re-execute.
+    let mut resume = opts_for("fdtd");
+    resume.disk_cache = Some(DiskCache::new(dir.clone()));
+    resume.resume_from = Some(read_failures_json(&failures_path).unwrap());
+    let sims = counting_hook(&mut resume);
+    let resumed = run_scenarios(&[&SuiteScenario], &resume);
+    assert_eq!(resumed.report.disk_hits, 2);
+    assert_eq!(sims.load(Ordering::SeqCst), 2, "only the failed runs simulate");
+    assert_eq!(resumed.report.faults.resumed, 2);
+    assert!(resumed.failures.is_empty());
+    let text = &resumed.scenarios[0].text;
+    assert!(text.contains("gems_fdtd") && text.contains("fotonik_fdtd"));
+    assert!(!text.contains("FAILED"), "the resumed campaign is whole:\n{text}");
+
+    // Campaign 3: nothing left to do — everything hits.
+    let mut done = opts_for("fdtd");
+    done.disk_cache = Some(DiskCache::new(dir));
+    let sims3 = counting_hook(&mut done);
+    let final_run = run_scenarios(&[&SuiteScenario], &done);
+    assert_eq!(final_run.report.disk_hits, 4);
+    assert_eq!(sims3.load(Ordering::SeqCst), 0);
+}
+
+/// A panicking render loses one scenario's output, not the campaign: the
+/// other scenario still renders and the failure is reported with a repro.
+#[test]
+fn render_panic_is_isolated_to_its_scenario() {
+    struct BadRender;
+    impl Scenario for BadRender {
+        fn name(&self) -> &'static str {
+            "bad_render"
+        }
+        fn title(&self) -> &'static str {
+            "scenario whose render panics"
+        }
+        fn plan(&self, _p: &mut Planner<'_>) {}
+        fn render(&self, _ctx: &EngineCtx<'_>, _out: &mut String) -> RunArtifact {
+            panic!("render bug");
+        }
+    }
+
+    let opts = opts_for("stencil_blur");
+    let output = run_scenarios(&[&BadRender, &SuiteScenario], &opts);
+    assert_eq!(output.report.faults.render_failures, 1);
+    assert!(output.scenarios[0].text.contains("RENDER FAILED: render bug"));
+    assert!(
+        output.scenarios[1].text.contains("stencil_blur"),
+        "the healthy scenario still renders"
+    );
+    assert_eq!(output.failures.len(), 1);
+    assert_eq!(output.failures[0].kernel, "bad_render");
+}
