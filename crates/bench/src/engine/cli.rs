@@ -5,6 +5,8 @@
 //! lf-bench list [--scale smoke|eval]
 //! lf-bench run <scenario>... [options]
 //! lf-bench run --all [options]
+//! lf-bench perf [--scale smoke|eval] [--reps N] [--label TEXT]
+//!               [--json [DIR]] [--warn-regression PCT]
 //!
 //! options:
 //!   --scale smoke|eval   workload scale (default smoke)
@@ -60,19 +62,27 @@ struct Cli {
     /// `--resume` with its optional FILE operand (`Some(None)` = flag
     /// present, default file).
     resume: Option<Option<PathBuf>>,
+    /// `perf`: repetitions per (kernel, config) pair.
+    reps: usize,
+    /// `perf`: free-form label recorded in the trajectory entry.
+    label: Option<String>,
+    /// `perf`: regression-warning threshold as a fraction.
+    warn_frac: f64,
 }
 
 enum Command {
     List,
     Run { names: Vec<String>, all: bool },
+    Perf,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lf-bench <list|run> [scenario...] [--all] [--scale smoke|eval] [-j N]\n\
+        "usage: lf-bench <list|run|perf> [scenario...] [--all] [--scale smoke|eval] [-j N]\n\
          \x20                [--filter SUBSTR] [--no-cache] [--cache-dir DIR] [--json [DIR]]\n\
          \x20                [--assert-dedup] [--budget-cycles N] [--deadline-secs N]\n\
-         \x20                [--resume [FILE]] [--inject-fault SPEC]..."
+         \x20                [--resume [FILE]] [--inject-fault SPEC]...\n\
+         \x20                [--reps N] [--label TEXT] [--warn-regression PCT]  (perf)"
     );
     std::process::exit(2);
 }
@@ -91,6 +101,9 @@ fn parse(args: &[String]) -> Cli {
         deadline_secs: None,
         faults: FaultPlan::default(),
         resume: None,
+        reps: 3,
+        label: None,
+        warn_frac: 0.15,
     };
     let mut names = Vec::new();
     let mut all = false;
@@ -111,6 +124,28 @@ fn parse(args: &[String]) -> Cli {
         match arg {
             "list" | "--list" if command.is_none() => command = Some("list"),
             "run" if command.is_none() => command = Some("run"),
+            "perf" if command.is_none() => command = Some("perf"),
+            "--reps" => {
+                let v = value("a repetition count");
+                cli.reps = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("error: --reps expects a positive integer, got {v}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--label" => cli.label = Some(value("a label")),
+            "--warn-regression" => {
+                let v = value("a percentage");
+                cli.warn_frac = match v.trim_end_matches('%').parse::<f64>() {
+                    Ok(p) if p > 0.0 && p < 100.0 => p / 100.0,
+                    _ => {
+                        eprintln!("error: --warn-regression expects a percentage, got {v}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--all" => all = true,
             "--scale" => {
                 cli.scale = match value("`smoke` or `eval`").as_str() {
@@ -197,6 +232,7 @@ fn parse(args: &[String]) -> Cli {
     }
     match command {
         Some("run") => cli.command = Command::Run { names, all },
+        Some("perf") => cli.command = Command::Perf,
         Some(_) => cli.command = Command::List,
         None => usage(),
     }
@@ -254,6 +290,16 @@ pub fn main() {
     let cli = parse(&args);
     match &cli.command {
         Command::List => list(&cli),
+        Command::Perf => {
+            let dir = cli.json_dir.clone().unwrap_or_else(|| PathBuf::from("results"));
+            crate::perf::run_perf(&crate::perf::PerfOptions {
+                scale: cli.scale,
+                reps: cli.reps,
+                label: cli.label.clone(),
+                json_path: Some(dir.join("BENCH_throughput.json")),
+                warn_frac: cli.warn_frac,
+            });
+        }
         Command::Run { names, all } => {
             let selected: Vec<Box<dyn Scenario>> = if *all {
                 registry()

@@ -13,6 +13,7 @@ pub mod area;
 pub mod artifact;
 pub mod engine;
 pub mod microbench;
+pub mod perf;
 pub mod runner;
 pub mod table;
 

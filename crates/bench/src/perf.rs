@@ -1,0 +1,260 @@
+//! `lf-bench perf` — the simulator-throughput microbenchmark.
+//!
+//! Runs a fixed kernel basket at pinned configurations (the default
+//! baseline and LoopFrog configs), measures wall-clock time around the
+//! simulator alone (annotation and workload construction are excluded),
+//! and reports simulated kilocycles per second and committed MIPS. Each
+//! invocation appends one entry to `results/BENCH_throughput.json`, so
+//! the file accumulates a throughput trajectory across commits the same
+//! way `BENCH_harness.json` tracks planner wall time.
+//!
+//! The basket is deliberately frozen: entries are only comparable when
+//! they simulate the same work, so changing [`BASKET`] or the pinned
+//! configs invalidates the trajectory (bump the label if you must).
+
+use crate::runner::scale_tag;
+use lf_compiler::{annotate, SelectOptions};
+use lf_stats::Json;
+use lf_workloads::Scale;
+use loopfrog::{simulate, LoopFrogConfig};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The fixed kernel basket: one or two representatives per bottleneck
+/// category so the hot path is exercised across regular, serial,
+/// control-dependent, and irregular behavior.
+pub const BASKET: &[&str] =
+    &["stencil_blur", "md_force", "compress_rle", "hash_lookup", "graph_relax", "event_queue"];
+
+/// Options for one `lf-bench perf` invocation.
+#[derive(Debug, Clone)]
+pub struct PerfOptions {
+    /// Workload scale (smoke for CI, eval for real measurements).
+    pub scale: Scale,
+    /// Repetitions per (kernel, config) pair; the best wall time is kept.
+    pub reps: usize,
+    /// Free-form label recorded in the trajectory entry (e.g. a commit
+    /// subject or "pr5-before").
+    pub label: Option<String>,
+    /// Where to append the trajectory (`None` = print only).
+    pub json_path: Option<PathBuf>,
+    /// Regression threshold for the non-blocking warning, as a fraction
+    /// (0.15 = warn when >15% slower than the best prior entry at the
+    /// same scale).
+    pub warn_frac: f64,
+}
+
+impl Default for PerfOptions {
+    fn default() -> PerfOptions {
+        PerfOptions {
+            scale: Scale::Smoke,
+            reps: 3,
+            label: None,
+            json_path: Some(PathBuf::from("results/BENCH_throughput.json")),
+            warn_frac: 0.15,
+        }
+    }
+}
+
+/// One timed (kernel, config) measurement.
+struct Sample {
+    kernel: &'static str,
+    config: &'static str,
+    cycles: u64,
+    insts: u64,
+    best_wall_s: f64,
+}
+
+/// Runs the basket and returns the trajectory entry that was appended
+/// (or would have been, with `json_path: None`).
+pub fn run_perf(opts: &PerfOptions) -> Json {
+    let select = SelectOptions::default();
+    let configs: [(&'static str, LoopFrogConfig); 2] =
+        [("base", LoopFrogConfig::baseline()), ("lf", LoopFrogConfig::default())];
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for name in BASKET {
+        let w = lf_workloads::by_name(name, opts.scale)
+            .unwrap_or_else(|| panic!("perf basket kernel {name} is not registered"));
+        let emu = w.reference_emulator().expect("basket kernel runs on the golden emulator");
+        let ann = annotate(&w.program, emu.profile(), &select);
+        for (tag, cfg) in &configs {
+            let mut best_wall_s = f64::INFINITY;
+            let mut cycles = 0u64;
+            let mut insts = 0u64;
+            for _ in 0..opts.reps.max(1) {
+                let mem = w.mem.clone();
+                let start = Instant::now();
+                let r = simulate(&ann.program, mem, cfg.clone())
+                    .unwrap_or_else(|e| panic!("{name} ({tag}) failed: {e}"));
+                let wall = start.elapsed().as_secs_f64();
+                // The simulator is deterministic: cycle/inst counts are
+                // identical across reps, only the wall time varies.
+                cycles = r.stats.cycles;
+                insts = r.stats.committed_insts;
+                best_wall_s = best_wall_s.min(wall);
+            }
+            samples.push(Sample { kernel: w.name, config: tag, cycles, insts, best_wall_s });
+        }
+    }
+
+    let total_cycles: u64 = samples.iter().map(|s| s.cycles).sum();
+    let total_insts: u64 = samples.iter().map(|s| s.insts).sum();
+    let total_wall_s: f64 = samples.iter().map(|s| s.best_wall_s).sum();
+    let kcps = total_cycles as f64 / total_wall_s / 1e3;
+    let mips = total_insts as f64 / total_wall_s / 1e6;
+
+    let mut rows = Vec::new();
+    for s in &samples {
+        rows.push(vec![
+            s.kernel.to_string(),
+            s.config.to_string(),
+            s.cycles.to_string(),
+            s.insts.to_string(),
+            format!("{:.2}", s.best_wall_s * 1e3),
+            format!("{:.0}", s.cycles as f64 / s.best_wall_s / 1e3),
+        ]);
+    }
+    println!(
+        "simulator throughput: {} kernels x 2 configs, scale {}, best of {} rep(s)\n",
+        BASKET.len(),
+        scale_tag(opts.scale),
+        opts.reps.max(1)
+    );
+    crate::print_table(&["kernel", "config", "sim cycles", "insts", "wall ms", "kcycles/s"], &rows);
+    println!(
+        "\ntotal: {total_cycles} simulated cycles, {total_insts} committed insts in {:.1} ms",
+        total_wall_s * 1e3
+    );
+    println!("throughput: {kcps:.0} simulated kcycles/s, {mips:.2} committed MIPS");
+
+    let mut entry = Json::obj();
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    entry.set("unix_time", unix_secs);
+    if let Some(label) = &opts.label {
+        entry.set("label", label.as_str());
+    }
+    entry.set("scale", scale_tag(opts.scale));
+    entry.set("reps", opts.reps.max(1) as u64);
+    entry.set("kernels", Json::Arr(BASKET.iter().map(|k| Json::from(*k)).collect()));
+    entry.set("sim_cycles", total_cycles);
+    entry.set("committed_insts", total_insts);
+    entry.set("wall_ms", total_wall_s * 1e3);
+    entry.set("kcycles_per_sec", kcps);
+    entry.set("committed_mips", mips);
+    let mut per = Vec::new();
+    for s in &samples {
+        let mut j = Json::obj();
+        j.set("kernel", s.kernel);
+        j.set("config", s.config);
+        j.set("cycles", s.cycles);
+        j.set("insts", s.insts);
+        j.set("wall_ms", s.best_wall_s * 1e3);
+        per.push(j);
+    }
+    entry.set("per_run", Json::Arr(per));
+
+    if let Some(path) = &opts.json_path {
+        match append_throughput_entry(path, &entry, opts) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: failed to update {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    entry
+}
+
+/// Appends `entry` to the throughput trajectory and emits the
+/// non-blocking regression warning against the best prior entry at the
+/// same scale. File schema mirrors `BENCH_harness.json`: a top-level
+/// `runs` array, oldest first.
+fn append_throughput_entry(path: &Path, entry: &Json, opts: &PerfOptions) -> std::io::Result<()> {
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .filter(|d| d.get("runs").and_then(Json::as_arr).is_some())
+        .unwrap_or_else(|| {
+            let mut d = Json::obj();
+            d.set("schema_version", crate::artifact::SCHEMA_VERSION);
+            d.set("runs", Json::Arr(Vec::new()));
+            d
+        });
+    let mut runs: Vec<Json> =
+        doc.get("runs").and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap_or_default();
+
+    // Regression check: the warning is advisory (wall clock varies across
+    // hosts and CI runners), so it never affects the exit status.
+    let this_kcps = entry.get("kcycles_per_sec").and_then(Json::as_f64).unwrap_or(0.0);
+    let prior_best = runs
+        .iter()
+        .filter(|r| {
+            r.get("scale").and_then(Json::as_str) == entry.get("scale").and_then(Json::as_str)
+        })
+        .filter_map(|r| r.get("kcycles_per_sec").and_then(Json::as_f64))
+        .fold(f64::NAN, f64::max);
+    if prior_best.is_finite() && this_kcps < prior_best * (1.0 - opts.warn_frac) {
+        eprintln!(
+            "warning: throughput regression: {this_kcps:.0} kcycles/s is {:.0}% below the best \
+             recorded entry ({prior_best:.0} kcycles/s) at this scale",
+            (1.0 - this_kcps / prior_best) * 100.0
+        );
+    } else if prior_best.is_finite() {
+        println!(
+            "delta vs best recorded entry at this scale: {:+.1}%",
+            (this_kcps / prior_best - 1.0) * 100.0
+        );
+    }
+
+    runs.push(entry.clone());
+    doc.set("runs", Json::Arr(runs));
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, doc.to_string_pretty() + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basket_kernels_exist_at_both_scales() {
+        for scale in [Scale::Smoke, Scale::Eval] {
+            for name in BASKET {
+                assert!(
+                    lf_workloads::by_name(name, scale).is_some(),
+                    "basket kernel {name} missing at {scale:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perf_entry_has_throughput_fields() {
+        let dir = std::env::temp_dir().join(format!("lf-perf-test-{}", std::process::id()));
+        let path = dir.join("BENCH_throughput.json");
+        let opts = PerfOptions {
+            scale: Scale::Smoke,
+            reps: 1,
+            label: Some("unit-test".into()),
+            json_path: Some(path.clone()),
+            warn_frac: 0.15,
+        };
+        let entry = run_perf(&opts);
+        assert!(entry.get("kcycles_per_sec").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(entry.get("committed_mips").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(entry.get("scale").and_then(Json::as_str), Some("smoke"));
+        // A second run appends rather than overwrites.
+        run_perf(&opts);
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("runs").and_then(Json::as_arr).unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

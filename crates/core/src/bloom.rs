@@ -47,12 +47,26 @@ impl BloomFilter {
     }
 
     /// Inserts a granule address.
+    ///
+    /// `inserted` approximates the number of *distinct* keys: re-inserting
+    /// a present key sets no new bit and leaves the count alone. (A fresh
+    /// key whose bits all alias existing ones is also uncounted — the
+    /// standard occupancy-based approximation, conservative for
+    /// [`BloomFilter::expected_fp_rate`].) Threadlets re-touch the same
+    /// granules constantly, so counting every call would inflate `n` and
+    /// wildly overestimate the false-positive rate.
     pub fn insert(&mut self, key: u64) {
+        let mut newly_set = false;
         for i in 0..self.hashes {
             let b = self.index(key, i);
-            self.bits[(b / 64) as usize] |= 1 << (b % 64);
+            let word = &mut self.bits[(b / 64) as usize];
+            let bit = 1 << (b % 64);
+            newly_set |= *word & bit == 0;
+            *word |= bit;
         }
-        self.inserted += 1;
+        if newly_set {
+            self.inserted += 1;
+        }
     }
 
     /// Tests membership; may false-positive, never false-negatives.
@@ -69,7 +83,8 @@ impl BloomFilter {
         self.inserted = 0;
     }
 
-    /// Keys inserted since the last clear.
+    /// Distinct keys inserted since the last clear (approximate; see
+    /// [`BloomFilter::insert`]).
     pub fn inserted(&self) -> u64 {
         self.inserted
     }
@@ -198,6 +213,25 @@ mod tests {
         let rate = fp as f64 / probes as f64;
         assert!(rate < 0.02, "false-positive rate {rate}");
         assert!(f.expected_fp_rate() < 0.02);
+    }
+
+    #[test]
+    fn duplicate_insertions_do_not_inflate_the_estimate() {
+        // A threadlet hammering one granule must look like one key, not a
+        // thousand: the load estimate (and with it expected_fp_rate) stays
+        // flat across re-insertions.
+        let mut f = BloomFilter::new(4096, 4);
+        f.insert(42);
+        let (n1, fp1) = (f.inserted(), f.expected_fp_rate());
+        for _ in 0..1000 {
+            f.insert(42);
+        }
+        assert_eq!(f.inserted(), n1, "duplicate keys must not count");
+        assert_eq!(f.expected_fp_rate(), fp1, "estimate must stay flat");
+        assert_eq!(n1, 1);
+        // A different key still counts.
+        f.insert(43);
+        assert_eq!(f.inserted(), 2);
     }
 
     #[test]

@@ -5,16 +5,68 @@
 //! read was serviced *before* the write. All other hazard classes are
 //! eliminated by the SSB's multi-versioning and in-order threadlet commit.
 //!
-//! Sets are exact (`HashSet`s), modeling the paper's idealized Bloom filters
-//! ("No false positives modeled"; Table 1).
+//! Sets are exact ([`GranuleSet`]s — sorted vectors with the same
+//! semantics as a `HashSet<u64>`), modeling the paper's idealized Bloom
+//! filters ("No false positives modeled"; Table 1).
 
-use std::collections::HashSet;
+/// An exact set of granule ids, stored as a sorted, deduplicated vector.
+///
+/// The conflict detector queries these sets on every speculative memory
+/// access; per-threadlet footprints are bounded by the SSB slice (a few
+/// hundred granules), so a binary-searched vector beats a `HashSet` on
+/// both lookup cost (no hashing, contiguous probes) and iteration
+/// (deterministic order, no buckets). Membership and insertion are
+/// `O(log n)` searches; insertion shifts the tail, which is cheap at
+/// these sizes.
+#[derive(Debug, Clone, Default)]
+pub struct GranuleSet {
+    sorted: Vec<u64>,
+}
+
+impl GranuleSet {
+    /// Creates an empty set.
+    pub fn new() -> GranuleSet {
+        GranuleSet::default()
+    }
+
+    /// Whether `g` is in the set.
+    #[inline]
+    pub fn contains(&self, g: u64) -> bool {
+        self.sorted.binary_search(&g).is_ok()
+    }
+
+    /// Inserts `g`; returns `true` if it was absent.
+    pub fn insert(&mut self, g: u64) -> bool {
+        match self.sorted.binary_search(&g) {
+            Ok(_) => false,
+            Err(i) => {
+                self.sorted.insert(i, g);
+                true
+            }
+        }
+    }
+
+    /// Removes all elements (keeps the allocation).
+    pub fn clear(&mut self) {
+        self.sorted.clear();
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
 
 /// Per-context read/write sets plus the Algorithm 1 checking logic.
 #[derive(Debug, Clone)]
 pub struct ConflictDetector {
-    rd: Vec<HashSet<u64>>,
-    wr: Vec<HashSet<u64>>,
+    rd: Vec<GranuleSet>,
+    wr: Vec<GranuleSet>,
     /// Fault injection for verify builds: drop the first granule from every
     /// write-set insertion (squash checks keep the full granule list). The
     /// lf-verify harness enables this to prove its invariant checks catch
@@ -27,8 +79,8 @@ impl ConflictDetector {
     /// Creates a detector for `contexts` threadlet slots.
     pub fn new(contexts: usize) -> ConflictDetector {
         ConflictDetector {
-            rd: vec![HashSet::new(); contexts],
-            wr: vec![HashSet::new(); contexts],
+            rd: vec![GranuleSet::new(); contexts],
+            wr: vec![GranuleSet::new(); contexts],
             #[cfg(feature = "verify")]
             inject_drop_write_granule: false,
         }
@@ -51,7 +103,7 @@ impl ConflictDetector {
     /// produced by this threadlet's prior writes and are excluded.
     pub fn on_read(&mut self, slot: usize, granules: &[u64]) {
         for &g in granules {
-            if !self.wr[slot].contains(&g) {
+            if !self.wr[slot].contains(g) {
                 self.rd[slot].insert(g);
             }
         }
@@ -71,33 +123,38 @@ impl ConflictDetector {
         };
         #[cfg(not(feature = "verify"))]
         let recorded = granules;
-        self.wr[slot].extend(recorded.iter().copied());
+        for &g in recorded {
+            self.wr[slot].insert(g);
+        }
 
-        let mut fwd: HashSet<u64> = granules.iter().copied().collect();
+        // The forwarding frontier is the handful of granules this write
+        // touches (a memory access spans at most a few), so a plain vector
+        // suffices.
+        let mut fwd: Vec<u64> = granules.to_vec();
         for &t in younger {
             if fwd.is_empty() {
                 break;
             }
-            if fwd.iter().any(|g| self.rd[t].contains(g)) {
+            if fwd.iter().any(|&g| self.rd[t].contains(g)) {
                 // t observed a stale value: squash t (and younger).
                 return Some(t);
             }
             // Granules t has overwritten forward from t, not from us: any
             // later reader should observe t's write, and the check started
             // by t's own write covers it.
-            fwd.retain(|g| !self.wr[t].contains(g));
+            fwd.retain(|&g| !self.wr[t].contains(g));
         }
         None
     }
 
     /// Whether `slot`'s read set contains `granule` (tests/diagnostics).
     pub fn has_read(&self, slot: usize, granule: u64) -> bool {
-        self.rd[slot].contains(&granule)
+        self.rd[slot].contains(granule)
     }
 
     /// Whether `slot`'s write set contains `granule` (tests/diagnostics).
     pub fn has_written(&self, slot: usize, granule: u64) -> bool {
-        self.wr[slot].contains(&granule)
+        self.wr[slot].contains(granule)
     }
 
     /// Read/write set sizes of a slot.
@@ -109,6 +166,39 @@ impl ConflictDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
+
+    /// Property test pinning [`GranuleSet`] to `HashSet<u64>` semantics
+    /// under a random insert/contains/clear schedule.
+    #[test]
+    fn granule_set_matches_hashset() {
+        let mut seed: u64 = 0x6A_5E75;
+        let mut rnd = move |m: u64| {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) % m
+        };
+        for _trial in 0..50 {
+            let mut gs = GranuleSet::new();
+            let mut model: HashSet<u64> = HashSet::new();
+            for _ in 0..300 {
+                let g = rnd(32);
+                match rnd(8) {
+                    0 => {
+                        gs.clear();
+                        model.clear();
+                    }
+                    1..=4 => {
+                        assert_eq!(gs.insert(g), model.insert(g), "insert diverged on {g}");
+                    }
+                    _ => {
+                        assert_eq!(gs.contains(g), model.contains(&g), "contains diverged on {g}");
+                    }
+                }
+                assert_eq!(gs.len(), model.len());
+                assert_eq!(gs.is_empty(), model.is_empty());
+            }
+        }
+    }
 
     #[test]
     fn raw_violation_squashes_reader() {

@@ -4,9 +4,7 @@ use lf_isa::{Inst, RegionId};
 use lf_uarch::bpred::BpLookup;
 use lf_uarch::rename::PhysReg;
 
-/// A globally unique, monotonically increasing dynamic instruction id.
-/// Within a threadlet, uid order is program order.
-pub(crate) type Uid = u64;
+pub(crate) use crate::arena::Uid;
 
 /// An instruction sitting in a fetch queue, with the front end's predictions
 /// and fetch-side hint decisions attached.
@@ -96,9 +94,12 @@ pub(crate) struct DynInst {
 }
 
 impl DynInst {
-    pub fn new(uid: Uid, tid: usize, f: &FetchedInst) -> DynInst {
+    /// Builds the in-flight record for `f`. The identity (`uid`) is
+    /// assigned by [`crate::arena::InstArena::insert`]; until then the
+    /// instruction carries [`Uid::INVALID`].
+    pub fn new(tid: usize, f: &FetchedInst) -> DynInst {
         DynInst {
-            uid,
+            uid: Uid::INVALID,
             tid,
             pc: f.pc,
             inst: f.inst,
@@ -124,19 +125,21 @@ impl DynInst {
             epoch_first_rbw: [None, None],
         }
     }
+}
 
-    /// Whether this instruction requires an execution pipe / IQ entry.
-    pub fn needs_execute(&self) -> bool {
-        use lf_isa::Inst::*;
-        match self.inst {
-            Alu { .. }
-            | Fpu { .. }
-            | MovImm { .. }
-            | Load { .. }
-            | Store { .. }
-            | Branch { .. }
-            | JumpReg { .. } => true,
-            Jump { .. } | Call { .. } | Hint { .. } | Nop | Halt => false,
-        }
+/// Whether an instruction requires an execution pipe / IQ entry. Takes the
+/// raw decoded instruction so rename's resource pre-check can run before
+/// the `DynInst` is built.
+pub(crate) fn inst_needs_execute(inst: &Inst) -> bool {
+    use lf_isa::Inst::*;
+    match inst {
+        Alu { .. }
+        | Fpu { .. }
+        | MovImm { .. }
+        | Load { .. }
+        | Store { .. }
+        | Branch { .. }
+        | JumpReg { .. } => true,
+        Jump { .. } | Call { .. } | Hint { .. } | Nop | Halt => false,
     }
 }

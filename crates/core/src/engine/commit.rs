@@ -37,11 +37,11 @@ impl LoopFrogCore<'_> {
             while budget > 0 {
                 let Some(&uid) = self.ctx[tid].rob.front() else { break };
                 let (completed, faulted, is_store, drained) = {
-                    let d = &self.slab[&uid];
+                    let d = &self.slab[uid];
                     (d.completed, d.faulted, d.inst.is_store(), d.drained)
                 };
                 if faulted && is_arch {
-                    let d = &self.slab[&uid];
+                    let d = &self.slab[uid];
                     return Err(SimError::Fault { pc: d.pc, addr: d.eff_addr.unwrap_or(0) });
                 }
                 if !completed {
@@ -125,7 +125,7 @@ impl LoopFrogCore<'_> {
             let reason = match t.rob.front() {
                 None if t.finished => "stall_retire_wait",
                 None => "stall_frontend",
-                Some(uid) => {
+                Some(&uid) => {
                     let d = &self.slab[uid];
                     if !d.issued {
                         "stall_not_issued"
@@ -144,11 +144,11 @@ impl LoopFrogCore<'_> {
     }
 
     /// Commits one completed instruction to its threadlet.
-    fn commit_one(&mut self, tid: usize, uid: u64, is_arch: bool) {
+    fn commit_one(&mut self, tid: usize, uid: crate::dyninst::Uid, is_arch: bool) {
         let front = self.ctx[tid].rob.pop_front();
         debug_assert_eq!(front, Some(uid));
         self.rob_occupancy -= 1;
-        let d = self.slab.remove(&uid).expect("committing live instruction");
+        let d = self.slab.remove(uid).expect("committing live instruction");
         if let Some(dst) = d.dst {
             self.prf.release(dst.old);
         }
@@ -178,7 +178,7 @@ impl LoopFrogCore<'_> {
             self.emit(crate::trace::TraceEvent::Commit {
                 cycle: self.cycle,
                 tid,
-                uid,
+                uid: uid.seq(),
                 pc: d.pc,
                 architectural: is_arch,
             });
@@ -249,11 +249,11 @@ impl LoopFrogCore<'_> {
     fn drain_store(
         &mut self,
         tid: usize,
-        uid: u64,
+        uid: crate::dyninst::Uid,
         is_arch: bool,
     ) -> Result<DrainOutcome, SimError> {
         let (pc, addr, len, data) = {
-            let d = &self.slab[&uid];
+            let d = &self.slab[uid];
             let len = match d.inst {
                 Inst::Store { size, .. } => size.bytes(),
                 _ => unreachable!("drain of non-store"),
@@ -320,7 +320,7 @@ impl LoopFrogCore<'_> {
         }
         #[cfg(feature = "verify")]
         self.verify_store_granules(tid, &granules);
-        if let Some(d) = self.slab.get_mut(&uid) {
+        if let Some(d) = self.slab.get_mut(uid) {
             d.drained = true;
             d.completed = true;
         }
@@ -464,9 +464,9 @@ impl LoopFrogCore<'_> {
                         .rob
                         .iter()
                         .copied()
-                        .find(|u| self.slab[u].dst.is_some_and(|dst| dst.arch == a))
+                        .find(|&u| self.slab[u].dst.is_some_and(|dst| dst.arch == a))
                         .expect("renamed write is in flight");
-                    let d = self.slab.get_mut(&oldest).expect("live");
+                    let d = self.slab.get_mut(oldest).expect("live");
                     let dst = d.dst.as_mut().expect("writer has a destination");
                     self.prf.add_ref(pp);
                     let prev = std::mem::replace(&mut dst.old, pp);

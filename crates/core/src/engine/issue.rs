@@ -7,8 +7,29 @@
 //! (architectural threadlet); branch resolution happens at completion.
 
 use super::LoopFrogCore;
+use crate::dyninst::Uid;
 use lf_isa::{emu, Inst, MemSize};
-use lf_uarch::{AccessKind, IssueQueue};
+use lf_uarch::{AccessKind, IssueQueue, PhysReg};
+
+/// The `Copy` subset of a [`crate::dyninst::DynInst`] that the issue path
+/// reads. Extracted up front so an issue *attempt* — the IQ re-offers every
+/// ready entry each cycle until its structural hazard clears — costs one
+/// arena lookup and a small register-sized copy instead of a full `DynInst`
+/// clone (which heap-allocates for `iv_capture`).
+#[derive(Clone, Copy)]
+struct IssueView {
+    uid: Uid,
+    tid: usize,
+    pc: usize,
+    inst: Inst,
+    srcs: [Option<PhysReg>; 2],
+}
+
+impl IssueView {
+    fn of(d: &crate::dyninst::DynInst) -> IssueView {
+        IssueView { uid: d.uid, tid: d.tid, pc: d.pc, inst: d.inst, srcs: d.srcs }
+    }
+}
 
 impl LoopFrogCore<'_> {
     /// Issues ready instructions up to the aggregate execution bandwidth.
@@ -23,87 +44,86 @@ impl LoopFrogCore<'_> {
     }
 
     /// Attempts to issue one instruction; `false` leaves it in the queue.
-    fn try_issue_one(&mut self, uid: u64) -> bool {
-        let d = self.slab.get(&uid).expect("IQ entries are live").clone();
-        debug_assert!(!d.issued);
+    fn try_issue_one(&mut self, uid: Uid) -> bool {
+        let v = IssueView::of(self.slab.get(uid).expect("IQ entries are live"));
+        debug_assert!(!self.slab[uid].issued);
 
         // Loads must pass memory disambiguation before claiming a pipe.
-        if d.inst.is_load() && !self.load_can_issue(&d) {
+        if v.inst.is_load() && !self.load_can_issue(v) {
             return false;
         }
 
-        let class = d.inst.fu_class();
-        let latency = d.inst.exec_latency();
+        let class = v.inst.fu_class();
+        let latency = v.inst.exec_latency();
         if !self.fu.try_issue(class, self.cycle, latency) {
             return false;
         }
 
-        let read = |core: &Self, p: Option<lf_uarch::PhysReg>| -> u64 {
-            p.map(|p| core.prf.read(p)).unwrap_or(0)
-        };
+        let read =
+            |core: &Self, p: Option<PhysReg>| -> u64 { p.map(|p| core.prf.read(p)).unwrap_or(0) };
 
         let mut complete_at = self.cycle + latency;
         let mut result = 0u64;
-        let mut actual_next = d.pc + 1;
-        match d.inst {
+        let mut actual_next = v.pc + 1;
+        match v.inst {
             Inst::Alu { op, a: _, b, .. } => {
-                let av = read(self, d.srcs[0]);
+                let av = read(self, v.srcs[0]);
                 let bv = match b {
-                    lf_isa::Operand::Reg(_) => read(self, d.srcs[1]),
+                    lf_isa::Operand::Reg(_) => read(self, v.srcs[1]),
                     lf_isa::Operand::Imm(i) => i as u64,
                 };
                 result = emu::eval_alu(op, av, bv);
             }
             Inst::Fpu { op, .. } => {
-                result = emu::eval_fpu(op, read(self, d.srcs[0]), read(self, d.srcs[1]));
+                result = emu::eval_fpu(op, read(self, v.srcs[0]), read(self, v.srcs[1]));
             }
             Inst::MovImm { imm, .. } => result = imm as u64,
             Inst::Branch { cond, target, .. } => {
-                let taken = emu::eval_branch(cond, read(self, d.srcs[0]), read(self, d.srcs[1]));
-                actual_next = if taken { target } else { d.pc + 1 };
+                let taken = emu::eval_branch(cond, read(self, v.srcs[0]), read(self, v.srcs[1]));
+                actual_next = if taken { target } else { v.pc + 1 };
             }
             Inst::JumpReg { .. } => {
-                actual_next = read(self, d.srcs[0]) as usize;
+                actual_next = read(self, v.srcs[0]) as usize;
             }
             Inst::Load { offset, size, signed, .. } => {
-                let addr = read(self, d.srcs[0]).wrapping_add(offset as u64);
-                match self.execute_load(&d, addr, size) {
+                let addr = read(self, v.srcs[0]).wrapping_add(offset as u64);
+                match self.execute_load(v, addr, size) {
                     LoadOutcome::Value { value, ready } => {
                         result = emu::extend_load(value, size, signed);
                         complete_at = ready;
                     }
                     LoadOutcome::Fault => {
-                        let e = self.slab.get_mut(&uid).expect("live");
+                        let e = self.slab.get_mut(uid).expect("live");
                         e.issued = true;
                         e.eff_addr = Some(addr);
                         e.faulted = true;
                         return true; // leaves the IQ; never completes
                     }
                 }
-                self.slab.get_mut(&uid).expect("live").eff_addr = Some(addr);
+                self.slab.get_mut(uid).expect("live").eff_addr = Some(addr);
             }
             Inst::Store { offset, size, .. } => {
                 // Sources: [base, data].
-                let addr = read(self, d.srcs[0]).wrapping_add(offset as u64);
-                let data = read(self, d.srcs[1]);
-                let e = self.slab.get_mut(&uid).expect("live");
+                let addr = read(self, v.srcs[0]).wrapping_add(offset as u64);
+                let data = read(self, v.srcs[1]);
+                let e = self.slab.get_mut(uid).expect("live");
                 e.eff_addr = Some(addr);
                 e.store_data = data;
                 if addr.checked_add(size.bytes()).is_none_or(|end| end > self.mem.len() as u64) {
-                    let e = self.slab.get_mut(&uid).expect("live");
+                    let e = self.slab.get_mut(uid).expect("live");
                     e.issued = true;
                     e.faulted = true;
                     return true;
                 }
             }
-            _ => unreachable!("non-executing instruction in IQ: {:?}", d.inst),
+            _ => unreachable!("non-executing instruction in IQ: {:?}", v.inst),
         }
 
-        let e = self.slab.get_mut(&uid).expect("live");
+        let e = self.slab.get_mut(uid).expect("live");
         e.issued = true;
         e.result = result;
         e.actual_next = actual_next;
-        self.completions.entry(complete_at.max(self.cycle + 1)).or_default().push(uid);
+        self.completions.schedule(complete_at.max(self.cycle + 1), uid);
         true
     }
 
@@ -111,31 +131,31 @@ impl LoopFrogCore<'_> {
     /// the same threadlet must have a known address; a fully containing
     /// older store forwards; any partial overlap delays the load until the
     /// store drains.
-    fn load_can_issue(&self, d: &crate::dyninst::DynInst) -> bool {
-        let t = &self.ctx[d.tid];
+    fn load_can_issue(&self, v: IssueView) -> bool {
+        let t = &self.ctx[v.tid];
         for &suid in t.sq.iter().rev() {
-            if suid >= d.uid {
+            if suid >= v.uid {
                 continue;
             }
-            let s = &self.slab[&suid];
+            let s = &self.slab[suid];
             if !s.issued {
                 return false; // unknown store address
             }
         }
         // Addresses all known; check for partial overlaps (full containment
         // is handled as forwarding inside execute_load).
-        let (addr, len) = match d.inst {
+        let (addr, len) = match v.inst {
             Inst::Load { offset, size, .. } => {
-                let base = d.srcs[0].map(|p| self.prf.read(p)).unwrap_or(0);
+                let base = v.srcs[0].map(|p| self.prf.read(p)).unwrap_or(0);
                 (base.wrapping_add(offset as u64), size.bytes())
             }
             _ => unreachable!(),
         };
         for &suid in t.sq.iter().rev() {
-            if suid >= d.uid {
+            if suid >= v.uid {
                 continue;
             }
-            let s = &self.slab[&suid];
+            let s = &self.slab[suid];
             if s.drained || s.faulted {
                 continue;
             }
@@ -154,21 +174,16 @@ impl LoopFrogCore<'_> {
 
     /// Executes a load's data access: own-SQ forwarding, then SSB + L1D
     /// (speculative) or L1D (architectural).
-    fn execute_load(
-        &mut self,
-        d: &crate::dyninst::DynInst,
-        addr: u64,
-        size: MemSize,
-    ) -> LoadOutcome {
+    fn execute_load(&mut self, v: IssueView, addr: u64, size: MemSize) -> LoadOutcome {
         let len = size.bytes();
 
         // Store-to-load forwarding from the youngest containing older store.
-        let t = &self.ctx[d.tid];
+        let t = &self.ctx[v.tid];
         for &suid in t.sq.iter().rev() {
-            if suid >= d.uid {
+            if suid >= v.uid {
                 continue;
             }
-            let s = &self.slab[&suid];
+            let s = &self.slab[suid];
             if s.drained || s.faulted {
                 continue;
             }
@@ -190,29 +205,29 @@ impl LoopFrogCore<'_> {
             return LoadOutcome::Fault;
         }
         let granules = self.ssb.granules_of(addr, len);
-        let is_arch = self.arch_tid() == d.tid;
+        let is_arch = self.arch_tid() == v.tid;
         if is_arch {
             // Dispatched directly to the L1D, but still updates the
             // conflict detector (§4, "they still update the conflict
             // detector").
-            let ready = self.hier.access_data(d.pc as u64, addr, AccessKind::Load, self.cycle);
-            self.conflict.on_read(d.tid, &granules);
+            let ready = self.hier.access_data(v.pc as u64, addr, AccessKind::Load, self.cycle);
+            self.conflict.on_read(v.tid, &granules);
             #[cfg(feature = "verify")]
-            self.verify_load_granules(d.tid, &granules);
+            self.verify_load_granules(v.tid, &granules);
             let value = self.mem.read(addr, len).expect("bounds checked");
             LoadOutcome::Value { value, ready }
         } else {
             // SSB lookup in parallel with the L1D (paper: 3-cycle reads
             // including the L1D lookup). The L1D access also models the
             // prefetching side effect of (possibly failed) speculation.
-            let order = self.slice_order(d.tid);
+            let order = self.slice_order(v.tid);
             let (bytes, all_ssb) = self.ssb.read(order.as_slice(), addr, len, &self.mem);
-            let l1d_ready = self.hier.access_data(d.pc as u64, addr, AccessKind::Load, self.cycle);
+            let l1d_ready = self.hier.access_data(v.pc as u64, addr, AccessKind::Load, self.cycle);
             let ssb_ready = self.cycle + self.cfg.ssb.read_latency;
             let ready = if all_ssb { ssb_ready } else { ssb_ready.max(l1d_ready) };
-            self.conflict.on_read(d.tid, &granules);
+            self.conflict.on_read(v.tid, &granules);
             #[cfg(feature = "verify")]
-            self.verify_load_granules(d.tid, &granules);
+            self.verify_load_granules(v.tid, &granules);
             let mut buf = [0u8; 8];
             buf[..len as usize].copy_from_slice(&bytes);
             LoadOutcome::Value { value: u64::from_le_bytes(buf), ready }
@@ -222,13 +237,15 @@ impl LoopFrogCore<'_> {
     /// Processes completion events scheduled for the current cycle: writes
     /// results, wakes consumers, and resolves control flow.
     pub(super) fn do_writeback(&mut self) {
-        let Some(uids) = self.completions.remove(&self.cycle) else { return };
-        for uid in uids {
-            if !self.slab.contains_key(&uid) {
+        let mut uids = std::mem::take(&mut self.wb_scratch);
+        debug_assert!(uids.is_empty());
+        self.completions.drain_due(self.cycle, &mut uids);
+        for &uid in &uids {
+            if !self.slab.contains(uid) {
                 continue; // squashed while in flight
             }
             let (tid, dst, result) = {
-                let d = self.slab.get_mut(&uid).expect("checked");
+                let d = self.slab.get_mut(uid).expect("checked");
                 d.completed = true;
                 (d.tid, d.dst, d.result)
             };
@@ -236,34 +253,38 @@ impl LoopFrogCore<'_> {
                 self.prf.write(dst.new, result);
                 self.iq.wakeup(dst.new);
             }
-            let d = self.slab.get(&uid).expect("checked").clone();
-            match d.inst {
+            let d = &self.slab[uid];
+            let (inst, bp, pc, pred_next, actual_next) =
+                (d.inst, d.bp, d.pc, d.pred_next, d.actual_next);
+            match inst {
                 Inst::Branch { .. } => {
                     self.stats.branches += 1;
-                    let lookup = d.bp.expect("branches carry predictor state");
-                    let taken = d.actual_next != d.pc + 1;
-                    self.bpred.update_branch(tid, d.pc as u64, lookup, taken);
-                    if d.actual_next != d.pred_next {
+                    let lookup = bp.expect("branches carry predictor state");
+                    let taken = actual_next != pc + 1;
+                    self.bpred.update_branch(tid, pc as u64, lookup, taken);
+                    if actual_next != pred_next {
                         self.stats.branch_mispredicts += 1;
                         self.recover_from_mispredict(tid, uid);
                     }
                 }
                 Inst::JumpReg { .. } => {
-                    self.bpred.update_target(d.pc as u64, d.actual_next);
-                    if d.actual_next != d.pred_next || self.ctx[tid].fetch_stalled_indirect {
+                    self.bpred.update_target(pc as u64, actual_next);
+                    if actual_next != pred_next || self.ctx[tid].fetch_stalled_indirect {
                         self.recover_from_mispredict(tid, uid);
                     }
                 }
                 _ => {}
             }
         }
+        uids.clear();
+        self.wb_scratch = uids;
     }
 
     /// Redirects fetch and squashes the wrong path after a mispredicted
     /// control instruction `uid` in threadlet `tid`.
-    fn recover_from_mispredict(&mut self, tid: usize, uid: u64) {
+    fn recover_from_mispredict(&mut self, tid: usize, uid: Uid) {
         if self.observing() {
-            let d = &self.slab[&uid];
+            let d = &self.slab[uid];
             self.emit(crate::trace::TraceEvent::Mispredict {
                 cycle: self.cycle,
                 tid,
@@ -276,7 +297,7 @@ impl LoopFrogCore<'_> {
             self.recovery_until =
                 self.recovery_until.max(self.cycle + self.cfg.core.frontend_latency);
         }
-        let d = &self.slab[&uid];
+        let d = &self.slab[uid];
         let (region, iters) = d.region_after;
         let next = d.actual_next;
         let t = &mut self.ctx[tid];

@@ -22,21 +22,23 @@ mod tests;
 #[cfg(feature = "verify")]
 mod verify_checks;
 
+use crate::arena::InstArena;
 use crate::bloom::BloomConflictDetector;
 use crate::config::LoopFrogConfig;
 use crate::conflict::ConflictDetector;
 use crate::deselect::Deselector;
-use crate::dyninst::{DynInst, Uid};
+use crate::dyninst::Uid;
 use crate::packing::PackingPredictors;
 use crate::ssb::Ssb;
 use crate::stats::{SimResult, SimStats, SimStop};
-use crate::telemetry::{CycleBucket, IntervalSample, Telemetry};
+use crate::telemetry::{CycleBucket, IntervalSample, IntervalSampler, Telemetry};
 use crate::threadlet::{CtxState, Threadlet};
 use crate::trace::{TraceEvent, Tracer};
+use crate::wheel::CompletionWheel;
 use lf_isa::{Memory, Program, NUM_ARCH_REGS};
 use lf_uarch::rename::RenameMap;
 use lf_uarch::{BranchPredictor, FuPools, IssueQueue, MemHierarchy, PhysRegFile};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Errors terminating a simulation abnormally.
@@ -138,7 +140,7 @@ pub struct LoopFrogCore<'p> {
     pub(crate) hier: MemHierarchy,
     pub(crate) bpred: BranchPredictor,
     pub(crate) prf: PhysRegFile,
-    pub(crate) iq: IssueQueue,
+    pub(crate) iq: IssueQueue<Uid>,
     pub(crate) fu: FuPools,
     pub(crate) ssb: Ssb,
     pub(crate) conflict: ConflictSets,
@@ -148,10 +150,11 @@ pub struct LoopFrogCore<'p> {
     pub(crate) ctx: Vec<Threadlet>,
     /// Active contexts, oldest (architectural) first.
     pub(crate) order: VecDeque<usize>,
-    pub(crate) slab: HashMap<Uid, DynInst>,
-    pub(crate) completions: BTreeMap<u64, Vec<Uid>>,
+    pub(crate) slab: InstArena,
+    pub(crate) completions: CompletionWheel,
+    /// Reused per-cycle scratch for writeback's completion drain.
+    pub(crate) wb_scratch: Vec<Uid>,
 
-    pub(crate) next_uid: Uid,
     pub(crate) cycle: u64,
     pub(crate) rob_occupancy: usize,
     pub(crate) lq_occupancy: usize,
@@ -259,9 +262,9 @@ impl<'p> LoopFrogCore<'p> {
             deselect: Deselector::new(&cfg.deselect),
             ctx,
             order,
-            slab: HashMap::new(),
-            completions: BTreeMap::new(),
-            next_uid: 1,
+            slab: InstArena::new(),
+            completions: CompletionWheel::new(),
+            wb_scratch: Vec::new(),
             cycle: 0,
             rob_occupancy: 0,
             lq_occupancy: 0,
@@ -411,7 +414,7 @@ impl<'p> LoopFrogCore<'p> {
         match t.rob.front() {
             None if t.finished => CycleBucket::RetireWait,
             None => CycleBucket::FetchStall,
-            Some(uid) => {
+            Some(&uid) => {
                 let d = &self.slab[uid];
                 if !d.issued {
                     // The head cannot issue: blame observed structural
@@ -493,6 +496,10 @@ impl<'p> LoopFrogCore<'p> {
         self.stats.committed_insts
     }
 
+    /// Assembles the [`SimResult`], *moving* the accumulated statistics
+    /// and telemetry out of the core (they can be megabytes of interval
+    /// samples and trace events; cloning them doubled peak memory). The
+    /// core is drained afterwards: callers get results exactly once.
     fn finish(&mut self, stop: SimStop) -> SimResult {
         #[cfg(feature = "verify")]
         self.verify_finish();
@@ -511,7 +518,17 @@ impl<'p> LoopFrogCore<'p> {
             })
             .collect();
         let checksum = lf_isa::checksum::fnv1a_u64(&final_regs) ^ self.mem.checksum();
-        let mut stats = self.stats.clone();
+
+        // Close out the sampler while `self.stats` is still live (the final
+        // partial interval snapshots the cumulative counters), then move
+        // the statistics out.
+        if self.telem.sampler.is_some() {
+            let sample = self.interval_sample();
+            if let Some(s) = &mut self.telem.sampler {
+                s.finish(sample.cycle, sample);
+            }
+        }
+        let mut stats = std::mem::replace(&mut self.stats, SimStats::new(self.ctx.len()));
         stats.counters.merge(self.hier.counters());
         let [(l1i_a, l1i_m), (l1d_a, l1d_m), (l2_a, l2_m)] = self.hier.cache_stats();
         for (k, v) in [
@@ -528,29 +545,24 @@ impl<'p> LoopFrogCore<'p> {
             stats.counters.add(k, v);
         }
 
-        // Close out the telemetry: final partial interval, registry dump.
-        if self.telem.sampler.is_some() {
-            let sample = self.interval_sample();
-            if let Some(s) = &mut self.telem.sampler {
-                s.finish(sample.cycle, sample);
-            }
-        }
-        let accounting = self.telem.accounting.clone();
+        // The registry reads the accounting and histograms, so build it
+        // before the telemetry is moved out.
+        let registry = crate::telemetry::build_registry(&stats, &self.telem, &self.cfg);
+        let accounting = std::mem::take(&mut self.telem.accounting);
         let intervals =
-            self.telem.sampler.as_ref().map(|s| s.samples().to_vec()).unwrap_or_default();
+            self.telem.sampler.take().map(IntervalSampler::into_samples).unwrap_or_default();
         // A run stopped mid-flight (cycle cap or deadline) reports the
         // *live* event window — what the pipeline was doing when time ran
         // out; normal completions keep the pre-squash capture.
         let flight_recorder = self
             .telem
             .recorder
-            .as_ref()
+            .take()
             .map(|r| match stop {
                 SimStop::MaxCycles | SimStop::Deadline => r.live_window(),
-                _ => r.pre_squash().to_vec(),
+                _ => r.into_pre_squash(),
             })
             .unwrap_or_default();
-        let registry = crate::telemetry::build_registry(&stats, &self.telem, &self.cfg);
 
         SimResult {
             stop,
@@ -635,7 +647,7 @@ impl<'p> LoopFrogCore<'p> {
             self.sq_occupancy
         );
         for (i, t) in self.ctx.iter().enumerate() {
-            let head = t.rob.front().map(|u| {
+            let head = t.rob.front().map(|&u| {
                 let d = &self.slab[u];
                 format!(
                     "pc{} {:?} issued={} completed={} drained={} faulted={}",
@@ -648,13 +660,6 @@ impl<'p> LoopFrogCore<'p> {
                 t.fetch_pc, t.fetch_ready, t.ren_region, t.ren_iters, t.rob.len(), head);
         }
         out
-    }
-
-    /// Allocates a fresh uid.
-    pub(crate) fn alloc_uid(&mut self) -> Uid {
-        let u = self.next_uid;
-        self.next_uid += 1;
-        u
     }
 
     /// Finds a free threadlet context whose SSB slice has finished flushing.

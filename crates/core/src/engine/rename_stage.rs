@@ -51,8 +51,8 @@ impl LoopFrogCore<'_> {
         if needs_def && self.prf.free_count() < prf_res {
             return false;
         }
-        let uid_probe = DynInst::new(0, tid, &f);
-        if uid_probe.needs_execute() && self.iq.len() + win_res >= self.cfg.core.iq_size {
+        let needs_exec = crate::dyninst::inst_needs_execute(&f.inst);
+        if needs_exec && self.iq.len() + win_res >= self.cfg.core.iq_size {
             self.rename_stall.iq = true;
             return false;
         }
@@ -65,9 +65,8 @@ impl LoopFrogCore<'_> {
             return false;
         }
 
-        let uid = self.alloc_uid();
         self.ctx[tid].fetch_queue.pop_front();
-        let mut d = DynInst::new(uid, tid, &f);
+        let mut d = DynInst::new(tid, &f);
 
         // --- register rename ---
         {
@@ -147,10 +146,15 @@ impl LoopFrogCore<'_> {
         d.region_after = (self.ctx[tid].ren_region, self.ctx[tid].ren_iters);
 
         // --- window allocation ---
-        if !d.needs_execute() {
+        if !needs_exec {
             d.completed = true;
-        } else {
-            let inserted = self.iq.insert(uid, tid, d.srcs, &self.prf);
+        }
+        let srcs = d.srcs;
+        // The arena insert assigns the instruction's identity (uid); the
+        // sequence is monotonic, so allocation order stays program order.
+        let uid = self.slab.insert(d);
+        if needs_exec {
+            let inserted = self.iq.insert(uid, tid, srcs, &self.prf);
             debug_assert!(inserted, "IQ fullness checked above");
         }
         if f.inst.is_load() {
@@ -163,13 +167,12 @@ impl LoopFrogCore<'_> {
         }
         self.ctx[tid].rob.push_back(uid);
         self.rob_occupancy += 1;
-        self.slab.insert(uid, d);
         self.stats.renamed_insts += 1;
         if self.observing() {
             self.emit(crate::trace::TraceEvent::Rename {
                 cycle: self.cycle,
                 tid,
-                uid,
+                uid: uid.seq(),
                 pc: f.pc,
                 inst: f.inst,
             });

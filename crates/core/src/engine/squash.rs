@@ -15,7 +15,11 @@ impl LoopFrogCore<'_> {
     /// Squashes all instructions of threadlet `tid` younger than `from_uid`
     /// (exclusive), walking the rename map back and discarding any threadlet
     /// spawned by a squashed detach.
-    pub(crate) fn squash_younger_in_threadlet(&mut self, tid: usize, from_uid: u64) {
+    pub(crate) fn squash_younger_in_threadlet(
+        &mut self,
+        tid: usize,
+        from_uid: crate::dyninst::Uid,
+    ) {
         let mut spawned_victims = Vec::new();
         while let Some(&tail) = self.ctx[tid].rob.back() {
             if tail <= from_uid {
@@ -23,7 +27,7 @@ impl LoopFrogCore<'_> {
             }
             self.ctx[tid].rob.pop_back();
             self.rob_occupancy -= 1;
-            let d = self.slab.remove(&tail).expect("squashing live instruction");
+            let d = self.slab.remove(tail).expect("squashing live instruction");
             if let Some(dst) = d.dst {
                 // Restore the previous mapping; the map's reference to the
                 // new register dies here.
@@ -119,7 +123,7 @@ impl LoopFrogCore<'_> {
         self.iq.squash(|_, t| t == tid);
         while let Some(uid) = self.ctx[tid].rob.pop_front() {
             self.rob_occupancy -= 1;
-            let d = self.slab.remove(&uid).expect("live");
+            let d = self.slab.remove(uid).expect("live");
             if let Some(dst) = d.dst {
                 self.prf.release(dst.old);
             }

@@ -57,6 +57,7 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 pub mod bloom;
 pub mod config;
 pub mod conflict;
@@ -71,6 +72,7 @@ mod threadlet;
 pub mod trace;
 #[cfg(feature = "verify")]
 pub mod verify;
+mod wheel;
 
 pub use config::{LoopFrogConfig, PackingConfig, SsbConfig};
 pub use deselect::DeselectConfig;

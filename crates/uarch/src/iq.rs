@@ -7,6 +7,7 @@
 
 use crate::rename::{PhysReg, PhysRegFile};
 use std::collections::{BTreeMap, HashMap};
+use std::fmt::Debug;
 
 #[derive(Debug, Clone)]
 struct Entry {
@@ -15,17 +16,18 @@ struct Entry {
     waiting: u8, // number of not-ready sources
 }
 
-/// The shared issue queue.
+/// The shared issue queue, keyed by the core's instruction-id type `K`
+/// (age order must equal `Ord` order for oldest-first selection).
 #[derive(Debug, Clone)]
-pub struct IssueQueue {
+pub struct IssueQueue<K: Copy + Ord + Debug = u64> {
     capacity: usize,
-    entries: BTreeMap<u64, Entry>,
-    waiters: HashMap<PhysReg, Vec<u64>>,
+    entries: BTreeMap<K, Entry>,
+    waiters: HashMap<PhysReg, Vec<K>>,
 }
 
-impl IssueQueue {
+impl<K: Copy + Ord + Debug> IssueQueue<K> {
     /// Creates a queue holding up to `capacity` instructions.
-    pub fn new(capacity: usize) -> IssueQueue {
+    pub fn new(capacity: usize) -> IssueQueue<K> {
         IssueQueue { capacity, entries: BTreeMap::new(), waiters: HashMap::new() }
     }
 
@@ -53,7 +55,7 @@ impl IssueQueue {
     /// Panics if `uid` is already present.
     pub fn insert(
         &mut self,
-        uid: u64,
+        uid: K,
         tid: usize,
         srcs: [Option<PhysReg>; 2],
         prf: &PhysRegFile,
@@ -69,7 +71,7 @@ impl IssueQueue {
             }
         }
         let prev = self.entries.insert(uid, Entry { tid, srcs, waiting });
-        assert!(prev.is_none(), "duplicate uid {uid} in issue queue");
+        assert!(prev.is_none(), "duplicate uid {uid:?} in issue queue");
         true
     }
 
@@ -90,7 +92,7 @@ impl IssueQueue {
     /// returns `true` to accept (the entry is removed) or `false` on a
     /// structural hazard (the entry stays). Stops after `max` acceptances.
     /// Returns the number issued.
-    pub fn select(&mut self, max: usize, mut issue: impl FnMut(u64, usize) -> bool) -> usize {
+    pub fn select(&mut self, max: usize, mut issue: impl FnMut(K, usize) -> bool) -> usize {
         let mut taken = Vec::new();
         let mut n = 0;
         for (&uid, e) in self.entries.iter() {
@@ -109,7 +111,7 @@ impl IssueQueue {
     }
 
     /// Removes every entry for which `pred(uid, tid)` holds (squash).
-    pub fn squash(&mut self, pred: impl Fn(u64, usize) -> bool) {
+    pub fn squash(&mut self, pred: impl Fn(K, usize) -> bool) {
         self.entries.retain(|&uid, e| !pred(uid, e.tid));
     }
 }
