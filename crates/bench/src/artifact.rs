@@ -21,7 +21,12 @@ use std::path::Path;
 ///
 /// v2: unified experiment engine — artifacts gain a `planner` section and
 /// kernel records are rendered from memoized [`crate::RunOutcome`]s.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: observability — [`loopfrog::SimStats`] gains structure-occupancy
+/// counters (`arena_high_water`, `wheel_overflow_hits`,
+/// `conflict_probes`), so cached registry dumps change shape; the planner
+/// section gains a `run_wall_us` timing summary.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Builder for one experiment's JSON artifact.
 #[derive(Debug, Clone)]

@@ -7,6 +7,11 @@
 //! lf-bench run --all [options]
 //! lf-bench perf [--scale smoke|eval] [--reps N] [--label TEXT]
 //!               [--json [DIR]] [--warn-regression PCT]
+//! lf-bench profile [--scale smoke|eval] [--reps N] [--json [DIR]]
+//! lf-bench trace <kernel> [--scale smoke|eval] [--config base|lf]
+//!                [--konata PATH] [--text PATH|-] [--cycles LO:HI]
+//!                [--tid N] [--kinds a,b,...]
+//!                [--dump-flight-recorder PATH]
 //!
 //! options:
 //!   --scale smoke|eval   workload scale (default smoke)
@@ -26,6 +31,8 @@
 //!   --inject-fault SPEC  deterministic fault injection (repeatable):
 //!                        panic:<rate> | hang:<fingerprint|rate> |
 //!                        corrupt-cache:<rate>
+//!   --trace-out PATH     (run) export campaign spans as Chrome
+//!                        trace-event JSON (Perfetto-loadable)
 //! ```
 //!
 //! Every `run` writes a failure report (`failures.json`, empty on a clean
@@ -68,21 +75,31 @@ struct Cli {
     label: Option<String>,
     /// `perf`: regression-warning threshold as a fraction.
     warn_frac: f64,
+    /// `run`: export campaign spans as Chrome trace-event JSON here.
+    trace_out: Option<PathBuf>,
+    /// `trace`: sink and filter options.
+    trace: crate::tracecmd::TraceOptions,
 }
 
 enum Command {
     List,
     Run { names: Vec<String>, all: bool },
     Perf,
+    Profile,
+    Trace,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lf-bench <list|run|perf> [scenario...] [--all] [--scale smoke|eval] [-j N]\n\
-         \x20                [--filter SUBSTR] [--no-cache] [--cache-dir DIR] [--json [DIR]]\n\
-         \x20                [--assert-dedup] [--budget-cycles N] [--deadline-secs N]\n\
-         \x20                [--resume [FILE]] [--inject-fault SPEC]...\n\
-         \x20                [--reps N] [--label TEXT] [--warn-regression PCT]  (perf)"
+        "usage: lf-bench <list|run|perf|profile|trace> [scenario...|kernel] [--all]\n\
+         \x20                [--scale smoke|eval] [-j N] [--filter SUBSTR] [--no-cache]\n\
+         \x20                [--cache-dir DIR] [--json [DIR]] [--assert-dedup]\n\
+         \x20                [--budget-cycles N] [--deadline-secs N] [--resume [FILE]]\n\
+         \x20                [--inject-fault SPEC]... [--trace-out PATH]\n\
+         \x20                [--reps N] [--label TEXT] [--warn-regression PCT]  (perf)\n\
+         \x20                [--config base|lf] [--konata PATH] [--text PATH|-]\n\
+         \x20                [--cycles LO:HI] [--tid N] [--kinds a,b,...]\n\
+         \x20                [--dump-flight-recorder PATH]  (trace)"
     );
     std::process::exit(2);
 }
@@ -104,6 +121,18 @@ fn parse(args: &[String]) -> Cli {
         reps: 3,
         label: None,
         warn_frac: 0.15,
+        trace_out: None,
+        trace: crate::tracecmd::TraceOptions {
+            kernel: String::new(),
+            scale: Scale::Smoke,
+            config: crate::tracecmd::TraceConfig::Lf,
+            konata: None,
+            text: None,
+            dump_flight_recorder: None,
+            cycles: None,
+            tid: None,
+            kinds: None,
+        },
     };
     let mut names = Vec::new();
     let mut all = false;
@@ -125,6 +154,8 @@ fn parse(args: &[String]) -> Cli {
             "list" | "--list" if command.is_none() => command = Some("list"),
             "run" if command.is_none() => command = Some("run"),
             "perf" if command.is_none() => command = Some("perf"),
+            "profile" if command.is_none() => command = Some("profile"),
+            "trace" if command.is_none() => command = Some("trace"),
             "--reps" => {
                 let v = value("a repetition count");
                 cli.reps = match v.parse::<usize>() {
@@ -210,6 +241,52 @@ fn parse(args: &[String]) -> Cli {
                     std::process::exit(2);
                 }
             }
+            "--trace-out" => cli.trace_out = Some(PathBuf::from(value("an output path"))),
+            "--config" => {
+                cli.trace.config = match value("`base` or `lf`").as_str() {
+                    "base" => crate::tracecmd::TraceConfig::Base,
+                    "lf" => crate::tracecmd::TraceConfig::Lf,
+                    other => {
+                        eprintln!("error: --config expects `base` or `lf`, got {other}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--konata" => cli.trace.konata = Some(PathBuf::from(value("an output path"))),
+            "--text" => cli.trace.text = Some(PathBuf::from(value("an output path (or -)"))),
+            "--dump-flight-recorder" => {
+                cli.trace.dump_flight_recorder = Some(PathBuf::from(value("an output path")))
+            }
+            "--cycles" => {
+                let v = value("a cycle range LO:HI");
+                cli.trace.cycles = match crate::tracecmd::parse_cycle_range(&v) {
+                    Ok(r) => Some(r),
+                    Err(e) => {
+                        eprintln!("error: --cycles: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--tid" => {
+                let v = value("a threadlet id");
+                cli.trace.tid = match v.parse::<usize>() {
+                    Ok(n) => Some(n),
+                    _ => {
+                        eprintln!("error: --tid expects an integer, got {v}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--kinds" => {
+                let v = value("a comma-separated kind list");
+                cli.trace.kinds = match crate::tracecmd::parse_kinds(&v) {
+                    Ok(k) => Some(k),
+                    Err(e) => {
+                        eprintln!("error: --kinds: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--resume" => {
                 // Like --json, the FILE operand is optional.
                 match args.get(i + 1) {
@@ -223,6 +300,12 @@ fn parse(args: &[String]) -> Cli {
             name if !name.starts_with('-') && command == Some("run") => {
                 names.push(name.to_string())
             }
+            name if !name.starts_with('-')
+                && command == Some("trace")
+                && cli.trace.kernel.is_empty() =>
+            {
+                cli.trace.kernel = name.to_string()
+            }
             _ => {
                 eprintln!("error: unrecognized argument {arg}");
                 usage();
@@ -233,9 +316,18 @@ fn parse(args: &[String]) -> Cli {
     match command {
         Some("run") => cli.command = Command::Run { names, all },
         Some("perf") => cli.command = Command::Perf,
+        Some("profile") => cli.command = Command::Profile,
+        Some("trace") => {
+            if cli.trace.kernel.is_empty() {
+                eprintln!("error: `trace` expects a kernel name");
+                usage();
+            }
+            cli.command = Command::Trace;
+        }
         Some(_) => cli.command = Command::List,
         None => usage(),
     }
+    cli.trace.scale = cli.scale;
     cli
 }
 
@@ -276,6 +368,7 @@ fn engine_options(cli: &Cli) -> EngineOptions {
         budget,
         faults: cli.faults.clone(),
         resume_from,
+        spans: None,
     }
 }
 
@@ -300,6 +393,16 @@ pub fn main() {
                 warn_frac: cli.warn_frac,
             });
         }
+        Command::Profile => {
+            crate::profile::run_profile(&crate::profile::ProfileOptions {
+                scale: cli.scale,
+                reps: cli.reps,
+                json_path: cli.json_dir.as_ref().map(|d| d.join("profile.json")),
+            });
+        }
+        Command::Trace => {
+            crate::tracecmd::run_trace(&cli.trace);
+        }
         Command::Run { names, all } => {
             let selected: Vec<Box<dyn Scenario>> = if *all {
                 registry()
@@ -318,8 +421,23 @@ pub fn main() {
                     .collect()
             };
             let refs: Vec<&dyn Scenario> = selected.iter().map(|s| s.as_ref()).collect();
-            let output = run_scenarios(&refs, &engine_options(&cli));
+            let mut opts = engine_options(&cli);
+            let span_log = cli.trace_out.as_ref().map(|_| {
+                let log = std::sync::Arc::new(crate::engine::spans::SpanLog::new());
+                opts.spans = Some(log.clone());
+                log
+            });
+            let output = run_scenarios(&refs, &opts);
             print_output(&output, refs.len() > 1);
+            if let (Some(path), Some(log)) = (&cli.trace_out, &span_log) {
+                match write_json(&log.to_chrome_json(), path) {
+                    Ok(()) => eprintln!("wrote {} (load in Perfetto)", path.display()),
+                    Err(e) => {
+                        eprintln!("error: failed to write {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
             // The failure report is written on every run — empty on a
             // clean campaign — so a follow-up --resume always has a
             // current file to read.

@@ -31,6 +31,7 @@ pub mod fault;
 pub mod planner;
 pub mod pool;
 pub mod scenarios;
+pub mod spans;
 
 use crate::runner::{scale_tag, KernelRun, RunConfig, RunOutcome};
 use crate::RunArtifact;
@@ -40,6 +41,7 @@ use lf_stats::Json;
 use lf_workloads::{Scale, Workload};
 use planner::{dedupe, execute, prepare_kernels, Hinting, Planner, PrepKey, PreparedKernel};
 use pool::WorkerPanic;
+use spans::{DurationSummary, SpanLog};
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -87,6 +89,12 @@ pub struct EngineOptions {
     /// (`--resume`). Only used for telemetry: failed runs were never
     /// cached, so they re-execute naturally while successes hit the cache.
     pub resume_from: Option<HashSet<u64>>,
+    /// Caller-provided span log (`--trace-out`): phase and per-run spans
+    /// are recorded into it for Chrome trace-event export. When `None`,
+    /// the engine still records spans into a private log (the per-run
+    /// timing summary in [`PlannerReport`] comes from it) but nothing is
+    /// exported.
+    pub spans: Option<Arc<SpanLog>>,
 }
 
 impl EngineOptions {
@@ -101,6 +109,7 @@ impl EngineOptions {
             budget: RunBudget::default(),
             faults: FaultPlan::default(),
             resume_from: None,
+            spans: None,
         }
     }
 }
@@ -338,6 +347,9 @@ pub struct PlannerReport {
     /// Failure counters: failed runs by cause, cache corruption and
     /// quarantine activity, store retries, resumed runs.
     pub faults: FaultStats,
+    /// Distribution of per-run simulation wall times (from the campaign
+    /// span log; cached runs are not included).
+    pub run_wall: DurationSummary,
 }
 
 impl PlannerReport {
@@ -358,6 +370,7 @@ impl PlannerReport {
         j.set("jobs", self.jobs as u64);
         j.set("execute_wall_ms", self.execute_wall_ms);
         j.set("total_wall_ms", self.total_wall_ms);
+        j.set("run_wall_us", self.run_wall.to_json());
         j.set("faults", self.faults.to_json());
         j
     }
@@ -396,6 +409,10 @@ pub struct EngineOutput {
 /// different scenarios are simulated exactly once.
 pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> EngineOutput {
     let started = Instant::now();
+    // The span log records phase and per-run intervals on every campaign
+    // (the timing summary in the planner telemetry feeds off it); the
+    // caller's log is used when provided so `--trace-out` can export it.
+    let span_log: Arc<SpanLog> = opts.spans.clone().unwrap_or_default();
     let suite: Vec<Workload> = lf_workloads::all(opts.scale)
         .into_iter()
         .filter(|w| match &opts.filter {
@@ -405,14 +422,17 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
         .collect();
 
     // Phase 1: plan. Scenarios only declare work; nothing runs yet.
+    let plan_span = span_log.span("phase", "plan");
     let mut planner = Planner::new(&suite);
     let mut per_scenario = Vec::new();
     for s in scenarios {
+        let _s = span_log.span("plan", s.name());
         let before = planner.request_count();
         s.plan(&mut planner);
         per_scenario.push((s.name(), planner.request_count() - before));
     }
     let requests = planner.into_requests();
+    drop(plan_span);
 
     // Phase 2: prepare (profile + annotate) each distinct kernel/hinting
     // pair, then collapse requests to unique fingerprints. A failed
@@ -424,7 +444,9 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
     };
     let mut faults = FaultStats::default();
     let mut failure_list: Vec<Arc<RunFailure>> = Vec::new();
+    let prepare_span = span_log.span("phase", "prepare");
     let (prepared, prep_panics) = prepare_kernels(&suite, &requests, opts.jobs);
+    drop(prepare_span);
     let mut prep_failures: HashMap<PrepKey, Arc<RunFailure>> = HashMap::new();
     for (key, panic) in prep_panics {
         faults.prep_failures += 1;
@@ -442,6 +464,7 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
     // Phase 3: serve what the disk cache already knows, simulate the rest.
     // Cache probes are classified so telemetry can separate ordinary
     // misses from schema-stale and corrupt (quarantined) entries.
+    let cache_span = span_log.span("phase", "cache");
     let mut outcomes: HashMap<u64, Arc<RunOutcome>> = HashMap::new();
     let mut misses = Vec::new();
     let mut disk_hits = 0usize;
@@ -474,8 +497,11 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
         // misses are such replays.
         faults.resumed = misses.iter().filter(|r| resume.contains(&r.fingerprint)).count();
     }
+    drop(cache_span);
     let misses: Vec<_> = misses; // shadow as immutable for the pool
-    let executed = execute_refs(&misses, opts);
+    let simulate_span = span_log.span("phase", "simulate");
+    let executed = execute_refs(&misses, opts, &span_log);
+    drop(simulate_span);
     let mut failures: HashMap<u64, Arc<RunFailure>> = HashMap::new();
     for (run, result) in misses.iter().zip(executed) {
         match result {
@@ -520,9 +546,12 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
         execute_wall_ms,
         total_wall_ms: 0,
         faults,
+        run_wall: DurationSummary::from_durations(&span_log.durations_us("run")),
     };
+    let render_span = span_log.span("phase", "render");
     let mut rendered = Vec::new();
     for s in scenarios {
+        let _s = span_log.span("render", s.name());
         match catch_unwind(AssertUnwindSafe(|| {
             let mut text = String::new();
             let artifact = s.render(&ctx, &mut text);
@@ -564,6 +593,7 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
             }
         }
     }
+    drop(render_span);
     report.total_wall_ms = started.elapsed().as_millis() as u64;
     EngineOutput { scenarios: rendered, report, failures: failure_list }
 }
@@ -606,6 +636,7 @@ fn store_outcome(
 fn execute_refs(
     misses: &[&planner::UniqueRun],
     opts: &EngineOptions,
+    span_log: &Arc<SpanLog>,
 ) -> Vec<Result<Arc<RunOutcome>, RunError>> {
     let hook = opts.sim_hook.as_deref();
     let owned: Vec<planner::UniqueRun> = misses
@@ -617,7 +648,7 @@ fn execute_refs(
             config: r.config.clone(),
         })
         .collect();
-    execute(&owned, opts.jobs, hook, &opts.budget, &opts.faults)
+    execute(&owned, opts.jobs, hook, &opts.budget, &opts.faults, span_log)
 }
 
 /// The scenario registry, in render order. Names are stable CLI surface

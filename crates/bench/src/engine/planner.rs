@@ -326,8 +326,10 @@ pub(crate) fn execute(
     hook: Option<&(dyn Fn(&'static str) + Send + Sync)>,
     budget: &RunBudget,
     faults: &FaultPlan,
+    span_log: &Arc<crate::engine::spans::SpanLog>,
 ) -> Vec<Result<Arc<RunOutcome>, RunError>> {
     try_parallel_map(jobs, runs, |run| {
+        let _span = span_log.span("run", run.kernel);
         if let Some(h) = hook {
             h(run.kernel);
         }

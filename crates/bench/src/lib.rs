@@ -14,12 +14,15 @@ pub mod artifact;
 pub mod engine;
 pub mod microbench;
 pub mod perf;
+pub mod profile;
 pub mod runner;
 pub mod table;
+pub mod tracecmd;
 
 pub use artifact::RunArtifact;
 pub use runner::{
-    run_fingerprint, run_kernel, run_suite, scale_tag, KernelRun, RunConfig, RunOutcome,
+    run_fingerprint, run_kernel, run_kernel_with, run_suite, scale_tag, KernelRun, RunConfig,
+    RunOutcome,
 };
 pub use table::{fmt_pct, print_table, write_table};
 

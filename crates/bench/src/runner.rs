@@ -11,7 +11,7 @@ use lf_compiler::{annotate, SelectOptions};
 use lf_isa::{checksum::fnv1a, Memory, Program};
 use lf_stats::Json;
 use lf_workloads::{Scale, Workload};
-use loopfrog::{simulate, LoopFrogConfig, SimResult, SimStats};
+use loopfrog::{LoopFrogConfig, SimResult, SimStats};
 use std::sync::Arc;
 
 /// Configuration for one experiment run.
@@ -182,6 +182,23 @@ impl KernelRun {
 /// Panics if the kernel faults or a simulation deadlocks (reproduction
 /// bugs, surfaced loudly).
 pub fn run_kernel(w: &Workload, cfg: &RunConfig) -> KernelRun {
+    run_kernel_with(w, cfg, |_| {})
+}
+
+/// [`run_kernel`] with a core hook: `hook` runs once on each freshly
+/// constructed core (baseline, then LoopFrog) before its simulation.
+/// Tests use it to attach tracers or enable the self-profiler and assert
+/// the results are byte-identical to an unhooked run; observers attached
+/// this way are core-side state and never reach the run fingerprint.
+///
+/// # Panics
+///
+/// As [`run_kernel`].
+pub fn run_kernel_with(
+    w: &Workload,
+    cfg: &RunConfig,
+    mut hook: impl FnMut(&mut loopfrog::LoopFrogCore),
+) -> KernelRun {
     let emu = w.reference_emulator().expect("kernel runs on the golden emulator");
     assert!(emu.is_halted(), "{} did not halt", w.name);
     let golden = emu.state_checksum();
@@ -189,10 +206,13 @@ pub fn run_kernel(w: &Workload, cfg: &RunConfig) -> KernelRun {
     let ann = annotate(&w.program, emu.profile(), &cfg.select);
     let selected_loops = ann.reports.iter().filter(|r| r.placement.is_some()).count();
 
-    let base = simulate(&ann.program, w.mem.clone(), cfg.base.clone())
-        .unwrap_or_else(|e| panic!("{} baseline failed: {e}", w.name));
-    let lf = simulate(&ann.program, w.mem.clone(), cfg.lf.clone())
-        .unwrap_or_else(|e| panic!("{} loopfrog failed: {e}", w.name));
+    let mut sim = |c: &LoopFrogConfig, tag: &str| -> SimResult {
+        let mut core = loopfrog::LoopFrogCore::new(&ann.program, w.mem.clone(), c.clone());
+        hook(&mut core);
+        core.run().unwrap_or_else(|e| panic!("{} {tag} failed: {e}", w.name))
+    };
+    let base = sim(&cfg.base, "baseline");
+    let lf = sim(&cfg.lf, "loopfrog");
 
     // Results move into shared outcomes; nothing is deep-copied, and a
     // deselected kernel mirrors the baseline by Arc, not by clone.

@@ -67,17 +67,24 @@ pub(crate) struct InstArena {
     free: Vec<u32>,
     next_seq: u64,
     live: usize,
+    high_water: usize,
 }
 
 impl InstArena {
     pub(crate) fn new() -> InstArena {
-        InstArena { slots: Vec::new(), free: Vec::new(), next_seq: 1, live: 0 }
+        InstArena { slots: Vec::new(), free: Vec::new(), next_seq: 1, live: 0, high_water: 0 }
     }
 
     /// Number of live instructions.
     #[allow(dead_code)]
     pub(crate) fn len(&self) -> usize {
         self.live
+    }
+
+    /// Peak simultaneous live instructions over the arena's lifetime (the
+    /// in-flight window the slab actually had to hold).
+    pub(crate) fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Inserts `d`, assigning and returning its identity (also written to
@@ -99,6 +106,7 @@ impl InstArena {
         s.seq = seq;
         s.d = Some(d);
         self.live += 1;
+        self.high_water = self.high_water.max(self.live);
         uid
     }
 

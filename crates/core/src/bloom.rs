@@ -107,6 +107,8 @@ pub struct BloomConflictDetector {
     wr: Vec<BloomFilter>,
     /// Squash verdicts that an exact detector would not have produced.
     false_positives: u64,
+    /// Filter membership tests on the Algorithm 1 hot path.
+    probes: u64,
     exact: crate::conflict::ConflictDetector,
 }
 
@@ -117,6 +119,7 @@ impl BloomConflictDetector {
             rd: (0..contexts).map(|_| BloomFilter::new(bits, hashes)).collect(),
             wr: (0..contexts).map(|_| BloomFilter::new(bits, hashes)).collect(),
             false_positives: 0,
+            probes: 0,
             exact: crate::conflict::ConflictDetector::new(contexts),
         }
     }
@@ -130,6 +133,7 @@ impl BloomConflictDetector {
 
     /// Algorithm 1 `SpeculativeRead` over filters.
     pub fn on_read(&mut self, slot: usize, granules: &[u64]) {
+        self.probes += granules.len() as u64;
         for &g in granules {
             if !self.wr[slot].may_contain(g) {
                 self.rd[slot].insert(g);
@@ -150,12 +154,21 @@ impl BloomConflictDetector {
             if fwd.is_empty() {
                 break;
             }
-            if fwd.iter().any(|g| self.rd[t].may_contain(*g)) {
+            let mut conflict = false;
+            for &g in &fwd {
+                self.probes += 1;
+                if self.rd[t].may_contain(g) {
+                    conflict = true;
+                    break;
+                }
+            }
+            if conflict {
                 if exact_verdict != Some(t) {
                     self.false_positives += 1;
                 }
                 return Some(t);
             }
+            self.probes += fwd.len() as u64;
             fwd.retain(|g| !self.wr[t].may_contain(*g));
         }
         debug_assert_eq!(exact_verdict, None, "Bloom sets can never miss a true conflict");
@@ -165,6 +178,12 @@ impl BloomConflictDetector {
     /// Squash verdicts attributable to filter aliasing alone.
     pub fn false_positive_squashes(&self) -> u64 {
         self.false_positives
+    }
+
+    /// Filter membership tests performed by the Algorithm 1 hot path
+    /// (the shadow exact detector's probes are counted separately).
+    pub fn probes(&self) -> u64 {
+        self.probes
     }
 
     /// Whether `slot` may have read `granule` (conservative: may

@@ -67,6 +67,7 @@ impl GranuleSet {
 pub struct ConflictDetector {
     rd: Vec<GranuleSet>,
     wr: Vec<GranuleSet>,
+    probes: u64,
     /// Fault injection for verify builds: drop the first granule from every
     /// write-set insertion (squash checks keep the full granule list). The
     /// lf-verify harness enables this to prove its invariant checks catch
@@ -81,6 +82,7 @@ impl ConflictDetector {
         ConflictDetector {
             rd: vec![GranuleSet::new(); contexts],
             wr: vec![GranuleSet::new(); contexts],
+            probes: 0,
             #[cfg(feature = "verify")]
             inject_drop_write_granule: false,
         }
@@ -102,6 +104,7 @@ impl ConflictDetector {
     /// `granules`. Granules already in the slot's own write set were
     /// produced by this threadlet's prior writes and are excluded.
     pub fn on_read(&mut self, slot: usize, granules: &[u64]) {
+        self.probes += granules.len() as u64;
         for &g in granules {
             if !self.wr[slot].contains(g) {
                 self.rd[slot].insert(g);
@@ -135,16 +138,31 @@ impl ConflictDetector {
             if fwd.is_empty() {
                 break;
             }
-            if fwd.iter().any(|&g| self.rd[t].contains(g)) {
+            let mut conflict = false;
+            for &g in &fwd {
+                self.probes += 1;
+                if self.rd[t].contains(g) {
+                    conflict = true;
+                    break;
+                }
+            }
+            if conflict {
                 // t observed a stale value: squash t (and younger).
                 return Some(t);
             }
             // Granules t has overwritten forward from t, not from us: any
             // later reader should observe t's write, and the check started
             // by t's own write covers it.
+            self.probes += fwd.len() as u64;
             fwd.retain(|&g| !self.wr[t].contains(g));
         }
         None
+    }
+
+    /// Set-membership tests performed by the Algorithm 1 hot path
+    /// (diagnostics-only accessors excluded).
+    pub fn probes(&self) -> u64 {
+        self.probes
     }
 
     /// Whether `slot`'s read set contains `granule` (tests/diagnostics).

@@ -115,6 +115,13 @@ impl LoopFrogCore<'_> {
                         && self.deselect.is_suppressed(region)
                     {
                         fetched.suppressed = true;
+                        if self.observing() {
+                            self.emit(crate::trace::TraceEvent::Deselect {
+                                cycle: self.cycle,
+                                tid,
+                                region,
+                            });
+                        }
                     }
                     let t = &mut self.ctx[tid];
                     match kind {

@@ -124,6 +124,13 @@ impl LoopFrogCore<'_> {
         e.result = result;
         e.actual_next = actual_next;
         self.completions.schedule(complete_at.max(self.cycle + 1), uid);
+        if self.observing() {
+            self.emit(crate::trace::TraceEvent::Issue {
+                cycle: self.cycle,
+                tid: v.tid,
+                uid: uid.seq(),
+            });
+        }
         true
     }
 
@@ -249,6 +256,13 @@ impl LoopFrogCore<'_> {
                 d.completed = true;
                 (d.tid, d.dst, d.result)
             };
+            if self.observing() {
+                self.emit(crate::trace::TraceEvent::Complete {
+                    cycle: self.cycle,
+                    tid,
+                    uid: uid.seq(),
+                });
+            }
             if let Some(dst) = dst {
                 self.prf.write(dst.new, result);
                 self.iq.wakeup(dst.new);

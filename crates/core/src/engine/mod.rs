@@ -29,6 +29,7 @@ use crate::conflict::ConflictDetector;
 use crate::deselect::Deselector;
 use crate::dyninst::Uid;
 use crate::packing::PackingPredictors;
+use crate::profiler::{Profiler, Stage};
 use crate::ssb::Ssb;
 use crate::stats::{SimResult, SimStats, SimStop};
 use crate::telemetry::{CycleBucket, IntervalSample, IntervalSampler, Telemetry};
@@ -163,6 +164,13 @@ pub struct LoopFrogCore<'p> {
     pub(crate) stats: SimStats,
     pub(crate) telem: Telemetry,
     pub(crate) tracer: Option<Box<dyn Tracer>>,
+    /// Sampled wall-clock stage profiler (see [`crate::profiler`]); `None`
+    /// unless [`LoopFrogCore::enable_profiler`] was called.
+    pub(crate) profiler: Option<Profiler>,
+    /// When set, [`LoopFrogCore::finish`] reports the flight recorder's
+    /// live end-of-run window instead of the pre-squash capture (armed by
+    /// [`LoopFrogCore::arm_flight_recorder_live`] for on-demand dumps).
+    pub(crate) recorder_live_dump: bool,
     pub(crate) halted: bool,
     pub(crate) fault: Option<SimError>,
     /// Harness-side wall-clock watchdog; checked every
@@ -272,6 +280,8 @@ impl<'p> LoopFrogCore<'p> {
             stats: SimStats::new(threadlets),
             telem: Telemetry::new(&cfg),
             tracer: None,
+            profiler: None,
+            recorder_live_dump: false,
             halted: false,
             fault: None,
             deadline: None,
@@ -326,7 +336,15 @@ impl<'p> LoopFrogCore<'p> {
     /// Simulates one cycle.
     fn tick(&mut self) -> Result<(), SimError> {
         self.rename_stall = RenameStall::default();
+        // Sampled self-profiling: on a sampled tick every stage call is
+        // wall-clock timed; otherwise each stage pays one `Option` test.
+        let sampling = self.profiler.is_some() && Profiler::is_sample(self.cycle);
+        if sampling {
+            self.profiler.as_mut().expect("sampling implies profiler").count_tick();
+        }
+        let t0 = sampling.then(std::time::Instant::now);
         self.do_commit()?;
+        self.prof(Stage::Commit, t0);
         if self.halted {
             // The halting partial cycle is not counted in `stats.cycles`,
             // so it gets no accounting slots either (the sum invariant
@@ -335,11 +353,21 @@ impl<'p> LoopFrogCore<'p> {
         }
         // Contexts freed by retirement can immediately host a deferred
         // spawn, keeping the epoch chain full.
+        let t0 = sampling.then(std::time::Instant::now);
         self.service_pending_spawns();
+        self.prof(Stage::Spawn, t0);
+        let t0 = sampling.then(std::time::Instant::now);
         self.do_writeback();
+        self.prof(Stage::Writeback, t0);
+        let t0 = sampling.then(std::time::Instant::now);
         self.do_issue();
+        self.prof(Stage::Issue, t0);
+        let t0 = sampling.then(std::time::Instant::now);
         self.do_rename();
+        self.prof(Stage::Rename, t0);
+        let t0 = sampling.then(std::time::Instant::now);
         self.do_fetch();
+        self.prof(Stage::Fetch, t0);
 
         // Activity statistics (Figure 7): contexts actively executing.
         let active = self
@@ -380,6 +408,17 @@ impl<'p> LoopFrogCore<'p> {
             }
         }
         Ok(())
+    }
+
+    /// Records a sampled stage duration (no-op on unsampled ticks).
+    #[inline]
+    fn prof(&mut self, stage: Stage, t0: Option<std::time::Instant>) {
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            if let Some(p) = &mut self.profiler {
+                p.record(stage, ns);
+            }
+        }
     }
 
     /// A cumulative snapshot of the headline counters for interval stats.
@@ -541,6 +580,11 @@ impl<'p> LoopFrogCore<'p> {
             ("ssb_overflows", self.ssb.overflows()),
             ("regions_suppressed", self.deselect.suppressed_count() as u64),
             ("bloom_false_positive_squashes", self.conflict.false_positive_squashes()),
+            // Structure-occupancy counters for the self-profiler's data
+            // feed: how hard each hot-path structure was actually driven.
+            ("arena_high_water", self.slab.high_water() as u64),
+            ("wheel_overflow_hits", self.completions.overflow_hits()),
+            ("conflict_probes", self.conflict.probes()),
         ] {
             stats.counters.add(k, v);
         }
@@ -554,15 +598,21 @@ impl<'p> LoopFrogCore<'p> {
         // A run stopped mid-flight (cycle cap or deadline) reports the
         // *live* event window — what the pipeline was doing when time ran
         // out; normal completions keep the pre-squash capture.
+        let live_dump = self.recorder_live_dump;
         let flight_recorder = self
             .telem
             .recorder
             .take()
             .map(|r| match stop {
+                _ if live_dump => r.live_window(),
                 SimStop::MaxCycles | SimStop::Deadline => r.live_window(),
                 _ => r.into_pre_squash(),
             })
             .unwrap_or_default();
+        // Wall-clock data stays out of the deterministic statistics: the
+        // report rides alongside them and is rendered only by callers that
+        // asked for profiling.
+        let profile = self.profiler.take().map(|p| p.report(self.cycle));
 
         SimResult {
             stop,
@@ -573,6 +623,7 @@ impl<'p> LoopFrogCore<'p> {
             accounting,
             intervals,
             flight_recorder,
+            profile,
         }
     }
 
@@ -610,6 +661,30 @@ impl<'p> LoopFrogCore<'p> {
     /// Detaches and returns the tracer, if one was attached.
     pub fn take_tracer(&mut self) -> Option<Box<dyn Tracer>> {
         self.tracer.take()
+    }
+
+    /// Enables the sampled wall-clock stage profiler (see
+    /// [`crate::profiler`]). A core-side switch rather than a config field:
+    /// profiled and unprofiled runs share a config fingerprint, so the
+    /// harness's dedup/cache/determinism guarantees are unaffected. The
+    /// report is returned in [`SimResult::profile`].
+    pub fn enable_profiler(&mut self) {
+        self.profiler = Some(Profiler::new());
+    }
+
+    /// Arms the flight recorder at `depth` events for an on-demand dump:
+    /// [`LoopFrogCore::finish`] will report the live end-of-run window —
+    /// the last `depth` events before the run ended, however it ended —
+    /// instead of the pre-squash capture. Like
+    /// [`LoopFrogCore::enable_profiler`], a core-side switch so the config
+    /// fingerprint (and with it dedup and caching) is unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn arm_flight_recorder_live(&mut self, depth: usize) {
+        self.telem.recorder = Some(crate::telemetry::FlightRecorder::new(depth));
+        self.recorder_live_dump = true;
     }
 
     /// Whether any event observer (tracer or flight recorder) is active.
@@ -709,6 +784,13 @@ impl ConflictSets {
         match self {
             ConflictSets::Exact(_) => 0,
             ConflictSets::Bloom(c) => c.false_positive_squashes(),
+        }
+    }
+
+    pub(crate) fn probes(&self) -> u64 {
+        match self {
+            ConflictSets::Exact(c) => c.probes(),
+            ConflictSets::Bloom(c) => c.probes(),
         }
     }
 

@@ -28,6 +28,13 @@ impl LoopFrogCore<'_> {
             self.ctx[tid].rob.pop_back();
             self.rob_occupancy -= 1;
             let d = self.slab.remove(tail).expect("squashing live instruction");
+            if self.observing() {
+                self.emit(crate::trace::TraceEvent::Flush {
+                    cycle: self.cycle,
+                    tid,
+                    uid: tail.seq(),
+                });
+            }
             if let Some(dst) = d.dst {
                 // Restore the previous mapping; the map's reference to the
                 // new register dies here.
@@ -124,6 +131,13 @@ impl LoopFrogCore<'_> {
         while let Some(uid) = self.ctx[tid].rob.pop_front() {
             self.rob_occupancy -= 1;
             let d = self.slab.remove(uid).expect("live");
+            if self.observing() {
+                self.emit(crate::trace::TraceEvent::Flush {
+                    cycle: self.cycle,
+                    tid,
+                    uid: uid.seq(),
+                });
+            }
             if let Some(dst) = d.dst {
                 self.prf.release(dst.old);
             }

@@ -65,6 +65,7 @@ pub mod deselect;
 mod dyninst;
 mod engine;
 pub mod packing;
+pub mod profiler;
 pub mod ssb;
 pub mod stats;
 pub mod telemetry;
@@ -77,6 +78,10 @@ mod wheel;
 pub use config::{LoopFrogConfig, PackingConfig, SsbConfig};
 pub use deselect::DeselectConfig;
 pub use engine::{simulate, LoopFrogCore, SimError};
+pub use profiler::{ProfileReport, StageProfile};
 pub use stats::{SimResult, SimStats, SimStop};
 pub use telemetry::{CycleAccounting, CycleBucket, IntervalSample, TelemetryConfig};
-pub use trace::{CountingTracer, TextTracer, TraceEvent, Tracer};
+pub use trace::{
+    CountingTracer, KonataTracer, SquashReason, TextTracer, TraceEvent, TraceFilter, TraceKind,
+    TraceMux, Tracer,
+};

@@ -240,9 +240,15 @@ pub struct SimResult {
     /// final partial interval); empty when sampling is disabled.
     pub intervals: Vec<crate::telemetry::IntervalSample>,
     /// Flight-recorder capture: the trace events immediately preceding the
-    /// most recent threadlet squash (empty if the recorder was off or no
-    /// squash occurred).
+    /// most recent threadlet squash, or the live end-of-run window when the
+    /// run never squashed or stopped mid-flight (empty if the recorder was
+    /// off).
     pub flight_recorder: Vec<crate::trace::TraceEvent>,
+    /// Sampled wall-clock stage profile (see [`crate::profiler`]); `None`
+    /// unless [`crate::LoopFrogCore::enable_profiler`] was called.
+    /// Deliberately excluded from the deterministic statistics and every
+    /// cached/committed artifact.
+    pub profile: Option<crate::profiler::ProfileReport>,
 }
 
 #[cfg(test)]

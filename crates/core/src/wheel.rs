@@ -33,6 +33,7 @@ pub(crate) struct CompletionWheel {
     /// All events strictly before `now` have been drained.
     now: u64,
     len: usize,
+    overflow_hits: u64,
 }
 
 impl CompletionWheel {
@@ -42,6 +43,7 @@ impl CompletionWheel {
             overflow: BTreeMap::new(),
             now: 0,
             len: 0,
+            overflow_hits: 0,
         }
     }
 
@@ -49,6 +51,12 @@ impl CompletionWheel {
     #[allow(dead_code)]
     pub(crate) fn len(&self) -> usize {
         self.len
+    }
+
+    /// Events that spilled past the ring horizon into the `BTreeMap`
+    /// overflow (each one pays tree insertion instead of a bucket push).
+    pub(crate) fn overflow_hits(&self) -> u64 {
+        self.overflow_hits
     }
 
     /// Schedules `uid` to complete at absolute cycle `at`.
@@ -61,6 +69,7 @@ impl CompletionWheel {
             self.buckets[(at % HORIZON) as usize].push(uid);
         } else {
             self.overflow.entry(at).or_default().push(uid);
+            self.overflow_hits += 1;
         }
         self.len += 1;
     }

@@ -11,13 +11,19 @@
 //! flush would perturb cycle counts and diff loudly.
 
 use lf_bench::artifact::RunArtifact;
-use lf_bench::{run_kernel, RunConfig};
+use lf_bench::{run_kernel_with, RunConfig};
 use lf_workloads::{by_name, Scale};
+use loopfrog::LoopFrogCore;
 
 /// Renders a complete artifact for one kernel at one config.
 fn render(kernel: &str, cfg: &RunConfig) -> String {
+    render_with(kernel, cfg, |_| {})
+}
+
+/// [`render`] with a core hook (to attach observers before simulating).
+fn render_with(kernel: &str, cfg: &RunConfig, hook: impl FnMut(&mut LoopFrogCore)) -> String {
     let w = by_name(kernel, Scale::Smoke).expect("kernel exists");
-    let run = run_kernel(&w, cfg);
+    let run = run_kernel_with(&w, cfg, hook);
     let mut art = RunArtifact::new("determinism_test", Scale::Smoke);
     art.set_config(cfg);
     art.push_kernel(&run);
@@ -46,4 +52,29 @@ fn repeated_runs_are_deterministic_under_default_config() {
     let a = render("hash_lookup", &cfg);
     let b = render("hash_lookup", &cfg);
     assert_eq!(a, b);
+}
+
+#[test]
+fn observers_never_perturb_artifacts() {
+    // The zero-cost-when-disabled contract, from the other side: with
+    // every observer armed — full pipeline tracing into text and Konata
+    // sinks, the self-profiler, and a live flight recorder — the rendered
+    // artifact must stay byte-identical to an unobserved run. Observation
+    // is core-side state outside the deterministic statistics; if a trace
+    // emit or a profiler sample ever feeds back into simulated behavior,
+    // this diffs loudly.
+    use loopfrog::{KonataTracer, TextTracer, TraceMux};
+    let cfg = RunConfig { deselect_unprofitable: false, ..RunConfig::default() };
+    for kernel in ["stencil_blur", "hash_lookup"] {
+        let plain = render(kernel, &cfg);
+        let observed = render_with(kernel, &cfg, |core| {
+            let mut mux = TraceMux::new();
+            mux.add(Box::new(TextTracer::new(std::io::sink())));
+            mux.add(Box::new(KonataTracer::new(std::io::sink())));
+            core.set_tracer(Box::new(mux));
+            core.enable_profiler();
+            core.arm_flight_recorder_live(64);
+        });
+        assert_eq!(plain, observed, "{kernel}: observers perturbed the artifact");
+    }
 }
