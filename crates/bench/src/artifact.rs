@@ -89,15 +89,10 @@ impl RunArtifact {
     }
 
     /// Writes the document (pretty-printed) to `path`, creating parent
-    /// directories as needed.
+    /// directories as needed. Commits through the shared atomic path so a
+    /// killed run never publishes a truncated artifact.
     pub fn write(self, path: &Path) -> io::Result<()> {
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
-            }
-        }
-        let doc = self.into_json();
-        std::fs::write(path, doc.to_string_pretty() + "\n")
+        crate::durable::atomic_write_json(&self.into_json(), path)
     }
 }
 

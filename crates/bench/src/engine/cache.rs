@@ -16,12 +16,12 @@
 //! be re-read). `--no-cache` bypasses both directions.
 
 use crate::artifact::SCHEMA_VERSION;
+use crate::durable::atomic_write;
 use crate::runner::RunOutcome;
 use lf_stats::{fingerprint_hex, parse_fingerprint_hex, Json};
 use loopfrog::SimStats;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Handle on a cache directory.
 #[derive(Debug, Clone)]
@@ -68,9 +68,20 @@ impl DiskCache {
         self.dir.join(format!("{}.json", fingerprint_hex(fingerprint)))
     }
 
+    /// The cache directory itself (the engine sweeps orphaned temp files
+    /// from it at campaign startup).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
     /// Where corrupt entries are moved on detection.
     pub fn quarantine_dir(&self) -> PathBuf {
         self.dir.join("quarantine")
+    }
+
+    /// Where the campaign journal lives (see [`crate::engine::journal`]).
+    pub fn journal_dir(&self) -> PathBuf {
+        self.dir.join("journal")
     }
 
     /// Probes the cache, classifying the result. Corrupt entries are
@@ -144,27 +155,11 @@ impl DiskCache {
         doc.set("checksum", fingerprint_hex(outcome.checksum));
         doc.set("stats", outcome.stats.to_json());
         doc.set("result", outcome.rendered.clone());
-        write_atomically(&self.entry_path(outcome.fingerprint), &doc.to_string_pretty())
+        // Entries commit through the shared atomic path (temp + fsync +
+        // rename), so a crashed run cannot leave a half-written entry
+        // that later parses as truncated JSON.
+        atomic_write(&self.entry_path(outcome.fingerprint), &doc.to_string_pretty())
     }
-}
-
-/// Writes via a temp file + rename so a crashed run cannot leave a
-/// half-written entry that later parses as truncated JSON. The temp name
-/// embeds the process id and a per-process sequence number: campaigns in
-/// separate processes (or threads) sharing a cache directory must never
-/// write through the same temp file, or one writer's rename publishes the
-/// other's half-written bytes.
-fn write_atomically(path: &Path, text: &str) -> io::Result<()> {
-    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-    let tmp = path.with_extension(format!(
-        "json.tmp.{}.{}",
-        std::process::id(),
-        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-    ));
-    std::fs::write(&tmp, text)?;
-    std::fs::rename(&tmp, path).inspect_err(|_| {
-        let _ = std::fs::remove_file(&tmp);
-    })
 }
 
 #[cfg(test)]

@@ -27,10 +27,16 @@
 //!   --deadline-secs N    per-run wall-clock deadline (default: none)
 //!   --resume [FILE]      re-run a campaign, re-executing only the runs a
 //!                        previous failures.json recorded as failed
-//!                        (default FILE: <json-dir|results>/failures.json)
+//!                        (default FILE: <json-dir|results>/failures.json).
+//!                        A missing FILE resumes with an empty failure set
+//!                        (a killed campaign may never have written one)
 //!   --inject-fault SPEC  deterministic fault injection (repeatable):
 //!                        panic:<rate> | hang:<fingerprint|rate> |
-//!                        corrupt-cache:<rate>
+//!                        corrupt-cache:<rate> | crash:<rate>
+//!   --crash-after-ms N   (run) hard-kill the process (SIGABRT, no
+//!                        cleanup) N milliseconds into the campaign —
+//!                        the crash-recovery harness's phase-agnostic
+//!                        kill point
 //!   --trace-out PATH     (run) export campaign spans as Chrome
 //!                        trace-event JSON (Perfetto-loadable)
 //! ```
@@ -50,6 +56,7 @@ use crate::engine::{by_name, registry, run_scenarios, EngineOptions, EngineOutpu
 use crate::runner::scale_tag;
 use lf_stats::Json;
 use lf_workloads::Scale;
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
@@ -66,6 +73,9 @@ struct Cli {
     budget_cycles: Option<u64>,
     deadline_secs: Option<u64>,
     faults: FaultPlan,
+    /// `--crash-after-ms`: hard-kill the process this many milliseconds
+    /// into the campaign (the crash-recovery harness's timer kill point).
+    crash_after_ms: Option<u64>,
     /// `--resume` with its optional FILE operand (`Some(None)` = flag
     /// present, default file).
     resume: Option<Option<PathBuf>>,
@@ -95,7 +105,8 @@ fn usage() -> ! {
          \x20                [--scale smoke|eval] [-j N] [--filter SUBSTR] [--no-cache]\n\
          \x20                [--cache-dir DIR] [--json [DIR]] [--assert-dedup]\n\
          \x20                [--budget-cycles N] [--deadline-secs N] [--resume [FILE]]\n\
-         \x20                [--inject-fault SPEC]... [--trace-out PATH]\n\
+         \x20                [--inject-fault SPEC]... [--crash-after-ms N]\n\
+         \x20                [--trace-out PATH]\n\
          \x20                [--reps N] [--label TEXT] [--warn-regression PCT]  (perf)\n\
          \x20                [--config base|lf] [--konata PATH] [--text PATH|-]\n\
          \x20                [--cycles LO:HI] [--tid N] [--kinds a,b,...]\n\
@@ -117,6 +128,7 @@ fn parse(args: &[String]) -> Cli {
         budget_cycles: None,
         deadline_secs: None,
         faults: FaultPlan::default(),
+        crash_after_ms: None,
         resume: None,
         reps: 3,
         label: None,
@@ -234,11 +246,22 @@ fn parse(args: &[String]) -> Cli {
                 }
             }
             "--inject-fault" => {
-                let v =
-                    value("a fault spec (panic:<rate> | hang:<fp|rate> | corrupt-cache:<rate>)");
+                let v = value(
+                    "a fault spec (panic:<rate> | hang:<fp|rate> | corrupt-cache:<rate> | crash:<rate>)",
+                );
                 if let Err(e) = cli.faults.parse_spec(&v) {
                     eprintln!("error: --inject-fault: {e}");
                     std::process::exit(2);
+                }
+            }
+            "--crash-after-ms" => {
+                let v = value("a duration in milliseconds");
+                cli.crash_after_ms = match v.parse::<u64>() {
+                    Ok(n) => Some(n),
+                    _ => {
+                        eprintln!("error: --crash-after-ms expects an integer, got {v}");
+                        std::process::exit(2);
+                    }
                 }
             }
             "--trace-out" => cli.trace_out = Some(PathBuf::from(value("an output path"))),
@@ -348,6 +371,18 @@ fn engine_options(cli: &Cli) -> EngineOptions {
     };
     let resume_from = cli.resume.as_ref().map(|file| {
         let path = file.clone().unwrap_or_else(|| failures_path(cli));
+        // A missing report is a normal resume-after-kill state: the
+        // previous campaign may have died before writing failures.json.
+        // Resume with an empty set (the cache + journal carry the real
+        // recovery state); any other read problem is still fatal.
+        if !path.exists() {
+            eprintln!(
+                "warning: --resume: {} does not exist (campaign killed before writing it?); \
+                 resuming with an empty failure set",
+                path.display()
+            );
+            return HashSet::new();
+        }
         match read_failures_json(&path) {
             Ok(fps) => {
                 eprintln!("resuming: {} failed run(s) recorded in {}", fps.len(), path.display());
@@ -421,6 +456,27 @@ pub fn main() {
                     .collect()
             };
             let refs: Vec<&dyn Scenario> = selected.iter().map(|s| s.as_ref()).collect();
+            // Sweep commit temp files a killed predecessor orphaned next
+            // to the artifacts (the engine sweeps the cache directory
+            // itself).
+            let out_dir = cli.json_dir.clone().unwrap_or_else(|| PathBuf::from("results"));
+            let swept = crate::durable::sweep_orphan_tmps(&out_dir);
+            if swept > 0 {
+                eprintln!("swept {swept} orphaned temp file(s) from {}", out_dir.display());
+            }
+            // The timer kill point: a detached thread hard-kills the
+            // process mid-campaign, wherever the campaign happens to be.
+            // Deterministic burn-in for the crash-recovery harness; real
+            // kills (OOM, ^C^C, node preemption) land the same way.
+            if let Some(ms) = cli.crash_after_ms {
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_millis(ms));
+                    eprintln!(
+                        "injected fault: crash after {ms} ms — aborting the campaign process"
+                    );
+                    std::process::abort();
+                });
+            }
             let mut opts = engine_options(&cli);
             let span_log = cli.trace_out.as_ref().map(|_| {
                 let log = std::sync::Arc::new(crate::engine::spans::SpanLog::new());
@@ -557,6 +613,21 @@ fn print_output(output: &EngineOutput, separators: bool) {
             f.resumed
         );
     }
+    if f.tmp_swept > 0 || f.journal_torn_bytes > 0 {
+        eprintln!(
+            "recovery: swept {} orphaned temp file(s); truncated {} torn journal byte(s)",
+            f.tmp_swept, f.journal_torn_bytes
+        );
+    }
+    if f.journal_committed + f.journal_in_flight + f.journal_never_started > 0 {
+        eprintln!(
+            "journal: of {} planned run(s), {} committed, {} in flight at the kill, {} never started",
+            f.journal_committed + f.journal_in_flight + f.journal_never_started,
+            f.journal_committed,
+            f.journal_in_flight,
+            f.journal_never_started
+        );
+    }
 }
 
 fn write_artifacts(output: &EngineOutput, dir: &Path) {
@@ -587,12 +658,7 @@ fn write_artifacts(output: &EngineOutput, dir: &Path) {
 }
 
 fn write_json(doc: &Json, path: &Path) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
-    std::fs::write(path, doc.to_string_pretty() + "\n")
+    crate::durable::atomic_write_json(doc, path)
 }
 
 /// Appends this invocation's planner telemetry to the wall-clock

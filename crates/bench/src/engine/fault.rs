@@ -197,17 +197,25 @@ pub struct FaultPlan {
     /// Fraction of freshly stored cache entries garbled after the write
     /// (exercises corruption quarantine on the *next* campaign).
     pub corrupt_cache_rate: f64,
+    /// Fraction of runs whose worker hard-kills the whole process
+    /// ([`std::process::abort`] — no unwinding, no destructors, the
+    /// file-state equivalent of `kill -9`). Exercises the crash-recovery
+    /// path: atomic commits, the campaign journal, and `--resume`.
+    pub crash_rate: f64,
 }
 
 impl FaultPlan {
     /// Whether any injection is armed.
     pub fn is_active(&self) -> bool {
-        self.panic_rate > 0.0 || self.hang.is_some() || self.corrupt_cache_rate > 0.0
+        self.panic_rate > 0.0
+            || self.hang.is_some()
+            || self.corrupt_cache_rate > 0.0
+            || self.crash_rate > 0.0
     }
 
     /// Parses one `--inject-fault` spec (`panic:<rate>`,
-    /// `hang:<fingerprint|rate>`, `corrupt-cache:<rate>`) into the plan.
-    /// Specs accumulate, so the flag may be repeated.
+    /// `hang:<fingerprint|rate>`, `corrupt-cache:<rate>`, `crash:<rate>`)
+    /// into the plan. Specs accumulate, so the flag may be repeated.
     pub fn parse_spec(&mut self, spec: &str) -> Result<(), String> {
         let (kind, arg) =
             spec.split_once(':').ok_or_else(|| format!("expected <kind>:<arg>, got {spec:?}"))?;
@@ -220,6 +228,7 @@ impl FaultPlan {
         match kind {
             "panic" => self.panic_rate = rate(arg)?,
             "corrupt-cache" => self.corrupt_cache_rate = rate(arg)?,
+            "crash" => self.crash_rate = rate(arg)?,
             "hang" => {
                 // A 16-digit hex token targets one fingerprint; anything
                 // else must parse as a rate.
@@ -230,7 +239,7 @@ impl FaultPlan {
             }
             other => {
                 return Err(format!(
-                    "unknown fault kind {other:?} (expected panic, hang, or corrupt-cache)"
+                    "unknown fault kind {other:?} (expected panic, hang, corrupt-cache, or crash)"
                 ))
             }
         }
@@ -254,6 +263,11 @@ impl FaultPlan {
     /// Whether the stored cache entry for `fingerprint` is garbled.
     pub fn should_corrupt(&self, fingerprint: u64) -> bool {
         rate_gate(fingerprint, "lf-bench-inject-corrupt", self.corrupt_cache_rate)
+    }
+
+    /// Whether the worker for `fingerprint` hard-kills the process.
+    pub fn should_crash(&self, fingerprint: u64) -> bool {
+        rate_gate(fingerprint, "lf-bench-inject-crash", self.crash_rate)
     }
 }
 
@@ -303,6 +317,19 @@ pub struct FaultStats {
     /// Simulated runs that a `--resume` re-executed (their fingerprints
     /// appeared in the resumed failure report).
     pub resumed: usize,
+    /// Orphaned commit temp files swept from the cache directory at
+    /// campaign start (debris of a killed predecessor).
+    pub tmp_swept: usize,
+    /// Bytes truncated from a torn campaign-journal tail on `--resume`
+    /// (an append was in flight when the previous campaign died).
+    pub journal_torn_bytes: u64,
+    /// Planned runs the resumed journal shows as durably committed.
+    pub journal_committed: usize,
+    /// Planned runs the resumed journal shows as started but never
+    /// committed — in flight when the previous campaign was killed.
+    pub journal_in_flight: usize,
+    /// Planned runs the resumed journal shows as never started.
+    pub journal_never_started: usize,
 }
 
 impl FaultStats {
@@ -327,6 +354,11 @@ impl FaultStats {
         j.set("cache_store_retries", self.store_retries as u64);
         j.set("cache_store_failures", self.store_failures as u64);
         j.set("resumed_failures", self.resumed as u64);
+        j.set("tmp_swept", self.tmp_swept as u64);
+        j.set("journal_torn_bytes", self.journal_torn_bytes);
+        j.set("journal_committed", self.journal_committed as u64);
+        j.set("journal_in_flight", self.journal_in_flight as u64);
+        j.set("journal_never_started", self.journal_never_started as u64);
         j
     }
 }
@@ -344,17 +376,14 @@ pub fn failures_to_json(failures: &[std::sync::Arc<RunFailure>], scale_tag: &str
 /// Writes the campaign failure report (pretty-printed, parent directories
 /// created). Written on every `lf-bench run`, with an empty list when the
 /// campaign was clean, so `--resume` always has a current file to read.
+/// Commits atomically: a kill -9 can never publish a truncated failure
+/// list for a later `--resume` to misread as "nothing failed".
 pub fn write_failures_json(
     path: &Path,
     failures: &[std::sync::Arc<RunFailure>],
     scale_tag: &str,
 ) -> io::Result<()> {
-    if let Some(dir) = path.parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir)?;
-        }
-    }
-    std::fs::write(path, failures_to_json(failures, scale_tag).to_string_pretty() + "\n")
+    crate::durable::atomic_write_json(&failures_to_json(failures, scale_tag), path)
 }
 
 /// Reads a failure report back, returning the set of failed run

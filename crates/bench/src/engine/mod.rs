@@ -28,6 +28,7 @@
 pub mod cache;
 pub mod cli;
 pub mod fault;
+pub mod journal;
 pub mod planner;
 pub mod pool;
 pub mod scenarios;
@@ -37,6 +38,7 @@ use crate::runner::{scale_tag, KernelRun, RunConfig, RunOutcome};
 use crate::RunArtifact;
 use cache::{CacheLookup, DiskCache};
 use fault::{FaultPlan, FaultStats, RunBudget, RunError, RunFailure};
+use journal::{Journal, JournalEvent, Replay, RunState};
 use lf_stats::Json;
 use lf_workloads::{Scale, Workload};
 use planner::{dedupe, execute, prepare_kernels, Hinting, Planner, PrepKey, PreparedKernel};
@@ -413,6 +415,12 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
     // (the timing summary in the planner telemetry feeds off it); the
     // caller's log is used when provided so `--trace-out` can export it.
     let span_log: Arc<SpanLog> = opts.spans.clone().unwrap_or_default();
+    // Campaign durability: sweep commit temp files orphaned by a killed
+    // predecessor, then open the campaign journal. Both live under the
+    // cache directory, so `--no-cache` campaigns run unswept and
+    // unjournaled (they publish nothing worth recovering).
+    let mut faults = FaultStats::default();
+    let (campaign_journal, journal_replay) = open_journal(opts, &mut faults);
     let suite: Vec<Workload> = lf_workloads::all(opts.scale)
         .into_iter()
         .filter(|w| match &opts.filter {
@@ -442,7 +450,6 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
     let repro_for = |kernel: &str| {
         format!("lf-bench run --all --scale {tag} --filter {kernel} -j 1 --no-cache")
     };
-    let mut faults = FaultStats::default();
     let mut failure_list: Vec<Arc<RunFailure>> = Vec::new();
     let prepare_span = span_log.span("phase", "prepare");
     let (prepared, prep_panics) = prepare_kernels(&suite, &requests, opts.jobs);
@@ -460,6 +467,28 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
         prep_failures.insert(key, record);
     }
     let unique = dedupe(&requests, &prepared);
+
+    // Journal the deduplicated plan in one batch, and on `--resume`
+    // classify each planned run against the previous campaign's log: the
+    // telemetry states exactly what the crash interrupted (committed /
+    // in flight / never started) instead of leaving it to be inferred
+    // from cache misses.
+    if let Some(j) = &campaign_journal {
+        let planned: Vec<JournalEvent> =
+            unique.iter().map(|r| JournalEvent::Planned(r.fingerprint)).collect();
+        if let Err(e) = j.append_all(&planned) {
+            eprintln!("warning: campaign journal write failed: {e}");
+        }
+        if let Some(replay) = &journal_replay {
+            for run in &unique {
+                match replay.classify(run.fingerprint) {
+                    RunState::Committed => faults.journal_committed += 1,
+                    RunState::InFlight => faults.journal_in_flight += 1,
+                    RunState::NeverStarted => faults.journal_never_started += 1,
+                }
+            }
+        }
+    }
 
     // Phase 3: serve what the disk cache already knows, simulate the rest.
     // Cache probes are classified so telemetry can separate ordinary
@@ -500,14 +529,21 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
     drop(cache_span);
     let misses: Vec<_> = misses; // shadow as immutable for the pool
     let simulate_span = span_log.span("phase", "simulate");
-    let executed = execute_refs(&misses, opts, &span_log);
+    let executed = execute_refs(&misses, opts, &span_log, campaign_journal.as_deref());
     drop(simulate_span);
     let mut failures: HashMap<u64, Arc<RunFailure>> = HashMap::new();
     for (run, result) in misses.iter().zip(executed) {
         match result {
             Ok(outcome) => {
                 if let Some(cache) = &opts.disk_cache {
-                    store_outcome(cache, run.fingerprint, &outcome, opts, &mut faults);
+                    store_outcome(
+                        cache,
+                        run.fingerprint,
+                        &outcome,
+                        opts,
+                        &mut faults,
+                        campaign_journal.as_deref(),
+                    );
                 }
                 outcomes.insert(run.fingerprint, outcome);
             }
@@ -598,15 +634,52 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
     EngineOutput { scenarios: rendered, report, failures: failure_list }
 }
 
-/// Persists one outcome through the retry schedule, then (under
-/// `--inject-fault corrupt-cache:<rate>`) garbles the freshly written
-/// entry so the *next* campaign exercises the quarantine path.
+/// Opens the campaign journal under the cache directory (fresh on a new
+/// campaign, replayed on `--resume`) after sweeping commit temp files a
+/// killed predecessor left behind. Journal IO failures cost diagnostics,
+/// never the campaign: the engine degrades to running unjournaled.
+fn open_journal(
+    opts: &EngineOptions,
+    faults: &mut FaultStats,
+) -> (Option<Arc<Journal>>, Option<Replay>) {
+    let Some(cache) = &opts.disk_cache else {
+        return (None, None);
+    };
+    faults.tmp_swept = crate::durable::sweep_orphan_tmps(cache.dir());
+    let dir = cache.journal_dir();
+    if opts.resume_from.is_some() {
+        match Journal::resume(&dir) {
+            Ok((j, replay)) => {
+                faults.journal_torn_bytes = replay.torn_bytes;
+                (Some(Arc::new(j)), Some(replay))
+            }
+            Err(e) => {
+                eprintln!("warning: cannot resume campaign journal: {e}");
+                (None, None)
+            }
+        }
+    } else {
+        match Journal::begin(&dir) {
+            Ok(j) => (Some(Arc::new(j)), None),
+            Err(e) => {
+                eprintln!("warning: cannot open campaign journal: {e}");
+                (None, None)
+            }
+        }
+    }
+}
+
+/// Persists one outcome through the retry schedule, journals the durable
+/// commit, then (under `--inject-fault corrupt-cache:<rate>`) garbles the
+/// freshly written entry so the *next* campaign exercises the quarantine
+/// path.
 fn store_outcome(
     cache: &DiskCache,
     fingerprint: u64,
     outcome: &RunOutcome,
     opts: &EngineOptions,
     faults: &mut FaultStats,
+    journal: Option<&Journal>,
 ) {
     let (tried, stored) =
         lf_stats::fault::retry(2, Duration::from_millis(10), Duration::from_millis(80), || {
@@ -621,6 +694,15 @@ fn store_outcome(
             eprintln!("warning: run cache write failed after {tried} attempts: {e}");
         }
         Ok(()) => {
+            // The commit record follows the cache rename: a journal that
+            // says `Committed` is never ahead of the durable entry (a
+            // crash between the two merely downgrades the run to "in
+            // flight", which resume treats conservatively).
+            if let Some(j) = journal {
+                if let Err(e) = j.append(JournalEvent::Committed(fingerprint)) {
+                    eprintln!("warning: campaign journal append failed: {e}");
+                }
+            }
             if opts.faults.should_corrupt(fingerprint) {
                 let _ = std::fs::write(
                     cache.entry_path(fingerprint),
@@ -637,6 +719,7 @@ fn execute_refs(
     misses: &[&planner::UniqueRun],
     opts: &EngineOptions,
     span_log: &Arc<SpanLog>,
+    journal: Option<&Journal>,
 ) -> Vec<Result<Arc<RunOutcome>, RunError>> {
     let hook = opts.sim_hook.as_deref();
     let owned: Vec<planner::UniqueRun> = misses
@@ -648,7 +731,7 @@ fn execute_refs(
             config: r.config.clone(),
         })
         .collect();
-    execute(&owned, opts.jobs, hook, &opts.budget, &opts.faults, span_log)
+    execute(&owned, opts.jobs, hook, &opts.budget, &opts.faults, span_log, journal)
 }
 
 /// The scenario registry, in render order. Names are stable CLI surface

@@ -252,6 +252,17 @@ fn execute_one(
     budget: &RunBudget,
     faults: &FaultPlan,
 ) -> Result<RunOutcome, RunError> {
+    if faults.should_crash(run.fingerprint) {
+        // `abort()` raises SIGABRT with no unwinding and no destructors —
+        // for everything on disk it is indistinguishable from `kill -9`,
+        // which is exactly what the crash-recovery harness wants to model
+        // deterministically from inside the process.
+        eprintln!(
+            "injected fault: crash (run {}) — aborting the campaign process",
+            lf_stats::fingerprint_hex(run.fingerprint)
+        );
+        std::process::abort();
+    }
     if faults.should_panic(run.fingerprint) {
         panic!("injected fault: panic (run {})", lf_stats::fingerprint_hex(run.fingerprint));
     }
@@ -327,11 +338,21 @@ pub(crate) fn execute(
     budget: &RunBudget,
     faults: &FaultPlan,
     span_log: &Arc<crate::engine::spans::SpanLog>,
+    journal: Option<&crate::engine::journal::Journal>,
 ) -> Vec<Result<Arc<RunOutcome>, RunError>> {
     try_parallel_map(jobs, runs, |run| {
         let _span = span_log.span("run", run.kernel);
         if let Some(h) = hook {
             h(run.kernel);
+        }
+        // Journal the start *before* simulating: if the process dies
+        // mid-run, `--resume` can tell this run was in flight. Journaling
+        // is best-effort — a failed append costs diagnostics, not results.
+        if let Some(j) = journal {
+            if let Err(e) = j.append(crate::engine::journal::JournalEvent::Started(run.fingerprint))
+            {
+                eprintln!("warning: campaign journal append failed: {e}");
+            }
         }
         execute_one(run, budget, faults)
     })

@@ -11,6 +11,7 @@
 
 pub mod area;
 pub mod artifact;
+pub mod durable;
 pub mod engine;
 pub mod microbench;
 pub mod perf;

@@ -212,12 +212,10 @@ fn append_throughput_entry(path: &Path, entry: &Json, opts: &PerfOptions) -> std
 
     runs.push(entry.clone());
     doc.set("runs", Json::Arr(runs));
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
-    std::fs::write(path, doc.to_string_pretty() + "\n")
+    // The trajectory is read-modify-write: an atomic commit means a crash
+    // mid-append preserves the whole prior history instead of truncating
+    // it.
+    crate::durable::atomic_write_json(&doc, path)
 }
 
 #[cfg(test)]

@@ -168,12 +168,7 @@ pub fn run_profile(opts: &ProfileOptions) -> Json {
     art.set_extra("profile", profile);
     let doc = art.into_json();
     if let Some(path) = &opts.json_path {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                let _ = std::fs::create_dir_all(parent);
-            }
-        }
-        match std::fs::write(path, doc.to_string_pretty() + "\n") {
+        match crate::durable::atomic_write_json(&doc, path) {
             Ok(()) => println!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("error: failed to write {}: {e}", path.display());

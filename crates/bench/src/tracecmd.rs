@@ -24,7 +24,6 @@ use lf_workloads::Scale;
 use loopfrog::{
     KonataTracer, LoopFrogConfig, LoopFrogCore, TextTracer, TraceFilter, TraceKind, TraceMux,
 };
-use std::io::Write;
 use std::path::PathBuf;
 
 /// Which pinned configuration to trace.
@@ -154,10 +153,7 @@ pub fn run_trace(opts: &TraceOptions) -> u64 {
         doc.set("depth", DUMP_DEPTH as u64);
         doc.set("cycles", result.stats.cycles);
         doc.set("events", Json::Arr(events));
-        let mut sink = create(path);
-        if let Err(e) =
-            sink.write_all((doc.to_string_pretty() + "\n").as_bytes()).and_then(|()| sink.flush())
-        {
+        if let Err(e) = crate::durable::atomic_write_json(&doc, path) {
             eprintln!("error: failed to write {}: {e}", path.display());
             std::process::exit(1);
         }

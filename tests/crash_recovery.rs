@@ -1,0 +1,371 @@
+//! The kill -9 crash-injection harness: campaigns die hard at seeded
+//! points across every phase and must recover byte-identically.
+//!
+//! Each case spawns a real `lf-bench` campaign as a child process, kills
+//! it without cleanup — `--inject-fault crash:<rate>` aborts inside the
+//! simulate phase, `--crash-after-ms N` aborts on a timer wherever the
+//! campaign happens to be, and one case delivers a true external SIGKILL —
+//! then reruns with `--resume` and asserts the recovery contract:
+//!
+//! 1. the resumed campaign completes (exit 0);
+//! 2. its stdout and scenario artifact are byte-identical to an uncrashed
+//!    campaign's (modulo the `planner` telemetry section, which carries
+//!    wall-clock times);
+//! 3. no orphaned commit temp files and no torn journal tail survive, and
+//!    `failures.json` reports a clean campaign.
+//!
+//! Kill points are randomized but seeded (`LF_CRASH_SEED`), and the timer
+//! sweep width scales with `LF_CRASH_POINTS` (CI's crash-smoke job widens
+//! it; the default keeps `cargo test` quick). Because a killed campaign
+//! usually dies *before* writing `failures.json`, every resume here also
+//! exercises the missing-failure-report path end to end.
+
+use lf_bench::engine::journal::{replay_and_truncate, JOURNAL_FILE};
+use lf_stats::Json;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_lf-bench");
+/// The campaign under test: one suite-shaped scenario over one kernel —
+/// small enough to rerun dozens of times, real enough to cross every
+/// phase (plan, prepare, cache, simulate, render, artifact writes).
+const SCENARIO: &str = "fig6_speedups";
+const FILTER: &str = "stencil_blur";
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    // CI points LF_CRASH_SCRATCH inside the workspace so the journal and
+    // failure reports of a red run can be uploaded as artifacts.
+    let root =
+        std::env::var_os("LF_CRASH_SCRATCH").map(PathBuf::from).unwrap_or_else(std::env::temp_dir);
+    let dir = root.join(format!("lf-bench-crash-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A campaign command rooted in `dir` (relative output paths keep stdout
+/// byte-comparable across scratch directories).
+fn campaign(dir: &Path, extra: &[&str]) -> Command {
+    let mut cmd = Command::new(BIN);
+    cmd.current_dir(dir)
+        .arg("run")
+        .arg(SCENARIO)
+        .args(["--scale", "smoke", "--filter", FILTER, "-j", "2"])
+        .args(["--json", "results"])
+        .args(["--cache-dir", "results/cache"])
+        .args(extra);
+    cmd
+}
+
+fn run(cmd: &mut Command) -> Output {
+    cmd.output().expect("campaign process spawns")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// The scenario artifact with its volatile telemetry section removed:
+/// `planner` carries wall-clock timings and cache-hit counts that
+/// legitimately differ between a cold run and a recovered one. Everything
+/// else must match byte for byte.
+fn normalized_artifact(dir: &Path) -> String {
+    let path = dir.join("results").join(format!("{SCENARIO}.json"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("artifact {} must exist: {e}", path.display()));
+    let mut doc = Json::parse(&text).expect("artifact parses");
+    doc.set("planner", Json::Null);
+    doc.to_string_pretty()
+}
+
+/// Every file under `dir`, recursively.
+fn files_under(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                files.push(path);
+            }
+        }
+    }
+    files
+}
+
+fn tmp_files_under(dir: &Path) -> Vec<PathBuf> {
+    files_under(dir)
+        .into_iter()
+        .filter(|p| p.file_name().map(|n| n.to_string_lossy().contains(".tmp.")).unwrap_or(false))
+        .collect()
+}
+
+/// The full recovery contract, checked against a reference run.
+fn assert_recovered(dir: &Path, ref_stdout: &str, ref_artifact: &str, what: &str) {
+    let resumed = run(&mut campaign(dir, &["--resume"]));
+    assert!(
+        resumed.status.success(),
+        "[{what}] resumed campaign must complete:\n{}",
+        stderr_of(&resumed)
+    );
+    assert_eq!(
+        stdout_of(&resumed),
+        ref_stdout,
+        "[{what}] resumed stdout must be byte-identical to an uncrashed run"
+    );
+    assert_eq!(
+        normalized_artifact(dir),
+        ref_artifact,
+        "[{what}] resumed artifact must be byte-identical (modulo planner telemetry)"
+    );
+
+    // A clean failure report.
+    let failures = dir.join("results/failures.json");
+    let doc = Json::parse(&std::fs::read_to_string(&failures).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("failures").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(0),
+        "[{what}] the recovered campaign reports no failures"
+    );
+
+    // No commit-protocol debris anywhere in the tree.
+    let leaked = tmp_files_under(dir);
+    assert!(leaked.is_empty(), "[{what}] leaked temp files after recovery: {leaked:?}");
+
+    // The journal replays whole: no torn tail survives a recovery.
+    let journal = dir.join("results/cache/journal").join(JOURNAL_FILE);
+    assert!(journal.exists(), "[{what}] the recovered campaign keeps a journal");
+    let replay = replay_and_truncate(&journal).unwrap();
+    assert_eq!(replay.torn_bytes, 0, "[{what}] no torn journal tail after recovery");
+    assert!(replay.records > 0, "[{what}] the journal records the recovered campaign");
+}
+
+/// Runs the uncrashed reference campaign and returns its stdout, its
+/// normalized artifact, and its wall-clock duration (the timer sweep
+/// spreads kill points across it).
+fn reference() -> (String, String, Duration) {
+    let dir = scratch_dir("reference");
+    let started = Instant::now();
+    let out = run(&mut campaign(&dir, &[]));
+    let wall = started.elapsed();
+    assert!(out.status.success(), "reference campaign failed:\n{}", stderr_of(&out));
+    let stdout = stdout_of(&out);
+    assert!(stdout.contains("stencil_blur"), "reference renders the kernel:\n{stdout}");
+    (stdout, normalized_artifact(&dir), wall)
+}
+
+/// Seeded xorshift-style generator: the kill points are randomized but
+/// reproducible (`LF_CRASH_SEED` selects the sequence).
+struct Lcg(u64);
+
+impl Lcg {
+    fn from_env() -> Lcg {
+        let seed = std::env::var("LF_CRASH_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0xC0FFEE);
+        Lcg(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo).max(1)
+    }
+}
+
+fn timer_points() -> usize {
+    std::env::var("LF_CRASH_POINTS").ok().and_then(|s| s.parse::<usize>().ok()).unwrap_or(6)
+}
+
+/// `--inject-fault crash:1.0` aborts the process inside the simulate
+/// phase — a deterministic in-worker kill -9. The resume (run *without*
+/// the injection, as a recovery would be) must complete byte-identically,
+/// through the missing-failures.json path.
+#[test]
+fn simulate_phase_crash_recovers_byte_identically() {
+    let (ref_stdout, ref_artifact, _) = reference();
+    let dir = scratch_dir("inject-crash");
+    let crashed = run(&mut campaign(&dir, &["--inject-fault", "crash:1.0"]));
+    assert!(
+        !crashed.status.success(),
+        "crash:1.0 must kill the campaign:\n{}",
+        stdout_of(&crashed)
+    );
+    assert!(
+        stderr_of(&crashed).contains("injected fault: crash"),
+        "the kill announces itself:\n{}",
+        stderr_of(&crashed)
+    );
+    assert!(
+        !dir.join("results/failures.json").exists(),
+        "a kill -9 precedes the failure report — that's the point"
+    );
+
+    // The journal survived the abort: the plan landed, and the doomed run
+    // was journaled as started before the crash.
+    let journal = dir.join("results/cache/journal").join(JOURNAL_FILE);
+    let replay = replay_and_truncate(&journal).unwrap();
+    assert!(!replay.planned.is_empty(), "the plan was journaled before the kill");
+    assert!(!replay.started.is_empty(), "the doomed run was journaled as in flight");
+
+    assert_recovered(&dir, &ref_stdout, &ref_artifact, "inject-crash");
+}
+
+/// The timer sweep: seeded `--crash-after-ms` points spread across the
+/// whole campaign duration, so kills land in plan, prepare, cache,
+/// simulate, and render phases alike. Every crashed campaign must resume
+/// to a byte-identical result; a campaign that happens to finish before
+/// its timer must already be identical.
+#[test]
+fn seeded_timer_kills_across_all_phases_recover() {
+    let (ref_stdout, ref_artifact, wall) = reference();
+    let mut rng = Lcg::from_env();
+    let span_ms = (wall.as_millis() as u64).max(20) * 5 / 4;
+    let mut crashes = 0usize;
+    for point in 0..timer_points() {
+        // Low points pin the early phases (plan/prepare startup); the rest
+        // sample the whole campaign.
+        let delay = if point == 0 { 1 } else { rng.in_range(1, span_ms) };
+        let dir = scratch_dir(&format!("timer-{point}"));
+        let out = run(&mut campaign(&dir, &["--crash-after-ms", &delay.to_string()]));
+        if out.status.success() {
+            // The campaign beat the timer — it must already be whole.
+            assert_eq!(stdout_of(&out), ref_stdout, "[timer {delay}ms] uncrashed run matches");
+            assert_eq!(normalized_artifact(&dir), ref_artifact);
+            continue;
+        }
+        crashes += 1;
+        assert_recovered(&dir, &ref_stdout, &ref_artifact, &format!("timer {delay}ms"));
+    }
+    assert!(crashes > 0, "the sweep must actually kill at least one campaign");
+    eprintln!("timer sweep: {crashes}/{} points crashed and recovered", timer_points());
+}
+
+/// A true external `kill -9`: the harness SIGKILLs the child from outside
+/// at a seeded point. Same recovery contract.
+#[cfg(unix)]
+#[test]
+fn external_sigkill_recovers_byte_identically() {
+    let (ref_stdout, ref_artifact, wall) = reference();
+    let mut rng = Lcg::from_env();
+    let span_ms = (wall.as_millis() as u64).max(20);
+    for point in 0..3 {
+        let delay = rng.in_range(1, span_ms);
+        let dir = scratch_dir(&format!("sigkill-{point}"));
+        let mut child = campaign(&dir, &[]).spawn().expect("campaign spawns");
+        std::thread::sleep(Duration::from_millis(delay));
+        // On Unix, `Child::kill` delivers SIGKILL: no handler, no cleanup.
+        let _ = child.kill();
+        let status = child.wait().unwrap();
+        if status.success() {
+            // The campaign finished before the kill landed.
+            assert_eq!(normalized_artifact(&dir), ref_artifact);
+            continue;
+        }
+        assert_recovered(&dir, &ref_stdout, &ref_artifact, &format!("sigkill {delay}ms"));
+    }
+}
+
+/// `--resume` in a directory that has no failure report at all (the
+/// predecessor died before writing one — or never existed) warns and
+/// proceeds instead of refusing to recover.
+#[test]
+fn resume_without_a_failure_report_warns_and_completes() {
+    let dir = scratch_dir("resume-fresh");
+    let out = run(&mut campaign(&dir, &["--resume"]));
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    assert!(
+        stderr_of(&out).contains("resuming with an empty failure set"),
+        "the missing report is called out:\n{}",
+        stderr_of(&out)
+    );
+}
+
+/// `--resume` from a failure report whose fingerprints no longer appear in
+/// the plan (stale file from another campaign shape): the unknown entries
+/// are simply not matched — nothing re-executes on their behalf, and the
+/// campaign completes cleanly.
+#[test]
+fn resume_with_stale_fingerprints_completes_cleanly() {
+    let dir = scratch_dir("resume-stale");
+    // A clean first campaign fills the cache and writes an empty report.
+    let first = run(&mut campaign(&dir, &[]));
+    assert!(first.status.success());
+
+    // Replace the report with failures this plan has never heard of.
+    let stale = r#"{
+  "failures": [
+    { "fingerprint": "00000000deadbeef", "kernel": "no_such_kernel" },
+    { "fingerprint": "00000000cafef00d", "kernel": "also_gone" }
+  ]
+}"#;
+    std::fs::write(dir.join("results/failures.json"), stale).unwrap();
+
+    let resumed = run(&mut campaign(&dir, &["--resume"]));
+    assert!(resumed.status.success(), "{}", stderr_of(&resumed));
+    assert!(stderr_of(&resumed).contains("resuming: 2 failed run(s)"));
+    let planner =
+        Json::parse(&std::fs::read_to_string(dir.join("results/planner.json")).unwrap()).unwrap();
+    let faults = planner.get("faults").expect("planner telemetry has a faults section");
+    assert_eq!(
+        faults.get("resumed_failures").and_then(Json::as_u64),
+        Some(0),
+        "stale fingerprints match nothing in the plan"
+    );
+    assert_eq!(
+        planner.get("simulated").and_then(Json::as_u64),
+        Some(0),
+        "nothing re-executes for unknown fingerprints — the cache serves everything"
+    );
+}
+
+/// `--resume --no-cache`: with the cache disabled there is no journal and
+/// no memoization — the resume degenerates to a full re-run, which must
+/// still complete and must not create cache state.
+#[test]
+fn resume_with_no_cache_reruns_everything_without_journal() {
+    let dir = scratch_dir("resume-nocache");
+    let out = run(&mut campaign(&dir, &["--resume", "--no-cache"]));
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    assert!(
+        !dir.join("results/cache").exists(),
+        "--no-cache must not create cache or journal state"
+    );
+}
+
+/// A clean campaign's empty failure report resumes as a no-op: everything
+/// is served from the cache and the report stays empty.
+#[test]
+fn resume_from_an_empty_failure_report_serves_the_cache() {
+    let dir = scratch_dir("resume-empty");
+    let first = run(&mut campaign(&dir, &[]));
+    assert!(first.status.success());
+
+    let resumed = run(&mut campaign(&dir, &["--resume"]));
+    assert!(resumed.status.success(), "{}", stderr_of(&resumed));
+    assert!(stderr_of(&resumed).contains("resuming: 0 failed run(s)"));
+    let planner =
+        Json::parse(&std::fs::read_to_string(dir.join("results/planner.json")).unwrap()).unwrap();
+    assert_eq!(
+        planner.get("simulated").and_then(Json::as_u64),
+        Some(0),
+        "the resumed campaign is served entirely from the cache"
+    );
+    // And the journal classifies every planned run as committed.
+    let faults = planner.get("faults").unwrap();
+    assert_eq!(faults.get("journal_in_flight").and_then(Json::as_u64), Some(0));
+    assert_eq!(faults.get("journal_never_started").and_then(Json::as_u64), Some(0));
+    assert!(faults.get("journal_committed").and_then(Json::as_u64).unwrap() > 0);
+}

@@ -3,7 +3,7 @@
 //! driven through the real engine on real kernels with deterministic
 //! `--inject-fault` gates.
 
-use lf_bench::engine::cache::DiskCache;
+use lf_bench::engine::cache::{CacheLookup, DiskCache};
 use lf_bench::engine::fault::{
     hang_program, read_failures_json, write_failures_json, FaultPlan, RunBudget,
 };
@@ -176,6 +176,71 @@ fn corrupt_cache_entries_quarantine_and_refill() {
     let third = run_scenarios(&[&SuiteScenario], &opts3);
     assert_eq!(third.report.disk_hits, 2);
     assert_eq!(sims3.load(Ordering::SeqCst), 0);
+}
+
+/// Cache commits under contention: two threads repeatedly store the same
+/// fingerprint while a third garbles the entry in place with plain
+/// (non-atomic) writes. The atomic rename protocol guarantees the final
+/// entry is either a whole valid document or whole garbage — never a
+/// spliced hybrid — and a garbled survivor is quarantined on first
+/// contact, after which a store refills the slot. No commit temp files
+/// may be left behind.
+#[test]
+fn concurrent_stores_under_corruption_leave_one_whole_entry() {
+    let dir = scratch_dir("store-contention");
+    let cache = DiskCache::new(dir.clone());
+    let w = lf_workloads::by_name("stencil_blur", Scale::Smoke).unwrap();
+    let outcome = lf_bench::run_kernel(&w, &RunConfig::default()).base;
+    let entry = cache.entry_path(outcome.fingerprint);
+
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| {
+                for _ in 0..20 {
+                    cache.store(&outcome).expect("store never errors under contention");
+                }
+            });
+        }
+        scope.spawn(|| {
+            for _ in 0..20 {
+                // In-place truncating write: exactly what the commit
+                // protocol forbids for itself.
+                let _ = std::fs::write(&entry, "{ \"injected\": \"mid-write garbage\"");
+                std::thread::yield_now();
+            }
+        });
+    });
+
+    match cache.lookup(outcome.fingerprint) {
+        CacheLookup::Hit(hit) => {
+            assert_eq!(hit.fingerprint, outcome.fingerprint, "a winning store is fully intact");
+        }
+        CacheLookup::Corrupt { quarantined } => {
+            assert!(quarantined, "a garbled survivor is quarantined on first contact");
+            assert!(
+                matches!(cache.lookup(outcome.fingerprint), CacheLookup::Miss),
+                "the quarantined slot reads as a miss"
+            );
+            assert!(
+                std::fs::read_dir(dir.join("quarantine")).unwrap().count() >= 1,
+                "the garbled entry is preserved for inspection"
+            );
+            cache.store(&outcome).unwrap();
+            assert!(
+                matches!(cache.lookup(outcome.fingerprint), CacheLookup::Hit(_)),
+                "the refilled slot serves hits again"
+            );
+        }
+        other => panic!("entry must be whole-valid or whole-corrupt, got {other:?}"),
+    }
+
+    // The commit protocol cleans up after itself even under contention.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+        .collect();
+    assert!(leftovers.is_empty(), "no temp debris after contended stores: {leftovers:?}");
 }
 
 /// The resume contract on a mixed campaign: previously failed runs (never
