@@ -56,10 +56,16 @@ fn tmp_path(path: &Path) -> PathBuf {
 /// After a crash at any point, `path` holds either its previous contents
 /// or the complete new contents — never a prefix.
 pub fn atomic_write(path: &Path, text: &str) -> io::Result<()> {
+    atomic_write_bytes(path, text.as_bytes())
+}
+
+/// [`atomic_write`] for binary payloads (checkpoint blobs); the text path
+/// delegates here so every durable commit shares one protocol.
+pub fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let tmp = tmp_path(path);
     let commit = (|| {
         let mut f = File::create(&tmp)?;
-        f.write_all(text.as_bytes())?;
+        f.write_all(bytes)?;
         // Data must reach disk before the rename publishes a name for it;
         // otherwise a machine crash could leave a *named* empty file,
         // which is exactly the torn state the protocol exists to prevent.

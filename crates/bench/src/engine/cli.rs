@@ -2,19 +2,26 @@
 //! scenario through the deduplicating run planner.
 //!
 //! ```text
-//! lf-bench list [--scale smoke|eval]
+//! lf-bench list [--scale smoke|eval|full]
 //! lf-bench run <scenario>... [options]
 //! lf-bench run --all [options]
-//! lf-bench perf [--scale smoke|eval] [--reps N] [--label TEXT]
+//! lf-bench perf [--scale smoke|eval|full] [--reps N] [--label TEXT]
 //!               [--json [DIR]] [--warn-regression PCT]
-//! lf-bench profile [--scale smoke|eval] [--reps N] [--json [DIR]]
-//! lf-bench trace <kernel> [--scale smoke|eval] [--config base|lf]
+//! lf-bench profile [--scale smoke|eval|full] [--reps N] [--json [DIR]]
+//! lf-bench trace <kernel> [--scale smoke|eval|full] [--config base|lf]
 //!                [--konata PATH] [--text PATH|-] [--cycles LO:HI]
 //!                [--tid N] [--kinds a,b,...]
 //!                [--dump-flight-recorder PATH]
 //!
 //! options:
-//!   --scale smoke|eval   workload scale (default smoke)
+//!   --scale smoke|eval|full
+//!                        workload scale (default smoke)
+//!   --tier functional|sampled|detailed
+//!                        simulation tier (default detailed): `functional`
+//!                        fast-forwards on the emulator tier (no cycles),
+//!                        `sampled` measures SimPoint windows from warm
+//!                        checkpoints and reconstructs whole-run IPC,
+//!                        `detailed` is the legacy cycle-accurate path
 //!   -j N                 worker threads (default: available parallelism)
 //!   --filter SUBSTR      keep only kernels whose name contains SUBSTR
 //!   --no-cache           skip the on-disk run cache (results/cache/)
@@ -54,6 +61,7 @@ use crate::engine::fault::{
 };
 use crate::engine::{by_name, registry, run_scenarios, EngineOptions, EngineOutput, Scenario};
 use crate::runner::scale_tag;
+use crate::tiered::Tier;
 use lf_stats::Json;
 use lf_workloads::Scale;
 use std::collections::HashSet;
@@ -64,6 +72,7 @@ use std::time::Duration;
 struct Cli {
     command: Command,
     scale: Scale,
+    tier: Tier,
     jobs: usize,
     filter: Option<String>,
     no_cache: bool,
@@ -102,7 +111,8 @@ enum Command {
 fn usage() -> ! {
     eprintln!(
         "usage: lf-bench <list|run|perf|profile|trace> [scenario...|kernel] [--all]\n\
-         \x20                [--scale smoke|eval] [-j N] [--filter SUBSTR] [--no-cache]\n\
+         \x20                [--scale smoke|eval|full] [--tier functional|sampled|detailed]\n\
+         \x20                [-j N] [--filter SUBSTR] [--no-cache]\n\
          \x20                [--cache-dir DIR] [--json [DIR]] [--assert-dedup]\n\
          \x20                [--budget-cycles N] [--deadline-secs N] [--resume [FILE]]\n\
          \x20                [--inject-fault SPEC]... [--crash-after-ms N]\n\
@@ -119,6 +129,7 @@ fn parse(args: &[String]) -> Cli {
     let mut cli = Cli {
         command: Command::List,
         scale: Scale::Smoke,
+        tier: Tier::Detailed,
         jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         filter: None,
         no_cache: false,
@@ -191,11 +202,24 @@ fn parse(args: &[String]) -> Cli {
             }
             "--all" => all = true,
             "--scale" => {
-                cli.scale = match value("`smoke` or `eval`").as_str() {
+                cli.scale = match value("`smoke`, `eval`, or `full`").as_str() {
                     "smoke" => Scale::Smoke,
                     "eval" => Scale::Eval,
+                    "full" => Scale::Full,
                     other => {
-                        eprintln!("error: --scale expects `smoke` or `eval`, got {other}");
+                        eprintln!("error: --scale expects `smoke`, `eval`, or `full`, got {other}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--tier" => {
+                let v = value("`functional`, `sampled`, or `detailed`");
+                cli.tier = match Tier::parse(&v) {
+                    Some(t) => t,
+                    None => {
+                        eprintln!(
+                            "error: --tier expects `functional`, `sampled`, or `detailed`, got {v}"
+                        );
                         std::process::exit(2);
                     }
                 }
@@ -396,6 +420,7 @@ fn engine_options(cli: &Cli) -> EngineOptions {
     });
     EngineOptions {
         scale: cli.scale,
+        tier: cli.tier,
         jobs: cli.jobs,
         filter: cli.filter.clone(),
         disk_cache: if cli.no_cache { None } else { Some(DiskCache::new(cli.cache_dir.clone())) },

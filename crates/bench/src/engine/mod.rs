@@ -35,6 +35,7 @@ pub mod scenarios;
 pub mod spans;
 
 use crate::runner::{scale_tag, KernelRun, RunConfig, RunOutcome};
+use crate::tiered::{CheckpointStore, Tier};
 use crate::RunArtifact;
 use cache::{CacheLookup, DiskCache};
 use fault::{FaultPlan, FaultStats, RunBudget, RunError, RunFailure};
@@ -69,6 +70,10 @@ pub trait Scenario: Sync {
 pub struct EngineOptions {
     /// Workload scale for every planned run.
     pub scale: Scale,
+    /// Execution tier for every planned run (`--tier`). The detailed tier
+    /// keeps legacy fingerprints, so existing caches stay valid; the
+    /// functional and sampled tiers fingerprint (and cache) separately.
+    pub tier: Tier,
     /// Worker threads for kernel preparation and simulation.
     pub jobs: usize,
     /// Kernel-name substring filter; non-matching kernels are dropped from
@@ -104,6 +109,7 @@ impl EngineOptions {
     pub fn new(scale: Scale) -> EngineOptions {
         EngineOptions {
             scale,
+            tier: Tier::Detailed,
             jobs: 1,
             filter: None,
             disk_cache: None,
@@ -121,6 +127,7 @@ impl EngineOptions {
 /// every requested run.
 pub struct EngineCtx<'e> {
     scale: Scale,
+    tier: Tier,
     suite: &'e [Workload],
     prepared: HashMap<PrepKey, Arc<PreparedKernel>>,
     outcomes: HashMap<u64, Arc<RunOutcome>>,
@@ -135,6 +142,11 @@ impl EngineCtx<'_> {
     /// The workload scale of this engine run.
     pub fn scale(&self) -> Scale {
         self.scale
+    }
+
+    /// The execution tier of this engine run.
+    pub fn tier(&self) -> Tier {
+        self.tier
     }
 
     /// The (possibly filtered) kernel suite, in canonical order.
@@ -179,7 +191,7 @@ impl EngineCtx<'_> {
             return Err(f.clone());
         }
         let prep = self.prepared(kernel, hinting);
-        let fp = prep.request_fingerprint(cfg);
+        let fp = prep.request_fingerprint_tiered(cfg, self.tier);
         if let Some(outcome) = self.outcomes.get(&fp) {
             return Ok(outcome.clone());
         }
@@ -225,7 +237,7 @@ impl EngineCtx<'_> {
         }
         let prep = self.try_prepared(kernel, &hinting)?;
         for cfg in [&rc.base, &rc.lf] {
-            let fp = prep.request_fingerprint(cfg);
+            let fp = prep.request_fingerprint_tiered(cfg, self.tier);
             if let Some(f) = self.failures.get(&fp) {
                 return Some(f.clone());
             }
@@ -447,8 +459,12 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
     // preparation drops only that pair's requests; its failure record
     // stands in for every run that depended on it.
     let tag = scale_tag(opts.scale);
+    let tier_flag = match opts.tier {
+        Tier::Detailed => String::new(),
+        t => format!(" --tier {}", t.tag()),
+    };
     let repro_for = |kernel: &str| {
-        format!("lf-bench run --all --scale {tag} --filter {kernel} -j 1 --no-cache")
+        format!("lf-bench run --all --scale {tag}{tier_flag} --filter {kernel} -j 1 --no-cache")
     };
     let mut failure_list: Vec<Arc<RunFailure>> = Vec::new();
     let prepare_span = span_log.span("phase", "prepare");
@@ -466,7 +482,7 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
         failure_list.push(record.clone());
         prep_failures.insert(key, record);
     }
-    let unique = dedupe(&requests, &prepared);
+    let unique = dedupe(&requests, &prepared, opts.tier);
 
     // Journal the deduplicated plan in one batch, and on `--resume`
     // classify each planned run against the previous campaign's log: the
@@ -569,8 +585,15 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
     // Phase 4: render serially in registry order — output is deterministic
     // for any `-j`. A panicking render costs only that scenario's output:
     // the campaign still renders everything else and reports the failure.
-    let ctx =
-        EngineCtx { scale: opts.scale, suite: &suite, prepared, outcomes, failures, prep_failures };
+    let ctx = EngineCtx {
+        scale: opts.scale,
+        tier: opts.tier,
+        suite: &suite,
+        prepared,
+        outcomes,
+        failures,
+        prep_failures,
+    };
     let mut report = PlannerReport {
         requests: per_scenario.iter().map(|(_, n)| n).sum(),
         per_scenario,
@@ -731,7 +754,21 @@ fn execute_refs(
             config: r.config.clone(),
         })
         .collect();
-    execute(&owned, opts.jobs, hook, &opts.budget, &opts.faults, span_log, journal)
+    // Checkpoint plans live next to the run-cache entries and commit
+    // through the same atomic-write path; `--no-cache` campaigns rebuild
+    // plans in memory instead.
+    let ckpt_store = opts.disk_cache.as_ref().map(|c| CheckpointStore::new(c.dir()));
+    execute(
+        &owned,
+        opts.jobs,
+        hook,
+        &opts.budget,
+        &opts.faults,
+        opts.tier,
+        ckpt_store.as_ref(),
+        span_log,
+        journal,
+    )
 }
 
 /// The scenario registry, in render order. Names are stable CLI surface

@@ -11,6 +11,7 @@
 use crate::engine::fault::{hang_program, render_flight_recorder, FaultPlan, RunBudget, RunError};
 use crate::engine::pool::{try_parallel_map, WorkerPanic};
 use crate::runner::{run_fingerprint, RunConfig, RunOutcome};
+use crate::tiered::{run_fingerprint_tiered, CheckpointStore, Tier};
 use lf_compiler::{annotate, SelectOptions};
 use lf_isa::Program;
 use lf_workloads::Workload;
@@ -112,9 +113,17 @@ impl PreparedKernel {
         }
     }
 
-    /// The run fingerprint of simulating this prepared kernel under `cfg`.
+    /// The run fingerprint of simulating this prepared kernel under `cfg`
+    /// on the detailed tier.
     pub fn request_fingerprint(&self, cfg: &LoopFrogConfig) -> u64 {
         run_fingerprint(&self.program, &self.workload.mem, cfg, self.workload.scale)
+    }
+
+    /// The run fingerprint of simulating this prepared kernel under `cfg`
+    /// on `tier` (identical to [`PreparedKernel::request_fingerprint`]
+    /// for [`Tier::Detailed`]).
+    pub fn request_fingerprint_tiered(&self, cfg: &LoopFrogConfig, tier: Tier) -> u64 {
+        run_fingerprint_tiered(&self.program, &self.workload.mem, cfg, self.workload.scale, tier)
     }
 }
 
@@ -226,6 +235,7 @@ pub(crate) struct UniqueRun {
 pub(crate) fn dedupe(
     requests: &[RunRequest],
     prepared: &HashMap<PrepKey, Arc<PreparedKernel>>,
+    tier: Tier,
 ) -> Vec<UniqueRun> {
     let mut seen: HashMap<u64, ()> = HashMap::new();
     let mut unique = Vec::new();
@@ -233,7 +243,7 @@ pub(crate) fn dedupe(
         let Some(prep) = prepared.get(&(r.kernel, r.hinting.fingerprint())) else {
             continue;
         };
-        let fp = prep.request_fingerprint(&r.config);
+        let fp = prep.request_fingerprint_tiered(&r.config, tier);
         if seen.insert(fp, ()).is_none() {
             unique.push(UniqueRun {
                 fingerprint: fp,
@@ -246,11 +256,14 @@ pub(crate) fn dedupe(
     unique
 }
 
-/// Simulates one run under the campaign budget and fault plan.
+/// Simulates one run under the campaign budget and fault plan, on the
+/// campaign's execution tier.
 fn execute_one(
     run: &UniqueRun,
     budget: &RunBudget,
     faults: &FaultPlan,
+    tier: Tier,
+    ckpt_store: Option<&CheckpointStore>,
 ) -> Result<RunOutcome, RunError> {
     if faults.should_crash(run.fingerprint) {
         // `abort()` raises SIGABRT with no unwinding and no destructors —
@@ -277,6 +290,29 @@ fn execute_one(
     } else {
         (&run.prepared.program, run.prepared.workload.mem.clone())
     };
+
+    // The fast tiers run outside the cycle-budget watchdog: the
+    // functional tier simulates no cycles at all (its passes are bounded
+    // by an instruction fuel cap instead), and the sampled tier exists
+    // precisely to keep the detailed-cycle count small.
+    match tier {
+        Tier::Detailed => {}
+        Tier::Functional => {
+            return crate::tiered::run_functional(run.fingerprint, program, mem)
+                .map_err(|message| RunError::Sim { message });
+        }
+        Tier::Sampled => {
+            return crate::tiered::run_sampled(
+                run.fingerprint,
+                program,
+                &mem,
+                &run.config,
+                run.prepared.workload.scale,
+                ckpt_store,
+            )
+            .map_err(|message| RunError::Sim { message });
+        }
+    }
 
     // The budget clamps a *clone* of the config: the fingerprint (and the
     // cache key) stay functions of the requested configuration, and the
@@ -331,12 +367,18 @@ fn execute_one(
 /// its slot without disturbing its siblings. `hook` (the planner's
 /// counting hook; tests use it to assert each fingerprint simulates
 /// exactly once) fires once per executed run.
+// Internal plumbing with a single caller: the arguments are the
+// campaign's cross-cutting facilities, and a bundling struct would only
+// move the list somewhere else.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute(
     runs: &[UniqueRun],
     jobs: usize,
     hook: Option<&(dyn Fn(&'static str) + Send + Sync)>,
     budget: &RunBudget,
     faults: &FaultPlan,
+    tier: Tier,
+    ckpt_store: Option<&CheckpointStore>,
     span_log: &Arc<crate::engine::spans::SpanLog>,
     journal: Option<&crate::engine::journal::Journal>,
 ) -> Vec<Result<Arc<RunOutcome>, RunError>> {
@@ -354,7 +396,7 @@ pub(crate) fn execute(
                 eprintln!("warning: campaign journal append failed: {e}");
             }
         }
-        execute_one(run, budget, faults)
+        execute_one(run, budget, faults, tier, ckpt_store)
     })
     .into_iter()
     .map(|r| match r {

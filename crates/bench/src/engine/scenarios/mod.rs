@@ -17,6 +17,7 @@ mod fig9_ssb_size;
 mod generality;
 mod packing_ablation;
 mod simpoint_check;
+mod simpoint_sampled;
 mod table2_categories;
 mod table3_comparison;
 
@@ -40,5 +41,6 @@ pub fn all() -> Vec<Box<dyn Scenario>> {
         Box::new(generality::Generality),
         Box::new(area_power::AreaPower),
         Box::new(simpoint_check::SimpointCheck),
+        Box::new(simpoint_sampled::SimpointSampled),
     ]
 }

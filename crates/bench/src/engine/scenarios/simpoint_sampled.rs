@@ -1,0 +1,112 @@
+//! Tiered-simulation proof: the sampled tier vs full detailed runs.
+//!
+//! Where `simpoint_check` validates the SimPoint *methodology* with
+//! bespoke emulator-side snapshots, this scenario exercises the
+//! production tiered path end to end — [`crate::tiered::build_plan`]'s
+//! functional passes, warm [`lf_isa::Checkpoint`]s, detailed warm-up
+//! windows, and [`crate::tiered::sample_windows`]'s weighted whole-run
+//! reconstruction — and reports what the tier buys: the detailed-cycle
+//! reduction and the sampled-vs-full relative error, both carried in the
+//! artifact's telemetry.
+//!
+//! The full detailed runs are planned requests (they deduplicate with the
+//! headline suite); the sampled measurements are bespoke render-phase
+//! work, exactly like `simpoint_check`'s.
+
+use crate::engine::planner::{Hinting, Planner};
+use crate::engine::{EngineCtx, Scenario};
+use crate::tiered::{build_plan, sample_windows};
+use crate::{RunArtifact, RunConfig};
+use std::fmt::Write;
+
+const KERNELS: [&str; 4] = ["stencil_blur", "event_queue", "hash_lookup", "md_force"];
+
+/// The sampled-tier speedup/accuracy scenario.
+pub struct SimpointSampled;
+
+impl Scenario for SimpointSampled {
+    fn name(&self) -> &'static str {
+        "simpoint_sampled"
+    }
+
+    fn title(&self) -> &'static str {
+        "tiered simulation: sampled windows vs full detailed runs"
+    }
+
+    fn plan(&self, p: &mut Planner<'_>) {
+        let cfg = RunConfig::default();
+        for w in p.kernels() {
+            if KERNELS.contains(&w.name) {
+                p.request(w.name, Hinting::Annotated(cfg.select.clone()), &cfg.lf);
+            }
+        }
+    }
+
+    fn render(&self, ctx: &EngineCtx<'_>, out: &mut String) -> RunArtifact {
+        let rc = RunConfig::default();
+        let hinting = Hinting::Annotated(rc.select.clone());
+        writeln!(out, "{}\n", self.title()).unwrap();
+        writeln!(
+            out,
+            "{:<16} {:>9} {:>4} {:>12} {:>12} {:>7} {:>10}",
+            "kernel", "insts", "k", "full cycles", "estimated", "error", "reduction"
+        )
+        .unwrap();
+
+        let mut points = Vec::new();
+        let mut failures = Vec::new();
+        let kernels =
+            KERNELS.iter().filter_map(|name| ctx.kernels().iter().find(|w| w.name == *name));
+        for w in kernels {
+            let full = match ctx.try_outcome(w.name, &hinting, &rc.lf) {
+                Ok(outcome) => outcome,
+                Err(f) => {
+                    writeln!(out, "{:<16} FAILED: {} ({})", w.name, f.error.message(), f.cell())
+                        .unwrap();
+                    failures.push(f.to_json());
+                    continue;
+                }
+            };
+            let prep = ctx.prepared(w.name, &hinting);
+            let plan = build_plan(&prep.program, &w.mem).expect("functional passes succeed");
+            let m = sample_windows(&prep.program, &plan, &rc.lf).expect("windows simulate");
+            let err = (m.est_cycles - full.stats.cycles as f64) / full.stats.cycles as f64 * 100.0;
+            let reduction = full.stats.cycles as f64 / m.detailed_cycles as f64;
+            writeln!(
+                out,
+                "{:<16} {:>9} {:>4} {:>12} {:>12.0} {:>+6.1}% {:>9.1}x",
+                w.name,
+                plan.total_insts,
+                plan.picks.len(),
+                full.stats.cycles,
+                m.est_cycles,
+                err,
+                reduction
+            )
+            .unwrap();
+            let mut p = lf_stats::Json::obj();
+            p.set("kernel", w.name);
+            p.set("total_insts", plan.total_insts);
+            p.set("interval_len", plan.interval_len);
+            p.set("simpoints", plan.picks.len() as u64);
+            p.set("full_cycles", full.stats.cycles);
+            p.set("estimated_cycles", m.est_cycles);
+            p.set("detailed_cycles", m.detailed_cycles);
+            p.set("error_pct", err);
+            p.set("detailed_cycle_reduction", reduction);
+            points.push(p);
+        }
+        writeln!(
+            out,
+            "\nsampled tier: functional fast-forward + warm checkpoints + weighted windows;"
+        )
+        .unwrap();
+        writeln!(out, "reduction is full detailed cycles over cycles the tier simulated.").unwrap();
+        let mut art = RunArtifact::new(self.name(), ctx.scale());
+        art.set_extra("sampled_vs_full", lf_stats::Json::Arr(points));
+        if !failures.is_empty() {
+            art.set_extra("failures", lf_stats::Json::Arr(failures));
+        }
+        art
+    }
+}

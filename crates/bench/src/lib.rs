@@ -18,6 +18,7 @@ pub mod perf;
 pub mod profile;
 pub mod runner;
 pub mod table;
+pub mod tiered;
 pub mod tracecmd;
 
 pub use artifact::RunArtifact;
@@ -26,10 +27,11 @@ pub use runner::{
     RunOutcome,
 };
 pub use table::{fmt_pct, print_table, write_table};
+pub use tiered::{run_fingerprint_tiered, CheckpointStore, SampledPlan, Tier};
 
-/// Parses `--scale smoke|eval` from the process arguments (default smoke).
-/// Exits with an error on an unrecognized value rather than silently
-/// falling back.
+/// Parses `--scale smoke|eval|full` from the process arguments (default
+/// smoke). Exits with an error on an unrecognized value rather than
+/// silently falling back.
 pub fn scale_from_args() -> lf_workloads::Scale {
     let args: Vec<String> = std::env::args().collect();
     match args.iter().position(|a| a == "--scale") {
@@ -37,9 +39,10 @@ pub fn scale_from_args() -> lf_workloads::Scale {
         Some(i) => match args.get(i + 1).map(String::as_str) {
             Some("eval") => lf_workloads::Scale::Eval,
             Some("smoke") => lf_workloads::Scale::Smoke,
+            Some("full") => lf_workloads::Scale::Full,
             other => {
                 eprintln!(
-                    "error: --scale expects `smoke` or `eval`, got {}",
+                    "error: --scale expects `smoke`, `eval`, or `full`, got {}",
                     other.unwrap_or("nothing")
                 );
                 std::process::exit(2);

@@ -3,7 +3,10 @@
 //! Runs a fixed kernel basket at pinned configurations (the default
 //! baseline and LoopFrog configs), measures wall-clock time around the
 //! simulator alone (annotation and workload construction are excluded),
-//! and reports simulated kilocycles per second and committed MIPS. Each
+//! and reports simulated kilocycles per second and committed MIPS. The
+//! same basket also runs on the functional fast tier, whose emulation
+//! throughput (M insts/s) is what the tiered sampling path fast-forwards
+//! at; its wall time is kept out of the detailed-throughput figures. Each
 //! invocation appends one entry to `results/BENCH_throughput.json`, so
 //! the file accumulates a throughput trajectory across commits the same
 //! way `BENCH_harness.json` tracks planner wall time.
@@ -73,6 +76,7 @@ pub fn run_perf(opts: &PerfOptions) -> Json {
         [("base", LoopFrogConfig::baseline()), ("lf", LoopFrogConfig::default())];
 
     let mut samples: Vec<Sample> = Vec::new();
+    let mut func_samples: Vec<Sample> = Vec::new();
     for name in BASKET {
         let w = lf_workloads::by_name(name, opts.scale)
             .unwrap_or_else(|| panic!("perf basket kernel {name} is not registered"));
@@ -96,6 +100,27 @@ pub fn run_perf(opts: &PerfOptions) -> Json {
             }
             samples.push(Sample { kernel: w.name, config: tag, cycles, insts, best_wall_s });
         }
+        // The functional fast tier over the same annotated program: zero
+        // simulated cycles, instruction throughput only.
+        let mut best_wall_s = f64::INFINITY;
+        let mut insts = 0u64;
+        for _ in 0..opts.reps.max(1) {
+            let start = Instant::now();
+            let mut fast = lf_isa::FastTier::new(&ann.program, w.mem.clone());
+            fast.run_to_inst_count(u64::MAX - 1)
+                .unwrap_or_else(|e| panic!("{name} (functional) faulted: {e}"));
+            assert!(fast.is_halted(), "{name} did not halt on the fast tier");
+            let wall = start.elapsed().as_secs_f64();
+            insts = fast.inst_count();
+            best_wall_s = best_wall_s.min(wall);
+        }
+        func_samples.push(Sample {
+            kernel: w.name,
+            config: "functional",
+            cycles: 0,
+            insts,
+            best_wall_s,
+        });
     }
 
     let total_cycles: u64 = samples.iter().map(|s| s.cycles).sum();
@@ -103,16 +128,23 @@ pub fn run_perf(opts: &PerfOptions) -> Json {
     let total_wall_s: f64 = samples.iter().map(|s| s.best_wall_s).sum();
     let kcps = total_cycles as f64 / total_wall_s / 1e3;
     let mips = total_insts as f64 / total_wall_s / 1e6;
+    let func_insts: u64 = func_samples.iter().map(|s| s.insts).sum();
+    let func_wall_s: f64 = func_samples.iter().map(|s| s.best_wall_s).sum();
+    let func_mips = func_insts as f64 / func_wall_s / 1e6;
 
     let mut rows = Vec::new();
-    for s in &samples {
+    for s in samples.iter().chain(&func_samples) {
         rows.push(vec![
             s.kernel.to_string(),
             s.config.to_string(),
-            s.cycles.to_string(),
+            if s.cycles == 0 { "-".to_string() } else { s.cycles.to_string() },
             s.insts.to_string(),
             format!("{:.2}", s.best_wall_s * 1e3),
-            format!("{:.0}", s.cycles as f64 / s.best_wall_s / 1e3),
+            if s.cycles == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.0}", s.cycles as f64 / s.best_wall_s / 1e3)
+            },
         ]);
     }
     println!(
@@ -127,6 +159,10 @@ pub fn run_perf(opts: &PerfOptions) -> Json {
         total_wall_s * 1e3
     );
     println!("throughput: {kcps:.0} simulated kcycles/s, {mips:.2} committed MIPS");
+    println!(
+        "functional tier: {func_insts} insts in {:.1} ms — {func_mips:.1} M insts/s",
+        func_wall_s * 1e3
+    );
 
     let mut entry = Json::obj();
     let unix_secs = std::time::SystemTime::now()
@@ -145,8 +181,11 @@ pub fn run_perf(opts: &PerfOptions) -> Json {
     entry.set("wall_ms", total_wall_s * 1e3);
     entry.set("kcycles_per_sec", kcps);
     entry.set("committed_mips", mips);
+    entry.set("functional_insts", func_insts);
+    entry.set("functional_wall_ms", func_wall_s * 1e3);
+    entry.set("functional_mips", func_mips);
     let mut per = Vec::new();
-    for s in &samples {
+    for s in samples.iter().chain(&func_samples) {
         let mut j = Json::obj();
         j.set("kernel", s.kernel);
         j.set("config", s.config);

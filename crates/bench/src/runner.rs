@@ -99,6 +99,7 @@ pub fn scale_tag(scale: Scale) -> &'static str {
     match scale {
         Scale::Smoke => "smoke",
         Scale::Eval => "eval",
+        Scale::Full => "full",
     }
 }
 

@@ -1,0 +1,793 @@
+//! Tiered execution: functional fast-forward, warm checkpoints, and
+//! sampled cycle-accurate windows.
+//!
+//! The detailed core simulates a few hundred kilocycles per second; the
+//! functional fast tier executes tens of millions of instructions per
+//! second. This module trades between them the way gem5 switches CPU
+//! models: a run can execute entirely on the fast tier
+//! ([`Tier::Functional`]), entirely on the detailed core
+//! ([`Tier::Detailed`], the legacy path), or fast-forward with functional
+//! warming to SimPoint-selected windows and measure only those in detail
+//! ([`Tier::Sampled`]).
+//!
+//! The sampled pipeline:
+//!
+//! 1. one functional pass establishes the dynamic instruction count and
+//!    the final-state checksum (the golden reference the engine's
+//!    `checksum_ok` gate compares against);
+//! 2. a second pass splits the run into fixed-length intervals and
+//!    collects a basic-block vector per interval (plus a synthetic
+//!    working-set dimension, [`lf_isa::BBV_NEW_LINES_KEY`]); a trailing
+//!    partial interval shorter than half the interval length is dropped
+//!    from clustering so its drain-dominated CPI cannot claim a full
+//!    cluster weight;
+//! 3. [`pick_simpoints`] clusters the vectors and selects weighted
+//!    representative intervals;
+//! 4. a third pass captures a [`Checkpoint`] at each representative's
+//!    starting instruction: architectural state snapshotted exactly at
+//!    the pick, hint streams captured [`WARM_LOOKAHEAD_INSTS`] further
+//!    to model the live core's speculative run-ahead;
+//! 5. each window restores a detailed core via
+//!    `LoopFrogCore::from_checkpoint`, runs a bounded detailed warm-up
+//!    (interval / [`WARM_FRACTION`] instructions; skipped at interval 0,
+//!    where the restore *is* the pristine cold start), measures the
+//!    interval, and [`weighted_cycles`] reconstructs the whole-run cycle
+//!    count.
+//!
+//! Plans (picks + checkpoints) are content-addressed in a
+//! [`CheckpointStore`] under the run-cache directory, committed through
+//! [`crate::durable::atomic_write_bytes`]. A corrupt entry is quarantined
+//! exactly like a corrupt run-cache entry, and the run falls back to full
+//! detailed simulation rather than failing the campaign.
+
+use crate::runner::{run_fingerprint, scale_tag, RunOutcome};
+use lf_isa::checksum::fnv1a;
+use lf_isa::{Checkpoint, CheckpointError, FastTier, Memory, Program};
+use lf_stats::simpoint::{pick_simpoints, weighted_cycles, SimPoint};
+use lf_stats::{fingerprint_hex, Fingerprint, Json};
+use lf_workloads::Scale;
+use loopfrog::{LoopFrogConfig, LoopFrogCore, SimStats};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which execution path a run takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tier {
+    /// Emulator-speed fast-forward on the [`FastTier`]: architectural
+    /// results and instruction counts only, zero simulated cycles. For
+    /// state/BBV collection and throughput work, not timing figures.
+    Functional,
+    /// SimPoint-sampled detailed simulation from warm checkpoints; the
+    /// whole-run cycle count is reconstructed from weighted windows.
+    Sampled,
+    /// The legacy cycle-accurate path: every instruction through the
+    /// detailed core.
+    #[default]
+    Detailed,
+}
+
+impl Tier {
+    /// The lowercase tag used in fingerprints, CLI flags, and artifacts.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Tier::Functional => "functional",
+            Tier::Sampled => "sampled",
+            Tier::Detailed => "detailed",
+        }
+    }
+
+    /// Parses a CLI tier name.
+    pub fn parse(s: &str) -> Option<Tier> {
+        match s {
+            "functional" => Some(Tier::Functional),
+            "sampled" => Some(Tier::Sampled),
+            "detailed" => Some(Tier::Detailed),
+            _ => None,
+        }
+    }
+}
+
+/// The run fingerprint under a tier. [`Tier::Detailed`] keeps the legacy
+/// fingerprint bit-for-bit — existing caches stay valid — while the other
+/// tiers mix in their tag so a sampled estimate can never be served where
+/// a detailed result was requested (or vice versa).
+pub fn run_fingerprint_tiered(
+    program: &Program,
+    mem: &Memory,
+    cfg: &LoopFrogConfig,
+    scale: Scale,
+    tier: Tier,
+) -> u64 {
+    let base = run_fingerprint(program, mem, cfg, scale);
+    match tier {
+        Tier::Detailed => base,
+        Tier::Functional | Tier::Sampled => Fingerprint::new().u64(base).str(tier.tag()).finish(),
+    }
+}
+
+/// Target number of BBV intervals per run.
+pub const TARGET_INTERVALS: u64 = 44;
+/// Floor on the interval length in instructions (short kernels would
+/// otherwise fragment into intervals dominated by warm-up transients).
+pub const MIN_INTERVAL_INSTS: u64 = 2_000;
+/// Maximum SimPoint clusters (and therefore detailed windows) per run.
+/// With [`TARGET_INTERVALS`] intervals and a window costing
+/// `(1 + 1/WARM_FRACTION)` intervals of detailed simulation, the
+/// worst-case detailed fraction is `6 * 1.125 / 44 ≈ 15%` — a floor of
+/// roughly 6.5x detailed-cycle reduction even when BIC picks every
+/// cluster it is allowed. (The realized reduction is lower: windows
+/// land disproportionately on slow phases, which cost more cycles per
+/// instruction than the run average.)
+pub const MAX_SIMPOINTS: usize = 6;
+/// Detailed warm-up before each measured window, as a divisor of the
+/// interval length (SMARTS-style: functional warming delivers the tables,
+/// a short detailed burst settles the pipeline and queues). Windows at
+/// interval 0 skip the warm-up entirely: a restore at instruction 0 with
+/// empty hint streams *is* the pristine cold start, and measuring from
+/// cycle 0 reproduces it exactly.
+pub const WARM_FRACTION: u64 = 8;
+/// Functional-warming lookahead: hint streams in a checkpoint are
+/// captured this many instructions *past* the pick. The detailed core's
+/// speculative threadlets run ahead of the architectural stream and
+/// prefetch lines the architectural replay alone never sees, so a
+/// checkpoint warmed strictly from the past leaves the L2 measurably
+/// colder than the live core's (pointer-chasing kernels read ~25% slow).
+/// Warming through a short future window models that run-ahead; the
+/// architectural state still snapshots exactly at the pick. Too much
+/// lookahead overcorrects the other way: lines the window itself would
+/// miss on arrive pre-warmed and the window reads fast. Keep the
+/// measured window at least ~3x this value.
+pub const WARM_LOOKAHEAD_INSTS: u64 = 768;
+/// Measured-window length as a divisor of the interval length. Kept at 1
+/// (full-interval windows): shrinking the window below ~3x
+/// [`WARM_LOOKAHEAD_INSTS`] lets the lookahead warming cover most of the
+/// window's misses and the measured CPI reads optimistic.
+pub const MEASURE_DIVISOR: u64 = 1;
+/// Clustering seed (fixed: plans must be deterministic).
+const SIMPOINT_SEED: u64 = 0xC0FFEE;
+/// Fuel cap for functional passes, matching the golden emulator's
+/// reference-run cap: a kernel that does not halt within this many
+/// instructions is a structured error, not a hung worker.
+const FUNCTIONAL_FUEL: u64 = 200_000_000;
+
+/// Plan-blob format magic.
+const PLAN_MAGIC: &[u8; 8] = b"LFPLAN\0\0";
+/// Plan-blob format version.
+const PLAN_VERSION: u32 = 1;
+
+/// A reusable sampling plan for one `(program, memory, scale)` identity:
+/// the interval geometry, the functional ground truth, and one warm
+/// checkpoint per selected SimPoint. Config-independent by construction —
+/// baseline and LoopFrog configs of the same prepared kernel share it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledPlan {
+    /// BBV interval length in instructions.
+    pub interval_len: u64,
+    /// Total dynamic instructions of the full run.
+    pub total_insts: u64,
+    /// Final architectural state checksum of the full run (functional
+    /// tier; equals the golden emulator's by construction).
+    pub final_checksum: u64,
+    /// Selected SimPoints with the checkpoint at each one's starting
+    /// instruction, sorted by interval index.
+    pub picks: Vec<(SimPoint, Checkpoint)>,
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self.at.checked_add(n).ok_or(CheckpointError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl SampledPlan {
+    /// Serializes the plan to a self-validating byte stream (same
+    /// `magic | version | payload checksum | payload` envelope as
+    /// [`Checkpoint::to_bytes`]; checkpoints nest with their own envelope,
+    /// so corruption is caught at whichever layer it lands in).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, self.interval_len);
+        put_u64(&mut payload, self.total_insts);
+        put_u64(&mut payload, self.final_checksum);
+        put_u64(&mut payload, self.picks.len() as u64);
+        for (sp, ckpt) in &self.picks {
+            put_u64(&mut payload, sp.interval as u64);
+            put_u64(&mut payload, sp.weight.to_bits());
+            let bytes = ckpt.to_bytes();
+            put_u64(&mut payload, bytes.len() as u64);
+            payload.extend_from_slice(&bytes);
+        }
+        let mut out = Vec::with_capacity(payload.len() + 24);
+        out.extend_from_slice(PLAN_MAGIC);
+        put_u32(&mut out, PLAN_VERSION);
+        put_u64(&mut out, fnv1a(&payload));
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Deserializes and validates a plan blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on truncation, a foreign magic, an
+    /// unknown version, or a checksum mismatch (in the envelope or in any
+    /// nested checkpoint).
+    pub fn from_bytes(bytes: &[u8]) -> Result<SampledPlan, CheckpointError> {
+        let mut r = Reader { bytes, at: 0 };
+        if r.take(8)? != PLAN_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != PLAN_VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let checksum = r.u64()?;
+        let payload = &bytes[r.at..];
+        if fnv1a(payload) != checksum {
+            return Err(CheckpointError::BadChecksum);
+        }
+        let interval_len = r.u64()?;
+        let total_insts = r.u64()?;
+        let final_checksum = r.u64()?;
+        let n = r.u64()? as usize;
+        let mut picks = Vec::with_capacity(n.min(MAX_SIMPOINTS * 4));
+        for _ in 0..n {
+            let interval = r.u64()? as usize;
+            let weight = f64::from_bits(r.u64()?);
+            let len = r.u64()? as usize;
+            let ckpt = Checkpoint::from_bytes(r.take(len)?)?;
+            picks.push((SimPoint { interval, weight }, ckpt));
+        }
+        Ok(SampledPlan { interval_len, total_insts, final_checksum, picks })
+    }
+}
+
+/// Builds the sampling plan for one program + memory image: three
+/// functional passes (count, BBV-collect, checkpoint at picks).
+///
+/// # Errors
+///
+/// Returns a message if the kernel faults or fails to halt within the
+/// functional fuel cap.
+pub fn build_plan(program: &Program, mem: &Memory) -> Result<SampledPlan, String> {
+    // Pass 1: total instruction count and the final-state checksum.
+    let mut fast = FastTier::new(program, mem.clone());
+    fast.run_to_inst_count(FUNCTIONAL_FUEL).map_err(|e| format!("functional pass faulted: {e}"))?;
+    if !fast.is_halted() {
+        return Err(format!("kernel did not halt within {FUNCTIONAL_FUEL} instructions"));
+    }
+    let total_insts = fast.inst_count();
+    let final_checksum = fast.state_checksum();
+    let interval_len = (total_insts / TARGET_INTERVALS).max(MIN_INTERVAL_INSTS);
+
+    // Pass 2: interval BBVs, collected inline by the fast tier. A trailing
+    // partial interval shorter than half an interval is dropped before
+    // clustering: it holds a negligible share of the run, but as its own
+    // near-empty vector it reliably earns its own cluster, and a full
+    // cluster weight on a handful of drain-dominated instructions skews
+    // the whole-run estimate far out of proportion to its size.
+    let mut fast = FastTier::new(program, mem.clone());
+    while !fast.is_halted() {
+        fast.run_interval(interval_len).map_err(|e| format!("BBV pass faulted: {e}"))?;
+    }
+    let mut vectors = fast.vectors();
+    if let Some(last) = vectors.last() {
+        let insts: u64 =
+            last.iter().filter(|(&k, _)| k != lf_isa::BBV_NEW_LINES_KEY).map(|(_, &n)| n).sum();
+        if vectors.len() > 1 && insts < interval_len / 2 {
+            vectors = &vectors[..vectors.len() - 1];
+        }
+    }
+    let picks = pick_simpoints(vectors, MAX_SIMPOINTS, SIMPOINT_SEED);
+
+    // Pass 3: a warm checkpoint at each pick's starting instruction. Each
+    // pick replays from scratch (functional replay costs microseconds at
+    // these run lengths): architectural state snapshots exactly at the
+    // pick, then the replay continues [`WARM_LOOKAHEAD_INSTS`] further so
+    // the hint streams also cover the detailed core's speculative
+    // run-ahead. Interval 0 is exempt — nothing ran ahead of a cold start,
+    // and its pristine empty-hint checkpoint reproduces it exactly.
+    let mut with_ckpts = Vec::with_capacity(picks.len());
+    for p in &picks {
+        let start = p.interval as u64 * interval_len;
+        let mut fast = FastTier::new(program, mem.clone());
+        fast.run_to_inst_count(start).map_err(|e| format!("checkpoint pass faulted: {e}"))?;
+        let arch = fast.checkpoint();
+        if p.interval == 0 {
+            with_ckpts.push((*p, arch));
+            continue;
+        }
+        fast.run_to_inst_count(start + WARM_LOOKAHEAD_INSTS)
+            .map_err(|e| format!("lookahead pass faulted: {e}"))?;
+        let mut ckpt = fast.checkpoint();
+        ckpt.regs = arch.regs;
+        ckpt.mem = arch.mem;
+        ckpt.pc = arch.pc;
+        ckpt.insts = arch.insts;
+        with_ckpts.push((*p, ckpt));
+    }
+    Ok(SampledPlan { interval_len, total_insts, final_checksum, picks: with_ckpts })
+}
+
+/// The classified result of a checkpoint-store probe.
+#[derive(Debug)]
+pub enum PlanLookup {
+    /// The blob validated end to end and reconstructed.
+    Hit(Box<SampledPlan>),
+    /// No entry on disk.
+    Miss,
+    /// The entry exists but failed validation (truncated, bit-rotted, or
+    /// foreign); moved to the quarantine directory when `quarantined`.
+    Corrupt {
+        /// Whether the bad blob was successfully moved aside.
+        quarantined: bool,
+    },
+}
+
+/// Content-addressed sampling plans under the run-cache directory:
+/// `<cache>/<key>.ckpt`, committed through the shared atomic-write path
+/// and quarantined into the same `quarantine/` subdirectory as corrupt
+/// run-cache entries.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Opens (without creating) the store at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> CheckpointStore {
+        CheckpointStore { dir: dir.into() }
+    }
+
+    /// The plan key for a `(program, memory, scale)` identity. The
+    /// simulator config is deliberately absent: plans describe functional
+    /// execution, which every config shares.
+    pub fn plan_key(program: &Program, mem: &Memory, scale: Scale) -> u64 {
+        Fingerprint::new()
+            .str("ckpt-plan")
+            .u64(program.code_fingerprint())
+            .u64(fnv1a(mem.as_bytes()))
+            .str(scale_tag(scale))
+            .finish()
+    }
+
+    /// The blob path for a plan key.
+    pub fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{}.ckpt", fingerprint_hex(key)))
+    }
+
+    /// Where corrupt blobs are moved on detection (shared with the run
+    /// cache).
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    /// Probes the store, classifying the result. Corrupt blobs are
+    /// quarantined as a side effect.
+    pub fn lookup(&self, key: u64) -> PlanLookup {
+        let path = self.entry_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => return PlanLookup::Miss,
+        };
+        match SampledPlan::from_bytes(&bytes) {
+            Ok(plan) => PlanLookup::Hit(Box::new(plan)),
+            Err(_) => {
+                let quarantined = self.quarantine(&path, key).is_ok();
+                PlanLookup::Corrupt { quarantined }
+            }
+        }
+    }
+
+    /// Moves a corrupt blob into the quarantine directory.
+    fn quarantine(&self, path: &Path, key: u64) -> io::Result<()> {
+        let qdir = self.quarantine_dir();
+        std::fs::create_dir_all(&qdir)?;
+        std::fs::rename(path, qdir.join(format!("{}.ckpt", fingerprint_hex(key))))
+    }
+
+    /// Persists a plan, creating the store directory as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (the store is best-effort: callers
+    /// warn and continue un-memoized).
+    pub fn store(&self, key: u64, plan: &SampledPlan) -> io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        crate::durable::atomic_write_bytes(&self.entry_path(key), &plan.to_bytes())
+    }
+}
+
+/// One measured SimPoint window.
+#[derive(Debug, Clone, Copy)]
+pub struct Window {
+    /// The SimPoint this window represents.
+    pub point: SimPoint,
+    /// Cycles of the measured region (detailed warm-up excluded).
+    pub cycles: u64,
+    /// Instructions of the measured region.
+    pub insts: u64,
+    /// Total detailed cycles this window cost (warm-up included).
+    pub detailed_cycles: u64,
+}
+
+/// The result of measuring a plan's windows under one config.
+#[derive(Debug)]
+pub struct SampledMeasurement {
+    /// Weighted whole-run cycle estimate.
+    pub est_cycles: f64,
+    /// Total detailed cycles actually simulated (the cost the tier
+    /// exists to reduce).
+    pub detailed_cycles: u64,
+    /// Per-window measurements.
+    pub windows: Vec<Window>,
+    /// The last window's full simulation record (carries the registry /
+    /// cycle accounting shape artifacts expect).
+    pub carrier: loopfrog::SimResult,
+}
+
+/// Restores a detailed core at each of the plan's checkpoints, runs the
+/// bounded detailed warm-up, measures the representative interval, and
+/// reconstructs the whole-run cycle count via [`weighted_cycles`].
+///
+/// # Errors
+///
+/// Returns a message if any window's simulation faults.
+pub fn sample_windows(
+    program: &Program,
+    plan: &SampledPlan,
+    cfg: &LoopFrogConfig,
+) -> Result<SampledMeasurement, String> {
+    if plan.picks.is_empty() {
+        return Err("sampling plan has no picks".to_string());
+    }
+    let mut windows = Vec::with_capacity(plan.picks.len());
+    let mut samples = Vec::with_capacity(plan.picks.len());
+    let mut detailed_total = 0u64;
+    let mut carrier = None;
+    for (sp, ckpt) in &plan.picks {
+        // Interval 0's restore is the pristine cold start itself; measuring
+        // from cycle 0 reproduces the run's real cold-start cycles, which a
+        // warm-up would wrongly discard.
+        let warm = if sp.interval == 0 { 0 } else { plan.interval_len / WARM_FRACTION };
+        let measure = plan.interval_len / MEASURE_DIVISOR;
+        let mut core = LoopFrogCore::from_checkpoint(program, ckpt, cfg.clone());
+        core.run_until_committed(warm)
+            .map_err(|e| format!("window {} warm-up failed: {e}", sp.interval))?;
+        let (mut c0, mut i0) = (core.cycle(), core.committed_insts());
+        let stop = core
+            .run_until_committed(warm + measure)
+            .map_err(|e| format!("window {} failed: {e}", sp.interval))?;
+        let (c1, i1) = (core.cycle(), core.committed_insts());
+        if i1 == i0 {
+            // The program halted inside (or exactly at the end of) the
+            // warm-up: fold the warm-up into the measurement rather than
+            // dropping this pick's weight from the estimate.
+            (c0, i0) = (0, 0);
+        }
+        detailed_total += c1;
+        windows.push(Window { point: *sp, cycles: c1 - c0, insts: i1 - i0, detailed_cycles: c1 });
+        samples.push((*sp, c1 - c0, i1 - i0));
+        carrier = Some(core.into_result(stop));
+    }
+    Ok(SampledMeasurement {
+        est_cycles: weighted_cycles(&samples, plan.total_insts),
+        detailed_cycles: detailed_total,
+        windows,
+        carrier: carrier.expect("at least one window"),
+    })
+}
+
+fn tier_json(tier: Tier) -> Json {
+    let mut t = Json::obj();
+    t.set("tier", tier.tag());
+    t
+}
+
+/// Runs one kernel on the functional tier alone: architectural results
+/// and instruction counts, zero simulated cycles.
+///
+/// # Errors
+///
+/// Returns a message if the kernel faults or fails to halt.
+pub fn run_functional(
+    fingerprint: u64,
+    program: &Program,
+    mem: Memory,
+) -> Result<RunOutcome, String> {
+    let mut fast = FastTier::new(program, mem);
+    fast.run_to_inst_count(FUNCTIONAL_FUEL).map_err(|e| format!("functional run faulted: {e}"))?;
+    if !fast.is_halted() {
+        return Err(format!("kernel did not halt within {FUNCTIONAL_FUEL} instructions"));
+    }
+    let mut stats = SimStats::new(0);
+    stats.committed_insts = fast.inst_count();
+    let mut rendered = Json::obj();
+    let mut t = tier_json(Tier::Functional);
+    t.set("total_insts", fast.inst_count());
+    rendered.set("tier", t);
+    Ok(RunOutcome {
+        fingerprint,
+        stats,
+        checksum: fast.state_checksum(),
+        rendered,
+        from_cache: false,
+    })
+}
+
+/// Runs one kernel on the sampled tier: plan acquisition (store hit,
+/// fresh build + store, or corrupt-entry quarantine), window measurement,
+/// and whole-run reconstruction.
+///
+/// The returned outcome's `stats.cycles` is the weighted estimate and
+/// `committed_insts` the full-run count, so tables and speedup math read
+/// it like a detailed run; its checksum is the functional final-state
+/// checksum, so the engine's golden-state gate applies unchanged. Other
+/// scalar stats are the carrier window's and are window-local.
+///
+/// A corrupt store entry is quarantined and the run transparently falls
+/// back to full detailed simulation (`tier.fallback_detailed` in the
+/// rendered record says so).
+///
+/// # Errors
+///
+/// Returns a message if planning or any window simulation faults.
+pub fn run_sampled(
+    fingerprint: u64,
+    program: &Program,
+    mem: &Memory,
+    cfg: &LoopFrogConfig,
+    scale: Scale,
+    store: Option<&CheckpointStore>,
+) -> Result<RunOutcome, String> {
+    let key = CheckpointStore::plan_key(program, mem, scale);
+    let (plan, plan_from_cache) = match store.map(|s| s.lookup(key)) {
+        Some(PlanLookup::Hit(plan)) => (*plan, true),
+        Some(PlanLookup::Corrupt { quarantined }) => {
+            eprintln!(
+                "warning: corrupt checkpoint plan {} ({}quarantined); falling back to full \
+                 detailed simulation",
+                fingerprint_hex(key),
+                if quarantined { "" } else { "not " }
+            );
+            return run_detailed_fallback(fingerprint, program, mem, cfg);
+        }
+        Some(PlanLookup::Miss) | None => {
+            let plan = build_plan(program, mem)?;
+            if let Some(s) = store {
+                if let Err(e) = s.store(key, &plan) {
+                    eprintln!("warning: checkpoint plan write failed: {e}");
+                }
+            }
+            (plan, false)
+        }
+    };
+
+    let m = sample_windows(program, &plan, cfg)?;
+    let mut stats = m.carrier.stats.clone();
+    stats.cycles = m.est_cycles.round() as u64;
+    stats.committed_insts = plan.total_insts;
+    let mut rendered = crate::artifact::sim_result_json(&m.carrier);
+    let mut t = tier_json(Tier::Sampled);
+    t.set("total_insts", plan.total_insts);
+    t.set("interval_len", plan.interval_len);
+    t.set("est_cycles", m.est_cycles);
+    t.set("detailed_cycles", m.detailed_cycles);
+    t.set("plan_from_cache", plan_from_cache);
+    t.set("fallback_detailed", false);
+    let mut wins = Vec::new();
+    for w in &m.windows {
+        let mut j = Json::obj();
+        j.set("interval", w.point.interval as u64);
+        j.set("weight", w.point.weight);
+        j.set("cycles", w.cycles);
+        j.set("insts", w.insts);
+        j.set("detailed_cycles", w.detailed_cycles);
+        wins.push(j);
+    }
+    t.set("windows", Json::Arr(wins));
+    rendered.set("tier", t);
+    Ok(RunOutcome {
+        fingerprint,
+        stats,
+        checksum: plan.final_checksum,
+        rendered,
+        from_cache: false,
+    })
+}
+
+/// Full detailed simulation standing in for a sampled run whose plan was
+/// corrupt: correctness over speed, campaign never errors.
+fn run_detailed_fallback(
+    fingerprint: u64,
+    program: &Program,
+    mem: &Memory,
+    cfg: &LoopFrogConfig,
+) -> Result<RunOutcome, String> {
+    let mut core = LoopFrogCore::new(program, mem.clone(), cfg.clone());
+    let result = core.run().map_err(|e| e.to_string())?;
+    let mut outcome = RunOutcome::from_result(fingerprint, result);
+    let mut t = tier_json(Tier::Sampled);
+    t.set("fallback_detailed", true);
+    outcome.rendered.set("tier", t);
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(name: &str) -> (Program, Memory) {
+        let w = lf_workloads::by_name(name, Scale::Smoke).unwrap();
+        (w.program.clone(), w.mem.clone())
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lf-bench-tiered-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn tier_tags_round_trip() {
+        for t in [Tier::Functional, Tier::Sampled, Tier::Detailed] {
+            assert_eq!(Tier::parse(t.tag()), Some(t));
+        }
+        assert_eq!(Tier::parse("atomic"), None);
+        assert_eq!(Tier::default(), Tier::Detailed);
+    }
+
+    #[test]
+    fn detailed_fingerprint_is_the_legacy_fingerprint() {
+        let (program, mem) = kernel("stencil_blur");
+        let cfg = LoopFrogConfig::default();
+        let legacy = run_fingerprint(&program, &mem, &cfg, Scale::Smoke);
+        assert_eq!(
+            run_fingerprint_tiered(&program, &mem, &cfg, Scale::Smoke, Tier::Detailed),
+            legacy,
+            "detailed tier must not invalidate existing caches"
+        );
+        let f = run_fingerprint_tiered(&program, &mem, &cfg, Scale::Smoke, Tier::Functional);
+        let s = run_fingerprint_tiered(&program, &mem, &cfg, Scale::Smoke, Tier::Sampled);
+        assert_ne!(f, legacy);
+        assert_ne!(s, legacy);
+        assert_ne!(f, s);
+    }
+
+    #[test]
+    fn plan_round_trips_through_bytes() {
+        let (program, mem) = kernel("hash_lookup");
+        let plan = build_plan(&program, &mem).unwrap();
+        assert!(!plan.picks.is_empty());
+        assert!(plan.total_insts > 0);
+        let back = SampledPlan::from_bytes(&plan.to_bytes()).unwrap();
+        assert_eq!(plan, back);
+        assert_eq!(plan.to_bytes(), back.to_bytes());
+    }
+
+    #[test]
+    fn corrupt_plan_blobs_are_rejected() {
+        let (program, mem) = kernel("hash_lookup");
+        let plan = build_plan(&program, &mem).unwrap();
+        let bytes = plan.to_bytes();
+        assert!(matches!(
+            SampledPlan::from_bytes(&bytes[..bytes.len() - 3]),
+            Err(CheckpointError::Truncated | CheckpointError::BadChecksum)
+        ));
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(matches!(SampledPlan::from_bytes(&flipped), Err(CheckpointError::BadChecksum)));
+        let mut magic = bytes.clone();
+        magic[0] = b'X';
+        assert!(matches!(SampledPlan::from_bytes(&magic), Err(CheckpointError::BadMagic)));
+        let mut version = bytes.clone();
+        version[8] = 0xEE;
+        assert!(matches!(SampledPlan::from_bytes(&version), Err(CheckpointError::BadVersion(_))));
+    }
+
+    #[test]
+    fn store_round_trips_and_quarantines() {
+        let dir = scratch_dir("store");
+        let store = CheckpointStore::new(dir.clone());
+        let (program, mem) = kernel("event_queue");
+        let key = CheckpointStore::plan_key(&program, &mem, Scale::Smoke);
+        assert!(matches!(store.lookup(key), PlanLookup::Miss));
+        let plan = build_plan(&program, &mem).unwrap();
+        store.store(key, &plan).unwrap();
+        match store.lookup(key) {
+            PlanLookup::Hit(back) => assert_eq!(*back, plan),
+            other => panic!("expected a hit, got {other:?}"),
+        }
+        // Corruption: truncate the blob in place.
+        let blob = std::fs::read(store.entry_path(key)).unwrap();
+        std::fs::write(store.entry_path(key), &blob[..blob.len() / 2]).unwrap();
+        assert!(matches!(store.lookup(key), PlanLookup::Corrupt { quarantined: true }));
+        assert!(!store.entry_path(key).exists(), "the bad blob is moved aside");
+        assert!(
+            store.quarantine_dir().join(format!("{}.ckpt", fingerprint_hex(key))).exists(),
+            "the bad blob is preserved under quarantine/"
+        );
+        // The slot is a plain miss again and can be refilled.
+        assert!(matches!(store.lookup(key), PlanLookup::Miss));
+        store.store(key, &plan).unwrap();
+        assert!(matches!(store.lookup(key), PlanLookup::Hit(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn functional_run_matches_the_golden_emulator() {
+        let w = lf_workloads::by_name("stencil_blur", Scale::Smoke).unwrap();
+        let golden = w.reference_emulator().unwrap().state_checksum();
+        let out = run_functional(7, &w.program, w.mem.clone()).unwrap();
+        assert_eq!(out.checksum, golden);
+        assert_eq!(out.stats.cycles, 0, "the functional tier simulates no cycles");
+        assert!(out.stats.committed_insts > 1_000);
+        assert_eq!(
+            out.rendered.get("tier").and_then(|t| t.get("tier")).and_then(Json::as_str),
+            Some("functional")
+        );
+    }
+
+    #[test]
+    fn sampled_run_estimates_within_smoke_tolerance() {
+        let w = lf_workloads::by_name("stencil_blur", Scale::Smoke).unwrap();
+        let cfg = LoopFrogConfig::default();
+        let out = run_sampled(9, &w.program, &w.mem, &cfg, Scale::Smoke, None).unwrap();
+        let mut core = LoopFrogCore::new(&w.program, w.mem.clone(), cfg.clone());
+        let full = core.run().unwrap();
+        assert_eq!(out.checksum, full.checksum, "golden-state gate applies to sampled runs");
+        assert_eq!(out.stats.committed_insts, full.stats.committed_insts);
+        let err =
+            (out.stats.cycles as f64 - full.stats.cycles as f64).abs() / full.stats.cycles as f64;
+        // Smoke kernels are short, so windows are a large fraction of the
+        // run; the eval-scale bound (3%) is asserted in tests/tiered.rs.
+        assert!(err < 0.15, "smoke-scale estimate off by {:.1}%", err * 100.0);
+        let detailed = out
+            .rendered
+            .get("tier")
+            .and_then(|t| t.get("detailed_cycles"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(detailed < full.stats.cycles, "sampling must simulate fewer detailed cycles");
+    }
+
+    #[test]
+    fn sampled_run_is_deterministic() {
+        let w = lf_workloads::by_name("event_queue", Scale::Smoke).unwrap();
+        let cfg = LoopFrogConfig::default();
+        let run = || {
+            let out = run_sampled(3, &w.program, &w.mem, &cfg, Scale::Smoke, None).unwrap();
+            (out.stats.cycles, out.checksum, out.rendered.to_string_compact())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -36,6 +36,7 @@ use crate::telemetry::{CycleBucket, IntervalSample, IntervalSampler, Telemetry};
 use crate::threadlet::{CtxState, Threadlet};
 use crate::trace::{TraceEvent, Tracer};
 use crate::wheel::CompletionWheel;
+use lf_isa::fast::Checkpoint;
 use lf_isa::{Memory, Program, NUM_ARCH_REGS};
 use lf_uarch::rename::RenameMap;
 use lf_uarch::{BranchPredictor, FuPools, IssueQueue, MemHierarchy, PhysRegFile};
@@ -297,6 +298,59 @@ impl<'p> LoopFrogCore<'p> {
             program,
             cfg,
         }
+    }
+
+    /// Creates a core resuming from a fast-tier [`Checkpoint`]: restores
+    /// the architectural state (registers, memory image, program counter)
+    /// exactly, then installs the checkpoint's functional-warming hints
+    /// into the microarchitecture — recorded branch outcomes replayed
+    /// through the branch predictor (training TAGE/loop tables and
+    /// leaving context 0's global history where live execution would),
+    /// indirect targets installed in the BTB, and the fetch-line and
+    /// data-access streams warm-filled into the cache tags and stride
+    /// prefetchers in recorded order (stream position as the LRU clock).
+    ///
+    /// Warming establishes *state*, never *events*: `SimStats` and all
+    /// cache/DRAM counters still start from zero, and
+    /// [`LoopFrogCore::committed_insts`] counts from zero after restore,
+    /// so `run_until_committed` targets are relative to the checkpoint.
+    /// Callers wanting SMARTS-style detailed warm-up simply run a bounded
+    /// number of committed instructions before the measured window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint was taken from a different program (code
+    /// fingerprint mismatch) or the configuration is degenerate.
+    pub fn from_checkpoint(
+        program: &'p Program,
+        ckpt: &Checkpoint,
+        cfg: LoopFrogConfig,
+    ) -> LoopFrogCore<'p> {
+        assert_eq!(
+            ckpt.code_fingerprint,
+            program.code_fingerprint(),
+            "checkpoint belongs to a different program"
+        );
+        let mut core =
+            LoopFrogCore::with_initial_state(program, ckpt.mem.clone(), &ckpt.regs, ckpt.pc, cfg);
+        for &(pc, taken) in &ckpt.hints.branches {
+            core.bpred.warm_branch(0, pc as u64, taken);
+        }
+        for &(pc, target) in &ckpt.hints.indirect_targets {
+            core.bpred.update_target(pc as u64, target as usize);
+        }
+        // Replay the two access streams on one shared clock so I-side and
+        // D-side recency stay comparable in the shared L2.
+        let mut seq = 0u64;
+        for &line in &ckpt.hints.fetch_lines {
+            core.hier.warm_inst(line * 64, seq);
+            seq += 1;
+        }
+        for a in &ckpt.hints.mem_accesses {
+            core.hier.warm_data(a.pc as u64, a.addr, seq);
+            seq += 1;
+        }
+        core
     }
 
     /// The context id of the architectural (oldest) threadlet.

@@ -580,6 +580,72 @@ fn warm_start_resumes_mid_program() {
 }
 
 #[test]
+fn from_checkpoint_resumes_and_matches_straight_run() {
+    // Fast-forward with the functional tier, snapshot, and restore the
+    // detailed core from the checkpoint: the final architectural state
+    // must match an uninterrupted emulator run.
+    let p = hinted_array_loop(64, 0, 2);
+    let mem = mem_with_pattern(0x2000);
+    let mut full = Emulator::new(&p, mem.clone());
+    full.run(10_000_000).unwrap();
+
+    let mut fast = lf_isa::FastTier::new(&p, mem.clone());
+    fast.run_to_inst_count(300).unwrap();
+    let ckpt = fast.checkpoint();
+    assert!(!ckpt.hints.branches.is_empty(), "warming recorded branches");
+    assert!(!ckpt.hints.mem_accesses.is_empty(), "warming recorded accesses");
+
+    let mut core = LoopFrogCore::from_checkpoint(&p, &ckpt, LoopFrogConfig::default());
+    assert_eq!(core.committed_insts(), 0, "commit count is checkpoint-relative");
+    let r = core.run().unwrap();
+    assert_eq!(r.stop, SimStop::Halted);
+    assert_eq!(r.checksum, full.state_checksum());
+}
+
+#[test]
+fn from_checkpoint_restore_is_deterministic() {
+    // Two restores from the same serialized checkpoint must produce
+    // byte-identical stats over the same measured window.
+    let p = hinted_array_loop(64, 0, 2);
+    let mem = mem_with_pattern(0x2000);
+    let mut fast = lf_isa::FastTier::new(&p, mem);
+    fast.run_to_inst_count(400).unwrap();
+    let bytes = fast.checkpoint().to_bytes();
+
+    let run = || {
+        let ckpt = lf_isa::fast::Checkpoint::from_bytes(&bytes).unwrap();
+        let mut core = LoopFrogCore::from_checkpoint(&p, &ckpt, LoopFrogConfig::default());
+        let stop = core.run_until_committed(500).unwrap();
+        core.into_result(stop)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.checksum, b.checksum);
+    assert_eq!(
+        a.stats.to_json().to_string_compact(),
+        b.stats.to_json().to_string_compact(),
+        "restored runs must be byte-identical"
+    );
+}
+
+#[test]
+fn checkpoint_warming_installs_state_not_events() {
+    // Restoring installs warm tags/tables but every counter still starts
+    // from zero: warming must establish state, never events.
+    let p = hinted_array_loop(64, 0, 2);
+    let mem = mem_with_pattern(0x2000);
+    let mut fast = lf_isa::FastTier::new(&p, mem);
+    fast.run_to_inst_count(600).unwrap();
+    let ckpt = fast.checkpoint();
+    let core = LoopFrogCore::from_checkpoint(&p, &ckpt, LoopFrogConfig::default());
+    assert_eq!(core.stats.cycles, 0);
+    assert_eq!(core.stats.committed_insts, 0);
+    assert_eq!(core.hier.cache_stats(), [(0, 0); 3], "no access/miss events from warming");
+    assert_eq!(core.hier.counters().get("dram_accesses"), 0);
+}
+
+#[test]
 fn phased_run_until_committed_is_cumulative() {
     let p = hinted_array_loop(64, 0, 2);
     let mem = mem_with_pattern(0x2000);

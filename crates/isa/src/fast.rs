@@ -1,0 +1,1030 @@
+//! Fast functional tier: predecoded batch-dispatch execution with inline
+//! SimPoint basic-block-vector collection and warm-checkpoint capture.
+//!
+//! The golden [`crate::Emulator`] interprets one instruction per call and
+//! threads a `Result` through every step — exactly right for a
+//! differential reference, and exactly wrong for fast-forwarding hundreds
+//! of millions of instructions to a SimPoint. [`FastTier`] is the
+//! emulator-speed functional CPU model of the tiered simulation path (the
+//! gem5 `AtomicSimpleCPU` role): the program is predecoded once into a
+//! dense op stream, the hot loop dispatches on that stream in batches with
+//! no per-step `Result` plumbing (memory faults latch a pending error and
+//! exit the batch), and per-basic-block execution counts accumulate in a
+//! dense array that is compacted into a sparse interval vector only at
+//! interval boundaries.
+//!
+//! While fast-forwarding, the tier also performs *functional warming*: it
+//! records bounded, microarchitecture-agnostic event streams — recent
+//! conditional-branch outcomes, indirect-jump targets, data-access
+//! addresses, and instruction-fetch lines — that a detailed core can
+//! replay into its branch predictor, caches, and prefetchers when it
+//! resumes from a [`Checkpoint`]. The hints are event *streams*, not table
+//! dumps, so `lf-isa` stays independent of any particular predictor or
+//! cache geometry.
+//!
+//! Architectural behaviour is bit-identical to the golden emulator: the
+//! fast tier exists to move the same state faster, never to approximate
+//! it. `tests` below pin checksum equality at arbitrary boundaries.
+
+use crate::checksum::{fnv1a, fnv1a_u64};
+use crate::emu::{eval_alu, eval_branch, eval_fpu, EmuError, StepStop};
+use crate::inst::{AluOp, BranchCond, FpuOp, Inst, Operand};
+use crate::mem::Memory;
+use crate::program::Program;
+use crate::reg::NUM_ARCH_REGS;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Instruction word size in bytes for fetch-line bookkeeping; matches the
+/// detailed core's I-cache addressing.
+const INST_BYTES: u64 = 4;
+/// Fetch-line size in bytes for the warm fetch stream (the detailed
+/// front end fetches 64-byte lines).
+const FETCH_LINE_BYTES: u64 = 64;
+
+/// Synthetic BBV dimension carrying the interval's count of first-touch
+/// data lines (see [`FastTier::vectors`]). `usize::MAX` can never collide
+/// with a real basic-block id (block ids index the instruction array).
+pub const BBV_NEW_LINES_KEY: usize = usize::MAX;
+/// Scale applied to the first-touch line count before it joins the BBV,
+/// so working-set growth carries weight comparable to the instruction
+/// counts it sits next to after per-interval normalization.
+const BBV_NEW_LINES_WEIGHT: u64 = 16;
+
+/// Capacity of the recorded conditional-branch outcome ring.
+const BRANCH_RING: usize = 16_384;
+/// Capacity of the recorded data-access ring.
+const MEM_RING: usize = 16_384;
+/// Capacity of the recorded instruction-fetch-line ring.
+const FETCH_RING: usize = 4_096;
+/// Capacity of the recorded indirect-target ring.
+const INDIRECT_RING: usize = 1_024;
+
+/// One predecoded operation. Mirrors [`Inst`] with operand registers
+/// flattened to plain indices so the dispatch loop reads everything it
+/// needs from one small `Copy` value.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// ALU with a register second operand.
+    AluRR {
+        op: AluOp,
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
+    /// ALU with an immediate second operand.
+    AluRI {
+        op: AluOp,
+        dst: u8,
+        a: u8,
+        imm: u64,
+    },
+    Fpu {
+        op: FpuOp,
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
+    MovImm {
+        dst: u8,
+        imm: u64,
+    },
+    Load {
+        dst: u8,
+        base: u8,
+        offset: i64,
+        size: u64,
+        sext_shift: u32,
+    },
+    Store {
+        src: u8,
+        base: u8,
+        offset: i64,
+        size: u64,
+    },
+    Branch {
+        cond: BranchCond,
+        a: u8,
+        b: u8,
+        target: u32,
+    },
+    Jump {
+        target: u32,
+    },
+    Call {
+        target: u32,
+        link: u8,
+    },
+    JumpReg {
+        base: u8,
+    },
+    Nop,
+    Halt,
+}
+
+/// Predecodes one instruction.
+fn predecode(inst: Inst) -> Op {
+    match inst {
+        Inst::Alu { op, dst, a, b } => match b {
+            Operand::Reg(rb) => {
+                Op::AluRR { op, dst: dst.index() as u8, a: a.index() as u8, b: rb.index() as u8 }
+            }
+            Operand::Imm(i) => {
+                Op::AluRI { op, dst: dst.index() as u8, a: a.index() as u8, imm: i as u64 }
+            }
+        },
+        Inst::Fpu { op, dst, a, b } => {
+            Op::Fpu { op, dst: dst.index() as u8, a: a.index() as u8, b: b.index() as u8 }
+        }
+        Inst::MovImm { dst, imm } => Op::MovImm { dst: dst.index() as u8, imm: imm as u64 },
+        Inst::Load { dst, base, offset, size, signed } => Op::Load {
+            dst: dst.index() as u8,
+            base: base.index() as u8,
+            offset,
+            size: size.bytes(),
+            // 0 encodes "no sign extension"; otherwise the shift width
+            // for the sign-extending double shift.
+            sext_shift: if signed && size.bytes() < 8 { 64 - (size.bytes() as u32 * 8) } else { 0 },
+        },
+        Inst::Store { src, base, offset, size } => Op::Store {
+            src: src.index() as u8,
+            base: base.index() as u8,
+            offset,
+            size: size.bytes(),
+        },
+        Inst::Branch { cond, a, b, target } => {
+            Op::Branch { cond, a: a.index() as u8, b: b.index() as u8, target: target as u32 }
+        }
+        Inst::Jump { target } => Op::Jump { target: target as u32 },
+        Inst::Call { target, link } => Op::Call { target: target as u32, link: link.index() as u8 },
+        Inst::JumpReg { base } => Op::JumpReg { base: base.index() as u8 },
+        Inst::Hint { .. } | Inst::Nop => Op::Nop,
+        Inst::Halt => Op::Halt,
+    }
+}
+
+/// Computes the static basic-block partition of `program`: block leaders
+/// are the entry point, every control-flow target, and every
+/// fall-through successor of a control instruction. Returns a per-pc
+/// block-id map. Any consistent partition works for SimPoint clustering;
+/// this one matches the classic BBV definition without requiring the
+/// compiler layer's CFG.
+fn block_map(program: &Program) -> Vec<u32> {
+    let n = program.len();
+    let mut leader = vec![false; n + 1];
+    if n > 0 {
+        leader[program.entry().min(n)] = true;
+    }
+    for (pc, inst) in program.insts().iter().enumerate() {
+        match *inst {
+            Inst::Branch { target, .. } | Inst::Jump { target } | Inst::Call { target, .. } => {
+                if target <= n {
+                    leader[target] = true;
+                }
+                if pc < n {
+                    leader[pc + 1] = true;
+                }
+            }
+            Inst::JumpReg { .. } | Inst::Halt if pc < n => {
+                leader[pc + 1] = true;
+            }
+            _ => {}
+        }
+    }
+    let mut map = vec![0u32; n];
+    let mut block = 0u32;
+    let mut started = false;
+    for pc in 0..n {
+        if leader[pc] {
+            if started {
+                block += 1;
+            }
+            started = true;
+        }
+        map[pc] = block;
+    }
+    map
+}
+
+/// One recorded data access of the functional-warming stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccessHint {
+    /// The accessing instruction's program counter (word address).
+    pub pc: u32,
+    /// Accessed byte address.
+    pub addr: u64,
+    /// Whether the access was a store.
+    pub is_store: bool,
+}
+
+/// Bounded, chronology-preserving ring of recorded events.
+#[derive(Debug, Clone)]
+struct Ring<T: Copy> {
+    buf: Vec<T>,
+    head: usize,
+    cap: usize,
+}
+
+impl<T: Copy> Ring<T> {
+    fn new(cap: usize) -> Ring<T> {
+        Ring { buf: Vec::new(), head: 0, cap }
+    }
+
+    #[inline]
+    fn push(&mut self, v: T) {
+        if self.buf.len() < self.cap {
+            self.buf.push(v);
+        } else {
+            self.buf[self.head] = v;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Contents in chronological order (oldest first).
+    fn chronological(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+/// Microarchitecture-agnostic warm state gathered by functional warming:
+/// bounded event streams a detailed core replays into its branch
+/// predictor, caches, and prefetchers when resuming from a
+/// [`Checkpoint`]. Streams are chronological (oldest first).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WarmHints {
+    /// Recent conditional-branch outcomes `(pc, taken)`.
+    pub branches: Vec<(u32, bool)>,
+    /// Recent indirect-jump resolutions `(pc, target)` (BTB training).
+    pub indirect_targets: Vec<(u32, u32)>,
+    /// Recent data accesses (D-cache tags/LRU and stride-prefetcher
+    /// training pairs).
+    pub mem_accesses: Vec<MemAccessHint>,
+    /// Recent instruction-fetch lines, in 64-byte line units (I-cache
+    /// tags/LRU).
+    pub fetch_lines: Vec<u64>,
+}
+
+/// Errors raised when deserializing a [`Checkpoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The byte stream ended before the declared payload.
+    Truncated,
+    /// The magic prefix did not match; not a checkpoint at all.
+    BadMagic,
+    /// The format version is unknown to this build.
+    BadVersion(u32),
+    /// The payload checksum did not match: torn or corrupted bytes.
+    BadChecksum,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint (bad magic)"),
+            CheckpointError::BadVersion(v) => write!(f, "unknown checkpoint version {v}"),
+            CheckpointError::BadChecksum => write!(f, "checkpoint payload checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Checkpoint format magic.
+const CKPT_MAGIC: &[u8; 8] = b"LFCKPT\0\0";
+/// Checkpoint format version.
+const CKPT_VERSION: u32 = 1;
+
+/// A serializable snapshot of a fast-forwarded execution: the exact
+/// architectural state (registers, memory image, program counter,
+/// instruction count) plus the functional-warming hint streams. A
+/// detailed core restored from a checkpoint produces bit-identical
+/// architectural results to one that simulated from instruction zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Architectural register file at the snapshot.
+    pub regs: [u64; NUM_ARCH_REGS],
+    /// Full data-memory image at the snapshot.
+    pub mem: Memory,
+    /// Program counter at the snapshot (word address).
+    pub pc: usize,
+    /// Dynamic instructions executed up to the snapshot.
+    pub insts: u64,
+    /// Code fingerprint of the program the snapshot was taken from;
+    /// restoring against a different program is a caller bug this field
+    /// lets the restore path detect.
+    pub code_fingerprint: u64,
+    /// Warm microarchitectural hint streams.
+    pub hints: WarmHints,
+}
+
+/// Little-endian serialization helpers.
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self.at.checked_add(n).ok_or(CheckpointError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint to a self-validating byte stream:
+    /// `magic | version | payload checksum | payload`. The checksum covers
+    /// every payload byte, so truncation and bit rot are both detected by
+    /// [`Checkpoint::from_bytes`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(self.mem.len() + 1024);
+        put_u64(&mut payload, self.insts);
+        put_u64(&mut payload, self.pc as u64);
+        put_u64(&mut payload, self.code_fingerprint);
+        for &r in self.regs.iter() {
+            put_u64(&mut payload, r);
+        }
+        put_u64(&mut payload, self.mem.len() as u64);
+        payload.extend_from_slice(self.mem.as_bytes());
+        put_u64(&mut payload, self.hints.branches.len() as u64);
+        for &(pc, taken) in &self.hints.branches {
+            put_u32(&mut payload, pc);
+            payload.push(taken as u8);
+        }
+        put_u64(&mut payload, self.hints.indirect_targets.len() as u64);
+        for &(pc, target) in &self.hints.indirect_targets {
+            put_u32(&mut payload, pc);
+            put_u32(&mut payload, target);
+        }
+        put_u64(&mut payload, self.hints.mem_accesses.len() as u64);
+        for a in &self.hints.mem_accesses {
+            put_u32(&mut payload, a.pc);
+            put_u64(&mut payload, a.addr);
+            payload.push(a.is_store as u8);
+        }
+        put_u64(&mut payload, self.hints.fetch_lines.len() as u64);
+        for &line in &self.hints.fetch_lines {
+            put_u64(&mut payload, line);
+        }
+
+        let mut out = Vec::with_capacity(payload.len() + 24);
+        out.extend_from_slice(CKPT_MAGIC);
+        put_u32(&mut out, CKPT_VERSION);
+        put_u64(&mut out, fnv1a(&payload));
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Deserializes and validates a checkpoint produced by
+    /// [`Checkpoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] when the stream is truncated, carries
+    /// the wrong magic or version, or fails its payload checksum — the
+    /// torn/corrupt states a campaign quarantines.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        let mut r = Reader { bytes, at: 0 };
+        if r.take(8)? != CKPT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != CKPT_VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let checksum = r.u64()?;
+        if fnv1a(&bytes[r.at..]) != checksum {
+            return Err(CheckpointError::BadChecksum);
+        }
+        let insts = r.u64()?;
+        let pc = r.u64()? as usize;
+        let code_fingerprint = r.u64()?;
+        let mut regs = [0u64; NUM_ARCH_REGS];
+        for slot in regs.iter_mut() {
+            *slot = r.u64()?;
+        }
+        let mem_len = r.u64()? as usize;
+        let mem = Memory::from_bytes(r.take(mem_len)?.to_vec());
+        let n_branches = r.u64()? as usize;
+        let mut branches = Vec::with_capacity(n_branches.min(BRANCH_RING));
+        for _ in 0..n_branches {
+            let pc = r.u32()?;
+            let taken = r.take(1)?[0] != 0;
+            branches.push((pc, taken));
+        }
+        let n_indirect = r.u64()? as usize;
+        let mut indirect_targets = Vec::with_capacity(n_indirect.min(INDIRECT_RING));
+        for _ in 0..n_indirect {
+            let pc = r.u32()?;
+            let target = r.u32()?;
+            indirect_targets.push((pc, target));
+        }
+        let n_mem = r.u64()? as usize;
+        let mut mem_accesses = Vec::with_capacity(n_mem.min(MEM_RING));
+        for _ in 0..n_mem {
+            let pc = r.u32()?;
+            let addr = r.u64()?;
+            let is_store = r.take(1)?[0] != 0;
+            mem_accesses.push(MemAccessHint { pc, addr, is_store });
+        }
+        let n_fetch = r.u64()? as usize;
+        let mut fetch_lines = Vec::with_capacity(n_fetch.min(FETCH_RING));
+        for _ in 0..n_fetch {
+            fetch_lines.push(r.u64()?);
+        }
+        Ok(Checkpoint {
+            regs,
+            mem,
+            pc,
+            insts,
+            code_fingerprint,
+            hints: WarmHints { branches, indirect_targets, mem_accesses, fetch_lines },
+        })
+    }
+
+    /// Checksum over the architectural state, comparable with
+    /// [`crate::Emulator::state_checksum`].
+    pub fn state_checksum(&self) -> u64 {
+        fnv1a_u64(&self.regs) ^ self.mem.checksum()
+    }
+}
+
+/// The fast functional CPU model: predecoded batch-dispatch execution
+/// with inline interval-BBV collection and functional warming.
+///
+/// # Examples
+///
+/// ```
+/// use lf_isa::{FastTier, Emulator, ProgramBuilder, Memory, reg, AluOp, BranchCond};
+///
+/// let mut b = ProgramBuilder::new();
+/// let top = b.label("top");
+/// b.li(reg::x(1), 0);
+/// b.li(reg::x(2), 1000);
+/// b.bind(top);
+/// b.alui(AluOp::Add, reg::x(1), reg::x(1), 1);
+/// b.branch(BranchCond::Lt, reg::x(1), reg::x(2), top);
+/// b.halt();
+/// let p = b.build()?;
+///
+/// let mut fast = FastTier::new(&p, Memory::new(64));
+/// fast.run_to_inst_count(1_000_000)?;
+/// let mut golden = Emulator::new(&p, Memory::new(64));
+/// golden.run(1_000_000)?;
+/// assert_eq!(fast.state_checksum(), golden.state_checksum());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FastTier<'p> {
+    program: &'p Program,
+    ops: Vec<Op>,
+    block_of: Vec<u32>,
+    num_blocks: usize,
+
+    regs: [u64; NUM_ARCH_REGS],
+    mem: Memory,
+    pc: usize,
+    halted: bool,
+    insts: u64,
+    fault: Option<EmuError>,
+
+    /// Dense per-block execution counts of the current interval.
+    cur_counts: Vec<u64>,
+    /// Instructions attributed to the current (open) interval.
+    cur_interval_insts: u64,
+    /// Completed interval vectors, sparse.
+    vectors: Vec<HashMap<usize, u64>>,
+    /// Data lines (64-byte units) touched at least once so far.
+    seen_lines: Vec<bool>,
+    /// First-touch data lines in the current (open) interval.
+    cur_new_lines: u64,
+
+    branches: Ring<(u32, bool)>,
+    indirect: Ring<(u32, u32)>,
+    mem_ring: Ring<MemAccessHint>,
+    fetch_ring: Ring<u64>,
+    last_fetch_line: u64,
+}
+
+impl<'p> FastTier<'p> {
+    /// Restores a fast tier from a [`Checkpoint`], resuming execution at
+    /// the checkpointed instruction count. The warm hint rings restart
+    /// empty (the hints describe the pre-checkpoint past; a resumed fast
+    /// tier re-accumulates its own).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint was taken from a different program (code
+    /// fingerprint mismatch) — restoring state into foreign code is
+    /// always a caller bug, never a recoverable condition.
+    pub fn from_checkpoint(program: &'p Program, ckpt: &Checkpoint) -> FastTier<'p> {
+        assert_eq!(
+            ckpt.code_fingerprint,
+            program.code_fingerprint(),
+            "checkpoint belongs to a different program"
+        );
+        let mut tier = FastTier::new(program, ckpt.mem.clone());
+        tier.regs = ckpt.regs;
+        tier.pc = ckpt.pc;
+        tier.insts = ckpt.insts;
+        tier
+    }
+
+    /// Predecodes `program` and prepares a fast tier over `mem`.
+    pub fn new(program: &'p Program, mem: Memory) -> FastTier<'p> {
+        let ops: Vec<Op> = program.insts().iter().map(|&i| predecode(i)).collect();
+        let block_of = block_map(program);
+        let num_blocks = block_of.iter().copied().max().map_or(0, |b| b as usize + 1);
+        let seen_lines = vec![false; mem.len() / FETCH_LINE_BYTES as usize + 1];
+        FastTier {
+            program,
+            ops,
+            block_of,
+            num_blocks,
+            regs: [0; NUM_ARCH_REGS],
+            mem,
+            pc: program.entry(),
+            halted: false,
+            insts: 0,
+            fault: None,
+            cur_counts: vec![0; num_blocks],
+            cur_interval_insts: 0,
+            vectors: Vec::new(),
+            seen_lines,
+            cur_new_lines: 0,
+            branches: Ring::new(BRANCH_RING),
+            indirect: Ring::new(INDIRECT_RING),
+            mem_ring: Ring::new(MEM_RING),
+            fetch_ring: Ring::new(FETCH_RING),
+            last_fetch_line: u64::MAX,
+        }
+    }
+
+    /// The architectural register file.
+    pub fn regs(&self) -> &[u64; NUM_ARCH_REGS] {
+        &self.regs
+    }
+
+    /// The data memory image.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// The current program counter.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Whether a `halt` has executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Dynamic instructions executed so far.
+    pub fn inst_count(&self) -> u64 {
+        self.insts
+    }
+
+    /// Checksum of registers plus memory; identical to
+    /// [`crate::Emulator::state_checksum`] at the same instruction count.
+    pub fn state_checksum(&self) -> u64 {
+        fnv1a_u64(&self.regs) ^ self.mem.checksum()
+    }
+
+    /// Completed interval basic-block vectors (sparse), ready for
+    /// SimPoint projection/clustering. Besides per-block instruction
+    /// counts, each vector carries one synthetic dimension
+    /// ([`BBV_NEW_LINES_KEY`]) counting scaled first-touch data lines, so
+    /// microarchitecturally distinct phases of identical code (cold
+    /// working-set growth vs steady state) cluster apart.
+    pub fn vectors(&self) -> &[HashMap<usize, u64>] {
+        &self.vectors
+    }
+
+    /// Number of static basic blocks (the BBV dimensionality).
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Runs until the cumulative instruction count reaches `target` or
+    /// the program halts — the batch-dispatch analogue of
+    /// [`crate::Emulator::run_to_inst_count`]. Executed instructions
+    /// accumulate into the current BBV interval (close it with
+    /// [`FastTier::close_interval`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError`] on PC or memory faults (latched; subsequent
+    /// calls keep returning the fault).
+    pub fn run_to_inst_count(&mut self, target: u64) -> Result<StepStop, EmuError> {
+        if let Some(e) = &self.fault {
+            return Err(e.clone());
+        }
+        self.run_batch(target);
+        if let Some(e) = &self.fault {
+            return Err(e.clone());
+        }
+        Ok(if self.halted { StepStop::Halted } else { StepStop::FuelExhausted })
+    }
+
+    /// Runs one BBV interval of `interval_len` instructions (or to halt)
+    /// and closes it: the interval's block-execution counts are compacted
+    /// into a sparse vector appended to [`FastTier::vectors`]. Returns
+    /// how the interval ended.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError`] on PC or memory faults.
+    pub fn run_interval(&mut self, interval_len: u64) -> Result<StepStop, EmuError> {
+        let stop = self.run_to_inst_count(self.insts + interval_len)?;
+        self.close_interval();
+        Ok(stop)
+    }
+
+    /// Closes the current BBV interval, appending its compacted sparse
+    /// vector (a no-op when no instructions executed since the last
+    /// close).
+    pub fn close_interval(&mut self) {
+        if self.cur_interval_insts == 0 {
+            return;
+        }
+        let mut v = HashMap::new();
+        for (block, &n) in self.cur_counts.iter().enumerate() {
+            if n > 0 {
+                v.insert(block, n);
+            }
+        }
+        // Working-set growth rides along as a synthetic dimension: phases
+        // that execute identical code but stream new data (cold-miss-heavy
+        // warm-up vs steady state) have identical code BBVs, and clustering
+        // on code counts alone would merge them. First-touch line counts
+        // are a functional-tier-visible proxy that separates them.
+        if self.cur_new_lines > 0 {
+            v.insert(BBV_NEW_LINES_KEY, self.cur_new_lines * BBV_NEW_LINES_WEIGHT);
+        }
+        self.vectors.push(v);
+        self.cur_counts.iter_mut().for_each(|c| *c = 0);
+        self.cur_interval_insts = 0;
+        self.cur_new_lines = 0;
+    }
+
+    /// Records a data access for working-set tracking: counts the line's
+    /// first touch of the whole run toward the current interval.
+    #[inline]
+    fn note_data_line(&mut self, addr: u64) {
+        let line = (addr / FETCH_LINE_BYTES) as usize;
+        if let Some(seen) = self.seen_lines.get_mut(line) {
+            if !*seen {
+                *seen = true;
+                self.cur_new_lines += 1;
+            }
+        }
+    }
+
+    /// Snapshots the current state (architectural + warm hint streams)
+    /// as a serializable [`Checkpoint`].
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            regs: self.regs,
+            mem: self.mem.clone(),
+            pc: self.pc,
+            insts: self.insts,
+            code_fingerprint: self.program.code_fingerprint(),
+            hints: WarmHints {
+                branches: self.branches.chronological(),
+                indirect_targets: self.indirect.chronological(),
+                mem_accesses: self.mem_ring.chronological(),
+                fetch_lines: self.fetch_ring.chronological(),
+            },
+        }
+    }
+
+    /// The batch-dispatch hot loop. No `Result` per step: memory and PC
+    /// faults latch into `self.fault` and break the batch; the caller
+    /// surfaces them at the batch boundary.
+    fn run_batch(&mut self, target: u64) {
+        if self.halted || self.insts >= target {
+            return;
+        }
+        let num_ops = self.ops.len();
+        let mut pc = self.pc;
+        loop {
+            if pc >= num_ops {
+                self.fault = Some(EmuError::PcOutOfRange { pc });
+                break;
+            }
+            // Fetch-line warming: one event per line transition, matching
+            // the detailed front end's one-lookup-per-line policy.
+            let line = (pc as u64 * INST_BYTES) / FETCH_LINE_BYTES;
+            if line != self.last_fetch_line {
+                self.last_fetch_line = line;
+                self.fetch_ring.push(line);
+            }
+            self.cur_counts[self.block_of[pc] as usize] += 1;
+            self.insts += 1;
+            self.cur_interval_insts += 1;
+            let mut next = pc + 1;
+            match self.ops[pc] {
+                Op::AluRR { op, dst, a, b } => {
+                    let v = eval_alu(op, self.regs[a as usize], self.regs[b as usize]);
+                    self.regs[dst as usize] = v;
+                    self.regs[0] = 0;
+                }
+                Op::AluRI { op, dst, a, imm } => {
+                    let v = eval_alu(op, self.regs[a as usize], imm);
+                    self.regs[dst as usize] = v;
+                    self.regs[0] = 0;
+                }
+                Op::Fpu { op, dst, a, b } => {
+                    let v = eval_fpu(op, self.regs[a as usize], self.regs[b as usize]);
+                    self.regs[dst as usize] = v;
+                    self.regs[0] = 0;
+                }
+                Op::MovImm { dst, imm } => {
+                    self.regs[dst as usize] = imm;
+                    self.regs[0] = 0;
+                }
+                Op::Load { dst, base, offset, size, sext_shift } => {
+                    let addr = self.regs[base as usize].wrapping_add(offset as u64);
+                    match self.mem.read(addr, size) {
+                        Ok(raw) => {
+                            let v = if sext_shift == 0 {
+                                raw
+                            } else {
+                                (((raw << sext_shift) as i64) >> sext_shift) as u64
+                            };
+                            self.regs[dst as usize] = v;
+                            self.regs[0] = 0;
+                            self.note_data_line(addr);
+                            self.mem_ring.push(MemAccessHint {
+                                pc: pc as u32,
+                                addr,
+                                is_store: false,
+                            });
+                        }
+                        Err(e) => {
+                            self.fault = Some(EmuError::Mem(e));
+                            break;
+                        }
+                    }
+                }
+                Op::Store { src, base, offset, size } => {
+                    let addr = self.regs[base as usize].wrapping_add(offset as u64);
+                    match self.mem.write(addr, size, self.regs[src as usize]) {
+                        Ok(()) => {
+                            self.note_data_line(addr);
+                            self.mem_ring.push(MemAccessHint {
+                                pc: pc as u32,
+                                addr,
+                                is_store: true,
+                            });
+                        }
+                        Err(e) => {
+                            self.fault = Some(EmuError::Mem(e));
+                            break;
+                        }
+                    }
+                }
+                Op::Branch { cond, a, b, target } => {
+                    let taken = eval_branch(cond, self.regs[a as usize], self.regs[b as usize]);
+                    self.branches.push((pc as u32, taken));
+                    if taken {
+                        next = target as usize;
+                    }
+                }
+                Op::Jump { target } => next = target as usize,
+                Op::Call { target, link } => {
+                    self.regs[link as usize] = (pc + 1) as u64;
+                    self.regs[0] = 0;
+                    next = target as usize;
+                }
+                Op::JumpReg { base } => {
+                    next = self.regs[base as usize] as usize;
+                    self.indirect.push((pc as u32, next as u32));
+                }
+                Op::Nop => {}
+                Op::Halt => {
+                    // Leave pc on the halt instruction (the break skips the
+                    // fall-through advance below).
+                    self.halted = true;
+                    break;
+                }
+            }
+            pc = next;
+            if self.insts >= target {
+                break;
+            }
+        }
+        self.pc = pc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::emu::Emulator;
+    use crate::inst::{BranchCond, MemSize};
+    use crate::reg;
+
+    /// A loopy program with branches, calls, loads/stores, and an
+    /// indirect return — every op class the fast tier dispatches.
+    fn mixed_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        let func = b.label("func");
+        let done = b.label("done");
+        // x10/x11 for the loop state: RA is x1, so the call link must not
+        // alias the counter.
+        b.li(reg::x(10), 0); // i
+        b.li(reg::x(11), 200); // bound
+        b.li(reg::x(4), 0x100); // buffer base
+        b.bind(top);
+        b.call(func, reg::RA);
+        b.alui(AluOp::Add, reg::x(10), reg::x(10), 1);
+        b.branch(BranchCond::Lt, reg::x(10), reg::x(11), top);
+        b.jump(done);
+        b.bind(func);
+        b.alui(AluOp::Mul, reg::x(5), reg::x(10), 8);
+        b.alu(AluOp::Add, reg::x(5), reg::x(5), reg::x(4));
+        b.store(reg::x(10), reg::x(5), 0, MemSize::B8);
+        b.load_signed(reg::x(6), reg::x(5), 0, MemSize::B4);
+        b.jump_reg(reg::RA);
+        b.bind(done);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_emulator_at_every_boundary() {
+        let p = mixed_program();
+        let mut fast = FastTier::new(&p, Memory::new(0x800));
+        let mut emu = Emulator::new(&p, Memory::new(0x800));
+        for boundary in [1, 7, 100, 333, 1000, 5000] {
+            fast.run_to_inst_count(boundary).unwrap();
+            emu.run_to_inst_count(boundary).unwrap();
+            assert_eq!(fast.inst_count(), emu.inst_count(), "at boundary {boundary}");
+            assert_eq!(fast.pc(), emu.pc(), "at boundary {boundary}");
+            assert_eq!(
+                fast.state_checksum(),
+                emu.state_checksum(),
+                "state diverged at boundary {boundary}"
+            );
+        }
+        assert_eq!(fast.is_halted(), emu.is_halted());
+    }
+
+    #[test]
+    fn interval_vectors_cover_every_instruction() {
+        let p = mixed_program();
+        let mut fast = FastTier::new(&p, Memory::new(0x800));
+        while !fast.is_halted() {
+            fast.run_interval(100).unwrap();
+        }
+        // Block-count mass covers every dynamic instruction; the synthetic
+        // working-set dimension rides on top and is excluded.
+        let total: u64 = fast
+            .vectors()
+            .iter()
+            .flat_map(|v| v.iter())
+            .filter(|(&k, _)| k != BBV_NEW_LINES_KEY)
+            .map(|(_, &n)| n)
+            .sum();
+        assert_eq!(total, fast.inst_count(), "BBV mass equals dynamic instruction count");
+        assert!(fast.vectors().len() >= 2, "multiple intervals closed");
+        // And the working-set dimension is present: the mixed program
+        // touches fresh data lines in its first interval.
+        assert!(
+            fast.vectors()[0].contains_key(&BBV_NEW_LINES_KEY),
+            "first interval records first-touch lines"
+        );
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bit_exactly() {
+        let p = mixed_program();
+        let mut fast = FastTier::new(&p, Memory::new(0x800));
+        fast.run_to_inst_count(500).unwrap();
+        let ckpt = fast.checkpoint();
+        assert!(!ckpt.hints.branches.is_empty());
+        assert!(!ckpt.hints.mem_accesses.is_empty());
+        assert!(!ckpt.hints.indirect_targets.is_empty());
+        assert!(!ckpt.hints.fetch_lines.is_empty());
+        let bytes = ckpt.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(ckpt, back);
+        assert_eq!(back.state_checksum(), fast.state_checksum());
+    }
+
+    #[test]
+    fn corrupt_and_truncated_checkpoints_are_rejected() {
+        let p = mixed_program();
+        let mut fast = FastTier::new(&p, Memory::new(0x200));
+        fast.run_to_inst_count(100).unwrap();
+        let bytes = fast.checkpoint().to_bytes();
+
+        // Truncation at any prefix is detected.
+        for cut in [0, 4, 12, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Checkpoint::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // A flipped payload bit fails the checksum.
+        let mut flipped = bytes.clone();
+        let at = flipped.len() - 3;
+        flipped[at] ^= 0x40;
+        assert_eq!(Checkpoint::from_bytes(&flipped), Err(CheckpointError::BadChecksum));
+        // Wrong magic.
+        let mut magic = bytes.clone();
+        magic[0] = b'X';
+        assert_eq!(Checkpoint::from_bytes(&magic), Err(CheckpointError::BadMagic));
+        // Unknown version.
+        let mut vers = bytes;
+        vers[8] = 0xEE;
+        assert!(matches!(Checkpoint::from_bytes(&vers), Err(CheckpointError::BadVersion(_))));
+    }
+
+    #[test]
+    fn resuming_from_checkpoint_matches_straight_run() {
+        let p = mixed_program();
+        // Straight run to 900.
+        let mut straight = FastTier::new(&p, Memory::new(0x800));
+        straight.run_to_inst_count(900).unwrap();
+        // Checkpoint at 400; the snapshot matches a golden emulator
+        // paused at the same boundary.
+        let mut fast = FastTier::new(&p, Memory::new(0x800));
+        fast.run_to_inst_count(400).unwrap();
+        let ckpt = fast.checkpoint();
+        let mut paused = Emulator::new(&p, Memory::new(0x800));
+        paused.run_to_inst_count(400).unwrap();
+        assert_eq!(ckpt.pc, paused.pc());
+        assert_eq!(ckpt.state_checksum(), paused.state_checksum());
+        // A fresh tier restored from the serialized checkpoint resumes
+        // to a bit-identical state at 900.
+        let restored_ckpt = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        let mut resumed = FastTier::from_checkpoint(&p, &restored_ckpt);
+        assert_eq!(resumed.inst_count(), 400);
+        resumed.run_to_inst_count(900).unwrap();
+        assert_eq!(resumed.inst_count(), straight.inst_count());
+        assert_eq!(resumed.pc(), straight.pc());
+        assert_eq!(resumed.state_checksum(), straight.state_checksum());
+    }
+
+    #[test]
+    fn x0_stays_hardwired_zero() {
+        let mut b = ProgramBuilder::new();
+        b.li(reg::ZERO, 42);
+        b.alui(AluOp::Add, reg::x(1), reg::ZERO, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut fast = FastTier::new(&p, Memory::new(16));
+        fast.run_to_inst_count(u64::MAX).unwrap();
+        assert_eq!(fast.regs()[0], 0);
+        assert_eq!(fast.regs()[1], 0);
+    }
+
+    #[test]
+    fn faults_latch_and_report() {
+        let mut b = ProgramBuilder::new();
+        b.li(reg::x(1), 1 << 40);
+        b.load(reg::x(2), reg::x(1), 0, MemSize::B8);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut fast = FastTier::new(&p, Memory::new(64));
+        let e = fast.run_to_inst_count(u64::MAX).unwrap_err();
+        assert!(matches!(e, EmuError::Mem(_)));
+        // The fault latches: re-running reports it again.
+        assert!(fast.run_to_inst_count(u64::MAX).is_err());
+    }
+
+    #[test]
+    fn ring_wraps_chronologically() {
+        let mut r: Ring<u32> = Ring::new(4);
+        for i in 0..7 {
+            r.push(i);
+        }
+        assert_eq!(r.chronological(), vec![3, 4, 5, 6]);
+    }
+}

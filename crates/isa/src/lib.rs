@@ -40,6 +40,7 @@ pub mod builder;
 pub mod checksum;
 pub mod diff;
 pub mod emu;
+pub mod fast;
 pub mod inst;
 pub mod mem;
 pub mod parse;
@@ -51,6 +52,9 @@ pub use diff::{MemDiff, RegDiff, StateDiff};
 pub use emu::{
     eval_alu, eval_branch, eval_fpu, extend_load, EmuError, Emulator, ExecResult, Profile,
     StepStop, StopReason,
+};
+pub use fast::{
+    Checkpoint, CheckpointError, FastTier, MemAccessHint, WarmHints, BBV_NEW_LINES_KEY,
 };
 pub use inst::{AluOp, BranchCond, FpuOp, FuClass, HintKind, Inst, MemSize, Operand, RegionId};
 pub use mem::{MemError, Memory};

@@ -58,6 +58,12 @@ impl Memory {
         Memory { bytes: vec![0; size] }
     }
 
+    /// Creates a memory image from an existing byte vector (checkpoint
+    /// restore and snapshot replay).
+    pub fn from_bytes(bytes: Vec<u8>) -> Memory {
+        Memory { bytes }
+    }
+
     /// Size of the image in bytes.
     pub fn len(&self) -> usize {
         self.bytes.len()

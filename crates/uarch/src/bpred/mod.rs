@@ -94,6 +94,17 @@ impl BranchPredictor {
         let _ = lookup.used_loop;
     }
 
+    /// Warms the predictor with one recorded branch outcome from a
+    /// checkpoint's functional-warming stream: a full predict + resolve
+    /// round on `tid`, so TAGE, the loop predictor, and the threadlet's
+    /// global history end exactly where a live execution of the same
+    /// branch sequence would leave them. Replay the stream in recorded
+    /// (chronological) order.
+    pub fn warm_branch(&mut self, tid: usize, pc: u64, taken: bool) {
+        let lookup = self.predict_branch(tid, pc);
+        self.update_branch(tid, pc, lookup, taken);
+    }
+
     /// Predicts the target of an indirect jump (return) for `tid`: RAS first,
     /// BTB as fallback.
     pub fn predict_indirect(&mut self, tid: usize, pc: u64) -> Option<usize> {
@@ -168,6 +179,29 @@ mod tests {
         // Empty RAS falls back to BTB.
         bp.update_target(0x99, 55);
         assert_eq!(bp.predict_indirect(1, 0x99), Some(55));
+    }
+
+    #[test]
+    fn warm_branch_replay_matches_live_training() {
+        // Replaying a recorded outcome stream through warm_branch leaves
+        // the predictor in the same state as living through it: both
+        // predict the next visits identically.
+        let stream: Vec<(u64, bool)> = (0..200).map(|i| (0x40 + (i % 3) * 8, i % 7 != 0)).collect();
+        let mut live = BranchPredictor::new(1);
+        for &(pc, taken) in &stream {
+            let l = live.predict_branch(0, pc);
+            live.update_branch(0, pc, l, taken);
+        }
+        let mut warmed = BranchPredictor::new(1);
+        for &(pc, taken) in &stream {
+            warmed.warm_branch(0, pc, taken);
+        }
+        assert_eq!(warmed.history(0), live.history(0));
+        for pc in [0x40, 0x48, 0x50] {
+            let a = live.predict_branch(0, pc);
+            let b = warmed.predict_branch(0, pc);
+            assert_eq!(a.taken, b.taken, "warmed and live disagree at {pc:#x}");
+        }
     }
 
     #[test]

@@ -90,6 +90,23 @@ impl Cache {
         evicted
     }
 
+    /// Warm-installs `line_addr` without touching access/miss statistics:
+    /// fills the line if absent, or refreshes its LRU stamp if already
+    /// resident. Used by checkpoint restore to replay a functional-warming
+    /// access stream into the tags — the stream establishes *state*
+    /// (residency and recency), never *events*, so the measured window's
+    /// hit/miss counts start from zero.
+    pub fn warm_fill(&mut self, line_addr: u64, now: u64) {
+        let set = self.set_of(line_addr);
+        for l in self.sets[set].iter_mut() {
+            if l.valid && l.tag == line_addr {
+                l.last_used = now;
+                return;
+            }
+        }
+        self.fill(line_addr, now);
+    }
+
     /// Invalidates `line_addr` if resident.
     pub fn invalidate(&mut self, line_addr: u64) {
         let set = self.set_of(line_addr);
@@ -303,6 +320,35 @@ impl MemHierarchy {
         ready
     }
 
+    /// Warm-installs the data line containing `addr` from a recorded
+    /// functional-warming event: fills (or LRU-touches) the L1D and L2
+    /// tags and trains the stride prefetchers, warm-installing their
+    /// predictions too. `seq` is the event's position in the recorded
+    /// stream, used as the LRU clock so recency survives the replay.
+    /// No counters, MSHRs, or DRAM timing are touched — warming
+    /// establishes state, not events.
+    pub fn warm_data(&mut self, pc: u64, addr: u64, seq: u64) {
+        let line = self.l1d.line_addr(addr);
+        self.l1d.warm_fill(line, seq);
+        self.l2.warm_fill(line, seq);
+        for p in self.l1d_pref.train(pc, line) {
+            self.l1d.warm_fill(p, seq);
+            self.l2.warm_fill(p, seq);
+        }
+        for p in self.l2_pref.train(pc, line) {
+            self.l2.warm_fill(p, seq);
+        }
+    }
+
+    /// Warm-installs the instruction line containing byte address `addr`
+    /// from a recorded fetch event (L1I and L2 tags; see
+    /// [`MemHierarchy::warm_data`] for the replay contract).
+    pub fn warm_inst(&mut self, addr: u64, seq: u64) {
+        let line = self.l1i.line_addr(addr);
+        self.l1i.warm_fill(line, seq);
+        self.l2.warm_fill(line, seq);
+    }
+
     /// Performs an instruction fetch of the line containing byte address
     /// `addr` and returns its ready cycle.
     pub fn access_inst(&mut self, addr: u64, now: u64) -> u64 {
@@ -403,6 +449,35 @@ mod tests {
         // Steady-state accesses should mostly hit thanks to the prefetcher.
         let (acc, miss) = m.l1d.stats();
         assert!(miss * 3 < acc, "prefetcher should cover most of the stream: {miss}/{acc}");
+    }
+
+    #[test]
+    fn warming_installs_state_without_events() {
+        let mut m = small_mem();
+        m.warm_data(0x10, 0x1000, 0);
+        m.warm_data(0x10, 0x2000, 1);
+        m.warm_inst(0x100, 2);
+        // No statistics were recorded by warming.
+        assert_eq!(m.cache_stats(), [(0, 0); 3]);
+        assert_eq!(m.counters().get("dram_accesses"), 0);
+        // But the warmed lines now hit at L1 latency.
+        let t = m.access_data(0x10, 0x1000, AccessKind::Load, 10);
+        assert_eq!(t, 12, "warmed data line hits in L1D");
+        let ti = m.access_inst(0x100, 10);
+        assert_eq!(ti, 11, "warmed inst line hits in L1I");
+    }
+
+    #[test]
+    fn warm_fill_refreshes_lru() {
+        let mut c =
+            Cache::new(CacheConfig { size: 256, ways: 2, line: 64, hit_latency: 1, mshrs: 1 });
+        // Lines 0, 2, 4 all map to set 0 (2 sets x 2 ways).
+        c.warm_fill(0, 1);
+        c.warm_fill(2, 2);
+        c.warm_fill(0, 3); // refresh 0; 2 becomes LRU
+        let evicted = c.fill(4, 4);
+        assert_eq!(evicted, Some(2), "warm touch protected line 0");
+        assert_eq!(c.stats(), (0, 0), "warming never counts");
     }
 
     #[test]

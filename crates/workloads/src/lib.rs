@@ -66,14 +66,20 @@ pub enum Scale {
     /// Evaluation inputs for the benchmark harness (hundreds of thousands
     /// of dynamic instructions; run in release builds).
     Eval,
+    /// Full campaign inputs (millions of dynamic instructions per kernel):
+    /// the scale the tiered simulation path exists for. Detailed-only runs
+    /// at this scale are slow by design; use `--tier sampled`.
+    Full,
 }
 
 impl Scale {
-    /// Picks an element count by scale.
+    /// Picks an element count by scale. `Full` derives its count from the
+    /// eval count so kernels need only specify two sizes.
     pub fn elems(self, smoke: usize, eval: usize) -> usize {
         match self {
             Scale::Smoke => smoke,
             Scale::Eval => eval,
+            Scale::Full => eval * 8,
         }
     }
 }

@@ -1,0 +1,196 @@
+//! Integration tests for the tiered execution path (DESIGN §13): the
+//! sampled tier's accuracy and detailed-cycle reduction bounds on the
+//! eval-scale basket, byte-identical deterministic checkpoint restore,
+//! and corrupt-plan quarantine with transparent detailed fallback.
+
+use lf_bench::perf::BASKET;
+use lf_bench::tiered::{build_plan, run_sampled, sample_windows, CheckpointStore, SampledPlan};
+use lf_compiler::{annotate, SelectOptions};
+use lf_isa::{Memory, Program};
+use lf_stats::Json;
+use lf_workloads::Scale;
+use loopfrog::{simulate, LoopFrogConfig};
+
+/// Annotates a kernel the way the engine's planner does, so the tiered
+/// path sees the same program the detailed runs measure.
+fn prepared(name: &str, scale: Scale) -> (Program, Memory) {
+    let w = lf_workloads::by_name(name, scale)
+        .unwrap_or_else(|| panic!("kernel {name} missing at {scale:?}"));
+    let emu = w.reference_emulator().expect("kernel runs on the golden emulator");
+    let ann = annotate(&w.program, emu.profile(), &SelectOptions::default());
+    (ann.program, w.mem.clone())
+}
+
+/// The tier's reason to exist, asserted: across the eval basket the
+/// weighted whole-run cycle estimate stays within 3% of full detailed
+/// simulation while simulating at least 5x fewer detailed cycles.
+#[test]
+fn sampled_tier_meets_error_and_reduction_bounds_on_eval_basket() {
+    let cfg = LoopFrogConfig::default();
+    let mut full_total = 0u64;
+    let mut est_total = 0.0f64;
+    let mut detailed_total = 0u64;
+    for name in BASKET {
+        let (program, mem) = prepared(name, Scale::Eval);
+        let full = simulate(&program, mem.clone(), cfg.clone())
+            .unwrap_or_else(|e| panic!("{name} full run failed: {e}"));
+        let plan = build_plan(&program, &mem).unwrap();
+        let m = sample_windows(&program, &plan, &cfg).unwrap();
+        let err = (m.est_cycles - full.stats.cycles as f64) / full.stats.cycles as f64;
+        // Per-kernel sanity: no single estimate may be wildly off even
+        // when the aggregate averages out.
+        assert!(
+            err.abs() < 0.10,
+            "{name}: sampled estimate off by {:+.2}% (full {} cycles, est {:.0})",
+            err * 100.0,
+            full.stats.cycles,
+            m.est_cycles
+        );
+        assert!(
+            m.detailed_cycles < full.stats.cycles,
+            "{name}: sampling simulated more detailed cycles than the full run"
+        );
+        full_total += full.stats.cycles;
+        est_total += m.est_cycles;
+        detailed_total += m.detailed_cycles;
+    }
+    let agg_err = (est_total - full_total as f64) / full_total as f64;
+    let reduction = full_total as f64 / detailed_total as f64;
+    assert!(
+        agg_err.abs() <= 0.03,
+        "aggregate weighted-cycle error {:+.2}% exceeds the 3% bound",
+        agg_err * 100.0
+    );
+    assert!(
+        reduction >= 5.0,
+        "detailed-cycle reduction {reduction:.2}x is below the 5x bound \
+         ({full_total} full vs {detailed_total} sampled detailed cycles)"
+    );
+}
+
+/// Save -> restore -> run is byte-identical: a plan that round-trips
+/// through its serialized form drives exactly the same windows, and
+/// repeating the measurement reproduces it bit for bit.
+#[test]
+fn restored_plans_replay_byte_identically() {
+    let cfg = LoopFrogConfig::default();
+    let (program, mem) = prepared("hash_lookup", Scale::Smoke);
+    let plan = build_plan(&program, &mem).unwrap();
+    let restored = SampledPlan::from_bytes(&plan.to_bytes()).unwrap();
+    assert_eq!(plan, restored, "plan must survive serialization unchanged");
+
+    let original = sample_windows(&program, &plan, &cfg).unwrap();
+    let replayed = sample_windows(&program, &restored, &cfg).unwrap();
+    let repeated = sample_windows(&program, &plan, &cfg).unwrap();
+    for m in [&replayed, &repeated] {
+        assert_eq!(m.est_cycles.to_bits(), original.est_cycles.to_bits());
+        assert_eq!(m.detailed_cycles, original.detailed_cycles);
+        assert_eq!(m.windows.len(), original.windows.len());
+        for (w, o) in m.windows.iter().zip(&original.windows) {
+            assert_eq!(
+                (w.cycles, w.insts, w.detailed_cycles),
+                (o.cycles, o.insts, o.detailed_cycles)
+            );
+        }
+        // The carrier's full rendered record — every counter the
+        // artifacts consume — must also be identical.
+        assert_eq!(
+            lf_bench::artifact::sim_result_json(&m.carrier).to_string_compact(),
+            lf_bench::artifact::sim_result_json(&original.carrier).to_string_compact()
+        );
+    }
+}
+
+/// The exact-equality case of restore fidelity: a pristine checkpoint
+/// (instruction 0, empty hint rings) restored into the detailed core
+/// must reproduce an uninterrupted run byte for byte — same cycles,
+/// same checksum, same rendered record down to every counter.
+#[test]
+fn pristine_restore_equals_uninterrupted_run() {
+    let cfg = LoopFrogConfig::default();
+    let (program, mem) = prepared("stencil_blur", Scale::Smoke);
+    let uninterrupted = simulate(&program, mem.clone(), cfg.clone()).unwrap();
+
+    let ckpt = lf_isa::FastTier::new(&program, mem.clone()).checkpoint();
+    let mut core = loopfrog::LoopFrogCore::from_checkpoint(&program, &ckpt, cfg);
+    let restored = core.run().unwrap();
+
+    assert_eq!(restored.stats.cycles, uninterrupted.stats.cycles);
+    assert_eq!(restored.checksum, uninterrupted.checksum);
+    assert_eq!(
+        lf_bench::artifact::sim_result_json(&restored).to_string_compact(),
+        lf_bench::artifact::sim_result_json(&uninterrupted).to_string_compact()
+    );
+}
+
+/// The store round trip at the run level: the first sampled run builds
+/// and persists the plan, the second serves it from the store, and both
+/// produce the same outcome.
+#[test]
+fn stored_plans_are_reused_and_reproduce_the_outcome() {
+    let cfg = LoopFrogConfig::default();
+    let (program, mem) = prepared("md_force", Scale::Smoke);
+    let dir = std::env::temp_dir().join(format!("lf-tiered-it-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::new(&dir);
+    let key = CheckpointStore::plan_key(&program, &mem, Scale::Smoke);
+
+    let first = run_sampled(7, &program, &mem, &cfg, Scale::Smoke, Some(&store)).unwrap();
+    assert!(store.entry_path(key).exists(), "first run must persist the plan");
+    let second = run_sampled(7, &program, &mem, &cfg, Scale::Smoke, Some(&store)).unwrap();
+
+    assert_eq!(first.stats.cycles, second.stats.cycles);
+    assert_eq!(first.stats.committed_insts, second.stats.committed_insts);
+    assert_eq!(first.checksum, second.checksum);
+    let from_cache = |o: &lf_bench::runner::RunOutcome| {
+        matches!(
+            o.rendered.get("tier").and_then(|t| t.get("plan_from_cache")),
+            Some(Json::Bool(true))
+        )
+    };
+    assert!(!from_cache(&first), "first run builds the plan fresh");
+    assert!(from_cache(&second), "second run must hit the stored plan");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A corrupt checkpoint blob is quarantined and the run transparently
+/// falls back to full detailed simulation: same cycles as a detailed
+/// run, no error surfaced to the campaign.
+#[test]
+fn corrupt_plan_is_quarantined_and_falls_back_to_detailed() {
+    let cfg = LoopFrogConfig::default();
+    let (program, mem) = prepared("event_queue", Scale::Smoke);
+    let dir = std::env::temp_dir().join(format!("lf-tiered-it-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::new(&dir);
+    let key = CheckpointStore::plan_key(&program, &mem, Scale::Smoke);
+
+    run_sampled(9, &program, &mem, &cfg, Scale::Smoke, Some(&store)).unwrap();
+    let entry = store.entry_path(key);
+    let mut bytes = std::fs::read(&entry).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&entry, &bytes).unwrap();
+
+    let outcome = run_sampled(9, &program, &mem, &cfg, Scale::Smoke, Some(&store))
+        .expect("a corrupt plan must not fail the run");
+    let full = simulate(&program, mem.clone(), cfg.clone()).unwrap();
+    assert_eq!(
+        outcome.stats.cycles, full.stats.cycles,
+        "fallback must be a genuine full detailed run"
+    );
+    assert_eq!(outcome.checksum, full.checksum);
+    assert!(
+        matches!(
+            outcome.rendered.get("tier").and_then(|t| t.get("fallback_detailed")),
+            Some(Json::Bool(true))
+        ),
+        "outcome must record the detailed fallback"
+    );
+    assert!(!entry.exists(), "corrupt blob must be moved out of the store");
+    assert!(
+        store.quarantine_dir().join(entry.file_name().unwrap()).exists(),
+        "corrupt blob must land in quarantine"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
