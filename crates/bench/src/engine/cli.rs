@@ -23,6 +23,12 @@
 //!                        checkpoints and reconstructs whole-run IPC,
 //!                        `detailed` is the legacy cycle-accurate path
 //!   -j N                 worker threads (default: available parallelism)
+//!   --workers N          (run) supervised multi-process execution: shard
+//!                        the campaign across N worker processes that
+//!                        race for runs through lease files in the cache
+//!                        directory; a worker crash costs only its
+//!                        in-flight run (default 1 = in-process threads;
+//!                        requires the cache, see --no-cache)
 //!   --filter SUBSTR      keep only kernels whose name contains SUBSTR
 //!   --no-cache           skip the on-disk run cache (results/cache/)
 //!   --cache-dir DIR      cache location (default results/cache)
@@ -59,7 +65,9 @@ use crate::engine::cache::DiskCache;
 use crate::engine::fault::{
     read_failures_json, write_failures_json, FaultPlan, RunBudget, DEFAULT_BUDGET_CYCLES,
 };
-use crate::engine::{by_name, registry, run_scenarios, EngineOptions, EngineOutput, Scenario};
+use crate::engine::{
+    by_name, registry, run_scenarios, supervise, EngineOptions, EngineOutput, Scenario,
+};
 use crate::runner::scale_tag;
 use crate::tiered::Tier;
 use lf_stats::Json;
@@ -82,6 +90,14 @@ struct Cli {
     budget_cycles: Option<u64>,
     deadline_secs: Option<u64>,
     faults: FaultPlan,
+    /// Raw `--inject-fault` specs, retained verbatim so the supervisor
+    /// can reconstruct worker argv.
+    fault_specs: Vec<String>,
+    /// `--workers`: supervised multi-process execution (1 = in-process
+    /// threads, the historical behaviour).
+    workers: usize,
+    /// Hidden `--worker-id` operand of the `worker` subcommand.
+    worker_id: u64,
     /// `--crash-after-ms`: hard-kill the process this many milliseconds
     /// into the campaign (the crash-recovery harness's timer kill point).
     crash_after_ms: Option<u64>,
@@ -102,7 +118,16 @@ struct Cli {
 
 enum Command {
     List,
-    Run { names: Vec<String>, all: bool },
+    Run {
+        names: Vec<String>,
+        all: bool,
+    },
+    /// The hidden worker subcommand the supervisor self-execs (see
+    /// [`crate::engine::supervise`]); not part of the public surface.
+    Worker {
+        names: Vec<String>,
+        all: bool,
+    },
     Perf,
     Profile,
     Trace,
@@ -114,6 +139,7 @@ fn usage() -> ! {
          \x20                [--scale smoke|eval|full] [--tier functional|sampled|detailed]\n\
          \x20                [-j N] [--filter SUBSTR] [--no-cache]\n\
          \x20                [--cache-dir DIR] [--json [DIR]] [--assert-dedup]\n\
+         \x20                [--workers N]\n\
          \x20                [--budget-cycles N] [--deadline-secs N] [--resume [FILE]]\n\
          \x20                [--inject-fault SPEC]... [--crash-after-ms N]\n\
          \x20                [--trace-out PATH]\n\
@@ -139,6 +165,9 @@ fn parse(args: &[String]) -> Cli {
         budget_cycles: None,
         deadline_secs: None,
         faults: FaultPlan::default(),
+        fault_specs: Vec::new(),
+        workers: 1,
+        worker_id: 0,
         crash_after_ms: None,
         resume: None,
         reps: 3,
@@ -176,6 +205,7 @@ fn parse(args: &[String]) -> Cli {
         match arg {
             "list" | "--list" if command.is_none() => command = Some("list"),
             "run" if command.is_none() => command = Some("run"),
+            "worker" if command.is_none() => command = Some("worker"),
             "perf" if command.is_none() => command = Some("perf"),
             "profile" if command.is_none() => command = Some("profile"),
             "trace" if command.is_none() => command = Some("trace"),
@@ -234,6 +264,26 @@ fn parse(args: &[String]) -> Cli {
                     }
                 }
             }
+            "--workers" => {
+                let v = value("a worker-process count");
+                cli.workers = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("error: --workers expects a positive integer, got {v}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--worker-id" => {
+                let v = value("a worker id");
+                cli.worker_id = match v.parse::<u64>() {
+                    Ok(n) => n,
+                    _ => {
+                        eprintln!("error: --worker-id expects an integer, got {v}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--filter" => cli.filter = Some(value("a kernel-name substring")),
             "--no-cache" => cli.no_cache = true,
             "--cache-dir" => cli.cache_dir = PathBuf::from(value("a directory")),
@@ -277,6 +327,7 @@ fn parse(args: &[String]) -> Cli {
                     eprintln!("error: --inject-fault: {e}");
                     std::process::exit(2);
                 }
+                cli.fault_specs.push(v);
             }
             "--crash-after-ms" => {
                 let v = value("a duration in milliseconds");
@@ -344,7 +395,9 @@ fn parse(args: &[String]) -> Cli {
                     _ => cli.resume = Some(None),
                 }
             }
-            name if !name.starts_with('-') && command == Some("run") => {
+            name if !name.starts_with('-')
+                && (command == Some("run") || command == Some("worker")) =>
+            {
                 names.push(name.to_string())
             }
             name if !name.starts_with('-')
@@ -362,6 +415,7 @@ fn parse(args: &[String]) -> Cli {
     }
     match command {
         Some("run") => cli.command = Command::Run { names, all },
+        Some("worker") => cli.command = Command::Worker { names, all },
         Some("perf") => cli.command = Command::Perf,
         Some("profile") => cli.command = Command::Profile,
         Some("trace") => {
@@ -429,12 +483,73 @@ fn engine_options(cli: &Cli) -> EngineOptions {
         faults: cli.faults.clone(),
         resume_from,
         spans: None,
+        poisoned: std::collections::HashMap::new(),
+        carried_faults: Default::default(),
     }
 }
 
 /// Where this invocation reads and writes its failure report.
 fn failures_path(cli: &Cli) -> PathBuf {
     cli.json_dir.clone().unwrap_or_else(|| PathBuf::from("results")).join("failures.json")
+}
+
+/// Resolves `run`/`worker` positional names (or `--all`) to scenarios.
+fn select_scenarios(names: &[String], all: bool) -> Vec<Box<dyn Scenario>> {
+    if all {
+        registry()
+    } else if names.is_empty() {
+        eprintln!("error: `run` expects scenario names or --all");
+        usage();
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                by_name(n).unwrap_or_else(|| {
+                    eprintln!("error: unknown scenario {n:?} (see `lf-bench list`)");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    }
+}
+
+/// Reconstructs worker argv from the supervisor's own command line. The
+/// worker re-derives the identical deterministic plan from these flags —
+/// no plan data crosses the process boundary.
+fn supervise_config(cli: &Cli, names: &[String], all: bool) -> supervise::SuperviseConfig {
+    let mut args: Vec<String> = vec!["worker".into()];
+    if all {
+        args.push("--all".into());
+    } else {
+        args.extend(names.iter().cloned());
+    }
+    args.push("--scale".into());
+    args.push(scale_tag(cli.scale).into());
+    args.push("--tier".into());
+    args.push(cli.tier.tag().into());
+    if let Some(f) = &cli.filter {
+        args.push("--filter".into());
+        args.push(f.clone());
+    }
+    args.push("--cache-dir".into());
+    args.push(cli.cache_dir.display().to_string());
+    args.push("-j".into());
+    args.push(cli.jobs.to_string());
+    if let Some(n) = cli.budget_cycles {
+        args.push("--budget-cycles".into());
+        args.push(n.to_string());
+    }
+    if let Some(n) = cli.deadline_secs {
+        args.push("--deadline-secs".into());
+        args.push(n.to_string());
+    }
+    for spec in &cli.fault_specs {
+        args.push("--inject-fault".into());
+        args.push(spec.clone());
+    }
+    args.push("--workers".into());
+    args.push(cli.workers.to_string());
+    supervise::SuperviseConfig { workers: cli.workers, worker_args: args }
 }
 
 /// Entry point of the `lf-bench` binary.
@@ -463,23 +578,15 @@ pub fn main() {
         Command::Trace => {
             crate::tracecmd::run_trace(&cli.trace);
         }
+        Command::Worker { names, all } => {
+            let selected = select_scenarios(names, *all);
+            let refs: Vec<&dyn Scenario> = selected.iter().map(|s| s.as_ref()).collect();
+            let opts = engine_options(&cli);
+            let code = supervise::worker_main(&refs, &opts, cli.worker_id, cli.workers.max(1));
+            std::process::exit(code);
+        }
         Command::Run { names, all } => {
-            let selected: Vec<Box<dyn Scenario>> = if *all {
-                registry()
-            } else if names.is_empty() {
-                eprintln!("error: `run` expects scenario names or --all");
-                usage();
-            } else {
-                names
-                    .iter()
-                    .map(|n| {
-                        by_name(n).unwrap_or_else(|| {
-                            eprintln!("error: unknown scenario {n:?} (see `lf-bench list`)");
-                            std::process::exit(2);
-                        })
-                    })
-                    .collect()
-            };
+            let selected = select_scenarios(names, *all);
             let refs: Vec<&dyn Scenario> = selected.iter().map(|s| s.as_ref()).collect();
             // Sweep commit temp files a killed predecessor orphaned next
             // to the artifacts (the engine sweeps the cache directory
@@ -508,7 +615,25 @@ pub fn main() {
                 opts.spans = Some(log.clone());
                 log
             });
-            let output = run_scenarios(&refs, &opts);
+            let output = if cli.workers > 1 && cli.no_cache {
+                // Graceful degradation: the cache directory *is* the
+                // multi-process claim space (leases, journal shards, the
+                // committed outcomes themselves). Without it there is
+                // nothing to coordinate through, so fall back to the
+                // single-process scoped-thread pool.
+                eprintln!(
+                    "warning: --workers {} requires the run cache as its claim space; \
+                     --no-cache disables lease/journal coordination — \
+                     falling back to in-process threads (-j {})",
+                    cli.workers, cli.jobs
+                );
+                run_scenarios(&refs, &opts)
+            } else if cli.workers > 1 {
+                let sup = supervise_config(&cli, names, *all);
+                supervise::run_supervised(&refs, &opts, &sup)
+            } else {
+                run_scenarios(&refs, &opts)
+            };
             print_output(&output, refs.len() > 1);
             if let (Some(path), Some(log)) = (&cli.trace_out, &span_log) {
                 match write_json(&log.to_chrome_json(), path) {
@@ -625,17 +750,37 @@ fn print_output(output: &EngineOutput, separators: bool) {
     let f = &r.faults;
     if !output.failures.is_empty() || f.cache_corrupt > 0 || f.cache_schema_mismatch > 0 {
         eprintln!(
-            "faults: {} failed run(s) ({} panicked, {} over budget, {} sim errors, {} prep, {} render); cache: {} corrupt ({} quarantined), {} schema-stale; {} resumed",
+            "faults: {} failed run(s) ({} panicked, {} over budget, {} sim errors, {} prep, {} render, {} poisoned); cache: {} corrupt ({} quarantined), {} schema-stale; {} resumed",
             output.failures.len(),
             f.panicked,
             f.budget_exceeded,
             f.sim_errors,
             f.prep_failures,
             f.render_failures,
+            f.poisoned,
             f.cache_corrupt,
             f.quarantined,
             f.cache_schema_mismatch,
             f.resumed
+        );
+    }
+    // The end-of-campaign summary is always printed: every campaign
+    // states its hygiene counters (swept debris, quarantines, retries)
+    // even when they are zero, so scripts can grep one stable line.
+    eprintln!(
+        "campaign: swept {} temp file(s); {} corrupt entr{} quarantined; {} run(s) resumed; {} lease reclaim(s); {} worker respawn(s) ({} ms backoff)",
+        f.tmp_swept,
+        f.quarantined,
+        if f.quarantined == 1 { "y" } else { "ies" },
+        f.resumed,
+        f.lease_reclaims,
+        f.worker_respawns,
+        f.backoff_ms
+    );
+    if f.worker_deaths > 0 || f.poisoned > 0 {
+        eprintln!(
+            "supervisor: {} worker death(s) absorbed; {} poisonous run(s) quarantined",
+            f.worker_deaths, f.poisoned
         );
     }
     if f.tmp_swept > 0 || f.journal_torn_bytes > 0 {

@@ -74,6 +74,13 @@ pub enum RunError {
         /// budget.
         flight_recorder: Vec<String>,
     },
+    /// The run killed enough distinct worker processes (crash, SIGKILL,
+    /// OOM) that the supervisor quarantined it as poisonous instead of
+    /// retrying it forever.
+    Poisoned {
+        /// How many distinct workers died holding this run's lease.
+        worker_deaths: usize,
+    },
 }
 
 impl RunError {
@@ -83,6 +90,7 @@ impl RunError {
             RunError::Panicked { .. } => "panic",
             RunError::Sim { .. } => "sim_error",
             RunError::BudgetExceeded { .. } => "budget_exceeded",
+            RunError::Poisoned { .. } => "poisoned",
         }
     }
 
@@ -100,6 +108,9 @@ impl RunError {
                         budget_cycles.map(|b| b.to_string()).unwrap_or_else(|| "?".into())
                     )
                 }
+            }
+            RunError::Poisoned { worker_deaths } => {
+                format!("poisonous run quarantined after killing {worker_deaths} workers")
             }
         }
     }
@@ -135,6 +146,9 @@ impl RunFailure {
         j.set("message", self.error.message());
         if let RunError::Panicked { payload } = &self.error {
             j.set("panic_payload", payload.as_str());
+        }
+        if let RunError::Poisoned { worker_deaths } = &self.error {
+            j.set("worker_deaths", *worker_deaths as u64);
         }
         if let RunError::BudgetExceeded { cycles, budget_cycles, wall_clock, flight_recorder } =
             &self.error
@@ -330,13 +344,51 @@ pub struct FaultStats {
     pub journal_in_flight: usize,
     /// Planned runs the resumed journal shows as never started.
     pub journal_never_started: usize,
+    /// Runs quarantined as poisonous (killed too many workers).
+    pub poisoned: usize,
+    /// Worker processes the supervisor observed dying abnormally.
+    pub worker_deaths: usize,
+    /// Replacement workers the supervisor spawned after deaths.
+    pub worker_respawns: usize,
+    /// Leases reclaimed from dead or stalled holders (supervisor-side
+    /// force-releases plus end-of-campaign sweeps of leaked leases).
+    pub lease_reclaims: usize,
+    /// Total milliseconds spent in capped exponential backoff (worker
+    /// rescan waits plus supervisor respawn delays).
+    pub backoff_ms: u64,
 }
 
 impl FaultStats {
     /// Total failed runs (excludes cache/store noise, which costs
     /// memoization but not results).
     pub fn failed_runs(&self) -> usize {
-        self.panicked + self.budget_exceeded + self.sim_errors + self.prep_failures
+        self.panicked + self.budget_exceeded + self.sim_errors + self.prep_failures + self.poisoned
+    }
+
+    /// Merges another invocation's counters into this one (the supervisor
+    /// carries its own counters into the final rendering pass).
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.panicked += other.panicked;
+        self.budget_exceeded += other.budget_exceeded;
+        self.sim_errors += other.sim_errors;
+        self.prep_failures += other.prep_failures;
+        self.render_failures += other.render_failures;
+        self.cache_corrupt += other.cache_corrupt;
+        self.cache_schema_mismatch += other.cache_schema_mismatch;
+        self.quarantined += other.quarantined;
+        self.store_retries += other.store_retries;
+        self.store_failures += other.store_failures;
+        self.resumed += other.resumed;
+        self.tmp_swept += other.tmp_swept;
+        self.journal_torn_bytes += other.journal_torn_bytes;
+        self.journal_committed += other.journal_committed;
+        self.journal_in_flight += other.journal_in_flight;
+        self.journal_never_started += other.journal_never_started;
+        self.poisoned += other.poisoned;
+        self.worker_deaths += other.worker_deaths;
+        self.worker_respawns += other.worker_respawns;
+        self.lease_reclaims += other.lease_reclaims;
+        self.backoff_ms += other.backoff_ms;
     }
 
     /// The `faults` section of planner telemetry.
@@ -359,6 +411,11 @@ impl FaultStats {
         j.set("journal_committed", self.journal_committed as u64);
         j.set("journal_in_flight", self.journal_in_flight as u64);
         j.set("journal_never_started", self.journal_never_started as u64);
+        j.set("poisoned", self.poisoned as u64);
+        j.set("worker_deaths", self.worker_deaths as u64);
+        j.set("worker_respawns", self.worker_respawns as u64);
+        j.set("lease_reclaims", self.lease_reclaims as u64);
+        j.set("backoff_ms", self.backoff_ms);
         j
     }
 }

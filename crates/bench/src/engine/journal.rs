@@ -18,14 +18,29 @@
 //! recovered campaign states exactly what the crash interrupted instead of
 //! inferring it from cache misses.
 //!
+//! Multi-process campaigns add three worker-attributed kinds:
+//!
+//! - `Claimed(fp, pid)` — a worker process acquired the lease for `fp`;
+//! - `Heartbeat(fp, pid)` — the worker refreshed its claim mid-run;
+//! - `Released(fp, pid)` — the worker gave the claim back (after a
+//!   commit, or after a locally-contained failure).
+//!
+//! Worker processes cannot share the supervisor's journal file handle, so
+//! each appends to its own shard ([`Journal::shard`]):
+//! `worker-<id>-<pid>.journal` next to `campaign.journal`. Replay merges
+//! the campaign log and every shard — classification only needs set
+//! union, never cross-file ordering.
+//!
 //! ## Record format
 //!
 //! Each record is length-prefixed and checksummed:
 //!
 //! ```text
 //! [len: u32 LE] [checksum: u64 LE] [payload: len bytes]
-//! payload = [kind: u8] [fingerprint: u64 LE]
+//! payload = [kind: u8] [fingerprint: u64 LE] ([pid: u32 LE])
 //! ```
+//!
+//! (the pid field is present only for the worker-attributed kinds 4-6.)
 //!
 //! where `checksum` is the stable [`Fingerprint`] hash of the payload
 //! bytes. A `kill -9` can land mid-append, leaving a torn tail: replay
@@ -37,10 +52,10 @@
 //! lost `Committed` merely downgrades a run to "in flight", which resume
 //! treats conservatively.
 //!
-//! One journal serves one campaign: [`Journal::begin`] truncates, so
-//! concurrent campaigns must use distinct cache directories (the same
-//! restriction the cache's temp-file naming already lifts for plain
-//! stores; multi-process sharding will give the journal per-shard files).
+//! One journal serves one campaign: [`Journal::begin`] truncates the
+//! campaign log and removes stale worker shards, so concurrent campaigns
+//! must use distinct cache directories (the same restriction the cache's
+//! temp-file naming already lifts for plain stores).
 
 use lf_stats::Fingerprint;
 use std::collections::HashSet;
@@ -51,6 +66,9 @@ use std::sync::Mutex;
 
 /// File name of the journal inside the journal directory.
 pub const JOURNAL_FILE: &str = "campaign.journal";
+
+/// Prefix of per-worker journal shards inside the journal directory.
+pub const WORKER_SHARD_PREFIX: &str = "worker-";
 
 /// Records longer than this are rejected as torn/corrupt during replay
 /// (real payloads are 9 bytes; the bound only guards against reading a
@@ -66,6 +84,12 @@ pub enum JournalEvent {
     Started(u64),
     /// The fingerprint's outcome was durably published to the run cache.
     Committed(u64),
+    /// A worker process (with the given pid) acquired the lease.
+    Claimed(u64, u32),
+    /// The worker refreshed its lease mid-run.
+    Heartbeat(u64, u32),
+    /// The worker released its lease.
+    Released(u64, u32),
 }
 
 impl JournalEvent {
@@ -74,6 +98,9 @@ impl JournalEvent {
             JournalEvent::Planned(_) => 1,
             JournalEvent::Started(_) => 2,
             JournalEvent::Committed(_) => 3,
+            JournalEvent::Claimed(_, _) => 4,
+            JournalEvent::Heartbeat(_, _) => 5,
+            JournalEvent::Released(_, _) => 6,
         }
     }
 
@@ -82,13 +109,28 @@ impl JournalEvent {
             JournalEvent::Planned(fp) | JournalEvent::Started(fp) | JournalEvent::Committed(fp) => {
                 *fp
             }
+            JournalEvent::Claimed(fp, _)
+            | JournalEvent::Heartbeat(fp, _)
+            | JournalEvent::Released(fp, _) => *fp,
+        }
+    }
+
+    fn pid(&self) -> Option<u32> {
+        match self {
+            JournalEvent::Claimed(_, pid)
+            | JournalEvent::Heartbeat(_, pid)
+            | JournalEvent::Released(_, pid) => Some(*pid),
+            _ => None,
         }
     }
 
     fn encode(&self) -> Vec<u8> {
-        let mut payload = Vec::with_capacity(9);
+        let mut payload = Vec::with_capacity(13);
         payload.push(self.kind());
         payload.extend_from_slice(&self.fingerprint().to_le_bytes());
+        if let Some(pid) = self.pid() {
+            payload.extend_from_slice(&pid.to_le_bytes());
+        }
         let mut record = Vec::with_capacity(12 + payload.len());
         record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         record.extend_from_slice(&checksum(&payload).to_le_bytes());
@@ -97,14 +139,22 @@ impl JournalEvent {
     }
 
     fn decode(payload: &[u8]) -> Option<JournalEvent> {
-        if payload.len() != 9 {
+        if payload.len() < 9 {
             return None;
         }
         let fp = u64::from_le_bytes(payload[1..9].try_into().ok()?);
-        match payload[0] {
-            1 => Some(JournalEvent::Planned(fp)),
-            2 => Some(JournalEvent::Started(fp)),
-            3 => Some(JournalEvent::Committed(fp)),
+        match (payload[0], payload.len()) {
+            (1, 9) => Some(JournalEvent::Planned(fp)),
+            (2, 9) => Some(JournalEvent::Started(fp)),
+            (3, 9) => Some(JournalEvent::Committed(fp)),
+            (kind @ 4..=6, 13) => {
+                let pid = u32::from_le_bytes(payload[9..13].try_into().ok()?);
+                Some(match kind {
+                    4 => JournalEvent::Claimed(fp, pid),
+                    5 => JournalEvent::Heartbeat(fp, pid),
+                    _ => JournalEvent::Released(fp, pid),
+                })
+            }
             _ => None,
         }
     }
@@ -143,20 +193,35 @@ pub struct Replay {
     pub started: HashSet<u64>,
     /// Every fingerprint with a `Committed` record.
     pub committed: HashSet<u64>,
-    /// Bytes truncated from a torn tail (0 = the log was whole).
+    /// Every fingerprint a worker process `Claimed` (lease acquired).
+    pub claimed: HashSet<u64>,
+    /// Bytes truncated from a torn tail (0 = the log was whole), summed
+    /// across the campaign log and all worker shards.
     pub torn_bytes: u64,
 }
 
 impl Replay {
-    /// Classifies one fingerprint.
+    /// Classifies one fingerprint. A worker-side `Claimed` without a
+    /// `Started` still counts as in flight: the lease was acquired, so
+    /// the run may have been executing when the campaign died.
     pub fn classify(&self, fingerprint: u64) -> RunState {
         if self.committed.contains(&fingerprint) {
             RunState::Committed
-        } else if self.started.contains(&fingerprint) {
+        } else if self.started.contains(&fingerprint) || self.claimed.contains(&fingerprint) {
             RunState::InFlight
         } else {
             RunState::NeverStarted
         }
+    }
+
+    /// Merges another replay (a worker shard) into this one.
+    fn absorb(&mut self, other: Replay) {
+        self.records += other.records;
+        self.planned.extend(other.planned);
+        self.started.extend(other.started);
+        self.committed.extend(other.committed);
+        self.claimed.extend(other.claimed);
+        self.torn_bytes += other.torn_bytes;
     }
 }
 
@@ -177,21 +242,34 @@ impl Journal {
     /// scratch).
     pub fn begin(dir: &Path) -> io::Result<Journal> {
         std::fs::create_dir_all(dir)?;
+        remove_worker_shards(dir);
         let path = dir.join(JOURNAL_FILE);
         let file = File::create(&path)?;
         Ok(Journal { path, file: Mutex::new(file) })
     }
 
     /// Reopens the journal of a crashed (or completed) campaign: replays
-    /// every whole record, truncates a torn tail in place, and returns the
-    /// journal positioned to append. A missing journal resumes as empty —
-    /// the campaign may have died before planning.
+    /// every whole record of the campaign log *and* every worker shard,
+    /// truncates torn tails in place, and returns the journal positioned
+    /// to append. A missing journal resumes as empty — the campaign may
+    /// have died before planning.
     pub fn resume(dir: &Path) -> io::Result<(Journal, Replay)> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(JOURNAL_FILE);
-        let replay = replay_and_truncate(&path)?;
+        let replay = replay_dir(dir)?;
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok((Journal { path, file: Mutex::new(file) }, replay))
+    }
+
+    /// Opens (creating if needed) a per-worker journal shard,
+    /// `worker-<label>.journal`, in append mode. Worker processes cannot
+    /// share the supervisor's file handle without interleaving torn
+    /// records, so each gets its own shard; replay merges them.
+    pub fn shard(dir: &Path, label: &str) -> io::Result<Journal> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{WORKER_SHARD_PREFIX}{label}.journal"));
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal { path, file: Mutex::new(file) })
     }
 
     /// The journal file path.
@@ -215,6 +293,49 @@ impl Journal {
         file.write_all(&buf)?;
         file.sync_data()
     }
+}
+
+/// Removes every `worker-*.journal` shard in `dir` (fresh campaigns must
+/// not replay a previous campaign's worker events).
+pub fn remove_worker_shards(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with(WORKER_SHARD_PREFIX) && name.ends_with(".journal") {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Replays and merges the campaign journal plus every worker shard in
+/// `dir`, truncating torn tails in each file. Missing files replay as
+/// empty.
+pub fn replay_dir(dir: &Path) -> io::Result<Replay> {
+    let mut replay = replay_and_truncate(&dir.join(JOURNAL_FILE))?;
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(replay),
+        Err(e) => return Err(e),
+    };
+    // Deterministic merge order (sets make order irrelevant for
+    // classification, but torn-byte accounting reads better stable).
+    let mut shards: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(WORKER_SHARD_PREFIX) && n.ends_with(".journal"))
+        })
+        .collect();
+    shards.sort();
+    for shard in shards {
+        replay.absorb(replay_and_truncate(&shard)?);
+    }
+    Ok(replay)
 }
 
 /// Replays the journal at `path`, truncating any torn tail back to the
@@ -255,6 +376,13 @@ pub fn replay_and_truncate(path: &Path) -> io::Result<Replay> {
             JournalEvent::Committed(fp) => {
                 replay.committed.insert(fp);
             }
+            JournalEvent::Claimed(fp, _) => {
+                replay.claimed.insert(fp);
+            }
+            // Heartbeats refresh liveness, not state; a release does not
+            // un-claim for classification (the claim still says "a worker
+            // may have been executing this").
+            JournalEvent::Heartbeat(_, _) | JournalEvent::Released(_, _) => {}
         }
         replay.records += 1;
         offset += consumed;
@@ -394,6 +522,64 @@ mod tests {
         drop(j2);
         let (_, replay) = Journal::resume(&dir).unwrap();
         assert_eq!(replay.records, 0, "begin() starts a fresh log");
+    }
+
+    #[test]
+    fn worker_shards_merge_into_the_replay() {
+        let dir = scratch_dir("shards");
+        let j = Journal::begin(&dir).unwrap();
+        j.append_all(&[JournalEvent::Planned(1), JournalEvent::Planned(2)]).unwrap();
+        drop(j);
+
+        let w0 = Journal::shard(&dir, "0-100").unwrap();
+        w0.append(JournalEvent::Claimed(1, 100)).unwrap();
+        w0.append(JournalEvent::Started(1)).unwrap();
+        w0.append(JournalEvent::Committed(1)).unwrap();
+        w0.append(JournalEvent::Released(1, 100)).unwrap();
+        drop(w0);
+        let w1 = Journal::shard(&dir, "1-101").unwrap();
+        w1.append(JournalEvent::Claimed(2, 101)).unwrap();
+        w1.append(JournalEvent::Heartbeat(2, 101)).unwrap();
+        drop(w1);
+
+        let (_, replay) = Journal::resume(&dir).unwrap();
+        assert_eq!(replay.records, 2 + 4 + 2);
+        assert_eq!(replay.torn_bytes, 0);
+        assert_eq!(replay.classify(1), RunState::Committed);
+        assert_eq!(
+            replay.classify(2),
+            RunState::InFlight,
+            "claimed-but-never-committed counts as in flight"
+        );
+
+        // A fresh campaign clears the shards along with the log.
+        drop(Journal::begin(&dir).unwrap());
+        let (_, again) = Journal::resume(&dir).unwrap();
+        assert_eq!(again.records, 0, "begin() removes worker shards");
+    }
+
+    #[test]
+    fn worker_event_payloads_round_trip() {
+        let dir = scratch_dir("worker-events");
+        let j = Journal::begin(&dir).unwrap();
+        let events = [
+            JournalEvent::Claimed(0xdead_beef, 4242),
+            JournalEvent::Heartbeat(0xdead_beef, 4242),
+            JournalEvent::Released(0xdead_beef, 4242),
+        ];
+        j.append_all(&events).unwrap();
+        let path = j.path().to_path_buf();
+        drop(j);
+        let replay = replay_and_truncate(&path).unwrap();
+        assert_eq!(replay.records, 3);
+        assert!(replay.claimed.contains(&0xdead_beef));
+        // And the raw decode matches what was appended.
+        for ev in &events {
+            let encoded = ev.encode();
+            let (decoded, consumed) = read_record(&encoded).unwrap();
+            assert_eq!(&decoded, ev);
+            assert_eq!(consumed, encoded.len());
+        }
     }
 
     #[test]

@@ -29,10 +29,13 @@ pub mod cache;
 pub mod cli;
 pub mod fault;
 pub mod journal;
+pub mod lease;
 pub mod planner;
 pub mod pool;
 pub mod scenarios;
+pub mod signals;
 pub mod spans;
+pub mod supervise;
 
 use crate::runner::{scale_tag, KernelRun, RunConfig, RunOutcome};
 use crate::tiered::{CheckpointStore, Tier};
@@ -102,6 +105,16 @@ pub struct EngineOptions {
     /// timing summary in [`PlannerReport`] comes from it) but nothing is
     /// exported.
     pub spans: Option<Arc<SpanLog>>,
+    /// Runs quarantined as poisonous by the multi-process supervisor
+    /// (fingerprint → distinct worker deaths). Poisoned cache misses are
+    /// never executed in this process: they become structured
+    /// [`fault::RunError::Poisoned`] failures (a poisonous run would
+    /// otherwise take this process down too).
+    pub poisoned: HashMap<u64, usize>,
+    /// Failure counters carried in from a supervising process (worker
+    /// deaths, respawns, lease reclaims); merged into this invocation's
+    /// own counters so the rendered telemetry covers the whole campaign.
+    pub carried_faults: FaultStats,
 }
 
 impl EngineOptions {
@@ -118,6 +131,8 @@ impl EngineOptions {
             faults: FaultPlan::default(),
             resume_from: None,
             spans: None,
+            poisoned: HashMap::new(),
+            carried_faults: FaultStats::default(),
         }
     }
 }
@@ -431,45 +446,16 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
     // predecessor, then open the campaign journal. Both live under the
     // cache directory, so `--no-cache` campaigns run unswept and
     // unjournaled (they publish nothing worth recovering).
-    let mut faults = FaultStats::default();
+    let mut faults = opts.carried_faults.clone();
     let (campaign_journal, journal_replay) = open_journal(opts, &mut faults);
-    let suite: Vec<Workload> = lf_workloads::all(opts.scale)
-        .into_iter()
-        .filter(|w| match &opts.filter {
-            Some(f) => w.name.contains(f.as_str()),
-            None => true,
-        })
-        .collect();
 
-    // Phase 1: plan. Scenarios only declare work; nothing runs yet.
-    let plan_span = span_log.span("phase", "plan");
-    let mut planner = Planner::new(&suite);
-    let mut per_scenario = Vec::new();
-    for s in scenarios {
-        let _s = span_log.span("plan", s.name());
-        let before = planner.request_count();
-        s.plan(&mut planner);
-        per_scenario.push((s.name(), planner.request_count() - before));
-    }
-    let requests = planner.into_requests();
-    drop(plan_span);
-
-    // Phase 2: prepare (profile + annotate) each distinct kernel/hinting
-    // pair, then collapse requests to unique fingerprints. A failed
-    // preparation drops only that pair's requests; its failure record
-    // stands in for every run that depended on it.
+    // Phases 1-2: plan, prepare, dedupe (shared with worker processes,
+    // which re-derive the identical plan from the same options).
+    let CampaignPlan { suite, per_scenario, prepared, prep_panics, unique } =
+        build_plan(scenarios, opts, &span_log);
     let tag = scale_tag(opts.scale);
-    let tier_flag = match opts.tier {
-        Tier::Detailed => String::new(),
-        t => format!(" --tier {}", t.tag()),
-    };
-    let repro_for = |kernel: &str| {
-        format!("lf-bench run --all --scale {tag}{tier_flag} --filter {kernel} -j 1 --no-cache")
-    };
+    let repro_for = |kernel: &str| repro_command(opts.scale, opts.tier, kernel);
     let mut failure_list: Vec<Arc<RunFailure>> = Vec::new();
-    let prepare_span = span_log.span("phase", "prepare");
-    let (prepared, prep_panics) = prepare_kernels(&suite, &requests, opts.jobs);
-    drop(prepare_span);
     let mut prep_failures: HashMap<PrepKey, Arc<RunFailure>> = HashMap::new();
     for (key, panic) in prep_panics {
         faults.prep_failures += 1;
@@ -482,7 +468,6 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
         failure_list.push(record.clone());
         prep_failures.insert(key, record);
     }
-    let unique = dedupe(&requests, &prepared, opts.tier);
 
     // Journal the deduplicated plan in one batch, and on `--resume`
     // classify each planned run against the previous campaign's log: the
@@ -542,12 +527,35 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
         // misses are such replays.
         faults.resumed = misses.iter().filter(|r| resume.contains(&r.fingerprint)).count();
     }
+    // Poisoned runs (they killed K distinct workers under the supervisor)
+    // are never executed here — a genuinely poisonous run would take this
+    // process down too. A cache hit outranks a poison marker: if any
+    // worker managed to commit the run, the result is trusted.
+    let mut poisoned_runs: Vec<(&planner::UniqueRun, usize)> = Vec::new();
+    misses.retain(|run| match opts.poisoned.get(&run.fingerprint) {
+        Some(&deaths) => {
+            poisoned_runs.push((*run, deaths));
+            false
+        }
+        None => true,
+    });
     drop(cache_span);
     let misses: Vec<_> = misses; // shadow as immutable for the pool
     let simulate_span = span_log.span("phase", "simulate");
     let executed = execute_refs(&misses, opts, &span_log, campaign_journal.as_deref());
     drop(simulate_span);
     let mut failures: HashMap<u64, Arc<RunFailure>> = HashMap::new();
+    for (run, deaths) in poisoned_runs {
+        faults.poisoned += 1;
+        let record = Arc::new(RunFailure {
+            fingerprint: run.fingerprint,
+            kernel: run.kernel.to_string(),
+            error: RunError::Poisoned { worker_deaths: deaths },
+            repro: repro_for(run.kernel),
+        });
+        failure_list.push(record.clone());
+        failures.insert(run.fingerprint, record);
+    }
     for (run, result) in misses.iter().zip(executed) {
         match result {
             Ok(outcome) => {
@@ -568,6 +576,8 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
                     RunError::Panicked { .. } => faults.panicked += 1,
                     RunError::Sim { .. } => faults.sim_errors += 1,
                     RunError::BudgetExceeded { .. } => faults.budget_exceeded += 1,
+                    // Poisoned runs were filtered out before execution.
+                    RunError::Poisoned { .. } => faults.poisoned += 1,
                 }
                 let record = Arc::new(RunFailure {
                     fingerprint: run.fingerprint,
@@ -657,6 +667,89 @@ pub fn run_scenarios(scenarios: &[&dyn Scenario], opts: &EngineOptions) -> Engin
     EngineOutput { scenarios: rendered, report, failures: failure_list }
 }
 
+/// The deterministic front half of a campaign: the filtered suite, the
+/// per-scenario request counts, the prepared kernels (with any
+/// preparation panics), and the deduplicated unique-run list. Worker
+/// processes re-derive this identical plan from the same options — the
+/// plan is a pure function of (scenarios, scale, tier, filter), so no
+/// plan data ever needs to cross a process boundary.
+pub(crate) struct CampaignPlan {
+    /// The (possibly `--filter`ed) kernel suite, canonical order.
+    pub suite: Vec<Workload>,
+    /// Requests declared per scenario, registry order.
+    pub per_scenario: Vec<(&'static str, usize)>,
+    /// Successfully prepared `(kernel, hinting)` pairs.
+    pub prepared: HashMap<PrepKey, Arc<PreparedKernel>>,
+    /// Preparations that panicked.
+    pub prep_panics: Vec<(PrepKey, WorkerPanic)>,
+    /// The deduplicated execution plan, first-seen order.
+    pub unique: Vec<planner::UniqueRun>,
+}
+
+/// Runs phases 1-2 (plan → prepare → dedupe). Shared by
+/// [`run_scenarios`] and the multi-process worker entry point.
+pub(crate) fn build_plan(
+    scenarios: &[&dyn Scenario],
+    opts: &EngineOptions,
+    span_log: &Arc<SpanLog>,
+) -> CampaignPlan {
+    let suite: Vec<Workload> = lf_workloads::all(opts.scale)
+        .into_iter()
+        .filter(|w| match &opts.filter {
+            Some(f) => w.name.contains(f.as_str()),
+            None => true,
+        })
+        .collect();
+
+    // Phase 1: plan. Scenarios only declare work; nothing runs yet.
+    let plan_span = span_log.span("phase", "plan");
+    let mut planner = Planner::new(&suite);
+    let mut per_scenario = Vec::new();
+    for s in scenarios {
+        let _s = span_log.span("plan", s.name());
+        let before = planner.request_count();
+        s.plan(&mut planner);
+        per_scenario.push((s.name(), planner.request_count() - before));
+    }
+    let requests = planner.into_requests();
+    drop(plan_span);
+
+    // Phase 2: prepare (profile + annotate) each distinct kernel/hinting
+    // pair, then collapse requests to unique fingerprints. A failed
+    // preparation drops only that pair's requests; its failure record
+    // stands in for every run that depended on it.
+    let prepare_span = span_log.span("phase", "prepare");
+    let (prepared, prep_panics) = prepare_kernels(&suite, &requests, opts.jobs);
+    drop(prepare_span);
+    let unique = dedupe(&requests, &prepared, opts.tier);
+    CampaignPlan { suite, per_scenario, prepared, prep_panics, unique }
+}
+
+/// The one-line repro command attached to failure records.
+pub(crate) fn repro_command(scale: Scale, tier: Tier, kernel: &str) -> String {
+    let tag = scale_tag(scale);
+    let tier_flag = match tier {
+        Tier::Detailed => String::new(),
+        t => format!(" --tier {}", t.tag()),
+    };
+    format!("lf-bench run --all --scale {tag}{tier_flag} --filter {kernel} -j 1 --no-cache")
+}
+
+/// Executes one unique run in this process (the worker claim loop's unit
+/// of work): journals `Started`, applies injection/budget/tier dispatch,
+/// and returns the outcome. Panics are contained exactly as in the
+/// campaign pool.
+pub(crate) fn execute_single(
+    run: &planner::UniqueRun,
+    opts: &EngineOptions,
+    span_log: &Arc<SpanLog>,
+    journal: Option<&Journal>,
+) -> Result<Arc<RunOutcome>, RunError> {
+    execute_refs(&[run], opts, span_log, journal)
+        .pop()
+        .expect("execute over one run yields one result")
+}
+
 /// Opens the campaign journal under the cache directory (fresh on a new
 /// campaign, replayed on `--resume`) after sweeping commit temp files a
 /// killed predecessor left behind. Journal IO failures cost diagnostics,
@@ -668,7 +761,8 @@ fn open_journal(
     let Some(cache) = &opts.disk_cache else {
         return (None, None);
     };
-    faults.tmp_swept = crate::durable::sweep_orphan_tmps(cache.dir());
+    // `+=`: a supervising process may have swept (and counted) already.
+    faults.tmp_swept += crate::durable::sweep_orphan_tmps(cache.dir());
     let dir = cache.journal_dir();
     if opts.resume_from.is_some() {
         match Journal::resume(&dir) {
@@ -696,7 +790,7 @@ fn open_journal(
 /// commit, then (under `--inject-fault corrupt-cache:<rate>`) garbles the
 /// freshly written entry so the *next* campaign exercises the quarantine
 /// path.
-fn store_outcome(
+pub(crate) fn store_outcome(
     cache: &DiskCache,
     fingerprint: u64,
     outcome: &RunOutcome,

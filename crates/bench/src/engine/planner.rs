@@ -221,6 +221,7 @@ pub(crate) fn prepare_kernels(
 }
 
 /// One entry of the deduplicated execution plan.
+#[derive(Clone)]
 pub(crate) struct UniqueRun {
     pub fingerprint: u64,
     pub kernel: &'static str,

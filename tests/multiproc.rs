@@ -1,0 +1,374 @@
+//! The supervised multi-process campaign harness: worker crashes, kills,
+//! and drains must never cost more than the in-flight run.
+//!
+//! Each case spawns a real `lf-bench run --workers N` supervisor as a
+//! child process and asserts the supervision contract from outside:
+//!
+//! 1. a campaign sharded across workers renders **byte-identically** to a
+//!    single-process campaign — same stdout, same artifacts (modulo the
+//!    `planner` telemetry section);
+//! 2. worker deaths (injected `crash:<rate>` aborts, true external
+//!    SIGKILLs) are absorbed: the supervisor respawns workers, surviving
+//!    workers retry the lost runs, and the campaign still exits 0;
+//! 3. a run that keeps killing workers is classified poisonous and lands
+//!    in `failures.json` as a structured `poisoned` record instead of
+//!    taking the campaign down;
+//! 4. nothing leaks: zero worker processes, zero `.lease` files, zero
+//!    commit temp files, zero torn journal bytes after any outcome —
+//!    including a SIGTERM drain of the whole supervisor.
+
+use lf_bench::engine::journal::{replay_dir, JOURNAL_FILE};
+use lf_stats::Json;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_lf-bench");
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let root =
+        std::env::var_os("LF_CRASH_SCRATCH").map(PathBuf::from).unwrap_or_else(std::env::temp_dir);
+    let dir = root.join(format!("lf-bench-multiproc-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A campaign command rooted in `dir` (relative output paths keep stdout
+/// byte-comparable across scratch directories). Fast respawn backoff: the
+/// tests inject crash storms and should not sleep through real backoff.
+fn campaign(dir: &Path, extra: &[&str]) -> Command {
+    let mut cmd = Command::new(BIN);
+    cmd.current_dir(dir)
+        .arg("run")
+        .args(["--all", "--scale", "smoke", "--filter", "stencil_blur", "-j", "2"])
+        .args(["--json", "results"])
+        .args(["--cache-dir", "results/cache"])
+        .env("LF_RESPAWN_BACKOFF_MS", "10")
+        .args(extra);
+    cmd
+}
+
+fn run(cmd: &mut Command) -> Output {
+    cmd.output().expect("campaign process spawns")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Every scenario artifact under `results/`, with the volatile `planner`
+/// telemetry section nulled out (wall-clock timings and cache-hit counts
+/// legitimately differ between a single-process and a sharded campaign).
+fn normalized_artifacts(dir: &Path) -> Vec<(String, String)> {
+    let results = dir.join("results");
+    let mut artifacts = Vec::new();
+    for entry in std::fs::read_dir(&results).expect("results dir exists").flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.ends_with(".json")
+            || matches!(name.as_str(), "planner.json" | "BENCH_harness.json" | "failures.json")
+        {
+            continue;
+        }
+        let text = std::fs::read_to_string(entry.path()).unwrap();
+        let mut doc = Json::parse(&text).expect("artifact parses");
+        doc.set("planner", Json::Null);
+        artifacts.push((name, doc.to_string_pretty()));
+    }
+    artifacts.sort();
+    assert!(!artifacts.is_empty(), "the campaign wrote scenario artifacts");
+    artifacts
+}
+
+/// Every file under `dir`, recursively.
+fn files_under(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                files.push(path);
+            }
+        }
+    }
+    files
+}
+
+/// Asserts the hygiene half of the contract: no leases, no commit temp
+/// files, no poison markers, and a whole (untorn) merged journal.
+fn assert_no_debris(dir: &Path, what: &str) {
+    let leaked: Vec<_> = files_under(dir)
+        .into_iter()
+        .filter(|p| {
+            let name = p.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+            name.ends_with(".lease") || name.contains(".tmp.") || name.ends_with(".poison")
+        })
+        .collect();
+    assert!(leaked.is_empty(), "[{what}] leaked coordination debris: {leaked:?}");
+    let journal_dir = dir.join("results/cache/journal");
+    if journal_dir.join(JOURNAL_FILE).exists() {
+        let replay = replay_dir(&journal_dir).unwrap();
+        assert_eq!(replay.torn_bytes, 0, "[{what}] merged journal replays without a torn tail");
+    }
+}
+
+/// Live `lf-bench worker` processes attached to `dir`'s cache, found by
+/// scanning `/proc` (exact argv match — never a substring grep that could
+/// catch this test's own process tree).
+#[cfg(target_os = "linux")]
+fn worker_pids(dir: &Path) -> Vec<u32> {
+    let cache = dir.join("results/cache");
+    let mut pids = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else { return pids };
+    for entry in entries.flatten() {
+        let Some(pid) = entry.file_name().to_str().and_then(|n| n.parse::<u32>().ok()) else {
+            continue;
+        };
+        let Ok(raw) = std::fs::read(entry.path().join("cmdline")) else { continue };
+        let argv: Vec<&str> =
+            raw.split(|&b| b == 0).map(|s| std::str::from_utf8(s).unwrap_or("")).collect();
+        let is_worker = argv.first().map(|a| a.ends_with("lf-bench")).unwrap_or(false)
+            && argv.get(1) == Some(&"worker");
+        // Workers run from the supervisor's cwd, so --cache-dir may be
+        // relative; match on the absolute form recorded in /proc/<pid>/cwd.
+        if is_worker {
+            let cwd = std::fs::read_link(entry.path().join("cwd")).unwrap_or_default();
+            let has_cache = argv
+                .iter()
+                .zip(argv.iter().skip(1))
+                .any(|(flag, value)| *flag == "--cache-dir" && cwd.join(value) == cache);
+            if has_cache {
+                pids.push(pid);
+            }
+        }
+    }
+    pids
+}
+
+/// Two workers race a small plan and the result is indistinguishable from
+/// a single-process campaign: byte-identical stdout and artifacts, zero
+/// leases or temp files, and a merged journal that covers every run.
+#[test]
+fn two_workers_render_byte_identically_to_single_process() {
+    let ref_dir = scratch_dir("identity-ref");
+    let reference = run(&mut campaign(&ref_dir, &[]));
+    assert!(reference.status.success(), "{}", stderr_of(&reference));
+
+    let dir = scratch_dir("identity-two");
+    let sharded = run(&mut campaign(&dir, &["--workers", "2"]));
+    assert!(sharded.status.success(), "{}", stderr_of(&sharded));
+
+    assert_eq!(
+        stdout_of(&sharded),
+        stdout_of(&reference),
+        "sharded stdout must be byte-identical to a single-process campaign"
+    );
+    assert_eq!(
+        normalized_artifacts(&dir),
+        normalized_artifacts(&ref_dir),
+        "sharded artifacts must be byte-identical (modulo planner telemetry)"
+    );
+    assert_no_debris(&dir, "identity");
+
+    // The merged journal (campaign log + worker shards) accounts for the
+    // whole plan: every planned fingerprint committed.
+    let replay = replay_dir(&dir.join("results/cache/journal")).unwrap();
+    assert!(!replay.planned.is_empty(), "the final pass journals the plan");
+    let missing: Vec<_> = replay.planned.difference(&replay.committed).collect();
+    assert!(missing.is_empty(), "every planned run committed: missing {missing:?}");
+    // And the supervisor's stderr summary names the worker count.
+    assert!(
+        stderr_of(&sharded).contains("supervisor: 2 workers"),
+        "the supervisor announces its workers:\n{}",
+        stderr_of(&sharded)
+    );
+}
+
+/// A crash storm: every claimed run aborts its worker. The supervisor
+/// must absorb the deaths, classify each run as poisonous after it kills
+/// two distinct workers, quarantine them into `failures.json`, and still
+/// exit 0. A later `--resume` without the injection re-executes the
+/// quarantined runs and converges to the byte-identical clean result.
+#[test]
+fn crash_storm_poisons_runs_and_resume_recovers() {
+    let ref_dir = scratch_dir("poison-ref");
+    let reference = run(&mut campaign(&ref_dir, &[]));
+    assert!(reference.status.success(), "{}", stderr_of(&reference));
+
+    let dir = scratch_dir("poison");
+    let stormed = run(&mut campaign(&dir, &["--workers", "2", "--inject-fault", "crash:1.0"]));
+    assert!(
+        stormed.status.success(),
+        "worker crashes must not kill the campaign:\n{}",
+        stderr_of(&stormed)
+    );
+    let err = stderr_of(&stormed);
+    assert!(err.contains("poisoned after 2 worker deaths"), "poisoning is announced:\n{err}");
+    assert!(err.contains("worker death(s) absorbed"), "the summary counts deaths:\n{err}");
+
+    // Every unique run was quarantined as poisoned, with the death count.
+    let failures =
+        Json::parse(&std::fs::read_to_string(dir.join("results/failures.json")).unwrap()).unwrap();
+    let records = failures.get("failures").and_then(Json::as_arr).unwrap().to_vec();
+    assert!(!records.is_empty(), "the crash storm quarantines runs");
+    for record in &records {
+        assert_eq!(record.get("kind").and_then(Json::as_str), Some("poisoned"));
+        assert!(record.get("worker_deaths").and_then(Json::as_u64).unwrap() >= 2);
+    }
+    assert_no_debris(&dir, "poison");
+
+    // Recovery: rerun with --resume and no injection (exactly how an
+    // operator recovers from a code fix) — byte-identical to clean.
+    let resumed = run(&mut campaign(&dir, &["--workers", "2", "--resume"]));
+    assert!(resumed.status.success(), "{}", stderr_of(&resumed));
+    assert_eq!(stdout_of(&resumed), stdout_of(&reference), "recovered stdout matches");
+    assert_eq!(normalized_artifacts(&dir), normalized_artifacts(&ref_dir));
+    let clean =
+        Json::parse(&std::fs::read_to_string(dir.join("results/failures.json")).unwrap()).unwrap();
+    assert_eq!(clean.get("failures").and_then(Json::as_arr).map(<[Json]>::len), Some(0));
+    assert_no_debris(&dir, "poison-resume");
+}
+
+/// True external SIGKILLs: the harness kills at least three live worker
+/// processes from outside while the campaign runs. The supervisor
+/// respawns them and the campaign completes byte-identically. The poison
+/// threshold is raised out of reach — random external kills are not
+/// evidence against any particular run.
+#[cfg(target_os = "linux")]
+#[test]
+fn external_worker_sigkills_are_absorbed_byte_identically() {
+    let ref_dir = scratch_dir("sigkill-ref");
+    let reference = run(&mut campaign(&ref_dir, &["-j", "1"]));
+    assert!(reference.status.success(), "{}", stderr_of(&reference));
+
+    let dir = scratch_dir("sigkill");
+    let mut child = campaign(&dir, &["-j", "1", "--workers", "4"])
+        .env("LF_POISON_THRESHOLD", "999")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("supervisor spawns");
+
+    // Kill workers the moment they appear, until three external SIGKILLs
+    // have landed. The campaign cannot finish while every worker it
+    // spawns is being killed, so the kills always land; respawns (10 ms
+    // backoff) keep providing fresh victims.
+    let mut kills = 0usize;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while kills < 3 && Instant::now() < deadline {
+        if child.try_wait().unwrap().is_some() {
+            break;
+        }
+        for pid in worker_pids(&dir) {
+            if kills >= 3 {
+                break;
+            }
+            let delivered = Command::new("kill")
+                .args(["-KILL", &pid.to_string()])
+                .status()
+                .map(|s| s.success())
+                .unwrap_or(false);
+            if delivered {
+                kills += 1;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "campaign must survive {kills} external worker SIGKILLs:\n{}",
+        stderr_of(&out)
+    );
+    assert!(kills >= 3, "the harness must land at least 3 kills, landed {kills}");
+    assert_eq!(stdout_of(&out), stdout_of(&reference), "stdout identical after {kills} kills");
+    assert_eq!(normalized_artifacts(&dir), normalized_artifacts(&ref_dir));
+    assert_no_debris(&dir, "sigkill");
+    assert!(worker_pids(&dir).is_empty(), "no worker processes outlive the campaign");
+    let err = stderr_of(&out);
+    assert!(err.contains("worker death(s) absorbed"), "deaths are reported:\n{err}");
+}
+
+/// `--workers` with `--no-cache`: the cache directory is the claim space,
+/// so multi-process coordination is impossible. The campaign warns once,
+/// falls back to in-process threads, and still completes byte-identically
+/// to a plain `--no-cache` run.
+#[test]
+fn no_cache_degrades_to_in_process_with_one_warning() {
+    let ref_dir = scratch_dir("nocache-ref");
+    let reference = run(&mut campaign(&ref_dir, &["--no-cache"]));
+    assert!(reference.status.success(), "{}", stderr_of(&reference));
+
+    let dir = scratch_dir("nocache-workers");
+    let out = run(&mut campaign(&dir, &["--no-cache", "--workers", "3"]));
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert_eq!(
+        err.matches("disables lease/journal coordination").count(),
+        1,
+        "exactly one degradation warning:\n{err}"
+    );
+    assert_eq!(stdout_of(&out), stdout_of(&reference), "fallback output is identical");
+    assert!(!dir.join("results/cache").exists(), "--no-cache must not create cache state");
+}
+
+/// SIGTERM to the supervisor drains the whole campaign: workers are
+/// signalled through their process groups and reaped, leases are swept,
+/// the journal stays whole, and the supervisor exits `128 + SIGTERM`
+/// having leaked nothing.
+#[cfg(target_os = "linux")]
+#[test]
+fn sigterm_drains_supervisor_without_leaks() {
+    let dir = scratch_dir("drain");
+    let mut cmd = Command::new(BIN);
+    cmd.current_dir(&dir)
+        .arg("run")
+        .args(["--all", "--scale", "smoke", "-j", "1", "--workers", "2"])
+        .args(["--json", "results"])
+        .args(["--cache-dir", "results/cache"]);
+    let mut child =
+        cmd.stdout(Stdio::piped()).stderr(Stdio::piped()).spawn().expect("supervisor spawns");
+
+    // Wait until at least one worker is alive so the drain actually has
+    // children to manage, then SIGTERM the supervisor itself.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while worker_pids(&dir).is_empty() && Instant::now() < deadline {
+        assert!(child.try_wait().unwrap().is_none(), "campaign finished before workers appeared");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(!worker_pids(&dir).is_empty(), "workers never appeared");
+    let delivered = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false);
+    assert!(delivered, "SIGTERM delivery failed");
+
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(128 + 15),
+        "a drained supervisor exits 128+SIGTERM:\n{}",
+        stderr_of(&out)
+    );
+    let err = stderr_of(&out);
+    assert!(err.contains("draining 2 workers"), "the drain is announced:\n{err}");
+    assert!(err.contains("zero workers, zero leases left"), "the drain reports clean:\n{err}");
+
+    // Nothing outlives the drain: no worker processes, no leases, no
+    // temp files, no torn journal bytes.
+    let gone = Instant::now() + Duration::from_secs(10);
+    while !worker_pids(&dir).is_empty() && Instant::now() < gone {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(worker_pids(&dir).is_empty(), "workers must not outlive the drained supervisor");
+    assert_no_debris(&dir, "drain");
+}
