@@ -12,6 +12,8 @@
 //!                [--konata PATH] [--text PATH|-] [--cycles LO:HI]
 //!                [--tid N] [--kinds a,b,...]
 //!                [--dump-flight-recorder PATH]
+//! lf-bench serve [--socket PATH] [--workers N] [--cache-dir DIR] [-j N]
+//! lf-bench submit [--socket PATH] <run-args...>
 //!
 //! options:
 //!   --scale smoke|eval|full
@@ -52,7 +54,17 @@
 //!                        kill point
 //!   --trace-out PATH     (run) export campaign spans as Chrome
 //!                        trace-event JSON (Perfetto-loadable)
+//!   --socket PATH        (serve/submit) Unix-domain socket of the
+//!                        resident campaign service (default:
+//!                        <cache-dir>/lf-serve.sock)
 //! ```
+//!
+//! `serve` keeps the planner, run cache, and checkpoint store warm and
+//! executes queued campaign requests submitted over the socket; `submit`
+//! takes the same campaign flags as `run`, ships them as one request,
+//! streams the server's status records to stderr, reprints the
+//! campaign's stdout byte-for-byte, and exits with its exit code. See
+//! [`crate::engine::serve`] for the protocol.
 //!
 //! Every `run` writes a failure report (`failures.json`, empty on a clean
 //! campaign) next to the artifacts; the campaign exits zero as long as it
@@ -66,7 +78,7 @@ use crate::engine::fault::{
     read_failures_json, write_failures_json, FaultPlan, RunBudget, DEFAULT_BUDGET_CYCLES,
 };
 use crate::engine::{
-    by_name, registry, run_scenarios, supervise, EngineOptions, EngineOutput, Scenario,
+    by_name, registry, run_scenarios, serve, supervise, EngineOptions, EngineOutput, Scenario,
 };
 use crate::runner::scale_tag;
 use crate::tiered::Tier;
@@ -112,6 +124,8 @@ struct Cli {
     warn_frac: f64,
     /// `run`: export campaign spans as Chrome trace-event JSON here.
     trace_out: Option<PathBuf>,
+    /// `serve`/`submit`: Unix-domain socket path of the campaign service.
+    socket: Option<PathBuf>,
     /// `trace`: sink and filter options.
     trace: crate::tracecmd::TraceOptions,
 }
@@ -131,11 +145,19 @@ enum Command {
     Perf,
     Profile,
     Trace,
+    /// The resident campaign service (`lf-bench serve`).
+    Serve,
+    /// Thin client shipping one campaign request to a running service.
+    Submit {
+        names: Vec<String>,
+        all: bool,
+    },
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lf-bench <list|run|perf|profile|trace> [scenario...|kernel] [--all]\n\
+        "usage: lf-bench <list|run|serve|submit|perf|profile|trace> [scenario...|kernel] [--all]\n\
+         \x20                [--socket PATH]  (serve/submit)\n\
          \x20                [--scale smoke|eval|full] [--tier functional|sampled|detailed]\n\
          \x20                [-j N] [--filter SUBSTR] [--no-cache]\n\
          \x20                [--cache-dir DIR] [--json [DIR]] [--assert-dedup]\n\
@@ -174,6 +196,7 @@ fn parse(args: &[String]) -> Cli {
         label: None,
         warn_frac: 0.15,
         trace_out: None,
+        socket: None,
         trace: crate::tracecmd::TraceOptions {
             kernel: String::new(),
             scale: Scale::Smoke,
@@ -206,6 +229,8 @@ fn parse(args: &[String]) -> Cli {
             "list" | "--list" if command.is_none() => command = Some("list"),
             "run" if command.is_none() => command = Some("run"),
             "worker" if command.is_none() => command = Some("worker"),
+            "serve" if command.is_none() => command = Some("serve"),
+            "submit" if command.is_none() => command = Some("submit"),
             "perf" if command.is_none() => command = Some("perf"),
             "profile" if command.is_none() => command = Some("profile"),
             "trace" if command.is_none() => command = Some("trace"),
@@ -340,6 +365,7 @@ fn parse(args: &[String]) -> Cli {
                 }
             }
             "--trace-out" => cli.trace_out = Some(PathBuf::from(value("an output path"))),
+            "--socket" => cli.socket = Some(PathBuf::from(value("a socket path"))),
             "--config" => {
                 cli.trace.config = match value("`base` or `lf`").as_str() {
                     "base" => crate::tracecmd::TraceConfig::Base,
@@ -396,7 +422,9 @@ fn parse(args: &[String]) -> Cli {
                 }
             }
             name if !name.starts_with('-')
-                && (command == Some("run") || command == Some("worker")) =>
+                && (command == Some("run")
+                    || command == Some("worker")
+                    || command == Some("submit")) =>
             {
                 names.push(name.to_string())
             }
@@ -416,6 +444,8 @@ fn parse(args: &[String]) -> Cli {
     match command {
         Some("run") => cli.command = Command::Run { names, all },
         Some("worker") => cli.command = Command::Worker { names, all },
+        Some("serve") => cli.command = Command::Serve,
+        Some("submit") => cli.command = Command::Submit { names, all },
         Some("perf") => cli.command = Command::Perf,
         Some("profile") => cli.command = Command::Profile,
         Some("trace") => {
@@ -485,7 +515,13 @@ fn engine_options(cli: &Cli) -> EngineOptions {
         spans: None,
         poisoned: std::collections::HashMap::new(),
         carried_faults: Default::default(),
+        journal_scope: None,
     }
+}
+
+/// The default service socket lives next to the claim space it guards.
+fn socket_path(cli: &Cli) -> PathBuf {
+    cli.socket.clone().unwrap_or_else(|| cli.cache_dir.join("lf-serve.sock"))
 }
 
 /// Where this invocation reads and writes its failure report.
@@ -630,11 +666,23 @@ pub fn main() {
                 run_scenarios(&refs, &opts)
             } else if cli.workers > 1 {
                 let sup = supervise_config(&cli, names, *all);
-                supervise::run_supervised(&refs, &opts, &sup)
+                match supervise::run_supervised(&refs, &opts, &sup) {
+                    Ok(out) => out,
+                    Err(code) => std::process::exit(code),
+                }
             } else {
                 run_scenarios(&refs, &opts)
             };
-            print_output(&output, refs.len() > 1);
+            let finished = finish_campaign(
+                &output,
+                refs.len() > 1,
+                cli.json_dir.as_deref(),
+                &failures_path(&cli),
+                scale_tag(cli.scale),
+                cli.assert_dedup,
+            );
+            print!("{}", finished.stdout);
+            eprint!("{}", finished.stderr);
             if let (Some(path), Some(log)) = (&cli.trace_out, &span_log) {
                 match write_json(&log.to_chrome_json(), path) {
                     Ok(()) => eprintln!("wrote {} (load in Perfetto)", path.display()),
@@ -644,27 +692,36 @@ pub fn main() {
                     }
                 }
             }
-            // The failure report is written on every run — empty on a
-            // clean campaign — so a follow-up --resume always has a
-            // current file to read.
-            let failures = failures_path(&cli);
-            match write_failures_json(&failures, &output.failures, scale_tag(cli.scale)) {
-                Ok(()) => eprintln!("wrote {}", failures.display()),
-                Err(e) => {
-                    eprintln!("error: failed to write {}: {e}", failures.display());
-                    std::process::exit(1);
-                }
+            if finished.exit != 0 {
+                std::process::exit(finished.exit);
             }
-            if let Some(dir) = &cli.json_dir {
-                write_artifacts(&output, dir);
+        }
+        Command::Serve => {
+            let code = serve::serve_main(&serve::ServeOptions {
+                socket: socket_path(&cli),
+                cache_dir: cli.cache_dir.clone(),
+                jobs: cli.jobs,
+                default_workers: cli.workers,
+            });
+            std::process::exit(code);
+        }
+        Command::Submit { names, all } => {
+            if names.is_empty() && !*all {
+                eprintln!("error: `submit` expects scenario names or --all");
+                std::process::exit(2);
             }
-            if cli.assert_dedup && output.report.unique >= output.report.requests {
-                eprintln!(
-                    "error: --assert-dedup: no deduplication occurred ({} requests, {} unique)",
-                    output.report.requests, output.report.unique
-                );
-                std::process::exit(1);
-            }
+            let request = serve::Request {
+                names: names.clone(),
+                all: *all,
+                scale: scale_tag(cli.scale).to_string(),
+                tier: cli.tier.tag().to_string(),
+                filter: cli.filter.clone(),
+                jobs: cli.jobs,
+                workers: cli.workers,
+                json_dir: cli.json_dir.as_ref().map(|d| d.display().to_string()),
+                assert_dedup: cli.assert_dedup,
+            };
+            std::process::exit(serve::submit_main(&socket_path(&cli), &request));
         }
     }
 }
@@ -724,21 +781,83 @@ fn list(cli: &Cli) {
 }
 
 fn print_output(output: &EngineOutput, separators: bool) {
+    print!("{}", render_stdout(output, separators));
+    eprint!("{}", render_telemetry(output));
+}
+
+/// Everything a finished campaign prints, captured as strings so the
+/// one-shot `run` path and the resident service emit byte-identical
+/// output (the service ships these over the socket instead of printing).
+pub(crate) struct FinishedCampaign {
+    pub stdout: String,
+    pub stderr: String,
+    pub exit: i32,
+}
+
+/// The shared back half of a campaign: render results, write the failure
+/// report and JSON artifacts, and enforce `--assert-dedup`. Both `run`
+/// and a served request funnel through here so their observable output
+/// cannot drift apart.
+pub(crate) fn finish_campaign(
+    output: &EngineOutput,
+    separators: bool,
+    json_dir: Option<&Path>,
+    failures: &Path,
+    scale_tag: &str,
+    assert_dedup: bool,
+) -> FinishedCampaign {
+    let mut stdout = render_stdout(output, separators);
+    let mut stderr = render_telemetry(output);
+    // The failure report is written on every run — empty on a clean
+    // campaign — so a follow-up --resume always has a current file to
+    // read.
+    match write_failures_json(failures, &output.failures, scale_tag) {
+        Ok(()) => stderr.push_str(&format!("wrote {}\n", failures.display())),
+        Err(e) => {
+            stderr.push_str(&format!("error: failed to write {}: {e}\n", failures.display()));
+            return FinishedCampaign { stdout, stderr, exit: 1 };
+        }
+    }
+    if let Some(dir) = json_dir {
+        if let Err(msg) = write_artifacts(output, dir, &mut stdout) {
+            stderr.push_str(&msg);
+            stderr.push('\n');
+            return FinishedCampaign { stdout, stderr, exit: 1 };
+        }
+    }
+    let mut exit = 0;
+    if assert_dedup && output.report.unique >= output.report.requests {
+        stderr.push_str(&format!(
+            "error: --assert-dedup: no deduplication occurred ({} requests, {} unique)\n",
+            output.report.requests, output.report.unique
+        ));
+        exit = 1;
+    }
+    FinishedCampaign { stdout, stderr, exit }
+}
+
+fn render_stdout(output: &EngineOutput, separators: bool) -> String {
+    let mut out = String::new();
     for (i, s) in output.scenarios.iter().enumerate() {
         if separators {
             if i > 0 {
-                println!();
+                out.push('\n');
             }
-            println!("━━━ {} ━━━\n", s.name);
+            out.push_str(&format!("━━━ {} ━━━\n\n", s.name));
         }
-        print!("{}", s.text);
+        out.push_str(&s.text);
     }
-    // Telemetry goes to stderr: stdout stays byte-identical across runs
-    // (cache hits and wall-clock vary) and redirecting it reproduces the
-    // seed experiment tables exactly.
+    out
+}
+
+// Telemetry goes to stderr: stdout stays byte-identical across runs
+// (cache hits and wall-clock vary) and redirecting it reproduces the
+// seed experiment tables exactly.
+fn render_telemetry(output: &EngineOutput) -> String {
+    let mut err = String::new();
     let r = &output.report;
-    eprintln!(
-        "\nplanner: {} requests → {} unique ({} deduplicated); {} from cache, {} simulated; {} ms on {} jobs",
+    err.push_str(&format!(
+        "\nplanner: {} requests → {} unique ({} deduplicated); {} from cache, {} simulated; {} ms on {} jobs\n",
         r.requests,
         r.unique,
         r.requests - r.unique,
@@ -746,11 +865,11 @@ fn print_output(output: &EngineOutput, separators: bool) {
         r.simulated,
         r.execute_wall_ms,
         r.jobs
-    );
+    ));
     let f = &r.faults;
     if !output.failures.is_empty() || f.cache_corrupt > 0 || f.cache_schema_mismatch > 0 {
-        eprintln!(
-            "faults: {} failed run(s) ({} panicked, {} over budget, {} sim errors, {} prep, {} render, {} poisoned); cache: {} corrupt ({} quarantined), {} schema-stale; {} resumed",
+        err.push_str(&format!(
+            "faults: {} failed run(s) ({} panicked, {} over budget, {} sim errors, {} prep, {} render, {} poisoned); cache: {} corrupt ({} quarantined), {} schema-stale; {} resumed\n",
             output.failures.len(),
             f.panicked,
             f.budget_exceeded,
@@ -762,13 +881,13 @@ fn print_output(output: &EngineOutput, separators: bool) {
             f.quarantined,
             f.cache_schema_mismatch,
             f.resumed
-        );
+        ));
     }
     // The end-of-campaign summary is always printed: every campaign
     // states its hygiene counters (swept debris, quarantines, retries)
     // even when they are zero, so scripts can grep one stable line.
-    eprintln!(
-        "campaign: swept {} temp file(s); {} corrupt entr{} quarantined; {} run(s) resumed; {} lease reclaim(s); {} worker respawn(s) ({} ms backoff)",
+    err.push_str(&format!(
+        "campaign: swept {} temp file(s); {} corrupt entr{} quarantined; {} run(s) resumed; {} lease reclaim(s); {} worker respawn(s) ({} ms backoff)\n",
         f.tmp_swept,
         f.quarantined,
         if f.quarantined == 1 { "y" } else { "ies" },
@@ -776,55 +895,51 @@ fn print_output(output: &EngineOutput, separators: bool) {
         f.lease_reclaims,
         f.worker_respawns,
         f.backoff_ms
-    );
+    ));
     if f.worker_deaths > 0 || f.poisoned > 0 {
-        eprintln!(
-            "supervisor: {} worker death(s) absorbed; {} poisonous run(s) quarantined",
+        err.push_str(&format!(
+            "supervisor: {} worker death(s) absorbed; {} poisonous run(s) quarantined\n",
             f.worker_deaths, f.poisoned
-        );
+        ));
     }
     if f.tmp_swept > 0 || f.journal_torn_bytes > 0 {
-        eprintln!(
-            "recovery: swept {} orphaned temp file(s); truncated {} torn journal byte(s)",
+        err.push_str(&format!(
+            "recovery: swept {} orphaned temp file(s); truncated {} torn journal byte(s)\n",
             f.tmp_swept, f.journal_torn_bytes
-        );
+        ));
     }
     if f.journal_committed + f.journal_in_flight + f.journal_never_started > 0 {
-        eprintln!(
-            "journal: of {} planned run(s), {} committed, {} in flight at the kill, {} never started",
+        err.push_str(&format!(
+            "journal: of {} planned run(s), {} committed, {} in flight at the kill, {} never started\n",
             f.journal_committed + f.journal_in_flight + f.journal_never_started,
             f.journal_committed,
             f.journal_in_flight,
             f.journal_never_started
-        );
+        ));
     }
+    err
 }
 
-fn write_artifacts(output: &EngineOutput, dir: &Path) {
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("error: cannot create {}: {e}", dir.display());
-        std::process::exit(1);
-    }
+/// Writes the per-scenario artifacts plus planner/harness telemetry,
+/// appending the `wrote <path>` confirmations to `stdout` (they are part
+/// of the campaign's byte-compared output). Stops at the first failure.
+fn write_artifacts(output: &EngineOutput, dir: &Path, stdout: &mut String) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("error: cannot create {}: {e}", dir.display()))?;
     for s in &output.scenarios {
         let path = dir.join(format!("{}.json", s.name));
-        if let Err(e) = write_json(&s.artifact, &path) {
-            eprintln!("error: failed to write {}: {e}", path.display());
-            std::process::exit(1);
-        }
-        println!("wrote {}", path.display());
+        write_json(&s.artifact, &path)
+            .map_err(|e| format!("error: failed to write {}: {e}", path.display()))?;
+        stdout.push_str(&format!("wrote {}\n", path.display()));
     }
     let planner_path = dir.join("planner.json");
-    if let Err(e) = write_json(&output.report.to_json(), &planner_path) {
-        eprintln!("error: failed to write {}: {e}", planner_path.display());
-        std::process::exit(1);
-    }
-    println!("wrote {}", planner_path.display());
+    write_json(&output.report.to_json(), &planner_path)
+        .map_err(|e| format!("error: failed to write {}: {e}", planner_path.display()))?;
+    stdout.push_str(&format!("wrote {}\n", planner_path.display()));
     let harness_path = dir.join("BENCH_harness.json");
-    if let Err(e) = append_harness_entry(&harness_path, output) {
-        eprintln!("error: failed to update {}: {e}", harness_path.display());
-        std::process::exit(1);
-    }
-    println!("wrote {}", harness_path.display());
+    append_harness_entry(&harness_path, output)
+        .map_err(|e| format!("error: failed to update {}: {e}", harness_path.display()))?;
+    stdout.push_str(&format!("wrote {}\n", harness_path.display()));
+    Ok(())
 }
 
 fn write_json(doc: &Json, path: &Path) -> std::io::Result<()> {

@@ -353,6 +353,13 @@ pub struct FaultStats {
     /// Leases reclaimed from dead or stalled holders (supervisor-side
     /// force-releases plus end-of-campaign sweeps of leaked leases).
     pub lease_reclaims: usize,
+    /// Lease probes whose heartbeat age was unobtainable (future-dated
+    /// mtime from clock skew or a backwards clock step); the lease was
+    /// treated as of unknown age and fell through to the reclaim path.
+    pub lease_clock_skew: usize,
+    /// Claim attempts that exhausted their retry budget without either
+    /// acquiring the lease or observing a live holder.
+    pub lease_contended: usize,
     /// Total milliseconds spent in capped exponential backoff (worker
     /// rescan waits plus supervisor respawn delays).
     pub backoff_ms: u64,
@@ -388,6 +395,8 @@ impl FaultStats {
         self.worker_deaths += other.worker_deaths;
         self.worker_respawns += other.worker_respawns;
         self.lease_reclaims += other.lease_reclaims;
+        self.lease_clock_skew += other.lease_clock_skew;
+        self.lease_contended += other.lease_contended;
         self.backoff_ms += other.backoff_ms;
     }
 
@@ -415,6 +424,8 @@ impl FaultStats {
         j.set("worker_deaths", self.worker_deaths as u64);
         j.set("worker_respawns", self.worker_respawns as u64);
         j.set("lease_reclaims", self.lease_reclaims as u64);
+        j.set("lease_clock_skew_events", self.lease_clock_skew as u64);
+        j.set("lease_contended_claims", self.lease_contended as u64);
         j.set("backoff_ms", self.backoff_ms);
         j
     }

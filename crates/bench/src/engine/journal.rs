@@ -70,6 +70,13 @@ pub const JOURNAL_FILE: &str = "campaign.journal";
 /// Prefix of per-worker journal shards inside the journal directory.
 pub const WORKER_SHARD_PREFIX: &str = "worker-";
 
+/// Prefix of per-request scoped campaign logs (`campaign-<scope>.journal`)
+/// written by the resident service: each queued request journals into its
+/// own file so requests sharing one cache directory never truncate or
+/// interleave each other's records. Note it never collides with
+/// [`JOURNAL_FILE`] (`campaign.journal` has no dash).
+pub const REQUEST_SCOPE_PREFIX: &str = "campaign-";
+
 /// Records longer than this are rejected as torn/corrupt during replay
 /// (real payloads are 9 bytes; the bound only guards against reading a
 /// garbage length and allocating gigabytes).
@@ -243,7 +250,20 @@ impl Journal {
     pub fn begin(dir: &Path) -> io::Result<Journal> {
         std::fs::create_dir_all(dir)?;
         remove_worker_shards(dir);
+        remove_scoped_logs(dir);
         let path = dir.join(JOURNAL_FILE);
+        let file = File::create(&path)?;
+        Ok(Journal { path, file: Mutex::new(file) })
+    }
+
+    /// Starts a fresh *scoped* campaign log, `campaign-<scope>.journal`,
+    /// truncating only this scope's previous log. Used by the resident
+    /// service, where several requests journal into one cache directory:
+    /// a request must never truncate the shared log (or a sibling's) the
+    /// way [`Journal::begin`] does.
+    pub fn begin_scoped(dir: &Path, scope: &str) -> io::Result<Journal> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{REQUEST_SCOPE_PREFIX}{scope}.journal"));
         let file = File::create(&path)?;
         Ok(Journal { path, file: Mutex::new(file) })
     }
@@ -298,21 +318,33 @@ impl Journal {
 /// Removes every `worker-*.journal` shard in `dir` (fresh campaigns must
 /// not replay a previous campaign's worker events).
 pub fn remove_worker_shards(dir: &Path) {
+    remove_matching(dir, WORKER_SHARD_PREFIX);
+}
+
+/// Removes every scoped request log (`campaign-*.journal`) in `dir`. The
+/// resident service sweeps these at startup, and a fresh one-shot
+/// campaign clears them along with the worker shards — either way a
+/// dead server's request logs must not leak into later replays.
+pub fn remove_scoped_logs(dir: &Path) {
+    remove_matching(dir, REQUEST_SCOPE_PREFIX);
+}
+
+fn remove_matching(dir: &Path, prefix: &str) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
     for entry in entries.flatten() {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        if name.starts_with(WORKER_SHARD_PREFIX) && name.ends_with(".journal") {
+        if name.starts_with(prefix) && name.ends_with(".journal") {
             let _ = std::fs::remove_file(entry.path());
         }
     }
 }
 
-/// Replays and merges the campaign journal plus every worker shard in
-/// `dir`, truncating torn tails in each file. Missing files replay as
-/// empty.
+/// Replays and merges the campaign journal plus every worker shard and
+/// scoped request log in `dir`, truncating torn tails in each file.
+/// Missing files replay as empty.
 pub fn replay_dir(dir: &Path) -> io::Result<Replay> {
     let mut replay = replay_and_truncate(&dir.join(JOURNAL_FILE))?;
     let entries = match std::fs::read_dir(dir) {
@@ -326,9 +358,10 @@ pub fn replay_dir(dir: &Path) -> io::Result<Replay> {
         .flatten()
         .map(|e| e.path())
         .filter(|p| {
-            p.file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with(WORKER_SHARD_PREFIX) && n.ends_with(".journal"))
+            p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                n.ends_with(".journal")
+                    && (n.starts_with(WORKER_SHARD_PREFIX) || n.starts_with(REQUEST_SCOPE_PREFIX))
+            })
         })
         .collect();
     shards.sort();
@@ -556,6 +589,52 @@ mod tests {
         drop(Journal::begin(&dir).unwrap());
         let (_, again) = Journal::resume(&dir).unwrap();
         assert_eq!(again.records, 0, "begin() removes worker shards");
+    }
+
+    #[test]
+    fn scoped_request_logs_are_isolated_and_merge_into_replay() {
+        let dir = scratch_dir("scoped");
+        // Two service requests journal side by side; neither touches the
+        // other's log or the shared campaign.journal.
+        let r1 = Journal::begin_scoped(&dir, "req-1").unwrap();
+        r1.append_all(&[JournalEvent::Planned(1), JournalEvent::Started(1)]).unwrap();
+        drop(r1);
+        let r2 = Journal::begin_scoped(&dir, "req-2").unwrap();
+        r2.append_all(&[
+            JournalEvent::Planned(1),
+            JournalEvent::Started(1),
+            JournalEvent::Committed(1),
+        ])
+        .unwrap();
+        drop(r2);
+
+        let replay = replay_dir(&dir).unwrap();
+        assert_eq!(replay.records, 5, "both scoped logs merge");
+        assert_eq!(replay.classify(1), RunState::Committed);
+
+        // Re-beginning one scope truncates only that scope's log.
+        drop(Journal::begin_scoped(&dir, "req-1").unwrap());
+        let replay = replay_dir(&dir).unwrap();
+        assert_eq!(replay.records, 3, "req-2's records survive req-1's restart");
+
+        // A fresh one-shot campaign clears every scoped log.
+        drop(Journal::begin(&dir).unwrap());
+        let (_, again) = Journal::resume(&dir).unwrap();
+        assert_eq!(again.records, 0, "begin() removes scoped request logs");
+    }
+
+    #[test]
+    fn remove_scoped_logs_spares_the_campaign_journal() {
+        let dir = scratch_dir("scoped-sweep");
+        let j = Journal::begin(&dir).unwrap();
+        j.append(JournalEvent::Planned(4)).unwrap();
+        drop(j);
+        drop(Journal::begin_scoped(&dir, "req-9").unwrap());
+        remove_scoped_logs(&dir);
+        assert!(dir.join(JOURNAL_FILE).exists());
+        assert!(!dir.join("campaign-req-9.journal").exists());
+        let (_, replay) = Journal::resume(&dir).unwrap();
+        assert_eq!(replay.records, 1, "the shared log is untouched");
     }
 
     #[test]

@@ -48,9 +48,23 @@ pub enum Claim {
     /// Someone else holds a live lease; `holder` is the pid recorded in
     /// the lease body if it was readable.
     Held {
-        /// Heartbeat age of the competing lease at probe time.
-        age: Duration,
+        /// Heartbeat age of the competing lease at probe time. `None`
+        /// when the age was unobtainable (future-dated mtime from clock
+        /// skew) — the lease looked live for some *other* reason.
+        age: Option<Duration>,
         /// Holder pid, when the lease body parsed cleanly.
+        holder: Option<u32>,
+    },
+    /// The retry budget ran out without either acquiring the lease or
+    /// observing a live competitor: every round found a reclaimable
+    /// lease, stole it, and lost the re-create race (or the probe kept
+    /// missing a vanishing file). Distinct from [`Claim::Held`] so the
+    /// caller can log the churn and back off instead of treating it as
+    /// a freshly heartbeated lease.
+    Contended {
+        /// The last observed heartbeat age, if any probe succeeded.
+        age: Option<Duration>,
+        /// The last observed holder pid, if any body parsed.
         holder: Option<u32>,
     },
 }
@@ -94,6 +108,10 @@ pub struct LeaseDir {
     worker: u64,
     /// Monotonic per-process counter making graveyard names unique.
     steal_seq: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    /// Probes whose heartbeat age was unobtainable (future-dated mtime
+    /// from clock skew or a backwards clock step). Surfaced in planner
+    /// telemetry so chronic skew on a shared filesystem is visible.
+    skew_events: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl LeaseDir {
@@ -107,7 +125,18 @@ impl LeaseDir {
             pid: std::process::id(),
             worker,
             steal_seq: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            skew_events: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
         })
+    }
+
+    /// How many lease probes found an unobtainable heartbeat age (clock
+    /// skew) through this handle and its clones.
+    pub fn clock_skew_events(&self) -> u64 {
+        self.skew_events.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn note_skew(&self) {
+        self.skew_events.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// The expiry window configured for this directory (from
@@ -143,13 +172,21 @@ impl LeaseDir {
     /// Attempts to claim `fingerprint`. Reclaims dead-holder and
     /// expired leases in-line (bounded retries), so a single call is the
     /// whole claim protocol from the caller's point of view. Returns
-    /// [`Claim::Held`] when a live competitor holds the lease.
+    /// [`Claim::Held`] when a live competitor holds the lease and
+    /// [`Claim::Contended`] when the retry budget runs out.
     pub fn try_claim(&self, fingerprint: u64) -> io::Result<Claim> {
-        let path = self.lease_path(fingerprint);
         // One initial attempt plus a bounded number of steal-and-retry
         // rounds; an unbounded loop could spin forever against a
         // pathological filesystem.
-        for _ in 0..4 {
+        self.try_claim_rounds(fingerprint, 4)
+    }
+
+    pub(crate) fn try_claim_rounds(&self, fingerprint: u64, rounds: usize) -> io::Result<Claim> {
+        let path = self.lease_path(fingerprint);
+        // Last probe observation, carried into Contended so the caller
+        // sees what the claim loop saw rather than a blank outcome.
+        let mut last: (Option<Duration>, Option<u32>) = (None, None);
+        for _ in 0..rounds {
             match std::fs::File::create_new(&path) {
                 Ok(mut file) => {
                     use std::io::Write;
@@ -167,9 +204,22 @@ impl LeaseDir {
                         // Vanished between create and probe: retry.
                         None => continue,
                     };
+                    last = (age, holder);
                     let holder_dead = holder.is_some_and(|pid| !signals::pid_alive(pid));
-                    if age <= self.expiry && !holder_dead {
-                        return Ok(Claim::Held { age, holder });
+                    match age {
+                        // A readable, in-window heartbeat from a live
+                        // holder is the only thing that defers us.
+                        Some(age) if age <= self.expiry && !holder_dead => {
+                            return Ok(Claim::Held { age: Some(age), holder });
+                        }
+                        // Unobtainable age (future-dated mtime from
+                        // clock skew): the heartbeat cannot certify
+                        // freshness, so fall through to the reclaim
+                        // path exactly as an expired lease would —
+                        // treating it as fresh would make a stalled
+                        // holder with a live-looking pid immortal.
+                        None => self.note_skew(),
+                        _ => {}
                     }
                     // Stale or dead-holder lease: steal via atomic rename —
                     // exactly one stealer wins the rename, the rest retry.
@@ -188,9 +238,10 @@ impl LeaseDir {
                 Err(e) => return Err(e),
             }
         }
-        // Retry budget exhausted — report held; the caller's rescan loop
-        // will come back around.
-        Ok(Claim::Held { age: Duration::ZERO, holder: None })
+        // Retry budget exhausted without acquiring or observing a live
+        // holder — report the churn distinctly from Held, carrying the
+        // last observation, so the caller can log and back off.
+        Ok(Claim::Contended { age: last.0, holder: last.1 })
     }
 
     /// Refreshes the heartbeat on a lease this process holds: rewrites
@@ -218,7 +269,10 @@ impl LeaseDir {
             let Ok(fp) = u64::from_str_radix(hex, 16) else {
                 continue;
             };
-            if let Some((_, Some(holder))) = probe(&entry.path()) {
+            if let Some((age, Some(holder))) = probe(&entry.path()) {
+                if age.is_none() {
+                    self.note_skew();
+                }
                 if holder == pid {
                     held.push(fp);
                 }
@@ -272,14 +326,13 @@ impl LeaseDir {
 /// Probes a lease file: heartbeat age (from mtime) plus the holder pid if
 /// the body parses. `None` when the file no longer exists. A torn or
 /// unparseable body still yields the mtime-based age — liveness never
-/// depends on content.
-fn probe(path: &Path) -> Option<(Duration, Option<u32>)> {
+/// depends on content. The age itself is `None` when it is unobtainable
+/// (mtime unreadable, or in the future because of clock skew): callers
+/// must treat that as *unknown*, never as fresh — mapping it to zero
+/// would make a stalled holder with a live-looking pid unreclaimable.
+fn probe(path: &Path) -> Option<(Option<Duration>, Option<u32>)> {
     let meta = std::fs::metadata(path).ok()?;
-    let age = meta
-        .modified()
-        .ok()
-        .and_then(|m| SystemTime::now().duration_since(m).ok())
-        .unwrap_or(Duration::ZERO);
+    let age = meta.modified().ok().and_then(|m| SystemTime::now().duration_since(m).ok());
     let holder = std::fs::read_to_string(path)
         .ok()
         .and_then(|text| Json::parse(&text).ok())
@@ -288,11 +341,18 @@ fn probe(path: &Path) -> Option<(Duration, Option<u32>)> {
     Some((age, holder))
 }
 
-fn unix_ms() -> u64 {
+/// Sentinel heartbeat timestamp recorded when the wall clock reads
+/// pre-epoch. `u64::MAX` sorts *after* every real millisecond stamp, so
+/// a journal-shard merge keyed on the timestamp stays stably ordered
+/// (the broken-clock records group together at the end) instead of
+/// silently interleaving as epoch-zero records at the front.
+pub const UNIX_MS_UNKNOWN: u64 = u64::MAX;
+
+pub(crate) fn unix_ms() -> u64 {
     SystemTime::now()
         .duration_since(SystemTime::UNIX_EPOCH)
         .map(|d| d.as_millis() as u64)
-        .unwrap_or(0)
+        .unwrap_or(UNIX_MS_UNKNOWN)
 }
 
 /// Sweeps orphaned durable-write temp files from the lease directory's
@@ -319,12 +379,12 @@ mod tests {
         let leases = LeaseDir::open(&dir, Duration::from_secs(60), 0).unwrap();
         let lease = match leases.try_claim(42).unwrap() {
             Claim::Acquired(l) => l,
-            Claim::Held { .. } => panic!("fresh claim must acquire"),
+            other => panic!("fresh claim must acquire, got {other:?}"),
         };
         // A second claim against a live lease is refused and names us.
         match leases.try_claim(42).unwrap() {
             Claim::Held { holder, .. } => assert_eq!(holder, Some(std::process::id())),
-            Claim::Acquired(_) => panic!("double claim must be refused"),
+            other => panic!("double claim must be refused, got {other:?}"),
         }
         lease.release();
         assert!(matches!(leases.try_claim(42).unwrap(), Claim::Acquired(_)));
@@ -352,6 +412,7 @@ mod tests {
                         Claim::Held { .. } => {
                             held.fetch_add(1, Ordering::SeqCst);
                         }
+                        Claim::Contended { .. } => {}
                     }
                 });
             }
@@ -375,7 +436,7 @@ mod tests {
         // Expiry is an hour away, but the dead holder lets us reclaim now.
         match leases.try_claim(9).unwrap() {
             Claim::Acquired(lease) => lease.release(),
-            Claim::Held { .. } => panic!("dead-holder lease must be reclaimed immediately"),
+            other => panic!("dead-holder lease must be reclaimed immediately, got {other:?}"),
         }
     }
 
@@ -387,19 +448,19 @@ mod tests {
         let holder = LeaseDir::open(&dir, Duration::from_millis(80), 0).unwrap();
         let lease = match holder.try_claim(11).unwrap() {
             Claim::Acquired(l) => l,
-            Claim::Held { .. } => panic!("fresh claim must acquire"),
+            other => panic!("fresh claim must acquire, got {other:?}"),
         };
 
         let rival = LeaseDir::open(&dir, Duration::from_millis(80), 1).unwrap();
         match rival.try_claim(11).unwrap() {
             Claim::Held { holder, .. } => assert_eq!(holder, Some(std::process::id())),
-            Claim::Acquired(_) => panic!("live heartbeat must hold off the rival"),
+            other => panic!("live heartbeat must hold off the rival, got {other:?}"),
         }
 
         std::thread::sleep(Duration::from_millis(160));
         match rival.try_claim(11).unwrap() {
             Claim::Acquired(stolen) => stolen.release(),
-            Claim::Held { .. } => panic!("stalled lease must be reclaimed after expiry"),
+            other => panic!("stalled lease must be reclaimed after expiry, got {other:?}"),
         }
         // The original holder's handle now points at a gone file; dropping
         // it must not disturb anything.
@@ -412,7 +473,7 @@ mod tests {
         let holder = LeaseDir::open(&dir, Duration::from_millis(120), 0).unwrap();
         let lease = match holder.try_claim(13).unwrap() {
             Claim::Acquired(l) => l,
-            Claim::Held { .. } => panic!("fresh claim must acquire"),
+            other => panic!("fresh claim must acquire, got {other:?}"),
         };
         let rival = LeaseDir::open(&dir, Duration::from_millis(120), 1).unwrap();
         // Heartbeat through 3 expiry windows; the rival never gets in.
@@ -447,6 +508,75 @@ mod tests {
         // The held handles now point at removed files; drops are no-ops.
         drop(a);
         drop(b);
+    }
+
+    #[test]
+    fn future_dated_mtime_does_not_make_a_lease_immortal() {
+        let dir = scratch_dir("clock-skew");
+        // Forge a lease "held" by our own (very alive) pid, then push its
+        // mtime an hour into the future, as a skewed NFS client or a
+        // backwards clock step would. Under the old ZERO-age fallback
+        // this lease looked freshly heartbeated forever.
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut body = Json::obj();
+        body.set("fingerprint", Json::Str(format!("{:016x}", 17u64)));
+        body.set("pid", Json::from(u64::from(std::process::id())));
+        let path = dir.join(format!("{:016x}.lease", 17u64));
+        std::fs::write(&path, body.to_string_pretty()).unwrap();
+        let file = std::fs::File::options().write(true).open(&path).unwrap();
+        file.set_modified(SystemTime::now() + Duration::from_secs(3600)).unwrap();
+        drop(file);
+
+        let rival = LeaseDir::open(&dir, Duration::from_millis(50), 1).unwrap();
+        match rival.try_claim(17).unwrap() {
+            Claim::Acquired(stolen) => stolen.release(),
+            other => panic!("unknown-age lease must be reclaimable, got {other:?}"),
+        }
+        assert!(
+            rival.clock_skew_events() > 0,
+            "the unobtainable age must be counted as a skew event"
+        );
+    }
+
+    #[test]
+    fn exhausted_claim_reports_contended_with_last_observation() {
+        let dir = scratch_dir("contended");
+        let leases = LeaseDir::open(&dir, Duration::from_secs(3600), 0).unwrap();
+        // Forge a dead-holder lease. With a budget of one round the
+        // claimant steals it and runs out of budget before re-creating —
+        // the old fallback reported this as Held { age: ZERO }, i.e. a
+        // freshly heartbeated lease.
+        std::fs::create_dir_all(&dir).unwrap();
+        let dead = u32::MAX - 7;
+        let mut body = Json::obj();
+        body.set("fingerprint", Json::Str(format!("{:016x}", 23u64)));
+        body.set("pid", Json::from(u64::from(dead)));
+        std::fs::write(dir.join(format!("{:016x}.lease", 23u64)), body.to_string_pretty())
+            .unwrap();
+
+        match leases.try_claim_rounds(23, 1).unwrap() {
+            Claim::Contended { age, holder } => {
+                assert_eq!(holder, Some(dead), "carries the last observed holder");
+                assert!(age.is_some(), "carries the last observed age");
+            }
+            other => panic!("exhausted budget must report Contended, got {other:?}"),
+        }
+        // A zero-round budget never probes: the observation is blank.
+        match leases.try_claim_rounds(23, 0).unwrap() {
+            Claim::Contended { age: None, holder: None } => {}
+            other => panic!("zero rounds must report a blank Contended, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unix_ms_sentinel_sorts_after_real_timestamps() {
+        // A pre-epoch clock records UNIX_MS_UNKNOWN, which must sort
+        // after every real stamp so shard merges stay stably ordered.
+        let now = unix_ms();
+        assert!(now > 0, "test host clock is sane");
+        let mut stamps = vec![UNIX_MS_UNKNOWN, now, 0, now + 1];
+        stamps.sort_unstable();
+        assert_eq!(stamps, vec![0, now, now + 1, UNIX_MS_UNKNOWN]);
     }
 
     #[test]

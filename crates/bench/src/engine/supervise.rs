@@ -163,13 +163,15 @@ fn spawn_worker(exe: &Path, sup: &SuperviseConfig, id: u64) -> std::io::Result<C
 /// over the worker-filled cache, so rendering is byte-identical to a
 /// single-process campaign).
 ///
-/// May terminate the process: a drain signal (SIGTERM/SIGINT) exits with
-/// `128 + signal` after workers are reaped and leases swept.
+/// A drain signal (SIGTERM/SIGINT) reaps the workers, sweeps the leases,
+/// and returns `Err(128 + signal)` — the caller decides whether that
+/// exits the process (one-shot `run`) or merely finishes the request
+/// (the resident server, which still owns a socket to clean up).
 pub fn run_supervised(
     scenarios: &[&dyn Scenario],
     opts: &EngineOptions,
     sup: &SuperviseConfig,
-) -> EngineOutput {
+) -> Result<EngineOutput, i32> {
     let cache = opts.disk_cache.clone().expect("supervised mode requires the disk cache");
     signals::install_drain_handlers();
 
@@ -184,7 +186,7 @@ pub fn run_supervised(
         Ok(l) => l,
         Err(e) => {
             eprintln!("warning: cannot open lease dir ({e}); falling back to in-process execution");
-            return run_scenarios(scenarios, opts);
+            return Ok(run_scenarios(scenarios, opts));
         }
     };
     leases.sweep();
@@ -204,7 +206,7 @@ pub fn run_supervised(
         Ok(p) => p,
         Err(e) => {
             eprintln!("warning: cannot locate own executable ({e}); falling back to in-process");
-            return run_scenarios(scenarios, opts);
+            return Ok(run_scenarios(scenarios, opts));
         }
     };
     let poison_threshold = env_usize("LF_POISON_THRESHOLD", DEFAULT_POISON_THRESHOLD);
@@ -231,7 +233,7 @@ pub fn run_supervised(
     }
     if slots.is_empty() {
         eprintln!("warning: no workers could be spawned; falling back to in-process execution");
-        return run_scenarios(scenarios, opts);
+        return Ok(run_scenarios(scenarios, opts));
     }
     eprintln!("supervisor: {} workers, lease expiry {:?}", slots.len(), expiry);
 
@@ -374,11 +376,12 @@ pub fn run_supervised(
     // leaked by a worker that died outside the reap path; sweep them (a
     // clean campaign sweeps zero).
     stats.lease_reclaims += leases.sweep();
+    stats.lease_clock_skew += leases.clock_skew_events() as usize;
 
     if let Some(sig) = draining {
         clear_poison(&poison_dir);
         eprintln!("supervisor: drained; zero workers, zero leases left");
-        std::process::exit(128 + sig);
+        return Err(128 + sig);
     }
 
     // Final pass: an ordinary in-process campaign over the worker-filled
@@ -392,7 +395,7 @@ pub fn run_supervised(
     final_opts.carried_faults = stats;
     let out = run_scenarios(scenarios, &final_opts);
     clear_poison(&poison_dir);
-    out
+    Ok(out)
 }
 
 /// Entry point of the hidden `worker` subcommand: claim-loop over the
@@ -496,6 +499,18 @@ pub fn worker_main(
                 Ok(Claim::Held { .. }) => {
                     remaining += 1;
                 }
+                Ok(Claim::Contended { age, holder }) => {
+                    // The claim retry budget burned out on reclaim churn
+                    // without ever seeing a live heartbeat. Count it, log
+                    // it, and let the rescan backoff absorb the spin.
+                    local_faults.lease_contended += 1;
+                    eprintln!(
+                        "worker {worker_id}: claim space for {} contended \
+                         (last holder {holder:?}, last age {age:?}); backing off",
+                        fingerprint_hex(fp)
+                    );
+                    remaining += 1;
+                }
                 Ok(Claim::Acquired(lease)) => {
                     // The race window between the cache probe and the
                     // claim: if the previous holder committed and
@@ -566,6 +581,15 @@ pub fn worker_main(
     // Belt and braces: a drained loop may still hold a lease.
     if let Some(lease) = current.lock().expect("heartbeat mutex poisoned").take() {
         lease.release();
+    }
+    // Workers have no channel back to the supervisor's FaultStats, so
+    // claim-space anomalies are at least made visible on stderr.
+    local_faults.lease_clock_skew += leases.clock_skew_events() as usize;
+    if local_faults.lease_contended > 0 || local_faults.lease_clock_skew > 0 {
+        eprintln!(
+            "worker {worker_id}: claim-space anomalies: {} contended claim(s), {} clock-skew probe(s)",
+            local_faults.lease_contended, local_faults.lease_clock_skew
+        );
     }
     exit_code
 }
